@@ -1,0 +1,149 @@
+//! Series alignment and correlation — the machinery behind Fig. 7's
+//! "high correlation between the disk utilization of the database and the
+//! Apache queue length".
+
+use mscope_sim::pearson;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A named `(window_start_us, value)` series, the common currency between
+/// warehouse queries ([`Table::window_agg`](mscope_db::Table::window_agg))
+/// and the detectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowSeries {
+    /// Where the series came from (e.g. `"mysql0 disk_util"`).
+    pub label: String,
+    /// Points in time order.
+    pub points: Vec<(i64, f64)>,
+}
+
+impl WindowSeries {
+    /// Wraps raw points with a label.
+    pub fn new(label: impl Into<String>, points: Vec<(i64, f64)>) -> WindowSeries {
+        WindowSeries { label: label.into(), points }
+    }
+
+    /// Values only.
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|&(_, v)| v).collect()
+    }
+
+    /// Restricts to `[from_us, to_us)`.
+    pub fn slice(&self, from_us: i64, to_us: i64) -> WindowSeries {
+        WindowSeries {
+            label: self.label.clone(),
+            points: self
+                .points
+                .iter()
+                .filter(|&&(t, _)| t >= from_us && t < to_us)
+                .copied()
+                .collect(),
+        }
+    }
+}
+
+/// Aligns two window series on their common timestamps and returns the
+/// paired values. Windows present in only one series are dropped — the two
+/// monitors need not share a period.
+pub fn align(a: &WindowSeries, b: &WindowSeries) -> Vec<(f64, f64)> {
+    let bmap: BTreeMap<i64, f64> = b.points.iter().copied().collect();
+    a.points
+        .iter()
+        .filter_map(|&(t, va)| bmap.get(&t).map(|&vb| (va, vb)))
+        .collect()
+}
+
+/// Pearson correlation of two aligned series; `None` when fewer than two
+/// common windows exist or either side has zero variance.
+pub fn correlate(a: &WindowSeries, b: &WindowSeries) -> Option<f64> {
+    let pairs = align(a, b);
+    let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+    pearson(&xs, &ys)
+}
+
+/// A ranked correlation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrelationHit {
+    /// Label of the candidate series.
+    pub label: String,
+    /// Pearson r against the target.
+    pub r: f64,
+    /// Number of aligned windows the estimate is based on.
+    pub n: usize,
+}
+
+/// Correlates a target series (e.g. front-tier queue length) against many
+/// candidate resource series and returns hits ranked by |r| descending —
+/// milliScope's "which resource moves with the symptom?" question.
+pub fn rank_correlations(target: &WindowSeries, candidates: &[WindowSeries]) -> Vec<CorrelationHit> {
+    let mut hits: Vec<CorrelationHit> = candidates
+        .iter()
+        .filter_map(|c| {
+            let n = align(target, c).len();
+            correlate(target, c).map(|r| CorrelationHit {
+                label: c.label.clone(),
+                r,
+                n,
+            })
+        })
+        .collect();
+    hits.sort_by(|a, b| b.r.abs().total_cmp(&a.r.abs()));
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(label: &str, vals: &[f64]) -> WindowSeries {
+        WindowSeries::new(
+            label,
+            vals.iter().enumerate().map(|(i, &v)| (i as i64 * 50_000, v)).collect(),
+        )
+    }
+
+    #[test]
+    fn align_drops_uncommon_windows() {
+        let a = WindowSeries::new("a", vec![(0, 1.0), (50, 2.0), (100, 3.0)]);
+        let b = WindowSeries::new("b", vec![(50, 20.0), (100, 30.0), (150, 40.0)]);
+        assert_eq!(align(&a, &b), vec![(2.0, 20.0), (3.0, 30.0)]);
+    }
+
+    #[test]
+    fn correlate_perfect_and_inverse() {
+        let a = series("q", &[1.0, 2.0, 3.0, 4.0]);
+        let b = series("disk", &[10.0, 20.0, 30.0, 40.0]);
+        assert!((correlate(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        let c = series("idle", &[9.0, 7.0, 5.0, 3.0]);
+        assert!((correlate(&a, &c).unwrap() + 1.0).abs() < 1e-12);
+        // Constant → None.
+        assert_eq!(correlate(&a, &series("flat", &[5.0; 4])), None);
+    }
+
+    #[test]
+    fn ranking_orders_by_abs_r() {
+        let target = series("queue", &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let candidates = vec![
+            series("noise", &[2.0, 1.0, 2.5, 1.5, 2.2]),
+            series("culprit", &[5.0, 11.0, 14.0, 21.0, 25.0]),
+            series("inverse", &[25.0, 21.0, 14.0, 11.0, 5.0]),
+        ];
+        let hits = rank_correlations(&target, &candidates);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].label, "culprit");
+        assert!(hits[0].r > 0.99);
+        assert_eq!(hits[1].label, "inverse");
+        assert!(hits[2].label == "noise");
+        assert_eq!(hits[0].n, 5);
+    }
+
+    #[test]
+    fn slice_window_series() {
+        let s = WindowSeries::new("x", vec![(0, 1.0), (100, 2.0), (200, 3.0)]);
+        let cut = s.slice(50, 200);
+        assert_eq!(cut.points, vec![(100, 2.0)]);
+        assert_eq!(cut.label, "x");
+        assert_eq!(s.values(), vec![1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,416 @@
+//! Causal-path reconstruction: joining per-tier event records by request ID
+//! to rebuild each request's execution path (paper §IV-B, Fig. 5).
+//!
+//! "By joining the tracing records containing the same request ID located
+//! in the event mScopeMonitor log files, milliScope is able to reconstruct
+//! the execution path explicitly … without making any assumptions about the
+//! interactions among servers."
+
+use mscope_db::{Table, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One tier visit as read from an event table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowHop {
+    /// Tier index (pipeline position).
+    pub tier: usize,
+    /// Node name (from the injected `node` constant).
+    pub node: String,
+    /// Upstream arrival (µs).
+    pub ua: i64,
+    /// Upstream departure (µs).
+    pub ud: i64,
+    /// Downstream sending (µs), if a downstream call was made.
+    pub ds: Option<i64>,
+    /// Downstream receiving (µs).
+    pub dr: Option<i64>,
+}
+
+impl FlowHop {
+    /// Residence time at this tier (ms).
+    pub fn residence_ms(&self) -> f64 {
+        (self.ud - self.ua) as f64 / 1000.0
+    }
+
+    /// Time waiting on downstream tiers (ms).
+    pub fn downstream_wait_ms(&self) -> f64 {
+        match (self.ds, self.dr) {
+            (Some(s), Some(r)) => (r - s) as f64 / 1000.0,
+            _ => 0.0,
+        }
+    }
+
+    /// This tier's own latency contribution (ms) — residence minus
+    /// downstream wait, the paper's "contribution of each server to the
+    /// response time of each request".
+    pub fn local_ms(&self) -> f64 {
+        (self.residence_ms() - self.downstream_wait_ms()).max(0.0)
+    }
+}
+
+/// A request's reconstructed causal path across the tiers it touched.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestFlow {
+    /// The propagated request ID (fixed-width hex).
+    pub request_id: String,
+    /// Interaction name.
+    pub interaction: String,
+    /// Hops in pipeline order (tier 0 first).
+    pub hops: Vec<FlowHop>,
+}
+
+impl RequestFlow {
+    /// End-to-end response time as seen at the front tier (ms).
+    pub fn response_time_ms(&self) -> Option<f64> {
+        self.hops.first().map(FlowHop::residence_ms)
+    }
+
+    /// Checks happens-before across the whole path: each hop internally
+    /// ordered (`ua ≤ ds ≤ dr ≤ ud`) and each inner hop inside its parent's
+    /// downstream window.
+    pub fn is_causally_ordered(&self) -> bool {
+        for h in &self.hops {
+            let ok = match (h.ds, h.dr) {
+                (Some(s), Some(r)) => h.ua <= s && s <= r && r <= h.ud,
+                (None, None) => h.ua <= h.ud,
+                _ => false,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        for w in self.hops.windows(2) {
+            let (outer, inner) = (&w[0], &w[1]);
+            match (outer.ds, outer.dr) {
+                (Some(s), Some(r)) => {
+                    if !(s <= inner.ua && inner.ud <= r) {
+                        return false;
+                    }
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Per-tier latency contributions `(tier, local_ms)`.
+    pub fn contributions(&self) -> Vec<(usize, f64)> {
+        self.hops.iter().map(|h| (h.tier, h.local_ms())).collect()
+    }
+
+    /// The tier contributing the most latency, if any hops exist.
+    pub fn dominant_tier(&self) -> Option<usize> {
+        self.contributions()
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(t, _)| t)
+    }
+}
+
+/// Reconstructs all flows by joining event tables (given in pipeline order,
+/// tier 0 first) on `request_id`.
+///
+/// Requests missing from the front table are skipped (they never completed
+/// tier 0); deeper hops are optional — a depth-1 static request legally has
+/// one hop.
+///
+/// # Errors
+///
+/// Returns an error string if a table lacks the required columns.
+pub fn reconstruct_flows(tables: &[&Table]) -> Result<Vec<RequestFlow>, String> {
+    if tables.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Index deeper tiers by request_id.
+    let mut deep_maps: Vec<HashMap<&str, usize>> = Vec::new();
+    for t in &tables[1..] {
+        let ids = t
+            .column("request_id")
+            .ok_or_else(|| format!("table `{}` has no `request_id` column", t.name()))?;
+        let mut m = HashMap::with_capacity(ids.len());
+        for (i, v) in ids.iter().enumerate() {
+            if let Some(s) = v.as_str() {
+                m.insert(s, i);
+            }
+        }
+        deep_maps.push(m);
+    }
+    let front = tables[0];
+    let ids = front
+        .column("request_id")
+        .ok_or_else(|| format!("table `{}` has no `request_id` column", front.name()))?;
+    let mut flows = Vec::with_capacity(ids.len());
+    for (row, id) in ids.iter().enumerate() {
+        let Some(id) = id.as_str() else { continue };
+        let mut hops = Vec::new();
+        hops.push(read_hop(front, row, 0)?);
+        for (depth, map) in deep_maps.iter().enumerate() {
+            let Some(&r) = map.get(id) else { break };
+            hops.push(read_hop(tables[depth + 1], r, depth + 1)?);
+        }
+        let interaction = front
+            .cell(row, "interaction")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_string();
+        flows.push(RequestFlow {
+            request_id: id.to_string(),
+            interaction,
+            hops,
+        });
+    }
+    Ok(flows)
+}
+
+fn read_hop(table: &Table, row: usize, tier: usize) -> Result<FlowHop, String> {
+    let get = |col: &str| -> Result<Option<i64>, String> {
+        Ok(table
+            .cell(row, col)
+            .ok_or_else(|| format!("table `{}` has no `{col}` column", table.name()))?
+            .as_i64())
+    };
+    let ua = get("ua")?.ok_or_else(|| format!("row {row} of `{}` has null ua", table.name()))?;
+    let ud = get("ud")?.ok_or_else(|| format!("row {row} of `{}` has null ud", table.name()))?;
+    let node = table
+        .cell(row, "node")
+        .and_then(Value::as_str)
+        .unwrap_or("?")
+        .to_string();
+    Ok(FlowHop {
+        tier,
+        node,
+        ua,
+        ud,
+        ds: get("ds")?,
+        dr: get("dr")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mscope_db::{Column, ColumnType, Schema};
+
+    /// (request_id, ua, ud, ds, dr)
+    type RowSpec<'a> = (&'a str, i64, i64, Option<i64>, Option<i64>);
+
+    fn event_table(name: &str, rows: Vec<RowSpec<'_>>) -> Table {
+        let schema = Schema::new(vec![
+            Column::new("request_id", ColumnType::Text),
+            Column::new("interaction", ColumnType::Text),
+            Column::new("node", ColumnType::Text),
+            Column::new("ua", ColumnType::Timestamp),
+            Column::new("ud", ColumnType::Timestamp),
+            Column::new("ds", ColumnType::Timestamp),
+            Column::new("dr", ColumnType::Timestamp),
+        ])
+        .unwrap();
+        let mut t = Table::new(name, schema);
+        for (id, ua, ud, ds, dr) in rows {
+            t.push_row(vec![
+                Value::Text(id.into()),
+                Value::Text("ViewStory".into()),
+                Value::Text(format!("{name}-node")),
+                Value::Timestamp(ua),
+                Value::Timestamp(ud),
+                ds.map_or(Value::Null, Value::Timestamp),
+                dr.map_or(Value::Null, Value::Timestamp),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn joins_across_tiers() {
+        let apache = event_table("event_apache", vec![
+            ("AAA", 0, 100, Some(10), Some(90)),
+            ("BBB", 0, 50, None, None), // static page, depth 1
+        ]);
+        let tomcat = event_table("event_tomcat", vec![("AAA", 12, 88, Some(20), Some(80))]);
+        let mysql = event_table("event_mysql", vec![("AAA", 22, 78, None, None)]);
+        let flows = reconstruct_flows(&[&apache, &tomcat, &mysql]).unwrap();
+        assert_eq!(flows.len(), 2);
+        let a = flows.iter().find(|f| f.request_id == "AAA").unwrap();
+        assert_eq!(a.hops.len(), 3);
+        assert!(a.is_causally_ordered());
+        let b = flows.iter().find(|f| f.request_id == "BBB").unwrap();
+        assert_eq!(b.hops.len(), 1);
+        assert!(b.is_causally_ordered());
+    }
+
+    #[test]
+    fn contributions_and_dominant_tier() {
+        let flow = RequestFlow {
+            request_id: "X".into(),
+            interaction: "ViewStory".into(),
+            hops: vec![
+                FlowHop { tier: 0, node: "a".into(), ua: 0, ud: 100_000, ds: Some(5_000), dr: Some(95_000) },
+                FlowHop { tier: 1, node: "b".into(), ua: 6_000, ud: 94_000, ds: Some(10_000), dr: Some(20_000) },
+            ],
+        };
+        // Tier 0 local: 100 − 90 = 10 ms; tier 1 local: 88 − 10 = 78 ms.
+        let c = flow.contributions();
+        assert!((c[0].1 - 10.0).abs() < 1e-9);
+        assert!((c[1].1 - 78.0).abs() < 1e-9);
+        assert_eq!(flow.dominant_tier(), Some(1));
+        assert_eq!(flow.response_time_ms(), Some(100.0));
+    }
+
+    #[test]
+    fn causality_violations_detected() {
+        let bad = RequestFlow {
+            request_id: "X".into(),
+            interaction: "i".into(),
+            hops: vec![
+                FlowHop { tier: 0, node: "a".into(), ua: 0, ud: 100, ds: Some(50), dr: Some(40), },
+            ],
+        };
+        assert!(!bad.is_causally_ordered());
+        let escape = RequestFlow {
+            request_id: "Y".into(),
+            interaction: "i".into(),
+            hops: vec![
+                FlowHop { tier: 0, node: "a".into(), ua: 0, ud: 100, ds: Some(10), dr: Some(50) },
+                // Inner departs after the parent's dr.
+                FlowHop { tier: 1, node: "b".into(), ua: 12, ud: 60, ds: None, dr: None },
+            ],
+        };
+        assert!(!escape.is_causally_ordered());
+    }
+
+    #[test]
+    fn missing_deep_record_truncates_path() {
+        let apache = event_table("event_apache", vec![("AAA", 0, 100, Some(10), Some(90))]);
+        let tomcat = event_table("event_tomcat", vec![]); // lost log
+        let mysql = event_table("event_mysql", vec![("AAA", 22, 78, None, None)]);
+        let flows = reconstruct_flows(&[&apache, &tomcat, &mysql]).unwrap();
+        // Without the Tomcat record the path cannot be stitched past tier 0.
+        assert_eq!(flows[0].hops.len(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(reconstruct_flows(&[]).unwrap().is_empty());
+    }
+}
+
+impl RequestFlow {
+    /// Renders the flow as an ASCII execution map — the paper's Fig. 5:
+    /// one lane per tier, showing Upstream Arrival (`A`), Downstream
+    /// Sending (`>`), Downstream Receiving (`<`) and Upstream Departure
+    /// (`D`), with `=` marking local processing and `.` the downstream
+    /// wait.
+    ///
+    /// `width` is the number of columns the request's lifetime is scaled
+    /// onto (minimum 20).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mscope_analysis::{FlowHop, RequestFlow};
+    /// let flow = RequestFlow {
+    ///     request_id: "0000000000AB".into(),
+    ///     interaction: "ViewStory".into(),
+    ///     hops: vec![FlowHop {
+    ///         tier: 0, node: "tier0-0".into(), ua: 0, ud: 10_000,
+    ///         ds: Some(2_000), dr: Some(8_000),
+    ///     }],
+    /// };
+    /// let map = flow.render_ascii(40);
+    /// assert!(map.contains("ViewStory"));
+    /// assert!(map.contains('A') && map.contains('D'));
+    /// ```
+    pub fn render_ascii(&self, width: usize) -> String {
+        let width = width.max(20);
+        let Some(first) = self.hops.first() else {
+            return format!("{} {} (no hops)\n", self.request_id, self.interaction);
+        };
+        let (t0, t1) = (first.ua, first.ud.max(first.ua + 1));
+        let span = (t1 - t0) as f64;
+        let col = |t: i64| -> usize {
+            (((t - t0) as f64 / span) * (width - 1) as f64)
+                .round()
+                .clamp(0.0, (width - 1) as f64) as usize
+        };
+        let mut out = format!(
+            "request {} ({}, {:.1} ms)\n",
+            self.request_id,
+            self.interaction,
+            self.response_time_ms().unwrap_or(0.0)
+        );
+        for hop in &self.hops {
+            let mut lane = vec![' '; width];
+            let (a, d) = (col(hop.ua), col(hop.ud));
+            // Local processing by default…
+            for c in lane.iter_mut().take(d + 1).skip(a) {
+                *c = '=';
+            }
+            // …downstream wait drawn over it.
+            if let (Some(ds), Some(dr)) = (hop.ds, hop.dr) {
+                let (s, r) = (col(ds), col(dr));
+                for c in lane.iter_mut().take(r.max(s)).skip(s + 1) {
+                    *c = '.';
+                }
+                lane[s] = '>';
+                lane[r.min(width - 1)] = '<';
+            }
+            lane[a] = 'A';
+            lane[d.min(width - 1)] = 'D';
+            out.push_str(&format!("{:>10} |{}|\n", hop.node, lane.iter().collect::<String>()));
+        }
+        out.push_str(&format!(
+            "{:>10}  A=arrival D=departure >=downstream-send <=downstream-recv\n",
+            ""
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod render_tests {
+    use super::*;
+
+    #[test]
+    fn fig5_style_map_places_markers_in_order() {
+        let flow = RequestFlow {
+            request_id: "X".into(),
+            interaction: "ViewStory".into(),
+            hops: vec![
+                FlowHop { tier: 0, node: "tier0-0".into(), ua: 0, ud: 100_000, ds: Some(10_000), dr: Some(90_000) },
+                FlowHop { tier: 1, node: "tier1-0".into(), ua: 12_000, ud: 88_000, ds: Some(20_000), dr: Some(80_000) },
+                FlowHop { tier: 3, node: "tier3-0".into(), ua: 22_000, ud: 78_000, ds: None, dr: None },
+            ],
+        };
+        let map = flow.render_ascii(60);
+        let lanes: Vec<&str> = map.lines().skip(1).take(3).collect();
+        assert_eq!(lanes.len(), 3);
+        for lane in &lanes {
+            let a = lane.find('A').expect("arrival marker");
+            let d = lane.rfind('D').expect("departure marker");
+            assert!(a < d, "A before D in {lane}");
+        }
+        // Outer lanes wait (dots) while inner lanes work.
+        assert!(lanes[0].contains('.'));
+        assert!(lanes[2].contains('='));
+        assert!(!lanes[2].contains('.'), "leaf tier has no downstream wait");
+        // Inner arrival is to the right of outer arrival (time order).
+        let a0 = lanes[0].find('A').expect("marker");
+        let a2 = lanes[2].find('A').expect("marker");
+        assert!(a2 > a0);
+    }
+
+    #[test]
+    fn degenerate_flows_do_not_panic() {
+        let empty = RequestFlow { request_id: "E".into(), interaction: "x".into(), hops: vec![] };
+        assert!(empty.render_ascii(40).contains("no hops"));
+        let instant = RequestFlow {
+            request_id: "I".into(),
+            interaction: "x".into(),
+            hops: vec![FlowHop { tier: 0, node: "n".into(), ua: 5, ud: 5, ds: None, dr: None }],
+        };
+        let map = instant.render_ascii(40);
+        assert!(map.contains('D'), "zero-length request still renders: {map}");
+    }
+}

@@ -1,0 +1,65 @@
+//! Analysis-layer performance: PIT derivation, queue folding, causal-path
+//! reconstruction, and the full diagnosis pass over an ingested run.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mscope_analysis::{queue_series, PitSeries};
+use mscope_core::scenarios::{calibrated_db_io, shorten};
+use mscope_core::{DiagnoseOptions, Experiment, MilliScope};
+use mscope_sim::{SimDuration, SimTime};
+
+fn ingested() -> MilliScope {
+    let cfg = shorten(calibrated_db_io(300, 3.0, 250.0), SimDuration::from_secs(15));
+    let out = Experiment::new(cfg).expect("valid").run();
+    MilliScope::ingest(&out).expect("ingests")
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    // Synthetic inputs sized like a standard-scale run.
+    let completions: Vec<(i64, f64)> = (0..100_000)
+        .map(|i| (i as i64 * 600, 5.0 + (i % 17) as f64))
+        .collect();
+    let intervals: Vec<(i64, Option<i64>)> = (0..100_000)
+        .map(|i| (i as i64 * 600, Some(i as i64 * 600 + 5_000)))
+        .collect();
+    let mut group = c.benchmark_group("analysis/primitives");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("pit_100k_completions", |b| {
+        b.iter(|| PitSeries::from_completions(&completions, 50_000).points.len());
+    });
+    group.bench_function("queue_100k_intervals", |b| {
+        b.iter(|| {
+            queue_series(
+                &intervals,
+                SimTime::ZERO,
+                SimTime::from_secs(60),
+                SimDuration::from_millis(50),
+            )
+            .len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_over_ingested_run(c: &mut Criterion) {
+    let ms = ingested();
+    let mut group = c.benchmark_group("analysis/ingested");
+    group.sample_size(10);
+    group.bench_function("flows_reconstruct", |b| {
+        b.iter(|| ms.flows().expect("event tables present").len());
+    });
+    group.bench_function("diagnose_full", |b| {
+        b.iter(|| {
+            ms.diagnose(&DiagnoseOptions::default())
+                .expect("diagnosis runs")
+                .episodes
+                .len()
+        });
+    });
+    group.bench_function("pit_from_db", |b| {
+        b.iter(|| ms.pit(SimDuration::from_millis(50)).expect("present").points.len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_over_ingested_run);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figures 10 & 11 as a benchmark: the monitors-on vs monitors-off
+//! comparison, printing the per-node overhead and system-level deltas.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mscope_bench::{fig10, fig11, overhead_sweep, Scale};
+
+fn bench_overhead_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/overhead");
+    group.sample_size(10);
+    group.bench_function("one_point_200u", |b| {
+        b.iter(|| {
+            use mscope_core::scenarios::shorten;
+            use mscope_core::Experiment;
+            use mscope_monitors::OverheadReport;
+            use mscope_ntier::SystemConfig;
+            use mscope_sim::SimDuration;
+            let base = shorten(SystemConfig::rubbos_baseline(200), SimDuration::from_secs(10));
+            let mut on_cfg = base.clone();
+            on_cfg.monitoring.event_monitors = true;
+            let mut off_cfg = base;
+            off_cfg.monitoring.event_monitors = false;
+            let on = Experiment::new(on_cfg).expect("valid").run();
+            let off = Experiment::new(off_cfg).expect("valid").run();
+            OverheadReport::between(&on.run, &off.run).throughput_loss()
+        });
+    });
+    group.finish();
+
+    // Print the full sweep tables once (the actual figure content).
+    let rows = overhead_sweep(Scale::Quick);
+    println!("{}", fig10(&rows));
+    println!("{}", fig11(&rows));
+}
+
+criterion_group!(benches, bench_overhead_sweep);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Paper-figure regeneration as benchmarks: one bench target per
+//! evaluation artifact, so `cargo bench` exercises the same code paths the
+//! `figures` binary prints, and prints the headline numbers as it goes.
+//!
+//! Figures 2/4/6/7 derive from scenario A; figure 8 from scenario B;
+//! figure 9 from a healthy baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mscope_bench::{fig2, fig4, fig6, fig7, fig8, fig9, run_scenario_a, run_scenario_b, Scale};
+
+fn bench_scenario_a_figures(c: &mut Criterion) {
+    let ms = run_scenario_a(Scale::Quick);
+    let mut group = c.benchmark_group("figures/scenario_a");
+    group.sample_size(10);
+    group.bench_function("fig2_pit", |b| {
+        b.iter(|| fig2(&ms).rows.len());
+    });
+    group.bench_function("fig4_disk_per_tier", |b| {
+        b.iter(|| fig4(&ms).rows.len());
+    });
+    group.bench_function("fig6_queues", |b| {
+        b.iter(|| fig6(&ms).rows.len());
+    });
+    group.bench_function("fig7_correlation", |b| {
+        b.iter(|| fig7(&ms).correlation);
+    });
+    // Print the headline numbers once for the bench log.
+    let f2 = fig2(&ms);
+    let f7 = fig7(&ms);
+    println!(
+        "[fig2] peak PIT max = {:.1} ms; [fig7] r = {:.3}",
+        f2.max_of("max_rt_ms").unwrap_or(f64::NAN),
+        f7.correlation
+    );
+    group.finish();
+}
+
+fn bench_scenario_b_figures(c: &mut Criterion) {
+    let ms = run_scenario_b(Scale::Quick);
+    let mut group = c.benchmark_group("figures/scenario_b");
+    group.sample_size(10);
+    group.bench_function("fig8_four_panels", |b| {
+        b.iter(|| fig8(&ms).episodes_in_span);
+    });
+    let d = fig8(&ms);
+    println!(
+        "[fig8] episodes in 5 s span = {}, peak PIT = {:.1} ms",
+        d.episodes_in_span,
+        d.pit.max_of("max_rt_ms").unwrap_or(f64::NAN)
+    );
+    group.finish();
+}
+
+fn bench_accuracy_figure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/accuracy");
+    group.sample_size(10);
+    group.bench_function("fig9_monitors_vs_sysviz", |b| {
+        b.iter(|| fig9(Scale::Quick).len());
+    });
+    for row in fig9(Scale::Quick) {
+        println!(
+            "[fig9] {}: rmse = {:.3}, r = {:.3}",
+            row.tier, row.rmse, row.correlation
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenario_a_figures, bench_scenario_b_figures, bench_accuracy_figure);
+criterion_main!(benches);

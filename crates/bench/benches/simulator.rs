@@ -1,0 +1,57 @@
+//! Simulator throughput: how fast the n-tier substrate executes, in
+//! simulated requests per wall-clock second. Keeps figure regeneration at
+//! paper scale (8000 users × 7 min) tractable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mscope_ntier::{Simulator, SystemConfig};
+use mscope_sim::SimDuration;
+
+fn short(users: u32, secs: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::rubbos_baseline(users);
+    cfg.duration = SimDuration::from_secs(secs);
+    cfg.warmup = SimDuration::from_secs(2);
+    cfg.workload.ramp_up = SimDuration::from_secs(1);
+    cfg
+}
+
+fn bench_baseline_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/baseline_run");
+    group.sample_size(10);
+    for users in [200u32, 800, 2000] {
+        group.bench_with_input(BenchmarkId::from_parameter(users), &users, |b, &users| {
+            b.iter(|| {
+                let out = Simulator::new(short(users, 10)).expect("valid").run();
+                assert!(out.stats.completed > 0);
+                out.stats.completed
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scenario_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/scenarios");
+    group.sample_size(10);
+    group.bench_function("db_io_400u_10s", |b| {
+        b.iter(|| {
+            let cfg = mscope_core::scenarios::shorten(
+                mscope_core::scenarios::calibrated_db_io(400, 3.0, 250.0),
+                SimDuration::from_secs(10),
+            );
+            Simulator::new(cfg).expect("valid").run().stats.completed
+        });
+    });
+    group.bench_function("dirty_page_400u_10s", |b| {
+        b.iter(|| {
+            let cfg = mscope_core::scenarios::shorten(
+                mscope_core::scenarios::calibrated_dirty_page(400, 2.2, 3.4, 300.0),
+                SimDuration::from_secs(10),
+            );
+            Simulator::new(cfg).expect("valid").run().stats.completed
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline_run, bench_scenario_runs);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! mScopeDataTransformer throughput: log lines parsed, annotated,
+//! converted, and loaded per second — the framework's own overhead story
+//! (offline cost, complementing the Figs. 10–11 runtime overhead).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mscope_db::Database;
+use mscope_monitors::{MonitorSuite, MonitoringArtifacts};
+use mscope_ntier::{Simulator, SystemConfig};
+use mscope_sim::SimDuration;
+use mscope_transform::{apache_event_spec, DataTransformer};
+
+fn artifacts() -> MonitoringArtifacts {
+    let mut cfg = SystemConfig::rubbos_baseline(300);
+    cfg.duration = SimDuration::from_secs(15);
+    cfg.warmup = SimDuration::from_secs(2);
+    cfg.workload.ramp_up = SimDuration::from_secs(1);
+    let out = Simulator::new(cfg).expect("valid").run();
+    MonitorSuite::standard(&out.config).render(&out)
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let art = artifacts();
+    let total_bytes: usize = art.store.total_bytes();
+    let mut group = c.benchmark_group("transformer/full_pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(total_bytes as u64));
+    group.bench_function("parse_convert_load", |b| {
+        b.iter(|| {
+            let mut db = Database::new();
+            let report = DataTransformer::from_manifest(&art.manifest)
+                .run(&art.store, &mut db)
+                .expect("pipeline runs");
+            report.entries
+        });
+    });
+    group.finish();
+}
+
+fn bench_pattern_matching(c: &mut Criterion) {
+    let line = "127.0.0.1 - - [00:00:00.020000] \"GET /rubbos/ViewStory?ID=000000000003 HTTP/1.1\" 200 1802 ua=00:00:00.010000 ud=00:00:00.020000 ds=00:00:00.011000 dr=00:00:00.019000";
+    let spec = apache_event_spec();
+    let pattern = spec.records[0].clone();
+    let mut group = c.benchmark_group("transformer/pattern");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("apache_line_match", |b| {
+        b.iter(|| pattern.match_line(line).expect("line matches"));
+    });
+    group.bench_function("apache_line_reject", |b| {
+        b.iter(|| pattern.match_line("garbage that matches nothing at all"));
+    });
+    group.finish();
+}
+
+fn bench_xml_roundtrip(c: &mut Criterion) {
+    // A representative annotated document: 1000 entries, 8 fields each.
+    let mut doc = mscope_transform::XmlNode::new("log").attr("source", "x");
+    for i in 0..1000 {
+        let mut e = mscope_transform::XmlNode::new("entry");
+        for f in 0..8 {
+            e.children.push(
+                mscope_transform::XmlNode::new(format!("f{f}")).with_text(format!("{}", i * f)),
+            );
+        }
+        doc.children.push(e);
+    }
+    let xml = doc.to_xml();
+    let mut group = c.benchmark_group("transformer/xml");
+    group.throughput(Throughput::Bytes(xml.len() as u64));
+    group.bench_function("serialize_1000x8", |b| b.iter(|| doc.to_xml().len()));
+    group.bench_function("parse_1000x8", |b| {
+        b.iter(|| mscope_transform::parse_xml(&xml).expect("well-formed").children.len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_pipeline, bench_pattern_matching, bench_xml_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Comparing two ingested experiments — regression detection for the
+//! performance-debugging loop the paper motivates: did the fix actually
+//! remove the very short bottleneck?
+
+use crate::diagnose::DiagnoseOptions;
+use crate::error::CoreError;
+use crate::milliscope::MilliScope;
+use mscope_analysis::detect_vsb;
+use serde::{Deserialize, Serialize};
+
+/// The side-by-side comparison of two runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunComparison {
+    /// Mean response time of the baseline run (ms).
+    pub baseline_mean_rt_ms: f64,
+    /// Mean response time of the candidate run (ms).
+    pub candidate_mean_rt_ms: f64,
+    /// VLRT episodes in the baseline.
+    pub baseline_episodes: usize,
+    /// VLRT episodes in the candidate.
+    pub candidate_episodes: usize,
+    /// Worst PIT peak in the baseline (ms).
+    pub baseline_peak_ms: f64,
+    /// Worst PIT peak in the candidate (ms).
+    pub candidate_peak_ms: f64,
+}
+
+impl RunComparison {
+    /// Compares two ingested runs with the given detection options.
+    ///
+    /// # Errors
+    ///
+    /// Missing event tables in either run.
+    pub fn between(
+        baseline: &MilliScope,
+        candidate: &MilliScope,
+        opts: &DiagnoseOptions,
+    ) -> Result<RunComparison, CoreError> {
+        let b_pit = baseline.pit(opts.pit_window)?;
+        let c_pit = candidate.pit(opts.pit_window)?;
+        Ok(RunComparison {
+            baseline_mean_rt_ms: b_pit.overall_mean_ms(),
+            candidate_mean_rt_ms: c_pit.overall_mean_ms(),
+            baseline_episodes: detect_vsb(&b_pit, opts.vlrt_factor).len(),
+            candidate_episodes: detect_vsb(&c_pit, opts.vlrt_factor).len(),
+            baseline_peak_ms: b_pit.peak().map_or(0.0, |p| p.max_ms),
+            candidate_peak_ms: c_pit.peak().map_or(0.0, |p| p.max_ms),
+        })
+    }
+
+    /// `true` when the candidate removed every VLRT episode the baseline
+    /// had (the "fix verified" outcome).
+    pub fn episodes_resolved(&self) -> bool {
+        self.baseline_episodes > 0 && self.candidate_episodes == 0
+    }
+
+    /// Relative change in mean response time (negative = improvement).
+    pub fn mean_rt_change(&self) -> f64 {
+        if self.baseline_mean_rt_ms == 0.0 {
+            return 0.0;
+        }
+        self.candidate_mean_rt_ms / self.baseline_mean_rt_ms - 1.0
+    }
+
+    /// One-paragraph verdict.
+    pub fn verdict(&self) -> String {
+        if self.episodes_resolved() {
+            format!(
+                "fix verified: {} VLRT episode(s) in the baseline, none in the candidate; \
+                 worst peak fell from {:.0} ms to {:.0} ms",
+                self.baseline_episodes, self.baseline_peak_ms, self.candidate_peak_ms
+            )
+        } else if self.candidate_episodes > self.baseline_episodes {
+            format!(
+                "regression: episodes rose from {} to {}",
+                self.baseline_episodes, self.candidate_episodes
+            )
+        } else {
+            format!(
+                "inconclusive: {} episode(s) remain (baseline had {})",
+                self.candidate_episodes, self.baseline_episodes
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Experiment;
+    use crate::scenarios::{calibrated_db_io, shorten};
+    use mscope_ntier::SystemConfig;
+    use mscope_sim::SimDuration;
+
+    fn ingest(cfg: SystemConfig) -> MilliScope {
+        MilliScope::ingest(&Experiment::new(cfg).unwrap().run()).unwrap()
+    }
+
+    #[test]
+    fn fix_verified_when_bottleneck_removed() {
+        // "Before": the commit-log flush stalls everything.
+        let broken = ingest(shorten(
+            calibrated_db_io(300, 3.0, 250.0),
+            SimDuration::from_secs(15),
+        ));
+        // "After": same workload, healthy flush configuration.
+        let fixed = ingest(shorten(
+            SystemConfig::rubbos_baseline(300),
+            SimDuration::from_secs(15),
+        ));
+        let cmp = RunComparison::between(&broken, &fixed, &DiagnoseOptions::default()).unwrap();
+        assert!(cmp.baseline_episodes >= 3, "baseline had {}", cmp.baseline_episodes);
+        assert_eq!(cmp.candidate_episodes, 0);
+        assert!(cmp.episodes_resolved());
+        assert!(cmp.mean_rt_change() < 0.0, "mean RT improved");
+        assert!(cmp.verdict().starts_with("fix verified"));
+        // And the reverse direction reads as a regression.
+        let rev = RunComparison::between(&fixed, &broken, &DiagnoseOptions::default()).unwrap();
+        assert!(rev.verdict().starts_with("regression"));
+    }
+
+    #[test]
+    fn identical_runs_are_inconclusive_or_clean() {
+        let a = ingest(shorten(SystemConfig::rubbos_baseline(150), SimDuration::from_secs(8)));
+        let b = ingest(shorten(SystemConfig::rubbos_baseline(150), SimDuration::from_secs(8)));
+        let cmp = RunComparison::between(&a, &b, &DiagnoseOptions::default()).unwrap();
+        assert_eq!(cmp.baseline_episodes, cmp.candidate_episodes);
+        assert!((cmp.mean_rt_change()).abs() < 1e-9, "same seed, same numbers");
+        assert!(!cmp.episodes_resolved());
+    }
+}

@@ -1,0 +1,128 @@
+//! Experiment orchestration: run the system under a monitor suite and
+//! collect every artifact milliScope needs.
+
+use crate::error::CoreError;
+use mscope_monitors::{MonitoringArtifacts, MonitorSuite};
+use mscope_ntier::{RunOutput, Simulator, SystemConfig};
+
+/// A configured experiment: the system/workload plus the deployed monitors.
+///
+/// # Examples
+///
+/// ```
+/// use mscope_core::Experiment;
+/// use mscope_ntier::SystemConfig;
+/// use mscope_sim::SimDuration;
+///
+/// let mut cfg = SystemConfig::rubbos_baseline(50);
+/// cfg.duration = SimDuration::from_secs(4);
+/// cfg.warmup = SimDuration::from_secs(1);
+/// let output = Experiment::new(cfg)?.run();
+/// assert!(output.run.stats.completed > 0);
+/// assert!(!output.artifacts.store.is_empty());
+/// # Ok::<(), mscope_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct Experiment {
+    config: SystemConfig,
+    suite: MonitorSuite,
+}
+
+/// Everything one experiment produced: the raw run plus the rendered
+/// monitoring artifacts (native logs, manifest, SysViz trace).
+#[derive(Debug)]
+pub struct ExperimentOutput {
+    /// The simulator's output (ground truth, samples, stats).
+    pub run: RunOutput,
+    /// The monitor fleet's rendered output.
+    pub artifacts: MonitoringArtifacts,
+}
+
+impl Experiment {
+    /// Creates an experiment with the standard milliScope monitor suite for
+    /// the topology.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Config`] if the configuration fails validation.
+    pub fn new(config: SystemConfig) -> Result<Experiment, CoreError> {
+        config.validate().map_err(CoreError::Config)?;
+        let suite = MonitorSuite::standard(&config);
+        Ok(Experiment { config, suite })
+    }
+
+    /// Creates an experiment with a custom monitor suite.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Config`] if the configuration fails validation.
+    pub fn with_suite(config: SystemConfig, suite: MonitorSuite) -> Result<Experiment, CoreError> {
+        config.validate().map_err(CoreError::Config)?;
+        Ok(Experiment { config, suite })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The monitor deployment plan.
+    pub fn suite(&self) -> &MonitorSuite {
+        &self.suite
+    }
+
+    /// Runs the experiment: simulates the system, then renders every
+    /// monitor's native logs from what it observed.
+    pub fn run(self) -> ExperimentOutput {
+        let run = Simulator::new(self.config)
+            .expect("config validated at construction")
+            .run();
+        let artifacts = self.suite.render(&run);
+        ExperimentOutput { run, artifacts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mscope_sim::SimDuration;
+
+    fn short(users: u32) -> SystemConfig {
+        let mut cfg = SystemConfig::rubbos_baseline(users);
+        cfg.duration = SimDuration::from_secs(5);
+        cfg.warmup = SimDuration::from_secs(2);
+        cfg.workload.ramp_up = SimDuration::from_secs(1);
+        cfg
+    }
+
+    #[test]
+    fn run_produces_logs_and_stats() {
+        let out = Experiment::new(short(60)).unwrap().run();
+        assert!(out.run.stats.completed > 10);
+        assert!(out.artifacts.store.total_bytes() > 1000);
+        assert!(out.artifacts.sysviz.is_some());
+    }
+
+    #[test]
+    fn invalid_config_rejected_up_front() {
+        let mut cfg = short(10);
+        cfg.workload.users = 0;
+        assert!(matches!(Experiment::new(cfg), Err(CoreError::Config(_))));
+    }
+
+    #[test]
+    fn custom_suite_respected() {
+        let cfg = short(30);
+        let mut suite = MonitorSuite::standard(&cfg);
+        suite.resource_monitors.clear();
+        suite.sysviz = false;
+        let out = Experiment::with_suite(cfg, suite).unwrap().run();
+        assert!(out.artifacts.sysviz.is_none());
+        // Only event logs remain.
+        assert!(out
+            .artifacts
+            .manifest
+            .iter()
+            .all(|m| m.kind == mscope_monitors::MonitorKind::Event));
+    }
+}

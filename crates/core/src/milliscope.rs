@@ -1,0 +1,499 @@
+//! The milliScope handle: one ingested experiment, queryable end to end.
+
+use crate::error::CoreError;
+use crate::experiment::ExperimentOutput;
+use mscope_analysis::{
+    queue_from_event_table, reconstruct_flows, PitSeries, RequestFlow, WindowSeries,
+};
+use mscope_db::{AggFn, Database, Predicate, Table, Value};
+use mscope_monitors::SysVizTrace;
+use mscope_ntier::{SystemConfig, TierId, TierKind};
+use mscope_sim::{SimDuration, SimTime};
+use mscope_transform::{DataTransformer, TransformReport};
+
+/// A fully ingested experiment: native logs transformed, loaded into
+/// mScopeDB, and exposed through the analysis vocabulary of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use mscope_core::{Experiment, MilliScope};
+/// use mscope_ntier::SystemConfig;
+/// use mscope_sim::SimDuration;
+///
+/// let mut cfg = SystemConfig::rubbos_baseline(50);
+/// cfg.duration = SimDuration::from_secs(4);
+/// cfg.warmup = SimDuration::from_secs(1);
+/// let output = Experiment::new(cfg)?.run();
+/// let ms = MilliScope::ingest(&output)?;
+/// let pit = ms.pit(SimDuration::from_millis(50))?;
+/// assert!(pit.overall_mean_ms() > 0.0);
+/// # Ok::<(), mscope_core::CoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct MilliScope {
+    db: Database,
+    config: SystemConfig,
+    sysviz: Option<SysVizTrace>,
+    report: TransformReport,
+    end_time: SimTime,
+}
+
+impl MilliScope {
+    /// Runs the full mScopeDataTransformer pipeline over an experiment's
+    /// logs and loads everything into a fresh warehouse.
+    ///
+    /// # Errors
+    ///
+    /// Any transformation or load error.
+    pub fn ingest(output: &ExperimentOutput) -> Result<MilliScope, CoreError> {
+        Self::from_parts(
+            output.run.config.clone(),
+            &output.artifacts.store,
+            &output.artifacts.manifest,
+            output.artifacts.sysviz.clone(),
+        )
+    }
+
+    /// Builds a milliScope handle from raw parts — the offline-bundle path
+    /// (see [`ingest_bundle`](crate::ingest_bundle)) and the live path both
+    /// funnel through here.
+    ///
+    /// # Errors
+    ///
+    /// Any transformation or load error.
+    pub fn from_parts(
+        cfg: SystemConfig,
+        store: &mscope_monitors::LogStore,
+        manifest: &[mscope_monitors::LogFileMeta],
+        sysviz: Option<SysVizTrace>,
+    ) -> Result<MilliScope, CoreError> {
+        let mut db = Database::new();
+        db.register_experiment(
+            1,
+            "milliscope-run",
+            cfg.workload.users as i64,
+            cfg.duration.as_millis() as i64,
+            cfg.seed as i64,
+        )?;
+        for (ti, t) in cfg.tiers.iter().enumerate() {
+            for replica in 0..t.replicas {
+                let node = mscope_ntier::NodeId { tier: TierId(ti), replica };
+                db.register_node(
+                    &node.to_string(),
+                    ti as i64,
+                    t.kind.name(),
+                    t.cores as i64,
+                    t.workers as i64,
+                )?;
+            }
+        }
+        let transformer = DataTransformer::from_manifest(manifest);
+        let report = transformer.run(store, &mut db)?;
+        let end_time = cfg.end_time();
+        Ok(MilliScope {
+            db,
+            config: cfg,
+            sysviz,
+            report,
+            end_time,
+        })
+    }
+
+    /// The underlying warehouse (read access for ad-hoc queries).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// What the transformation pipeline loaded.
+    pub fn transform_report(&self) -> &TransformReport {
+        &self.report
+    }
+
+    /// The experiment's configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The measured window `[warmup, warmup + duration)`.
+    pub fn measured_range(&self) -> (SimTime, SimTime) {
+        (SimTime::ZERO + self.config.warmup, self.end_time)
+    }
+
+    /// The independent SysViz trace, if the tap was enabled.
+    pub fn sysviz(&self) -> Option<&SysVizTrace> {
+        self.sysviz.as_ref()
+    }
+
+    /// The event table for a tier.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Analysis`] if the tier is out of range or the event
+    /// monitors were disabled.
+    pub fn event_table(&self, tier: usize) -> Result<&Table, CoreError> {
+        let kind = self
+            .config
+            .tiers
+            .get(tier)
+            .map(|t| t.kind)
+            .ok_or_else(|| CoreError::Analysis(format!("no tier {tier}")))?;
+        self.db
+            .table(&format!("event_{}", kind.name()))
+            .ok_or_else(|| {
+                CoreError::Analysis(format!(
+                    "no event table for tier {tier} — were the event monitors enabled?"
+                ))
+            })
+    }
+
+    /// Point-in-Time response time at the front tier (Fig. 2 / Fig. 8a).
+    ///
+    /// # Errors
+    ///
+    /// Missing event table or columns.
+    pub fn pit(&self, window: SimDuration) -> Result<PitSeries, CoreError> {
+        let table = self.event_table(0)?;
+        let full = PitSeries::from_event_table(table, window.as_micros() as i64)
+            .map_err(CoreError::Analysis)?;
+        // Warm-up is excluded, matching every other measured-window metric.
+        let (start, end) = self.measured_range();
+        Ok(full.slice(start.as_micros() as i64, end.as_micros() as i64))
+    }
+
+    /// Queue-length series for one tier over the measured window
+    /// (Figs. 6, 8b, 9).
+    ///
+    /// # Errors
+    ///
+    /// Missing event table or columns.
+    pub fn queue(&self, tier: usize, window: SimDuration) -> Result<WindowSeries, CoreError> {
+        let table = self.event_table(tier)?;
+        let (start, end) = self.measured_range();
+        let series =
+            queue_from_event_table(table, start, end, window).map_err(CoreError::Analysis)?;
+        let kind = self.config.tiers[tier].kind;
+        Ok(WindowSeries::new(
+            format!("{kind} queue"),
+            series
+                .iter()
+                .map(|(t, v)| (t.as_micros() as i64, v))
+                .collect(),
+        ))
+    }
+
+    /// Queue series for every tier, pipeline order.
+    ///
+    /// # Errors
+    ///
+    /// As [`MilliScope::queue`].
+    pub fn all_queues(&self, window: SimDuration) -> Result<Vec<WindowSeries>, CoreError> {
+        (0..self.config.tiers.len())
+            .map(|t| self.queue(t, window))
+            .collect()
+    }
+
+    /// The same queue series computed from the *SysViz* trace instead of
+    /// the event monitors — the accuracy comparison of Fig. 9.
+    pub fn sysviz_queue(&self, tier: usize, window: SimDuration) -> Option<WindowSeries> {
+        let trace = self.sysviz.as_ref()?;
+        let (start, end) = self.measured_range();
+        let intervals: Vec<(i64, Option<i64>)> = trace
+            .tier_intervals(TierId(tier))
+            .into_iter()
+            .map(|(a, d)| {
+                (
+                    a.as_micros() as i64,
+                    d.map(|d| d.as_micros() as i64),
+                )
+            })
+            .collect();
+        let series = mscope_analysis::queue_series(&intervals, start, end, window);
+        Some(WindowSeries::new(
+            format!("sysviz tier{tier} queue"),
+            series
+                .iter()
+                .map(|(t, v)| (t.as_micros() as i64, v))
+                .collect(),
+        ))
+    }
+
+    /// A resource metric series for one node from the Collectl table,
+    /// windowed with `agg` (Figs. 4, 8c, 8d).
+    ///
+    /// Metric names are Collectl columns: `cpu_user`, `cpu_sys`,
+    /// `cpu_iowait`, `cpu_idle`, `disk_util`, `disk_write_kb`,
+    /// `disk_writes`, `mem_dirty`, `mem_used_kb`, `net_rx_kb`, `net_tx_kb`.
+    ///
+    /// # Errors
+    ///
+    /// Missing table, node, or column.
+    pub fn resource(
+        &self,
+        node: &str,
+        metric: &str,
+        window: SimDuration,
+        agg: AggFn,
+    ) -> Result<WindowSeries, CoreError> {
+        let table = self.db.require("collectl")?;
+        let filtered = table.filter(&Predicate::Eq("node".into(), Value::Text(node.into())));
+        if filtered.is_empty() {
+            return Err(CoreError::Analysis(format!(
+                "no collectl rows for node `{node}`"
+            )));
+        }
+        let points = filtered.window_agg("time", window.as_micros() as i64, metric, agg)?;
+        Ok(WindowSeries::new(format!("{node} {metric}"), points))
+    }
+
+    /// CPU busy (user+sys) series for a node, a common convenience.
+    ///
+    /// # Errors
+    ///
+    /// As [`MilliScope::resource`].
+    pub fn cpu_busy(&self, node: &str, window: SimDuration) -> Result<WindowSeries, CoreError> {
+        let user = self.resource(node, "cpu_user", window, AggFn::Mean)?;
+        let sys = self.resource(node, "cpu_sys", window, AggFn::Mean)?;
+        let points = user
+            .points
+            .iter()
+            .zip(&sys.points)
+            .map(|(&(t, u), &(_, s))| (t, u + s))
+            .collect();
+        Ok(WindowSeries::new(format!("{node} cpu_busy"), points))
+    }
+
+    /// Node names of a tier (`tier{i}-{r}`).
+    pub fn tier_nodes(&self, tier: usize) -> Vec<String> {
+        let Some(t) = self.config.tiers.get(tier) else {
+            return Vec::new();
+        };
+        (0..t.replicas).map(|r| format!("tier{tier}-{r}")).collect()
+    }
+
+    /// Tier kinds in pipeline order.
+    pub fn tier_kinds(&self) -> Vec<TierKind> {
+        self.config.tiers.iter().map(|t| t.kind).collect()
+    }
+
+    /// Full causal-path reconstruction by joining the event tables on the
+    /// propagated request ID (§IV-B).
+    ///
+    /// # Errors
+    ///
+    /// Missing event tables or columns.
+    pub fn flows(&self) -> Result<Vec<RequestFlow>, CoreError> {
+        let tables: Vec<&Table> = (0..self.config.tiers.len())
+            .map(|t| self.event_table(t))
+            .collect::<Result<_, _>>()?;
+        reconstruct_flows(&tables).map_err(CoreError::Analysis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Experiment;
+
+    fn ingested(users: u32) -> MilliScope {
+        let mut cfg = SystemConfig::rubbos_baseline(users);
+        cfg.duration = SimDuration::from_secs(6);
+        cfg.warmup = SimDuration::from_secs(2);
+        cfg.workload.ramp_up = SimDuration::from_secs(1);
+        let out = Experiment::new(cfg).unwrap().run();
+        MilliScope::ingest(&out).unwrap()
+    }
+
+    #[test]
+    fn ingest_loads_everything() {
+        let ms = ingested(60);
+        assert!(ms.transform_report().entries > 100);
+        assert_eq!(ms.db().table("experiments").unwrap().row_count(), 1);
+        assert_eq!(ms.db().table("nodes").unwrap().row_count(), 4);
+        assert_eq!(ms.tier_kinds().len(), 4);
+        assert_eq!(ms.tier_nodes(3), vec!["tier3-0"]);
+    }
+
+    #[test]
+    fn pit_and_queues_work() {
+        let ms = ingested(60);
+        let pit = ms.pit(SimDuration::from_millis(50)).unwrap();
+        assert!(pit.overall_mean_ms() > 0.5);
+        let queues = ms.all_queues(SimDuration::from_millis(50)).unwrap();
+        assert_eq!(queues.len(), 4);
+        assert!(!queues[0].points.is_empty());
+        assert!(ms.queue(99, SimDuration::from_millis(50)).is_err());
+    }
+
+    #[test]
+    fn sysviz_queue_close_to_monitor_queue() {
+        let ms = ingested(80);
+        let w = SimDuration::from_millis(100);
+        let mon = ms.queue(0, w).unwrap();
+        let sv = ms.sysviz_queue(0, w).unwrap();
+        let pairs = mscope_analysis::align(&mon, &sv);
+        assert!(pairs.len() > 20);
+        let rmse = mscope_sim::rmse(
+            &pairs.iter().map(|p| p.0).collect::<Vec<_>>(),
+            &pairs.iter().map(|p| p.1).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(rmse < 2.0, "sysviz vs monitor queue RMSE {rmse}");
+    }
+
+    #[test]
+    fn resource_series_queries() {
+        let ms = ingested(60);
+        let w = SimDuration::from_millis(100);
+        let disk = ms
+            .resource("tier3-0", "disk_util", w, AggFn::Max)
+            .unwrap();
+        assert!(!disk.points.is_empty());
+        assert!(disk.values().iter().all(|&v| (0.0..=100.0).contains(&v)));
+        let cpu = ms.cpu_busy("tier1-0", w).unwrap();
+        assert!(cpu.values().iter().any(|&v| v > 0.0));
+        assert!(ms.resource("ghost", "disk_util", w, AggFn::Max).is_err());
+        assert!(ms
+            .resource("tier3-0", "no_such_metric", w, AggFn::Max)
+            .is_err());
+    }
+
+    #[test]
+    fn flows_reconstruct_and_validate() {
+        let ms = ingested(60);
+        let flows = ms.flows().unwrap();
+        assert!(flows.len() > 20);
+        let deep: Vec<_> = flows.iter().filter(|f| f.hops.len() == 4).collect();
+        assert!(!deep.is_empty());
+        for f in deep.iter().take(100) {
+            assert!(f.is_causally_ordered(), "flow {} out of order", f.request_id);
+        }
+    }
+
+    #[test]
+    fn event_table_errors_when_monitors_disabled() {
+        let mut cfg = SystemConfig::rubbos_baseline(30);
+        cfg.duration = SimDuration::from_secs(3);
+        cfg.warmup = SimDuration::from_secs(1);
+        cfg.monitoring.event_monitors = false;
+        let out = Experiment::new(cfg).unwrap().run();
+        let ms = MilliScope::ingest(&out).unwrap();
+        assert!(ms.event_table(0).is_err());
+        assert!(ms.pit(SimDuration::from_millis(50)).is_err());
+    }
+}
+
+/// Aggregate profiling views (the "profile execution performance" half of
+/// the paper's abstract).
+impl MilliScope {
+    /// Per-interaction response-time statistics from the front tier.
+    ///
+    /// # Errors
+    ///
+    /// Missing event table or columns.
+    pub fn interaction_breakdown(
+        &self,
+    ) -> Result<Vec<mscope_analysis::InteractionStats>, CoreError> {
+        mscope_analysis::interaction_breakdown(self.event_table(0)?)
+            .map_err(CoreError::Analysis)
+    }
+
+    /// Mean per-tier latency contribution (ms) across all reconstructed
+    /// flows.
+    ///
+    /// # Errors
+    ///
+    /// Missing event tables.
+    pub fn tier_contribution(&self) -> Result<Vec<f64>, CoreError> {
+        let flows = self.flows()?;
+        Ok(mscope_analysis::tier_contribution(
+            &flows,
+            self.config.tiers.len(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod breakdown_tests {
+    use super::*;
+    use crate::experiment::Experiment;
+
+    #[test]
+    fn interaction_breakdown_covers_the_mix() {
+        let mut cfg = SystemConfig::rubbos_baseline(120);
+        cfg.duration = SimDuration::from_secs(10);
+        cfg.warmup = SimDuration::from_secs(2);
+        cfg.workload.ramp_up = SimDuration::from_secs(1);
+        let out = Experiment::new(cfg).unwrap().run();
+        let ms = MilliScope::ingest(&out).unwrap();
+        let stats = ms.interaction_breakdown().unwrap();
+        assert!(stats.len() > 5, "saw {} interaction types", stats.len());
+        // Sorted by count; totals match the event table.
+        assert!(stats.windows(2).all(|w| w[0].count >= w[1].count));
+        let total: u64 = stats.iter().map(|s| s.count).sum();
+        assert_eq!(total as usize, ms.event_table(0).unwrap().row_count());
+        for s in &stats {
+            assert!(s.max_ms >= s.p99_ms - 1e9_f64.recip());
+            assert!(s.mean_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn tier_contribution_sums_below_total_rt() {
+        let mut cfg = SystemConfig::rubbos_baseline(120);
+        cfg.duration = SimDuration::from_secs(10);
+        cfg.warmup = SimDuration::from_secs(2);
+        cfg.workload.ramp_up = SimDuration::from_secs(1);
+        let out = Experiment::new(cfg).unwrap().run();
+        let ms = MilliScope::ingest(&out).unwrap();
+        let contrib = ms.tier_contribution().unwrap();
+        assert_eq!(contrib.len(), 4);
+        assert!(contrib.iter().all(|&c| c >= 0.0));
+        // Locals exclude network hops, so their sum is below the mean RT.
+        let total: f64 = contrib.iter().sum();
+        assert!(total < out.run.stats.mean_rt_ms, "{total} vs {}", out.run.stats.mean_rt_ms);
+        assert!(total > 0.5, "some work happened: {contrib:?}");
+    }
+}
+
+/// SLO evaluation over the run (business framing of §I's latency-cost
+/// motivation).
+impl MilliScope {
+    /// Evaluates a latency SLO against the front-tier PIT series at the
+    /// given window width.
+    ///
+    /// # Errors
+    ///
+    /// Missing event table (monitors disabled).
+    pub fn evaluate_slo(
+        &self,
+        slo: mscope_analysis::Slo,
+        window: SimDuration,
+    ) -> Result<mscope_analysis::SloReport, CoreError> {
+        Ok(slo.evaluate(&self.pit(window)?))
+    }
+}
+
+#[cfg(test)]
+mod slo_tests {
+    use super::*;
+    use crate::experiment::Experiment;
+    use crate::scenarios::{calibrated_db_io, shorten};
+    use mscope_analysis::Slo;
+
+    #[test]
+    fn vsb_scenario_busts_a_tight_slo_but_not_a_loose_one() {
+        let cfg = shorten(calibrated_db_io(300, 3.0, 250.0), SimDuration::from_secs(15));
+        let ms = MilliScope::ingest(&Experiment::new(cfg).unwrap().run()).unwrap();
+        let w = SimDuration::from_millis(50);
+        let tight = ms
+            .evaluate_slo(Slo { threshold_ms: 100.0, target: 0.999 }, w)
+            .unwrap();
+        assert!(!tight.is_met(), "compliance {}", tight.compliance);
+        assert!(tight.budget_burn > 1.0);
+        let loose = ms
+            .evaluate_slo(Slo { threshold_ms: 1000.0, target: 0.99 }, w)
+            .unwrap();
+        assert!(loose.is_met());
+    }
+}

@@ -1,0 +1,180 @@
+//! Trace export: turn reconstructed causal paths into Chrome trace-event
+//! JSON (`chrome://tracing` / Perfetto), so the per-request execution maps
+//! milliScope reconstructs (paper Fig. 5) can be inspected visually.
+//!
+//! This is an extension beyond the paper — the modern equivalent of its
+//! "interface that is able to easily reconstruct the causal path".
+
+use mscope_analysis::RequestFlow;
+use serde_json::{json, Value as Json};
+
+/// Options for trace export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceExportOptions {
+    /// Only include flows whose front-tier response time is at least this
+    /// many milliseconds (0 = everything).
+    pub min_rt_ms: u64,
+    /// Cap on exported flows (slowest first). 0 = unlimited.
+    pub max_flows: usize,
+}
+
+/// Exports flows as a Chrome trace-event JSON document.
+///
+/// Each tier visit becomes a complete event (`ph: "X"`) on a track named
+/// after the tier; downstream waits are rendered as nested child events so
+/// local time vs downstream time is visible at a glance.
+///
+/// # Examples
+///
+/// ```
+/// use mscope_analysis::{FlowHop, RequestFlow};
+/// use mscope_core::{export_chrome_trace, TraceExportOptions};
+///
+/// let flow = RequestFlow {
+///     request_id: "00000000000A".into(),
+///     interaction: "ViewStory".into(),
+///     hops: vec![FlowHop {
+///         tier: 0, node: "tier0-0".into(), ua: 0, ud: 10_000, ds: None, dr: None,
+///     }],
+/// };
+/// let json = export_chrome_trace(&[flow], &TraceExportOptions::default());
+/// assert!(json.contains("\"ViewStory\""));
+/// ```
+pub fn export_chrome_trace(flows: &[RequestFlow], opts: &TraceExportOptions) -> String {
+    let mut selected: Vec<&RequestFlow> = flows
+        .iter()
+        .filter(|f| f.response_time_ms().unwrap_or(0.0) >= opts.min_rt_ms as f64)
+        .collect();
+    selected.sort_by(|a, b| {
+        b.response_time_ms()
+            .unwrap_or(0.0)
+            .total_cmp(&a.response_time_ms().unwrap_or(0.0))
+    });
+    if opts.max_flows > 0 {
+        selected.truncate(opts.max_flows);
+    }
+
+    let mut events: Vec<Json> = Vec::new();
+    for flow in &selected {
+        for hop in &flow.hops {
+            events.push(json!({
+                "name": flow.interaction,
+                "cat": "tier",
+                "ph": "X",
+                "ts": hop.ua,
+                "dur": (hop.ud - hop.ua).max(0),
+                "pid": 1,
+                "tid": hop.tier + 1,
+                "args": {
+                    "request_id": flow.request_id,
+                    "node": hop.node,
+                    "local_ms": hop.local_ms(),
+                }
+            }));
+            if let (Some(ds), Some(dr)) = (hop.ds, hop.dr) {
+                events.push(json!({
+                    "name": "downstream wait",
+                    "cat": "wait",
+                    "ph": "X",
+                    "ts": ds,
+                    "dur": (dr - ds).max(0),
+                    "pid": 1,
+                    "tid": hop.tier + 1,
+                    "args": { "request_id": flow.request_id }
+                }));
+            }
+        }
+    }
+    // Track names.
+    let mut meta: Vec<Json> = Vec::new();
+    let max_tier = selected
+        .iter()
+        .flat_map(|f| f.hops.iter().map(|h| h.tier))
+        .max()
+        .unwrap_or(0);
+    for tier in 0..=max_tier {
+        meta.push(json!({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tier + 1,
+            "args": { "name": format!("tier {tier}") }
+        }));
+    }
+    meta.extend(events);
+    serde_json::to_string_pretty(&json!({ "traceEvents": meta }))
+        .expect("trace json serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mscope_analysis::FlowHop;
+
+    fn flow(id: &str, rt_us: i64) -> RequestFlow {
+        RequestFlow {
+            request_id: id.into(),
+            interaction: "ViewStory".into(),
+            hops: vec![
+                FlowHop {
+                    tier: 0,
+                    node: "tier0-0".into(),
+                    ua: 0,
+                    ud: rt_us,
+                    ds: Some(100),
+                    dr: Some(rt_us - 100),
+                },
+                FlowHop {
+                    tier: 1,
+                    node: "tier1-0".into(),
+                    ua: 200,
+                    ud: rt_us - 200,
+                    ds: None,
+                    dr: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn exports_events_and_tracks() {
+        let flows = vec![flow("A", 10_000)];
+        let out = export_chrome_trace(&flows, &TraceExportOptions::default());
+        let parsed: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        let events = parsed["traceEvents"].as_array().expect("array");
+        // 2 track-name metas + 2 hops + 1 downstream wait.
+        assert_eq!(events.len(), 5);
+        assert!(out.contains("downstream wait"));
+        assert!(out.contains("tier 1"));
+    }
+
+    #[test]
+    fn filters_by_min_rt() {
+        let flows = vec![flow("FAST", 5_000), flow("SLOW", 500_000)];
+        let out = export_chrome_trace(
+            &flows,
+            &TraceExportOptions { min_rt_ms: 100, max_flows: 0 },
+        );
+        assert!(out.contains("SLOW"));
+        assert!(!out.contains("FAST"));
+    }
+
+    #[test]
+    fn caps_flow_count_slowest_first() {
+        let flows = vec![flow("A", 5_000), flow("B", 50_000), flow("C", 20_000)];
+        let out = export_chrome_trace(
+            &flows,
+            &TraceExportOptions { min_rt_ms: 0, max_flows: 1 },
+        );
+        assert!(out.contains("\"B\""));
+        assert!(!out.contains("\"A\""));
+        assert!(!out.contains("\"C\""));
+    }
+
+    #[test]
+    fn empty_flows_valid_json() {
+        let out = export_chrome_trace(&[], &TraceExportOptions::default());
+        let parsed: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        assert_eq!(parsed["traceEvents"].as_array().expect("array").len(), 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! # mscope-monitors — event & resource mScopeMonitors, SysViz tap
+//!
+//! The monitoring layer of the milliScope reproduction (paper §III-A, §IV):
+//!
+//! * [`EventMonitor`] — per-node event mScopeMonitors that render the four
+//!   execution-boundary timestamps (UA/UD/DS/DR) and the propagated request
+//!   ID into each component server's *native* log format (Apache access
+//!   log, Tomcat valve log, C-JDBC controller log, MySQL general query log
+//!   with `/*ID=…*/` comments).
+//! * [`ResourceMonitor`] — emulated SAR / IOstat / Collectl monitors that
+//!   sample node counters at sub-second periods and write faithfully
+//!   idiosyncratic text / CSV / XML logs.
+//! * [`SysVizTap`] — the passive network-tap reconstructor standing in for
+//!   Fujitsu SysViz, used as independent ground truth for accuracy
+//!   validation (Fig. 9).
+//! * [`MonitorSuite`] — the deployment plan; rendering a run through it
+//!   yields a [`LogStore`] of native logs plus the manifest that seeds the
+//!   transformer's parsing declarations.
+//! * [`OverheadReport`] — the enabled-vs-disabled overhead comparison
+//!   behind Figs. 10–11.
+//!
+//! ## Example
+//!
+//! ```
+//! use mscope_monitors::MonitorSuite;
+//! use mscope_ntier::{Simulator, SystemConfig};
+//! use mscope_sim::SimDuration;
+//!
+//! let mut cfg = SystemConfig::rubbos_baseline(50);
+//! cfg.duration = SimDuration::from_secs(4);
+//! cfg.warmup = SimDuration::from_secs(1);
+//! let out = Simulator::new(cfg)?.run();
+//! let artifacts = MonitorSuite::standard(&out.config).render(&out);
+//! assert!(artifacts.store.len() > 0);
+//! # Ok::<(), String>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod logstore;
+mod overhead;
+mod resource;
+mod suite;
+mod sysviz;
+
+pub use event::{render_event_logs, EventMonitor};
+pub use logstore::LogStore;
+pub use overhead::{NodeOverhead, OverheadReport};
+pub use resource::{ResourceMonitor, Tool};
+pub use suite::{topology_nodes, LogFileMeta, MonitoringArtifacts, MonitorKind, MonitorSuite};
+pub use sysviz::{SysVizSpan, SysVizTap, SysVizTrace, SysVizTransaction};

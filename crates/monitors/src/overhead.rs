@@ -1,0 +1,200 @@
+//! Overhead accounting: the enabled-vs-disabled comparison behind the
+//! paper's Figures 10 and 11.
+
+use mscope_ntier::{NodeId, RunOutput};
+use mscope_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Per-node overhead comparison between an instrumented and an
+/// uninstrumented run of the same workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeOverhead {
+    /// The node.
+    pub node: NodeId,
+    /// Mean CPU busy % (user+sys) with monitors enabled.
+    pub cpu_on: f64,
+    /// Mean CPU busy % with monitors disabled.
+    pub cpu_off: f64,
+    /// Mean IOWait % with monitors enabled.
+    pub iowait_on: f64,
+    /// Mean IOWait % with monitors disabled.
+    pub iowait_off: f64,
+    /// Total disk bytes written with monitors enabled.
+    pub disk_bytes_on: u64,
+    /// Total disk bytes written with monitors disabled.
+    pub disk_bytes_off: u64,
+    /// Total log bytes written with monitors enabled.
+    pub log_bytes_on: u64,
+    /// Total log bytes written with monitors disabled.
+    pub log_bytes_off: u64,
+}
+
+impl NodeOverhead {
+    /// Aggregate CPU overhead in percentage points (user+sys+iowait), the
+    /// metric of Fig. 10.
+    pub fn cpu_overhead_points(&self) -> f64 {
+        (self.cpu_on + self.iowait_on) - (self.cpu_off + self.iowait_off)
+    }
+
+    /// Ratio of instrumented to uninstrumented log volume (paper: "up to
+    /// two times").
+    pub fn log_ratio(&self) -> f64 {
+        if self.log_bytes_off == 0 {
+            return f64::INFINITY;
+        }
+        self.log_bytes_on as f64 / self.log_bytes_off as f64
+    }
+}
+
+/// System-level overhead comparison (Fig. 11's axes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverheadReport {
+    /// Workload (concurrent users) of the compared runs.
+    pub users: u32,
+    /// Throughput with monitors enabled (req/s).
+    pub throughput_on: f64,
+    /// Throughput with monitors disabled (req/s).
+    pub throughput_off: f64,
+    /// Mean response time with monitors enabled (ms).
+    pub rt_on_ms: f64,
+    /// Mean response time with monitors disabled (ms).
+    pub rt_off_ms: f64,
+    /// Per-node comparisons.
+    pub nodes: Vec<NodeOverhead>,
+}
+
+impl OverheadReport {
+    /// Builds the comparison from two runs of the same configuration except
+    /// for the monitoring switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runs have different topologies or user counts (the
+    /// comparison would be meaningless).
+    pub fn between(enabled: &RunOutput, disabled: &RunOutput) -> OverheadReport {
+        assert_eq!(
+            enabled.config.workload.users, disabled.config.workload.users,
+            "overhead comparison requires identical workloads"
+        );
+        assert_eq!(
+            enabled.config.tiers.len(),
+            disabled.config.tiers.len(),
+            "overhead comparison requires identical topologies"
+        );
+        let warm_on = SimTime::ZERO + enabled.config.warmup;
+        let warm_off = SimTime::ZERO + disabled.config.warmup;
+        let mut nodes = Vec::new();
+        for (node, log_on) in &enabled.stats.node_log_bytes {
+            let log_off = disabled
+                .stats
+                .node_log_bytes
+                .iter()
+                .find(|(n, _)| n == node)
+                .map(|(_, b)| *b)
+                .unwrap_or(0);
+            let disk_on = enabled
+                .stats
+                .node_disk_bytes
+                .iter()
+                .find(|(n, _)| n == node)
+                .map(|(_, b)| *b)
+                .unwrap_or(0);
+            let disk_off = disabled
+                .stats
+                .node_disk_bytes
+                .iter()
+                .find(|(n, _)| n == node)
+                .map(|(_, b)| *b)
+                .unwrap_or(0);
+            let mean_of = |out: &RunOutput, warm: SimTime, f: &dyn Fn(&mscope_ntier::ResourceSample) -> f64| {
+                let vals: Vec<f64> = out
+                    .samples
+                    .iter()
+                    .filter(|s| s.node == *node && s.time >= warm)
+                    .map(f)
+                    .collect();
+                if vals.is_empty() {
+                    0.0
+                } else {
+                    vals.iter().sum::<f64>() / vals.len() as f64
+                }
+            };
+            nodes.push(NodeOverhead {
+                node: *node,
+                cpu_on: mean_of(enabled, warm_on, &|s| s.cpu_user + s.cpu_sys),
+                cpu_off: mean_of(disabled, warm_off, &|s| s.cpu_user + s.cpu_sys),
+                iowait_on: mean_of(enabled, warm_on, &|s| s.cpu_iowait),
+                iowait_off: mean_of(disabled, warm_off, &|s| s.cpu_iowait),
+                disk_bytes_on: disk_on,
+                disk_bytes_off: disk_off,
+                log_bytes_on: *log_on,
+                log_bytes_off: log_off,
+            });
+        }
+        OverheadReport {
+            users: enabled.config.workload.users,
+            throughput_on: enabled.stats.throughput_rps,
+            throughput_off: disabled.stats.throughput_rps,
+            rt_on_ms: enabled.stats.mean_rt_ms,
+            rt_off_ms: disabled.stats.mean_rt_ms,
+            nodes,
+        }
+    }
+
+    /// Relative throughput loss from enabling the monitors (fraction; the
+    /// paper reports "almost no difference").
+    pub fn throughput_loss(&self) -> f64 {
+        if self.throughput_off == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.throughput_on / self.throughput_off
+    }
+
+    /// Extra latency from enabling the monitors, in ms (paper: ≈2 ms).
+    pub fn added_latency_ms(&self) -> f64 {
+        self.rt_on_ms - self.rt_off_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mscope_ntier::{Simulator, SystemConfig};
+    use mscope_sim::SimDuration;
+
+    fn run(users: u32, monitors: bool) -> RunOutput {
+        let mut cfg = SystemConfig::rubbos_baseline(users);
+        cfg.duration = SimDuration::from_secs(45);
+        cfg.warmup = SimDuration::from_secs(5);
+        cfg.workload.ramp_up = SimDuration::from_secs(2);
+        cfg.monitoring.event_monitors = monitors;
+        Simulator::new(cfg).unwrap().run()
+    }
+
+    #[test]
+    fn overhead_report_shape_matches_paper() {
+        let on = run(300, true);
+        let off = run(300, false);
+        let rep = OverheadReport::between(&on, &off);
+        assert_eq!(rep.nodes.len(), 4);
+        // Throughput ~unchanged (< 5 % difference either way).
+        assert!(rep.throughput_loss().abs() < 0.05, "loss {}", rep.throughput_loss());
+        // Log volume roughly doubles on every node.
+        for n in &rep.nodes {
+            let r = n.log_ratio();
+            assert!((1.4..3.0).contains(&r), "node {} ratio {r}", n.node);
+            // CPU overhead small and non-catastrophic.
+            assert!(n.cpu_overhead_points() > -2.0 && n.cpu_overhead_points() < 10.0);
+        }
+        // Latency increase is bounded (paper: ~2 ms at their scale).
+        assert!(rep.added_latency_ms() > -1.0 && rep.added_latency_ms() < 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical workloads")]
+    fn mismatched_runs_rejected() {
+        let a = run(100, true);
+        let b = run(200, false);
+        OverheadReport::between(&a, &b);
+    }
+}

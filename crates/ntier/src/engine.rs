@@ -1,0 +1,1424 @@
+//! The n-tier discrete-event simulation engine.
+//!
+//! Requests flow client → tier 0 → … → tier *depth−1* and back. A request
+//! holds a worker thread at every tier it is resident in — including while
+//! blocked on downstream tiers — which is exactly the mechanism that turns a
+//! very short bottleneck at the bottom of the pipeline into cross-tier queue
+//! "pushback" (paper §V, Figs. 6/8b).
+//!
+//! All four §IV-B execution-boundary timestamps are recorded for every
+//! request at every tier, both into the ground-truth [`RequestRecord`]s and
+//! as a flat [`LifecycleEvent`] stream that the event mScopeMonitors later
+//! render into native log files. Every wire message is also recorded for the
+//! SysViz-style passive tap.
+
+use crate::config::{InjectorSpec, SystemConfig};
+use crate::record::{
+    BoundaryKind, Endpoint, LifecycleEvent, MessageEvent, MsgKind, RequestRecord, ResourceSample,
+    TierSpan,
+};
+use crate::resources::{CpuModel, DiskModel, MemoryModel, PAGE_BYTES};
+use crate::types::{Interaction, NodeId, RequestId, RwKind, SessionId, TierId, TierKind};
+use crate::workload::Workload;
+use mscope_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use std::collections::VecDeque;
+
+/// Bytes of a request message on the wire (headers + small body).
+const REQ_MSG_BYTES: u64 = 420;
+/// Bytes of a reply message on the wire (rendered fragment).
+const REPLY_MSG_BYTES: u64 = 1800;
+
+/// Why a CPU burst was running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskKind {
+    /// Request processing before the downstream call. Payload: request slot.
+    Phase1(usize),
+    /// Request processing after the downstream reply. Payload: request slot.
+    Phase2(usize),
+    /// Core seized by a non-request activity.
+    Seize(SeizeKind),
+}
+
+/// What seized the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SeizeKind {
+    /// Forced dirty-page recycling (scenario B).
+    Recycle,
+    /// Stop-the-world garbage collection (extension injector).
+    Gc,
+    /// Synthetic CPU hog (extension injector).
+    Hog,
+}
+
+/// A task waiting for a CPU core.
+#[derive(Debug, Clone, Copy)]
+struct CpuTask {
+    kind: TaskKind,
+    demand: SimDuration,
+}
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A session issues its next request.
+    ClientSend(SessionId),
+    /// The open-loop arrival process fires (and reschedules itself).
+    OpenArrival,
+    /// A request message reaches the node serving `tier` for request `req`.
+    Ingress { req: usize, tier: usize },
+    /// A CPU burst completed on `node`.
+    BurstDone { node: usize, kind: TaskKind },
+    /// A downstream reply reaches the node at `tier` for request `req`.
+    ReplyArrive { req: usize, tier: usize },
+    /// The response reaches the client.
+    ClientReply { req: usize },
+    /// The DB commit-log flush on `node` finished.
+    FlushDone { node: usize },
+    /// Periodic background writeback fires on `node`.
+    WritebackStart { node: usize },
+    /// The background writeback IO on `node` completed.
+    WritebackDone { node: usize },
+    /// Periodic resource sampling tick.
+    Sample,
+    /// Periodic GC trigger for a tier.
+    Gc { tier: usize },
+    /// DVFS throttle episode starts / ends for a tier.
+    DvfsStart { tier: usize },
+    /// End of a DVFS throttle episode.
+    DvfsEnd { tier: usize },
+    /// One-shot synthetic CPU hog.
+    CpuHog { tier: usize, cores: u32, duration: SimDuration },
+    /// One-shot synthetic disk hog.
+    DiskHog { tier: usize, bytes: u64 },
+}
+
+/// Monotonic counters snapshotted at each sampling tick.
+#[derive(Debug, Clone, Copy, Default)]
+struct CounterSnapshot {
+    busy_core_us: u64,
+    iowait_core_us: u64,
+    disk_busy_us: u64,
+    disk_bytes: u64,
+    disk_ops: u64,
+    net_rx: u64,
+    net_tx: u64,
+    log_bytes: u64,
+}
+
+/// Mutable per-node runtime state.
+#[derive(Debug)]
+struct NodeState {
+    id: NodeId,
+    kind: TierKind,
+    tier_cfg: usize,
+    cpu: CpuModel,
+    disk: DiskModel,
+    mem: MemoryModel,
+    workers: usize,
+    workers_busy: usize,
+    accept_q: VecDeque<usize>,
+    cpu_q: VecDeque<CpuTask>,
+    cpu_q_front: VecDeque<CpuTask>,
+    /// Requests resident (UA recorded, UD not yet).
+    in_node: u32,
+    /// DB commit-log buffer fill, bytes.
+    log_buffer: u64,
+    flush_in_progress: bool,
+    commit_waiters: Vec<usize>,
+    /// Outstanding forced-recycle seize bursts.
+    recycle_outstanding: u32,
+    /// Outstanding GC seize bursts.
+    gc_outstanding: u32,
+    net_rx: u64,
+    net_tx: u64,
+    log_bytes: u64,
+    prev: CounterSnapshot,
+}
+
+/// Per-request build state.
+#[derive(Debug)]
+struct InFlight {
+    id: RequestId,
+    session: SessionId,
+    interaction: Interaction,
+    client_send: SimTime,
+    client_recv: Option<SimTime>,
+    status: u16,
+    depth: usize,
+    /// Node (flat index) serving each visited tier.
+    nodes: Vec<usize>,
+    spans: Vec<SpanBuild>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SpanBuild {
+    ua: Option<SimTime>,
+    ud: Option<SimTime>,
+    ds: Option<SimTime>,
+    dr: Option<SimTime>,
+}
+
+/// Aggregate statistics of the measured window, computed at finalization.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RunStats {
+    /// Requests issued over the whole run (including warm-up).
+    pub issued: u64,
+    /// Requests completed inside the measured window.
+    pub completed: u64,
+    /// Completed requests per second of measured time.
+    pub throughput_rps: f64,
+    /// Mean response time (ms) of measured completions.
+    pub mean_rt_ms: f64,
+    /// 99th percentile response time (ms).
+    pub p99_rt_ms: f64,
+    /// Maximum response time (ms).
+    pub max_rt_ms: f64,
+    /// Total log bytes written per node over the run.
+    pub node_log_bytes: Vec<(NodeId, u64)>,
+    /// Total disk bytes written per node over the run.
+    pub node_disk_bytes: Vec<(NodeId, u64)>,
+    /// Requests rejected with 503 by a full accept queue.
+    pub rejected: u64,
+}
+
+/// Everything a run produces; the input to the monitoring framework.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The configuration that produced this run.
+    pub config: SystemConfig,
+    /// Ground-truth request records (incomplete requests have empty spans).
+    pub requests: Vec<RequestRecord>,
+    /// Execution-boundary event stream, in time order.
+    pub lifecycle: Vec<LifecycleEvent>,
+    /// Every wire message, in send-time order (the passive tap's view).
+    pub messages: Vec<MessageEvent>,
+    /// Periodic resource samples for every node.
+    pub samples: Vec<ResourceSample>,
+    /// When the run ended.
+    pub end_time: SimTime,
+    /// Aggregate statistics over the measured window.
+    pub stats: RunStats,
+}
+
+/// The simulator. Construct with a validated [`SystemConfig`], then [`run`].
+///
+/// [`run`]: Simulator::run
+///
+/// # Examples
+///
+/// ```
+/// use mscope_ntier::{Simulator, SystemConfig};
+/// use mscope_sim::SimDuration;
+///
+/// let mut cfg = SystemConfig::rubbos_baseline(50);
+/// cfg.duration = SimDuration::from_secs(5);
+/// cfg.warmup = SimDuration::from_secs(2);
+/// let out = Simulator::new(cfg).expect("valid config").run();
+/// assert!(out.stats.completed > 0);
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    cfg: SystemConfig,
+    queue: EventQueue<Ev>,
+    workload: Workload,
+    nodes: Vec<NodeState>,
+    /// Flat-index of each tier's first node.
+    tier_offsets: Vec<usize>,
+    /// Round-robin dispatch pointer per tier.
+    rr_next: Vec<usize>,
+    inflight: Vec<InFlight>,
+    lifecycle: Vec<LifecycleEvent>,
+    messages: Vec<MessageEvent>,
+    samples: Vec<ResourceSample>,
+    end: SimTime,
+}
+
+impl Simulator {
+    /// Builds a simulator from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error string if the configuration is
+    /// inconsistent (see [`SystemConfig::validate`]).
+    pub fn new(cfg: SystemConfig) -> Result<Simulator, String> {
+        cfg.validate()?;
+        let mut root_rng = SimRng::seed_from(cfg.seed);
+        let workload = Workload::new(cfg.workload.clone(), root_rng.fork(1));
+
+        let mut nodes = Vec::new();
+        let mut tier_offsets = Vec::new();
+        for (ti, t) in cfg.tiers.iter().enumerate() {
+            tier_offsets.push(nodes.len());
+            for replica in 0..t.replicas {
+                nodes.push(NodeState {
+                    id: NodeId { tier: TierId(ti), replica },
+                    kind: t.kind,
+                    tier_cfg: ti,
+                    cpu: CpuModel::new(t.cores),
+                    disk: DiskModel::new(t.disk_write_bw),
+                    mem: MemoryModel::new(
+                        t.memory.total_bytes,
+                        t.memory.dirty_high_bytes,
+                        t.memory.dirty_low_bytes,
+                    ),
+                    workers: t.workers,
+                    workers_busy: 0,
+                    accept_q: VecDeque::new(),
+                    cpu_q: VecDeque::new(),
+                    cpu_q_front: VecDeque::new(),
+                    in_node: 0,
+                    log_buffer: 0,
+                    flush_in_progress: false,
+                    commit_waiters: Vec::new(),
+                    recycle_outstanding: 0,
+                    gc_outstanding: 0,
+                    net_rx: 0,
+                    net_tx: 0,
+                    log_bytes: 0,
+                    prev: CounterSnapshot::default(),
+                });
+            }
+        }
+        let rr_next = vec![0; cfg.tiers.len()];
+        let end = cfg.end_time();
+        Ok(Simulator {
+            cfg,
+            queue: EventQueue::new(),
+            workload,
+            nodes,
+            tier_offsets,
+            rr_next,
+            inflight: Vec::new(),
+            lifecycle: Vec::new(),
+            messages: Vec::new(),
+            samples: Vec::new(),
+            end,
+        })
+    }
+
+    /// Runs the experiment to completion and returns everything observed.
+    pub fn run(mut self) -> RunOutput {
+        // Seed the event queue.
+        match self.cfg.workload.arrival {
+            crate::config::ArrivalProcess::ClosedLoop => {
+                for (at, session) in self.workload.initial_arrivals() {
+                    self.queue.schedule(at, Ev::ClientSend(session));
+                }
+            }
+            crate::config::ArrivalProcess::OpenLoop { rate_rps } => {
+                let gap = self.workload.interarrival(rate_rps);
+                self.queue.schedule(SimTime::ZERO + gap, Ev::OpenArrival);
+            }
+        }
+        for ni in 0..self.nodes.len() {
+            let period = self.tier_cfg(ni).memory.writeback_period;
+            self.queue
+                .schedule(SimTime::ZERO + period, Ev::WritebackStart { node: ni });
+        }
+        self.queue
+            .schedule(SimTime::ZERO + self.cfg.sample_period, Ev::Sample);
+        let injectors = self.cfg.injectors.clone();
+        for inj in injectors {
+            match inj {
+                InjectorSpec::GcPause { tier, period, .. } => {
+                    self.queue.schedule(SimTime::ZERO + period, Ev::Gc { tier });
+                }
+                InjectorSpec::DvfsThrottle { tier, period, .. } => {
+                    self.queue
+                        .schedule(SimTime::ZERO + period, Ev::DvfsStart { tier });
+                }
+                InjectorSpec::CpuHog { tier, at, cores, duration } => {
+                    self.queue.schedule(at, Ev::CpuHog { tier, cores, duration });
+                }
+                InjectorSpec::DiskHog { tier, at, bytes } => {
+                    self.queue.schedule(at, Ev::DiskHog { tier, bytes });
+                }
+            }
+        }
+
+        // Main loop.
+        while let Some(t) = self.queue.peek_time() {
+            if t > self.end {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked event exists");
+            self.handle(now, ev);
+        }
+        self.finalize()
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::ClientSend(session) => self.client_send(now, session),
+            Ev::OpenArrival => self.open_arrival(now),
+            Ev::Ingress { req, tier } => self.ingress(now, req, tier),
+            Ev::BurstDone { node, kind } => self.burst_done(now, node, kind),
+            Ev::ReplyArrive { req, tier } => self.reply_arrive(now, req, tier),
+            Ev::ClientReply { req } => self.client_reply(now, req),
+            Ev::FlushDone { node } => self.flush_done(now, node),
+            Ev::WritebackStart { node } => self.writeback_start(now, node),
+            Ev::WritebackDone { node } => self.nodes[node].cpu.unblock_io(now),
+            Ev::Sample => self.sample(now),
+            Ev::Gc { tier } => self.gc_tick(now, tier),
+            Ev::DvfsStart { tier } => self.dvfs_start(now, tier),
+            Ev::DvfsEnd { tier } => self.dvfs_end(now, tier),
+            Ev::CpuHog { tier, cores, duration } => self.cpu_hog(now, tier, cores, duration),
+            Ev::DiskHog { tier, bytes } => self.disk_hog(now, tier, bytes),
+        }
+    }
+
+    fn tier_cfg(&self, ni: usize) -> &crate::config::TierConfig {
+        &self.cfg.tiers[self.nodes[ni].tier_cfg]
+    }
+
+    /// Picks the node serving `tier` for the next dispatch (round-robin).
+    fn pick_node(&mut self, tier: usize) -> usize {
+        let replicas = self.cfg.tiers[tier].replicas;
+        let offset = self.tier_offsets[tier];
+        let pick = self.rr_next[tier] % replicas;
+        self.rr_next[tier] = (self.rr_next[tier] + 1) % replicas;
+        offset + pick
+    }
+
+    // ------------------------------------------------------------------
+    // Client side
+    // ------------------------------------------------------------------
+
+    fn open_arrival(&mut self, now: SimTime) {
+        let crate::config::ArrivalProcess::OpenLoop { rate_rps } = self.cfg.workload.arrival
+        else {
+            return;
+        };
+        let gap = self.workload.interarrival(rate_rps);
+        self.queue.schedule(now + gap, Ev::OpenArrival);
+        // Synthetic session id: open-loop arrivals are independent.
+        let session = SessionId(self.inflight.len() as u32);
+        self.client_send(now, session);
+    }
+
+    fn client_send(&mut self, now: SimTime, session: SessionId) {
+        if now >= self.end {
+            return;
+        }
+        let interaction = self.workload.next_interaction();
+        let depth = interaction.spec().depth.min(self.cfg.tiers.len());
+        let req = self.inflight.len();
+        let front = self.pick_node(0);
+        self.inflight.push(InFlight {
+            id: RequestId(req as u64),
+            session,
+            interaction,
+            client_send: now,
+            client_recv: None,
+            status: 200,
+            depth,
+            nodes: vec![front],
+            spans: vec![SpanBuild::default()],
+        });
+        let hop = self.cfg.network.hop_latency;
+        self.messages.push(MessageEvent {
+            send_time: now,
+            recv_time: now + hop,
+            src: Endpoint::Client,
+            dst: Endpoint::Node(self.nodes[front].id),
+            request: RequestId(req as u64),
+            interaction,
+            kind: MsgKind::RequestDown,
+        });
+        self.queue.schedule(now + hop, Ev::Ingress { req, tier: 0 });
+    }
+
+    fn client_reply(&mut self, now: SimTime, req: usize) {
+        let r = &mut self.inflight[req];
+        r.client_recv = Some(now);
+        let session = r.session;
+        if matches!(self.cfg.workload.arrival, crate::config::ArrivalProcess::ClosedLoop) {
+            let think = self.workload.think_time();
+            self.queue.schedule(now + think, Ev::ClientSend(session));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Node request path
+    // ------------------------------------------------------------------
+
+    fn boundary(&mut self, now: SimTime, ni: usize, req: usize, kind: BoundaryKind) {
+        self.lifecycle.push(LifecycleEvent {
+            time: now,
+            node: self.nodes[ni].id,
+            kind: self.nodes[ni].kind,
+            request: self.inflight[req].id,
+            interaction: self.inflight[req].interaction,
+            boundary: kind,
+            status: self.inflight[req].status,
+        });
+    }
+
+    fn ingress(&mut self, now: SimTime, req: usize, tier: usize) {
+        let ni = self.inflight[req].nodes[tier];
+        // Listen-backlog overflow: reject with 503 before admission.
+        let limit = self.cfg.tiers[tier].accept_limit;
+        {
+            let node = &self.nodes[ni];
+            if let Some(limit) = limit {
+                if node.workers_busy >= node.workers && node.accept_q.len() >= limit {
+                    self.reject(now, ni, req, tier);
+                    return;
+                }
+            }
+        }
+        self.inflight[req].spans[tier].ua = Some(now);
+        self.boundary(now, ni, req, BoundaryKind::UpstreamArrival);
+        let node = &mut self.nodes[ni];
+        node.in_node += 1;
+        node.net_rx += REQ_MSG_BYTES;
+        if node.workers_busy < node.workers {
+            self.admit(now, ni, req);
+        } else {
+            self.nodes[ni].accept_q.push_back(req);
+        }
+    }
+
+    /// Rejects a request at a full accept queue: the server writes a 503
+    /// log line (real servers log rejected requests too) and the error
+    /// travels back up the normal reply path.
+    fn reject(&mut self, now: SimTime, ni: usize, req: usize, tier: usize) {
+        self.inflight[req].status = 503;
+        self.inflight[req].spans[tier].ua = Some(now);
+        self.inflight[req].spans[tier].ud = Some(now);
+        self.boundary(now, ni, req, BoundaryKind::UpstreamArrival);
+        self.boundary(now, ni, req, BoundaryKind::UpstreamDeparture);
+        let tcfg = &self.cfg.tiers[tier];
+        let mut bytes = tcfg.base_log_bytes;
+        if self.cfg.monitoring.event_monitors {
+            bytes += self.cfg.monitoring.per_record_bytes;
+        }
+        let mem_cfg = tcfg.memory.clone();
+        let node = &mut self.nodes[ni];
+        node.log_bytes += bytes;
+        node.net_rx += REQ_MSG_BYTES;
+        node.net_tx += REPLY_MSG_BYTES;
+        if node.mem.write(bytes) {
+            self.start_recycle(now, ni, &mem_cfg);
+        }
+        let hop = self.cfg.network.hop_latency;
+        let (dst, event): (Endpoint, Ev) = if tier == 0 {
+            (Endpoint::Client, Ev::ClientReply { req })
+        } else {
+            let up_node = self.inflight[req].nodes[tier - 1];
+            (
+                Endpoint::Node(self.nodes[up_node].id),
+                Ev::ReplyArrive { req, tier: tier - 1 },
+            )
+        };
+        self.messages.push(MessageEvent {
+            send_time: now,
+            recv_time: now + hop,
+            src: Endpoint::Node(self.nodes[ni].id),
+            dst,
+            request: self.inflight[req].id,
+            interaction: self.inflight[req].interaction,
+            kind: MsgKind::ReplyUp,
+        });
+        self.queue.schedule(now + hop, event);
+    }
+
+    fn admit(&mut self, now: SimTime, ni: usize, req: usize) {
+        self.nodes[ni].workers_busy += 1;
+        let tier = self.nodes[ni].tier_cfg;
+        let tcfg = &self.cfg.tiers[tier];
+        let spec = self.inflight[req].interaction.spec();
+        let mut mean = tcfg.base_demand.mul_f64(spec.demand_factor);
+        if spec.rw == RwKind::Write {
+            mean += tcfg.write_demand_extra;
+        }
+        let mut demand = self.workload.demand(mean, tcfg.demand_cv);
+        demand += self.monitor_cpu(tcfg.kind);
+        self.enqueue_cpu(now, ni, TaskKind::Phase1(req), demand, false);
+    }
+
+    /// Event-monitor CPU cost per request record at a node of this kind.
+    fn monitor_cpu(&self, kind: TierKind) -> SimDuration {
+        if !self.cfg.monitoring.event_monitors {
+            return SimDuration::ZERO;
+        }
+        let base = self.cfg.monitoring.per_record_cpu;
+        if kind == TierKind::Tomcat {
+            base.mul_f64(self.cfg.monitoring.tomcat_cpu_multiplier)
+        } else {
+            base
+        }
+    }
+
+    fn enqueue_cpu(
+        &mut self,
+        now: SimTime,
+        ni: usize,
+        kind: TaskKind,
+        demand: SimDuration,
+        front: bool,
+    ) {
+        let node = &mut self.nodes[ni];
+        if let Some(done) = node.cpu.try_start(now, demand) {
+            self.queue.schedule(done, Ev::BurstDone { node: ni, kind });
+        } else if front {
+            node.cpu_q_front.push_back(CpuTask { kind, demand });
+        } else {
+            node.cpu_q.push_back(CpuTask { kind, demand });
+        }
+    }
+
+    fn burst_done(&mut self, now: SimTime, ni: usize, kind: TaskKind) {
+        self.nodes[ni].cpu.finish(now);
+        // Hand the freed core to the next queued task (priority first).
+        let next = {
+            let node = &mut self.nodes[ni];
+            node.cpu_q_front.pop_front().or_else(|| node.cpu_q.pop_front())
+        };
+        if let Some(task) = next {
+            let done = self.nodes[ni]
+                .cpu
+                .try_start(now, task.demand)
+                .expect("core was just freed");
+            self.queue
+                .schedule(done, Ev::BurstDone { node: ni, kind: task.kind });
+        }
+        match kind {
+            TaskKind::Phase1(req) => self.phase1_done(now, ni, req),
+            TaskKind::Phase2(req) => self.complete_tier(now, ni, req),
+            TaskKind::Seize(SeizeKind::Recycle) => {
+                let node = &mut self.nodes[ni];
+                node.recycle_outstanding -= 1;
+                if node.recycle_outstanding == 0 {
+                    node.mem.end_recycle();
+                }
+            }
+            TaskKind::Seize(SeizeKind::Gc) => {
+                self.nodes[ni].gc_outstanding -= 1;
+            }
+            TaskKind::Seize(SeizeKind::Hog) => {}
+        }
+    }
+
+    fn phase1_done(&mut self, now: SimTime, ni: usize, req: usize) {
+        let tier = self.nodes[ni].tier_cfg;
+        let depth = self.inflight[req].depth;
+        if tier + 1 < depth {
+            // Forward downstream; the worker stays held.
+            let next_node = self.pick_node(tier + 1);
+            let r = &mut self.inflight[req];
+            r.nodes.push(next_node);
+            r.spans.push(SpanBuild::default());
+            r.spans[tier].ds = Some(now);
+            self.boundary(now, ni, req, BoundaryKind::DownstreamSending);
+            let hop = self.cfg.network.hop_latency;
+            self.nodes[ni].net_tx += REQ_MSG_BYTES;
+            self.messages.push(MessageEvent {
+                send_time: now,
+                recv_time: now + hop,
+                src: Endpoint::Node(self.nodes[ni].id),
+                dst: Endpoint::Node(self.nodes[next_node].id),
+                request: self.inflight[req].id,
+                interaction: self.inflight[req].interaction,
+                kind: MsgKind::RequestDown,
+            });
+            self.queue
+                .schedule(now + hop, Ev::Ingress { req, tier: tier + 1 });
+        } else {
+            // Deepest tier for this request: commit (DB tiers) then reply.
+            if self.try_commit(now, ni, req) {
+                self.complete_tier(now, ni, req);
+            }
+        }
+    }
+
+    /// Handles the commit-log append for write interactions at the deepest
+    /// tier. Returns `true` if the request can complete now, `false` if it
+    /// joined the flush wait group (it will complete from [`flush_done`]).
+    ///
+    /// [`flush_done`]: Simulator::flush_done
+    fn try_commit(&mut self, now: SimTime, ni: usize, req: usize) -> bool {
+        let tier = self.nodes[ni].tier_cfg;
+        let tcfg = &self.cfg.tiers[tier];
+        let Some(flush) = tcfg.log_flush.clone() else {
+            return true;
+        };
+        let is_write =
+            self.inflight[req].interaction.rw() == RwKind::Write && tcfg.commit_bytes > 0;
+        if is_write {
+            self.nodes[ni].log_buffer += tcfg.commit_bytes;
+        }
+        let node = &mut self.nodes[ni];
+        if node.flush_in_progress {
+            // Writes stall on group commit; reads stall when checkpoint IO
+            // starves the buffer pool (the full §V-A effect).
+            let stalls = if is_write { flush.stall_writes } else { flush.stall_reads };
+            if stalls {
+                node.commit_waiters.push(req);
+                node.cpu.block_on_io(now);
+                return false;
+            }
+            return true;
+        }
+        if is_write && node.log_buffer >= flush.buffer_threshold {
+            let bytes = node.log_buffer;
+            node.log_buffer = 0;
+            node.flush_in_progress = true;
+            let done = node.disk.submit_write_at_rate(now, bytes, flush.flush_rate);
+            self.queue.schedule(done, Ev::FlushDone { node: ni });
+            if flush.stall_writes {
+                let node = &mut self.nodes[ni];
+                node.commit_waiters.push(req);
+                node.cpu.block_on_io(now);
+                return false;
+            }
+        }
+        true
+    }
+
+    fn flush_done(&mut self, now: SimTime, ni: usize) {
+        self.nodes[ni].flush_in_progress = false;
+        let waiters = std::mem::take(&mut self.nodes[ni].commit_waiters);
+        for req in waiters {
+            self.nodes[ni].cpu.unblock_io(now);
+            self.complete_tier(now, ni, req);
+        }
+        // Commits that arrived mid-flush may already refill the buffer.
+        let tier = self.nodes[ni].tier_cfg;
+        if let Some(flush) = self.cfg.tiers[tier].log_flush.clone() {
+            let node = &mut self.nodes[ni];
+            if node.log_buffer >= flush.buffer_threshold {
+                let bytes = node.log_buffer;
+                node.log_buffer = 0;
+                node.flush_in_progress = true;
+                let done = node.disk.submit_write_at_rate(now, bytes, flush.flush_rate);
+                self.queue.schedule(done, Ev::FlushDone { node: ni });
+            }
+        }
+    }
+
+    /// Completes a request's residence at a tier: records UD, writes the log
+    /// record, frees the worker, admits the next queued request, and sends
+    /// the reply upstream.
+    fn complete_tier(&mut self, now: SimTime, ni: usize, req: usize) {
+        let tier = self.nodes[ni].tier_cfg;
+        self.inflight[req].spans[tier].ud = Some(now);
+        self.boundary(now, ni, req, BoundaryKind::UpstreamDeparture);
+
+        // Native log write (+ monitor record when instrumented).
+        let tcfg = &self.cfg.tiers[tier];
+        let mut bytes = tcfg.base_log_bytes;
+        if self.cfg.monitoring.event_monitors {
+            bytes += self.cfg.monitoring.per_record_bytes;
+        }
+        let mem_cfg = tcfg.memory.clone();
+        let node = &mut self.nodes[ni];
+        node.log_bytes += bytes;
+        if node.mem.write(bytes) {
+            self.start_recycle(now, ni, &mem_cfg);
+        }
+
+        let node = &mut self.nodes[ni];
+        node.in_node -= 1;
+        node.workers_busy -= 1;
+        node.net_tx += REPLY_MSG_BYTES;
+        if let Some(next_req) = node.accept_q.pop_front() {
+            self.admit(now, ni, next_req);
+        }
+
+        let hop = self.cfg.network.hop_latency;
+        let (dst, event): (Endpoint, Ev) = if tier == 0 {
+            (Endpoint::Client, Ev::ClientReply { req })
+        } else {
+            let up_node = self.inflight[req].nodes[tier - 1];
+            (
+                Endpoint::Node(self.nodes[up_node].id),
+                Ev::ReplyArrive { req, tier: tier - 1 },
+            )
+        };
+        self.messages.push(MessageEvent {
+            send_time: now,
+            recv_time: now + hop,
+            src: Endpoint::Node(self.nodes[ni].id),
+            dst,
+            request: self.inflight[req].id,
+            interaction: self.inflight[req].interaction,
+            kind: MsgKind::ReplyUp,
+        });
+        self.queue.schedule(now + hop, event);
+    }
+
+    fn reply_arrive(&mut self, now: SimTime, req: usize, tier: usize) {
+        let ni = self.inflight[req].nodes[tier];
+        self.inflight[req].spans[tier].dr = Some(now);
+        self.boundary(now, ni, req, BoundaryKind::DownstreamReceiving);
+        self.nodes[ni].net_rx += REPLY_MSG_BYTES;
+        let tcfg = &self.cfg.tiers[tier];
+        let mean = tcfg.phase2_demand;
+        let cv = tcfg.demand_cv;
+        let demand = self.workload.demand(mean, cv);
+        self.enqueue_cpu(now, ni, TaskKind::Phase2(req), demand, false);
+    }
+
+    // ------------------------------------------------------------------
+    // Memory / writeback / injectors
+    // ------------------------------------------------------------------
+
+    fn start_recycle(&mut self, now: SimTime, ni: usize, mem_cfg: &crate::config::MemoryConfig) {
+        let node = &mut self.nodes[ni];
+        let drained = node.mem.begin_recycle();
+        if drained == 0 {
+            node.mem.end_recycle();
+            return;
+        }
+        let dur = SimDuration::from_secs_f64(drained as f64 / mem_cfg.recycle_rate);
+        let cores = mem_cfg.recycle_cores.min(node.cpu.cores()).max(1);
+        node.recycle_outstanding = cores;
+        node.disk.submit_write(now, drained);
+        for _ in 0..cores {
+            self.enqueue_cpu(now, ni, TaskKind::Seize(SeizeKind::Recycle), dur, true);
+        }
+    }
+
+    fn writeback_start(&mut self, now: SimTime, ni: usize) {
+        let mem_cfg = self.tier_cfg(ni).memory.clone();
+        let node = &mut self.nodes[ni];
+        let drained = node.mem.background_writeback(mem_cfg.writeback_max_bytes);
+        if drained > 0 {
+            let done = node.disk.submit_write(now, drained);
+            node.cpu.block_on_io(now);
+            self.queue.schedule(done, Ev::WritebackDone { node: ni });
+        }
+        self.queue
+            .schedule(now + mem_cfg.writeback_period, Ev::WritebackStart { node: ni });
+    }
+
+    fn gc_tick(&mut self, now: SimTime, tier: usize) {
+        let Some(InjectorSpec::GcPause { period, pause, .. }) = self
+            .cfg
+            .injectors
+            .iter()
+            .find(|i| matches!(i, InjectorSpec::GcPause { tier: t, .. } if *t == tier))
+            .cloned()
+        else {
+            return;
+        };
+        let (start, count) = (self.tier_offsets[tier], self.cfg.tiers[tier].replicas);
+        for ni in start..start + count {
+            let cores = self.nodes[ni].cpu.cores();
+            self.nodes[ni].gc_outstanding += cores;
+            for _ in 0..cores {
+                self.enqueue_cpu(now, ni, TaskKind::Seize(SeizeKind::Gc), pause, true);
+            }
+        }
+        self.queue.schedule(now + period, Ev::Gc { tier });
+    }
+
+    fn dvfs_start(&mut self, now: SimTime, tier: usize) {
+        let Some(InjectorSpec::DvfsThrottle { period, slow_factor, duration, .. }) = self
+            .cfg
+            .injectors
+            .iter()
+            .find(|i| matches!(i, InjectorSpec::DvfsThrottle { tier: t, .. } if *t == tier))
+            .cloned()
+        else {
+            return;
+        };
+        let (start, count) = (self.tier_offsets[tier], self.cfg.tiers[tier].replicas);
+        for ni in start..start + count {
+            self.nodes[ni].cpu.set_speed(now, slow_factor);
+        }
+        self.queue.schedule(now + duration, Ev::DvfsEnd { tier });
+        self.queue.schedule(now + period, Ev::DvfsStart { tier });
+    }
+
+    fn dvfs_end(&mut self, now: SimTime, tier: usize) {
+        let (start, count) = (self.tier_offsets[tier], self.cfg.tiers[tier].replicas);
+        for ni in start..start + count {
+            self.nodes[ni].cpu.set_speed(now, 1.0);
+        }
+    }
+
+    fn cpu_hog(&mut self, now: SimTime, tier: usize, cores: u32, duration: SimDuration) {
+        let (start, count) = (self.tier_offsets[tier], self.cfg.tiers[tier].replicas);
+        for ni in start..start + count {
+            let n = cores.min(self.nodes[ni].cpu.cores());
+            for _ in 0..n {
+                self.enqueue_cpu(now, ni, TaskKind::Seize(SeizeKind::Hog), duration, true);
+            }
+        }
+    }
+
+    fn disk_hog(&mut self, now: SimTime, tier: usize, bytes: u64) {
+        let (start, count) = (self.tier_offsets[tier], self.cfg.tiers[tier].replicas);
+        for ni in start..start + count {
+            self.nodes[ni].disk.submit_write(now, bytes);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sampling & finalization
+    // ------------------------------------------------------------------
+
+    fn sample(&mut self, now: SimTime) {
+        let interval_us = self.cfg.sample_period.as_micros() as f64;
+        for node in &mut self.nodes {
+            node.cpu.accumulate(now);
+            node.disk.accumulate(now);
+            let snap = CounterSnapshot {
+                busy_core_us: node.cpu.busy_core_us(),
+                iowait_core_us: node.cpu.iowait_core_us(),
+                disk_busy_us: node.disk.busy_us(),
+                disk_bytes: node.disk.bytes_written(),
+                disk_ops: node.disk.ops(),
+                net_rx: node.net_rx,
+                net_tx: node.net_tx,
+                log_bytes: node.log_bytes,
+            };
+            let d = |a: u64, b: u64| a.saturating_sub(b) as f64;
+            let capacity = node.cpu.cores() as f64 * interval_us;
+            let busy_pct = 100.0 * d(snap.busy_core_us, node.prev.busy_core_us) / capacity;
+            let iowait_pct =
+                100.0 * d(snap.iowait_core_us, node.prev.iowait_core_us) / capacity;
+            // An 82/18 user/sys split approximates web-serving workloads.
+            let cpu_user = busy_pct * 0.82;
+            let cpu_sys = busy_pct * 0.18;
+            let cpu_idle = (100.0 - busy_pct - iowait_pct).max(0.0);
+            let disk_util = (100.0 * d(snap.disk_busy_us, node.prev.disk_busy_us)
+                / interval_us)
+                .min(100.0);
+            self.samples.push(ResourceSample {
+                time: now,
+                node: node.id,
+                kind: node.kind,
+                cpu_user,
+                cpu_sys,
+                cpu_iowait: iowait_pct,
+                cpu_idle,
+                disk_util,
+                disk_write_bytes: snap.disk_bytes - node.prev.disk_bytes,
+                disk_ops: snap.disk_ops - node.prev.disk_ops,
+                dirty_pages: node.mem.dirty_bytes() / PAGE_BYTES,
+                mem_used_bytes: node.mem.used_bytes(),
+                net_rx_bytes: snap.net_rx - node.prev.net_rx,
+                net_tx_bytes: snap.net_tx - node.prev.net_tx,
+                queue_len: node.in_node,
+                active_workers: node.workers_busy as u32,
+                log_bytes: snap.log_bytes - node.prev.log_bytes,
+            });
+            node.prev = snap;
+        }
+        let next = now + self.cfg.sample_period;
+        if next <= self.end {
+            self.queue.schedule(next, Ev::Sample);
+        }
+    }
+
+    fn finalize(self) -> RunOutput {
+        let warm_start = SimTime::ZERO + self.cfg.warmup;
+        let mut requests = Vec::with_capacity(self.inflight.len());
+        let mut rts_ms: Vec<f64> = Vec::new();
+        let mut completed = 0u64;
+        for f in &self.inflight {
+            let complete = f.client_recv.is_some();
+            let spans = if complete {
+                f.spans
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| TierSpan {
+                        node: self.nodes[f.nodes[i]].id,
+                        upstream_arrival: s.ua.expect("complete request has UA"),
+                        upstream_departure: s.ud.expect("complete request has UD"),
+                        downstream_sending: s.ds,
+                        downstream_receiving: s.dr,
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            if complete && f.client_send >= warm_start {
+                completed += 1;
+                rts_ms.push(
+                    (f.client_recv.expect("checked complete") - f.client_send).as_millis_f64(),
+                );
+            }
+            requests.push(RequestRecord {
+                id: f.id,
+                session: f.session,
+                interaction: f.interaction,
+                client_send: f.client_send,
+                client_recv: f.client_recv,
+                status: f.status,
+                spans,
+            });
+        }
+        let rejected = self.inflight.iter().filter(|f| f.status == 503).count() as u64;
+        let measured_secs = self.cfg.duration.as_secs_f64();
+        let stats = RunStats {
+            issued: self.inflight.len() as u64,
+            completed,
+            throughput_rps: completed as f64 / measured_secs,
+            mean_rt_ms: mscope_sim::Summary::of(&rts_ms).map_or(0.0, |s| s.mean),
+            p99_rt_ms: mscope_sim::percentile(&rts_ms, 99.0).unwrap_or(0.0),
+            max_rt_ms: mscope_sim::Summary::of(&rts_ms).map_or(0.0, |s| s.max),
+            node_log_bytes: self.nodes.iter().map(|n| (n.id, n.log_bytes)).collect(),
+            node_disk_bytes: self
+                .nodes
+                .iter()
+                .map(|n| (n.id, n.disk.bytes_written()))
+                .collect(),
+            rejected,
+        };
+        RunOutput {
+            config: self.cfg,
+            requests,
+            lifecycle: self.lifecycle,
+            messages: self.messages,
+            samples: self.samples,
+            end_time: self.end,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+
+    fn short_cfg(users: u32) -> SystemConfig {
+        let mut cfg = SystemConfig::rubbos_baseline(users);
+        cfg.duration = SimDuration::from_secs(8);
+        cfg.warmup = SimDuration::from_secs(3);
+        cfg.workload.ramp_up = SimDuration::from_secs(2);
+        cfg
+    }
+
+    #[test]
+    fn baseline_run_completes_requests() {
+        let out = Simulator::new(short_cfg(100)).unwrap().run();
+        assert!(out.stats.completed > 30, "completed {}", out.stats.completed);
+        assert!(out.stats.issued >= out.stats.completed);
+        assert!(out.stats.mean_rt_ms > 0.5 && out.stats.mean_rt_ms < 100.0,
+            "mean rt {}", out.stats.mean_rt_ms);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = Simulator::new(short_cfg(60)).unwrap().run();
+        let b = Simulator::new(short_cfg(60)).unwrap().run();
+        assert_eq!(a.stats.completed, b.stats.completed);
+        assert_eq!(a.requests.len(), b.requests.len());
+        assert_eq!(a.lifecycle.len(), b.lifecycle.len());
+        assert_eq!(
+            a.requests.last().map(|r| r.client_recv),
+            b.requests.last().map(|r| r.client_recv)
+        );
+    }
+
+    #[test]
+    fn different_seed_changes_run() {
+        let mut cfg = short_cfg(60);
+        cfg.seed = 999;
+        let a = Simulator::new(short_cfg(60)).unwrap().run();
+        let b = Simulator::new(cfg).unwrap().run();
+        assert_ne!(
+            a.requests.iter().filter_map(|r| r.client_recv).collect::<Vec<_>>(),
+            b.requests.iter().filter_map(|r| r.client_recv).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn completed_requests_are_causally_ordered() {
+        let out = Simulator::new(short_cfg(80)).unwrap().run();
+        let mut checked = 0;
+        for r in out.requests.iter().filter(|r| r.is_complete()) {
+            assert!(r.is_causally_ordered(), "request {:?} out of order", r.id);
+            checked += 1;
+        }
+        assert!(checked > 30);
+    }
+
+    #[test]
+    fn depth_one_requests_touch_only_web_tier() {
+        let out = Simulator::new(short_cfg(80)).unwrap().run();
+        let statics: Vec<_> = out
+            .requests
+            .iter()
+            .filter(|r| r.is_complete() && r.interaction.spec().depth == 1)
+            .collect();
+        assert!(!statics.is_empty(), "mix should include static pages");
+        for r in &statics {
+            assert_eq!(r.spans.len(), 1);
+            assert_eq!(r.spans[0].node.tier, TierId(0));
+            assert_eq!(r.spans[0].downstream_sending, None);
+        }
+    }
+
+    #[test]
+    fn full_depth_requests_have_four_spans() {
+        let out = Simulator::new(short_cfg(80)).unwrap().run();
+        let deep = out
+            .requests
+            .iter()
+            .find(|r| r.is_complete() && r.interaction.spec().depth == 4)
+            .expect("some deep request completes");
+        assert_eq!(deep.spans.len(), 4);
+        for (i, s) in deep.spans.iter().enumerate() {
+            assert_eq!(s.node.tier, TierId(i));
+        }
+        // The three upper tiers all made downstream calls; the DB did not.
+        assert!(deep.spans[..3].iter().all(|s| s.downstream_sending.is_some()));
+        assert!(deep.spans[3].downstream_sending.is_none());
+    }
+
+    #[test]
+    fn lifecycle_events_are_time_ordered_and_match_spans() {
+        let out = Simulator::new(short_cfg(50)).unwrap().run();
+        assert!(out
+            .lifecycle
+            .windows(2)
+            .all(|w| w[0].time <= w[1].time));
+        // Each complete 4-deep request yields 4 UA + 4 UD + 3 DS + 3 DR = 14.
+        let some = out
+            .requests
+            .iter()
+            .find(|r| r.is_complete() && r.spans.len() == 4)
+            .unwrap();
+        let events: Vec<_> = out
+            .lifecycle
+            .iter()
+            .filter(|e| e.request == some.id)
+            .collect();
+        assert_eq!(events.len(), 14);
+    }
+
+    #[test]
+    fn messages_pair_up_and_respect_hop_latency() {
+        let out = Simulator::new(short_cfg(50)).unwrap().run();
+        let hop = out.config.network.hop_latency;
+        for m in &out.messages {
+            assert_eq!(m.recv_time - m.send_time, hop);
+        }
+        // Down and up messages balance for complete requests.
+        let some = out
+            .requests
+            .iter()
+            .find(|r| r.is_complete() && r.spans.len() == 4)
+            .unwrap();
+        let down = out
+            .messages
+            .iter()
+            .filter(|m| m.request == some.id && m.kind == MsgKind::RequestDown)
+            .count();
+        let up = out
+            .messages
+            .iter()
+            .filter(|m| m.request == some.id && m.kind == MsgKind::ReplyUp)
+            .count();
+        assert_eq!(down, 4);
+        assert_eq!(up, 4);
+    }
+
+    #[test]
+    fn samples_cover_all_nodes_periodically() {
+        let out = Simulator::new(short_cfg(50)).unwrap().run();
+        let nodes = out.config.node_count();
+        assert_eq!(out.samples.len() % nodes, 0);
+        let per_node = out.samples.len() / nodes;
+        // 11 s run, 50 ms period → ~220 ticks.
+        assert!(per_node > 200, "got {per_node} samples per node");
+        for s in &out.samples {
+            assert!(s.cpu_user >= 0.0 && s.cpu_idle >= 0.0);
+            assert!(s.cpu_user + s.cpu_sys + s.cpu_iowait + s.cpu_idle <= 101.0);
+            assert!(s.disk_util >= 0.0 && s.disk_util <= 100.0);
+        }
+    }
+
+    #[test]
+    fn monitors_double_log_volume() {
+        let mut on = short_cfg(100);
+        on.monitoring = crate::config::MonitoringConfig::enabled();
+        let mut off = short_cfg(100);
+        off.monitoring = crate::config::MonitoringConfig::disabled();
+        let out_on = Simulator::new(on).unwrap().run();
+        let out_off = Simulator::new(off).unwrap().run();
+        let total_on: u64 = out_on.stats.node_log_bytes.iter().map(|(_, b)| b).sum();
+        let total_off: u64 = out_off.stats.node_log_bytes.iter().map(|(_, b)| b).sum();
+        let ratio = total_on as f64 / total_off as f64;
+        assert!(
+            (1.6..2.8).contains(&ratio),
+            "monitor log ratio {ratio}, paper reports ~2x"
+        );
+    }
+
+    #[test]
+    fn db_flush_scenario_produces_vlrt() {
+        let mut cfg = SystemConfig::scenario_db_io(400);
+        // Shrink the flush threshold so the short test run triggers it.
+        cfg.duration = SimDuration::from_secs(15);
+        cfg.warmup = SimDuration::from_secs(3);
+        cfg.workload.ramp_up = SimDuration::from_secs(2);
+        cfg.tiers[3].log_flush.as_mut().unwrap().buffer_threshold = 256 << 10;
+        cfg.tiers[3].log_flush.as_mut().unwrap().flush_rate = 2e6;
+        let out = Simulator::new(cfg).unwrap().run();
+        assert!(
+            out.stats.max_rt_ms > 8.0 * out.stats.mean_rt_ms,
+            "expected VLRTs: max {} vs mean {}",
+            out.stats.max_rt_ms,
+            out.stats.mean_rt_ms
+        );
+    }
+
+    #[test]
+    fn dirty_page_scenario_saturates_cpu() {
+        let mut cfg = SystemConfig::scenario_dirty_page(400);
+        cfg.duration = SimDuration::from_secs(15);
+        cfg.warmup = SimDuration::from_secs(3);
+        cfg.workload.ramp_up = SimDuration::from_secs(2);
+        // Scale thresholds down to the test's lower log volume.
+        cfg.tiers[0].memory.dirty_high_bytes = 120_000;
+        cfg.tiers[0].memory.dirty_low_bytes = 0;
+        cfg.tiers[0].memory.recycle_rate = 1e6;
+        let out = Simulator::new(cfg).unwrap().run();
+        let apache_sat = out
+            .samples
+            .iter()
+            .filter(|s| s.kind == TierKind::Apache)
+            .any(|s| s.cpu_user + s.cpu_sys > 90.0);
+        assert!(apache_sat, "expected an Apache CPU-saturated sample");
+        // Dirty pages must rise and then abruptly drop (Fig. 8d shape).
+        let dirty: Vec<u64> = out
+            .samples
+            .iter()
+            .filter(|s| s.kind == TierKind::Apache)
+            .map(|s| s.dirty_pages)
+            .collect();
+        let max = *dirty.iter().max().unwrap();
+        let drops = dirty.windows(2).any(|w| w[1] + max / 2 < w[0]);
+        assert!(drops, "expected an abrupt dirty-page drop, series max {max}");
+    }
+
+    #[test]
+    fn gc_injector_pauses_tier() {
+        let mut cfg = short_cfg(80);
+        cfg.injectors.push(InjectorSpec::GcPause {
+            tier: 1,
+            period: SimDuration::from_secs(3),
+            pause: SimDuration::from_millis(400),
+        });
+        let out = Simulator::new(cfg).unwrap().run();
+        // During pauses the Tomcat CPU is fully seized.
+        let sat = out
+            .samples
+            .iter()
+            .filter(|s| s.kind == TierKind::Tomcat)
+            .any(|s| s.cpu_user + s.cpu_sys > 95.0);
+        assert!(sat, "GC should saturate Tomcat CPU");
+        let base = Simulator::new(short_cfg(80)).unwrap().run();
+        assert!(out.stats.max_rt_ms > base.stats.max_rt_ms);
+    }
+
+    #[test]
+    fn cpu_hog_injector_delays_requests() {
+        let mut cfg = short_cfg(80);
+        cfg.injectors.push(InjectorSpec::CpuHog {
+            tier: 0,
+            at: SimTime::from_secs(5),
+            cores: 2,
+            duration: SimDuration::from_millis(800),
+        });
+        let hogged = Simulator::new(cfg).unwrap().run();
+        let base = Simulator::new(short_cfg(80)).unwrap().run();
+        assert!(hogged.stats.max_rt_ms > base.stats.max_rt_ms + 100.0,
+            "hog {} vs base {}", hogged.stats.max_rt_ms, base.stats.max_rt_ms);
+    }
+
+    #[test]
+    fn disk_hog_injector_saturates_disk() {
+        let mut cfg = short_cfg(50);
+        cfg.injectors.push(InjectorSpec::DiskHog {
+            tier: 3,
+            at: SimTime::from_secs(5),
+            bytes: 200 << 20,
+        });
+        let out = Simulator::new(cfg).unwrap().run();
+        let sat = out
+            .samples
+            .iter()
+            .filter(|s| s.kind == TierKind::Mysql)
+            .any(|s| s.disk_util > 95.0);
+        assert!(sat, "disk hog should saturate the MySQL disk");
+    }
+
+    #[test]
+    fn dvfs_injector_slows_tier() {
+        let mut cfg = short_cfg(80);
+        cfg.injectors.push(InjectorSpec::DvfsThrottle {
+            tier: 1,
+            period: SimDuration::from_secs(2),
+            slow_factor: 0.25,
+            duration: SimDuration::from_millis(700),
+        });
+        let throttled = Simulator::new(cfg).unwrap().run();
+        let base = Simulator::new(short_cfg(80)).unwrap().run();
+        assert!(throttled.stats.mean_rt_ms > base.stats.mean_rt_ms);
+    }
+
+    #[test]
+    fn replicated_tier_round_robins() {
+        let mut cfg = short_cfg(80);
+        cfg.tiers[1].replicas = 2;
+        let out = Simulator::new(cfg).unwrap().run();
+        let mut replica_seen = [false; 2];
+        for r in out.requests.iter().filter(|r| r.spans.len() >= 2) {
+            replica_seen[r.spans[1].node.replica] = true;
+        }
+        assert_eq!(replica_seen, [true, true], "both Tomcat replicas serve traffic");
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut cfg = short_cfg(10);
+        cfg.tiers[0].cores = 0;
+        assert!(Simulator::new(cfg).is_err());
+    }
+}
+
+#[cfg(test)]
+mod topology_tests {
+    use super::*;
+    use crate::config::SystemConfig;
+
+    fn short(mut cfg: SystemConfig) -> SystemConfig {
+        cfg.duration = SimDuration::from_secs(8);
+        cfg.warmup = SimDuration::from_secs(2);
+        cfg.workload.ramp_up = SimDuration::from_secs(1);
+        cfg
+    }
+
+    #[test]
+    fn fig1_replicated_topology_balances_load() {
+        let out = Simulator::new(short(SystemConfig::rubbos_replicated(200)))
+            .unwrap()
+            .run();
+        assert_eq!(out.config.node_count(), 6, "1+2+1+2 nodes");
+        // Both Tomcat and both MySQL replicas serve a comparable share.
+        for tier in [1usize, 3] {
+            let mut counts = [0usize; 2];
+            for r in out.requests.iter().filter(|r| r.spans.len() > tier) {
+                counts[r.spans[tier].node.replica] += 1;
+            }
+            let total = counts[0] + counts[1];
+            assert!(total > 50, "tier {tier} served {total}");
+            let balance = counts[0] as f64 / total as f64;
+            assert!(
+                (0.4..0.6).contains(&balance),
+                "tier {tier} imbalance: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn browse_only_mix_generates_no_commit_traffic() {
+        let mut cfg = short(SystemConfig::rubbos_baseline(150));
+        cfg.workload = crate::config::WorkloadConfig::rubbos_browse_only(150);
+        cfg.workload.ramp_up = SimDuration::from_secs(1);
+        let out = Simulator::new(cfg).unwrap().run();
+        assert!(out.stats.completed > 50);
+        assert!(out
+            .requests
+            .iter()
+            .all(|r| r.interaction.rw() == crate::types::RwKind::Read));
+    }
+
+    #[test]
+    fn single_tier_topology_works() {
+        // Degenerate but legal: a web-only system (every request depth 1).
+        let mut cfg = short(SystemConfig::rubbos_baseline(100));
+        cfg.tiers.truncate(1);
+        let out = Simulator::new(cfg).unwrap().run();
+        assert!(out.stats.completed > 30);
+        for r in out.requests.iter().filter(|r| r.is_complete()) {
+            assert_eq!(r.spans.len(), 1);
+            assert!(r.is_causally_ordered());
+        }
+    }
+
+    #[test]
+    fn zero_length_run_is_empty_but_sane() {
+        let mut cfg = SystemConfig::rubbos_baseline(10);
+        cfg.duration = SimDuration::from_millis(1);
+        cfg.warmup = SimDuration::ZERO;
+        cfg.workload.ramp_up = SimDuration::from_millis(1);
+        let out = Simulator::new(cfg).unwrap().run();
+        // Nothing can complete in 1 ms, but the run must not panic and
+        // bookkeeping must be consistent.
+        assert!(out.stats.completed <= out.stats.issued);
+    }
+}
+
+#[cfg(test)]
+mod open_loop_tests {
+    use super::*;
+    use crate::config::{ArrivalProcess, SystemConfig, WorkloadConfig};
+
+    fn open_cfg(rate: f64, secs: u64) -> SystemConfig {
+        let mut cfg = SystemConfig::rubbos_baseline(1);
+        cfg.workload = WorkloadConfig::open_loop(rate);
+        cfg.duration = SimDuration::from_secs(secs);
+        cfg.warmup = SimDuration::from_secs(2);
+        cfg
+    }
+
+    #[test]
+    fn open_loop_hits_target_rate() {
+        let out = Simulator::new(open_cfg(100.0, 20)).unwrap().run();
+        // Throughput within 10 % of the offered rate (healthy system).
+        assert!(
+            (out.stats.throughput_rps - 100.0).abs() < 10.0,
+            "observed {} rps",
+            out.stats.throughput_rps
+        );
+    }
+
+    #[test]
+    fn open_loop_backlog_grows_under_overload() {
+        // Offer more than the 2-core MySQL tier can serve (~2000 rps at
+        // ~1 ms demand): the backlog must grow monotonically-ish, unlike a
+        // closed loop which self-throttles.
+        let mut cfg = open_cfg(600.0, 10);
+        cfg.tiers[3].workers = 4;
+        cfg.tiers[3].base_demand = SimDuration::from_micros(8_000);
+        let out = Simulator::new(cfg).unwrap().run();
+        // The worker pools bound every deeper tier, so the unbounded
+        // backlog accumulates at the front tier's accept queue.
+        let q: Vec<u32> = out
+            .samples
+            .iter()
+            .filter(|s| s.node.tier.0 == 0)
+            .map(|s| s.queue_len)
+            .collect();
+        let early = q[q.len() / 4] as f64;
+        let late = q[q.len() - 1] as f64;
+        assert!(
+            late > early + 100.0,
+            "backlog should grow without bound: early {early}, late {late}"
+        );
+    }
+
+    #[test]
+    fn open_loop_validation() {
+        let mut cfg = open_cfg(0.0, 5);
+        cfg.workload.arrival = ArrivalProcess::OpenLoop { rate_rps: 0.0 };
+        assert!(cfg.validate().unwrap_err().contains("rate"));
+        // users=0 is fine in open loop.
+        let mut cfg = open_cfg(10.0, 5);
+        cfg.workload.users = 0;
+        assert!(cfg.validate().is_ok());
+    }
+}

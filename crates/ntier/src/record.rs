@@ -1,0 +1,332 @@
+//! Run artifacts: per-request ground truth, lifecycle events (what the event
+//! mScopeMonitors observe), network messages (what the SysViz tap observes),
+//! and resource samples (what the resource mScopeMonitors observe).
+
+use crate::types::{Interaction, NodeId, RequestId, SessionId, TierKind};
+use mscope_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The four timestamps the paper's event mScopeMonitor records per request
+/// per component server (§IV-B), plus which node served it.
+///
+/// Happens-before invariant: `upstream_arrival ≤ downstream_sending ≤
+/// downstream_receiving ≤ upstream_departure` (where the downstream pair is
+/// present).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierSpan {
+    /// The node that served the request at this tier.
+    pub node: NodeId,
+    /// When the request arrived from the upstream tier.
+    pub upstream_arrival: SimTime,
+    /// When the response was returned upstream.
+    pub upstream_departure: SimTime,
+    /// When the request was forwarded to the downstream tier (if any).
+    pub downstream_sending: Option<SimTime>,
+    /// When the downstream response came back (if any).
+    pub downstream_receiving: Option<SimTime>,
+}
+
+impl TierSpan {
+    /// Total residence time at this tier (arrival → departure).
+    pub fn residence(&self) -> SimDuration {
+        self.upstream_departure - self.upstream_arrival
+    }
+
+    /// Time spent waiting on the downstream tier, if a downstream call was
+    /// made.
+    pub fn downstream_wait(&self) -> Option<SimDuration> {
+        Some(self.downstream_receiving? - self.downstream_sending?)
+    }
+
+    /// Time attributable to *this* tier alone (residence minus downstream
+    /// wait) — the per-tier latency-contribution metric of §IV-A.
+    pub fn local_time(&self) -> SimDuration {
+        self.residence()
+            .saturating_sub(self.downstream_wait().unwrap_or(SimDuration::ZERO))
+    }
+
+    /// Checks the happens-before ordering of the four timestamps.
+    pub fn is_causally_ordered(&self) -> bool {
+        match (self.downstream_sending, self.downstream_receiving) {
+            (Some(ds), Some(dr)) => {
+                self.upstream_arrival <= ds && ds <= dr && dr <= self.upstream_departure
+            }
+            (None, None) => self.upstream_arrival <= self.upstream_departure,
+            // A lone DS or DR is malformed.
+            _ => false,
+        }
+    }
+}
+
+/// Ground-truth record of one request's complete execution path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestRecord {
+    /// The propagated request ID.
+    pub id: RequestId,
+    /// Which emulated user issued it.
+    pub session: SessionId,
+    /// RUBBoS interaction type.
+    pub interaction: Interaction,
+    /// When the client sent the request.
+    pub client_send: SimTime,
+    /// When the client received the response (`None` if still in flight when
+    /// the run ended).
+    pub client_recv: Option<SimTime>,
+    /// Final HTTP-style status (200, or 503 if rejected by a full accept
+    /// queue).
+    pub status: u16,
+    /// Per-tier spans in pipeline order (outermost first). A depth-1 request
+    /// has a single span.
+    pub spans: Vec<TierSpan>,
+}
+
+impl RequestRecord {
+    /// End-to-end response time, if the request completed.
+    pub fn response_time(&self) -> Option<SimDuration> {
+        Some(self.client_recv? - self.client_send)
+    }
+
+    /// `true` once the client has the response.
+    pub fn is_complete(&self) -> bool {
+        self.client_recv.is_some()
+    }
+
+    /// Checks happens-before across *all* tiers: each span is internally
+    /// ordered, and each nested span sits inside its parent's
+    /// downstream-sending/receiving window.
+    pub fn is_causally_ordered(&self) -> bool {
+        for w in self.spans.windows(2) {
+            let (outer, inner) = (&w[0], &w[1]);
+            match (outer.downstream_sending, outer.downstream_receiving) {
+                (Some(ds), Some(dr)) => {
+                    if !(ds <= inner.upstream_arrival && inner.upstream_departure <= dr) {
+                        return false;
+                    }
+                }
+                _ => return false,
+            }
+        }
+        self.spans.iter().all(TierSpan::is_causally_ordered)
+    }
+}
+
+/// Which of the four §IV-B timestamps a lifecycle event represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BoundaryKind {
+    /// Request arrived from upstream.
+    UpstreamArrival,
+    /// Response returned upstream.
+    UpstreamDeparture,
+    /// Request forwarded downstream.
+    DownstreamSending,
+    /// Downstream response received.
+    DownstreamReceiving,
+}
+
+/// One execution-boundary event at one node — the raw material the event
+/// mScopeMonitors turn into native log lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LifecycleEvent {
+    /// Event timestamp.
+    pub time: SimTime,
+    /// The node where the boundary was crossed.
+    pub node: NodeId,
+    /// The node's software (selects the native log format).
+    pub kind: TierKind,
+    /// Request ID.
+    pub request: RequestId,
+    /// Interaction type (known to the server from the servlet path).
+    pub interaction: Interaction,
+    /// Which boundary.
+    pub boundary: BoundaryKind,
+    /// HTTP-style status of the request as known at this node (200 normal,
+    /// 503 when the accept queue rejected it).
+    pub status: u16,
+}
+
+/// Endpoint of a network message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// The client population.
+    Client,
+    /// A server node.
+    Node(NodeId),
+}
+
+/// Direction of a message relative to the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MsgKind {
+    /// A request travelling toward the database.
+    RequestDown,
+    /// A response travelling back toward the client.
+    ReplyUp,
+}
+
+/// One wire message as seen by the passive network tap (SysViz stand-in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageEvent {
+    /// When the source put it on the wire.
+    pub send_time: SimTime,
+    /// When the destination received it.
+    pub recv_time: SimTime,
+    /// Source endpoint.
+    pub src: Endpoint,
+    /// Destination endpoint.
+    pub dst: Endpoint,
+    /// Request this message belongs to.
+    pub request: RequestId,
+    /// Interaction type.
+    pub interaction: Interaction,
+    /// Down (request) or up (reply).
+    pub kind: MsgKind,
+}
+
+/// Periodic per-node resource snapshot taken by the simulator at the base
+/// sampling period; the resource mScopeMonitors render these into
+/// SAR/IOstat/Collectl log formats.
+///
+/// CPU figures are percentages of total capacity over the sample interval;
+/// byte/ops figures are totals *within* the interval; gauges
+/// (`dirty_pages`, `queue_len`, `active_workers`) are instantaneous.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceSample {
+    /// End of the sampled interval.
+    pub time: SimTime,
+    /// Node sampled.
+    pub node: NodeId,
+    /// Node software kind.
+    pub kind: TierKind,
+    /// CPU % in user mode.
+    pub cpu_user: f64,
+    /// CPU % in system mode.
+    pub cpu_sys: f64,
+    /// CPU % waiting on IO.
+    pub cpu_iowait: f64,
+    /// CPU % idle.
+    pub cpu_idle: f64,
+    /// Disk utilization % over the interval.
+    pub disk_util: f64,
+    /// Bytes written to disk during the interval.
+    pub disk_write_bytes: u64,
+    /// Write operations during the interval.
+    pub disk_ops: u64,
+    /// Dirty page-cache pages (4 KiB units), instantaneous.
+    pub dirty_pages: u64,
+    /// Memory in use, bytes (approximate, includes page cache).
+    pub mem_used_bytes: u64,
+    /// Network bytes received during the interval.
+    pub net_rx_bytes: u64,
+    /// Network bytes sent during the interval.
+    pub net_tx_bytes: u64,
+    /// Requests resident in the node (arrived, not yet departed).
+    pub queue_len: u32,
+    /// Workers currently holding a request.
+    pub active_workers: u32,
+    /// Log bytes written by the component (native + monitor) in the interval.
+    pub log_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TierId;
+
+    fn ms(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    fn node(t: usize) -> NodeId {
+        NodeId { tier: TierId(t), replica: 0 }
+    }
+
+    fn span(t: usize, ua: u64, ds: Option<u64>, dr: Option<u64>, ud: u64) -> TierSpan {
+        TierSpan {
+            node: node(t),
+            upstream_arrival: ms(ua),
+            upstream_departure: ms(ud),
+            downstream_sending: ds.map(ms),
+            downstream_receiving: dr.map(ms),
+        }
+    }
+
+    #[test]
+    fn tier_span_metrics() {
+        let s = span(0, 10, Some(12), Some(30), 33);
+        assert_eq!(s.residence(), SimDuration::from_millis(23));
+        assert_eq!(s.downstream_wait(), Some(SimDuration::from_millis(18)));
+        assert_eq!(s.local_time(), SimDuration::from_millis(5));
+        assert!(s.is_causally_ordered());
+    }
+
+    #[test]
+    fn leaf_span_has_no_downstream() {
+        let s = span(3, 15, None, None, 18);
+        assert_eq!(s.downstream_wait(), None);
+        assert_eq!(s.local_time(), SimDuration::from_millis(3));
+        assert!(s.is_causally_ordered());
+    }
+
+    #[test]
+    fn malformed_spans_detected() {
+        // DR before DS.
+        assert!(!span(0, 10, Some(20), Some(15), 30).is_causally_ordered());
+        // Departure before arrival.
+        assert!(!span(0, 10, None, None, 5).is_causally_ordered());
+        // Lone DS.
+        assert!(!span(0, 10, Some(12), None, 30).is_causally_ordered());
+    }
+
+    #[test]
+    fn request_record_causality() {
+        let rec = RequestRecord {
+            id: RequestId(1),
+            session: SessionId(0),
+            interaction: Interaction { idx: 0 },
+            client_send: ms(0),
+            client_recv: Some(ms(40)),
+            status: 200,
+            spans: vec![
+                span(0, 1, Some(3), Some(37), 39),
+                span(1, 4, Some(6), Some(34), 36),
+                span(2, 7, Some(9), Some(31), 33),
+                span(3, 10, None, None, 30),
+            ],
+        };
+        assert!(rec.is_causally_ordered());
+        assert_eq!(rec.response_time(), Some(SimDuration::from_millis(40)));
+        assert!(rec.is_complete());
+    }
+
+    #[test]
+    fn nested_span_escaping_parent_window_detected() {
+        let rec = RequestRecord {
+            id: RequestId(2),
+            session: SessionId(0),
+            interaction: Interaction { idx: 0 },
+            client_send: ms(0),
+            client_recv: Some(ms(50)),
+            status: 200,
+            spans: vec![
+                span(0, 1, Some(3), Some(20), 22),
+                // Inner departs at 25, after the parent received at 20.
+                span(1, 4, None, None, 25),
+            ],
+        };
+        assert!(!rec.is_causally_ordered());
+    }
+
+    #[test]
+    fn incomplete_request() {
+        let rec = RequestRecord {
+            id: RequestId(3),
+            session: SessionId(1),
+            interaction: Interaction { idx: 0 },
+            client_send: ms(100),
+            client_recv: None,
+            status: 200,
+            spans: vec![],
+        };
+        assert!(!rec.is_complete());
+        assert_eq!(rec.response_time(), None);
+    }
+}

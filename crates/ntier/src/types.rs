@@ -1,0 +1,298 @@
+//! Identifier newtypes and the tier/interaction vocabulary of the simulated
+//! n-tier system.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a tier in the pipeline (0 = front/web tier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TierId(pub usize);
+
+impl fmt::Display for TierId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tier{}", self.0)
+    }
+}
+
+/// A node (component server) in the topology: `(tier, replica)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId {
+    /// The tier this node belongs to.
+    pub tier: TierId,
+    /// Replica index within the tier (0-based).
+    pub replica: usize,
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.tier, self.replica)
+    }
+}
+
+/// The component-server software a tier runs. Determines the native log
+/// format its event mScopeMonitor produces and the default resource profile.
+///
+/// The paper's testbed (Fig. 1) is Apache → Tomcat → C-JDBC → MySQL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TierKind {
+    /// Apache HTTP server (web tier).
+    Apache,
+    /// Apache Tomcat (application tier).
+    Tomcat,
+    /// C-JDBC database clustering middleware.
+    Cjdbc,
+    /// MySQL database server.
+    Mysql,
+}
+
+impl TierKind {
+    /// Conventional lowercase name used in hostnames and log paths.
+    pub fn name(self) -> &'static str {
+        match self {
+            TierKind::Apache => "apache",
+            TierKind::Tomcat => "tomcat",
+            TierKind::Cjdbc => "cjdbc",
+            TierKind::Mysql => "mysql",
+        }
+    }
+
+    /// The classic 4-tier pipeline of the paper.
+    pub fn classic_pipeline() -> [TierKind; 4] {
+        [TierKind::Apache, TierKind::Tomcat, TierKind::Cjdbc, TierKind::Mysql]
+    }
+}
+
+impl fmt::Display for TierKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The unique identifier milliScope's first-tier event monitor injects into
+/// each request's URL (`?ID=XXXXXXXX`) and that propagates downstream as a
+/// URL parameter / SQL comment.
+///
+/// The paper uses a *static, fixed-width* ID; we render it as 12 uppercase
+/// hex digits.
+///
+/// # Examples
+///
+/// ```
+/// use mscope_ntier::RequestId;
+/// let id = RequestId(0xAB);
+/// assert_eq!(id.to_string(), "0000000000AB");
+/// assert_eq!(RequestId::parse("0000000000AB"), Some(id));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+impl RequestId {
+    /// Width of the rendered hex form.
+    pub const WIDTH: usize = 12;
+
+    /// Parses the fixed-width hex form. Returns `None` if the text is not
+    /// exactly [`RequestId::WIDTH`] hex digits.
+    pub fn parse(s: &str) -> Option<RequestId> {
+        if s.len() != Self::WIDTH {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(RequestId)
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:012X}", self.0)
+    }
+}
+
+/// A closed-loop emulated user session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SessionId(pub u32);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session{}", self.0)
+    }
+}
+
+/// Whether an interaction mutates state (drives DB commit-log traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RwKind {
+    /// Read-only interaction.
+    Read,
+    /// Read-write interaction (ends in a DB commit).
+    Write,
+}
+
+/// One of the RUBBoS benchmark's 24 interaction types.
+///
+/// RUBBoS emulates a Slashdot-like bulletin board; its workload is a weighted
+/// mix of these interactions. The `weight` fields below follow the benchmark's
+/// browse-heavy default transition behaviour (≈10 % writes), and the demand
+/// multipliers encode which interactions are cheap static pages versus heavy
+/// search/moderation queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interaction {
+    /// Index into [`INTERACTIONS`].
+    pub idx: usize,
+}
+
+/// Static description of one interaction type.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InteractionSpec {
+    /// RUBBoS servlet name, e.g. `"StoriesOfTheDay"`.
+    pub name: &'static str,
+    /// Read or write.
+    pub rw: RwKind,
+    /// Relative frequency in the browse-heavy default mix.
+    pub weight: f64,
+    /// Service-demand multiplier applied to every tier's base demand.
+    pub demand_factor: f64,
+    /// How many tiers the interaction descends through (1 = static page
+    /// served entirely by the web tier, 4 = full pipeline to the database).
+    pub depth: usize,
+}
+
+/// The RUBBoS interaction table: 24 interactions, browse-heavy default mix.
+///
+/// Weights approximate RUBBoS's default read-mostly transition matrix
+/// (~90 % reads); exact values are not published in the paper, only the
+/// count (24) and examples ("view story").
+pub const INTERACTIONS: [InteractionSpec; 24] = [
+    InteractionSpec { name: "StoriesOfTheDay",        rw: RwKind::Read,  weight: 14.0, demand_factor: 1.0, depth: 4 },
+    InteractionSpec { name: "ViewStory",              rw: RwKind::Read,  weight: 16.0, demand_factor: 1.1, depth: 4 },
+    InteractionSpec { name: "ViewComment",            rw: RwKind::Read,  weight: 12.0, demand_factor: 0.9, depth: 4 },
+    InteractionSpec { name: "BrowseCategories",       rw: RwKind::Read,  weight: 7.0,  demand_factor: 0.7, depth: 4 },
+    InteractionSpec { name: "BrowseStoriesByCategory", rw: RwKind::Read, weight: 8.0,  demand_factor: 1.2, depth: 4 },
+    InteractionSpec { name: "OlderStories",           rw: RwKind::Read,  weight: 6.0,  demand_factor: 1.3, depth: 4 },
+    InteractionSpec { name: "Search",                 rw: RwKind::Read,  weight: 4.0,  demand_factor: 2.0, depth: 4 },
+    InteractionSpec { name: "SearchInStories",        rw: RwKind::Read,  weight: 2.5,  demand_factor: 2.2, depth: 4 },
+    InteractionSpec { name: "SearchInComments",       rw: RwKind::Read,  weight: 1.5,  demand_factor: 2.5, depth: 4 },
+    InteractionSpec { name: "SearchInUsers",          rw: RwKind::Read,  weight: 1.0,  demand_factor: 1.8, depth: 4 },
+    InteractionSpec { name: "ViewUserInfo",           rw: RwKind::Read,  weight: 3.0,  demand_factor: 0.8, depth: 4 },
+    InteractionSpec { name: "AuthorLogin",            rw: RwKind::Read,  weight: 1.2,  demand_factor: 0.9, depth: 4 },
+    InteractionSpec { name: "AuthorTasks",            rw: RwKind::Read,  weight: 0.8,  demand_factor: 1.1, depth: 4 },
+    InteractionSpec { name: "ReviewStories",          rw: RwKind::Read,  weight: 0.9,  demand_factor: 1.4, depth: 4 },
+    InteractionSpec { name: "ReviewSubmittedStories", rw: RwKind::Read,  weight: 0.7,  demand_factor: 1.4, depth: 4 },
+    InteractionSpec { name: "StaticHome",             rw: RwKind::Read,  weight: 8.0,  demand_factor: 0.3, depth: 1 },
+    InteractionSpec { name: "StaticAbout",            rw: RwKind::Read,  weight: 2.0,  demand_factor: 0.3, depth: 1 },
+    InteractionSpec { name: "RegisterUser",           rw: RwKind::Write, weight: 0.6,  demand_factor: 1.2, depth: 4 },
+    InteractionSpec { name: "SubmitStory",            rw: RwKind::Write, weight: 1.5,  demand_factor: 1.3, depth: 4 },
+    InteractionSpec { name: "StoreStory",             rw: RwKind::Write, weight: 1.4,  demand_factor: 1.5, depth: 4 },
+    InteractionSpec { name: "PostComment",            rw: RwKind::Write, weight: 3.2,  demand_factor: 1.2, depth: 4 },
+    InteractionSpec { name: "StoreComment",           rw: RwKind::Write, weight: 3.0,  demand_factor: 1.4, depth: 4 },
+    InteractionSpec { name: "ModerateComment",        rw: RwKind::Write, weight: 1.0,  demand_factor: 1.1, depth: 4 },
+    InteractionSpec { name: "AcceptStory",            rw: RwKind::Write, weight: 0.7,  demand_factor: 1.3, depth: 4 },
+];
+
+impl Interaction {
+    /// Looks up the static spec for this interaction.
+    pub fn spec(self) -> &'static InteractionSpec {
+        &INTERACTIONS[self.idx]
+    }
+
+    /// Servlet name, e.g. `"ViewStory"`.
+    pub fn name(self) -> &'static str {
+        self.spec().name
+    }
+
+    /// Read or write.
+    pub fn rw(self) -> RwKind {
+        self.spec().rw
+    }
+
+    /// Finds an interaction by servlet name.
+    pub fn by_name(name: &str) -> Option<Interaction> {
+        INTERACTIONS
+            .iter()
+            .position(|s| s.name == name)
+            .map(|idx| Interaction { idx })
+    }
+
+    /// All 24 interactions.
+    pub fn all() -> impl Iterator<Item = Interaction> {
+        (0..INTERACTIONS.len()).map(|idx| Interaction { idx })
+    }
+}
+
+impl fmt::Display for Interaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_id_fixed_width_roundtrip() {
+        for raw in [0u64, 1, 0xDEADBEEF, u64::MAX >> 16] {
+            let id = RequestId(raw);
+            let s = id.to_string();
+            assert_eq!(s.len(), RequestId::WIDTH);
+            assert_eq!(RequestId::parse(&s), Some(id));
+        }
+    }
+
+    #[test]
+    fn request_id_parse_rejects_bad_width_and_chars() {
+        assert_eq!(RequestId::parse("AB"), None);
+        assert_eq!(RequestId::parse("GGGGGGGGGGGG"), None);
+        assert_eq!(RequestId::parse(""), None);
+    }
+
+    #[test]
+    fn interaction_table_has_24_entries() {
+        assert_eq!(INTERACTIONS.len(), 24, "RUBBoS defines 24 interactions");
+        // Names are unique.
+        let mut names: Vec<_> = INTERACTIONS.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 24);
+    }
+
+    #[test]
+    fn mix_is_read_heavy() {
+        let read: f64 = INTERACTIONS
+            .iter()
+            .filter(|s| s.rw == RwKind::Read)
+            .map(|s| s.weight)
+            .sum();
+        let write: f64 = INTERACTIONS
+            .iter()
+            .filter(|s| s.rw == RwKind::Write)
+            .map(|s| s.weight)
+            .sum();
+        let frac = write / (read + write);
+        assert!(
+            (0.05..0.20).contains(&frac),
+            "write fraction {frac} outside RUBBoS-like range"
+        );
+    }
+
+    #[test]
+    fn interaction_lookup() {
+        let v = Interaction::by_name("ViewStory").unwrap();
+        assert_eq!(v.name(), "ViewStory");
+        assert_eq!(v.rw(), RwKind::Read);
+        assert_eq!(Interaction::by_name("NoSuchServlet"), None);
+        assert_eq!(Interaction::all().count(), 24);
+    }
+
+    #[test]
+    fn display_forms() {
+        let n = NodeId { tier: TierId(2), replica: 1 };
+        assert_eq!(n.to_string(), "tier2-1");
+        assert_eq!(TierKind::Cjdbc.to_string(), "cjdbc");
+        assert_eq!(SessionId(3).to_string(), "session3");
+    }
+
+    #[test]
+    fn classic_pipeline_order() {
+        let p = TierKind::classic_pipeline();
+        assert_eq!(p[0], TierKind::Apache);
+        assert_eq!(p[3], TierKind::Mysql);
+    }
+}

@@ -1,0 +1,57 @@
+//! # mscope-sim — discrete-event simulation kernel
+//!
+//! The foundation of the milliScope reproduction: a deterministic
+//! discrete-event engine plus the numeric toolkit the higher layers share.
+//!
+//! The paper (*milliScope*, ICDCS 2017) evaluates its monitoring framework
+//! on a physical 4-tier testbed. This workspace substitutes a simulator for
+//! that testbed (see `DESIGN.md` §2); this crate is the simulator's kernel
+//! and deliberately knows nothing about tiers, requests, or monitors — those
+//! live in `mscope-ntier` and above.
+//!
+//! ## What's here
+//!
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution simulated time.
+//! * [`EventQueue`] — deterministic future-event list with FIFO tie-breaking.
+//! * [`SimRng`] — seeded RNG with the distributions workload models need.
+//! * [`TimeSeries`] / [`StepSeries`] — sampled and event-driven series.
+//! * [`Histogram`], [`Summary`], [`pearson`], [`percentile`], [`rmse`] —
+//!   statistics used by the analysis layer and the figure benches.
+//!
+//! ## Example
+//!
+//! ```
+//! use mscope_sim::{EventQueue, SimDuration, SimRng, SimTime};
+//!
+//! // A tiny arrival loop: schedule 3 arrivals, process each.
+//! #[derive(Debug)]
+//! enum Ev { Arrival(u32) }
+//!
+//! let mut rng = SimRng::seed_from(1);
+//! let mut q = EventQueue::new();
+//! let mut t = SimTime::ZERO;
+//! for i in 0..3 {
+//!     t += SimDuration::from_millis_f64(rng.exponential(10.0));
+//!     q.schedule(t, Ev::Arrival(i));
+//! }
+//! let mut served = 0;
+//! while let Some((_, Ev::Arrival(_))) = q.pop() {
+//!     served += 1;
+//! }
+//! assert_eq!(served, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod rng;
+mod series;
+mod stats;
+mod time;
+
+pub use event::EventQueue;
+pub use rng::SimRng;
+pub use series::{Agg, StepSeries, TimeSeries};
+pub use stats::{pearson, percentile, rmse, Histogram, Summary};
+pub use time::{parse_wallclock, wallclock, SimDuration, SimTime};

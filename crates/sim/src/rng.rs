@@ -1,0 +1,299 @@
+//! Deterministic random numbers and the distributions the workload and
+//! service-time models need.
+//!
+//! Everything is seeded: the same seed yields the same experiment, which is
+//! essential both for the test suite and for regenerating the paper's
+//! figures reproducibly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random number generator with the samplers used across the
+/// simulator (exponential think times, log-normal service times, Zipf
+/// content popularity, …).
+///
+/// # Examples
+///
+/// ```
+/// use mscope_sim::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // fully deterministic
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; used to give each subsystem
+    /// (workload, each injector, …) its own stream so adding draws in one
+    /// subsystem does not perturb another.
+    pub fn fork(&mut self, label: u64) -> SimRng {
+        // Mix the label in so forks with different labels diverge even when
+        // taken at the same point of the parent stream.
+        let s = self.inner.gen::<u64>() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from(s)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn uniform01(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "uniform bounds inverted: {lo} > {hi}");
+        lo + (hi - lo) * self.uniform01()
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "uniform bounds inverted: {lo} > {hi}");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform01() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponential sample with the given mean (`mean = 1/λ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        // Inverse transform; guard against ln(0).
+        let u = 1.0 - self.uniform01();
+        -mean * u.ln()
+    }
+
+    /// Standard normal sample (Box–Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1 = (1.0 - self.uniform01()).max(f64::MIN_POSITIVE);
+        let u2 = self.uniform01();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal sample with mean `mu` and standard deviation `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative.
+    pub fn normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        assert!(sigma >= 0.0, "normal sigma must be non-negative");
+        mu + sigma * self.standard_normal()
+    }
+
+    /// Log-normal sample parameterized by the *target* mean and coefficient
+    /// of variation of the resulting distribution (not of the underlying
+    /// normal). This is the natural parameterization for service times:
+    /// "mean 3 ms, CV 0.3".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive or `cv` is negative.
+    pub fn lognormal_mean_cv(&mut self, mean: f64, cv: f64) -> f64 {
+        assert!(mean > 0.0, "lognormal mean must be positive");
+        assert!(cv >= 0.0, "lognormal cv must be non-negative");
+        if cv == 0.0 {
+            return mean;
+        }
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        (mu + sigma2.sqrt() * self.standard_normal()).exp()
+    }
+
+    /// Bounded Pareto sample on `[lo, hi]` with shape `alpha`; heavy-tailed
+    /// sizes (e.g. response payload bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo < hi` and `alpha > 0`.
+    pub fn bounded_pareto(&mut self, lo: f64, hi: f64, alpha: f64) -> f64 {
+        assert!(lo > 0.0 && hi > lo, "bounded pareto needs 0 < lo < hi");
+        assert!(alpha > 0.0, "pareto alpha must be positive");
+        let u = self.uniform01();
+        let la = lo.powf(alpha);
+        let ha = hi.powf(alpha);
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+    }
+
+    /// Zipf-distributed rank in `[0, n)` with exponent `s`, via inverse CDF
+    /// over precomputed weights — fine for the small `n` (24 interaction
+    /// types) we use it for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        assert!(n > 0, "zipf needs at least one element");
+        let total: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
+        let mut target = self.uniform01() * total;
+        for k in 1..=n {
+            target -= 1.0 / (k as f64).powf(s);
+            if target <= 0.0 {
+                return k - 1;
+            }
+        }
+        n - 1
+    }
+
+    /// Samples an index according to the given non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative value, or sums to 0.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weighted_index needs weights");
+        let total: f64 = weights
+            .iter()
+            .map(|w| {
+                assert!(*w >= 0.0, "weights must be non-negative");
+                *w
+            })
+            .sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let mut target = self.uniform01() * total;
+        for (i, w) in weights.iter().enumerate() {
+            target -= w;
+            if target <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_same_seed() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_diverge_by_label() {
+        let mut root1 = SimRng::seed_from(1);
+        let mut root2 = SimRng::seed_from(1);
+        let mut f1 = root1.fork(10);
+        let mut f2 = root2.fork(20);
+        // Same parent state, different labels → different streams.
+        assert_ne!(
+            (0..8).map(|_| f1.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| f2.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut rng = SimRng::seed_from(3);
+        let n = 20_000;
+        let mean = 5.0;
+        let s: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
+        let observed = s / n as f64;
+        assert!((observed - mean).abs() / mean < 0.05, "observed {observed}");
+    }
+
+    #[test]
+    fn lognormal_mean_cv_close() {
+        let mut rng = SimRng::seed_from(4);
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.lognormal_mean_cv(3.0, 0.5)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() / 3.0 < 0.05, "mean {mean}");
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 0.5).abs() < 0.06, "cv {cv}");
+        // Degenerate CV returns the mean exactly.
+        assert_eq!(rng.lognormal_mean_cv(3.0, 0.0), 3.0);
+    }
+
+    #[test]
+    fn uniform_bounds_respected() {
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..1000 {
+            let x = rng.uniform(2.0, 4.0);
+            assert!((2.0..4.0).contains(&x));
+            let k = rng.uniform_u64(3, 6);
+            assert!((3..=6).contains(&k));
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_in_range() {
+        let mut rng = SimRng::seed_from(6);
+        for _ in 0..1000 {
+            let x = rng.bounded_pareto(100.0, 10_000.0, 1.2);
+            assert!((100.0..=10_000.0).contains(&x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let mut rng = SimRng::seed_from(8);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.zipf(10, 1.0)] += 1;
+        }
+        assert!(counts[0] > counts[4]);
+        assert!(counts[0] > counts[9] * 3);
+    }
+
+    #[test]
+    fn weighted_index_matches_weights() {
+        let mut rng = SimRng::seed_from(9);
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..8_000 {
+            counts[rng.weighted_index(&w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(10);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-5.0));
+        assert!(rng.chance(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must not all be zero")]
+    fn weighted_index_all_zero_panics() {
+        SimRng::seed_from(1).weighted_index(&[0.0, 0.0]);
+    }
+}

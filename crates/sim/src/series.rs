@@ -1,0 +1,507 @@
+//! Time-series containers shared by the monitors and the analysis layer.
+//!
+//! Two flavours matter for the paper's figures:
+//!
+//! * [`TimeSeries`] — (time, value) samples, e.g. disk utilization per 50 ms.
+//! * [`StepSeries`] — an event-driven step function, e.g. instantaneous queue
+//!   length, built from +1/−1 deltas at request arrival/departure instants.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A sampled time series: strictly non-decreasing timestamps with `f64`
+/// values.
+///
+/// # Examples
+///
+/// ```
+/// use mscope_sim::{TimeSeries, SimTime};
+///
+/// let mut s = TimeSeries::new();
+/// s.push(SimTime::from_millis(0), 1.0);
+/// s.push(SimTime::from_millis(50), 3.0);
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.mean(), Some(2.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    times: Vec<SimTime>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the last sample's timestamp.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        if let Some(&last) = self.times.last() {
+            assert!(t >= last, "time series must be pushed in order");
+        }
+        self.times.push(t);
+        self.values.push(v);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` when the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Iterates over `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// The timestamps.
+    pub fn times(&self) -> &[SimTime] {
+        &self.times
+    }
+
+    /// The values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mean of the values, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Maximum value with its timestamp, or `None` if empty. Ties resolve to
+    /// the earliest occurrence.
+    pub fn max(&self) -> Option<(SimTime, f64)> {
+        let mut best: Option<(SimTime, f64)> = None;
+        for (t, v) in self.iter() {
+            match best {
+                Some((_, bv)) if v <= bv => {}
+                _ => best = Some((t, v)),
+            }
+        }
+        best
+    }
+
+    /// Returns the sub-series with `from <= time < to`.
+    pub fn slice(&self, from: SimTime, to: SimTime) -> TimeSeries {
+        let mut out = TimeSeries::new();
+        for (t, v) in self.iter() {
+            if t >= from && t < to {
+                out.push(t, v);
+            }
+        }
+        out
+    }
+
+    /// Resamples onto fixed windows of width `window` covering
+    /// `[start, end)`, producing one value per window via `agg` over the
+    /// samples falling in the window. Windows containing no samples carry the
+    /// previous window's value forward (or `fill` before any sample exists).
+    ///
+    /// This is how irregular monitor samples are aligned onto a common grid
+    /// before correlation (paper Fig. 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn resample(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        window: SimDuration,
+        agg: Agg,
+        fill: f64,
+    ) -> TimeSeries {
+        assert!(!window.is_zero(), "window must be non-zero");
+        let mut out = TimeSeries::new();
+        let mut idx = 0usize;
+        // Skip samples before start.
+        while idx < self.times.len() && self.times[idx] < start {
+            idx += 1;
+        }
+        let mut last = fill;
+        let mut w = start;
+        while w < end {
+            let wend = w + window;
+            let mut acc = AggAcc::new(agg);
+            while idx < self.times.len() && self.times[idx] < wend {
+                acc.add(self.values[idx]);
+                idx += 1;
+            }
+            let v = acc.finish().unwrap_or(last);
+            out.push(w, v);
+            last = v;
+            w = wend;
+        }
+        out
+    }
+}
+
+impl FromIterator<(SimTime, f64)> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = (SimTime, f64)>>(iter: I) -> Self {
+        let mut s = TimeSeries::new();
+        for (t, v) in iter {
+            s.push(t, v);
+        }
+        s
+    }
+}
+
+impl Extend<(SimTime, f64)> for TimeSeries {
+    fn extend<I: IntoIterator<Item = (SimTime, f64)>>(&mut self, iter: I) {
+        for (t, v) in iter {
+            self.push(t, v);
+        }
+    }
+}
+
+/// Aggregation function used by [`TimeSeries::resample`] and window folds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Agg {
+    /// Arithmetic mean of samples in the window.
+    Mean,
+    /// Maximum sample.
+    Max,
+    /// Minimum sample.
+    Min,
+    /// Sum of samples.
+    Sum,
+    /// Number of samples.
+    Count,
+    /// Last sample in the window.
+    Last,
+}
+
+#[derive(Debug)]
+struct AggAcc {
+    agg: Agg,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    last: f64,
+}
+
+impl AggAcc {
+    fn new(agg: Agg) -> Self {
+        AggAcc {
+            agg,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            last: 0.0,
+        }
+    }
+
+    fn add(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.last = v;
+    }
+
+    fn finish(self) -> Option<f64> {
+        if self.count == 0 {
+            return match self.agg {
+                Agg::Count => Some(0.0),
+                _ => None,
+            };
+        }
+        Some(match self.agg {
+            Agg::Mean => self.sum / self.count as f64,
+            Agg::Max => self.max,
+            Agg::Min => self.min,
+            Agg::Sum => self.sum,
+            Agg::Count => self.count as f64,
+            Agg::Last => self.last,
+        })
+    }
+}
+
+/// An integer-valued step function driven by deltas at instants — the natural
+/// representation of "instantaneous number of concurrent requests in a tier".
+///
+/// Deltas may be recorded out of order; the series is sorted on demand.
+///
+/// # Examples
+///
+/// ```
+/// use mscope_sim::{StepSeries, SimTime};
+///
+/// let mut q = StepSeries::new();
+/// q.delta(SimTime::from_millis(10), 1);  // request arrives
+/// q.delta(SimTime::from_millis(30), -1); // request departs
+/// assert_eq!(q.value_at(SimTime::from_millis(20)), 1);
+/// assert_eq!(q.value_at(SimTime::from_millis(40)), 0);
+/// assert_eq!(q.peak(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepSeries {
+    /// (time, delta) pairs; kept sorted lazily.
+    deltas: Vec<(SimTime, i64)>,
+    sorted: bool,
+}
+
+impl StepSeries {
+    /// Creates an empty step series.
+    pub fn new() -> Self {
+        StepSeries {
+            deltas: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Records a delta (e.g. +1 on arrival, −1 on departure) at instant `t`.
+    pub fn delta(&mut self, t: SimTime, d: i64) {
+        if let Some(&(last, _)) = self.deltas.last() {
+            if t < last {
+                self.sorted = false;
+            }
+        }
+        self.deltas.push((t, d));
+    }
+
+    /// Number of recorded deltas.
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// `true` when no deltas have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            // Stable sort keeps same-instant deltas in insertion order, which
+            // preserves arrival-before-departure semantics at equal times.
+            self.deltas.sort_by_key(|&(t, _)| t);
+            self.sorted = true;
+        }
+    }
+
+    /// The value of the step function just *after* instant `t` (deltas at `t`
+    /// included).
+    pub fn value_at(&mut self, t: SimTime) -> i64 {
+        self.ensure_sorted();
+        let mut v = 0;
+        for &(dt, d) in &self.deltas {
+            if dt > t {
+                break;
+            }
+            v += d;
+        }
+        v
+    }
+
+    /// Maximum value the step function ever reaches (0 if empty).
+    pub fn peak(&mut self) -> i64 {
+        self.ensure_sorted();
+        let mut v = 0;
+        let mut peak = 0;
+        for &(_, d) in &self.deltas {
+            v += d;
+            peak = peak.max(v);
+        }
+        peak
+    }
+
+    /// The final value after all deltas (0 for a balanced series).
+    pub fn final_value(&self) -> i64 {
+        self.deltas.iter().map(|&(_, d)| d).sum()
+    }
+
+    /// Samples the step function at the *end* of each window of width
+    /// `window` over `[start, end)` — exactly the "instantaneous queue length
+    /// per interval" of the paper's Figures 6/8b/9.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn sample_windows(
+        &mut self,
+        start: SimTime,
+        end: SimTime,
+        window: SimDuration,
+    ) -> TimeSeries {
+        assert!(!window.is_zero(), "window must be non-zero");
+        self.ensure_sorted();
+        let mut out = TimeSeries::new();
+        let mut idx = 0usize;
+        let mut v: i64 = 0;
+        // Fold in all deltas at or before `start`.
+        while idx < self.deltas.len() && self.deltas[idx].0 <= start {
+            v += self.deltas[idx].1;
+            idx += 1;
+        }
+        let mut w = start;
+        while w < end {
+            let wend = w + window;
+            while idx < self.deltas.len() && self.deltas[idx].0 <= wend {
+                v += self.deltas[idx].1;
+                idx += 1;
+            }
+            out.push(w, v as f64);
+            w = wend;
+        }
+        out
+    }
+
+    /// Mean value of the step function over `[start, end)`, weighted by time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`.
+    pub fn time_weighted_mean(&mut self, start: SimTime, end: SimTime) -> f64 {
+        assert!(end > start, "empty interval");
+        self.ensure_sorted();
+        let mut idx = 0usize;
+        let mut v: i64 = 0;
+        while idx < self.deltas.len() && self.deltas[idx].0 <= start {
+            v += self.deltas[idx].1;
+            idx += 1;
+        }
+        let mut area = 0.0;
+        let mut cursor = start;
+        while idx < self.deltas.len() && self.deltas[idx].0 < end {
+            let (t, d) = self.deltas[idx];
+            area += v as f64 * (t - cursor).as_secs_f64();
+            v += d;
+            cursor = t;
+            idx += 1;
+        }
+        area += v as f64 * (end - cursor).as_secs_f64();
+        area / (end - start).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    #[test]
+    fn timeseries_push_and_stats() {
+        let s: TimeSeries = [(ms(0), 2.0), (ms(10), 6.0), (ms(20), 4.0)]
+            .into_iter()
+            .collect();
+        assert_eq!(s.mean(), Some(4.0));
+        assert_eq!(s.max(), Some((ms(10), 6.0)));
+        assert_eq!(s.slice(ms(5), ms(20)).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "pushed in order")]
+    fn timeseries_rejects_unordered() {
+        let mut s = TimeSeries::new();
+        s.push(ms(10), 1.0);
+        s.push(ms(5), 2.0);
+    }
+
+    #[test]
+    fn timeseries_max_ties_resolve_earliest() {
+        let s: TimeSeries = [(ms(0), 5.0), (ms(10), 5.0)].into_iter().collect();
+        assert_eq!(s.max(), Some((ms(0), 5.0)));
+    }
+
+    #[test]
+    fn resample_mean_and_gaps() {
+        let s: TimeSeries = [(ms(0), 2.0), (ms(5), 4.0), (ms(25), 10.0)]
+            .into_iter()
+            .collect();
+        let r = s.resample(ms(0), ms(40), SimDuration::from_millis(10), Agg::Mean, 0.0);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.values(), &[3.0, 3.0, 10.0, 10.0]); // gap carries forward
+    }
+
+    #[test]
+    fn resample_count_fills_zero() {
+        let s: TimeSeries = [(ms(15), 1.0)].into_iter().collect();
+        let r = s.resample(ms(0), ms(30), SimDuration::from_millis(10), Agg::Count, 0.0);
+        assert_eq!(r.values(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn resample_all_aggs() {
+        let s: TimeSeries = [(ms(1), 1.0), (ms(2), 5.0), (ms(3), 3.0)]
+            .into_iter()
+            .collect();
+        let w = SimDuration::from_millis(10);
+        assert_eq!(s.resample(ms(0), ms(10), w, Agg::Max, 0.0).values(), &[5.0]);
+        assert_eq!(s.resample(ms(0), ms(10), w, Agg::Min, 0.0).values(), &[1.0]);
+        assert_eq!(s.resample(ms(0), ms(10), w, Agg::Sum, 0.0).values(), &[9.0]);
+        assert_eq!(s.resample(ms(0), ms(10), w, Agg::Last, 0.0).values(), &[3.0]);
+    }
+
+    #[test]
+    fn step_series_basic() {
+        let mut q = StepSeries::new();
+        q.delta(ms(10), 1);
+        q.delta(ms(12), 1);
+        q.delta(ms(20), -1);
+        q.delta(ms(50), -1);
+        assert_eq!(q.value_at(ms(11)), 1);
+        assert_eq!(q.value_at(ms(15)), 2);
+        assert_eq!(q.value_at(ms(30)), 1);
+        assert_eq!(q.value_at(ms(60)), 0);
+        assert_eq!(q.peak(), 2);
+        assert_eq!(q.final_value(), 0);
+    }
+
+    #[test]
+    fn step_series_out_of_order_inserts() {
+        let mut q = StepSeries::new();
+        q.delta(ms(20), -1);
+        q.delta(ms(10), 1);
+        assert_eq!(q.value_at(ms(15)), 1);
+        assert_eq!(q.value_at(ms(25)), 0);
+        assert_eq!(q.peak(), 1);
+    }
+
+    #[test]
+    fn step_series_window_sampling() {
+        let mut q = StepSeries::new();
+        q.delta(ms(10), 1);
+        q.delta(ms(35), 1);
+        q.delta(ms(45), -1);
+        let s = q.sample_windows(ms(0), ms(60), SimDuration::from_millis(20));
+        // Windows end at 20, 40, 60 → values 1, 2, 1.
+        assert_eq!(s.values(), &[1.0, 2.0, 1.0]);
+        assert_eq!(s.times(), &[ms(0), ms(20), ms(40)]);
+    }
+
+    #[test]
+    fn step_series_time_weighted_mean() {
+        let mut q = StepSeries::new();
+        q.delta(ms(0), 2);
+        q.delta(ms(50), -2);
+        // 2 for half the interval, 0 for the rest → mean 1.
+        assert!((q.time_weighted_mean(ms(0), ms(100)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_series_mean_with_preexisting_value() {
+        let mut q = StepSeries::new();
+        q.delta(ms(0), 3);
+        // Value is already 3 when the measured interval starts.
+        assert!((q.time_weighted_mean(ms(10), ms(20)) - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,195 @@
+//! mScope XMLtoCSV Converter (paper §III-B3): turns annotated XML into an
+//! inferred schema plus CSV, separating the parsers' data annotation from
+//! warehouse schema creation.
+//!
+//! Schema inference is bottom-up exactly as described: the column set is
+//! the **union** of all tags appearing in any entry (first-appearance
+//! order), and each column's type is the **narrowest** type in the lattice
+//! that admits every observed value.
+
+use crate::csv::write_csv;
+use crate::error::TransformError;
+use crate::xml::XmlNode;
+use mscope_db::{Column, ColumnType, Schema, Value};
+
+/// Result of converting one table's worth of annotated XML.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvertedTable {
+    /// Inferred schema.
+    pub schema: Schema,
+    /// CSV text: header row + one row per entry.
+    pub csv: String,
+    /// Number of data rows.
+    pub rows: usize,
+}
+
+/// Converts one or more annotated `<log>` documents (all destined for the
+/// same table) into an inferred schema and CSV.
+///
+/// Converting the documents together is what makes the column-set union and
+/// type join span *all* inputs — two Apache replicas' logs cannot produce
+/// conflicting schemas.
+///
+/// # Errors
+///
+/// [`TransformError::SchemaInference`] if an entry carries duplicate field
+/// names (ambiguous annotation).
+pub fn xml_to_csv(docs: &[XmlNode]) -> Result<ConvertedTable, TransformError> {
+    // Pass 1: union of columns (first-appearance order) and type join.
+    let mut columns: Vec<(String, ColumnType)> = Vec::new();
+    let mut entry_count = 0usize;
+    for doc in docs {
+        for entry in doc.children.iter().filter(|c| c.name == "entry") {
+            entry_count += 1;
+            let mut seen_in_entry: Vec<&str> = Vec::new();
+            for field in &entry.children {
+                if seen_in_entry.contains(&field.name.as_str()) {
+                    return Err(TransformError::SchemaInference(format!(
+                        "duplicate field `{}` within one entry of `{}`",
+                        field.name,
+                        doc.get_attr("source").unwrap_or("?")
+                    )));
+                }
+                seen_in_entry.push(&field.name);
+                let vt = Value::infer(&field.text).column_type();
+                match columns.iter_mut().find(|(n, _)| *n == field.name) {
+                    Some((_, ty)) => *ty = ty.unify(vt),
+                    None => columns.push((field.name.clone(), vt)),
+                }
+            }
+        }
+    }
+    // Columns never observed with a non-null value stay Null; widen to Text
+    // so the warehouse can hold whatever later loads bring.
+    let schema = Schema::new(
+        columns
+            .iter()
+            .map(|(n, t)| {
+                let t = if *t == ColumnType::Null { ColumnType::Text } else { *t };
+                Column::new(n.clone(), t)
+            })
+            .collect(),
+    )
+    .map_err(|e| TransformError::SchemaInference(e.to_string()))?;
+
+    // Pass 2: rows.
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(entry_count + 1);
+    rows.push(schema.columns().iter().map(|c| c.name.clone()).collect());
+    for doc in docs {
+        for entry in doc.children.iter().filter(|c| c.name == "entry") {
+            let row = schema
+                .columns()
+                .iter()
+                .map(|c| {
+                    entry
+                        .find(&c.name)
+                        .map(|f| f.text.clone())
+                        .unwrap_or_default()
+                })
+                .collect();
+            rows.push(row);
+        }
+    }
+    Ok(ConvertedTable {
+        schema,
+        csv: write_csv(&rows),
+        rows: entry_count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(fields: &[(&str, &str)]) -> XmlNode {
+        let mut e = XmlNode::new("entry");
+        for (k, v) in fields {
+            e.children.push(XmlNode::new(*k).with_text(*v));
+        }
+        e
+    }
+
+    fn doc(entries: Vec<XmlNode>) -> XmlNode {
+        let mut d = XmlNode::new("log").attr("source", "t.log");
+        d.children = entries;
+        d
+    }
+
+    #[test]
+    fn schema_is_union_of_tags() {
+        let d = doc(vec![
+            entry(&[("a", "1"), ("b", "x")]),
+            entry(&[("a", "2"), ("c", "3.5")]),
+        ]);
+        let out = xml_to_csv(&[d]).unwrap();
+        let names: Vec<&str> = out.schema.columns().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert_eq!(out.rows, 2);
+        // Missing cells render empty.
+        assert!(out.csv.contains("2,,3.5"));
+    }
+
+    #[test]
+    fn types_are_narrowest_that_admit_all() {
+        let d = doc(vec![
+            entry(&[("n", "1"), ("t", "00:00:01.000000"), ("s", "5")]),
+            entry(&[("n", "2.5"), ("t", "00:00:02.000000"), ("s", "five")]),
+        ]);
+        let out = xml_to_csv(&[d]).unwrap();
+        let ty = |name: &str| {
+            out.schema.columns()[out.schema.index_of(name).unwrap()].ty
+        };
+        assert_eq!(ty("n"), ColumnType::Float, "int ∪ float = float");
+        assert_eq!(ty("t"), ColumnType::Timestamp);
+        assert_eq!(ty("s"), ColumnType::Text, "int ∪ text = text");
+    }
+
+    #[test]
+    fn null_values_do_not_widen() {
+        let d = doc(vec![
+            entry(&[("ds", "-")]),
+            entry(&[("ds", "00:00:01.000000")]),
+        ]);
+        let out = xml_to_csv(&[d]).unwrap();
+        assert_eq!(out.schema.columns()[0].ty, ColumnType::Timestamp);
+    }
+
+    #[test]
+    fn all_null_column_becomes_text() {
+        let d = doc(vec![entry(&[("x", "-")])]);
+        let out = xml_to_csv(&[d]).unwrap();
+        assert_eq!(out.schema.columns()[0].ty, ColumnType::Text);
+    }
+
+    #[test]
+    fn union_spans_multiple_documents() {
+        let d1 = doc(vec![entry(&[("a", "1")])]);
+        let d2 = doc(vec![entry(&[("a", "x")])]);
+        let out = xml_to_csv(&[d1, d2]).unwrap();
+        assert_eq!(out.schema.columns()[0].ty, ColumnType::Text);
+        assert_eq!(out.rows, 2);
+    }
+
+    #[test]
+    fn duplicate_field_in_entry_rejected() {
+        let d = doc(vec![entry(&[("a", "1"), ("a", "2")])]);
+        assert!(matches!(
+            xml_to_csv(&[d]),
+            Err(TransformError::SchemaInference(_))
+        ));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_schema() {
+        let out = xml_to_csv(&[doc(vec![])]).unwrap();
+        assert_eq!(out.rows, 0);
+        assert!(out.schema.is_empty());
+    }
+
+    #[test]
+    fn csv_quotes_commas_in_text() {
+        let d = doc(vec![entry(&[("sql", "SELECT a,b FROM t ")])]);
+        let out = xml_to_csv(&[d]).unwrap();
+        assert!(out.csv.contains("\"SELECT a,b FROM t \""));
+    }
+}

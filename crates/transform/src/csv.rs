@@ -1,0 +1,167 @@
+//! RFC 4180-style CSV writing and reading — the transformer's final
+//! intermediate format before warehouse import.
+
+/// Quotes a field if it contains a comma, quote, or newline.
+pub fn quote_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serializes rows (first row conventionally the header) to CSV text.
+pub fn write_csv<S: AsRef<str>>(rows: &[Vec<S>]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        for (i, f) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&quote_field(f.as_ref()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// CSV parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based line where the error was detected.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "csv parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses CSV text into rows of fields, honouring quoted fields with
+/// embedded commas, quotes, and newlines.
+///
+/// # Errors
+///
+/// [`CsvError`] on an unterminated quote or stray quote character.
+pub fn parse_csv(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if field.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        return Err(CsvError {
+                            line,
+                            msg: "quote in the middle of an unquoted field".into(),
+                        });
+                    }
+                }
+                ',' => {
+                    row.push(std::mem::take(&mut field));
+                }
+                '\r' => {}
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                    line += 1;
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError { line, msg: "unterminated quoted field".into() });
+    }
+    if any && (!field.is_empty() || !row.is_empty()) {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_roundtrip() {
+        let rows = vec![
+            vec!["a", "b", "c"],
+            vec!["1", "2", "3"],
+        ];
+        let text = write_csv(&rows);
+        assert_eq!(text, "a,b,c\n1,2,3\n");
+        let back = parse_csv(&text).unwrap();
+        assert_eq!(back, vec![vec!["a", "b", "c"], vec!["1", "2", "3"]]);
+    }
+
+    #[test]
+    fn quoting_special_chars() {
+        let rows = vec![vec!["plain", "with,comma", "with\"quote", "with\nnewline"]];
+        let text = write_csv(&rows);
+        let back = parse_csv(&text).unwrap();
+        assert_eq!(back[0][1], "with,comma");
+        assert_eq!(back[0][2], "with\"quote");
+        assert_eq!(back[0][3], "with\nnewline");
+    }
+
+    #[test]
+    fn empty_fields_preserved() {
+        let back = parse_csv("a,,c\n,,\n").unwrap();
+        assert_eq!(back, vec![vec!["a", "", "c"], vec!["", "", ""]]);
+    }
+
+    #[test]
+    fn missing_trailing_newline_ok() {
+        let back = parse_csv("a,b").unwrap();
+        assert_eq!(back, vec![vec!["a", "b"]]);
+    }
+
+    #[test]
+    fn crlf_tolerated() {
+        let back = parse_csv("a,b\r\nc,d\r\n").unwrap();
+        assert_eq!(back, vec![vec!["a", "b"], vec!["c", "d"]]);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(parse_csv("a\"b,c\n").is_err());
+        assert!(parse_csv("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_no_rows() {
+        assert_eq!(parse_csv("").unwrap().len(), 0);
+    }
+}

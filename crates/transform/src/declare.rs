@@ -1,0 +1,382 @@
+//! Parsing declarations and their execution engine.
+//!
+//! The paper separates *what to parse* from *how to ingest it* (§III-B1):
+//! mScopeDataTransformer "maintains a mapping between input log files and
+//! their specific mScopeParser [… and] instructions for how the specified
+//! mScopeParser should inject semantics into its input logs", supporting
+//! both line-sequence instructions and string-token instructions.
+//!
+//! A [`ParsingDeclaration`] is that mapping entry: a file, a parser
+//! ([`ParserKind`]), a destination table, and constant fields to inject
+//! (node name, tier, …). Executing a declaration yields the annotated XML
+//! of §III-B2 — every log line wrapped in an `<entry>` with semantic child
+//! tags.
+
+use crate::error::TransformError;
+use crate::pattern::Pattern;
+use crate::xml::{self, XmlNode};
+use serde::{Deserialize, Serialize};
+
+/// Cheap line classifiers used by filter stages.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LineMatcher {
+    /// Matches empty / whitespace-only lines.
+    Blank,
+    /// Matches lines starting with the prefix.
+    Prefix(String),
+    /// Matches lines containing the substring.
+    Contains(String),
+}
+
+impl LineMatcher {
+    /// Tests a line.
+    pub fn matches(&self, line: &str) -> bool {
+        match self {
+            LineMatcher::Blank => line.trim().is_empty(),
+            LineMatcher::Prefix(p) => line.starts_with(p.as_str()),
+            LineMatcher::Contains(c) => line.contains(c.as_str()),
+        }
+    }
+}
+
+/// A staged, instruction-driven text parser.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParserSpec {
+    /// Human-readable parser name (e.g. `"SAR mScopeParser"`).
+    pub name: String,
+    /// Lines matching any of these are dropped before parsing (banners,
+    /// repeated headers, blanks).
+    pub filters: Vec<LineMatcher>,
+    /// Patterns whose captures become sticky context merged into subsequent
+    /// records (e.g. IOstat's standalone timestamp lines).
+    pub context: Vec<Pattern>,
+    /// Patterns that each produce one record per matching line.
+    pub records: Vec<Pattern>,
+    /// Line-sequence mode: blocks introduced by a marker line, with
+    /// positional per-line patterns (`None` = skip that line).
+    pub blocks: Option<BlockSpec>,
+}
+
+/// Line-sequence instructions: a marker pattern starts a block; the next
+/// `lines.len()` lines are interpreted positionally.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockSpec {
+    /// Pattern recognizing (and capturing from) the block-start line.
+    pub marker: Pattern,
+    /// Positional patterns for the lines following the marker.
+    pub lines: Vec<Option<Pattern>>,
+}
+
+/// Declarative mapping of an XML input to entries (the "direct XML" path a
+/// modern SAR enables — paper §III-B2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct XmlMapping {
+    /// Element name that delimits one entry (e.g. `"timestamp"`).
+    pub entry_element: String,
+    /// `(attribute, field)` pairs read off the entry element itself.
+    pub entry_attrs: Vec<(String, String)>,
+    /// `(descendant element, attribute, field)` pairs read from within the
+    /// entry.
+    pub leaf_attrs: Vec<(String, String, String)>,
+}
+
+/// How a file is parsed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParserKind {
+    /// Multi-stage text parsing.
+    Staged(ParserSpec),
+    /// Direct XML mapping.
+    XmlDirect(XmlMapping),
+}
+
+/// One entry of the file → parser mapping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParsingDeclaration {
+    /// Path of the log file in the [`LogStore`](mscope_monitors::LogStore).
+    pub path: String,
+    /// Monitor that produced the file.
+    pub monitor_id: String,
+    /// Parser to apply.
+    pub parser: ParserKind,
+    /// Destination mScopeDB table.
+    pub table: String,
+    /// Constant `(field, value)` pairs injected into every entry (node
+    /// name, tier index, …) — semantics the log itself does not carry.
+    pub constants: Vec<(String, String)>,
+}
+
+impl ParsingDeclaration {
+    /// Executes the declaration over file contents, producing the annotated
+    /// `<log>` document.
+    ///
+    /// # Errors
+    ///
+    /// [`TransformError::UnparsedLine`] when a surviving line matches no
+    /// instruction (format drift is an error, not silence); XML errors for
+    /// the direct path.
+    pub fn execute(&self, content: &str) -> Result<XmlNode, TransformError> {
+        let entries = match &self.parser {
+            ParserKind::Staged(spec) => self.run_staged(spec, content)?,
+            ParserKind::XmlDirect(map) => self.run_xml(map, content)?,
+        };
+        let mut root = XmlNode::new("log")
+            .attr("source", &self.path)
+            .attr("monitor", &self.monitor_id)
+            .attr("table", &self.table);
+        root.children = entries;
+        Ok(root)
+    }
+
+    fn make_entry(&self, fields: &[(String, String)]) -> XmlNode {
+        let mut entry = XmlNode::new("entry");
+        for (k, v) in &self.constants {
+            entry.children.push(XmlNode::new(k.clone()).with_text(v.clone()));
+        }
+        for (k, v) in fields {
+            entry.children.push(XmlNode::new(k.clone()).with_text(v.clone()));
+        }
+        entry
+    }
+
+    fn run_staged(
+        &self,
+        spec: &ParserSpec,
+        content: &str,
+    ) -> Result<Vec<XmlNode>, TransformError> {
+        let mut entries = Vec::new();
+        let mut ctx: Vec<(String, String)> = Vec::new();
+        // Block mode state: Some((captures, next line index)) while inside.
+        let mut block: Option<(Vec<(String, String)>, usize)> = None;
+
+        'lines: for (ln, line) in content.lines().enumerate() {
+            if spec.filters.iter().any(|f| f.matches(line)) {
+                continue;
+            }
+            if let Some(bs) = &spec.blocks {
+                if let Some(caps) = bs.marker.match_line(line) {
+                    // New block begins (flushing any incomplete previous one
+                    // would hide truncation; incomplete blocks are dropped
+                    // only at EOF, mirroring a tool killed mid-record).
+                    block = Some((caps, 0));
+                    continue;
+                }
+                if let Some((fields, idx)) = &mut block {
+                    let Some(slot) = bs.lines.get(*idx) else {
+                        return Err(TransformError::UnparsedLine {
+                            file: self.path.clone(),
+                            line_no: ln + 1,
+                            line: line.to_string(),
+                        });
+                    };
+                    if let Some(pat) = slot {
+                        let caps = pat.match_line(line).ok_or_else(|| {
+                            TransformError::UnparsedLine {
+                                file: self.path.clone(),
+                                line_no: ln + 1,
+                                line: line.to_string(),
+                            }
+                        })?;
+                        fields.extend(caps);
+                    }
+                    *idx += 1;
+                    if *idx == bs.lines.len() {
+                        let (fields, _) = block.take().expect("inside block");
+                        entries.push(self.make_entry(&fields));
+                    }
+                    continue;
+                }
+            }
+            for pat in &spec.context {
+                if let Some(caps) = pat.match_line(line) {
+                    for (k, v) in caps {
+                        ctx.retain(|(ck, _)| *ck != k);
+                        ctx.push((k, v));
+                    }
+                    continue 'lines;
+                }
+            }
+            for pat in &spec.records {
+                if let Some(caps) = pat.match_line(line) {
+                    let mut fields = ctx.clone();
+                    fields.extend(caps);
+                    entries.push(self.make_entry(&fields));
+                    continue 'lines;
+                }
+            }
+            return Err(TransformError::UnparsedLine {
+                file: self.path.clone(),
+                line_no: ln + 1,
+                line: line.to_string(),
+            });
+        }
+        Ok(entries)
+    }
+
+    fn run_xml(&self, map: &XmlMapping, content: &str) -> Result<Vec<XmlNode>, TransformError> {
+        let doc = xml::parse(content).map_err(TransformError::Xml)?;
+        let mut entries = Vec::new();
+        for el in doc.find_all(&map.entry_element) {
+            let mut fields: Vec<(String, String)> = Vec::new();
+            for (attr, field) in &map.entry_attrs {
+                if let Some(v) = el.get_attr(attr) {
+                    fields.push((field.clone(), v.to_string()));
+                }
+            }
+            for (elem, attr, field) in &map.leaf_attrs {
+                if let Some(leaf) = el.find_all(elem).first() {
+                    if let Some(v) = leaf.get_attr(attr) {
+                        fields.push((field.clone(), v.to_string()));
+                    }
+                }
+            }
+            entries.push(self.make_entry(&fields));
+        }
+        Ok(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Tok;
+
+    fn decl(parser: ParserKind) -> ParsingDeclaration {
+        ParsingDeclaration {
+            path: "test.log".into(),
+            monitor_id: "m1".into(),
+            parser,
+            table: "t".into(),
+            constants: vec![("node".into(), "apache0".into())],
+        }
+    }
+
+    #[test]
+    fn records_mode_with_filters() {
+        let spec = ParserSpec {
+            name: "test".into(),
+            filters: vec![LineMatcher::Prefix("#".into()), LineMatcher::Blank],
+            context: vec![],
+            records: vec![Pattern::new(vec![
+                Tok::cap("key"),
+                Tok::lit("="),
+                Tok::cap("val"),
+            ])],
+            blocks: None,
+        };
+        let doc = decl(ParserKind::Staged(spec))
+            .execute("# header\n\na=1\nb=2\n")
+            .unwrap();
+        assert_eq!(doc.children.len(), 2);
+        let e = &doc.children[0];
+        assert_eq!(e.find("node").unwrap().text, "apache0", "constant injected");
+        assert_eq!(e.find("key").unwrap().text, "a");
+        assert_eq!(e.find("val").unwrap().text, "1");
+        assert_eq!(doc.get_attr("table"), Some("t"));
+    }
+
+    #[test]
+    fn unparsed_line_is_an_error() {
+        let spec = ParserSpec {
+            name: "strict".into(),
+            filters: vec![],
+            context: vec![],
+            records: vec![Pattern::new(vec![Tok::lit("ok")])],
+            blocks: None,
+        };
+        let err = decl(ParserKind::Staged(spec)).execute("ok\nBAD LINE\n").unwrap_err();
+        match err {
+            TransformError::UnparsedLine { line_no, line, .. } => {
+                assert_eq!(line_no, 2);
+                assert_eq!(line, "BAD LINE");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn context_sticks_until_replaced() {
+        let spec = ParserSpec {
+            name: "ctx".into(),
+            filters: vec![],
+            context: vec![Pattern::new(vec![Tok::wall("time")])],
+            records: vec![Pattern::new(vec![Tok::lit("v="), Tok::cap("v")])],
+            blocks: None,
+        };
+        let doc = decl(ParserKind::Staged(spec))
+            .execute("00:00:01.000000\nv=1\nv=2\n00:00:02.000000\nv=3\n")
+            .unwrap();
+        assert_eq!(doc.children.len(), 3);
+        assert_eq!(doc.children[1].find("time").unwrap().text, "00:00:01.000000");
+        assert_eq!(doc.children[2].find("time").unwrap().text, "00:00:02.000000");
+    }
+
+    #[test]
+    fn block_mode_positional_lines() {
+        let spec = ParserSpec {
+            name: "blocks".into(),
+            filters: vec![],
+            context: vec![],
+            records: vec![],
+            blocks: Some(BlockSpec {
+                marker: Pattern::new(vec![Tok::lit("=== "), Tok::cap("rec"), Tok::lit(" ===")]),
+                lines: vec![
+                    None,
+                    Some(Pattern::new(vec![Tok::cap("a"), Tok::Ws, Tok::cap("b")])),
+                ],
+            }),
+        };
+        let doc = decl(ParserKind::Staged(spec))
+            .execute("=== 1 ===\nheader junk\n10 20\n=== 2 ===\nheader junk\n30 40\n")
+            .unwrap();
+        assert_eq!(doc.children.len(), 2);
+        assert_eq!(doc.children[0].find("a").unwrap().text, "10");
+        assert_eq!(doc.children[1].find("b").unwrap().text, "40");
+        assert_eq!(doc.children[0].find("rec").unwrap().text, "1");
+    }
+
+    #[test]
+    fn incomplete_trailing_block_dropped() {
+        let spec = ParserSpec {
+            name: "blocks".into(),
+            filters: vec![],
+            context: vec![],
+            records: vec![],
+            blocks: Some(BlockSpec {
+                marker: Pattern::new(vec![Tok::lit("M")]),
+                lines: vec![Some(Pattern::new(vec![Tok::cap("x")]))],
+            }),
+        };
+        let doc = decl(ParserKind::Staged(spec)).execute("M\n1\nM\n").unwrap();
+        assert_eq!(doc.children.len(), 1, "truncated final block is dropped");
+    }
+
+    #[test]
+    fn xml_direct_mapping() {
+        let map = XmlMapping {
+            entry_element: "timestamp".into(),
+            entry_attrs: vec![("time".into(), "time".into())],
+            leaf_attrs: vec![("cpu".into(), "user".into(), "cpu_user".into())],
+        };
+        let xml_in = "<sysstat><host><statistics>\
+            <timestamp time=\"00:00:01.000000\"><cpu-load><cpu number=\"all\" user=\"12.5\"/></cpu-load></timestamp>\
+            <timestamp time=\"00:00:02.000000\"><cpu-load><cpu number=\"all\" user=\"14.0\"/></cpu-load></timestamp>\
+            </statistics></host></sysstat>";
+        let doc = decl(ParserKind::XmlDirect(map)).execute(xml_in).unwrap();
+        assert_eq!(doc.children.len(), 2);
+        assert_eq!(doc.children[0].find("time").unwrap().text, "00:00:01.000000");
+        assert_eq!(doc.children[1].find("cpu_user").unwrap().text, "14.0");
+    }
+
+    #[test]
+    fn xml_direct_rejects_bad_xml() {
+        let map = XmlMapping {
+            entry_element: "t".into(),
+            entry_attrs: vec![],
+            leaf_attrs: vec![],
+        };
+        assert!(matches!(
+            decl(ParserKind::XmlDirect(map)).execute("<broken"),
+            Err(TransformError::Xml(_))
+        ));
+    }
+}

@@ -1,0 +1,180 @@
+//! mScope Data Importer (paper §III-B3, final stage): creates warehouse
+//! tables from inferred schemas and loads the CSV tuples.
+
+use crate::csv::parse_csv;
+use crate::error::TransformError;
+use mscope_db::{ColumnType, Database, Schema, Value};
+
+/// Parses a raw CSV cell into a value of the column's inferred type.
+///
+/// Empty cells and `"-"` load as [`Value::Null`] regardless of type.
+///
+/// # Errors
+///
+/// [`TransformError::BadCell`] when the text cannot be read as the type —
+/// the schema was inferred from this very data, so a failure here means the
+/// pipeline is internally inconsistent and must not load silently-wrong
+/// numbers.
+pub fn parse_cell(table: &str, column: &str, ty: ColumnType, raw: &str) -> Result<Value, TransformError> {
+    let t = raw.trim();
+    if t.is_empty() || t == "-" {
+        return Ok(Value::Null);
+    }
+    let bad = || TransformError::BadCell {
+        table: table.to_string(),
+        column: column.to_string(),
+        value: raw.to_string(),
+        expected: ty,
+    };
+    match ty {
+        ColumnType::Null | ColumnType::Text => Ok(Value::Text(t.to_string())),
+        ColumnType::Bool => match t {
+            "true" | "TRUE" | "True" => Ok(Value::Bool(true)),
+            "false" | "FALSE" | "False" => Ok(Value::Bool(false)),
+            _ => Err(bad()),
+        },
+        ColumnType::Int => t.parse::<i64>().map(Value::Int).map_err(|_| bad()),
+        ColumnType::Float => t.parse::<f64>().map(Value::Float).map_err(|_| bad()),
+        ColumnType::Timestamp => mscope_sim::parse_wallclock(t)
+            .map(|ts| Value::Timestamp(ts.as_micros() as i64))
+            .ok_or_else(bad),
+    }
+}
+
+/// Creates (or verifies) the destination table and loads the CSV rows.
+/// Returns the number of rows loaded.
+///
+/// # Errors
+///
+/// CSV parse errors, header/schema mismatches, cell parse failures, and
+/// warehouse errors (schema conflicts with an existing table).
+pub fn import_csv(
+    db: &mut Database,
+    table: &str,
+    schema: &Schema,
+    csv: &str,
+) -> Result<usize, TransformError> {
+    let rows = parse_csv(csv).map_err(TransformError::Csv)?;
+    let Some((header, data)) = rows.split_first() else {
+        // Nothing to load; still materialize the (possibly empty) table.
+        db.ensure_table(table, schema.clone()).map_err(TransformError::Db)?;
+        return Ok(0);
+    };
+    let expected: Vec<&str> = schema.columns().iter().map(|c| c.name.as_str()).collect();
+    let got: Vec<&str> = header.iter().map(String::as_str).collect();
+    if expected != got {
+        return Err(TransformError::HeaderMismatch {
+            table: table.to_string(),
+            expected: expected.join(","),
+            got: got.join(","),
+        });
+    }
+    db.ensure_table(table, schema.clone()).map_err(TransformError::Db)?;
+    let mut loaded = 0usize;
+    for row in data {
+        if row.len() != schema.len() {
+            return Err(TransformError::HeaderMismatch {
+                table: table.to_string(),
+                expected: format!("{} columns", schema.len()),
+                got: format!("{} columns", row.len()),
+            });
+        }
+        let values: Vec<Value> = row
+            .iter()
+            .zip(schema.columns())
+            .map(|(raw, col)| parse_cell(table, &col.name, col.ty, raw))
+            .collect::<Result<_, _>>()?;
+        db.insert(table, values).map_err(TransformError::Db)?;
+        loaded += 1;
+    }
+    Ok(loaded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mscope_db::Column;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("t", ColumnType::Timestamp),
+            Column::new("v", ColumnType::Float),
+            Column::new("n", ColumnType::Text),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn loads_typed_rows() {
+        let mut db = Database::new();
+        let csv = "t,v,n\n00:00:01.000000,12.5,apache0\n00:00:02.000000,13.0,apache0\n";
+        let n = import_csv(&mut db, "m", &schema(), csv).unwrap();
+        assert_eq!(n, 2);
+        let t = db.require("m").unwrap();
+        assert_eq!(t.cell(0, "t"), Some(&Value::Timestamp(1_000_000)));
+        assert_eq!(t.cell(1, "v"), Some(&Value::Float(13.0)));
+    }
+
+    #[test]
+    fn nulls_load_as_null() {
+        let mut db = Database::new();
+        let csv = "t,v,n\n00:00:01.000000,,-\n";
+        import_csv(&mut db, "m", &schema(), csv).unwrap();
+        let t = db.require("m").unwrap();
+        assert_eq!(t.cell(0, "v"), Some(&Value::Null));
+        assert_eq!(t.cell(0, "n"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let mut db = Database::new();
+        let csv = "wrong,header,row\n1,2,3\n";
+        assert!(matches!(
+            import_csv(&mut db, "m", &schema(), csv),
+            Err(TransformError::HeaderMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_cell_rejected() {
+        let mut db = Database::new();
+        let csv = "t,v,n\nnot-a-time,1.0,x\n";
+        assert!(matches!(
+            import_csv(&mut db, "m", &schema(), csv),
+            Err(TransformError::BadCell { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_csv_creates_empty_table() {
+        let mut db = Database::new();
+        let n = import_csv(&mut db, "m", &schema(), "").unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(db.require("m").unwrap().row_count(), 0);
+    }
+
+    #[test]
+    fn second_load_appends_when_schema_matches() {
+        let mut db = Database::new();
+        let csv = "t,v,n\n00:00:01.000000,1.0,x\n";
+        import_csv(&mut db, "m", &schema(), csv).unwrap();
+        import_csv(&mut db, "m", &schema(), csv).unwrap();
+        assert_eq!(db.require("m").unwrap().row_count(), 2);
+    }
+
+    #[test]
+    fn parse_cell_all_types() {
+        assert_eq!(parse_cell("t", "c", ColumnType::Int, "42").unwrap(), Value::Int(42));
+        assert_eq!(parse_cell("t", "c", ColumnType::Bool, "true").unwrap(), Value::Bool(true));
+        assert_eq!(
+            parse_cell("t", "c", ColumnType::Float, "1e2").unwrap(),
+            Value::Float(100.0)
+        );
+        assert_eq!(
+            parse_cell("t", "c", ColumnType::Text, "hi").unwrap(),
+            Value::Text("hi".into())
+        );
+        assert!(parse_cell("t", "c", ColumnType::Int, "x").is_err());
+        assert!(parse_cell("t", "c", ColumnType::Bool, "2").is_err());
+    }
+}

@@ -1,0 +1,260 @@
+//! The token-pattern engine behind parsing instructions.
+//!
+//! The paper's parsers are governed by declarative instructions: "these
+//! parsers support adding semantics to files using either the sequence of
+//! lines in a file or specific string tokens (expressed as regular
+//! expressions)" (§III-B1). This module is the string-token half: a small
+//! scanf-style matcher — literals, whitespace runs, named captures — that
+//! is expressive enough for every monitor format in the suite while staying
+//! fully inspectable (a pattern *is* the instruction, data not code).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One token of a line pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Tok {
+    /// Exact literal text.
+    Lit(String),
+    /// One or more whitespace characters.
+    Ws,
+    /// Named capture: consumes lazily until the next token matches (or to
+    /// end of line if last).
+    Cap(String),
+    /// Named capture that must look like a wall-clock timestamp
+    /// (`HH:MM:SS[.ffffff]`).
+    Wall(String),
+}
+
+/// Convenience constructors.
+impl Tok {
+    /// Literal token.
+    pub fn lit(s: &str) -> Tok {
+        Tok::Lit(s.to_string())
+    }
+    /// Capture token.
+    pub fn cap(name: &str) -> Tok {
+        Tok::Cap(name.to_string())
+    }
+    /// Wall-clock capture token.
+    pub fn wall(name: &str) -> Tok {
+        Tok::Wall(name.to_string())
+    }
+}
+
+/// A line pattern: a sequence of tokens that must match the entire line.
+///
+/// # Examples
+///
+/// ```
+/// use mscope_transform::{Pattern, Tok};
+///
+/// let p = Pattern::new(vec![
+///     Tok::wall("time"), Tok::Ws, Tok::lit("all"), Tok::Ws, Tok::cap("user"),
+/// ]);
+/// let caps = p.match_line("00:00:01.500000     all      12.34").unwrap();
+/// assert_eq!(caps[0], ("time".to_string(), "00:00:01.500000".to_string()));
+/// assert_eq!(caps[1].1, "12.34");
+/// assert!(p.match_line("garbage").is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pattern {
+    toks: Vec<Tok>,
+}
+
+impl Pattern {
+    /// Builds a pattern from tokens.
+    pub fn new(toks: Vec<Tok>) -> Pattern {
+        Pattern { toks }
+    }
+
+    /// The tokens.
+    pub fn tokens(&self) -> &[Tok] {
+        &self.toks
+    }
+
+    /// Names of the captures, in order.
+    pub fn capture_names(&self) -> Vec<&str> {
+        self.toks
+            .iter()
+            .filter_map(|t| match t {
+                Tok::Cap(n) | Tok::Wall(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Attempts to match the whole line; returns `(name, value)` capture
+    /// pairs on success.
+    pub fn match_line(&self, line: &str) -> Option<Vec<(String, String)>> {
+        let mut caps = Vec::new();
+        if Self::match_from(&self.toks, line, &mut caps) {
+            Some(caps)
+        } else {
+            None
+        }
+    }
+
+    fn match_from(toks: &[Tok], rest: &str, caps: &mut Vec<(String, String)>) -> bool {
+        let Some((tok, tail_toks)) = toks.split_first() else {
+            return rest.is_empty();
+        };
+        match tok {
+            Tok::Lit(l) => rest
+                .strip_prefix(l.as_str())
+                .is_some_and(|r| Self::match_from(tail_toks, r, caps)),
+            Tok::Ws => {
+                let trimmed = rest.trim_start();
+                if trimmed.len() == rest.len() {
+                    return false; // needs at least one whitespace char
+                }
+                Self::match_from(tail_toks, trimmed, caps)
+            }
+            Tok::Cap(name) | Tok::Wall(name) => {
+                let is_wall = matches!(tok, Tok::Wall(_));
+                // Lazily extend the capture until the remaining tokens match.
+                // Candidate end positions: before each char boundary + EOL.
+                let mut end = 0usize;
+                loop {
+                    let candidate = &rest[..end];
+                    let viable = !candidate.is_empty()
+                        && (!is_wall || looks_like_wallclock(candidate));
+                    if viable {
+                        caps.push((name.clone(), candidate.to_string()));
+                        if Self::match_from(tail_toks, &rest[end..], caps) {
+                            return true;
+                        }
+                        caps.pop();
+                    }
+                    if end >= rest.len() {
+                        return false;
+                    }
+                    // Advance one char.
+                    end += rest[end..].chars().next().map_or(1, char::len_utf8);
+                    // Plain captures never cross whitespace when the next
+                    // token is Ws — handled naturally by backtracking, but
+                    // bound capture growth for sanity: captures stop at
+                    // newline (lines never contain one anyway).
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.toks {
+            match t {
+                Tok::Lit(l) => write!(f, "{l}")?,
+                Tok::Ws => write!(f, " ")?,
+                Tok::Cap(n) => write!(f, "<{n}>")?,
+                Tok::Wall(n) => write!(f, "<{n}:wall>")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `true` if `s` looks like `HH:MM:SS` optionally followed by `.fraction`.
+pub fn looks_like_wallclock(s: &str) -> bool {
+    mscope_sim::parse_wallclock(s).is_some()
+}
+
+/// Builds the common `key=value` suffix tokens `ua= ud= ds= dr=` used by
+/// every event-log pattern.
+pub fn timestamp_suffix_tokens() -> Vec<Tok> {
+    let mut toks = Vec::new();
+    for (i, key) in ["ua", "ud", "ds", "dr"].iter().enumerate() {
+        if i > 0 {
+            toks.push(Tok::Ws);
+        }
+        toks.push(Tok::lit(&format!("{key}=")));
+        toks.push(Tok::cap(key));
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_and_ws() {
+        let p = Pattern::new(vec![Tok::lit("a"), Tok::Ws, Tok::lit("b")]);
+        assert!(p.match_line("a b").is_some());
+        assert!(p.match_line("a    b").is_some());
+        assert!(p.match_line("ab").is_none());
+        assert!(p.match_line("a b ").is_none(), "must match whole line");
+    }
+
+    #[test]
+    fn capture_until_next_literal() {
+        let p = Pattern::new(vec![Tok::lit("ID="), Tok::cap("id"), Tok::lit(" end")]);
+        let caps = p.match_line("ID=00AB end").unwrap();
+        assert_eq!(caps, vec![("id".to_string(), "00AB".to_string())]);
+    }
+
+    #[test]
+    fn capture_at_end_takes_rest() {
+        let p = Pattern::new(vec![Tok::lit("x="), Tok::cap("v")]);
+        assert_eq!(p.match_line("x=hello world").unwrap()[0].1, "hello world");
+        assert!(p.match_line("x=").is_none(), "captures are non-empty");
+    }
+
+    #[test]
+    fn lazy_capture_backtracks() {
+        // The first "/*" would be a greedy trap; lazy matching finds the
+        // split that satisfies the rest of the pattern.
+        let p = Pattern::new(vec![
+            Tok::cap("sql"),
+            Tok::lit("/*ID="),
+            Tok::cap("id"),
+            Tok::lit("*/"),
+        ]);
+        let caps = p.match_line("SELECT a /*x*/ FROM t /*ID=7F*/").unwrap();
+        assert_eq!(caps[0].1, "SELECT a /*x*/ FROM t ");
+        assert_eq!(caps[1].1, "7F");
+    }
+
+    #[test]
+    fn wallclock_capture_is_shape_checked() {
+        let p = Pattern::new(vec![Tok::wall("t")]);
+        assert!(p.match_line("00:00:01.500000").is_some());
+        assert!(p.match_line("12:59:59").is_some());
+        assert!(p.match_line("Device:").is_none());
+        assert!(p.match_line("1234").is_none());
+    }
+
+    #[test]
+    fn wallclock_then_fields() {
+        let p = Pattern::new(vec![Tok::wall("t"), Tok::Ws, Tok::cap("v")]);
+        let caps = p.match_line("00:00:00.050000 42.5").unwrap();
+        assert_eq!(caps[0].1, "00:00:00.050000");
+        assert_eq!(caps[1].1, "42.5");
+    }
+
+    #[test]
+    fn capture_names_listed() {
+        let p = Pattern::new(vec![Tok::wall("t"), Tok::Ws, Tok::cap("a"), Tok::Ws, Tok::cap("b")]);
+        assert_eq!(p.capture_names(), vec!["t", "a", "b"]);
+    }
+
+    #[test]
+    fn suffix_tokens_match_rendered_suffix() {
+        let mut toks = vec![Tok::lit("x")];
+        toks.push(Tok::Ws);
+        toks.extend(timestamp_suffix_tokens());
+        let p = Pattern::new(toks);
+        let caps = p
+            .match_line("x ua=00:00:00.010000 ud=00:00:00.020000 ds=- dr=-")
+            .unwrap();
+        assert_eq!(caps.len(), 4);
+        assert_eq!(caps[2], ("ds".to_string(), "-".to_string()));
+    }
+
+    #[test]
+    fn display_renders_template() {
+        let p = Pattern::new(vec![Tok::lit("ID="), Tok::cap("id"), Tok::Ws, Tok::wall("t")]);
+        assert_eq!(p.to_string(), "ID=<id> <t:wall>");
+    }
+}

@@ -1,0 +1,287 @@
+//! The end-to-end mScopeDataTransformer pipeline (paper Fig. 3):
+//! parsing declarations → mScopeParsers → annotated XML → XMLtoCSV
+//! converter (schema inference) → Data Importer → mScopeDB.
+
+use crate::convert::xml_to_csv;
+use crate::error::TransformError;
+use crate::import::import_csv;
+use crate::parsers::declaration_for;
+use crate::declare::ParsingDeclaration;
+use mscope_db::Database;
+use mscope_monitors::{LogFileMeta, LogStore, MonitorKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What one pipeline run produced.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TransformReport {
+    /// Files parsed.
+    pub files: usize,
+    /// Entries extracted across all files.
+    pub entries: usize,
+    /// `(table, rows-loaded)` per destination table.
+    pub tables: Vec<(String, usize)>,
+}
+
+/// The transformer: a set of parsing declarations derived from the monitor
+/// manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataTransformer {
+    declarations: Vec<ParsingDeclaration>,
+    manifest: Vec<LogFileMeta>,
+}
+
+impl DataTransformer {
+    /// Builds declarations for every file in a monitor manifest — the
+    /// "parsing declaration" stage.
+    pub fn from_manifest(manifest: &[LogFileMeta]) -> DataTransformer {
+        DataTransformer {
+            declarations: manifest.iter().map(declaration_for).collect(),
+            manifest: manifest.to_vec(),
+        }
+    }
+
+    /// The declarations (file → parser mapping), for inspection.
+    pub fn declarations(&self) -> &[ParsingDeclaration] {
+        &self.declarations
+    }
+
+    /// Runs the full pipeline: every declared file is parsed to annotated
+    /// XML; documents destined for the same table are converted together
+    /// (so schema inference unions across replicas); CSV is loaded into the
+    /// warehouse; and the static metadata tables (`monitors`, `log_files`)
+    /// are populated.
+    ///
+    /// # Errors
+    ///
+    /// The first error from any stage; nothing is half-loaded on error for
+    /// the failing table, but previously completed tables remain.
+    pub fn run(&self, store: &LogStore, db: &mut Database) -> Result<TransformReport, TransformError> {
+        // Group declarations by destination table, preserving order.
+        let mut groups: BTreeMap<&str, Vec<&ParsingDeclaration>> = BTreeMap::new();
+        for d in &self.declarations {
+            groups.entry(&d.table).or_default().push(d);
+        }
+        let mut report = TransformReport::default();
+        for (table, decls) in groups {
+            let mut docs = Vec::with_capacity(decls.len());
+            for d in decls {
+                let content = store
+                    .read(&d.path)
+                    .ok_or_else(|| TransformError::MissingFile(d.path.clone()))?;
+                docs.push(d.execute(content)?);
+                report.files += 1;
+            }
+            let converted = xml_to_csv(&docs)?;
+            report.entries += converted.rows;
+            let loaded = import_csv(db, table, &converted.schema, &converted.csv)?;
+            report.tables.push((table.to_string(), loaded));
+        }
+        // Metadata registration.
+        for m in &self.manifest {
+            let kind = match m.kind {
+                MonitorKind::Event => "event",
+                MonitorKind::Resource => "resource",
+            };
+            db.register_monitor(&m.monitor_id, &m.node.to_string(), &m.tool, kind, m.period_ms as i64)
+                .map_err(TransformError::Db)?;
+            let bytes = store.size(&m.path).unwrap_or(0) as i64;
+            db.register_log_file(&m.path, &m.node.to_string(), &m.monitor_id, &m.format, bytes)
+                .map_err(TransformError::Db)?;
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mscope_monitors::MonitorSuite;
+    use mscope_ntier::{Simulator, SystemConfig};
+    use mscope_sim::SimDuration;
+
+    fn artifacts() -> (mscope_ntier::RunOutput, mscope_monitors::MonitoringArtifacts) {
+        let mut cfg = SystemConfig::rubbos_baseline(60);
+        cfg.duration = SimDuration::from_secs(6);
+        cfg.warmup = SimDuration::from_secs(2);
+        cfg.workload.ramp_up = SimDuration::from_secs(1);
+        let out = Simulator::new(cfg).unwrap().run();
+        let art = MonitorSuite::standard(&out.config).render(&out);
+        (out, art)
+    }
+
+    #[test]
+    fn full_pipeline_loads_all_tables() {
+        let (_out, art) = artifacts();
+        let tr = DataTransformer::from_manifest(&art.manifest);
+        let mut db = Database::new();
+        let report = tr.run(&art.store, &mut db).unwrap();
+        assert_eq!(report.files, art.manifest.len());
+        assert!(report.entries > 100, "entries {}", report.entries);
+        // Expected dynamic tables.
+        let names = db.dynamic_table_names();
+        for expect in [
+            "collectl",
+            "sar",
+            "sar_xml",
+            "iostat",
+            "event_apache",
+            "event_tomcat",
+            "event_cjdbc",
+            "event_mysql",
+        ] {
+            assert!(names.contains(&expect), "missing table {expect}: {names:?}");
+        }
+        // Metadata registered.
+        assert_eq!(db.table("monitors").unwrap().row_count(), art.manifest.len());
+        assert_eq!(db.table("log_files").unwrap().row_count(), art.manifest.len());
+    }
+
+    #[test]
+    fn event_table_contents_match_run() {
+        let (out, art) = artifacts();
+        let tr = DataTransformer::from_manifest(&art.manifest);
+        let mut db = Database::new();
+        tr.run(&art.store, &mut db).unwrap();
+        let apache = db.require("event_apache").unwrap();
+        // One row per line in the Apache access log.
+        let lines = art
+            .store
+            .read("logs/tier0-0/access_log")
+            .unwrap()
+            .lines()
+            .count();
+        assert_eq!(apache.row_count(), lines);
+        // Request IDs are 12-hex fixed width text.
+        let ids = apache.column("request_id").unwrap();
+        assert!(ids.iter().all(|v| v.as_str().is_some_and(|s| s.len() == 12)));
+        // ua column is timestamps (µs) and all within the run.
+        let ua = apache.numeric_column("ua");
+        assert_eq!(ua.len(), lines);
+        assert!(ua.iter().all(|&t| t >= 0.0 && t <= out.end_time.as_micros() as f64));
+    }
+
+    #[test]
+    fn collectl_table_has_node_constant_per_tier() {
+        let (_out, art) = artifacts();
+        let tr = DataTransformer::from_manifest(&art.manifest);
+        let mut db = Database::new();
+        tr.run(&art.store, &mut db).unwrap();
+        let collectl = db.require("collectl").unwrap();
+        let nodes: std::collections::BTreeSet<String> = collectl
+            .column("node")
+            .unwrap()
+            .iter()
+            .filter_map(|v| v.as_str().map(String::from))
+            .collect();
+        assert_eq!(nodes.len(), 4, "all four nodes present: {nodes:?}");
+        // Disk util numeric and bounded.
+        let util = collectl.numeric_column("disk_util");
+        assert!(util.iter().all(|&u| (0.0..=100.0).contains(&u)));
+    }
+
+    #[test]
+    fn sar_text_and_xml_agree() {
+        let (_out, art) = artifacts();
+        let tr = DataTransformer::from_manifest(&art.manifest);
+        let mut db = Database::new();
+        tr.run(&art.store, &mut db).unwrap();
+        let text = db.require("sar").unwrap();
+        let xml = db.require("sar_xml").unwrap();
+        assert_eq!(text.row_count(), xml.row_count());
+        // Same cpu_user series modulo float formatting.
+        let a = text.numeric_column("cpu_user");
+        let b = xml.numeric_column("cpu_user");
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 0.01, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let (_out, art) = artifacts();
+        let tr = DataTransformer::from_manifest(&art.manifest);
+        let mut db = Database::new();
+        let empty = LogStore::new();
+        assert!(matches!(
+            tr.run(&empty, &mut db),
+            Err(TransformError::MissingFile(_))
+        ));
+    }
+
+    #[test]
+    fn corrupted_log_line_is_an_error() {
+        let (_out, mut art) = artifacts();
+        art.store.append_line("logs/tier0-0/access_log", "THIS IS NOT AN ACCESS LOG LINE");
+        let tr = DataTransformer::from_manifest(&art.manifest);
+        let mut db = Database::new();
+        assert!(matches!(
+            tr.run(&art.store, &mut db),
+            Err(TransformError::UnparsedLine { .. })
+        ));
+    }
+
+    #[test]
+    fn disabled_event_monitors_yield_resource_tables_only() {
+        let mut cfg = SystemConfig::rubbos_baseline(40);
+        cfg.duration = SimDuration::from_secs(4);
+        cfg.warmup = SimDuration::from_secs(1);
+        cfg.monitoring.event_monitors = false;
+        let out = Simulator::new(cfg).unwrap().run();
+        let art = MonitorSuite::standard(&out.config).render(&out);
+        let tr = DataTransformer::from_manifest(&art.manifest);
+        let mut db = Database::new();
+        tr.run(&art.store, &mut db).unwrap();
+        assert!(db
+            .dynamic_table_names()
+            .iter()
+            .all(|n| !n.starts_with("event_")));
+    }
+
+    #[test]
+    fn event_mysql_ids_join_with_event_apache() {
+        let (_out, art) = artifacts();
+        let tr = DataTransformer::from_manifest(&art.manifest);
+        let mut db = Database::new();
+        tr.run(&art.store, &mut db).unwrap();
+        let apache = db.require("event_apache").unwrap();
+        let mysql = db.require("event_mysql").unwrap();
+        let joined = apache.inner_join(mysql, "request_id", "request_id").unwrap();
+        // Every MySQL-visiting request also went through Apache.
+        assert_eq!(joined.row_count(), mysql.row_count());
+        assert!(joined.row_count() > 10);
+    }
+}
+
+#[cfg(test)]
+mod sar_subsystem_tests {
+    use super::*;
+    use mscope_monitors::MonitorSuite;
+    use mscope_ntier::{Simulator, SystemConfig};
+    use mscope_sim::SimDuration;
+
+    #[test]
+    fn sar_mem_and_net_tables_load() {
+        let mut cfg = SystemConfig::rubbos_baseline(60);
+        cfg.duration = SimDuration::from_secs(6);
+        cfg.warmup = SimDuration::from_secs(2);
+        cfg.workload.ramp_up = SimDuration::from_secs(1);
+        let out = Simulator::new(cfg).unwrap().run();
+        let art = MonitorSuite::standard(&out.config).render(&out);
+        let mut db = Database::new();
+        DataTransformer::from_manifest(&art.manifest)
+            .run(&art.store, &mut db)
+            .unwrap();
+        let mem = db.require("sar_mem").unwrap();
+        assert!(mem.row_count() > 10);
+        // Dirty kB is 4x the page count in the collectl table at the same
+        // node & time (sar-mem reports kbdirty, collectl reports pages).
+        let dirty_kb = mem.numeric_column("mem_dirty_kb");
+        assert!(dirty_kb.iter().all(|&v| v >= 0.0));
+        let net = db.require("sar_net").unwrap();
+        assert_eq!(net.row_count(), mem.row_count());
+        let rx = net.numeric_column("net_rx_kb");
+        assert!(rx.iter().any(|&v| v > 0.0), "traffic flowed");
+    }
+}

@@ -1,0 +1,396 @@
+//! The dynamic data warehouse itself.
+//!
+//! Per the paper (§III-C), mScopeDB keeps **four static tables** of
+//! loading-metadata — experiments, nodes, monitors, and log files — plus
+//! **dynamically created tables** for the monitoring data that
+//! mScopeDataTransformer produces on the fly.
+
+use crate::table::{Column, Schema, Table};
+use crate::value::{ColumnType, Value};
+use crate::DbError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Names of the four static metadata tables.
+pub const STATIC_TABLES: [&str; 4] = ["experiments", "nodes", "monitors", "log_files"];
+
+/// The mScopeDB warehouse: static metadata plus dynamic data tables.
+///
+/// # Examples
+///
+/// ```
+/// use mscope_db::{Column, ColumnType, Database, Schema, Value};
+///
+/// let mut db = Database::new();
+/// let schema = Schema::new(vec![
+///     Column::new("time_us", ColumnType::Int),
+///     Column::new("disk_util", ColumnType::Float),
+/// ])?;
+/// db.create_table("collectl_disk_mysql0", schema)?;
+/// db.insert("collectl_disk_mysql0", vec![Value::Int(0), Value::Float(97.0)])?;
+/// assert_eq!(db.table("collectl_disk_mysql0").unwrap().row_count(), 1);
+/// # Ok::<(), mscope_db::DbError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// Creates a warehouse with the four static metadata tables already in
+    /// place.
+    pub fn new() -> Database {
+        let mut tables = BTreeMap::new();
+        let experiments = Schema::new(vec![
+            Column::new("experiment_id", ColumnType::Int),
+            Column::new("name", ColumnType::Text),
+            Column::new("users", ColumnType::Int),
+            Column::new("duration_ms", ColumnType::Int),
+            Column::new("seed", ColumnType::Int),
+        ])
+        .expect("static schema is valid");
+        let nodes = Schema::new(vec![
+            Column::new("node", ColumnType::Text),
+            Column::new("tier", ColumnType::Int),
+            Column::new("kind", ColumnType::Text),
+            Column::new("cores", ColumnType::Int),
+            Column::new("workers", ColumnType::Int),
+        ])
+        .expect("static schema is valid");
+        let monitors = Schema::new(vec![
+            Column::new("monitor_id", ColumnType::Text),
+            Column::new("node", ColumnType::Text),
+            Column::new("tool", ColumnType::Text),
+            Column::new("kind", ColumnType::Text),
+            Column::new("period_ms", ColumnType::Int),
+        ])
+        .expect("static schema is valid");
+        let log_files = Schema::new(vec![
+            Column::new("path", ColumnType::Text),
+            Column::new("node", ColumnType::Text),
+            Column::new("monitor_id", ColumnType::Text),
+            Column::new("format", ColumnType::Text),
+            Column::new("bytes", ColumnType::Int),
+        ])
+        .expect("static schema is valid");
+        tables.insert("experiments".to_string(), Table::new("experiments", experiments));
+        tables.insert("nodes".to_string(), Table::new("nodes", nodes));
+        tables.insert("monitors".to_string(), Table::new("monitors", monitors));
+        tables.insert("log_files".to_string(), Table::new("log_files", log_files));
+        Database { tables }
+    }
+
+    /// Creates a dynamic table.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::TableExists`] if the name is taken (including by a static
+    /// table).
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<(), DbError> {
+        if self.tables.contains_key(name) {
+            return Err(DbError::TableExists(name.to_string()));
+        }
+        self.tables.insert(name.to_string(), Table::new(name, schema));
+        Ok(())
+    }
+
+    /// Creates the table if absent, or verifies the schema matches if
+    /// present (idempotent ingest); returns whether it was created.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::SchemaMismatch`] if the table exists with a different
+    /// schema.
+    pub fn ensure_table(&mut self, name: &str, schema: Schema) -> Result<bool, DbError> {
+        match self.tables.get(name) {
+            None => {
+                self.tables.insert(name.to_string(), Table::new(name, schema));
+                Ok(true)
+            }
+            Some(t) if *t.schema() == schema => Ok(false),
+            Some(t) => Err(DbError::SchemaMismatch {
+                table: name.to_string(),
+                existing: t.schema().to_string(),
+                incoming: schema.to_string(),
+            }),
+        }
+    }
+
+    /// Inserts a row into a table.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchTable`] or any [`Table::push_row`] error.
+    pub fn insert(&mut self, table: &str, row: Vec<Value>) -> Result<(), DbError> {
+        self.tables
+            .get_mut(table)
+            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?
+            .push_row(row)
+    }
+
+    /// Bulk insert.
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::insert`]; stops at the first bad row.
+    pub fn insert_rows<I>(&mut self, table: &str, rows: I) -> Result<usize, DbError>
+    where
+        I: IntoIterator<Item = Vec<Value>>,
+    {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?;
+        let mut n = 0;
+        for row in rows {
+            t.push_row(row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Looks up a table, erroring when absent (for query pipelines).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchTable`].
+    pub fn require(&self, name: &str) -> Result<&Table, DbError> {
+        self.table(name).ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    /// All table names in sorted order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Names of dynamically created tables only.
+    pub fn dynamic_table_names(&self) -> Vec<&str> {
+        self.tables
+            .keys()
+            .map(String::as_str)
+            .filter(|n| !STATIC_TABLES.contains(n))
+            .collect()
+    }
+
+    /// Total rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::row_count).sum()
+    }
+
+    /// Registers an experiment in the static metadata.
+    ///
+    /// # Errors
+    ///
+    /// Propagates row-shape errors (should not occur with this signature).
+    pub fn register_experiment(
+        &mut self,
+        id: i64,
+        name: &str,
+        users: i64,
+        duration_ms: i64,
+        seed: i64,
+    ) -> Result<(), DbError> {
+        self.insert(
+            "experiments",
+            vec![id.into(), name.into(), users.into(), duration_ms.into(), seed.into()],
+        )
+    }
+
+    /// Registers a node in the static metadata.
+    ///
+    /// # Errors
+    ///
+    /// Propagates row-shape errors.
+    pub fn register_node(
+        &mut self,
+        node: &str,
+        tier: i64,
+        kind: &str,
+        cores: i64,
+        workers: i64,
+    ) -> Result<(), DbError> {
+        self.insert(
+            "nodes",
+            vec![node.into(), tier.into(), kind.into(), cores.into(), workers.into()],
+        )
+    }
+
+    /// Registers a monitor in the static metadata.
+    ///
+    /// # Errors
+    ///
+    /// Propagates row-shape errors.
+    pub fn register_monitor(
+        &mut self,
+        monitor_id: &str,
+        node: &str,
+        tool: &str,
+        kind: &str,
+        period_ms: i64,
+    ) -> Result<(), DbError> {
+        self.insert(
+            "monitors",
+            vec![monitor_id.into(), node.into(), tool.into(), kind.into(), period_ms.into()],
+        )
+    }
+
+    /// Registers a log file in the static metadata.
+    ///
+    /// # Errors
+    ///
+    /// Propagates row-shape errors.
+    pub fn register_log_file(
+        &mut self,
+        path: &str,
+        node: &str,
+        monitor_id: &str,
+        format: &str,
+        bytes: i64,
+    ) -> Result<(), DbError> {
+        self.insert(
+            "log_files",
+            vec![path.into(), node.into(), monitor_id.into(), format.into(), bytes.into()],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_tables_exist() {
+        let db = Database::new();
+        for name in STATIC_TABLES {
+            assert!(db.table(name).is_some(), "missing static table {name}");
+        }
+        assert!(db.dynamic_table_names().is_empty());
+        assert_eq!(db.total_rows(), 0);
+    }
+
+    #[test]
+    fn create_insert_query() {
+        let mut db = Database::new();
+        let schema = Schema::new(vec![
+            Column::new("t", ColumnType::Int),
+            Column::new("v", ColumnType::Float),
+        ])
+        .unwrap();
+        db.create_table("m", schema.clone()).unwrap();
+        assert!(matches!(
+            db.create_table("m", schema.clone()),
+            Err(DbError::TableExists(_))
+        ));
+        assert!(matches!(
+            db.create_table("nodes", schema.clone()),
+            Err(DbError::TableExists(_))
+        ));
+        let n = db
+            .insert_rows("m", (0..5).map(|i| vec![Value::Int(i), Value::Float(i as f64)]))
+            .unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(db.require("m").unwrap().row_count(), 5);
+        assert!(matches!(db.require("zzz"), Err(DbError::NoSuchTable(_))));
+        assert_eq!(db.dynamic_table_names(), vec!["m"]);
+    }
+
+    #[test]
+    fn ensure_table_idempotent() {
+        let mut db = Database::new();
+        let schema = Schema::new(vec![Column::new("a", ColumnType::Int)]).unwrap();
+        assert!(db.ensure_table("x", schema.clone()).unwrap());
+        assert!(!db.ensure_table("x", schema).unwrap());
+        let other = Schema::new(vec![Column::new("a", ColumnType::Text)]).unwrap();
+        assert!(matches!(
+            db.ensure_table("x", other),
+            Err(DbError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn metadata_registration() {
+        let mut db = Database::new();
+        db.register_experiment(1, "scenario_db_io", 8000, 420_000, 42).unwrap();
+        db.register_node("mysql0", 3, "mysql", 2, 50).unwrap();
+        db.register_monitor("collectl-mysql0", "mysql0", "collectl", "resource", 50).unwrap();
+        db.register_log_file("/var/log/collectl/mysql0.csv", "mysql0", "collectl-mysql0", "csv", 1024)
+            .unwrap();
+        assert_eq!(db.table("experiments").unwrap().row_count(), 1);
+        assert_eq!(db.table("nodes").unwrap().row_count(), 1);
+        assert_eq!(db.table("monitors").unwrap().row_count(), 1);
+        assert_eq!(db.table("log_files").unwrap().row_count(), 1);
+        assert_eq!(db.total_rows(), 4);
+    }
+
+    #[test]
+    fn insert_into_missing_table_errors() {
+        let mut db = Database::new();
+        assert!(matches!(
+            db.insert("ghost", vec![Value::Int(1)]),
+            Err(DbError::NoSuchTable(_))
+        ));
+    }
+}
+
+/// JSON persistence for the warehouse (a dynamic data warehouse should
+/// survive the session that built it).
+impl Database {
+    /// Serializes the entire warehouse — static and dynamic tables — to
+    /// JSON.
+    ///
+    /// # Errors
+    ///
+    /// Serialization failure (should not occur for valid warehouses).
+    pub fn to_json(&self) -> Result<String, DbError> {
+        serde_json::to_string(self).map_err(|e| DbError::BadQuery(format!("serialize: {e}")))
+    }
+
+    /// Restores a warehouse from [`Database::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::BadQuery`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Database, DbError> {
+        serde_json::from_str(json).map_err(|e| DbError::BadQuery(format!("deserialize: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let mut db = Database::new();
+        db.register_node("mysql0", 3, "mysql", 2, 50).unwrap();
+        let schema = Schema::new(vec![
+            Column::new("t", ColumnType::Timestamp),
+            Column::new("v", ColumnType::Float),
+        ])
+        .unwrap();
+        db.create_table("m", schema).unwrap();
+        db.insert("m", vec![Value::Timestamp(50_000), Value::Float(97.5)]).unwrap();
+        db.insert("m", vec![Value::Null, Value::Float(1.25)]).unwrap();
+
+        let json = db.to_json().unwrap();
+        let back = Database::from_json(&json).unwrap();
+        assert_eq!(back, db);
+        assert_eq!(back.require("m").unwrap().cell(0, "v"), Some(&Value::Float(97.5)));
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(matches!(Database::from_json("not json"), Err(DbError::BadQuery(_))));
+    }
+}

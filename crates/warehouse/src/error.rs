@@ -1,0 +1,113 @@
+//! Error type for mScopeDB operations.
+
+use crate::value::ColumnType;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by warehouse operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// A schema contained two columns with the same name.
+    DuplicateColumn(String),
+    /// A row's width did not match the table schema.
+    Arity {
+        /// Table being written.
+        table: String,
+        /// Schema width.
+        expected: usize,
+        /// Row width.
+        got: usize,
+    },
+    /// A value's type is not admitted by its column.
+    TypeMismatch {
+        /// Table being written.
+        table: String,
+        /// Offending column.
+        column: String,
+        /// Column type.
+        expected: ColumnType,
+        /// Value type.
+        got: ColumnType,
+    },
+    /// Table already exists.
+    TableExists(String),
+    /// Table does not exist.
+    NoSuchTable(String),
+    /// Column does not exist.
+    NoSuchColumn(String),
+    /// An existing table's schema conflicts with the incoming one.
+    SchemaMismatch {
+        /// Table name.
+        table: String,
+        /// Schema already in the warehouse.
+        existing: String,
+        /// Schema being loaded.
+        incoming: String,
+    },
+    /// Malformed query parameters.
+    BadQuery(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::DuplicateColumn(c) => write!(f, "duplicate column name `{c}`"),
+            DbError::Arity { table, expected, got } => {
+                write!(f, "row width {got} does not match schema width {expected} of `{table}`")
+            }
+            DbError::TypeMismatch { table, column, expected, got } => write!(
+                f,
+                "value of type {got} not admitted by column `{column}` ({expected}) of `{table}`"
+            ),
+            DbError::TableExists(t) => write!(f, "table `{t}` already exists"),
+            DbError::NoSuchTable(t) => write!(f, "no such table `{t}`"),
+            DbError::NoSuchColumn(c) => write!(f, "no such column `{c}`"),
+            DbError::SchemaMismatch { table, existing, incoming } => write!(
+                f,
+                "schema mismatch for `{table}`: existing {existing}, incoming {incoming}"
+            ),
+            DbError::BadQuery(m) => write!(f, "bad query: {m}"),
+        }
+    }
+}
+
+impl Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<DbError> = vec![
+            DbError::DuplicateColumn("x".into()),
+            DbError::Arity { table: "t".into(), expected: 2, got: 3 },
+            DbError::TypeMismatch {
+                table: "t".into(),
+                column: "c".into(),
+                expected: ColumnType::Int,
+                got: ColumnType::Text,
+            },
+            DbError::TableExists("t".into()),
+            DbError::NoSuchTable("t".into()),
+            DbError::NoSuchColumn("c".into()),
+            DbError::SchemaMismatch {
+                table: "t".into(),
+                existing: "(a int)".into(),
+                incoming: "(a text)".into(),
+            },
+            DbError::BadQuery("nope".into()),
+        ];
+        for e in cases {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase() || msg.starts_with('`'));
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_err(DbError::NoSuchTable("x".into()));
+    }
+}

@@ -1,0 +1,532 @@
+//! Query operations over [`Table`]s: predicates, projection, windowed
+//! aggregation, joins, sorting, and grouping.
+//!
+//! This is the "advanced analysis" surface the paper attributes to mScopeDB
+//! (§III-C): after mScopeDataTransformer loads everything into one place,
+//! researchers slice disk utilization per tier, join event records by
+//! request ID, and correlate series.
+
+use crate::table::{Column, Schema, Table};
+use crate::value::{ColumnType, Value, ValueKey};
+use crate::DbError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A filter predicate over a row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Always true.
+    True,
+    /// Column equals value.
+    Eq(String, Value),
+    /// Column differs from value (nulls excluded).
+    Ne(String, Value),
+    /// Column < value.
+    Lt(String, Value),
+    /// Column ≤ value.
+    Le(String, Value),
+    /// Column > value.
+    Gt(String, Value),
+    /// Column ≥ value.
+    Ge(String, Value),
+    /// lo ≤ column < hi (half-open, the natural window form).
+    Between(String, Value, Value),
+    /// All of the sub-predicates hold.
+    And(Vec<Predicate>),
+    /// Any of the sub-predicates holds.
+    Or(Vec<Predicate>),
+    /// Sub-predicate does not hold.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluates against row `i` of `table`. Unknown columns make the
+    /// comparison false (never an error — filters are exploratory).
+    pub fn eval(&self, table: &Table, i: usize) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Eq(c, v) => Self::cmp(table, i, c, |o| o == std::cmp::Ordering::Equal, v),
+            Predicate::Ne(c, v) => Self::cmp(table, i, c, |o| o != std::cmp::Ordering::Equal, v),
+            Predicate::Lt(c, v) => Self::cmp(table, i, c, |o| o == std::cmp::Ordering::Less, v),
+            Predicate::Le(c, v) => Self::cmp(table, i, c, |o| o != std::cmp::Ordering::Greater, v),
+            Predicate::Gt(c, v) => Self::cmp(table, i, c, |o| o == std::cmp::Ordering::Greater, v),
+            Predicate::Ge(c, v) => Self::cmp(table, i, c, |o| o != std::cmp::Ordering::Less, v),
+            Predicate::Between(c, lo, hi) => {
+                Self::cmp(table, i, c, |o| o != std::cmp::Ordering::Less, lo)
+                    && Self::cmp(table, i, c, |o| o == std::cmp::Ordering::Less, hi)
+            }
+            Predicate::And(ps) => ps.iter().all(|p| p.eval(table, i)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.eval(table, i)),
+            Predicate::Not(p) => !p.eval(table, i),
+        }
+    }
+
+    fn cmp(
+        table: &Table,
+        i: usize,
+        col: &str,
+        ok: impl Fn(std::cmp::Ordering) -> bool,
+        v: &Value,
+    ) -> bool {
+        match table.cell(i, col) {
+            Some(cell) if !cell.is_null() => ok(cell.total_cmp(v)),
+            _ => false,
+        }
+    }
+}
+
+/// Aggregations for [`Table::window_agg`] and [`Table::group_by`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFn {
+    /// Arithmetic mean.
+    Mean,
+    /// Maximum.
+    Max,
+    /// Minimum.
+    Min,
+    /// Sum.
+    Sum,
+    /// Row count (value column still required, nulls skipped).
+    Count,
+    /// Last value in encounter order.
+    Last,
+}
+
+fn fold(agg: AggFn, values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return match agg {
+            AggFn::Count => Some(0.0),
+            _ => None,
+        };
+    }
+    Some(match agg {
+        AggFn::Mean => values.iter().sum::<f64>() / values.len() as f64,
+        AggFn::Max => values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        AggFn::Min => values.iter().cloned().fold(f64::INFINITY, f64::min),
+        AggFn::Sum => values.iter().sum(),
+        AggFn::Count => values.len() as f64,
+        AggFn::Last => *values.last().expect("non-empty"),
+    })
+}
+
+impl Table {
+    /// Rows matching `pred`, as a new table.
+    pub fn filter(&self, pred: &Predicate) -> Table {
+        let rows: Vec<usize> = (0..self.row_count())
+            .filter(|&i| pred.eval(self, i))
+            .collect();
+        self.gather(self.name(), &rows)
+    }
+
+    /// Projects the named columns (in the given order) of rows matching
+    /// `pred`.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchColumn`] if any projected column is missing.
+    pub fn select(&self, cols: &[&str], pred: &Predicate) -> Result<Table, DbError> {
+        let idxs: Vec<usize> = cols
+            .iter()
+            .map(|c| {
+                self.schema()
+                    .index_of(c)
+                    .ok_or_else(|| DbError::NoSuchColumn(c.to_string()))
+            })
+            .collect::<Result<_, _>>()?;
+        let filtered = self.filter(pred);
+        let schema = Schema::new(
+            idxs.iter()
+                .map(|&i| self.schema().columns()[i].clone())
+                .collect(),
+        )
+        .expect("projection of a valid schema is valid");
+        let cols_data: Vec<Vec<Value>> = idxs
+            .iter()
+            .map(|&i| {
+                let name = &self.schema().columns()[i].name;
+                filtered.column(name).expect("column exists").to_vec()
+            })
+            .collect();
+        Ok(Table::from_parts(self.name().to_string(), schema, cols_data))
+    }
+
+    /// Shorthand: rows whose `time_col` lies in `[from, to)` (µs values,
+    /// works on Int or Timestamp columns).
+    pub fn time_range(&self, time_col: &str, from: i64, to: i64) -> Table {
+        // Accept either representation by filtering manually.
+        let rows: Vec<usize> = (0..self.row_count())
+            .filter(|&i| {
+                self.cell(i, time_col)
+                    .and_then(Value::as_i64)
+                    .map(|t| t >= from && t < to)
+                    .unwrap_or(false)
+            })
+            .collect();
+        self.gather(self.name(), &rows)
+    }
+
+    /// Fixed-window aggregation: buckets rows by `time_col / window_us`,
+    /// aggregates `value_col` per bucket, and returns `(bucket_start_us,
+    /// aggregate)` pairs in time order. Rows with null time or value are
+    /// skipped. This is the workhorse behind every per-interval figure.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchColumn`] for missing columns; [`DbError::BadQuery`]
+    /// if `window_us` is not positive.
+    pub fn window_agg(
+        &self,
+        time_col: &str,
+        window_us: i64,
+        value_col: &str,
+        agg: AggFn,
+    ) -> Result<Vec<(i64, f64)>, DbError> {
+        if window_us <= 0 {
+            return Err(DbError::BadQuery("window must be positive".into()));
+        }
+        if self.schema().index_of(time_col).is_none() {
+            return Err(DbError::NoSuchColumn(time_col.into()));
+        }
+        if self.schema().index_of(value_col).is_none() {
+            return Err(DbError::NoSuchColumn(value_col.into()));
+        }
+        let mut buckets: HashMap<i64, Vec<f64>> = HashMap::new();
+        for i in 0..self.row_count() {
+            let (Some(t), Some(v)) = (
+                self.cell(i, time_col).and_then(Value::as_i64),
+                self.cell(i, value_col).and_then(Value::as_f64),
+            ) else {
+                continue;
+            };
+            buckets.entry(t.div_euclid(window_us) * window_us).or_default().push(v);
+        }
+        let mut out: Vec<(i64, f64)> = buckets
+            .into_iter()
+            .filter_map(|(k, vs)| fold(agg, &vs).map(|v| (k, v)))
+            .collect();
+        out.sort_by_key(|&(k, _)| k);
+        Ok(out)
+    }
+
+    /// Hash inner join on `self.left_col == other.right_col`. Output columns
+    /// are all of `self`'s followed by all of `other`'s; a name collision on
+    /// the right side is prefixed with `<other-table>_`. Null keys never
+    /// match.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchColumn`] if either key column is missing.
+    pub fn inner_join(&self, other: &Table, left_col: &str, right_col: &str) -> Result<Table, DbError> {
+        if self.schema().index_of(left_col).is_none() {
+            return Err(DbError::NoSuchColumn(left_col.into()));
+        }
+        if other.schema().index_of(right_col).is_none() {
+            return Err(DbError::NoSuchColumn(right_col.into()));
+        }
+        // Build hash index on the smaller side conceptually; keep it simple
+        // and index `other`.
+        let mut index: HashMap<ValueKey, Vec<usize>> = HashMap::new();
+        let rcol = other.column(right_col).expect("checked above");
+        for (i, v) in rcol.iter().enumerate() {
+            if !v.is_null() {
+                index.entry(v.key()).or_default().push(i);
+            }
+        }
+        let mut columns = self.schema().columns().to_vec();
+        for c in other.schema().columns() {
+            let name = if self.schema().index_of(&c.name).is_some() {
+                format!("{}_{}", other.name(), c.name)
+            } else {
+                c.name.clone()
+            };
+            columns.push(Column::new(name, c.ty));
+        }
+        let schema = Schema::new(columns).map_err(|_| {
+            DbError::BadQuery(format!(
+                "join of {} and {} produces duplicate column names",
+                self.name(),
+                other.name()
+            ))
+        })?;
+        let mut cols: Vec<Vec<Value>> = vec![Vec::new(); schema.len()];
+        let lcol = self.column(left_col).expect("checked above");
+        let left_width = self.schema().len();
+        for (li, lv) in lcol.iter().enumerate() {
+            if lv.is_null() {
+                continue;
+            }
+            let Some(matches) = index.get(&lv.key()) else {
+                continue;
+            };
+            for &ri in matches {
+                let lrow = self.row(li).expect("row in range");
+                for (ci, v) in lrow.into_iter().enumerate() {
+                    cols[ci].push(v);
+                }
+                let rrow = other.row(ri).expect("row in range");
+                for (ci, v) in rrow.into_iter().enumerate() {
+                    cols[left_width + ci].push(v);
+                }
+            }
+        }
+        Ok(Table::from_parts(
+            format!("{}_x_{}", self.name(), other.name()),
+            schema,
+            cols,
+        ))
+    }
+
+    /// Sorts rows by a column (stable).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchColumn`] if `col` is missing.
+    pub fn order_by(&self, col: &str, ascending: bool) -> Result<Table, DbError> {
+        let ci = self
+            .schema()
+            .index_of(col)
+            .ok_or_else(|| DbError::NoSuchColumn(col.into()))?;
+        let keys = self.column(&self.schema().columns()[ci].name.clone()).expect("exists");
+        let mut order: Vec<usize> = (0..self.row_count()).collect();
+        order.sort_by(|&a, &b| {
+            let o = keys[a].total_cmp(&keys[b]);
+            if ascending {
+                o
+            } else {
+                o.reverse()
+            }
+        });
+        Ok(self.gather(self.name(), &order))
+    }
+
+    /// Groups rows by `key_col` and aggregates `value_col` per group;
+    /// returns a two-column table `(key, value)` sorted by key.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchColumn`] for missing columns.
+    pub fn group_by(&self, key_col: &str, value_col: &str, agg: AggFn) -> Result<Table, DbError> {
+        if self.schema().index_of(key_col).is_none() {
+            return Err(DbError::NoSuchColumn(key_col.into()));
+        }
+        if self.schema().index_of(value_col).is_none() {
+            return Err(DbError::NoSuchColumn(value_col.into()));
+        }
+        let mut groups: HashMap<ValueKey, (Value, Vec<f64>)> = HashMap::new();
+        for i in 0..self.row_count() {
+            let k = self.cell(i, key_col).expect("checked").clone();
+            if k.is_null() {
+                continue;
+            }
+            let entry = groups.entry(k.key()).or_insert_with(|| (k.clone(), Vec::new()));
+            let cell = self.cell(i, value_col).expect("column checked above");
+            if agg == AggFn::Count {
+                // COUNT counts non-null values of any type, not just
+                // numerics (SQL semantics).
+                if !cell.is_null() {
+                    entry.1.push(1.0);
+                }
+            } else if let Some(v) = cell.as_f64() {
+                entry.1.push(v);
+            }
+        }
+        // Tolerate key_col == value_col (e.g. COUNT over the key itself) by
+        // renaming the key column.
+        let key_name = if key_col == value_col {
+            format!("{key_col}_key")
+        } else {
+            key_col.to_string()
+        };
+        let schema = Schema::new(vec![
+            Column::new(key_name, ColumnType::Text),
+            Column::new(value_col, ColumnType::Float),
+        ])
+        .expect("names made distinct above");
+        let mut rows: Vec<(Value, f64)> = groups
+            .into_values()
+            .filter_map(|(k, vs)| fold(agg, &vs).map(|v| (k, v)))
+            .collect();
+        rows.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut kcol = Vec::with_capacity(rows.len());
+        let mut vcol = Vec::with_capacity(rows.len());
+        for (k, v) in rows {
+            // Keys are stored as their rendered text form so mixed-type key
+            // columns stay queryable.
+            kcol.push(Value::Text(k.render()));
+            vcol.push(Value::Float(v));
+        }
+        Ok(Table::from_parts(
+            format!("{}_by_{}", self.name(), key_col),
+            schema,
+            vec![kcol, vcol],
+        ))
+    }
+
+    /// Extracts a numeric column as `f64`s, skipping nulls/non-numerics.
+    pub fn numeric_column(&self, col: &str) -> Vec<f64> {
+        self.column(col)
+            .map(|vals| vals.iter().filter_map(Value::as_f64).collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("t", ColumnType::Int),
+            Column::new("node", ColumnType::Text),
+            Column::new("util", ColumnType::Float),
+        ])
+        .unwrap();
+        let mut t = Table::new("disk", schema);
+        for (time, node, util) in [
+            (0i64, "db", 10.0),
+            (50, "db", 95.0),
+            (100, "db", 99.0),
+            (0, "web", 5.0),
+            (50, "web", 6.0),
+            (100, "web", 4.0),
+        ] {
+            t.push_row(vec![Value::Int(time), Value::Text(node.into()), Value::Float(util)])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn filter_and_select() {
+        let t = sample_table();
+        let db = t.filter(&Predicate::Eq("node".into(), Value::Text("db".into())));
+        assert_eq!(db.row_count(), 3);
+        let high = t.filter(&Predicate::Gt("util".into(), Value::Float(50.0)));
+        assert_eq!(high.row_count(), 2);
+        let proj = t
+            .select(&["util", "t"], &Predicate::Eq("node".into(), Value::Text("web".into())))
+            .unwrap();
+        assert_eq!(proj.schema().columns()[0].name, "util");
+        assert_eq!(proj.row_count(), 3);
+        assert!(t.select(&["missing"], &Predicate::True).is_err());
+    }
+
+    #[test]
+    fn predicate_combinators() {
+        let t = sample_table();
+        let p = Predicate::And(vec![
+            Predicate::Eq("node".into(), Value::Text("db".into())),
+            Predicate::Between("t".into(), Value::Int(0), Value::Int(100)),
+        ]);
+        assert_eq!(t.filter(&p).row_count(), 2);
+        let q = Predicate::Or(vec![
+            Predicate::Lt("util".into(), Value::Float(5.5)),
+            Predicate::Ge("util".into(), Value::Float(99.0)),
+        ]);
+        assert_eq!(t.filter(&q).row_count(), 3);
+        let n = Predicate::Not(Box::new(Predicate::Eq(
+            "node".into(),
+            Value::Text("db".into()),
+        )));
+        assert_eq!(t.filter(&n).row_count(), 3);
+        // Missing column → false, not error.
+        assert_eq!(t.filter(&Predicate::Eq("zzz".into(), Value::Int(1))).row_count(), 0);
+    }
+
+    #[test]
+    fn time_range_half_open() {
+        let t = sample_table();
+        assert_eq!(t.time_range("t", 0, 100).row_count(), 4);
+        assert_eq!(t.time_range("t", 50, 101).row_count(), 4);
+    }
+
+    #[test]
+    fn window_agg_buckets() {
+        let t = sample_table();
+        let series = t.window_agg("t", 100, "util", AggFn::Max).unwrap();
+        assert_eq!(series, vec![(0, 95.0), (100, 99.0)]);
+        let counts = t.window_agg("t", 100, "util", AggFn::Count).unwrap();
+        assert_eq!(counts, vec![(0, 4.0), (100, 2.0)]);
+        assert!(t.window_agg("t", 0, "util", AggFn::Max).is_err());
+        assert!(t.window_agg("nope", 10, "util", AggFn::Max).is_err());
+    }
+
+    #[test]
+    fn window_agg_all_fns() {
+        let t = sample_table();
+        let mean = t.window_agg("t", 1000, "util", AggFn::Mean).unwrap();
+        assert!((mean[0].1 - 36.5).abs() < 1e-9);
+        let min = t.window_agg("t", 1000, "util", AggFn::Min).unwrap();
+        assert_eq!(min[0].1, 4.0);
+        let sum = t.window_agg("t", 1000, "util", AggFn::Sum).unwrap();
+        assert!((sum[0].1 - 219.0).abs() < 1e-9);
+        let last = t.window_agg("t", 1000, "util", AggFn::Last).unwrap();
+        assert_eq!(last[0].1, 4.0);
+    }
+
+    #[test]
+    fn inner_join_matches_keys() {
+        let t = sample_table();
+        let mut names = Table::new(
+            "names",
+            Schema::new(vec![
+                Column::new("node", ColumnType::Text),
+                Column::new("tier", ColumnType::Int),
+            ])
+            .unwrap(),
+        );
+        names
+            .push_rows(vec![
+                vec![Value::Text("db".into()), Value::Int(3)],
+                vec![Value::Text("app".into()), Value::Int(1)],
+            ])
+            .unwrap();
+        let joined = t.inner_join(&names, "node", "node").unwrap();
+        assert_eq!(joined.row_count(), 3, "only db rows match");
+        // Collided column is prefixed.
+        assert!(joined.schema().index_of("names_node").is_some());
+        assert!(joined.schema().index_of("tier").is_some());
+        assert!(t.inner_join(&names, "nope", "node").is_err());
+    }
+
+    #[test]
+    fn join_skips_null_keys() {
+        let schema = Schema::new(vec![Column::new("k", ColumnType::Int)]).unwrap();
+        let mut a = Table::new("a", schema.clone());
+        a.push_rows(vec![vec![Value::Null], vec![Value::Int(1)]]).unwrap();
+        let mut b = Table::new("b", schema);
+        b.push_rows(vec![vec![Value::Null], vec![Value::Int(1)]]).unwrap();
+        let j = a.inner_join(&b, "k", "k").unwrap();
+        assert_eq!(j.row_count(), 1);
+    }
+
+    #[test]
+    fn order_by_both_directions() {
+        let t = sample_table();
+        let asc = t.order_by("util", true).unwrap();
+        assert_eq!(asc.cell(0, "util"), Some(&Value::Float(4.0)));
+        let desc = t.order_by("util", false).unwrap();
+        assert_eq!(desc.cell(0, "util"), Some(&Value::Float(99.0)));
+        assert!(t.order_by("zzz", true).is_err());
+    }
+
+    #[test]
+    fn group_by_aggregates() {
+        let t = sample_table();
+        let g = t.group_by("node", "util", AggFn::Max).unwrap();
+        assert_eq!(g.row_count(), 2);
+        // Sorted by key: db before web.
+        assert_eq!(g.cell(0, "node"), Some(&Value::Text("db".into())));
+        assert_eq!(g.cell(0, "util"), Some(&Value::Float(99.0)));
+        assert_eq!(g.cell(1, "util"), Some(&Value::Float(6.0)));
+        assert!(t.group_by("zzz", "util", AggFn::Max).is_err());
+    }
+
+    #[test]
+    fn numeric_column_skips_non_numeric() {
+        let t = sample_table();
+        assert_eq!(t.numeric_column("util").len(), 6);
+        assert_eq!(t.numeric_column("node").len(), 0);
+        assert_eq!(t.numeric_column("missing").len(), 0);
+    }
+}

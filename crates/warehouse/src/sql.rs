@@ -1,0 +1,757 @@
+//! A small SQL subset over the warehouse — the interactive face of
+//! mScopeDB's "unified interface … for advanced analysis" (paper §III-C).
+//!
+//! Supported grammar:
+//!
+//! ```text
+//! SELECT <projection> FROM <table>
+//!        [WHERE <predicate>]
+//!        [GROUP BY <column>]
+//!        [ORDER BY <column> [ASC|DESC]]
+//!        [LIMIT <n>]
+//!
+//! projection := * | col [, col …] | col, AGG(col) (with GROUP BY)
+//!             | AGG(col)           (whole-table aggregate)
+//! AGG        := COUNT | SUM | AVG | MIN | MAX
+//! predicate  := disjunction of conjunctions with parentheses and NOT:
+//!               a = 1 AND (b > 2.5 OR NOT c = 'text')
+//! literal    := integer | float | 'single-quoted string'
+//!             | time 'HH:MM:SS.ffffff' | TRUE | FALSE | NULL
+//! comparison := = != <> < <= > >=
+//! ```
+//!
+//! Identifiers and keywords are case-insensitive except quoted strings.
+
+use crate::db::Database;
+use crate::query::{AggFn, Predicate};
+use crate::table::{Column, Schema, Table};
+use crate::value::{ColumnType, Value};
+use crate::DbError;
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Num(String),
+    Comma,
+    Star,
+    LParen,
+    RParen,
+    Op(String),
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, DbError> {
+    let mut toks = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ',' => {
+                chars.next();
+                toks.push(Tok::Comma);
+            }
+            '*' => {
+                chars.next();
+                toks.push(Tok::Star);
+            }
+            '(' => {
+                chars.next();
+                toks.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                toks.push(Tok::RParen);
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => {
+                            // Doubled quote escapes a literal quote.
+                            if chars.peek() == Some(&'\'') {
+                                chars.next();
+                                s.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => s.push(c),
+                        None => {
+                            return Err(DbError::BadQuery("unterminated string literal".into()))
+                        }
+                    }
+                }
+                toks.push(Tok::Str(s));
+            }
+            '=' => {
+                chars.next();
+                toks.push(Tok::Op("=".into()));
+            }
+            '!' => {
+                chars.next();
+                if chars.next() != Some('=') {
+                    return Err(DbError::BadQuery("expected `!=`".into()));
+                }
+                toks.push(Tok::Op("!=".into()));
+            }
+            '<' => {
+                chars.next();
+                match chars.peek() {
+                    Some('=') => {
+                        chars.next();
+                        toks.push(Tok::Op("<=".into()));
+                    }
+                    Some('>') => {
+                        chars.next();
+                        toks.push(Tok::Op("!=".into()));
+                    }
+                    _ => toks.push(Tok::Op("<".into())),
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    toks.push(Tok::Op(">=".into()));
+                } else {
+                    toks.push(Tok::Op(">".into()));
+                }
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '.' => {
+                let mut s = String::new();
+                s.push(c);
+                chars.next();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() || d == '.' || d == 'e' || d == 'E' || d == '-' || d == '+'
+                    {
+                        // Allow exponent forms; the parser re-validates.
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Num(s));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Ident(s));
+            }
+            other => {
+                return Err(DbError::BadQuery(format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Projection {
+    All,
+    Columns(Vec<String>),
+    /// `GROUP BY` form: key column (optional for whole-table aggregates),
+    /// aggregate, aggregated column.
+    Aggregate {
+        key: Option<String>,
+        agg: AggFn,
+        col: String,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Query {
+    projection: Projection,
+    table: String,
+    predicate: Predicate,
+    group_by: Option<String>,
+    order_by: Option<(String, bool)>,
+    limit: Option<usize>,
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), DbError> {
+        match self.next() {
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(DbError::BadQuery(format!("expected `{kw}`, got {other:?}"))),
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self) -> Result<String, DbError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(DbError::BadQuery(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    fn parse(&mut self) -> Result<Query, DbError> {
+        self.expect_kw("select")?;
+        let projection = self.projection()?;
+        self.expect_kw("from")?;
+        let table = self.ident()?;
+        let predicate = if self.peek_kw("where") {
+            self.next();
+            self.or_expr()?
+        } else {
+            Predicate::True
+        };
+        let group_by = if self.peek_kw("group") {
+            self.next();
+            self.expect_kw("by")?;
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        let order_by = if self.peek_kw("order") {
+            self.next();
+            self.expect_kw("by")?;
+            let col = self.ident()?;
+            let asc = if self.peek_kw("desc") {
+                self.next();
+                false
+            } else {
+                if self.peek_kw("asc") {
+                    self.next();
+                }
+                true
+            };
+            Some((col, asc))
+        } else {
+            None
+        };
+        let limit = if self.peek_kw("limit") {
+            self.next();
+            match self.next() {
+                Some(Tok::Num(n)) => Some(
+                    n.parse::<usize>()
+                        .map_err(|_| DbError::BadQuery(format!("bad LIMIT `{n}`")))?,
+                ),
+                other => return Err(DbError::BadQuery(format!("expected LIMIT count, got {other:?}"))),
+            }
+        } else {
+            None
+        };
+        if self.peek().is_some() {
+            return Err(DbError::BadQuery(format!(
+                "trailing tokens starting at {:?}",
+                self.peek()
+            )));
+        }
+        Ok(Query {
+            projection,
+            table,
+            predicate,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn agg_kw(name: &str) -> Option<AggFn> {
+        match name.to_ascii_lowercase().as_str() {
+            "count" => Some(AggFn::Count),
+            "sum" => Some(AggFn::Sum),
+            "avg" => Some(AggFn::Mean),
+            "min" => Some(AggFn::Min),
+            "max" => Some(AggFn::Max),
+            _ => None,
+        }
+    }
+
+    fn projection(&mut self) -> Result<Projection, DbError> {
+        if matches!(self.peek(), Some(Tok::Star)) {
+            self.next();
+            return Ok(Projection::All);
+        }
+        // Either plain column list, or [key,] AGG(col).
+        let mut cols: Vec<String> = Vec::new();
+        loop {
+            let name = self.ident()?;
+            if matches!(self.peek(), Some(Tok::LParen)) {
+                let agg = Self::agg_kw(&name).ok_or_else(|| {
+                    DbError::BadQuery(format!("unknown aggregate `{name}`"))
+                })?;
+                self.next(); // (
+                let col = match self.next() {
+                    Some(Tok::Ident(c)) => c,
+                    Some(Tok::Star) if agg == AggFn::Count => "*".to_string(),
+                    other => {
+                        return Err(DbError::BadQuery(format!(
+                            "expected aggregate column, got {other:?}"
+                        )))
+                    }
+                };
+                match self.next() {
+                    Some(Tok::RParen) => {}
+                    other => {
+                        return Err(DbError::BadQuery(format!("expected `)`, got {other:?}")))
+                    }
+                }
+                let key = match cols.len() {
+                    0 => None,
+                    1 => Some(cols.remove(0)),
+                    _ => {
+                        return Err(DbError::BadQuery(
+                            "at most one key column before an aggregate".into(),
+                        ))
+                    }
+                };
+                return Ok(Projection::Aggregate { key, agg, col });
+            }
+            cols.push(name);
+            if matches!(self.peek(), Some(Tok::Comma)) {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        Ok(Projection::Columns(cols))
+    }
+
+    // predicate := and_expr (OR and_expr)*
+    fn or_expr(&mut self) -> Result<Predicate, DbError> {
+        let mut terms = vec![self.and_expr()?];
+        while self.peek_kw("or") {
+            self.next();
+            terms.push(self.and_expr()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one term")
+        } else {
+            Predicate::Or(terms)
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<Predicate, DbError> {
+        let mut terms = vec![self.unary_expr()?];
+        while self.peek_kw("and") {
+            self.next();
+            terms.push(self.unary_expr()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one term")
+        } else {
+            Predicate::And(terms)
+        })
+    }
+
+    fn unary_expr(&mut self) -> Result<Predicate, DbError> {
+        if self.peek_kw("not") {
+            self.next();
+            return Ok(Predicate::Not(Box::new(self.unary_expr()?)));
+        }
+        if matches!(self.peek(), Some(Tok::LParen)) {
+            self.next();
+            let inner = self.or_expr()?;
+            match self.next() {
+                Some(Tok::RParen) => return Ok(inner),
+                other => return Err(DbError::BadQuery(format!("expected `)`, got {other:?}"))),
+            }
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Predicate, DbError> {
+        let col = self.ident()?;
+        let op = match self.next() {
+            Some(Tok::Op(op)) => op,
+            other => return Err(DbError::BadQuery(format!("expected comparison, got {other:?}"))),
+        };
+        let value = self.literal()?;
+        Ok(match op.as_str() {
+            "=" => Predicate::Eq(col, value),
+            "!=" => Predicate::Ne(col, value),
+            "<" => Predicate::Lt(col, value),
+            "<=" => Predicate::Le(col, value),
+            ">" => Predicate::Gt(col, value),
+            ">=" => Predicate::Ge(col, value),
+            other => return Err(DbError::BadQuery(format!("unknown operator `{other}`"))),
+        })
+    }
+
+    fn literal(&mut self) -> Result<Value, DbError> {
+        match self.next() {
+            Some(Tok::Num(n)) => {
+                if let Ok(i) = n.parse::<i64>() {
+                    Ok(Value::Int(i))
+                } else {
+                    n.parse::<f64>()
+                        .map(Value::Float)
+                        .map_err(|_| DbError::BadQuery(format!("bad number `{n}`")))
+                }
+            }
+            Some(Tok::Str(s)) => Ok(Value::Text(s)),
+            Some(Tok::Ident(kw)) if kw.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
+            Some(Tok::Ident(kw)) if kw.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
+            Some(Tok::Ident(kw)) if kw.eq_ignore_ascii_case("null") => Ok(Value::Null),
+            // `time 'HH:MM:SS.ffffff'` literal.
+            Some(Tok::Ident(kw)) if kw.eq_ignore_ascii_case("time") => match self.next() {
+                Some(Tok::Str(s)) => mscope_sim::parse_wallclock(&s)
+                    .map(|t| Value::Timestamp(t.as_micros() as i64))
+                    .ok_or_else(|| DbError::BadQuery(format!("bad time literal `{s}`"))),
+                other => Err(DbError::BadQuery(format!(
+                    "expected quoted time literal, got {other:?}"
+                ))),
+            },
+            other => Err(DbError::BadQuery(format!("expected literal, got {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------
+
+impl Database {
+    /// Parses and executes a SQL-subset query, returning the result as a
+    /// fresh [`Table`].
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::BadQuery`] on syntax errors; [`DbError::NoSuchTable`] /
+    /// [`DbError::NoSuchColumn`] on semantic errors.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mscope_db::{Column, ColumnType, Database, Schema, Value};
+    ///
+    /// let mut db = Database::new();
+    /// db.create_table("disk", Schema::new(vec![
+    ///     Column::new("node", ColumnType::Text),
+    ///     Column::new("util", ColumnType::Float),
+    /// ])?)?;
+    /// db.insert("disk", vec!["mysql0".into(), Value::Float(99.0)])?;
+    /// db.insert("disk", vec!["apache0".into(), Value::Float(2.0)])?;
+    ///
+    /// let hot = db.query("SELECT node FROM disk WHERE util > 90 ORDER BY node")?;
+    /// assert_eq!(hot.row_count(), 1);
+    /// assert_eq!(hot.cell(0, "node"), Some(&Value::Text("mysql0".into())));
+    /// # Ok::<(), mscope_db::DbError>(())
+    /// ```
+    pub fn query(&self, sql: &str) -> Result<Table, DbError> {
+        let toks = lex(sql)?;
+        let q = Parser { toks, pos: 0 }.parse()?;
+        let base = self.require(&q.table)?;
+        let filtered = base.filter(&q.predicate);
+
+        // GROUP BY / aggregates.
+        let mut result: Table = match (&q.projection, &q.group_by) {
+            (Projection::Aggregate { key, agg, col }, Some(group_col)) => {
+                if let Some(k) = key {
+                    if k != group_col {
+                        return Err(DbError::BadQuery(format!(
+                            "projection key `{k}` must match GROUP BY `{group_col}`"
+                        )));
+                    }
+                }
+                let value_col = if col == "*" { group_col.clone() } else { col.clone() };
+                let grouped = filtered.group_by(group_col, &value_col, *agg)?;
+                if col == "*" {
+                    // `COUNT(*)` collides with the key column inside
+                    // group_by; present it under standard SQL-ish names.
+                    rename_columns(grouped, &[group_col, "count"])?
+                } else {
+                    grouped
+                }
+            }
+            (Projection::Aggregate { key: None, agg, col }, None) => {
+                // Whole-table aggregate → single row.
+                let vals: Vec<f64> = if col == "*" {
+                    (0..filtered.row_count()).map(|_| 1.0).collect()
+                } else {
+                    if filtered.schema().index_of(col).is_none() {
+                        return Err(DbError::NoSuchColumn(col.clone()));
+                    }
+                    filtered.numeric_column(col)
+                };
+                let out_val = match agg {
+                    AggFn::Count => Some(vals.len() as f64),
+                    AggFn::Sum => Some(vals.iter().sum()),
+                    AggFn::Mean => (!vals.is_empty())
+                        .then(|| vals.iter().sum::<f64>() / vals.len() as f64),
+                    AggFn::Min => vals.iter().cloned().reduce(f64::min),
+                    AggFn::Max => vals.iter().cloned().reduce(f64::max),
+                    AggFn::Last => vals.last().copied(),
+                };
+                let schema = Schema::new(vec![Column::new(
+                    format!("{}_{col}", agg_name(*agg)),
+                    ColumnType::Float,
+                )])
+                .expect("single column");
+                let mut t = Table::new("result", schema);
+                t.push_row(vec![out_val.map_or(Value::Null, Value::Float)])?;
+                t
+            }
+            (Projection::Aggregate { key: Some(_), .. }, None) => {
+                return Err(DbError::BadQuery(
+                    "keyed aggregate requires GROUP BY".into(),
+                ))
+            }
+            (_, Some(_)) => {
+                return Err(DbError::BadQuery(
+                    "GROUP BY requires an aggregate projection".into(),
+                ))
+            }
+            (Projection::All, None) => filtered,
+            (Projection::Columns(cols), None) => {
+                let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+                filtered.select(&refs, &Predicate::True)?
+            }
+        };
+
+        if let Some((col, asc)) = &q.order_by {
+            result = result.order_by(col, *asc)?;
+        }
+        if let Some(n) = q.limit {
+            let keep: Vec<usize> = (0..result.row_count().min(n)).collect();
+            result = result.select_rows(&keep);
+        }
+        Ok(result)
+    }
+}
+
+/// Rebuilds a table with new column names (arity must match).
+fn rename_columns(t: Table, names: &[&str]) -> Result<Table, DbError> {
+    if names.len() != t.schema().len() {
+        return Err(DbError::BadQuery("rename arity mismatch".into()));
+    }
+    let columns: Vec<Column> = t
+        .schema()
+        .columns()
+        .iter()
+        .zip(names)
+        .map(|(c, n)| Column::new(*n, c.ty))
+        .collect();
+    let schema = Schema::new(columns)?;
+    let mut out = Table::new(t.name(), schema);
+    for row in t.iter_rows() {
+        out.push_row(row)?;
+    }
+    Ok(out)
+}
+
+fn agg_name(agg: AggFn) -> &'static str {
+    match agg {
+        AggFn::Count => "count",
+        AggFn::Sum => "sum",
+        AggFn::Mean => "avg",
+        AggFn::Min => "min",
+        AggFn::Max => "max",
+        AggFn::Last => "last",
+    }
+}
+
+impl Table {
+    /// Keeps only the given row indices (public sibling of the internal
+    /// gather, used by LIMIT).
+    pub fn select_rows(&self, rows: &[usize]) -> Table {
+        self.gather(self.name(), rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let schema = Schema::new(vec![
+            Column::new("node", ColumnType::Text),
+            Column::new("tier", ColumnType::Int),
+            Column::new("util", ColumnType::Float),
+            Column::new("time", ColumnType::Timestamp),
+        ])
+        .unwrap();
+        db.create_table("disk", schema).unwrap();
+        for (node, tier, util, us) in [
+            ("apache0", 0, 2.0, 50_000),
+            ("tomcat0", 1, 3.5, 50_000),
+            ("mysql0", 3, 99.0, 50_000),
+            ("mysql0", 3, 97.0, 100_000),
+            ("mysql0", 3, 1.0, 150_000),
+        ] {
+            db.insert(
+                "disk",
+                vec![
+                    Value::Text(node.into()),
+                    Value::Int(tier),
+                    Value::Float(util),
+                    Value::Timestamp(us),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn select_star_and_where() {
+        let db = db();
+        let all = db.query("SELECT * FROM disk").unwrap();
+        assert_eq!(all.row_count(), 5);
+        assert_eq!(all.schema().len(), 4);
+        let hot = db.query("SELECT * FROM disk WHERE util > 90").unwrap();
+        assert_eq!(hot.row_count(), 2);
+    }
+
+    #[test]
+    fn projection_and_order_limit() {
+        let db = db();
+        let t = db
+            .query("SELECT node, util FROM disk ORDER BY util DESC LIMIT 2")
+            .unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.schema().len(), 2);
+        assert_eq!(t.cell(0, "util"), Some(&Value::Float(99.0)));
+        assert_eq!(t.cell(1, "util"), Some(&Value::Float(97.0)));
+    }
+
+    #[test]
+    fn boolean_logic_and_parens() {
+        let db = db();
+        let t = db
+            .query("SELECT node FROM disk WHERE tier = 3 AND (util > 98 OR util < 2)")
+            .unwrap();
+        assert_eq!(t.row_count(), 2);
+        let n = db
+            .query("SELECT node FROM disk WHERE NOT node = 'mysql0'")
+            .unwrap();
+        assert_eq!(n.row_count(), 2);
+    }
+
+    #[test]
+    fn string_and_time_literals() {
+        let db = db();
+        let t = db
+            .query("SELECT util FROM disk WHERE node = 'mysql0' AND time >= time '00:00:00.100000'")
+            .unwrap();
+        assert_eq!(t.row_count(), 2);
+        // Escaped quote inside a string.
+        let esc = db.query("SELECT * FROM disk WHERE node = 'o''brien'").unwrap();
+        assert_eq!(esc.row_count(), 0);
+    }
+
+    #[test]
+    fn group_by_aggregates() {
+        let db = db();
+        let t = db
+            .query("SELECT node, MAX(util) FROM disk GROUP BY node ORDER BY node")
+            .unwrap();
+        assert_eq!(t.row_count(), 3);
+        // Keys sort ascending: apache0, mysql0, tomcat0.
+        assert_eq!(t.cell(1, "util"), Some(&Value::Float(99.0)), "mysql0 max");
+        let c = db
+            .query("SELECT node, COUNT(*) FROM disk GROUP BY node ORDER BY node DESC")
+            .unwrap();
+        assert_eq!(c.cell(0, "node"), Some(&Value::Text("tomcat0".into())));
+        assert_eq!(c.cell(1, "node"), Some(&Value::Text("mysql0".into())));
+        assert_eq!(c.cell(1, "count").and_then(Value::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn whole_table_aggregates() {
+        let db = db();
+        let t = db.query("SELECT AVG(util) FROM disk WHERE tier = 3").unwrap();
+        assert_eq!(t.row_count(), 1);
+        let avg = t.cell(0, "avg_util").and_then(Value::as_f64).unwrap();
+        assert!((avg - 65.666).abs() < 0.01);
+        let c = db.query("SELECT COUNT(*) FROM disk").unwrap();
+        assert_eq!(c.cell(0, "count_*").and_then(Value::as_f64), Some(5.0));
+        // Aggregate over empty selection.
+        let none = db.query("SELECT MAX(util) FROM disk WHERE tier = 99").unwrap();
+        assert_eq!(none.cell(0, "max_util"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn case_insensitivity_and_operators() {
+        let db = db();
+        // Keywords are case-insensitive; identifiers are case-sensitive, so
+        // `NODE` is an unknown column.
+        let err = db.query("select NODE from disk where util >= 97").unwrap_err();
+        assert!(matches!(err, DbError::NoSuchColumn(ref c) if c == "NODE"), "{err}");
+        let t = db.query("select node from disk where util <> 99").unwrap();
+        assert_eq!(t.row_count(), 4);
+        let le = db.query("SELECT node FROM disk WHERE util <= 2").unwrap();
+        assert_eq!(le.row_count(), 2);
+    }
+
+    #[test]
+    fn syntax_errors_are_bad_query() {
+        let db = db();
+        for bad in [
+            "SELEC * FROM disk",
+            "SELECT * FROM",
+            "SELECT * FROM disk WHERE",
+            "SELECT * FROM disk WHERE util >",
+            "SELECT * FROM disk LIMIT x",
+            "SELECT * FROM disk trailing garbage",
+            "SELECT FOO(util) FROM disk",
+            "SELECT node, MAX(util) FROM disk", // keyed agg without GROUP BY
+            "SELECT node FROM disk GROUP BY node", // GROUP BY without agg
+            "SELECT * FROM disk WHERE node = 'unterminated",
+        ] {
+            assert!(
+                matches!(db.query(bad), Err(DbError::BadQuery(_))),
+                "{bad} should be a syntax error, got {:?}",
+                db.query(bad)
+            );
+        }
+        assert!(matches!(
+            db.query("SELECT * FROM ghost"),
+            Err(DbError::NoSuchTable(_))
+        ));
+        assert!(matches!(
+            db.query("SELECT ghost FROM disk"),
+            Err(DbError::NoSuchColumn(_))
+        ));
+    }
+
+    #[test]
+    fn select_rows_limit_helper() {
+        let db = db();
+        let t = db.query("SELECT * FROM disk LIMIT 0").unwrap();
+        assert_eq!(t.row_count(), 0);
+        let t = db.query("SELECT * FROM disk LIMIT 100").unwrap();
+        assert_eq!(t.row_count(), 5);
+    }
+}

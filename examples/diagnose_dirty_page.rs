@@ -1,0 +1,88 @@
+//! Scenario B walkthrough (paper §V-B, Fig. 8): two response-time peaks
+//! that look alike but have different origins — forced dirty-page
+//! recycling saturating first Apache's CPU, later Tomcat's.
+//!
+//! ```text
+//! cargo run --release --example diagnose_dirty_page
+//! ```
+
+use milliscope::analysis::{detect_pushback, detect_vsb};
+use milliscope::core::scenarios::{calibrated_dirty_page, shorten};
+use milliscope::core::{DiagnoseOptions, Experiment, MilliScope, RootCause};
+use milliscope::db::AggFn;
+use milliscope::sim::SimDuration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Apache's dirty pages trip forced recycling every ~8 s, Tomcat's
+    // every ~13 s; each storm seizes the node's CPU for ~400 ms. The
+    // different periods make the Fig. 8 peaks land at different times.
+    let cfg = shorten(
+        calibrated_dirty_page(500, 8.0, 13.0, 400.0),
+        SimDuration::from_secs(40),
+    );
+    println!("== scenario B: dirty-page recycling on web/app tiers ==");
+    let output = Experiment::new(cfg)?.run();
+    let ms = MilliScope::ingest(&output)?;
+    let w = SimDuration::from_millis(50);
+
+    // Fig. 8a: the PIT response time shows repeated short peaks while the
+    // average stays low.
+    let pit = ms.pit(w)?;
+    let episodes = detect_vsb(&pit, 8.0);
+    println!(
+        "Fig 8a: mean RT {:.2} ms; {} peaks, tallest {:.0} ms",
+        pit.overall_mean_ms(),
+        episodes.len(),
+        episodes.iter().map(|e| e.peak_ms).fold(0.0, f64::max)
+    );
+
+    // Fig. 8b: queue signatures distinguish the peaks — Apache-only
+    // episodes versus Apache+Tomcat episodes.
+    let queues = ms.all_queues(w)?;
+    let pushbacks = detect_pushback(&queues, 3.0);
+    let apache_only = pushbacks.iter().filter(|p| !p.is_cross_tier()).count();
+    let cross = pushbacks.iter().filter(|p| p.is_cross_tier()).count();
+    println!(
+        "Fig 8b: {apache_only} Apache-only queue episodes, {cross} cross-tier (Apache+Tomcat) episodes"
+    );
+
+    // Fig. 8c/8d: during each episode the saturated node's CPU pegs while
+    // its dirty-page count drops abruptly.
+    for ep in episodes.iter().take(4) {
+        let (from, to) = (ep.start_us - 500_000, ep.end_us + 500_000);
+        for tier in [0usize, 1] {
+            let node = &ms.tier_nodes(tier)[0];
+            let cpu = ms.cpu_busy(node, w)?.slice(from, to);
+            let peak_cpu = cpu.values().iter().cloned().fold(0.0, f64::max);
+            let dirty = ms.resource(node, "mem_dirty", w, AggFn::Last)?.slice(from, to);
+            let vals = dirty.values();
+            let drop = vals.windows(2).map(|p| p[0] - p[1]).fold(0.0, f64::max);
+            println!(
+                "  t={:>5.1}s {:<7} peak cpu {:>5.1}%  max dirty-page drop {:>7.0} pages",
+                ep.start_us as f64 / 1e6,
+                ms.tier_kinds()[tier],
+                peak_cpu,
+                drop
+            );
+        }
+    }
+
+    // The automated diagnosis names the mechanism.
+    let report = ms.diagnose(&DiagnoseOptions::default())?;
+    let mut recycling = 0;
+    for ep in &report.episodes {
+        println!(
+            "diagnosis t={:.1}s: {}",
+            ep.episode.start_us as f64 / 1e6,
+            ep.root_cause.describe()
+        );
+        if matches!(ep.root_cause, RootCause::DirtyPageRecycling { .. }) {
+            recycling += 1;
+        }
+    }
+    println!(
+        "verdict: {recycling}/{} episodes attributed to dirty-page recycling — the injected root cause",
+        report.episodes.len()
+    );
+    Ok(())
+}

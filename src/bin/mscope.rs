@@ -1,0 +1,277 @@
+//! `mscope` — command-line front end for the milliScope reproduction.
+//!
+//! ```text
+//! mscope run [--scenario baseline|db-io|dirty-page] [--users N] [--secs S]
+//!            [--seed X] [--dump-logs DIR] [--trace FILE] [--json]
+//! mscope tables   …same run flags…      # list what lands in mScopeDB
+//! mscope --help
+//! ```
+//!
+//! `run` executes an experiment under the standard monitor suite, ingests
+//! the logs, and prints the diagnosis; `--dump-logs` writes every native
+//! monitor log to a real directory, `--trace` exports the slowest causal
+//! paths as Chrome trace JSON.
+
+use milliscope::core::scenarios::{calibrated_db_io, calibrated_dirty_page, shorten};
+use milliscope::core::{
+    dump_bundle, export_chrome_trace, ingest_bundle, DiagnoseOptions, Experiment, MilliScope,
+    TraceExportOptions,
+};
+use milliscope::ntier::SystemConfig;
+use milliscope::sim::SimDuration;
+use std::path::PathBuf;
+use std::process::exit;
+
+#[derive(Debug)]
+struct Args {
+    command: String,
+    scenario: String,
+    users: u32,
+    secs: u64,
+    seed: Option<u64>,
+    dump_logs: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    report: Option<PathBuf>,
+    bundle: Option<PathBuf>,
+    json: bool,
+    sql: Option<String>,
+    describe: Option<String>,
+}
+
+const USAGE: &str = "\
+usage: mscope <run|tables|query|ingest> [options]
+
+options:
+  --scenario baseline|db-io|dirty-page   which system to run   [db-io]
+  --users N                              concurrent users      [500]
+  --secs S                               measured seconds      [30]
+  --seed X                               RNG seed              [preset]
+  --sql QUERY                            SQL to run against mScopeDB (query cmd)
+  --describe TABLE                       print a per-column summary (tables cmd)
+  --dump-logs DIR                        write native monitor logs to DIR
+  --bundle DIR                           run: archive logs+manifest to DIR;
+                                         ingest: load and diagnose a bundle
+  --trace FILE                           export slowest flows as Chrome trace JSON
+  --report FILE                          write the diagnosis as a Markdown report
+  --json                                 print the diagnosis report as JSON
+
+examples:
+  mscope run --scenario dirty-page --users 800
+  mscope query --sql 'SELECT node, MAX(disk_util) FROM collectl GROUP BY node'
+  mscope run --scenario db-io --bundle /tmp/incident-42
+  mscope ingest --bundle /tmp/incident-42 --report incident-42.md
+";
+
+fn parse_args() -> Args {
+    let mut argv = std::env::args().skip(1);
+    let mut args = Args {
+        command: String::new(),
+        scenario: "db-io".into(),
+        users: 500,
+        secs: 30,
+        seed: None,
+        dump_logs: None,
+        trace: None,
+        report: None,
+        bundle: None,
+        json: false,
+        sql: None,
+        describe: None,
+    };
+    let next = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
+        argv.next().unwrap_or_else(|| die(&format!("{flag} needs a value")))
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--scenario" => args.scenario = next(&mut argv, "--scenario"),
+            "--users" => {
+                args.users = next(&mut argv, "--users").parse().unwrap_or_else(|_| die("bad --users"))
+            }
+            "--secs" => {
+                args.secs = next(&mut argv, "--secs").parse().unwrap_or_else(|_| die("bad --secs"))
+            }
+            "--seed" => {
+                args.seed =
+                    Some(next(&mut argv, "--seed").parse().unwrap_or_else(|_| die("bad --seed")))
+            }
+            "--sql" => args.sql = Some(next(&mut argv, "--sql")),
+            "--describe" => args.describe = Some(next(&mut argv, "--describe")),
+            "--dump-logs" => args.dump_logs = Some(PathBuf::from(next(&mut argv, "--dump-logs"))),
+            "--trace" => args.trace = Some(PathBuf::from(next(&mut argv, "--trace"))),
+            "--report" => args.report = Some(PathBuf::from(next(&mut argv, "--report"))),
+            "--bundle" => args.bundle = Some(PathBuf::from(next(&mut argv, "--bundle"))),
+            "--json" => args.json = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                exit(0);
+            }
+            cmd if args.command.is_empty() && !cmd.starts_with('-') => {
+                args.command = cmd.to_string()
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    if args.command.is_empty() {
+        die("missing command (run|tables|query|ingest)");
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    exit(2);
+}
+
+fn build_config(args: &Args) -> SystemConfig {
+    let base = match args.scenario.as_str() {
+        "baseline" => SystemConfig::rubbos_baseline(args.users),
+        "db-io" => calibrated_db_io(args.users, 3.5, 300.0),
+        "dirty-page" => calibrated_dirty_page(args.users, 8.0, 13.0, 400.0),
+        other => die(&format!("unknown scenario `{other}`")),
+    };
+    let mut cfg = shorten(base, SimDuration::from_secs(args.secs));
+    if let Some(seed) = args.seed {
+        cfg.seed = seed;
+    }
+    cfg
+}
+
+fn main() {
+    let args = parse_args();
+    if args.command == "ingest" {
+        let dir = args.bundle.as_deref().unwrap_or_else(|| die("ingest needs --bundle DIR"));
+        eprintln!("[mscope] ingesting bundle {}", dir.display());
+        let ms = ingest_bundle(dir).unwrap_or_else(|e| die(&e.to_string()));
+        eprintln!(
+            "[mscope] loaded {} files / {} entries",
+            ms.transform_report().files,
+            ms.transform_report().entries
+        );
+        if let Some(sql) = &args.sql {
+            match ms.db().query(sql) {
+                Ok(table) => print!("{}", table.render_text(100)),
+                Err(e) => die(&e.to_string()),
+            }
+            return;
+        }
+        let report = ms
+            .diagnose(&DiagnoseOptions::default())
+            .unwrap_or_else(|e| die(&e.to_string()));
+        if let Some(path) = &args.report {
+            std::fs::write(path, report.render_markdown())
+                .unwrap_or_else(|e| die(&format!("writing report: {e}")));
+            eprintln!("[mscope] wrote Markdown report to {}", path.display());
+        } else {
+            print!("{}", report.render_markdown());
+        }
+        return;
+    }
+    let cfg = build_config(&args);
+    eprintln!(
+        "[mscope] scenario {} — {} users, {} s measured, seed {:#x}",
+        args.scenario, cfg.workload.users, cfg.duration.as_secs_f64(), cfg.seed
+    );
+
+    let experiment = Experiment::new(cfg).unwrap_or_else(|e| die(&e.to_string()));
+    let output = experiment.run();
+    eprintln!(
+        "[mscope] completed {} requests, {:.1} req/s, mean RT {:.2} ms",
+        output.run.stats.completed, output.run.stats.throughput_rps, output.run.stats.mean_rt_ms
+    );
+
+    if args.command == "run" {
+        if let Some(dir) = &args.bundle {
+            dump_bundle(&output, dir).unwrap_or_else(|e| die(&e.to_string()));
+            eprintln!("[mscope] archived bundle to {}", dir.display());
+        }
+    }
+
+    if let Some(dir) = &args.dump_logs {
+        output
+            .artifacts
+            .store
+            .dump_to_dir(dir)
+            .unwrap_or_else(|e| die(&format!("dumping logs: {e}")));
+        eprintln!(
+            "[mscope] wrote {} log files ({:.1} KiB) under {}",
+            output.artifacts.store.len(),
+            output.artifacts.store.total_bytes() as f64 / 1024.0,
+            dir.display()
+        );
+    }
+
+    let ms = MilliScope::ingest(&output).unwrap_or_else(|e| die(&e.to_string()));
+
+    match args.command.as_str() {
+        "tables" => {
+            if let Some(name) = &args.describe {
+                match ms.db().require(name) {
+                    Ok(t) => print!("{}", t.describe().render_text(0)),
+                    Err(e) => die(&e.to_string()),
+                }
+            } else {
+                println!("{:<20} {:>10}", "table", "rows");
+                for name in ms.db().table_names() {
+                    let rows = ms.db().require(name).expect("listed table exists").row_count();
+                    println!("{name:<20} {rows:>10}");
+                }
+            }
+        }
+        "run" => {
+            let report = ms
+                .diagnose(&DiagnoseOptions::default())
+                .unwrap_or_else(|e| die(&e.to_string()));
+            if let Some(path) = &args.report {
+                std::fs::write(path, report.render_markdown())
+                    .unwrap_or_else(|e| die(&format!("writing report: {e}")));
+                eprintln!("[mscope] wrote Markdown report to {}", path.display());
+            }
+            if args.json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&report).expect("report serializes")
+                );
+            } else if report.episodes.is_empty() {
+                println!(
+                    "no anomalies: mean RT {:.2} ms, no VLRT episodes detected",
+                    report.mean_rt_ms
+                );
+            } else {
+                println!(
+                    "mean RT {:.2} ms; {} VLRT episode(s):",
+                    report.mean_rt_ms,
+                    report.episodes.len()
+                );
+                for ep in &report.episodes {
+                    println!(
+                        "  t={:>7.2}s  dur {:>4.0} ms  peak {:>6.0} ms ({:>4.0}x)  tier {}  → {}",
+                        ep.episode.start_us as f64 / 1e6,
+                        ep.episode.duration_ms(),
+                        ep.episode.peak_ms,
+                        ep.episode.ratio,
+                        ep.suspect_tier,
+                        ep.root_cause.describe()
+                    );
+                }
+            }
+        }
+        "query" => {
+            let sql = args.sql.as_deref().unwrap_or_else(|| die("query needs --sql"));
+            match ms.db().query(sql) {
+                Ok(table) => print!("{}", table.render_text(100)),
+                Err(e) => die(&e.to_string()),
+            }
+        }
+        other => die(&format!("unknown command `{other}`")),
+    }
+
+    if let Some(path) = &args.trace {
+        let flows = ms.flows().unwrap_or_else(|e| die(&e.to_string()));
+        let json = export_chrome_trace(
+            &flows,
+            &TraceExportOptions { min_rt_ms: 0, max_flows: 200 },
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| die(&format!("writing trace: {e}")));
+        eprintln!("[mscope] wrote Chrome trace of the 200 slowest flows to {}", path.display());
+    }
+}

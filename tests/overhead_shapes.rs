@@ -1,0 +1,82 @@
+//! Figures 10 & 11 shape assertions: enabling the event mScopeMonitors
+//! must cost almost nothing — that is the paper's headline claim.
+
+use mscope_bench::{overhead_sweep, Scale};
+
+#[test]
+fn overhead_sweep_matches_paper_claims() {
+    let rows = overhead_sweep(Scale::Quick);
+    assert_eq!(rows.len(), 3, "quick sweep has three workload points");
+    for row in &rows {
+        let r = &row.report;
+
+        // Fig 11 (throughput): "almost no difference in system throughput".
+        assert!(
+            r.throughput_loss().abs() < 0.06,
+            "users {}: throughput loss {:.3}",
+            row.users,
+            r.throughput_loss()
+        );
+
+        // Fig 11 (latency): instrumented runs add a small, bounded latency
+        // (the paper reports ~2 ms on their testbed).
+        let extra = r.added_latency_ms();
+        assert!(
+            (-1.0..5.0).contains(&extra),
+            "users {}: added latency {extra:.2} ms",
+            row.users
+        );
+
+        for n in &r.nodes {
+            // Fig 10 (disk writes): instrumented components write roughly
+            // twice as many log bytes.
+            let ratio = n.log_ratio();
+            assert!(
+                (1.3..3.0).contains(&ratio),
+                "users {} node {}: log ratio {ratio:.2}",
+                row.users,
+                n.node
+            );
+
+            // Fig 10 (CPU): overhead stays in the paper's 0–3 % band, with
+            // margin for sampling noise at quick scale.
+            let pts = n.cpu_overhead_points();
+            assert!(
+                (-2.0..6.0).contains(&pts),
+                "users {} node {}: overhead {pts:.2} points",
+                row.users,
+                n.node
+            );
+        }
+    }
+
+    // Overhead grows (or at least does not shrink dramatically) with load:
+    // the heaviest workload's total instrumented CPU exceeds the lightest's.
+    let total_cpu = |r: &mscope_monitors::OverheadReport| {
+        r.nodes.iter().map(|n| n.cpu_on).sum::<f64>()
+    };
+    assert!(total_cpu(&rows.last().expect("rows").report) > total_cpu(&rows[0].report));
+}
+
+#[test]
+fn tomcat_monitor_costs_more_than_apache() {
+    // The paper: Tomcat's monitor adds ~3 % (extra logging thread) vs ~1 %
+    // for Apache/C-JDBC. Verify the ordering at the heaviest quick point.
+    let rows = overhead_sweep(Scale::Quick);
+    let r = &rows.last().expect("rows").report;
+    let by_tier = |tier: usize| {
+        r.nodes
+            .iter()
+            .find(|n| n.node.tier.0 == tier)
+            .expect("tier present")
+    };
+    let apache = by_tier(0);
+    let tomcat = by_tier(1);
+    // Compare pure CPU deltas (excluding iowait noise).
+    let apache_delta = apache.cpu_on - apache.cpu_off;
+    let tomcat_delta = tomcat.cpu_on - tomcat.cpu_off;
+    assert!(
+        tomcat_delta > apache_delta,
+        "tomcat delta {tomcat_delta:.3} vs apache delta {apache_delta:.3}"
+    );
+}

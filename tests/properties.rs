@@ -1,0 +1,440 @@
+//! Cross-crate property-based tests (proptest): invariants that must hold
+//! for *any* input, not just the fixtures the unit tests use.
+
+use mscope_db::{ColumnType, Value};
+use mscope_sim::{parse_wallclock, pearson, wallclock, SimDuration, SimTime};
+use mscope_transform::{parse_csv, parse_xml, write_csv, XmlNode};
+use proptest::prelude::*;
+
+// ------------------------------------------------------------------
+// CSV
+// ------------------------------------------------------------------
+
+proptest! {
+    /// Any grid of arbitrary strings survives a CSV write/parse round-trip.
+    #[test]
+    fn csv_roundtrip(rows in prop::collection::vec(
+        prop::collection::vec(".{0,12}", 1..6), 1..8)
+    ) {
+        // Normalize widths: CSV requires rectangular data only per row, and
+        // our writer emits whatever it is given, so keep rows as-is.
+        let text = write_csv(&rows);
+        let back = parse_csv(&text).expect("own output parses");
+        prop_assert_eq!(back, rows);
+    }
+}
+
+// ------------------------------------------------------------------
+// XML
+// ------------------------------------------------------------------
+
+fn xml_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| s)
+}
+
+proptest! {
+    /// Arbitrary single-level documents round-trip through the writer and
+    /// parser, including attribute and text escaping.
+    #[test]
+    fn xml_roundtrip(
+        root in xml_name(),
+        attrs in prop::collection::vec((xml_name(), ".{0,16}"), 0..4),
+        children in prop::collection::vec((xml_name(), ".{0,16}"), 0..6),
+    ) {
+        let mut doc = XmlNode::new(root);
+        for (k, v) in attrs {
+            // Attribute names must be unique to round-trip deterministically;
+            // duplicates are legal for the writer but we skip them here.
+            if doc.get_attr(&k).is_none() {
+                doc.attrs.push((k, v));
+            }
+        }
+        for (name, text) in children {
+            // Control characters are not representable in our XML subset.
+            let clean: String = text.chars().filter(|c| !c.is_control()).collect();
+            doc.children.push(XmlNode::new(name).with_text(clean.trim().to_string()));
+        }
+        let serialized = doc.to_xml();
+        let back = parse_xml(&serialized).expect("own output parses");
+        prop_assert_eq!(back, doc);
+    }
+}
+
+// ------------------------------------------------------------------
+// Schema inference lattice
+// ------------------------------------------------------------------
+
+proptest! {
+    /// The folded column type admits every individual value's type, and
+    /// folding is order-insensitive.
+    #[test]
+    fn inference_admits_all_values(cells in prop::collection::vec(".{0,10}", 1..20)) {
+        let types: Vec<ColumnType> =
+            cells.iter().map(|c| Value::infer(c).column_type()).collect();
+        let folded = types.iter().fold(ColumnType::Null, |a, &b| a.unify(b));
+        for t in &types {
+            prop_assert!(folded.admits(*t), "{folded:?} !admits {t:?}");
+        }
+        let folded_rev = types.iter().rev().fold(ColumnType::Null, |a, &b| a.unify(b));
+        prop_assert_eq!(folded, folded_rev);
+    }
+
+    /// Rendering a value and re-inferring it never *widens* past Text and
+    /// yields an equal value for the canonical types.
+    #[test]
+    fn value_render_stable(i in any::<i64>(), f in -1e12f64..1e12f64) {
+        prop_assert_eq!(Value::infer(&Value::Int(i).render()), Value::Int(i));
+        let v = Value::Float(f);
+        if let Value::Float(back) = Value::infer(&v.render()) {
+            let rel = if f == 0.0 { (back).abs() } else { ((back - f) / f).abs() };
+            prop_assert!(rel < 1e-9, "float render drift: {f} -> {back}");
+        } else if f.fract() == 0.0 {
+            // Integral floats may render as "x.0" and still infer Float; the
+            // writer guarantees that, so reaching here is a failure.
+            prop_assert!(false, "integral float lost its type");
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Time
+// ------------------------------------------------------------------
+
+proptest! {
+    /// Wallclock formatting round-trips for any instant below 24 h.
+    #[test]
+    fn wallclock_roundtrip(us in 0u64..86_400_000_000) {
+        let t = SimTime::from_micros(us);
+        prop_assert_eq!(parse_wallclock(&wallclock(t)), Some(t));
+    }
+
+    /// Time arithmetic: (t + d) - d == t and ordering is preserved.
+    #[test]
+    fn time_arith(base in 0u64..1_000_000_000, d in 0u64..1_000_000_000) {
+        let t = SimTime::from_micros(base);
+        let dur = SimDuration::from_micros(d);
+        prop_assert_eq!((t + dur) - dur, t);
+        prop_assert!(t + dur >= t);
+    }
+}
+
+// ------------------------------------------------------------------
+// Statistics
+// ------------------------------------------------------------------
+
+proptest! {
+    /// Pearson r is always in [-1, 1] (when defined).
+    #[test]
+    fn pearson_bounded(pairs in prop::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 2..50)) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Some(r) = pearson(&xs, &ys) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Queue derivation
+// ------------------------------------------------------------------
+
+proptest! {
+    /// For any set of residence intervals, the queue series stays within
+    /// [0, n], and is all-zero after every request departs.
+    #[test]
+    fn queue_series_bounded(
+        intervals in prop::collection::vec((0u64..10_000_000, 1u64..5_000_000), 1..100)
+    ) {
+        let ints: Vec<(i64, Option<i64>)> = intervals
+            .iter()
+            .map(|&(a, d)| (a as i64, Some((a + d) as i64)))
+            .collect();
+        let n = ints.len() as f64;
+        let horizon = intervals.iter().map(|&(a, d)| a + d).max().expect("non-empty");
+        let series = mscope_analysis::queue_series(
+            &ints,
+            SimTime::ZERO,
+            SimTime::from_micros(horizon + 2_000_000),
+            SimDuration::from_millis(100),
+        );
+        for (_, v) in series.iter() {
+            prop_assert!((0.0..=n).contains(&v), "queue {v} out of [0, {n}]");
+        }
+        let last = series.values().last().copied().expect("non-empty series");
+        prop_assert_eq!(last, 0.0, "queue must drain after all departures");
+    }
+
+    /// The PIT max never falls below the PIT mean in any window.
+    #[test]
+    fn pit_max_ge_mean(
+        completions in prop::collection::vec((0i64..60_000_000, 0.1f64..1000.0), 1..200)
+    ) {
+        let pit = mscope_analysis::PitSeries::from_completions(&completions, 50_000);
+        for p in &pit.points {
+            prop_assert!(p.max_ms >= p.mean_ms - 1e-9);
+            prop_assert!(p.count > 0);
+        }
+        // Window starts are aligned and strictly increasing.
+        for w in pit.points.windows(2) {
+            prop_assert!(w[0].start_us < w[1].start_us);
+            prop_assert_eq!(w[0].start_us.rem_euclid(50_000), 0);
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Event-log pattern matching
+// ------------------------------------------------------------------
+
+proptest! {
+    /// Any request ID and interaction render into an Apache log line that
+    /// the Apache mScopeParser pattern parses back exactly.
+    #[test]
+    fn apache_pattern_inverts_rendering(id in any::<u64>(), idx in 0usize..24) {
+        let interaction = mscope_ntier::Interaction { idx };
+        let rid = mscope_ntier::RequestId(id);
+        let line = format!(
+            "127.0.0.1 - - [00:00:01.000000] \"GET /rubbos/{}?ID={} HTTP/1.1\" 200 1802 \
+             ua=00:00:00.900000 ud=00:00:01.000000 ds=- dr=-",
+            interaction.name(),
+            rid
+        );
+        let spec = mscope_transform::apache_event_spec();
+        let caps = spec.records[0].match_line(&line).expect("rendered line parses");
+        let get = |k: &str| caps.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone()).expect("capture");
+        prop_assert_eq!(get("request_id"), rid.to_string());
+        prop_assert_eq!(get("interaction"), interaction.name());
+    }
+}
+
+// ------------------------------------------------------------------
+// Monitor-format round-trips: render → parse → identical values
+// ------------------------------------------------------------------
+
+use mscope_monitors::{LogStore, ResourceMonitor, Tool};
+use mscope_ntier::{NodeId, ResourceSample, TierId, TierKind};
+
+fn sample_strategy() -> impl Strategy<Value = ResourceSample> {
+    (
+        1u64..100_000,           // time ms
+        0.0f64..60.0,            // cpu_user
+        0.0f64..20.0,            // cpu_sys
+        0.0f64..10.0,            // cpu_iowait
+        0.0f64..100.0,           // disk util
+        0u64..10_000_000,        // disk bytes
+        0u64..100_000,           // dirty pages
+    )
+        .prop_map(|(ms, user, sys, iowait, util, bytes, dirty)| ResourceSample {
+            time: SimTime::from_millis(ms),
+            node: NodeId { tier: TierId(3), replica: 0 },
+            kind: TierKind::Mysql,
+            cpu_user: user,
+            cpu_sys: sys,
+            cpu_iowait: iowait,
+            cpu_idle: (100.0 - user - sys - iowait).max(0.0),
+            disk_util: util,
+            disk_write_bytes: bytes,
+            disk_ops: bytes / 4096,
+            dirty_pages: dirty,
+            mem_used_bytes: 1 << 30,
+            net_rx_bytes: 1024,
+            net_tx_bytes: 2048,
+            queue_len: 1,
+            active_workers: 1,
+            log_bytes: 100,
+        })
+}
+
+proptest! {
+    /// Any resource sample survives the full journey: Collectl CSV render →
+    /// staged parser → annotated XML → schema inference → CSV → warehouse —
+    /// with the numeric values intact to format precision.
+    #[test]
+    fn collectl_roundtrip_through_pipeline(samples in prop::collection::vec(sample_strategy(), 1..20)) {
+        // Strictly increasing timestamps (monitors sample in order).
+        let mut samples = samples;
+        samples.sort_by_key(|s| s.time);
+        samples.dedup_by_key(|s| s.time);
+
+        let monitor = ResourceMonitor {
+            node: NodeId { tier: TierId(3), replica: 0 },
+            kind: TierKind::Mysql,
+            tool: Tool::CollectlCsv,
+            period: mscope_sim::SimDuration::from_millis(1), // pass-through
+        };
+        let mut store = LogStore::new();
+        monitor.render(&samples, &mut store);
+
+        let meta = mscope_monitors::LogFileMeta {
+            path: monitor.log_path(),
+            node: monitor.node,
+            tier_kind: TierKind::Mysql,
+            monitor_id: monitor.monitor_id(),
+            tool: "collectl".into(),
+            format: "csv".into(),
+            kind: mscope_monitors::MonitorKind::Resource,
+            period_ms: 1,
+        };
+        let mut db = mscope_db::Database::new();
+        mscope_transform::DataTransformer::from_manifest(&[meta])
+            .run(&store, &mut db)
+            .expect("pipeline handles any rendered sample");
+        let t = db.require("collectl").expect("table created");
+        prop_assert_eq!(t.row_count(), samples.len());
+        for (i, s) in samples.iter().enumerate() {
+            let cell = |c: &str| t.cell(i, c).and_then(Value::as_f64).expect("numeric cell");
+            prop_assert!((cell("cpu_user") - s.cpu_user).abs() < 0.01);
+            prop_assert!((cell("disk_util") - s.disk_util).abs() < 0.1);
+            prop_assert_eq!(cell("mem_dirty") as u64, s.dirty_pages);
+            let time = t.cell(i, "time").and_then(Value::as_i64).expect("timestamp");
+            prop_assert_eq!(time as u64, s.time.as_micros());
+        }
+    }
+
+    /// Every tool's renderer produces output its declared parser accepts,
+    /// for any sample stream — no format can drift away from its parser.
+    #[test]
+    fn all_tools_parse_their_own_output(samples in prop::collection::vec(sample_strategy(), 1..12)) {
+        let mut samples = samples;
+        samples.sort_by_key(|s| s.time);
+        samples.dedup_by_key(|s| s.time);
+        for tool in [Tool::CollectlCsv, Tool::CollectlPlain, Tool::SarText, Tool::SarXml, Tool::Iostat] {
+            let monitor = ResourceMonitor {
+                node: NodeId { tier: TierId(3), replica: 0 },
+                kind: TierKind::Mysql,
+                tool,
+                period: mscope_sim::SimDuration::from_millis(1),
+            };
+            let mut store = LogStore::new();
+            monitor.render(&samples, &mut store);
+            let meta = mscope_monitors::LogFileMeta {
+                path: monitor.log_path(),
+                node: monitor.node,
+                tier_kind: TierKind::Mysql,
+                monitor_id: monitor.monitor_id(),
+                tool: tool.name().into(),
+                format: tool.format().into(),
+                kind: mscope_monitors::MonitorKind::Resource,
+                period_ms: 1,
+            };
+            let mut db = mscope_db::Database::new();
+            let report = mscope_transform::DataTransformer::from_manifest(&[meta])
+                .run(&store, &mut db);
+            prop_assert!(report.is_ok(), "{:?} failed: {:?}", tool, report.err());
+            prop_assert_eq!(report.expect("checked").entries, samples.len());
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// SQL round-trip: generated predicate ASTs rendered to SQL text must
+// execute identically to direct predicate evaluation.
+// ------------------------------------------------------------------
+
+use mscope_db::{Column, Database, Predicate, Schema, Table};
+
+fn sql_test_db() -> Database {
+    let mut db = Database::new();
+    let schema = Schema::new(vec![
+        Column::new("a", ColumnType::Int),
+        Column::new("b", ColumnType::Float),
+        Column::new("c", ColumnType::Text),
+    ])
+    .expect("valid schema");
+    db.create_table("t", schema).expect("fresh table");
+    for i in 0..40i64 {
+        db.insert(
+            "t",
+            vec![
+                Value::Int(i % 7),
+                Value::Float(i as f64 / 3.0),
+                Value::Text(format!("s{}", i % 5)),
+            ],
+        )
+        .expect("row fits");
+    }
+    db
+}
+
+/// A restricted predicate AST we can render to SQL deterministically.
+#[derive(Debug, Clone)]
+enum Cmp {
+    Int(&'static str, i64),
+    Float(&'static str, f64),
+    TextEq(String),
+}
+
+fn cmp_strategy() -> impl Strategy<Value = Cmp> {
+    prop_oneof![
+        (prop_oneof![Just("="), Just("!="), Just("<"), Just(">"), Just("<="), Just(">=")],
+         0i64..8)
+            .prop_map(|(op, v)| Cmp::Int(op, v)),
+        (prop_oneof![Just("<"), Just(">")], 0.0f64..14.0)
+            .prop_map(|(op, v)| Cmp::Float(op, v)),
+        (0u64..6).prop_map(|k| Cmp::TextEq(format!("s{k}"))),
+    ]
+}
+
+fn cmp_to_sql(c: &Cmp) -> String {
+    match c {
+        Cmp::Int(op, v) => format!("a {op} {v}"),
+        Cmp::Float(op, v) => format!("b {op} {v:.6}"),
+        Cmp::TextEq(s) => format!("c = '{s}'"),
+    }
+}
+
+fn cmp_to_pred(c: &Cmp) -> Predicate {
+    match c {
+        Cmp::Int(op, v) => {
+            let v = Value::Int(*v);
+            match *op {
+                "=" => Predicate::Eq("a".into(), v),
+                "!=" => Predicate::Ne("a".into(), v),
+                "<" => Predicate::Lt("a".into(), v),
+                ">" => Predicate::Gt("a".into(), v),
+                "<=" => Predicate::Le("a".into(), v),
+                _ => Predicate::Ge("a".into(), v),
+            }
+        }
+        Cmp::Float(op, v) => {
+            let v = Value::Float(*v);
+            if *op == "<" {
+                Predicate::Lt("b".into(), v)
+            } else {
+                Predicate::Gt("b".into(), v)
+            }
+        }
+        Cmp::TextEq(s) => Predicate::Eq("c".into(), Value::Text(s.clone())),
+    }
+}
+
+proptest! {
+    /// For any conjunction/disjunction of generated comparisons, executing
+    /// the SQL text equals filtering with the equivalent predicate AST.
+    #[test]
+    fn sql_matches_direct_predicates(
+        cmps in prop::collection::vec(cmp_strategy(), 1..5),
+        use_or in any::<bool>(),
+    ) {
+        let db = sql_test_db();
+        let joiner = if use_or { " OR " } else { " AND " };
+        let sql = format!(
+            "SELECT * FROM t WHERE {}",
+            cmps.iter().map(cmp_to_sql).collect::<Vec<_>>().join(joiner)
+        );
+        let preds: Vec<Predicate> = cmps.iter().map(cmp_to_pred).collect();
+        let pred = if preds.len() == 1 {
+            preds[0].clone()
+        } else if use_or {
+            Predicate::Or(preds)
+        } else {
+            Predicate::And(preds)
+        };
+        let via_sql = db.query(&sql).expect("generated SQL parses");
+        let direct: Table = db.require("t").expect("table").filter(&pred);
+        prop_assert_eq!(via_sql.row_count(), direct.row_count(), "query: {}", sql);
+        for i in 0..via_sql.row_count() {
+            prop_assert_eq!(via_sql.row(i), direct.row(i));
+        }
+    }
+}

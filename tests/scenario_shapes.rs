@@ -1,0 +1,182 @@
+//! Shape assertions for the paper's evaluation artifacts at Quick scale:
+//! every figure's qualitative claim, checked mechanically.
+//!
+//! These are the "does the reproduction show what the paper shows" tests;
+//! EXPERIMENTS.md records the quantitative side.
+
+use mscope_bench::{fig2, fig4, fig6, fig7, fig8, fig9, run_scenario_a, run_scenario_b, Scale};
+
+// ------------------------------------------------------------------
+// Scenario A figures (2, 4, 6, 7) — one shared run, like the paper.
+// ------------------------------------------------------------------
+
+#[test]
+fn scenario_a_figures_hold_paper_shapes() {
+    let ms = run_scenario_a(Scale::Quick);
+
+    // Fig 2: PIT max exceeds 20x the window means' level during the episode.
+    let f2 = fig2(&ms);
+    let peak = f2.max_of("max_rt_ms").expect("series non-empty");
+    let pit = ms.pit(mscope_sim::SimDuration::from_millis(50)).expect("pit");
+    let mean = pit.overall_mean_ms();
+    assert!(
+        peak > 20.0 * mean,
+        "Fig 2 shape: peak {peak:.1} ms vs mean {mean:.2} ms"
+    );
+
+    // Fig 4: the MySQL disk saturates; the other tiers' disks stay low.
+    let f4 = fig4(&ms);
+    let mysql = f4.max_of("mysql_disk_util").expect("mysql series");
+    assert!(mysql > 90.0, "Fig 4 shape: mysql disk peaks at {mysql:.1}%");
+    for other in ["apache_disk_util", "tomcat_disk_util", "cjdbc_disk_util"] {
+        let v = f4.max_of(other).expect("series exists");
+        assert!(v < 50.0, "Fig 4 shape: {other} unexpectedly high ({v:.1}%)");
+    }
+
+    // Fig 6: cross-tier pushback — every tier's queue rises well above its
+    // baseline in the episode window.
+    let f6 = fig6(&ms);
+    for label in ["apache_queue", "tomcat_queue", "cjdbc_queue", "mysql_queue"] {
+        let peak = f6.max_of(label).expect("series exists");
+        assert!(peak >= 5.0, "Fig 6 shape: {label} peak {peak}");
+    }
+
+    // Fig 7: high positive correlation between DB disk util and Apache
+    // queue (the paper calls it "high correlation").
+    let f7 = fig7(&ms);
+    assert!(
+        f7.correlation > 0.5,
+        "Fig 7 shape: r = {:.3}",
+        f7.correlation
+    );
+}
+
+// ------------------------------------------------------------------
+// Scenario B figure (8a–d) — one run.
+// ------------------------------------------------------------------
+
+#[test]
+fn scenario_b_figure8_holds_paper_shapes() {
+    let ms = run_scenario_b(Scale::Quick);
+    let d = fig8(&ms);
+
+    // 8a: tall peaks over a low mean.
+    let peak = d.pit.max_of("max_rt_ms").expect("pit series");
+    let pit = ms.pit(mscope_sim::SimDuration::from_millis(50)).expect("pit");
+    assert!(
+        peak > 8.0 * pit.overall_mean_ms(),
+        "Fig 8a shape: peak {peak:.1} vs mean {:.2}",
+        pit.overall_mean_ms()
+    );
+
+    // 8b/8c: Apache and Tomcat both show queue and CPU activity; at least
+    // one of the two saturates CPU in the span.
+    let apache_cpu = d.cpu.max_of("apache_cpu_busy").expect("cpu series");
+    let tomcat_cpu = d.cpu.max_of("tomcat_cpu_busy").expect("cpu series");
+    assert!(
+        apache_cpu > 90.0 || tomcat_cpu > 90.0,
+        "Fig 8c shape: apache {apache_cpu:.0}%, tomcat {tomcat_cpu:.0}%"
+    );
+
+    // 8d: dirty pages drop abruptly somewhere in the span.
+    let has_drop = |label: &str| {
+        let idx = d.dirty.labels.iter().position(|l| l == label).expect("label");
+        let vals: Vec<f64> = d
+            .dirty
+            .rows
+            .iter()
+            .map(|(_, v)| v[idx])
+            .filter(|v| !v.is_nan())
+            .collect();
+        let max = vals.iter().cloned().fold(0.0, f64::max);
+        vals.windows(2).any(|w| w[0] - w[1] > max * 0.3)
+    };
+    assert!(
+        has_drop("apache_dirty_pages") || has_drop("tomcat_dirty_pages"),
+        "Fig 8d shape: expected an abrupt dirty-page drop"
+    );
+}
+
+#[test]
+fn scenario_b_has_both_local_and_cross_tier_peaks() {
+    // The paper's key observation: the first peak is Apache-only, the
+    // second involves Apache *and* Tomcat. Over a full quick run both
+    // signatures appear.
+    let ms = run_scenario_b(Scale::Quick);
+    let queues = ms
+        .all_queues(mscope_sim::SimDuration::from_millis(50))
+        .expect("queues");
+    let eps = mscope_analysis::detect_pushback(&queues, 3.0);
+    assert!(!eps.is_empty(), "no queue episodes at all");
+    let local = eps.iter().filter(|e| !e.is_cross_tier()).count();
+    let cross = eps.iter().filter(|e| e.is_cross_tier()).count();
+    assert!(
+        local > 0 && cross > 0,
+        "expected both signatures: {local} local, {cross} cross-tier"
+    );
+}
+
+// ------------------------------------------------------------------
+// Fig 9 — accuracy validation.
+// ------------------------------------------------------------------
+
+#[test]
+fn fig9_monitors_agree_with_sysviz() {
+    let rows = fig9(Scale::Quick);
+    assert_eq!(rows.len(), 4, "one row per tier");
+    for r in &rows {
+        assert!(
+            r.rmse < 1.0,
+            "Fig 9 shape ({}): rmse {:.3} too large",
+            r.tier,
+            r.rmse
+        );
+        // Tiers with meaningful queues correlate strongly.
+        if r.mean_queue > 0.05 {
+            assert!(
+                r.correlation > 0.95,
+                "Fig 9 shape ({}): r = {:.3}",
+                r.tier,
+                r.correlation
+            );
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Ablation — the paper's granularity argument, quantified.
+// ------------------------------------------------------------------
+
+#[test]
+fn millisecond_granularity_beats_one_second_sampling() {
+    let ms = run_scenario_a(Scale::Quick);
+    let r = mscope_bench::sampling_ablation(&ms);
+    assert!(r.episodes >= 3, "scenario A produces periodic episodes");
+    assert_eq!(
+        r.detected_50ms, r.episodes,
+        "the 50 ms series must see every episode"
+    );
+    assert!(
+        r.detected_1s < r.episodes,
+        "a 1 Hz gauge sampler must miss some {} of {} episodes",
+        r.detected_1s,
+        r.episodes
+    );
+}
+
+#[test]
+fn cpu_utilization_alone_cannot_detect_the_db_io_bottleneck() {
+    // Paper §II: "a bottleneck cannot be detected using hardware utilization
+    // alone". During a commit-log stall every CPU is idle — the database's
+    // workers are blocked on IO — so a CPU alarm stays silent while
+    // milliScope sees order-of-magnitude VLRT episodes.
+    let ms = run_scenario_a(Scale::Quick);
+    let r = mscope_bench::utilization_ablation(&ms);
+    assert!(r.episodes >= 3, "milliScope finds the episodes");
+    assert!(
+        r.cpu_alarm_visible * 2 <= r.episodes,
+        "CPU alarm saw {} of {} episodes — it should miss most",
+        r.cpu_alarm_visible,
+        r.episodes
+    );
+}
