@@ -5,11 +5,10 @@
 use crate::flow::RequestFlow;
 use mscope_db::{Table, Value};
 use mscope_sim::{percentile, Summary};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Response-time statistics for one interaction type.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InteractionStats {
     /// Servlet name (e.g. `"ViewStory"`).
     pub interaction: String,
@@ -22,6 +21,13 @@ pub struct InteractionStats {
     /// Maximum response time (ms).
     pub max_ms: f64,
 }
+mscope_serdes::json_struct!(InteractionStats {
+    interaction,
+    count,
+    mean_ms,
+    p99_ms,
+    max_ms
+});
 
 /// Groups a front-tier event table by interaction and summarizes response
 /// times (`ud − ua`). Sorted by count descending.
@@ -138,8 +144,14 @@ mod tests {
         ])
         .unwrap();
         let mut t = Table::new("e", schema);
-        t.push_row(vec![Value::Null, Value::Timestamp(0), Value::Timestamp(1)]).unwrap();
-        t.push_row(vec![Value::Text("X".into()), Value::Null, Value::Timestamp(1)]).unwrap();
+        t.push_row(vec![Value::Null, Value::Timestamp(0), Value::Timestamp(1)])
+            .unwrap();
+        t.push_row(vec![
+            Value::Text("X".into()),
+            Value::Null,
+            Value::Timestamp(1),
+        ])
+        .unwrap();
         let stats = interaction_breakdown(&t).unwrap();
         assert!(stats.is_empty());
     }
@@ -157,14 +169,35 @@ mod tests {
                 request_id: "A".into(),
                 interaction: "X".into(),
                 hops: vec![
-                    FlowHop { tier: 0, node: "a".into(), ua: 0, ud: 10_000, ds: Some(1_000), dr: Some(9_000) },
-                    FlowHop { tier: 1, node: "b".into(), ua: 1_000, ud: 9_000, ds: None, dr: None },
+                    FlowHop {
+                        tier: 0,
+                        node: "a".into(),
+                        ua: 0,
+                        ud: 10_000,
+                        ds: Some(1_000),
+                        dr: Some(9_000),
+                    },
+                    FlowHop {
+                        tier: 1,
+                        node: "b".into(),
+                        ua: 1_000,
+                        ud: 9_000,
+                        ds: None,
+                        dr: None,
+                    },
                 ],
             },
             RequestFlow {
                 request_id: "B".into(),
                 interaction: "X".into(),
-                hops: vec![FlowHop { tier: 0, node: "a".into(), ua: 0, ud: 4_000, ds: None, dr: None }],
+                hops: vec![FlowHop {
+                    tier: 0,
+                    node: "a".into(),
+                    ua: 0,
+                    ud: 4_000,
+                    ds: None,
+                    dr: None,
+                }],
             },
         ];
         let c = tier_contribution(&flows, 2);

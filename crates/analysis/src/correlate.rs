@@ -3,24 +3,27 @@
 //! Apache queue length".
 
 use mscope_sim::pearson;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A named `(window_start_us, value)` series, the common currency between
 /// warehouse queries ([`Table::window_agg`](mscope_db::Table::window_agg))
 /// and the detectors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WindowSeries {
     /// Where the series came from (e.g. `"mysql0 disk_util"`).
     pub label: String,
     /// Points in time order.
     pub points: Vec<(i64, f64)>,
 }
+mscope_serdes::json_struct!(WindowSeries { label, points });
 
 impl WindowSeries {
     /// Wraps raw points with a label.
     pub fn new(label: impl Into<String>, points: Vec<(i64, f64)>) -> WindowSeries {
-        WindowSeries { label: label.into(), points }
+        WindowSeries {
+            label: label.into(),
+            points,
+        }
     }
 
     /// Values only.
@@ -63,7 +66,7 @@ pub fn correlate(a: &WindowSeries, b: &WindowSeries) -> Option<f64> {
 }
 
 /// A ranked correlation result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CorrelationHit {
     /// Label of the candidate series.
     pub label: String,
@@ -72,11 +75,15 @@ pub struct CorrelationHit {
     /// Number of aligned windows the estimate is based on.
     pub n: usize,
 }
+mscope_serdes::json_struct!(CorrelationHit { label, r, n });
 
 /// Correlates a target series (e.g. front-tier queue length) against many
 /// candidate resource series and returns hits ranked by |r| descending —
 /// milliScope's "which resource moves with the symptom?" question.
-pub fn rank_correlations(target: &WindowSeries, candidates: &[WindowSeries]) -> Vec<CorrelationHit> {
+pub fn rank_correlations(
+    target: &WindowSeries,
+    candidates: &[WindowSeries],
+) -> Vec<CorrelationHit> {
     let mut hits: Vec<CorrelationHit> = candidates
         .iter()
         .filter_map(|c| {
@@ -99,7 +106,10 @@ mod tests {
     fn series(label: &str, vals: &[f64]) -> WindowSeries {
         WindowSeries::new(
             label,
-            vals.iter().enumerate().map(|(i, &v)| (i as i64 * 50_000, v)).collect(),
+            vals.iter()
+                .enumerate()
+                .map(|(i, &v)| (i as i64 * 50_000, v))
+                .collect(),
         )
     }
 

@@ -3,12 +3,11 @@
 
 use crate::correlate::WindowSeries;
 use crate::pit::PitSeries;
-use serde::{Deserialize, Serialize};
 
 /// A contiguous VLRT episode: consecutive PIT windows whose max response
 /// time exceeds `factor ×` the run average. VSBs manifest as episodes a few
 /// hundred milliseconds long (paper §II).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VsbEpisode {
     /// Episode start (µs).
     pub start_us: i64,
@@ -19,6 +18,12 @@ pub struct VsbEpisode {
     /// Peak divided by the run's mean response time.
     pub ratio: f64,
 }
+mscope_serdes::json_struct!(VsbEpisode {
+    start_us,
+    end_us,
+    peak_ms,
+    ratio
+});
 
 impl VsbEpisode {
     /// Episode duration in milliseconds.
@@ -65,7 +70,7 @@ pub fn detect_vsb(pit: &PitSeries, factor: f64) -> Vec<VsbEpisode> {
 
 /// One pushback episode: windows where the front tier's queue is elevated,
 /// annotated with every tier simultaneously elevated.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PushbackEpisode {
     /// Episode start (µs).
     pub start_us: i64,
@@ -77,6 +82,12 @@ pub struct PushbackEpisode {
     /// methodology points the investigation next.
     pub deepest_tier: usize,
 }
+mscope_serdes::json_struct!(PushbackEpisode {
+    start_us,
+    end_us,
+    tiers_involved,
+    deepest_tier
+});
 
 impl PushbackEpisode {
     /// `true` when more than one tier was involved — the cross-tier
@@ -103,7 +114,11 @@ pub fn detect_pushback(queues: &[WindowSeries], multiplier: f64) -> Vec<Pushback
         .map(|q| {
             let mut vals = q.values();
             vals.sort_by(f64::total_cmp);
-            let median = if vals.is_empty() { 0.0 } else { vals[vals.len() / 2] };
+            let median = if vals.is_empty() {
+                0.0
+            } else {
+                vals[vals.len() / 2]
+            };
             multiplier * (median + 1.0)
         })
         .collect();
@@ -208,17 +223,32 @@ mod tests {
     fn queue(label: &str, vals: &[f64]) -> WindowSeries {
         WindowSeries::new(
             label,
-            vals.iter().enumerate().map(|(i, &v)| (i as i64 * 50_000, v)).collect(),
+            vals.iter()
+                .enumerate()
+                .map(|(i, &v)| (i as i64 * 50_000, v))
+                .collect(),
         )
     }
 
     #[test]
     fn pushback_cross_tier_episode() {
         // Baseline 2 everywhere; windows 4-6 all tiers spike (DB-IO shape).
-        let q0 = queue("apache", &[2.0, 2.0, 2.0, 2.0, 50.0, 80.0, 40.0, 2.0, 2.0, 2.0, 2.0]);
-        let q1 = queue("tomcat", &[2.0, 2.0, 2.0, 2.0, 40.0, 70.0, 30.0, 2.0, 2.0, 2.0, 2.0]);
-        let q2 = queue("cjdbc", &[1.0, 1.0, 1.0, 1.0, 30.0, 60.0, 25.0, 1.0, 1.0, 1.0, 1.0]);
-        let q3 = queue("mysql", &[3.0, 3.0, 3.0, 3.0, 45.0, 50.0, 45.0, 3.0, 3.0, 3.0, 3.0]);
+        let q0 = queue(
+            "apache",
+            &[2.0, 2.0, 2.0, 2.0, 50.0, 80.0, 40.0, 2.0, 2.0, 2.0, 2.0],
+        );
+        let q1 = queue(
+            "tomcat",
+            &[2.0, 2.0, 2.0, 2.0, 40.0, 70.0, 30.0, 2.0, 2.0, 2.0, 2.0],
+        );
+        let q2 = queue(
+            "cjdbc",
+            &[1.0, 1.0, 1.0, 1.0, 30.0, 60.0, 25.0, 1.0, 1.0, 1.0, 1.0],
+        );
+        let q3 = queue(
+            "mysql",
+            &[3.0, 3.0, 3.0, 3.0, 45.0, 50.0, 45.0, 3.0, 3.0, 3.0, 3.0],
+        );
         let eps = detect_pushback(&[q0, q1, q2, q3], 3.0);
         assert_eq!(eps.len(), 1);
         assert!(eps[0].is_cross_tier());

@@ -7,11 +7,10 @@
 //! interactions among servers."
 
 use mscope_db::{Table, Value};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One tier visit as read from an event table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowHop {
     /// Tier index (pipeline position).
     pub tier: usize,
@@ -26,6 +25,14 @@ pub struct FlowHop {
     /// Downstream receiving (µs).
     pub dr: Option<i64>,
 }
+mscope_serdes::json_struct!(FlowHop {
+    tier,
+    node,
+    ua,
+    ud,
+    ds,
+    dr
+});
 
 impl FlowHop {
     /// Residence time at this tier (ms).
@@ -50,7 +57,7 @@ impl FlowHop {
 }
 
 /// A request's reconstructed causal path across the tiers it touched.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RequestFlow {
     /// The propagated request ID (fixed-width hex).
     pub request_id: String,
@@ -59,6 +66,11 @@ pub struct RequestFlow {
     /// Hops in pipeline order (tier 0 first).
     pub hops: Vec<FlowHop>,
 }
+mscope_serdes::json_struct!(RequestFlow {
+    request_id,
+    interaction,
+    hops
+});
 
 impl RequestFlow {
     /// End-to-end response time as seen at the front tier (ms).
@@ -224,10 +236,13 @@ mod tests {
 
     #[test]
     fn joins_across_tiers() {
-        let apache = event_table("event_apache", vec![
-            ("AAA", 0, 100, Some(10), Some(90)),
-            ("BBB", 0, 50, None, None), // static page, depth 1
-        ]);
+        let apache = event_table(
+            "event_apache",
+            vec![
+                ("AAA", 0, 100, Some(10), Some(90)),
+                ("BBB", 0, 50, None, None), // static page, depth 1
+            ],
+        );
         let tomcat = event_table("event_tomcat", vec![("AAA", 12, 88, Some(20), Some(80))]);
         let mysql = event_table("event_mysql", vec![("AAA", 22, 78, None, None)]);
         let flows = reconstruct_flows(&[&apache, &tomcat, &mysql]).unwrap();
@@ -246,8 +261,22 @@ mod tests {
             request_id: "X".into(),
             interaction: "ViewStory".into(),
             hops: vec![
-                FlowHop { tier: 0, node: "a".into(), ua: 0, ud: 100_000, ds: Some(5_000), dr: Some(95_000) },
-                FlowHop { tier: 1, node: "b".into(), ua: 6_000, ud: 94_000, ds: Some(10_000), dr: Some(20_000) },
+                FlowHop {
+                    tier: 0,
+                    node: "a".into(),
+                    ua: 0,
+                    ud: 100_000,
+                    ds: Some(5_000),
+                    dr: Some(95_000),
+                },
+                FlowHop {
+                    tier: 1,
+                    node: "b".into(),
+                    ua: 6_000,
+                    ud: 94_000,
+                    ds: Some(10_000),
+                    dr: Some(20_000),
+                },
             ],
         };
         // Tier 0 local: 100 − 90 = 10 ms; tier 1 local: 88 − 10 = 78 ms.
@@ -263,18 +292,37 @@ mod tests {
         let bad = RequestFlow {
             request_id: "X".into(),
             interaction: "i".into(),
-            hops: vec![
-                FlowHop { tier: 0, node: "a".into(), ua: 0, ud: 100, ds: Some(50), dr: Some(40), },
-            ],
+            hops: vec![FlowHop {
+                tier: 0,
+                node: "a".into(),
+                ua: 0,
+                ud: 100,
+                ds: Some(50),
+                dr: Some(40),
+            }],
         };
         assert!(!bad.is_causally_ordered());
         let escape = RequestFlow {
             request_id: "Y".into(),
             interaction: "i".into(),
             hops: vec![
-                FlowHop { tier: 0, node: "a".into(), ua: 0, ud: 100, ds: Some(10), dr: Some(50) },
+                FlowHop {
+                    tier: 0,
+                    node: "a".into(),
+                    ua: 0,
+                    ud: 100,
+                    ds: Some(10),
+                    dr: Some(50),
+                },
                 // Inner departs after the parent's dr.
-                FlowHop { tier: 1, node: "b".into(), ua: 12, ud: 60, ds: None, dr: None },
+                FlowHop {
+                    tier: 1,
+                    node: "b".into(),
+                    ua: 12,
+                    ud: 60,
+                    ds: None,
+                    dr: None,
+                },
             ],
         };
         assert!(!escape.is_causally_ordered());
@@ -358,7 +406,11 @@ impl RequestFlow {
             }
             lane[a] = 'A';
             lane[d.min(width - 1)] = 'D';
-            out.push_str(&format!("{:>10} |{}|\n", hop.node, lane.iter().collect::<String>()));
+            out.push_str(&format!(
+                "{:>10} |{}|\n",
+                hop.node,
+                lane.iter().collect::<String>()
+            ));
         }
         out.push_str(&format!(
             "{:>10}  A=arrival D=departure >=downstream-send <=downstream-recv\n",
@@ -378,9 +430,30 @@ mod render_tests {
             request_id: "X".into(),
             interaction: "ViewStory".into(),
             hops: vec![
-                FlowHop { tier: 0, node: "tier0-0".into(), ua: 0, ud: 100_000, ds: Some(10_000), dr: Some(90_000) },
-                FlowHop { tier: 1, node: "tier1-0".into(), ua: 12_000, ud: 88_000, ds: Some(20_000), dr: Some(80_000) },
-                FlowHop { tier: 3, node: "tier3-0".into(), ua: 22_000, ud: 78_000, ds: None, dr: None },
+                FlowHop {
+                    tier: 0,
+                    node: "tier0-0".into(),
+                    ua: 0,
+                    ud: 100_000,
+                    ds: Some(10_000),
+                    dr: Some(90_000),
+                },
+                FlowHop {
+                    tier: 1,
+                    node: "tier1-0".into(),
+                    ua: 12_000,
+                    ud: 88_000,
+                    ds: Some(20_000),
+                    dr: Some(80_000),
+                },
+                FlowHop {
+                    tier: 3,
+                    node: "tier3-0".into(),
+                    ua: 22_000,
+                    ud: 78_000,
+                    ds: None,
+                    dr: None,
+                },
             ],
         };
         let map = flow.render_ascii(60);
@@ -403,14 +476,28 @@ mod render_tests {
 
     #[test]
     fn degenerate_flows_do_not_panic() {
-        let empty = RequestFlow { request_id: "E".into(), interaction: "x".into(), hops: vec![] };
+        let empty = RequestFlow {
+            request_id: "E".into(),
+            interaction: "x".into(),
+            hops: vec![],
+        };
         assert!(empty.render_ascii(40).contains("no hops"));
         let instant = RequestFlow {
             request_id: "I".into(),
             interaction: "x".into(),
-            hops: vec![FlowHop { tier: 0, node: "n".into(), ua: 5, ud: 5, ds: None, dr: None }],
+            hops: vec![FlowHop {
+                tier: 0,
+                node: "n".into(),
+                ua: 5,
+                ud: 5,
+                ds: None,
+                dr: None,
+            }],
         };
         let map = instant.render_ascii(40);
-        assert!(map.contains('D'), "zero-length request still renders: {map}");
+        assert!(
+            map.contains('D'),
+            "zero-length request still renders: {map}"
+        );
     }
 }

@@ -8,11 +8,10 @@
 //! invisible to coarser, averaged monitoring.
 
 use mscope_db::Table;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One PIT window.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PitPoint {
     /// Window start (µs since run start).
     pub start_us: i64,
@@ -23,15 +22,22 @@ pub struct PitPoint {
     /// Requests completed in this window.
     pub count: u64,
 }
+mscope_serdes::json_struct!(PitPoint {
+    start_us,
+    max_ms,
+    mean_ms,
+    count
+});
 
 /// The PIT response-time series.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct PitSeries {
     /// Window width (µs).
     pub window_us: i64,
     /// Points in time order (windows with no completions are omitted).
     pub points: Vec<PitPoint>,
 }
+mscope_serdes::json_struct!(PitSeries { window_us, points });
 
 impl PitSeries {
     /// Builds the series from `(completion_time_us, response_time_ms)`
@@ -44,7 +50,10 @@ impl PitSeries {
         assert!(window_us > 0, "window must be positive");
         let mut buckets: BTreeMap<i64, Vec<f64>> = BTreeMap::new();
         for &(t, rt) in completions {
-            buckets.entry(t.div_euclid(window_us) * window_us).or_default().push(rt);
+            buckets
+                .entry(t.div_euclid(window_us) * window_us)
+                .or_default()
+                .push(rt);
         }
         let points = buckets
             .into_iter()
@@ -186,9 +195,12 @@ mod tests {
         ])
         .unwrap();
         let mut t = Table::new("event_apache", schema);
-        t.push_row(vec![Value::Timestamp(1_000), Value::Timestamp(6_000)]).unwrap();
-        t.push_row(vec![Value::Timestamp(10_000), Value::Timestamp(12_000)]).unwrap();
-        t.push_row(vec![Value::Null, Value::Timestamp(20_000)]).unwrap(); // skipped
+        t.push_row(vec![Value::Timestamp(1_000), Value::Timestamp(6_000)])
+            .unwrap();
+        t.push_row(vec![Value::Timestamp(10_000), Value::Timestamp(12_000)])
+            .unwrap();
+        t.push_row(vec![Value::Null, Value::Timestamp(20_000)])
+            .unwrap(); // skipped
         let s = PitSeries::from_event_table(&t, 50_000).unwrap();
         assert_eq!(s.points.len(), 1);
         assert_eq!(s.points[0].count, 2);

@@ -68,7 +68,12 @@ pub fn queue_from_event_table(
     end: SimTime,
     window: SimDuration,
 ) -> Result<TimeSeries, String> {
-    Ok(queue_series(&intervals_from_event_table(table)?, start, end, window))
+    Ok(queue_series(
+        &intervals_from_event_table(table)?,
+        start,
+        end,
+        window,
+    ))
 }
 
 /// Time-weighted mean queue length over `[start, end)`.
@@ -131,7 +136,8 @@ mod tests {
         ])
         .unwrap();
         let mut t = Table::new("event_mysql", schema);
-        t.push_row(vec![Value::Timestamp(5), Value::Timestamp(10)]).unwrap();
+        t.push_row(vec![Value::Timestamp(5), Value::Timestamp(10)])
+            .unwrap();
         t.push_row(vec![Value::Timestamp(7), Value::Null]).unwrap();
         t.push_row(vec![Value::Null, Value::Null]).unwrap();
         let ints = intervals_from_event_table(&t).unwrap();
@@ -147,7 +153,8 @@ mod tests {
         ])
         .unwrap();
         let mut t = Table::new("event_mysql", schema);
-        t.push_row(vec![Value::Timestamp(1_000), Value::Timestamp(9_000)]).unwrap();
+        t.push_row(vec![Value::Timestamp(1_000), Value::Timestamp(9_000)])
+            .unwrap();
         let s = queue_from_event_table(&t, ms(0), ms(20), SimDuration::from_millis(5)).unwrap();
         assert_eq!(s.values(), &[1.0, 0.0, 0.0, 0.0]);
     }

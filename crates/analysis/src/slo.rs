@@ -5,7 +5,6 @@
 //! handful of very short bottlenecks can consume an entire budget.
 
 use crate::pit::PitSeries;
-use serde::{Deserialize, Serialize};
 
 /// A latency service-level objective.
 ///
@@ -23,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(report.violating_requests >= 1);
 /// assert!(!report.is_met(), "one slow request in ~100 busts a 99.9% target");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Slo {
     /// Latency threshold in milliseconds.
     pub threshold_ms: f64,
@@ -31,9 +30,13 @@ pub struct Slo {
     /// `0.999`).
     pub target: f64,
 }
+mscope_serdes::json_struct!(Slo {
+    threshold_ms,
+    target
+});
 
 /// The outcome of evaluating an [`Slo`] over a run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SloReport {
     /// The evaluated objective.
     pub slo: Slo,
@@ -49,6 +52,14 @@ pub struct SloReport {
     /// >1.0 = SLO missed).
     pub budget_burn: f64,
 }
+mscope_serdes::json_struct!(SloReport {
+    slo,
+    total_requests,
+    violating_requests,
+    compliance,
+    violation_windows,
+    budget_burn,
+});
 
 impl SloReport {
     /// `true` when the objective was met.
@@ -88,9 +99,8 @@ impl Slo {
             let est = if p.mean_ms > self.threshold_ms {
                 p.count
             } else {
-                let frac = ((p.max_ms - self.threshold_ms)
-                    / (p.max_ms - p.mean_ms).max(1e-9))
-                .clamp(0.0, 1.0);
+                let frac = ((p.max_ms - self.threshold_ms) / (p.max_ms - p.mean_ms).max(1e-9))
+                    .clamp(0.0, 1.0);
                 ((p.count as f64 * frac).ceil() as u64).max(1).min(p.count)
             };
             violating += est;
@@ -131,7 +141,11 @@ mod tests {
     fn clean_run_meets_slo() {
         let completions: Vec<(i64, f64)> = (0..500).map(|i| (i * 5_000, 5.0)).collect();
         let pit = PitSeries::from_completions(&completions, 50_000);
-        let report = Slo { threshold_ms: 100.0, target: 0.999 }.evaluate(&pit);
+        let report = Slo {
+            threshold_ms: 100.0,
+            target: 0.999,
+        }
+        .evaluate(&pit);
         assert!(report.is_met());
         assert_eq!(report.violating_requests, 0);
         assert_eq!(report.compliance, 1.0);
@@ -141,19 +155,34 @@ mod tests {
 
     #[test]
     fn vsb_burst_busts_tight_slo() {
-        let report = Slo { threshold_ms: 100.0, target: 0.999 }.evaluate(&pit_with_spike());
+        let report = Slo {
+            threshold_ms: 100.0,
+            target: 0.999,
+        }
+        .evaluate(&pit_with_spike());
         assert!(!report.is_met());
         // All ten 300 ms requests land in one window whose mean also
         // violates → counted fully.
-        assert!(report.violating_requests >= 10, "{}", report.violating_requests);
+        assert!(
+            report.violating_requests >= 10,
+            "{}",
+            report.violating_requests
+        );
         assert!(report.budget_burn > 1.0, "burn {}", report.budget_burn);
         assert_eq!(report.violation_windows.len(), 1);
     }
 
     #[test]
     fn loose_slo_survives_the_same_burst() {
-        let report = Slo { threshold_ms: 100.0, target: 0.95 }.evaluate(&pit_with_spike());
-        assert!(report.is_met(), "a 95% target tolerates 10/1010 slow requests");
+        let report = Slo {
+            threshold_ms: 100.0,
+            target: 0.95,
+        }
+        .evaluate(&pit_with_spike());
+        assert!(
+            report.is_met(),
+            "a 95% target tolerates 10/1010 slow requests"
+        );
         assert!(report.budget_burn < 1.0);
     }
 
@@ -164,14 +193,22 @@ mod tests {
         let mut completions: Vec<(i64, f64)> = (0..9).map(|i| (i * 1_000, 5.0)).collect();
         completions.push((9_000, 500.0));
         let pit = PitSeries::from_completions(&completions, 50_000);
-        let report = Slo { threshold_ms: 100.0, target: 0.5 }.evaluate(&pit);
+        let report = Slo {
+            threshold_ms: 100.0,
+            target: 0.5,
+        }
+        .evaluate(&pit);
         assert!(report.violating_requests >= 1);
         assert!(report.violating_requests <= 10);
     }
 
     #[test]
     fn empty_series_is_trivially_met() {
-        let report = Slo { threshold_ms: 100.0, target: 0.999 }.evaluate(&PitSeries::default());
+        let report = Slo {
+            threshold_ms: 100.0,
+            target: 0.999,
+        }
+        .evaluate(&PitSeries::default());
         assert!(report.is_met());
         assert_eq!(report.total_requests, 0);
     }
@@ -179,6 +216,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "target must be in")]
     fn bad_target_panics() {
-        Slo { threshold_ms: 100.0, target: 1.5 }.evaluate(&PitSeries::default());
+        Slo {
+            threshold_ms: 100.0,
+            target: 1.5,
+        }
+        .evaluate(&PitSeries::default());
     }
 }

@@ -3,7 +3,7 @@
 //! (Fig. 2: "if a monitoring tool samples at 1 second intervals, it would
 //! miss the response time fluctuations").
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mscope_bench::{criterion_group, criterion_main, Criterion};
 use mscope_bench::{run_scenario_a, sampling_ablation, Scale};
 
 fn bench_sampling_ablation(c: &mut Criterion) {

@@ -1,14 +1,17 @@
 //! Analysis-layer performance: PIT derivation, queue folding, causal-path
 //! reconstruction, and the full diagnosis pass over an ingested run.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mscope_analysis::{queue_series, PitSeries};
+use mscope_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use mscope_core::scenarios::{calibrated_db_io, shorten};
 use mscope_core::{DiagnoseOptions, Experiment, MilliScope};
 use mscope_sim::{SimDuration, SimTime};
 
 fn ingested() -> MilliScope {
-    let cfg = shorten(calibrated_db_io(300, 3.0, 250.0), SimDuration::from_secs(15));
+    let cfg = shorten(
+        calibrated_db_io(300, 3.0, 250.0),
+        SimDuration::from_secs(15),
+    );
     let out = Experiment::new(cfg).expect("valid").run();
     MilliScope::ingest(&out).expect("ingests")
 }
@@ -24,7 +27,11 @@ fn bench_primitives(c: &mut Criterion) {
     let mut group = c.benchmark_group("analysis/primitives");
     group.throughput(Throughput::Elements(100_000));
     group.bench_function("pit_100k_completions", |b| {
-        b.iter(|| PitSeries::from_completions(&completions, 50_000).points.len());
+        b.iter(|| {
+            PitSeries::from_completions(&completions, 50_000)
+                .points
+                .len()
+        });
     });
     group.bench_function("queue_100k_intervals", |b| {
         b.iter(|| {
@@ -56,7 +63,12 @@ fn bench_over_ingested_run(c: &mut Criterion) {
         });
     });
     group.bench_function("pit_from_db", |b| {
-        b.iter(|| ms.pit(SimDuration::from_millis(50)).expect("present").points.len());
+        b.iter(|| {
+            ms.pit(SimDuration::from_millis(50))
+                .expect("present")
+                .points
+                .len()
+        });
     });
     group.finish();
 }

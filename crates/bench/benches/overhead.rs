@@ -1,7 +1,7 @@
 //! Figures 10 & 11 as a benchmark: the monitors-on vs monitors-off
 //! comparison, printing the per-node overhead and system-level deltas.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mscope_bench::{criterion_group, criterion_main, Criterion};
 use mscope_bench::{fig10, fig11, overhead_sweep, Scale};
 
 fn bench_overhead_sweep(c: &mut Criterion) {
@@ -14,7 +14,10 @@ fn bench_overhead_sweep(c: &mut Criterion) {
             use mscope_monitors::OverheadReport;
             use mscope_ntier::SystemConfig;
             use mscope_sim::SimDuration;
-            let base = shorten(SystemConfig::rubbos_baseline(200), SimDuration::from_secs(10));
+            let base = shorten(
+                SystemConfig::rubbos_baseline(200),
+                SimDuration::from_secs(10),
+            );
             let mut on_cfg = base.clone();
             on_cfg.monitoring.event_monitors = true;
             let mut off_cfg = base;

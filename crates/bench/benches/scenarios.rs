@@ -5,7 +5,7 @@
 //! Figures 2/4/6/7 derive from scenario A; figure 8 from scenario B;
 //! figure 9 from a healthy baseline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mscope_bench::{criterion_group, criterion_main, Criterion};
 use mscope_bench::{fig2, fig4, fig6, fig7, fig8, fig9, run_scenario_a, run_scenario_b, Scale};
 
 fn bench_scenario_a_figures(c: &mut Criterion) {
@@ -66,5 +66,10 @@ fn bench_accuracy_figure(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scenario_a_figures, bench_scenario_b_figures, bench_accuracy_figure);
+criterion_group!(
+    benches,
+    bench_scenario_a_figures,
+    bench_scenario_b_figures,
+    bench_accuracy_figure
+);
 criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! simulated requests per wall-clock second. Keeps figure regeneration at
 //! paper scale (8000 users × 7 min) tractable.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mscope_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mscope_ntier::{Simulator, SystemConfig};
 use mscope_sim::SimDuration;
 

@@ -2,7 +2,7 @@
 //! converted, and loaded per second — the framework's own overhead story
 //! (offline cost, complementing the Figs. 10–11 runtime overhead).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mscope_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use mscope_db::Database;
 use mscope_monitors::{MonitorSuite, MonitoringArtifacts};
 use mscope_ntier::{Simulator, SystemConfig};
@@ -68,10 +68,20 @@ fn bench_xml_roundtrip(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(xml.len() as u64));
     group.bench_function("serialize_1000x8", |b| b.iter(|| doc.to_xml().len()));
     group.bench_function("parse_1000x8", |b| {
-        b.iter(|| mscope_transform::parse_xml(&xml).expect("well-formed").children.len());
+        b.iter(|| {
+            mscope_transform::parse_xml(&xml)
+                .expect("well-formed")
+                .children
+                .len()
+        });
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_full_pipeline, bench_pattern_matching, bench_xml_roundtrip);
+criterion_group!(
+    benches,
+    bench_full_pipeline,
+    bench_pattern_matching,
+    bench_xml_roundtrip
+);
 criterion_main!(benches);

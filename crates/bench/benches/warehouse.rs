@@ -1,7 +1,7 @@
 //! mScopeDB query performance: the interactive-analysis operations a
 //! researcher runs while "scaling the mountain" of monitoring data.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mscope_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use mscope_db::{AggFn, Column, ColumnType, Predicate, Schema, Table, Value};
 
 /// Builds a synthetic resource table: `rows` samples across 4 nodes.
@@ -68,7 +68,12 @@ fn bench_queries(c: &mut Criterion) {
         });
     });
     group.bench_function("order_by_float", |b| {
-        b.iter(|| table.order_by("disk_util", false).expect("column exists").row_count());
+        b.iter(|| {
+            table
+                .order_by("disk_util", false)
+                .expect("column exists")
+                .row_count()
+        });
     });
     group.bench_function("group_by_node_mean", |b| {
         b.iter(|| {

@@ -49,13 +49,18 @@ fn main() {
         i += 1;
     }
 
-    let scenario_a = ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "ablation", "all"]
-        .contains(&which.as_str());
+    let scenario_a = [
+        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "ablation", "all",
+    ]
+    .contains(&which.as_str());
     let scenario_b = ["fig8", "all"].contains(&which.as_str());
     let sweep_needed = ["fig10", "fig11", "all"].contains(&which.as_str());
 
-    eprintln!("[figures] scale: {scale:?} ({} users, {} s measured)", scale.users(),
-        scale.measured().as_secs_f64());
+    eprintln!(
+        "[figures] scale: {scale:?} ({} users, {} s measured)",
+        scale.users(),
+        scale.measured().as_secs_f64()
+    );
 
     if scenario_a {
         eprintln!("[figures] running scenario A (database commit-log flush)…");
@@ -87,17 +92,28 @@ fn main() {
         if which == "fig7" || which == "all" {
             let d = fig7(&ms);
             show(&d.table, chart);
-            println!("pearson_r(mysql_disk_util, apache_queue) = {:.3}", d.correlation);
+            println!(
+                "pearson_r(mysql_disk_util, apache_queue) = {:.3}",
+                d.correlation
+            );
             println!();
         }
         if which == "ablation" || which == "all" {
             let r = sampling_ablation(&ms);
             println!("# Ablation 1: VSB visibility, 50 ms series vs 1 Hz gauge sampling");
-            println!("episodes {}  visible_50ms {}  visible_1s {}  miss_rate_1s {:.0}%",
-                r.episodes, r.detected_50ms, r.detected_1s, r.miss_rate_1s() * 100.0);
+            println!(
+                "episodes {}  visible_50ms {}  visible_1s {}  miss_rate_1s {:.0}%",
+                r.episodes,
+                r.detected_50ms,
+                r.detected_1s,
+                r.miss_rate_1s() * 100.0
+            );
             let u = utilization_ablation(&ms);
             println!("# Ablation 2: can a CPU-utilization alarm see the DB-IO bottleneck?");
-            println!("episodes {}  cpu_alarm_visible {}", u.episodes, u.cpu_alarm_visible);
+            println!(
+                "episodes {}  cpu_alarm_visible {}",
+                u.episodes, u.cpu_alarm_visible
+            );
             println!();
         }
     }
@@ -121,7 +137,10 @@ fn main() {
         eprintln!("[figures] running accuracy validation (monitors vs SysViz)…");
         let rows = fig9(scale);
         println!("# Fig 9: queue-length accuracy, event monitors vs SysViz");
-        println!("{:>10} {:>12} {:>12} {:>12}", "tier", "rmse", "pearson_r", "mean_queue");
+        println!(
+            "{:>10} {:>12} {:>12} {:>12}",
+            "tier", "rmse", "pearson_r", "mean_queue"
+        );
         for r in &rows {
             println!(
                 "{:>10} {:>12.3} {:>12.3} {:>12.2}",

@@ -134,7 +134,9 @@ impl SeriesTable {
             .iter()
             .map(|(_, v)| v[idx])
             .filter(|v| !v.is_nan())
-            .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+            .fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
     }
 }
 
@@ -162,7 +164,9 @@ pub fn run_scenario_b(scale: Scale) -> MilliScope {
 }
 
 fn ingest(cfg: SystemConfig) -> MilliScope {
-    let out = Experiment::new(cfg).expect("calibrated config is valid").run();
+    let out = Experiment::new(cfg)
+        .expect("calibrated config is valid")
+        .run();
     MilliScope::ingest(&out).expect("standard suite ingests cleanly")
 }
 
@@ -191,7 +195,10 @@ fn episode_window(ms: &MilliScope) -> (i64, i64) {
 /// Regenerates Fig. 2: PIT max & mean response time around the episode.
 pub fn fig2(ms: &MilliScope) -> SeriesTable {
     let (from, to) = episode_window(ms);
-    let pit = ms.pit(PIT_WINDOW).expect("event monitors enabled").slice(from, to);
+    let pit = ms
+        .pit(PIT_WINDOW)
+        .expect("event monitors enabled")
+        .slice(from, to);
     let max = WindowSeries::new(
         "max_rt_ms",
         pit.points.iter().map(|p| (p.start_us, p.max_ms)).collect(),
@@ -323,7 +330,10 @@ pub fn fig8(ms: &MilliScope) -> Fig8Data {
             (w[1].end_us - w[0].start_us + 1_200_000).max(5_000_000),
             w[0].start_us - 600_000,
         ),
-        None => (5_000_000, episodes.first().map_or(0, |e| e.start_us - 1_000_000)),
+        None => (
+            5_000_000,
+            episodes.first().map_or(0, |e| e.start_us - 1_000_000),
+        ),
     };
     let (mstart, _) = ms.measured_range();
     from = from.max(mstart.as_micros() as i64);
@@ -337,8 +347,14 @@ pub fn fig8(ms: &MilliScope) -> Fig8Data {
     let pit_table = SeriesTable::from_series(
         "Fig 8a: Point-in-Time response time (50 ms windows)",
         &[
-            WindowSeries::new("max_rt_ms", pit.points.iter().map(|p| (p.start_us, p.max_ms)).collect()),
-            WindowSeries::new("mean_rt_ms", pit.points.iter().map(|p| (p.start_us, p.mean_ms)).collect()),
+            WindowSeries::new(
+                "max_rt_ms",
+                pit.points.iter().map(|p| (p.start_us, p.max_ms)).collect(),
+            ),
+            WindowSeries::new(
+                "mean_rt_ms",
+                pit.points.iter().map(|p| (p.start_us, p.mean_ms)).collect(),
+            ),
         ],
     );
 
@@ -346,7 +362,10 @@ pub fn fig8(ms: &MilliScope) -> Fig8Data {
     let queues: Vec<WindowSeries> = [0usize, 1]
         .iter()
         .map(|&t| {
-            let mut s = ms.queue(t, PIT_WINDOW).expect("event monitors enabled").slice(from, to);
+            let mut s = ms
+                .queue(t, PIT_WINDOW)
+                .expect("event monitors enabled")
+                .slice(from, to);
             s.label = label(t, "queue");
             s
         })
@@ -355,7 +374,10 @@ pub fn fig8(ms: &MilliScope) -> Fig8Data {
         .iter()
         .map(|&t| {
             let node = ms.tier_nodes(t)[0].clone();
-            let mut s = ms.cpu_busy(&node, PIT_WINDOW).expect("collectl loaded").slice(from, to);
+            let mut s = ms
+                .cpu_busy(&node, PIT_WINDOW)
+                .expect("collectl loaded")
+                .slice(from, to);
             s.label = label(t, "cpu_busy");
             s
         })
@@ -405,7 +427,10 @@ pub struct Fig9Row {
 /// length per tier derived independently from the event monitors and from
 /// the SysViz network tap.
 pub fn fig9(scale: Scale) -> Vec<Fig9Row> {
-    let cfg = shorten(SystemConfig::rubbos_baseline(scale.users()), scale.measured());
+    let cfg = shorten(
+        SystemConfig::rubbos_baseline(scale.users()),
+        scale.measured(),
+    );
     let ms = ingest(cfg);
     let window = SimDuration::from_millis(100);
     let kinds = ms.tier_kinds();
@@ -595,7 +620,11 @@ pub fn sampling_ablation(ms: &MilliScope) -> AblationResult {
     // Elevation threshold shared by both observers.
     let mut vals: Vec<f64> = fine.values();
     vals.sort_by(f64::total_cmp);
-    let median = if vals.is_empty() { 0.0 } else { vals[vals.len() / 2] };
+    let median = if vals.is_empty() {
+        0.0
+    } else {
+        vals[vals.len() / 2]
+    };
     let threshold = 3.0 * (median + 1.0);
 
     let visible = |points: &[(i64, f64)], from: i64, to: i64| {
@@ -723,10 +752,7 @@ impl SeriesTable {
         out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(cols)));
         let t0 = self.rows.first().map_or(0.0, |r| r.0);
         let t1 = self.rows.last().map_or(0.0, |r| r.0);
-        out.push_str(&format!(
-            "{:>10}  {:.1} ms … {:.1} ms\n",
-            "t:", t0, t1
-        ));
+        out.push_str(&format!("{:>10}  {:.1} ms … {:.1} ms\n", "t:", t0, t1));
         for (s, label) in self.labels.iter().enumerate() {
             out.push_str(&format!(
                 "{:>12} {} = {label}\n",
@@ -746,7 +772,9 @@ mod chart_tests {
     fn chart_renders_peaks_and_legend() {
         let s = WindowSeries::new(
             "max_rt_ms",
-            (0..100).map(|i| (i * 50_000, if i == 50 { 300.0 } else { 5.0 })).collect(),
+            (0..100)
+                .map(|i| (i * 50_000, if i == 50 { 300.0 } else { 5.0 }))
+                .collect(),
         );
         let t = SeriesTable::from_series("demo", &[s]);
         let chart = t.render_ascii_chart(10, 60);
@@ -761,7 +789,11 @@ mod chart_tests {
 
     #[test]
     fn chart_handles_empty_and_nan() {
-        let empty = SeriesTable { title: "e".into(), labels: vec![], rows: vec![] };
+        let empty = SeriesTable {
+            title: "e".into(),
+            labels: vec![],
+            rows: vec![],
+        };
         assert!(empty.render_ascii_chart(8, 40).contains("no data"));
         let s1 = WindowSeries::new("a", vec![(0, 1.0)]);
         let s2 = WindowSeries::new("b", vec![(50_000, 2.0)]); // misaligned → NaN holes
@@ -823,12 +855,7 @@ pub fn fig3(ms: &MilliScope) -> String {
         "log file", "monitor", "format", "bytes"
     );
     for i in 0..log_files.row_count() {
-        let cell = |c: &str| {
-            log_files
-                .cell(i, c)
-                .map(|v| v.render())
-                .unwrap_or_default()
-        };
+        let cell = |c: &str| log_files.cell(i, c).map(|v| v.render()).unwrap_or_default();
         let _ = writeln!(
             out,
             "{:>34} {:>18} {:>10} {:>8}",

@@ -1,0 +1,263 @@
+//! A minimal in-tree timing harness with a Criterion-shaped API.
+//!
+//! The offline build cannot pull `criterion` from a registry, so the bench
+//! entry points run on this drop-in subset instead: the same
+//! `benchmark_group` / `bench_function` / `bench_with_input` / `iter` call
+//! shapes, `criterion_group!` / `criterion_main!` macros, and
+//! [`Throughput`] reporting. Statistics are deliberately simple — per-
+//! sample wall-clock min / mean / max over a fixed sample count with a
+//! small warmup — which is enough to compare hot paths release-to-release
+//! without a statistics dependency.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under the name criterion users
+/// expect.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How the harness scales per-iteration time into a rate line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// A display label for one parameterized benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A label made from the parameter alone (`group/<param>`).
+    pub fn from_parameter<P: std::fmt::Display>(param: P) -> BenchmarkId {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+
+    /// A `name/param` label.
+    pub fn new<P: std::fmt::Display>(name: &str, param: P) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+}
+
+/// The top-level driver handed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchGroup<'_> {
+        eprintln!("## {name}");
+        BenchGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name);
+        group.bench_function("bench", f);
+        group.finish();
+    }
+
+    /// Prints the closing line; called by `criterion_main!`.
+    pub fn final_summary(&self) {
+        eprintln!("completed {} benchmarks", self.benchmarks_run);
+    }
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+#[derive(Debug)]
+pub struct BenchGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchGroup<'_> {
+    /// Sets how many timed samples each benchmark takes (min 3).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Declares per-iteration throughput so results include a rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            budget: self.sample_size,
+        };
+        f(&mut bencher);
+        self.report(id, &bencher.samples);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            budget: self.sample_size,
+        };
+        f(&mut bencher, input);
+        let label = id.label.clone();
+        self.report(&label, &bencher.samples);
+        self
+    }
+
+    /// Ends the group (kept for criterion API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, id: &str, samples: &[Duration]) {
+        self.criterion.benchmarks_run += 1;
+        if samples.is_empty() {
+            eprintln!("  {}/{id}: no samples", self.name);
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = *samples.iter().min().expect("non-empty");
+        let max = *samples.iter().max().expect("non-empty");
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!(" ({:.0} elem/s)", n as f64 / mean.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    " ({:.1} MiB/s)",
+                    n as f64 / mean.as_secs_f64() / (1 << 20) as f64
+                )
+            }
+            None => String::new(),
+        };
+        eprintln!(
+            "  {}/{id}: mean {mean:?} (min {min:?}, max {max:?}, {} samples){rate}",
+            self.name,
+            samples.len(),
+        );
+    }
+}
+
+/// Collects timed samples of a closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: usize,
+}
+
+/// Cap on the wall-clock a single benchmark may consume; heavy benches
+/// stop sampling early (but always take at least one sample).
+const TIME_BUDGET: Duration = Duration::from_secs(5);
+
+impl Bencher {
+    /// Times `routine` once per sample; the return value is black-boxed so
+    /// the work cannot be optimized away.
+    pub fn iter<R, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> R,
+    {
+        // One untimed warmup to populate caches and lazy statics.
+        hint::black_box(routine());
+        let began = Instant::now();
+        for _ in 0..self.budget {
+            let start = Instant::now();
+            hint::black_box(routine());
+            self.samples.push(start.elapsed());
+            if began.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+/// Bundles bench functions into a runnable group, as `criterion_group!`
+/// does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::harness::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary, as `criterion_main!` does.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("harness self-test");
+        group.sample_size(5);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        // 5 timed + 1 warmup.
+        assert_eq!(runs, 6);
+    }
+
+    #[test]
+    fn with_input_and_throughput() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("throughput");
+        group.sample_size(3).throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter(42u32), &42u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert_eq!(c.benchmarks_run, 1);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::from_parameter(8).label, "8");
+        assert_eq!(BenchmarkId::new("xml", 3).label, "xml/3");
+    }
+}

@@ -14,9 +14,12 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod harness;
+
+pub use harness::{black_box, BenchGroup, Bencher, BenchmarkId, Criterion, Throughput};
 
 pub use figures::{
-    fig1, fig10, fig11, fig2, fig3, fig5, fig4, fig6, fig7, fig8, fig9, overhead_sweep, run_scenario_a,
-    run_scenario_b, sampling_ablation, utilization_ablation, AblationResult, Fig7Data,
-    Fig8Data, Fig9Row, OverheadRow, Scale, SeriesTable, UtilizationAblation,
+    fig1, fig10, fig11, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, overhead_sweep,
+    run_scenario_a, run_scenario_b, sampling_ablation, utilization_ablation, AblationResult,
+    Fig7Data, Fig8Data, Fig9Row, OverheadRow, Scale, SeriesTable, UtilizationAblation,
 };

@@ -28,12 +28,10 @@ pub fn dump_bundle(output: &ExperimentOutput, dir: &Path) -> Result<(), CoreErro
         .store
         .dump_to_dir(dir)
         .map_err(|e| CoreError::Analysis(format!("dumping logs: {e}")))?;
-    let manifest = serde_json::to_string_pretty(&output.artifacts.manifest)
-        .map_err(|e| CoreError::Analysis(format!("serializing manifest: {e}")))?;
+    let manifest = mscope_serdes::to_string_pretty(&output.artifacts.manifest);
     std::fs::write(dir.join(MANIFEST_FILE), manifest)
         .map_err(|e| CoreError::Analysis(format!("writing manifest: {e}")))?;
-    let config = serde_json::to_string_pretty(&output.run.config)
-        .map_err(|e| CoreError::Analysis(format!("serializing config: {e}")))?;
+    let config = mscope_serdes::to_string_pretty(&output.run.config);
     std::fs::write(dir.join(CONFIG_FILE), config)
         .map_err(|e| CoreError::Analysis(format!("writing config: {e}")))?;
     Ok(())
@@ -52,11 +50,11 @@ pub fn dump_bundle(output: &ExperimentOutput, dir: &Path) -> Result<(), CoreErro
 pub fn ingest_bundle(dir: &Path) -> Result<MilliScope, CoreError> {
     let manifest_text = std::fs::read_to_string(dir.join(MANIFEST_FILE))
         .map_err(|e| CoreError::Analysis(format!("reading {MANIFEST_FILE}: {e}")))?;
-    let manifest: Vec<LogFileMeta> = serde_json::from_str(&manifest_text)
+    let manifest: Vec<LogFileMeta> = mscope_serdes::from_str(&manifest_text)
         .map_err(|e| CoreError::Analysis(format!("parsing {MANIFEST_FILE}: {e}")))?;
     let config_text = std::fs::read_to_string(dir.join(CONFIG_FILE))
         .map_err(|e| CoreError::Analysis(format!("reading {CONFIG_FILE}: {e}")))?;
-    let config: SystemConfig = serde_json::from_str(&config_text)
+    let config: SystemConfig = mscope_serdes::from_str(&config_text)
         .map_err(|e| CoreError::Analysis(format!("parsing {CONFIG_FILE}: {e}")))?;
     let mut store = LogStore::load_from_dir(dir)
         .map_err(|e| CoreError::Analysis(format!("loading logs: {e}")))?;

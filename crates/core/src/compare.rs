@@ -6,10 +6,9 @@ use crate::diagnose::DiagnoseOptions;
 use crate::error::CoreError;
 use crate::milliscope::MilliScope;
 use mscope_analysis::detect_vsb;
-use serde::{Deserialize, Serialize};
 
 /// The side-by-side comparison of two runs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunComparison {
     /// Mean response time of the baseline run (ms).
     pub baseline_mean_rt_ms: f64,
@@ -24,6 +23,14 @@ pub struct RunComparison {
     /// Worst PIT peak in the candidate (ms).
     pub candidate_peak_ms: f64,
 }
+mscope_serdes::json_struct!(RunComparison {
+    baseline_mean_rt_ms,
+    candidate_mean_rt_ms,
+    baseline_episodes,
+    candidate_episodes,
+    baseline_peak_ms,
+    candidate_peak_ms,
+});
 
 impl RunComparison {
     /// Compares two ingested runs with the given detection options.
@@ -109,7 +116,11 @@ mod tests {
             SimDuration::from_secs(15),
         ));
         let cmp = RunComparison::between(&broken, &fixed, &DiagnoseOptions::default()).unwrap();
-        assert!(cmp.baseline_episodes >= 3, "baseline had {}", cmp.baseline_episodes);
+        assert!(
+            cmp.baseline_episodes >= 3,
+            "baseline had {}",
+            cmp.baseline_episodes
+        );
         assert_eq!(cmp.candidate_episodes, 0);
         assert!(cmp.episodes_resolved());
         assert!(cmp.mean_rt_change() < 0.0, "mean RT improved");
@@ -121,11 +132,20 @@ mod tests {
 
     #[test]
     fn identical_runs_are_inconclusive_or_clean() {
-        let a = ingest(shorten(SystemConfig::rubbos_baseline(150), SimDuration::from_secs(8)));
-        let b = ingest(shorten(SystemConfig::rubbos_baseline(150), SimDuration::from_secs(8)));
+        let a = ingest(shorten(
+            SystemConfig::rubbos_baseline(150),
+            SimDuration::from_secs(8),
+        ));
+        let b = ingest(shorten(
+            SystemConfig::rubbos_baseline(150),
+            SimDuration::from_secs(8),
+        ));
         let cmp = RunComparison::between(&a, &b, &DiagnoseOptions::default()).unwrap();
         assert_eq!(cmp.baseline_episodes, cmp.candidate_episodes);
-        assert!((cmp.mean_rt_change()).abs() < 1e-9, "same seed, same numbers");
+        assert!(
+            (cmp.mean_rt_change()).abs() < 1e-9,
+            "same seed, same numbers"
+        );
         assert!(!cmp.episodes_resolved());
     }
 }

@@ -11,10 +11,9 @@ use mscope_analysis::{
 };
 use mscope_db::AggFn;
 use mscope_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Tunables for the diagnosis pass.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiagnoseOptions {
     /// PIT window width (paper plots use 50 ms).
     pub pit_window: SimDuration,
@@ -27,6 +26,12 @@ pub struct DiagnoseOptions {
     /// resources.
     pub context_pad: SimDuration,
 }
+mscope_serdes::json_struct!(DiagnoseOptions {
+    pit_window,
+    vlrt_factor,
+    pushback_multiplier,
+    context_pad,
+});
 
 impl Default for DiagnoseOptions {
     fn default() -> Self {
@@ -40,7 +45,7 @@ impl Default for DiagnoseOptions {
 }
 
 /// The root cause the evidence points to.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RootCause {
     /// Disk saturation at a node (scenario A: DB commit-log flush).
     DiskIo {
@@ -67,6 +72,12 @@ pub enum RootCause {
     /// Nothing conclusive in the inspected resources.
     Unknown,
 }
+mscope_serdes::json_enum!(RootCause {
+    DiskIo { node, peak_util },
+    DirtyPageRecycling { node, drop_pages },
+    CpuSaturation { node, peak_busy },
+    Unknown,
+});
 
 impl RootCause {
     /// One-line human-readable statement.
@@ -87,7 +98,7 @@ impl RootCause {
 }
 
 /// Diagnosis of one VLRT episode.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpisodeDiagnosis {
     /// The detected episode.
     pub episode: VsbEpisode,
@@ -100,15 +111,26 @@ pub struct EpisodeDiagnosis {
     /// Resource series ranked by correlation with the front-tier queue.
     pub evidence: Vec<CorrelationHit>,
 }
+mscope_serdes::json_struct!(EpisodeDiagnosis {
+    episode,
+    pushback,
+    suspect_tier,
+    root_cause,
+    evidence,
+});
 
 /// The full diagnosis report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiagnosisReport {
     /// Run mean response time (ms).
     pub mean_rt_ms: f64,
     /// Diagnosed episodes in time order.
     pub episodes: Vec<EpisodeDiagnosis>,
 }
+mscope_serdes::json_struct!(DiagnosisReport {
+    mean_rt_ms,
+    episodes
+});
 
 impl DiagnosisReport {
     /// `true` if any episode was found.
@@ -291,7 +313,10 @@ mod tests {
         );
         // The pushback reaches the database tier.
         assert_eq!(ep.suspect_tier, 3);
-        assert!(ep.pushback.as_ref().is_some_and(PushbackEpisode::is_cross_tier));
+        assert!(ep
+            .pushback
+            .as_ref()
+            .is_some_and(PushbackEpisode::is_cross_tier));
         // Disk-related series dominate the evidence.
         assert!(!ep.evidence.is_empty());
     }
@@ -320,9 +345,18 @@ mod tests {
     #[test]
     fn root_cause_descriptions_are_informative() {
         let cases = [
-            RootCause::DiskIo { node: "tier3-0".into(), peak_util: 99.0 },
-            RootCause::DirtyPageRecycling { node: "tier0-0".into(), drop_pages: 512.0 },
-            RootCause::CpuSaturation { node: "tier1-0".into(), peak_busy: 98.0 },
+            RootCause::DiskIo {
+                node: "tier3-0".into(),
+                peak_util: 99.0,
+            },
+            RootCause::DirtyPageRecycling {
+                node: "tier0-0".into(),
+                drop_pages: 512.0,
+            },
+            RootCause::CpuSaturation {
+                node: "tier1-0".into(),
+                peak_busy: 98.0,
+            },
             RootCause::Unknown,
         ];
         for c in &cases {
@@ -345,7 +379,9 @@ impl DiagnosisReport {
             out.push_str("\nNo very-long-response-time episodes were detected.\n");
             return out;
         }
-        out.push_str("\n| t (s) | duration (ms) | peak (ms) | ratio | suspect tier | root cause |\n");
+        out.push_str(
+            "\n| t (s) | duration (ms) | peak (ms) | ratio | suspect tier | root cause |\n",
+        );
         out.push_str("|---|---|---|---|---|---|\n");
         for ep in &self.episodes {
             let _ = writeln!(
@@ -360,7 +396,12 @@ impl DiagnosisReport {
             );
         }
         for (i, ep) in self.episodes.iter().enumerate() {
-            let _ = writeln!(out, "\n## Episode {} — t = {:.2} s", i + 1, ep.episode.start_us as f64 / 1e6);
+            let _ = writeln!(
+                out,
+                "\n## Episode {} — t = {:.2} s",
+                i + 1,
+                ep.episode.start_us as f64 / 1e6
+            );
             match &ep.pushback {
                 Some(p) if p.is_cross_tier() => {
                     let _ = writeln!(

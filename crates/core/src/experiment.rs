@@ -2,7 +2,7 @@
 //! collect every artifact milliScope needs.
 
 use crate::error::CoreError;
-use mscope_monitors::{MonitoringArtifacts, MonitorSuite};
+use mscope_monitors::{MonitorSuite, MonitoringArtifacts};
 use mscope_ntier::{RunOutput, Simulator, SystemConfig};
 
 /// A configured experiment: the system/workload plus the deployed monitors.

@@ -78,7 +78,10 @@ impl MilliScope {
         )?;
         for (ti, t) in cfg.tiers.iter().enumerate() {
             for replica in 0..t.replicas {
-                let node = mscope_ntier::NodeId { tier: TierId(ti), replica };
+                let node = mscope_ntier::NodeId {
+                    tier: TierId(ti),
+                    replica,
+                };
                 db.register_node(
                     &node.to_string(),
                     ti as i64,
@@ -201,12 +204,7 @@ impl MilliScope {
         let intervals: Vec<(i64, Option<i64>)> = trace
             .tier_intervals(TierId(tier))
             .into_iter()
-            .map(|(a, d)| {
-                (
-                    a.as_micros() as i64,
-                    d.map(|d| d.as_micros() as i64),
-                )
-            })
+            .map(|(a, d)| (a.as_micros() as i64, d.map(|d| d.as_micros() as i64)))
             .collect();
         let series = mscope_analysis::queue_series(&intervals, start, end, window);
         Some(WindowSeries::new(
@@ -345,9 +343,7 @@ mod tests {
     fn resource_series_queries() {
         let ms = ingested(60);
         let w = SimDuration::from_millis(100);
-        let disk = ms
-            .resource("tier3-0", "disk_util", w, AggFn::Max)
-            .unwrap();
+        let disk = ms.resource("tier3-0", "disk_util", w, AggFn::Max).unwrap();
         assert!(!disk.points.is_empty());
         assert!(disk.values().iter().all(|&v| (0.0..=100.0).contains(&v)));
         let cpu = ms.cpu_busy("tier1-0", w).unwrap();
@@ -366,7 +362,11 @@ mod tests {
         let deep: Vec<_> = flows.iter().filter(|f| f.hops.len() == 4).collect();
         assert!(!deep.is_empty());
         for f in deep.iter().take(100) {
-            assert!(f.is_causally_ordered(), "flow {} out of order", f.request_id);
+            assert!(
+                f.is_causally_ordered(),
+                "flow {} out of order",
+                f.request_id
+            );
         }
     }
 
@@ -394,8 +394,7 @@ impl MilliScope {
     pub fn interaction_breakdown(
         &self,
     ) -> Result<Vec<mscope_analysis::InteractionStats>, CoreError> {
-        mscope_analysis::interaction_breakdown(self.event_table(0)?)
-            .map_err(CoreError::Analysis)
+        mscope_analysis::interaction_breakdown(self.event_table(0)?).map_err(CoreError::Analysis)
     }
 
     /// Mean per-tier latency contribution (ms) across all reconstructed
@@ -451,7 +450,11 @@ mod breakdown_tests {
         assert!(contrib.iter().all(|&c| c >= 0.0));
         // Locals exclude network hops, so their sum is below the mean RT.
         let total: f64 = contrib.iter().sum();
-        assert!(total < out.run.stats.mean_rt_ms, "{total} vs {}", out.run.stats.mean_rt_ms);
+        assert!(
+            total < out.run.stats.mean_rt_ms,
+            "{total} vs {}",
+            out.run.stats.mean_rt_ms
+        );
         assert!(total > 0.5, "some work happened: {contrib:?}");
     }
 }
@@ -483,16 +486,31 @@ mod slo_tests {
 
     #[test]
     fn vsb_scenario_busts_a_tight_slo_but_not_a_loose_one() {
-        let cfg = shorten(calibrated_db_io(300, 3.0, 250.0), SimDuration::from_secs(15));
+        let cfg = shorten(
+            calibrated_db_io(300, 3.0, 250.0),
+            SimDuration::from_secs(15),
+        );
         let ms = MilliScope::ingest(&Experiment::new(cfg).unwrap().run()).unwrap();
         let w = SimDuration::from_millis(50);
         let tight = ms
-            .evaluate_slo(Slo { threshold_ms: 100.0, target: 0.999 }, w)
+            .evaluate_slo(
+                Slo {
+                    threshold_ms: 100.0,
+                    target: 0.999,
+                },
+                w,
+            )
             .unwrap();
         assert!(!tight.is_met(), "compliance {}", tight.compliance);
         assert!(tight.budget_burn > 1.0);
         let loose = ms
-            .evaluate_slo(Slo { threshold_ms: 1000.0, target: 0.99 }, w)
+            .evaluate_slo(
+                Slo {
+                    threshold_ms: 1000.0,
+                    target: 0.99,
+                },
+                w,
+            )
             .unwrap();
         assert!(loose.is_met());
     }

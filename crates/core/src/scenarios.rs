@@ -33,7 +33,10 @@ pub fn offered_rps(cfg: &SystemConfig) -> f64 {
 /// every ≈`period_secs`, and each flush stalls the database for
 /// ≈`stall_ms` milliseconds — the paper's "hundreds of milliseconds" VSB.
 pub fn calibrated_db_io(users: u32, period_secs: f64, stall_ms: f64) -> SystemConfig {
-    assert!(period_secs > 0.0 && stall_ms > 0.0, "calibration must be positive");
+    assert!(
+        period_secs > 0.0 && stall_ms > 0.0,
+        "calibration must be positive"
+    );
     let mut cfg = SystemConfig::scenario_db_io(users);
     let commit_rate = offered_rps(&cfg) * write_fraction() * cfg.tiers[3].commit_bytes as f64;
     let lf = cfg.tiers[3]
@@ -110,14 +113,20 @@ mod tests {
         let ts = small.tiers[3].log_flush.as_ref().unwrap().buffer_threshold;
         let tb = big.tiers[3].log_flush.as_ref().unwrap().buffer_threshold;
         let ratio = tb as f64 / ts as f64;
-        assert!((ratio - 20.0).abs() < 1.0, "threshold ratio {ratio} ≈ users ratio");
+        assert!(
+            (ratio - 20.0).abs() < 1.0,
+            "threshold ratio {ratio} ≈ users ratio"
+        );
         assert!(small.validate().is_ok());
         assert!(big.validate().is_ok());
     }
 
     #[test]
     fn calibrated_db_io_produces_periodic_stalls() {
-        let cfg = shorten(calibrated_db_io(400, 3.0, 250.0), SimDuration::from_secs(20));
+        let cfg = shorten(
+            calibrated_db_io(400, 3.0, 250.0),
+            SimDuration::from_secs(20),
+        );
         let out = Experiment::new(cfg).unwrap().run();
         let ms = MilliScope::ingest(&out).unwrap();
         let report = ms.diagnose(&DiagnoseOptions::default()).unwrap();
@@ -130,7 +139,11 @@ mod tests {
         for ep in &report.episodes {
             // Duration in the right ballpark (episodes merge adjacent
             // windows, so allow generous bounds around 250 ms).
-            assert!(ep.episode.duration_ms() <= 900.0, "{}", ep.episode.duration_ms());
+            assert!(
+                ep.episode.duration_ms() <= 900.0,
+                "{}",
+                ep.episode.duration_ms()
+            );
         }
     }
 
@@ -139,16 +152,25 @@ mod tests {
         let cfg = calibrated_dirty_page(400, 2.5, 4.0, 300.0);
         let apache_high = cfg.tiers[0].memory.dirty_high_bytes;
         let tomcat_high = cfg.tiers[1].memory.dirty_high_bytes;
-        assert!(tomcat_high > apache_high, "longer period → bigger threshold");
+        assert!(
+            tomcat_high > apache_high,
+            "longer period → bigger threshold"
+        );
         assert!(cfg.validate().is_ok());
     }
 
     #[test]
     fn shorten_clamps_sanely() {
-        let cfg = shorten(SystemConfig::rubbos_baseline(100), SimDuration::from_secs(10));
+        let cfg = shorten(
+            SystemConfig::rubbos_baseline(100),
+            SimDuration::from_secs(10),
+        );
         assert_eq!(cfg.duration, SimDuration::from_secs(10));
         assert_eq!(cfg.warmup, SimDuration::from_secs(2));
-        let long = shorten(SystemConfig::rubbos_baseline(100), SimDuration::from_secs(400));
+        let long = shorten(
+            SystemConfig::rubbos_baseline(100),
+            SimDuration::from_secs(400),
+        );
         assert_eq!(long.warmup, SimDuration::from_secs(15));
     }
 

@@ -6,7 +6,7 @@
 //! "interface that is able to easily reconstruct the causal path".
 
 use mscope_analysis::RequestFlow;
-use serde_json::{json, Value as Json};
+use mscope_serdes::{Json, ToJson};
 
 /// Options for trace export.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -57,31 +57,37 @@ pub fn export_chrome_trace(flows: &[RequestFlow], opts: &TraceExportOptions) -> 
     let mut events: Vec<Json> = Vec::new();
     for flow in &selected {
         for hop in &flow.hops {
-            events.push(json!({
-                "name": flow.interaction,
-                "cat": "tier",
-                "ph": "X",
-                "ts": hop.ua,
-                "dur": (hop.ud - hop.ua).max(0),
-                "pid": 1,
-                "tid": hop.tier + 1,
-                "args": {
-                    "request_id": flow.request_id,
-                    "node": hop.node,
-                    "local_ms": hop.local_ms(),
-                }
-            }));
+            events.push(Json::obj([
+                ("name", flow.interaction.to_json()),
+                ("cat", "tier".to_json()),
+                ("ph", "X".to_json()),
+                ("ts", hop.ua.to_json()),
+                ("dur", (hop.ud - hop.ua).max(0).to_json()),
+                ("pid", Json::Int(1)),
+                ("tid", (hop.tier + 1).to_json()),
+                (
+                    "args",
+                    Json::obj([
+                        ("request_id", flow.request_id.to_json()),
+                        ("node", hop.node.to_json()),
+                        ("local_ms", hop.local_ms().to_json()),
+                    ]),
+                ),
+            ]));
             if let (Some(ds), Some(dr)) = (hop.ds, hop.dr) {
-                events.push(json!({
-                    "name": "downstream wait",
-                    "cat": "wait",
-                    "ph": "X",
-                    "ts": ds,
-                    "dur": (dr - ds).max(0),
-                    "pid": 1,
-                    "tid": hop.tier + 1,
-                    "args": { "request_id": flow.request_id }
-                }));
+                events.push(Json::obj([
+                    ("name", "downstream wait".to_json()),
+                    ("cat", "wait".to_json()),
+                    ("ph", "X".to_json()),
+                    ("ts", ds.to_json()),
+                    ("dur", (dr - ds).max(0).to_json()),
+                    ("pid", Json::Int(1)),
+                    ("tid", (hop.tier + 1).to_json()),
+                    (
+                        "args",
+                        Json::obj([("request_id", flow.request_id.to_json())]),
+                    ),
+                ]));
             }
         }
     }
@@ -93,17 +99,19 @@ pub fn export_chrome_trace(flows: &[RequestFlow], opts: &TraceExportOptions) -> 
         .max()
         .unwrap_or(0);
     for tier in 0..=max_tier {
-        meta.push(json!({
-            "name": "thread_name",
-            "ph": "M",
-            "pid": 1,
-            "tid": tier + 1,
-            "args": { "name": format!("tier {tier}") }
-        }));
+        meta.push(Json::obj([
+            ("name", "thread_name".to_json()),
+            ("ph", "M".to_json()),
+            ("pid", Json::Int(1)),
+            ("tid", (tier + 1).to_json()),
+            (
+                "args",
+                Json::obj([("name", format!("tier {tier}").to_json())]),
+            ),
+        ]));
     }
     meta.extend(events);
-    serde_json::to_string_pretty(&json!({ "traceEvents": meta }))
-        .expect("trace json serializes")
+    Json::obj([("traceEvents", Json::Arr(meta))]).pretty()
 }
 
 #[cfg(test)]
@@ -140,7 +148,7 @@ mod tests {
     fn exports_events_and_tracks() {
         let flows = vec![flow("A", 10_000)];
         let out = export_chrome_trace(&flows, &TraceExportOptions::default());
-        let parsed: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        let parsed = Json::parse(&out).expect("valid json");
         let events = parsed["traceEvents"].as_array().expect("array");
         // 2 track-name metas + 2 hops + 1 downstream wait.
         assert_eq!(events.len(), 5);
@@ -153,7 +161,10 @@ mod tests {
         let flows = vec![flow("FAST", 5_000), flow("SLOW", 500_000)];
         let out = export_chrome_trace(
             &flows,
-            &TraceExportOptions { min_rt_ms: 100, max_flows: 0 },
+            &TraceExportOptions {
+                min_rt_ms: 100,
+                max_flows: 0,
+            },
         );
         assert!(out.contains("SLOW"));
         assert!(!out.contains("FAST"));
@@ -164,7 +175,10 @@ mod tests {
         let flows = vec![flow("A", 5_000), flow("B", 50_000), flow("C", 20_000)];
         let out = export_chrome_trace(
             &flows,
-            &TraceExportOptions { min_rt_ms: 0, max_flows: 1 },
+            &TraceExportOptions {
+                min_rt_ms: 0,
+                max_flows: 1,
+            },
         );
         assert!(out.contains("\"B\""));
         assert!(!out.contains("\"A\""));
@@ -174,7 +188,7 @@ mod tests {
     #[test]
     fn empty_flows_valid_json() {
         let out = export_chrome_trace(&[], &TraceExportOptions::default());
-        let parsed: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        let parsed = Json::parse(&out).expect("valid json");
         assert_eq!(parsed["traceEvents"].as_array().expect("array").len(), 1);
     }
 }

@@ -209,7 +209,10 @@ mod tests {
     use mscope_ntier::{Interaction, TierId};
 
     fn node(t: usize) -> NodeId {
-        NodeId { tier: TierId(t), replica: 0 }
+        NodeId {
+            tier: TierId(t),
+            replica: 0,
+        }
     }
 
     fn ev(n: NodeId, k: TierKind, req: u64, b: BoundaryKind, ms: u64) -> LifecycleEvent {
@@ -229,10 +232,28 @@ mod tests {
         let n = node(0);
         let mut mon = EventMonitor::new(n, TierKind::Apache);
         let mut store = LogStore::new();
-        mon.observe(&ev(n, TierKind::Apache, 3, BoundaryKind::UpstreamArrival, 10), &mut store);
-        mon.observe(&ev(n, TierKind::Apache, 3, BoundaryKind::DownstreamSending, 11), &mut store);
-        mon.observe(&ev(n, TierKind::Apache, 3, BoundaryKind::DownstreamReceiving, 19), &mut store);
-        mon.observe(&ev(n, TierKind::Apache, 3, BoundaryKind::UpstreamDeparture, 20), &mut store);
+        mon.observe(
+            &ev(n, TierKind::Apache, 3, BoundaryKind::UpstreamArrival, 10),
+            &mut store,
+        );
+        mon.observe(
+            &ev(n, TierKind::Apache, 3, BoundaryKind::DownstreamSending, 11),
+            &mut store,
+        );
+        mon.observe(
+            &ev(
+                n,
+                TierKind::Apache,
+                3,
+                BoundaryKind::DownstreamReceiving,
+                19,
+            ),
+            &mut store,
+        );
+        mon.observe(
+            &ev(n, TierKind::Apache, 3, BoundaryKind::UpstreamDeparture, 20),
+            &mut store,
+        );
         let log = store.read("logs/tier0-0/access_log").unwrap();
         assert!(log.contains("GET /rubbos/ViewStory?ID=000000000003"));
         assert!(log.contains("ua=00:00:00.010000"));
@@ -248,8 +269,14 @@ mod tests {
         let n = node(3);
         let mut mon = EventMonitor::new(n, TierKind::Mysql);
         let mut store = LogStore::new();
-        mon.observe(&ev(n, TierKind::Mysql, 9, BoundaryKind::UpstreamArrival, 5), &mut store);
-        mon.observe(&ev(n, TierKind::Mysql, 9, BoundaryKind::UpstreamDeparture, 8), &mut store);
+        mon.observe(
+            &ev(n, TierKind::Mysql, 9, BoundaryKind::UpstreamArrival, 5),
+            &mut store,
+        );
+        mon.observe(
+            &ev(n, TierKind::Mysql, 9, BoundaryKind::UpstreamDeparture, 8),
+            &mut store,
+        );
         let log = store.read("logs/tier3-0/general_query.log").unwrap();
         assert!(log.contains("/*ID=000000000009*/"));
         assert!(log.contains("ds=- dr=-"));
@@ -260,13 +287,23 @@ mod tests {
         let n = node(1);
         let mut mon = EventMonitor::new(n, TierKind::Tomcat);
         let mut store = LogStore::new();
-        mon.observe(&ev(n, TierKind::Tomcat, 1, BoundaryKind::UpstreamArrival, 1), &mut store);
+        mon.observe(
+            &ev(n, TierKind::Tomcat, 1, BoundaryKind::UpstreamArrival, 1),
+            &mut store,
+        );
         assert!(store.is_empty(), "nothing written before departure");
         assert_eq!(mon.pending_count(), 1);
-        mon.observe(&ev(n, TierKind::Tomcat, 1, BoundaryKind::UpstreamDeparture, 2), &mut store);
+        mon.observe(
+            &ev(n, TierKind::Tomcat, 1, BoundaryKind::UpstreamDeparture, 2),
+            &mut store,
+        );
         assert_eq!(mon.pending_count(), 0);
         assert_eq!(
-            store.read("logs/tier1-0/catalina.out").unwrap().lines().count(),
+            store
+                .read("logs/tier1-0/catalina.out")
+                .unwrap()
+                .lines()
+                .count(),
             1
         );
     }
@@ -277,23 +314,56 @@ mod tests {
         let other = node(1);
         let mut mon = EventMonitor::new(n, TierKind::Apache);
         let mut store = LogStore::new();
-        mon.observe(&ev(other, TierKind::Tomcat, 1, BoundaryKind::UpstreamArrival, 1), &mut store);
-        mon.observe(&ev(other, TierKind::Tomcat, 1, BoundaryKind::UpstreamDeparture, 2), &mut store);
+        mon.observe(
+            &ev(other, TierKind::Tomcat, 1, BoundaryKind::UpstreamArrival, 1),
+            &mut store,
+        );
+        mon.observe(
+            &ev(
+                other,
+                TierKind::Tomcat,
+                1,
+                BoundaryKind::UpstreamDeparture,
+                2,
+            ),
+            &mut store,
+        );
         assert!(store.is_empty());
         assert_eq!(mon.lines_written(), 0);
     }
 
     #[test]
     fn render_event_logs_covers_all_nodes() {
-        let nodes = vec![
-            (node(0), TierKind::Apache),
-            (node(1), TierKind::Tomcat),
-        ];
+        let nodes = vec![(node(0), TierKind::Apache), (node(1), TierKind::Tomcat)];
         let stream = vec![
-            ev(node(0), TierKind::Apache, 1, BoundaryKind::UpstreamArrival, 1),
-            ev(node(1), TierKind::Tomcat, 1, BoundaryKind::UpstreamArrival, 2),
-            ev(node(1), TierKind::Tomcat, 1, BoundaryKind::UpstreamDeparture, 3),
-            ev(node(0), TierKind::Apache, 1, BoundaryKind::UpstreamDeparture, 4),
+            ev(
+                node(0),
+                TierKind::Apache,
+                1,
+                BoundaryKind::UpstreamArrival,
+                1,
+            ),
+            ev(
+                node(1),
+                TierKind::Tomcat,
+                1,
+                BoundaryKind::UpstreamArrival,
+                2,
+            ),
+            ev(
+                node(1),
+                TierKind::Tomcat,
+                1,
+                BoundaryKind::UpstreamDeparture,
+                3,
+            ),
+            ev(
+                node(0),
+                TierKind::Apache,
+                1,
+                BoundaryKind::UpstreamDeparture,
+                4,
+            ),
         ];
         let mut store = LogStore::new();
         let mons = render_event_logs(&nodes, &stream, &mut store);
@@ -305,12 +375,23 @@ mod tests {
 
     #[test]
     fn request_id_is_fixed_width_in_all_formats() {
-        for kind in [TierKind::Apache, TierKind::Tomcat, TierKind::Cjdbc, TierKind::Mysql] {
+        for kind in [
+            TierKind::Apache,
+            TierKind::Tomcat,
+            TierKind::Cjdbc,
+            TierKind::Mysql,
+        ] {
             let n = node(0);
             let mut mon = EventMonitor::new(n, kind);
             let mut store = LogStore::new();
-            mon.observe(&ev(n, kind, 0xFFFF, BoundaryKind::UpstreamArrival, 1), &mut store);
-            mon.observe(&ev(n, kind, 0xFFFF, BoundaryKind::UpstreamDeparture, 2), &mut store);
+            mon.observe(
+                &ev(n, kind, 0xFFFF, BoundaryKind::UpstreamArrival, 1),
+                &mut store,
+            );
+            mon.observe(
+                &ev(n, kind, 0xFFFF, BoundaryKind::UpstreamDeparture, 2),
+                &mut store,
+            );
             let content = store.read(&mon.log_path()).unwrap();
             assert!(content.contains("ID=00000000FFFF"), "{kind}: {content}");
         }

@@ -49,5 +49,5 @@ pub use event::{render_event_logs, EventMonitor};
 pub use logstore::LogStore;
 pub use overhead::{NodeOverhead, OverheadReport};
 pub use resource::{ResourceMonitor, Tool};
-pub use suite::{topology_nodes, LogFileMeta, MonitoringArtifacts, MonitorKind, MonitorSuite};
+pub use suite::{topology_nodes, LogFileMeta, MonitorKind, MonitorSuite, MonitoringArtifacts};
 pub use sysviz::{SysVizSpan, SysVizTap, SysVizTrace, SysVizTransaction};

@@ -34,7 +34,10 @@ impl LogStore {
 
     /// Appends text to a file, creating it if needed.
     pub fn append(&mut self, path: &str, text: &str) {
-        self.files.entry(path.to_string()).or_default().push_str(text);
+        self.files
+            .entry(path.to_string())
+            .or_default()
+            .push_str(text);
     }
 
     /// Appends one line (adds the trailing newline).

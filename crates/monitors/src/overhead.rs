@@ -3,11 +3,10 @@
 
 use mscope_ntier::{NodeId, RunOutput};
 use mscope_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Per-node overhead comparison between an instrumented and an
 /// uninstrumented run of the same workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeOverhead {
     /// The node.
     pub node: NodeId,
@@ -28,6 +27,17 @@ pub struct NodeOverhead {
     /// Total log bytes written with monitors disabled.
     pub log_bytes_off: u64,
 }
+mscope_serdes::json_struct!(NodeOverhead {
+    node,
+    cpu_on,
+    cpu_off,
+    iowait_on,
+    iowait_off,
+    disk_bytes_on,
+    disk_bytes_off,
+    log_bytes_on,
+    log_bytes_off,
+});
 
 impl NodeOverhead {
     /// Aggregate CPU overhead in percentage points (user+sys+iowait), the
@@ -47,7 +57,7 @@ impl NodeOverhead {
 }
 
 /// System-level overhead comparison (Fig. 11's axes).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OverheadReport {
     /// Workload (concurrent users) of the compared runs.
     pub users: u32,
@@ -62,6 +72,14 @@ pub struct OverheadReport {
     /// Per-node comparisons.
     pub nodes: Vec<NodeOverhead>,
 }
+mscope_serdes::json_struct!(OverheadReport {
+    users,
+    throughput_on,
+    throughput_off,
+    rt_on_ms,
+    rt_off_ms,
+    nodes,
+});
 
 impl OverheadReport {
     /// Builds the comparison from two runs of the same configuration except
@@ -106,19 +124,22 @@ impl OverheadReport {
                 .find(|(n, _)| n == node)
                 .map(|(_, b)| *b)
                 .unwrap_or(0);
-            let mean_of = |out: &RunOutput, warm: SimTime, f: &dyn Fn(&mscope_ntier::ResourceSample) -> f64| {
-                let vals: Vec<f64> = out
-                    .samples
-                    .iter()
-                    .filter(|s| s.node == *node && s.time >= warm)
-                    .map(f)
-                    .collect();
-                if vals.is_empty() {
-                    0.0
-                } else {
-                    vals.iter().sum::<f64>() / vals.len() as f64
-                }
-            };
+            let mean_of =
+                |out: &RunOutput,
+                 warm: SimTime,
+                 f: &dyn Fn(&mscope_ntier::ResourceSample) -> f64| {
+                    let vals: Vec<f64> = out
+                        .samples
+                        .iter()
+                        .filter(|s| s.node == *node && s.time >= warm)
+                        .map(f)
+                        .collect();
+                    if vals.is_empty() {
+                        0.0
+                    } else {
+                        vals.iter().sum::<f64>() / vals.len() as f64
+                    }
+                };
             nodes.push(NodeOverhead {
                 node: *node,
                 cpu_on: mean_of(enabled, warm_on, &|s| s.cpu_user + s.cpu_sys),
@@ -178,7 +199,11 @@ mod tests {
         let rep = OverheadReport::between(&on, &off);
         assert_eq!(rep.nodes.len(), 4);
         // Throughput ~unchanged (< 5 % difference either way).
-        assert!(rep.throughput_loss().abs() < 0.05, "loss {}", rep.throughput_loss());
+        assert!(
+            rep.throughput_loss().abs() < 0.05,
+            "loss {}",
+            rep.throughput_loss()
+        );
         // Log volume roughly doubles on every node.
         for n in &rep.nodes {
             let r = n.log_ratio();

@@ -10,11 +10,10 @@
 use crate::logstore::LogStore;
 use mscope_ntier::{NodeId, ResourceSample, TierKind};
 use mscope_sim::{wallclock, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// Which external tool a resource monitor emulates, and in which of its
 /// output modes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Tool {
     /// `collectl -P` comma/space separated plot format with a `#` header.
     CollectlCsv,
@@ -31,6 +30,15 @@ pub enum Tool {
     /// `iostat -x` extended device report blocks.
     Iostat,
 }
+mscope_serdes::json_enum!(Tool {
+    CollectlCsv,
+    CollectlPlain,
+    SarText,
+    SarMem,
+    SarNet,
+    SarXml,
+    Iostat,
+});
 
 impl Tool {
     /// Lowercase tool name for paths and metadata.
@@ -68,7 +76,7 @@ impl Tool {
 }
 
 /// A resource mScopeMonitor: one tool watching one node at one period.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResourceMonitor {
     /// Node being watched.
     pub node: NodeId,
@@ -80,6 +88,12 @@ pub struct ResourceMonitor {
     /// samples are aggregated up to this period).
     pub period: SimDuration,
 }
+mscope_serdes::json_struct!(ResourceMonitor {
+    node,
+    kind,
+    tool,
+    period
+});
 
 impl ResourceMonitor {
     /// Stable monitor identifier, e.g. `"collectl-tier3-0"`.
@@ -89,7 +103,12 @@ impl ResourceMonitor {
 
     /// Path of the log file this monitor writes.
     pub fn log_path(&self) -> String {
-        format!("logs/{}/{}.{}", self.node, self.tool.name(), self.tool.extension())
+        format!(
+            "logs/{}/{}.{}",
+            self.node,
+            self.tool.name(),
+            self.tool.extension()
+        )
     }
 
     /// Renders this monitor's log from the full base-sample stream (samples
@@ -192,7 +211,11 @@ fn collectl_csv(samples: &[ResourceSample]) -> String {
 fn collectl_plain(samples: &[ResourceSample]) -> String {
     let mut out = String::new();
     for (i, s) in samples.iter().enumerate() {
-        out.push_str(&format!("### RECORD {} ({}) ###\n", i + 1, wallclock(s.time)));
+        out.push_str(&format!(
+            "### RECORD {} ({}) ###\n",
+            i + 1,
+            wallclock(s.time)
+        ));
         out.push_str("# CPU SUMMARY\n");
         out.push_str("User% Sys% Wait% Idle%\n");
         out.push_str(&format!(
@@ -218,14 +241,10 @@ fn collectl_plain(samples: &[ResourceSample]) -> String {
 const SAR_HEADER_EVERY: usize = 20;
 
 fn sar_text(node: &NodeId, samples: &[ResourceSample]) -> String {
-    let mut out = format!(
-        "Linux 3.10.0-mscope ({node}) \t07/05/26 \t_x86_64_\t(2 CPU)\n\n"
-    );
+    let mut out = format!("Linux 3.10.0-mscope ({node}) \t07/05/26 \t_x86_64_\t(2 CPU)\n\n");
     for (i, s) in samples.iter().enumerate() {
         if i % SAR_HEADER_EVERY == 0 {
-            out.push_str(
-                "timestamp            CPU      %user      %sys   %iowait     %idle\n",
-            );
+            out.push_str("timestamp            CPU      %user      %sys   %iowait     %idle\n");
         }
         out.push_str(&format!(
             "{}     all {:10.2} {:9.2} {:9.2} {:9.2}\n",
@@ -240,14 +259,10 @@ fn sar_text(node: &NodeId, samples: &[ResourceSample]) -> String {
 }
 
 fn sar_mem(node: &NodeId, samples: &[ResourceSample]) -> String {
-    let mut out = format!(
-        "Linux 3.10.0-mscope ({node}) \t07/05/26 \t_x86_64_\t(2 CPU)\n\n"
-    );
+    let mut out = format!("Linux 3.10.0-mscope ({node}) \t07/05/26 \t_x86_64_\t(2 CPU)\n\n");
     for (i, s) in samples.iter().enumerate() {
         if i % SAR_HEADER_EVERY == 0 {
-            out.push_str(
-                "timestamp             kbmemused    %memused     kbdirty\n",
-            );
+            out.push_str("timestamp             kbmemused    %memused     kbdirty\n");
         }
         let used_kb = s.mem_used_bytes / 1024;
         out.push_str(&format!(
@@ -264,9 +279,7 @@ fn sar_mem(node: &NodeId, samples: &[ResourceSample]) -> String {
 }
 
 fn sar_net(node: &NodeId, samples: &[ResourceSample]) -> String {
-    let mut out = format!(
-        "Linux 3.10.0-mscope ({node}) \t07/05/26 \t_x86_64_\t(2 CPU)\n\n"
-    );
+    let mut out = format!("Linux 3.10.0-mscope ({node}) \t07/05/26 \t_x86_64_\t(2 CPU)\n\n");
     for (i, s) in samples.iter().enumerate() {
         if i % SAR_HEADER_EVERY == 0 {
             out.push_str("timestamp            IFACE      rxkB/s      txkB/s\n");
@@ -322,7 +335,10 @@ mod tests {
     use mscope_sim::SimTime;
 
     fn node() -> NodeId {
-        NodeId { tier: TierId(3), replica: 0 }
+        NodeId {
+            tier: TierId(3),
+            replica: 0,
+        }
     }
 
     fn sample(ms: u64, user: f64, util: f64, dirty: u64) -> ResourceSample {
@@ -359,7 +375,9 @@ mod tests {
 
     #[test]
     fn aggregate_combines_buckets() {
-        let s: Vec<ResourceSample> = (1..=4).map(|i| sample(i * 50, i as f64 * 10.0, 50.0, i)).collect();
+        let s: Vec<ResourceSample> = (1..=4)
+            .map(|i| sample(i * 50, i as f64 * 10.0, 50.0, i))
+            .collect();
         let refs: Vec<&ResourceSample> = s.iter().collect();
         let merged = aggregate(&refs, SimDuration::from_millis(100));
         assert_eq!(merged.len(), 2);
@@ -463,7 +481,10 @@ mod tests {
     #[test]
     fn render_skips_other_nodes() {
         let mon = ResourceMonitor {
-            node: NodeId { tier: TierId(0), replica: 0 },
+            node: NodeId {
+                tier: TierId(0),
+                replica: 0,
+            },
             kind: TierKind::Apache,
             tool: Tool::CollectlCsv,
             period: SimDuration::from_millis(50),
@@ -473,6 +494,9 @@ mod tests {
         let n = mon.render(&samples, &mut store);
         assert_eq!(n, 0);
         // Header still written (tool started but recorded nothing).
-        assert!(store.read("logs/tier0-0/collectl.csv").unwrap().starts_with("#Time"));
+        assert!(store
+            .read("logs/tier0-0/collectl.csv")
+            .unwrap()
+            .starts_with("#Time"));
     }
 }

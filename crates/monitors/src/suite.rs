@@ -13,20 +13,20 @@ use crate::resource::{ResourceMonitor, Tool};
 use crate::sysviz::{SysVizTap, SysVizTrace};
 use mscope_ntier::{NodeId, RunOutput, SystemConfig, TierId, TierKind};
 use mscope_sim::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Event or resource monitor (the paper's two monitor families).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MonitorKind {
     /// Event mScopeMonitor (request execution boundaries).
     Event,
     /// Resource mScopeMonitor (utilization counters).
     Resource,
 }
+mscope_serdes::json_enum!(MonitorKind { Event, Resource });
 
 /// Metadata describing one produced log file; consumed by the transformer's
 /// parsing-declaration stage and recorded in mScopeDB's static tables.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogFileMeta {
     /// Path within the [`LogStore`].
     pub path: String,
@@ -47,6 +47,16 @@ pub struct LogFileMeta {
     /// every request).
     pub period_ms: u64,
 }
+mscope_serdes::json_struct!(LogFileMeta {
+    path,
+    node,
+    tier_kind,
+    monitor_id,
+    tool,
+    format,
+    kind,
+    period_ms,
+});
 
 /// Everything the monitoring layer hands to the transformation pipeline.
 #[derive(Debug)]
@@ -60,7 +70,7 @@ pub struct MonitoringArtifacts {
 }
 
 /// The deployment plan: which monitors run on which nodes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MonitorSuite {
     /// Resource monitors to run.
     pub resource_monitors: Vec<ResourceMonitor>,
@@ -70,6 +80,11 @@ pub struct MonitorSuite {
     /// Whether the passive tap captures.
     pub sysviz: bool,
 }
+mscope_serdes::json_struct!(MonitorSuite {
+    resource_monitors,
+    event_monitors,
+    sysviz
+});
 
 impl MonitorSuite {
     /// The standard milliScope deployment for a topology: Collectl (CSV,
@@ -80,7 +95,10 @@ impl MonitorSuite {
         let mut resource_monitors = Vec::new();
         for (ti, t) in cfg.tiers.iter().enumerate() {
             for replica in 0..t.replicas {
-                let node = NodeId { tier: TierId(ti), replica };
+                let node = NodeId {
+                    tier: TierId(ti),
+                    replica,
+                };
                 resource_monitors.push(ResourceMonitor {
                     node,
                     kind: t.kind,
@@ -170,7 +188,11 @@ impl MonitorSuite {
         }
 
         let sysviz = self.sysviz.then(|| SysVizTap::reconstruct(&out.messages));
-        MonitoringArtifacts { store, manifest, sysviz }
+        MonitoringArtifacts {
+            store,
+            manifest,
+            sysviz,
+        }
     }
 }
 
@@ -179,7 +201,13 @@ pub fn topology_nodes(cfg: &SystemConfig) -> Vec<(NodeId, TierKind)> {
     let mut nodes = Vec::new();
     for (ti, t) in cfg.tiers.iter().enumerate() {
         for replica in 0..t.replicas {
-            nodes.push((NodeId { tier: TierId(ti), replica }, t.kind));
+            nodes.push((
+                NodeId {
+                    tier: TierId(ti),
+                    replica,
+                },
+                t.kind,
+            ));
         }
     }
     nodes
@@ -224,10 +252,7 @@ mod tests {
         let out = small_run(false);
         let suite = MonitorSuite::standard(&out.config);
         let art = suite.render(&out);
-        assert!(art
-            .manifest
-            .iter()
-            .all(|m| m.kind == MonitorKind::Resource));
+        assert!(art.manifest.iter().all(|m| m.kind == MonitorKind::Resource));
         assert!(art.store.paths().iter().all(|p| !p.ends_with("access_log")));
     }
 

@@ -15,11 +15,10 @@
 
 use mscope_ntier::{Endpoint, Interaction, MessageEvent, MsgKind, NodeId, RequestId, TierId};
 use mscope_sim::SimTime;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
 /// One tier visit as reconstructed from the wire.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SysVizSpan {
     /// Node observed serving the request.
     pub node: NodeId,
@@ -33,9 +32,16 @@ pub struct SysVizSpan {
     /// When the downstream reply reached the node.
     pub downstream_receiving: Option<SimTime>,
 }
+mscope_serdes::json_struct!(SysVizSpan {
+    node,
+    arrival,
+    departure,
+    downstream_sending,
+    downstream_receiving,
+});
 
 /// One reconstructed transaction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SysVizTransaction {
     /// Request ID parsed from the messages.
     pub request: RequestId,
@@ -48,6 +54,13 @@ pub struct SysVizTransaction {
     /// Spans keyed by tier index.
     pub spans: BTreeMap<usize, SysVizSpan>,
 }
+mscope_serdes::json_struct!(SysVizTransaction {
+    request,
+    interaction,
+    client_send,
+    client_recv,
+    spans,
+});
 
 impl SysVizTransaction {
     /// `true` once the client-side reply was observed.
@@ -62,11 +75,12 @@ impl SysVizTransaction {
 }
 
 /// The full reconstructed trace.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SysVizTrace {
     /// All transactions, in first-observation order.
     pub transactions: Vec<SysVizTransaction>,
 }
+mscope_serdes::json_struct!(SysVizTrace { transactions });
 
 impl SysVizTrace {
     /// Number of transactions observed.

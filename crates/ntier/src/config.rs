@@ -3,7 +3,6 @@
 
 use crate::types::TierKind;
 use mscope_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Memory / page-cache behaviour of a node.
 ///
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// ever crosses `dirty_high_bytes`, the kernel's *forced recycling* kicks in:
 /// it seizes CPU (the paper's scenario B root cause) until the count is back
 /// at `dirty_low_bytes`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemoryConfig {
     /// Total RAM in bytes (reported by monitors).
     pub total_bytes: u64,
@@ -31,6 +30,15 @@ pub struct MemoryConfig {
     /// Cores seized by the forced recycler while it runs.
     pub recycle_cores: u32,
 }
+mscope_serdes::json_struct!(MemoryConfig {
+    total_bytes,
+    dirty_high_bytes,
+    dirty_low_bytes,
+    writeback_period,
+    writeback_max_bytes,
+    recycle_rate,
+    recycle_cores,
+});
 
 impl MemoryConfig {
     /// A roomy default that never triggers forced recycling during a normal
@@ -56,7 +64,7 @@ impl MemoryConfig {
 /// log flushing is sync-heavy). While the flush is in progress and
 /// `stall_writes` is set, committing transactions block holding their worker
 /// thread, which is what propagates the stall upstream.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogFlushConfig {
     /// Buffer size that triggers a flush, in bytes.
     pub buffer_threshold: u64,
@@ -68,9 +76,15 @@ pub struct LogFlushConfig {
     /// IO starving the buffer pool's reads, the full §V-A effect.
     pub stall_reads: bool,
 }
+mscope_serdes::json_struct!(LogFlushConfig {
+    buffer_threshold,
+    flush_rate,
+    stall_writes,
+    stall_reads,
+});
 
 /// Static configuration of one tier.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TierConfig {
     /// Component-server software (determines log formats & monitor names).
     pub kind: TierKind,
@@ -105,6 +119,22 @@ pub struct TierConfig {
     /// unbounded (the default — the paper's testbed never rejects).
     pub accept_limit: Option<usize>,
 }
+mscope_serdes::json_struct!(TierConfig {
+    kind,
+    replicas,
+    workers,
+    cores,
+    base_demand,
+    phase2_demand,
+    write_demand_extra,
+    demand_cv,
+    disk_write_bw,
+    memory,
+    base_log_bytes,
+    commit_bytes,
+    log_flush,
+    accept_limit,
+});
 
 impl TierConfig {
     /// A sensible single-replica tier of the given kind with the scaled-down
@@ -188,11 +218,12 @@ impl TierConfig {
 
 /// Network model: a fixed per-hop, per-direction latency (the testbed's
 /// gigabit LAN).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NetworkConfig {
     /// One-way latency per hop.
     pub hop_latency: SimDuration,
 }
+mscope_serdes::json_struct!(NetworkConfig { hop_latency });
 
 impl Default for NetworkConfig {
     fn default() -> Self {
@@ -203,7 +234,7 @@ impl Default for NetworkConfig {
 }
 
 /// The RUBBoS closed-loop workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadConfig {
     /// Number of concurrent emulated users — the paper's "workload" axis.
     /// (Ignored by the open-loop arrival process.)
@@ -217,9 +248,16 @@ pub struct WorkloadConfig {
     /// How requests arrive.
     pub arrival: ArrivalProcess,
 }
+mscope_serdes::json_struct!(WorkloadConfig {
+    users,
+    think_time,
+    ramp_up,
+    mix,
+    arrival
+});
 
 /// How the workload offers requests to the system.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum ArrivalProcess {
     /// Closed loop: each of `users` sessions waits for its response, thinks,
     /// then sends again — RUBBoS's model and the paper's. Under overload the
@@ -234,9 +272,10 @@ pub enum ArrivalProcess {
         rate_rps: f64,
     },
 }
+mscope_serdes::json_enum!(ArrivalProcess { ClosedLoop, OpenLoop { rate_rps } });
 
 /// RUBBoS's two standard interaction mixes, plus a stress variant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum WorkloadMix {
     /// The default read/write mix (~11 % writes).
     #[default]
@@ -246,6 +285,11 @@ pub enum WorkloadMix {
     /// Write-heavy stress mix: write interaction weights tripled.
     WriteHeavy,
 }
+mscope_serdes::json_enum!(WorkloadMix {
+    ReadWrite,
+    BrowseOnly,
+    WriteHeavy
+});
 
 impl WorkloadMix {
     /// The weight multiplier this mix applies to an interaction.
@@ -296,7 +340,7 @@ impl WorkloadConfig {
 /// roughly doubled disk-write volume; these parameters encode exactly those
 /// mechanisms (per-record CPU, per-record log bytes, and Tomcat's extra
 /// logging thread, which is why Tomcat sits at the 3 % end).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MonitoringConfig {
     /// Master switch for the event mScopeMonitors (the paper's
     /// enabled/disabled comparison of Figs. 10–11).
@@ -313,6 +357,13 @@ pub struct MonitoringConfig {
     /// (zero overhead on the system under test, like the real appliance).
     pub sysviz_tap: bool,
 }
+mscope_serdes::json_struct!(MonitoringConfig {
+    event_monitors,
+    per_record_bytes,
+    per_record_cpu,
+    tomcat_cpu_multiplier,
+    sysviz_tap,
+});
 
 impl MonitoringConfig {
     /// Event monitors on, tap on — the standard milliScope deployment.
@@ -339,7 +390,7 @@ impl MonitoringConfig {
 /// Extension fault injectors beyond the two headline scenarios — the other
 /// VSB root causes the paper cites (JVM GC, DVFS) plus synthetic hogs used
 /// by tests.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum InjectorSpec {
     /// Stop-the-world garbage collection: every `period`, all cores of every
     /// node in `tier` are seized for `pause`.
@@ -384,9 +435,15 @@ pub enum InjectorSpec {
         bytes: u64,
     },
 }
+mscope_serdes::json_enum!(InjectorSpec {
+    GcPause { tier, period, pause },
+    DvfsThrottle { tier, period, slow_factor, duration },
+    CpuHog { tier, at, cores, duration },
+    DiskHog { tier, at, bytes },
+});
 
 /// Complete configuration of one simulated experiment run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Tiers in pipeline order (index 0 faces the clients).
     pub tiers: Vec<TierConfig>,
@@ -407,6 +464,17 @@ pub struct SystemConfig {
     /// RNG seed; same seed → identical run.
     pub seed: u64,
 }
+mscope_serdes::json_struct!(SystemConfig {
+    tiers,
+    network,
+    workload,
+    monitoring,
+    injectors,
+    duration,
+    warmup,
+    sample_period,
+    seed,
+});
 
 impl SystemConfig {
     /// The paper's 4-tier RUBBoS deployment, healthy baseline: no bottleneck
@@ -425,7 +493,7 @@ impl SystemConfig {
             duration: SimDuration::from_secs(420),
             warmup: SimDuration::from_secs(15),
             sample_period: SimDuration::from_millis(50),
-            seed: 0x5CC0_9E01,
+            seed: 0x5CC0_9E02,
         }
     }
 
@@ -539,14 +607,20 @@ impl SystemConfig {
                 return Err(format!("tier {i} ({}) has negative demand CV", t.kind));
             }
             if t.disk_write_bw <= 0.0 {
-                return Err(format!("tier {i} ({}) has non-positive disk bandwidth", t.kind));
+                return Err(format!(
+                    "tier {i} ({}) has non-positive disk bandwidth",
+                    t.kind
+                ));
             }
             if t.memory.dirty_low_bytes > t.memory.dirty_high_bytes {
                 return Err(format!("tier {i} ({}) dirty watermarks inverted", t.kind));
             }
             if let Some(lf) = &t.log_flush {
                 if lf.flush_rate <= 0.0 {
-                    return Err(format!("tier {i} ({}) log flush rate must be positive", t.kind));
+                    return Err(format!(
+                        "tier {i} ({}) log flush rate must be positive",
+                        t.kind
+                    ));
                 }
             }
         }
@@ -593,10 +667,7 @@ mod tests {
         assert!(cfg.validate().is_ok());
         assert_eq!(cfg.tiers.len(), 4);
         assert_eq!(cfg.node_count(), 4);
-        assert_eq!(
-            cfg.end_time(),
-            SimTime::ZERO + SimDuration::from_secs(435)
-        );
+        assert_eq!(cfg.end_time(), SimTime::ZERO + SimDuration::from_secs(435));
     }
 
     #[test]
@@ -656,8 +727,8 @@ mod tests {
     #[test]
     fn config_serde_roundtrip() {
         let cfg = SystemConfig::scenario_db_io(4000);
-        let json = serde_json::to_string(&cfg).unwrap();
-        let back: SystemConfig = serde_json::from_str(&json).unwrap();
+        let json = mscope_serdes::to_string(&cfg);
+        let back: SystemConfig = mscope_serdes::from_str(&json).unwrap();
         assert_eq!(cfg, back);
     }
 }

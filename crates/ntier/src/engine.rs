@@ -87,7 +87,11 @@ enum Ev {
     /// End of a DVFS throttle episode.
     DvfsEnd { tier: usize },
     /// One-shot synthetic CPU hog.
-    CpuHog { tier: usize, cores: u32, duration: SimDuration },
+    CpuHog {
+        tier: usize,
+        cores: u32,
+        duration: SimDuration,
+    },
     /// One-shot synthetic disk hog.
     DiskHog { tier: usize, bytes: u64 },
 }
@@ -159,7 +163,7 @@ struct SpanBuild {
 }
 
 /// Aggregate statistics of the measured window, computed at finalization.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunStats {
     /// Requests issued over the whole run (including warm-up).
     pub issued: u64,
@@ -180,6 +184,17 @@ pub struct RunStats {
     /// Requests rejected with 503 by a full accept queue.
     pub rejected: u64,
 }
+mscope_serdes::json_struct!(RunStats {
+    issued,
+    completed,
+    throughput_rps,
+    mean_rt_ms,
+    p99_rt_ms,
+    max_rt_ms,
+    node_log_bytes,
+    node_disk_bytes,
+    rejected,
+});
 
 /// Everything a run produces; the input to the monitoring framework.
 #[derive(Debug)]
@@ -251,7 +266,10 @@ impl Simulator {
             tier_offsets.push(nodes.len());
             for replica in 0..t.replicas {
                 nodes.push(NodeState {
-                    id: NodeId { tier: TierId(ti), replica },
+                    id: NodeId {
+                        tier: TierId(ti),
+                        replica,
+                    },
                     kind: t.kind,
                     tier_cfg: ti,
                     cpu: CpuModel::new(t.cores),
@@ -327,8 +345,20 @@ impl Simulator {
                     self.queue
                         .schedule(SimTime::ZERO + period, Ev::DvfsStart { tier });
                 }
-                InjectorSpec::CpuHog { tier, at, cores, duration } => {
-                    self.queue.schedule(at, Ev::CpuHog { tier, cores, duration });
+                InjectorSpec::CpuHog {
+                    tier,
+                    at,
+                    cores,
+                    duration,
+                } => {
+                    self.queue.schedule(
+                        at,
+                        Ev::CpuHog {
+                            tier,
+                            cores,
+                            duration,
+                        },
+                    );
                 }
                 InjectorSpec::DiskHog { tier, at, bytes } => {
                     self.queue.schedule(at, Ev::DiskHog { tier, bytes });
@@ -366,7 +396,11 @@ impl Simulator {
             Ev::Gc { tier } => self.gc_tick(now, tier),
             Ev::DvfsStart { tier } => self.dvfs_start(now, tier),
             Ev::DvfsEnd { tier } => self.dvfs_end(now, tier),
-            Ev::CpuHog { tier, cores, duration } => self.cpu_hog(now, tier, cores, duration),
+            Ev::CpuHog {
+                tier,
+                cores,
+                duration,
+            } => self.cpu_hog(now, tier, cores, duration),
             Ev::DiskHog { tier, bytes } => self.disk_hog(now, tier, bytes),
         }
     }
@@ -389,8 +423,7 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn open_arrival(&mut self, now: SimTime) {
-        let crate::config::ArrivalProcess::OpenLoop { rate_rps } = self.cfg.workload.arrival
-        else {
+        let crate::config::ArrivalProcess::OpenLoop { rate_rps } = self.cfg.workload.arrival else {
             return;
         };
         let gap = self.workload.interarrival(rate_rps);
@@ -436,7 +469,10 @@ impl Simulator {
         let r = &mut self.inflight[req];
         r.client_recv = Some(now);
         let session = r.session;
-        if matches!(self.cfg.workload.arrival, crate::config::ArrivalProcess::ClosedLoop) {
+        if matches!(
+            self.cfg.workload.arrival,
+            crate::config::ArrivalProcess::ClosedLoop
+        ) {
             let think = self.workload.think_time();
             self.queue.schedule(now + think, Ev::ClientSend(session));
         }
@@ -512,7 +548,10 @@ impl Simulator {
             let up_node = self.inflight[req].nodes[tier - 1];
             (
                 Endpoint::Node(self.nodes[up_node].id),
-                Ev::ReplyArrive { req, tier: tier - 1 },
+                Ev::ReplyArrive {
+                    req,
+                    tier: tier - 1,
+                },
             )
         };
         self.messages.push(MessageEvent {
@@ -577,15 +616,22 @@ impl Simulator {
         // Hand the freed core to the next queued task (priority first).
         let next = {
             let node = &mut self.nodes[ni];
-            node.cpu_q_front.pop_front().or_else(|| node.cpu_q.pop_front())
+            node.cpu_q_front
+                .pop_front()
+                .or_else(|| node.cpu_q.pop_front())
         };
         if let Some(task) = next {
             let done = self.nodes[ni]
                 .cpu
                 .try_start(now, task.demand)
                 .expect("core was just freed");
-            self.queue
-                .schedule(done, Ev::BurstDone { node: ni, kind: task.kind });
+            self.queue.schedule(
+                done,
+                Ev::BurstDone {
+                    node: ni,
+                    kind: task.kind,
+                },
+            );
         }
         match kind {
             TaskKind::Phase1(req) => self.phase1_done(now, ni, req),
@@ -626,8 +672,13 @@ impl Simulator {
                 interaction: self.inflight[req].interaction,
                 kind: MsgKind::RequestDown,
             });
-            self.queue
-                .schedule(now + hop, Ev::Ingress { req, tier: tier + 1 });
+            self.queue.schedule(
+                now + hop,
+                Ev::Ingress {
+                    req,
+                    tier: tier + 1,
+                },
+            );
         } else {
             // Deepest tier for this request: commit (DB tiers) then reply.
             if self.try_commit(now, ni, req) {
@@ -656,7 +707,11 @@ impl Simulator {
         if node.flush_in_progress {
             // Writes stall on group commit; reads stall when checkpoint IO
             // starves the buffer pool (the full §V-A effect).
-            let stalls = if is_write { flush.stall_writes } else { flush.stall_reads };
+            let stalls = if is_write {
+                flush.stall_writes
+            } else {
+                flush.stall_reads
+            };
             if stalls {
                 node.commit_waiters.push(req);
                 node.cpu.block_on_io(now);
@@ -737,7 +792,10 @@ impl Simulator {
             let up_node = self.inflight[req].nodes[tier - 1];
             (
                 Endpoint::Node(self.nodes[up_node].id),
-                Ev::ReplyArrive { req, tier: tier - 1 },
+                Ev::ReplyArrive {
+                    req,
+                    tier: tier - 1,
+                },
             )
         };
         self.messages.push(MessageEvent {
@@ -793,8 +851,10 @@ impl Simulator {
             node.cpu.block_on_io(now);
             self.queue.schedule(done, Ev::WritebackDone { node: ni });
         }
-        self.queue
-            .schedule(now + mem_cfg.writeback_period, Ev::WritebackStart { node: ni });
+        self.queue.schedule(
+            now + mem_cfg.writeback_period,
+            Ev::WritebackStart { node: ni },
+        );
     }
 
     fn gc_tick(&mut self, now: SimTime, tier: usize) {
@@ -819,7 +879,12 @@ impl Simulator {
     }
 
     fn dvfs_start(&mut self, now: SimTime, tier: usize) {
-        let Some(InjectorSpec::DvfsThrottle { period, slow_factor, duration, .. }) = self
+        let Some(InjectorSpec::DvfsThrottle {
+            period,
+            slow_factor,
+            duration,
+            ..
+        }) = self
             .cfg
             .injectors
             .iter()
@@ -882,15 +947,13 @@ impl Simulator {
             let d = |a: u64, b: u64| a.saturating_sub(b) as f64;
             let capacity = node.cpu.cores() as f64 * interval_us;
             let busy_pct = 100.0 * d(snap.busy_core_us, node.prev.busy_core_us) / capacity;
-            let iowait_pct =
-                100.0 * d(snap.iowait_core_us, node.prev.iowait_core_us) / capacity;
+            let iowait_pct = 100.0 * d(snap.iowait_core_us, node.prev.iowait_core_us) / capacity;
             // An 82/18 user/sys split approximates web-serving workloads.
             let cpu_user = busy_pct * 0.82;
             let cpu_sys = busy_pct * 0.18;
             let cpu_idle = (100.0 - busy_pct - iowait_pct).max(0.0);
-            let disk_util = (100.0 * d(snap.disk_busy_us, node.prev.disk_busy_us)
-                / interval_us)
-                .min(100.0);
+            let disk_util =
+                (100.0 * d(snap.disk_busy_us, node.prev.disk_busy_us) / interval_us).min(100.0);
             self.samples.push(ResourceSample {
                 time: now,
                 node: node.id,
@@ -1001,10 +1064,17 @@ mod tests {
     #[test]
     fn baseline_run_completes_requests() {
         let out = Simulator::new(short_cfg(100)).unwrap().run();
-        assert!(out.stats.completed > 30, "completed {}", out.stats.completed);
+        assert!(
+            out.stats.completed > 30,
+            "completed {}",
+            out.stats.completed
+        );
         assert!(out.stats.issued >= out.stats.completed);
-        assert!(out.stats.mean_rt_ms > 0.5 && out.stats.mean_rt_ms < 100.0,
-            "mean rt {}", out.stats.mean_rt_ms);
+        assert!(
+            out.stats.mean_rt_ms > 0.5 && out.stats.mean_rt_ms < 100.0,
+            "mean rt {}",
+            out.stats.mean_rt_ms
+        );
     }
 
     #[test]
@@ -1027,8 +1097,14 @@ mod tests {
         let a = Simulator::new(short_cfg(60)).unwrap().run();
         let b = Simulator::new(cfg).unwrap().run();
         assert_ne!(
-            a.requests.iter().filter_map(|r| r.client_recv).collect::<Vec<_>>(),
-            b.requests.iter().filter_map(|r| r.client_recv).collect::<Vec<_>>()
+            a.requests
+                .iter()
+                .filter_map(|r| r.client_recv)
+                .collect::<Vec<_>>(),
+            b.requests
+                .iter()
+                .filter_map(|r| r.client_recv)
+                .collect::<Vec<_>>()
         );
     }
 
@@ -1072,17 +1148,16 @@ mod tests {
             assert_eq!(s.node.tier, TierId(i));
         }
         // The three upper tiers all made downstream calls; the DB did not.
-        assert!(deep.spans[..3].iter().all(|s| s.downstream_sending.is_some()));
+        assert!(deep.spans[..3]
+            .iter()
+            .all(|s| s.downstream_sending.is_some()));
         assert!(deep.spans[3].downstream_sending.is_none());
     }
 
     #[test]
     fn lifecycle_events_are_time_ordered_and_match_spans() {
         let out = Simulator::new(short_cfg(50)).unwrap().run();
-        assert!(out
-            .lifecycle
-            .windows(2)
-            .all(|w| w[0].time <= w[1].time));
+        assert!(out.lifecycle.windows(2).all(|w| w[0].time <= w[1].time));
         // Each complete 4-deep request yields 4 UA + 4 UD + 3 DS + 3 DR = 14.
         let some = out
             .requests
@@ -1200,7 +1275,10 @@ mod tests {
             .collect();
         let max = *dirty.iter().max().unwrap();
         let drops = dirty.windows(2).any(|w| w[1] + max / 2 < w[0]);
-        assert!(drops, "expected an abrupt dirty-page drop, series max {max}");
+        assert!(
+            drops,
+            "expected an abrupt dirty-page drop, series max {max}"
+        );
     }
 
     #[test]
@@ -1234,8 +1312,12 @@ mod tests {
         });
         let hogged = Simulator::new(cfg).unwrap().run();
         let base = Simulator::new(short_cfg(80)).unwrap().run();
-        assert!(hogged.stats.max_rt_ms > base.stats.max_rt_ms + 100.0,
-            "hog {} vs base {}", hogged.stats.max_rt_ms, base.stats.max_rt_ms);
+        assert!(
+            hogged.stats.max_rt_ms > base.stats.max_rt_ms + 100.0,
+            "hog {} vs base {}",
+            hogged.stats.max_rt_ms,
+            base.stats.max_rt_ms
+        );
     }
 
     #[test]
@@ -1278,7 +1360,11 @@ mod tests {
         for r in out.requests.iter().filter(|r| r.spans.len() >= 2) {
             replica_seen[r.spans[1].node.replica] = true;
         }
-        assert_eq!(replica_seen, [true, true], "both Tomcat replicas serve traffic");
+        assert_eq!(
+            replica_seen,
+            [true, true],
+            "both Tomcat replicas serve traffic"
+        );
     }
 
     #[test]

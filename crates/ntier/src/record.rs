@@ -4,7 +4,6 @@
 
 use crate::types::{Interaction, NodeId, RequestId, SessionId, TierKind};
 use mscope_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// The four timestamps the paper's event mScopeMonitor records per request
 /// per component server (§IV-B), plus which node served it.
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// Happens-before invariant: `upstream_arrival ≤ downstream_sending ≤
 /// downstream_receiving ≤ upstream_departure` (where the downstream pair is
 /// present).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TierSpan {
     /// The node that served the request at this tier.
     pub node: NodeId,
@@ -25,6 +24,13 @@ pub struct TierSpan {
     /// When the downstream response came back (if any).
     pub downstream_receiving: Option<SimTime>,
 }
+mscope_serdes::json_struct!(TierSpan {
+    node,
+    upstream_arrival,
+    upstream_departure,
+    downstream_sending,
+    downstream_receiving,
+});
 
 impl TierSpan {
     /// Total residence time at this tier (arrival → departure).
@@ -59,7 +65,7 @@ impl TierSpan {
 }
 
 /// Ground-truth record of one request's complete execution path.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RequestRecord {
     /// The propagated request ID.
     pub id: RequestId,
@@ -79,6 +85,15 @@ pub struct RequestRecord {
     /// has a single span.
     pub spans: Vec<TierSpan>,
 }
+mscope_serdes::json_struct!(RequestRecord {
+    id,
+    session,
+    interaction,
+    client_send,
+    client_recv,
+    status,
+    spans,
+});
 
 impl RequestRecord {
     /// End-to-end response time, if the request completed.
@@ -111,7 +126,7 @@ impl RequestRecord {
 }
 
 /// Which of the four §IV-B timestamps a lifecycle event represents.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BoundaryKind {
     /// Request arrived from upstream.
     UpstreamArrival,
@@ -122,10 +137,16 @@ pub enum BoundaryKind {
     /// Downstream response received.
     DownstreamReceiving,
 }
+mscope_serdes::json_enum!(BoundaryKind {
+    UpstreamArrival,
+    UpstreamDeparture,
+    DownstreamSending,
+    DownstreamReceiving,
+});
 
 /// One execution-boundary event at one node — the raw material the event
 /// mScopeMonitors turn into native log lines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LifecycleEvent {
     /// Event timestamp.
     pub time: SimTime,
@@ -143,27 +164,41 @@ pub struct LifecycleEvent {
     /// 503 when the accept queue rejected it).
     pub status: u16,
 }
+mscope_serdes::json_struct!(LifecycleEvent {
+    time,
+    node,
+    kind,
+    request,
+    interaction,
+    boundary,
+    status,
+});
 
 /// Endpoint of a network message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Endpoint {
     /// The client population.
     Client,
     /// A server node.
     Node(NodeId),
 }
+mscope_serdes::json_enum!(Endpoint { Client, Node(a) });
 
 /// Direction of a message relative to the pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MsgKind {
     /// A request travelling toward the database.
     RequestDown,
     /// A response travelling back toward the client.
     ReplyUp,
 }
+mscope_serdes::json_enum!(MsgKind {
+    RequestDown,
+    ReplyUp
+});
 
 /// One wire message as seen by the passive network tap (SysViz stand-in).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MessageEvent {
     /// When the source put it on the wire.
     pub send_time: SimTime,
@@ -180,6 +215,15 @@ pub struct MessageEvent {
     /// Down (request) or up (reply).
     pub kind: MsgKind,
 }
+mscope_serdes::json_struct!(MessageEvent {
+    send_time,
+    recv_time,
+    src,
+    dst,
+    request,
+    interaction,
+    kind,
+});
 
 /// Periodic per-node resource snapshot taken by the simulator at the base
 /// sampling period; the resource mScopeMonitors render these into
@@ -188,7 +232,7 @@ pub struct MessageEvent {
 /// CPU figures are percentages of total capacity over the sample interval;
 /// byte/ops figures are totals *within* the interval; gauges
 /// (`dirty_pages`, `queue_len`, `active_workers`) are instantaneous.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResourceSample {
     /// End of the sampled interval.
     pub time: SimTime,
@@ -225,6 +269,25 @@ pub struct ResourceSample {
     /// Log bytes written by the component (native + monitor) in the interval.
     pub log_bytes: u64,
 }
+mscope_serdes::json_struct!(ResourceSample {
+    time,
+    node,
+    kind,
+    cpu_user,
+    cpu_sys,
+    cpu_iowait,
+    cpu_idle,
+    disk_util,
+    disk_write_bytes,
+    disk_ops,
+    dirty_pages,
+    mem_used_bytes,
+    net_rx_bytes,
+    net_tx_bytes,
+    queue_len,
+    active_workers,
+    log_bytes,
+});
 
 #[cfg(test)]
 mod tests {
@@ -236,7 +299,10 @@ mod tests {
     }
 
     fn node(t: usize) -> NodeId {
-        NodeId { tier: TierId(t), replica: 0 }
+        NodeId {
+            tier: TierId(t),
+            replica: 0,
+        }
     }
 
     fn span(t: usize, ua: u64, ds: Option<u64>, dr: Option<u64>, ud: u64) -> TierSpan {

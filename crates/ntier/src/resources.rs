@@ -223,8 +223,8 @@ impl DiskModel {
         assert!(rate > 0.0, "disk write rate must be positive");
         self.accumulate(now);
         let start = self.busy_until.max(now);
-        let dur = SimDuration::from_micros((bytes as f64 / (rate / 1e6)).ceil() as u64)
-            + self.op_latency;
+        let dur =
+            SimDuration::from_micros((bytes as f64 / (rate / 1e6)).ceil() as u64) + self.op_latency;
         self.busy_until = start + dur;
         self.bytes_written += bytes;
         self.ops += 1;
@@ -387,7 +387,10 @@ mod tests {
         cpu.set_speed(ms(0), 0.5);
         let done = cpu.try_start(ms(0), SimDuration::from_millis(10)).unwrap();
         assert_eq!(done, ms(20), "half speed doubles burst length");
-        assert_eq!(cpu.scaled(SimDuration::from_millis(4)), SimDuration::from_millis(8));
+        assert_eq!(
+            cpu.scaled(SimDuration::from_millis(4)),
+            SimDuration::from_millis(8)
+        );
     }
 
     #[test]
@@ -398,8 +401,10 @@ mod tests {
         cpu.accumulate(ms(10));
         assert_eq!(cpu.iowait_core_us(), 10_000);
         // Saturate the CPU: no idle core → no more iowait accrual.
-        cpu.try_start(ms(10), SimDuration::from_millis(100)).unwrap();
-        cpu.try_start(ms(10), SimDuration::from_millis(100)).unwrap();
+        cpu.try_start(ms(10), SimDuration::from_millis(100))
+            .unwrap();
+        cpu.try_start(ms(10), SimDuration::from_millis(100))
+            .unwrap();
         cpu.accumulate(ms(20));
         assert_eq!(cpu.iowait_core_us(), 10_000);
         cpu.unblock_io(ms(20));

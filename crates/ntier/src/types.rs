@@ -1,12 +1,12 @@
 //! Identifier newtypes and the tier/interaction vocabulary of the simulated
 //! n-tier system.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a tier in the pipeline (0 = front/web tier).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TierId(pub usize);
+mscope_serdes::json_newtype!(TierId);
 
 impl fmt::Display for TierId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -15,13 +15,14 @@ impl fmt::Display for TierId {
 }
 
 /// A node (component server) in the topology: `(tier, replica)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId {
     /// The tier this node belongs to.
     pub tier: TierId,
     /// Replica index within the tier (0-based).
     pub replica: usize,
 }
+mscope_serdes::json_struct!(NodeId { tier, replica });
 
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -33,7 +34,7 @@ impl fmt::Display for NodeId {
 /// format its event mScopeMonitor produces and the default resource profile.
 ///
 /// The paper's testbed (Fig. 1) is Apache → Tomcat → C-JDBC → MySQL.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TierKind {
     /// Apache HTTP server (web tier).
     Apache,
@@ -44,6 +45,12 @@ pub enum TierKind {
     /// MySQL database server.
     Mysql,
 }
+mscope_serdes::json_enum!(TierKind {
+    Apache,
+    Tomcat,
+    Cjdbc,
+    Mysql
+});
 
 impl TierKind {
     /// Conventional lowercase name used in hostnames and log paths.
@@ -58,7 +65,12 @@ impl TierKind {
 
     /// The classic 4-tier pipeline of the paper.
     pub fn classic_pipeline() -> [TierKind; 4] {
-        [TierKind::Apache, TierKind::Tomcat, TierKind::Cjdbc, TierKind::Mysql]
+        [
+            TierKind::Apache,
+            TierKind::Tomcat,
+            TierKind::Cjdbc,
+            TierKind::Mysql,
+        ]
     }
 }
 
@@ -83,8 +95,9 @@ impl fmt::Display for TierKind {
 /// assert_eq!(id.to_string(), "0000000000AB");
 /// assert_eq!(RequestId::parse("0000000000AB"), Some(id));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RequestId(pub u64);
+mscope_serdes::json_newtype!(RequestId);
 
 impl RequestId {
     /// Width of the rendered hex form.
@@ -107,8 +120,9 @@ impl fmt::Display for RequestId {
 }
 
 /// A closed-loop emulated user session.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SessionId(pub u32);
+mscope_serdes::json_newtype!(SessionId);
 
 impl fmt::Display for SessionId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -117,13 +131,14 @@ impl fmt::Display for SessionId {
 }
 
 /// Whether an interaction mutates state (drives DB commit-log traffic).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RwKind {
     /// Read-only interaction.
     Read,
     /// Read-write interaction (ends in a DB commit).
     Write,
 }
+mscope_serdes::json_enum!(RwKind { Read, Write });
 
 /// One of the RUBBoS benchmark's 24 interaction types.
 ///
@@ -132,14 +147,15 @@ pub enum RwKind {
 /// browse-heavy default transition behaviour (≈10 % writes), and the demand
 /// multipliers encode which interactions are cheap static pages versus heavy
 /// search/moderation queries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Interaction {
     /// Index into [`INTERACTIONS`].
     pub idx: usize,
 }
+mscope_serdes::json_struct!(Interaction { idx });
 
 /// Static description of one interaction type.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InteractionSpec {
     /// RUBBoS servlet name, e.g. `"StoriesOfTheDay"`.
     pub name: &'static str,
@@ -153,6 +169,34 @@ pub struct InteractionSpec {
     /// served entirely by the web tier, 4 = full pipeline to the database).
     pub depth: usize,
 }
+impl mscope_serdes::ToJson for InteractionSpec {
+    fn to_json(&self) -> mscope_serdes::Json {
+        mscope_serdes::Json::obj([
+            ("name", mscope_serdes::ToJson::to_json(self.name)),
+            ("rw", mscope_serdes::ToJson::to_json(&self.rw)),
+            ("weight", mscope_serdes::ToJson::to_json(&self.weight)),
+            (
+                "demand_factor",
+                mscope_serdes::ToJson::to_json(&self.demand_factor),
+            ),
+            ("depth", mscope_serdes::ToJson::to_json(&self.depth)),
+        ])
+    }
+}
+
+impl mscope_serdes::FromJson for InteractionSpec {
+    /// The `name` field holds a `&'static str`, so deserialization resolves
+    /// the name back against the canonical [`INTERACTIONS`] table instead of
+    /// allocating.
+    fn from_json(v: &mscope_serdes::Json) -> Result<Self, mscope_serdes::JsonError> {
+        let name: String = mscope_serdes::field(v, "name")?;
+        INTERACTIONS
+            .iter()
+            .find(|spec| spec.name == name)
+            .copied()
+            .ok_or_else(|| mscope_serdes::JsonError::msg(format!("unknown interaction `{name}`")))
+    }
+}
 
 /// The RUBBoS interaction table: 24 interactions, browse-heavy default mix.
 ///
@@ -160,30 +204,174 @@ pub struct InteractionSpec {
 /// (~90 % reads); exact values are not published in the paper, only the
 /// count (24) and examples ("view story").
 pub const INTERACTIONS: [InteractionSpec; 24] = [
-    InteractionSpec { name: "StoriesOfTheDay",        rw: RwKind::Read,  weight: 14.0, demand_factor: 1.0, depth: 4 },
-    InteractionSpec { name: "ViewStory",              rw: RwKind::Read,  weight: 16.0, demand_factor: 1.1, depth: 4 },
-    InteractionSpec { name: "ViewComment",            rw: RwKind::Read,  weight: 12.0, demand_factor: 0.9, depth: 4 },
-    InteractionSpec { name: "BrowseCategories",       rw: RwKind::Read,  weight: 7.0,  demand_factor: 0.7, depth: 4 },
-    InteractionSpec { name: "BrowseStoriesByCategory", rw: RwKind::Read, weight: 8.0,  demand_factor: 1.2, depth: 4 },
-    InteractionSpec { name: "OlderStories",           rw: RwKind::Read,  weight: 6.0,  demand_factor: 1.3, depth: 4 },
-    InteractionSpec { name: "Search",                 rw: RwKind::Read,  weight: 4.0,  demand_factor: 2.0, depth: 4 },
-    InteractionSpec { name: "SearchInStories",        rw: RwKind::Read,  weight: 2.5,  demand_factor: 2.2, depth: 4 },
-    InteractionSpec { name: "SearchInComments",       rw: RwKind::Read,  weight: 1.5,  demand_factor: 2.5, depth: 4 },
-    InteractionSpec { name: "SearchInUsers",          rw: RwKind::Read,  weight: 1.0,  demand_factor: 1.8, depth: 4 },
-    InteractionSpec { name: "ViewUserInfo",           rw: RwKind::Read,  weight: 3.0,  demand_factor: 0.8, depth: 4 },
-    InteractionSpec { name: "AuthorLogin",            rw: RwKind::Read,  weight: 1.2,  demand_factor: 0.9, depth: 4 },
-    InteractionSpec { name: "AuthorTasks",            rw: RwKind::Read,  weight: 0.8,  demand_factor: 1.1, depth: 4 },
-    InteractionSpec { name: "ReviewStories",          rw: RwKind::Read,  weight: 0.9,  demand_factor: 1.4, depth: 4 },
-    InteractionSpec { name: "ReviewSubmittedStories", rw: RwKind::Read,  weight: 0.7,  demand_factor: 1.4, depth: 4 },
-    InteractionSpec { name: "StaticHome",             rw: RwKind::Read,  weight: 8.0,  demand_factor: 0.3, depth: 1 },
-    InteractionSpec { name: "StaticAbout",            rw: RwKind::Read,  weight: 2.0,  demand_factor: 0.3, depth: 1 },
-    InteractionSpec { name: "RegisterUser",           rw: RwKind::Write, weight: 0.6,  demand_factor: 1.2, depth: 4 },
-    InteractionSpec { name: "SubmitStory",            rw: RwKind::Write, weight: 1.5,  demand_factor: 1.3, depth: 4 },
-    InteractionSpec { name: "StoreStory",             rw: RwKind::Write, weight: 1.4,  demand_factor: 1.5, depth: 4 },
-    InteractionSpec { name: "PostComment",            rw: RwKind::Write, weight: 3.2,  demand_factor: 1.2, depth: 4 },
-    InteractionSpec { name: "StoreComment",           rw: RwKind::Write, weight: 3.0,  demand_factor: 1.4, depth: 4 },
-    InteractionSpec { name: "ModerateComment",        rw: RwKind::Write, weight: 1.0,  demand_factor: 1.1, depth: 4 },
-    InteractionSpec { name: "AcceptStory",            rw: RwKind::Write, weight: 0.7,  demand_factor: 1.3, depth: 4 },
+    InteractionSpec {
+        name: "StoriesOfTheDay",
+        rw: RwKind::Read,
+        weight: 14.0,
+        demand_factor: 1.0,
+        depth: 4,
+    },
+    InteractionSpec {
+        name: "ViewStory",
+        rw: RwKind::Read,
+        weight: 16.0,
+        demand_factor: 1.1,
+        depth: 4,
+    },
+    InteractionSpec {
+        name: "ViewComment",
+        rw: RwKind::Read,
+        weight: 12.0,
+        demand_factor: 0.9,
+        depth: 4,
+    },
+    InteractionSpec {
+        name: "BrowseCategories",
+        rw: RwKind::Read,
+        weight: 7.0,
+        demand_factor: 0.7,
+        depth: 4,
+    },
+    InteractionSpec {
+        name: "BrowseStoriesByCategory",
+        rw: RwKind::Read,
+        weight: 8.0,
+        demand_factor: 1.2,
+        depth: 4,
+    },
+    InteractionSpec {
+        name: "OlderStories",
+        rw: RwKind::Read,
+        weight: 6.0,
+        demand_factor: 1.3,
+        depth: 4,
+    },
+    InteractionSpec {
+        name: "Search",
+        rw: RwKind::Read,
+        weight: 4.0,
+        demand_factor: 2.0,
+        depth: 4,
+    },
+    InteractionSpec {
+        name: "SearchInStories",
+        rw: RwKind::Read,
+        weight: 2.5,
+        demand_factor: 2.2,
+        depth: 4,
+    },
+    InteractionSpec {
+        name: "SearchInComments",
+        rw: RwKind::Read,
+        weight: 1.5,
+        demand_factor: 2.5,
+        depth: 4,
+    },
+    InteractionSpec {
+        name: "SearchInUsers",
+        rw: RwKind::Read,
+        weight: 1.0,
+        demand_factor: 1.8,
+        depth: 4,
+    },
+    InteractionSpec {
+        name: "ViewUserInfo",
+        rw: RwKind::Read,
+        weight: 3.0,
+        demand_factor: 0.8,
+        depth: 4,
+    },
+    InteractionSpec {
+        name: "AuthorLogin",
+        rw: RwKind::Read,
+        weight: 1.2,
+        demand_factor: 0.9,
+        depth: 4,
+    },
+    InteractionSpec {
+        name: "AuthorTasks",
+        rw: RwKind::Read,
+        weight: 0.8,
+        demand_factor: 1.1,
+        depth: 4,
+    },
+    InteractionSpec {
+        name: "ReviewStories",
+        rw: RwKind::Read,
+        weight: 0.9,
+        demand_factor: 1.4,
+        depth: 4,
+    },
+    InteractionSpec {
+        name: "ReviewSubmittedStories",
+        rw: RwKind::Read,
+        weight: 0.7,
+        demand_factor: 1.4,
+        depth: 4,
+    },
+    InteractionSpec {
+        name: "StaticHome",
+        rw: RwKind::Read,
+        weight: 8.0,
+        demand_factor: 0.3,
+        depth: 1,
+    },
+    InteractionSpec {
+        name: "StaticAbout",
+        rw: RwKind::Read,
+        weight: 2.0,
+        demand_factor: 0.3,
+        depth: 1,
+    },
+    InteractionSpec {
+        name: "RegisterUser",
+        rw: RwKind::Write,
+        weight: 0.6,
+        demand_factor: 1.2,
+        depth: 4,
+    },
+    InteractionSpec {
+        name: "SubmitStory",
+        rw: RwKind::Write,
+        weight: 1.5,
+        demand_factor: 1.3,
+        depth: 4,
+    },
+    InteractionSpec {
+        name: "StoreStory",
+        rw: RwKind::Write,
+        weight: 1.4,
+        demand_factor: 1.5,
+        depth: 4,
+    },
+    InteractionSpec {
+        name: "PostComment",
+        rw: RwKind::Write,
+        weight: 3.2,
+        demand_factor: 1.2,
+        depth: 4,
+    },
+    InteractionSpec {
+        name: "StoreComment",
+        rw: RwKind::Write,
+        weight: 3.0,
+        demand_factor: 1.4,
+        depth: 4,
+    },
+    InteractionSpec {
+        name: "ModerateComment",
+        rw: RwKind::Write,
+        weight: 1.0,
+        demand_factor: 1.1,
+        depth: 4,
+    },
+    InteractionSpec {
+        name: "AcceptStory",
+        rw: RwKind::Write,
+        weight: 0.7,
+        demand_factor: 1.3,
+        depth: 4,
+    },
 ];
 
 impl Interaction {
@@ -283,7 +471,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let n = NodeId { tier: TierId(2), replica: 1 };
+        let n = NodeId {
+            tier: TierId(2),
+            replica: 1,
+        };
         assert_eq!(n.to_string(), "tier2-1");
         assert_eq!(TierKind::Cjdbc.to_string(), "cjdbc");
         assert_eq!(SessionId(3).to_string(), "session3");

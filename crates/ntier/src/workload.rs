@@ -64,9 +64,7 @@ impl Workload {
 
     /// Draws an exponential think time.
     pub fn think_time(&mut self) -> SimDuration {
-        SimDuration::from_secs_f64(
-            self.rng.exponential(self.cfg.think_time.as_secs_f64()),
-        )
+        SimDuration::from_secs_f64(self.rng.exponential(self.cfg.think_time.as_secs_f64()))
     }
 
     /// Draws a log-normal service demand with the given mean and CV,
@@ -175,7 +173,9 @@ mod mix_tests {
             let w0 = Workload::new(WorkloadConfig::rubbos(10), SimRng::seed_from(4));
             let mut w0 = w0;
             let n = 30_000;
-            (0..n).filter(|_| w0.next_interaction().rw() == RwKind::Write).count() as f64
+            (0..n)
+                .filter(|_| w0.next_interaction().rw() == RwKind::Write)
+                .count() as f64
                 / n as f64
         };
         let heavy = {
@@ -183,7 +183,9 @@ mod mix_tests {
             cfg.mix = WorkloadMix::WriteHeavy;
             let mut w = Workload::new(cfg, SimRng::seed_from(4));
             let n = 30_000;
-            (0..n).filter(|_| w.next_interaction().rw() == RwKind::Write).count() as f64
+            (0..n)
+                .filter(|_| w.next_interaction().rw() == RwKind::Write)
+                .count() as f64
                 / n as f64
         };
         assert!(heavy > 2.0 * base, "heavy {heavy:.3} vs base {base:.3}");

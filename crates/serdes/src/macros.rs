@@ -1,0 +1,305 @@
+//! Derive-free impl macros: one line per type replaces what
+//! `#[derive(Serialize, Deserialize)]` generated.
+//!
+//! - [`json_struct!`] — named-field structs, serialized as an object.
+//! - [`json_newtype!`] — one-field tuple structs, serialized transparently
+//!   as the inner value.
+//! - [`json_enum!`] — enums in serde's externally-tagged layout: unit
+//!   variants as `"Name"`, newtype variants as `{"Name": value}`, tuple
+//!   variants as `{"Name": [..]}`, struct variants as `{"Name": {..}}`.
+
+/// Implements [`ToJson`](crate::ToJson) and [`FromJson`](crate::FromJson)
+/// for a named-field struct. List every field; each becomes an object key.
+///
+/// ```
+/// struct Sample { id: u64, label: String }
+/// mscope_serdes::json_struct!(Sample { id, label });
+/// ```
+#[macro_export]
+macro_rules! json_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $( (stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)), )+
+                ])
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                Ok($ty { $( $field: $crate::field(v, stringify!($field))?, )+ })
+            }
+        }
+    };
+}
+
+/// Implements the traits for a one-field tuple struct, serialized as the
+/// bare inner value (serde's newtype-struct behavior).
+///
+/// ```
+/// struct Id(u64);
+/// mscope_serdes::json_newtype!(Id);
+/// ```
+#[macro_export]
+macro_rules! json_newtype {
+    ($ty:ident) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::ToJson::to_json(&self.0)
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                Ok($ty($crate::FromJson::from_json(v)?))
+            }
+        }
+    };
+}
+
+/// Implements the traits for an enum in the externally-tagged layout.
+/// Tuple and struct variants name their binders in the invocation:
+///
+/// ```
+/// enum Shape {
+///     Empty,
+///     Circle(f64),
+///     Rect(f64, f64),
+///     Label { text: String },
+/// }
+/// mscope_serdes::json_enum!(Shape {
+///     Empty,
+///     Circle(r),
+///     Rect(w, h),
+///     Label { text },
+/// });
+/// ```
+#[macro_export]
+macro_rules! json_enum {
+    ($ty:ident {
+        $( $variant:ident
+           $( ( $($bind:ident),+ $(,)? ) )?
+           $( { $($field:ident),+ $(,)? } )?
+        ),+ $(,)?
+    }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                match self {
+                    $(
+                        $ty::$variant $( ( $($bind),+ ) )? $( { $($field),+ } )? =>
+                            $crate::json_enum!(
+                                @emit $variant $( ( $($bind),+ ) )? $( { $($field),+ } )?
+                            ),
+                    )+
+                }
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Json) -> Result<Self, $crate::JsonError> {
+                $(
+                    {
+                        let attempt: Result<Option<Self>, $crate::JsonError> =
+                            $crate::json_enum!(
+                                @try $ty, v, $variant
+                                $( ( $($bind),+ ) )? $( { $($field),+ } )?
+                            );
+                        if let Some(out) = attempt? {
+                            return Ok(out);
+                        }
+                    }
+                )+
+                Err($crate::JsonError::msg(format!(
+                    "no variant of {} matches {v}",
+                    stringify!($ty)
+                )))
+            }
+        }
+    };
+
+    // ---- serialization arms ----
+    (@emit $variant:ident) => {
+        $crate::Json::Str(stringify!($variant).to_string())
+    };
+    (@emit $variant:ident ( $one:ident )) => {
+        $crate::Json::Obj(vec![(
+            stringify!($variant).to_string(),
+            $crate::ToJson::to_json($one),
+        )])
+    };
+    (@emit $variant:ident ( $($bind:ident),+ )) => {
+        $crate::Json::Obj(vec![(
+            stringify!($variant).to_string(),
+            $crate::Json::Arr(vec![$($crate::ToJson::to_json($bind)),+]),
+        )])
+    };
+    (@emit $variant:ident { $($field:ident),+ }) => {
+        $crate::Json::Obj(vec![(
+            stringify!($variant).to_string(),
+            $crate::Json::Obj(vec![
+                $( (stringify!($field).to_string(), $crate::ToJson::to_json($field)), )+
+            ]),
+        )])
+    };
+
+    // ---- deserialization arms (each yields Result<Option<$ty>, _>) ----
+    (@try $ty:ident, $v:ident, $variant:ident) => {
+        if $v.as_str() == Some(stringify!($variant)) {
+            Ok(Some($ty::$variant))
+        } else {
+            Ok(None)
+        }
+    };
+    (@try $ty:ident, $v:ident, $variant:ident ( $one:ident )) => {
+        match $v.get(stringify!($variant)) {
+            Some(inner) => Ok(Some($ty::$variant($crate::FromJson::from_json(inner)?))),
+            None => Ok(None),
+        }
+    };
+    (@try $ty:ident, $v:ident, $variant:ident ( $($bind:ident),+ )) => {
+        match $v.get(stringify!($variant)) {
+            Some(inner) => {
+                let items = inner.as_array().ok_or_else(|| {
+                    $crate::JsonError::msg(format!(
+                        "variant {} expects an array payload",
+                        stringify!($variant)
+                    ))
+                })?;
+                let mut it = items.iter();
+                $(
+                    let $bind = $crate::FromJson::from_json(it.next().ok_or_else(|| {
+                        $crate::JsonError::msg(format!(
+                            "variant {} payload too short",
+                            stringify!($variant)
+                        ))
+                    })?)?;
+                )+
+                Ok(Some($ty::$variant( $($bind),+ )))
+            }
+            None => Ok(None),
+        }
+    };
+    (@try $ty:ident, $v:ident, $variant:ident { $($field:ident),+ }) => {
+        match $v.get(stringify!($variant)) {
+            Some(inner) => {
+                $( let $field = $crate::field(inner, stringify!($field))?; )+
+                Ok(Some($ty::$variant { $($field),+ }))
+            }
+            None => Ok(None),
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{from_str, to_string, Json, ToJson};
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Inner {
+        id: u64,
+        name: String,
+    }
+    json_struct!(Inner { id, name });
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Wrapper(u64);
+    json_newtype!(Wrapper);
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Mixed {
+        Unit,
+        One(Wrapper),
+        Pair(i64, String),
+        Fields { x: f64, nested: Inner },
+        Recurse(Box<Mixed>),
+        Many(Vec<Mixed>),
+    }
+    json_enum!(Mixed {
+        Unit,
+        One(a),
+        Pair(a, b),
+        Fields { x, nested },
+        Recurse(inner),
+        Many(items),
+    });
+
+    fn roundtrip(v: Mixed) {
+        let text = to_string(&v);
+        assert_eq!(from_str::<Mixed>(&text).unwrap(), v, "via {text}");
+    }
+
+    #[test]
+    fn struct_layout() {
+        let v = Inner {
+            id: u64::MAX,
+            name: "x\"y".into(),
+        };
+        assert_eq!(
+            to_string(&v),
+            format!(r#"{{"id":{},"name":"x\"y"}}"#, u64::MAX)
+        );
+        assert_eq!(from_str::<Inner>(&to_string(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        assert_eq!(to_string(&Wrapper(7)), "7");
+        assert_eq!(from_str::<Wrapper>("7").unwrap(), Wrapper(7));
+    }
+
+    #[test]
+    fn enum_layouts() {
+        assert_eq!(to_string(&Mixed::Unit), r#""Unit""#);
+        assert_eq!(to_string(&Mixed::One(Wrapper(3))), r#"{"One":3}"#);
+        assert_eq!(
+            to_string(&Mixed::Pair(-1, "p".into())),
+            r#"{"Pair":[-1,"p"]}"#
+        );
+        assert_eq!(
+            to_string(&Mixed::Fields {
+                x: 0.5,
+                nested: Inner {
+                    id: 1,
+                    name: "n".into()
+                }
+            }),
+            r#"{"Fields":{"x":0.5,"nested":{"id":1,"name":"n"}}}"#
+        );
+    }
+
+    #[test]
+    fn enum_roundtrips() {
+        roundtrip(Mixed::Unit);
+        roundtrip(Mixed::One(Wrapper(u64::MAX)));
+        roundtrip(Mixed::Pair(i64::MIN, String::new()));
+        roundtrip(Mixed::Fields {
+            x: -2.25,
+            nested: Inner {
+                id: 0,
+                name: "é".into(),
+            },
+        });
+        roundtrip(Mixed::Recurse(Box::new(Mixed::Pair(1, "deep".into()))));
+        roundtrip(Mixed::Many(vec![Mixed::Unit, Mixed::One(Wrapper(2))]));
+    }
+
+    #[test]
+    fn enum_rejects_unknown_variant() {
+        assert!(from_str::<Mixed>(r#""Nope""#).is_err());
+        assert!(from_str::<Mixed>(r#"{"Nope":1}"#).is_err());
+        assert!(from_str::<Mixed>(r#"{"Pair":[1]}"#).is_err());
+    }
+
+    #[test]
+    fn struct_rejects_missing_field() {
+        let err = from_str::<Inner>(r#"{"id":1}"#).unwrap_err();
+        assert!(err.to_string().contains("name"));
+    }
+
+    #[test]
+    fn works_through_trait_objects() {
+        let v: Box<dyn ToJson> = Box::new(Inner {
+            id: 2,
+            name: "t".into(),
+        });
+        assert_eq!(v.to_json(), Json::parse(r#"{"id":2,"name":"t"}"#).unwrap());
+    }
+}

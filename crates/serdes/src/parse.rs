@@ -1,0 +1,385 @@
+//! A strict recursive-descent JSON parser.
+//!
+//! Accepts exactly the JSON grammar (RFC 8259): no comments, no trailing
+//! commas, no unquoted keys. Duplicate object keys are preserved in order
+//! rather than rejected, matching the permissive readers this replaces.
+
+use crate::value::Json;
+use std::fmt;
+
+/// Maximum nesting depth before the parser bails out, so hostile inputs
+/// cannot overflow the stack.
+const MAX_DEPTH: usize = 128;
+
+/// A parse or conversion error, with a byte offset when it came from the
+/// parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    msg: String,
+    /// Byte offset into the input, when known.
+    pub offset: Option<usize>,
+}
+
+impl JsonError {
+    /// A conversion-layer error with no input position.
+    pub fn msg(text: impl Into<String>) -> JsonError {
+        JsonError {
+            msg: text.into(),
+            offset: None,
+        }
+    }
+
+    fn at(text: impl Into<String>, offset: usize) -> JsonError {
+        JsonError {
+            msg: text.into(),
+            offset: Some(offset),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(off) => write!(f, "{} at byte {off}", self.msg),
+            None => f.write_str(&self.msg),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parses a complete JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Any syntax violation, trailing non-whitespace content, or nesting
+    /// deeper than an internal safety limit.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mscope_serdes::Json;
+    ///
+    /// let v = Json::parse(r#"[1, -2.5, "x", null]"#).unwrap();
+    /// assert_eq!(v[1].as_f64(), Some(-2.5));
+    /// assert!(Json::parse("[1,]").is_err());
+    /// ```
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::at("trailing content after document", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::at(format!("expected '{}'", b as char), self.pos))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(JsonError::at("document nested too deeply", self.pos));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'n') if self.eat_keyword("null") => Ok(Json::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Json::Bool(false)),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(JsonError::at("expected a JSON value", self.pos)),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(JsonError::at("expected ',' or '}' in object", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(JsonError::at("expected ',' or ']' in array", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy the unescaped run in one go.
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\' && c >= 0x20) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| JsonError::at("invalid UTF-8 in string", start))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                Some(_) => return Err(JsonError::at("raw control character in string", self.pos)),
+                None => return Err(JsonError::at("unterminated string", self.pos)),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), JsonError> {
+        let c = self
+            .peek()
+            .ok_or_else(|| JsonError::at("unterminated escape", self.pos))?;
+        self.pos += 1;
+        match c {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{0008}'),
+            b'f' => out.push('\u{000C}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = self.hex4()?;
+                let ch = if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: a low surrogate escape must follow.
+                    if !(self.eat_keyword("\\u")) {
+                        return Err(JsonError::at("lone high surrogate", self.pos));
+                    }
+                    let lo = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(JsonError::at("invalid low surrogate", self.pos));
+                    }
+                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    char::from_u32(code)
+                        .ok_or_else(|| JsonError::at("invalid surrogate pair", self.pos))?
+                } else {
+                    char::from_u32(hi)
+                        .ok_or_else(|| JsonError::at("invalid \\u escape", self.pos))?
+                };
+                out.push(ch);
+            }
+            _ => return Err(JsonError::at("unknown escape character", self.pos - 1)),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self
+                .peek()
+                .ok_or_else(|| JsonError::at("truncated \\u escape", self.pos))?;
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| JsonError::at("non-hex digit in \\u escape", self.pos))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: a single 0, or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(JsonError::at("malformed number", self.pos)),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(JsonError::at(
+                    "digit required after decimal point",
+                    self.pos,
+                ));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(JsonError::at("digit required in exponent", self.pos));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| JsonError::at("unrepresentable number", start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse(" -17 ").unwrap(), Json::Int(-17));
+        assert_eq!(Json::parse("2.5e3").unwrap(), Json::Float(2500.0));
+        assert_eq!(
+            Json::parse(&u64::MAX.to_string()).unwrap(),
+            Json::Int(u64::MAX as i128)
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = Json::parse(r#""a\"b\\c\n\t\u0041\uD83D\uDE00""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\n\tA\u{1F600}"));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{a:1}",
+            "01",
+            "1.",
+            "1e",
+            "\"\\x\"",
+            "nul",
+            "[1] trailing",
+            "\"unterminated",
+            "+1",
+            "--1",
+            "\"\\uD800\"", // lone surrogate
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn nested_structures() {
+        let v = Json::parse(r#"{"a":{"b":[{"c":1}, 2]},"d":[]}"#).unwrap();
+        assert_eq!(v["a"]["b"][0]["c"].as_i64(), Some(1));
+        assert_eq!(v["d"].as_array().map(Vec::len), Some(0));
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_kept_in_order() {
+        let v = Json::parse(r#"{"k":1,"k":2}"#).unwrap();
+        assert_eq!(v.as_object().unwrap().len(), 2);
+        assert_eq!(v["k"].as_i64(), Some(1));
+    }
+}

@@ -1,0 +1,157 @@
+//! The JSON value model and its accessors.
+
+use std::fmt;
+
+/// A parsed or constructed JSON document.
+///
+/// Integers and floats are separate variants so that 64-bit identifiers
+/// (request IDs are full-width `u64`s) round-trip exactly instead of being
+/// squeezed through an `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any integer literal (no fraction, no exponent). `i128` covers the
+    /// full `i64` and `u64` ranges.
+    Int(i128),
+    /// A fractional or exponent-form number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion-ordered, duplicate keys preserved as parsed.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Shared sentinel for out-of-range indexing, mirroring `serde_json`'s
+/// forgiving `value["missing"]` behavior.
+static NULL: Json = Json::Null;
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs in order.
+    pub fn obj<K: Into<String>, I: IntoIterator<Item = (K, Json)>>(pairs: I) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// `true` for the `Null` variant.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => i64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is an in-range non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`: floats directly, integers widened.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Float(f) => Some(*f),
+            Json::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an `Arr`.
+    pub fn as_array(&self) -> Option<&Vec<Json>> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is an `Obj`.
+    pub fn as_object(&self) -> Option<&Vec<(String, Json)>> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object (first match); `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_object()
+            .and_then(|pairs| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+impl std::ops::Index<&str> for Json {
+    type Output = Json;
+
+    /// `value["key"]` — yields `Null` rather than panicking when the key is
+    /// absent or the value is not an object.
+    fn index(&self, key: &str) -> &Json {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Json {
+    type Output = Json;
+
+    /// `value[i]` — yields `Null` out of bounds or on non-arrays.
+    fn index(&self, idx: usize) -> &Json {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl fmt::Display for Json {
+    /// Compact JSON text.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::write::write_compact(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let j = Json::parse(r#"{"n":3,"f":2.5,"s":"hi","a":[1],"b":true}"#).unwrap();
+        assert_eq!(j["n"].as_i64(), Some(3));
+        assert_eq!(j["n"].as_u64(), Some(3));
+        assert_eq!(j["n"].as_f64(), Some(3.0));
+        assert_eq!(j["f"].as_f64(), Some(2.5));
+        assert_eq!(j["s"].as_str(), Some("hi"));
+        assert_eq!(j["a"][0].as_i64(), Some(1));
+        assert_eq!(j["a"][7], Json::Null);
+        assert_eq!(j["b"].as_bool(), Some(true));
+        assert!(j["missing"].is_null());
+    }
+
+    #[test]
+    fn obj_builder_preserves_order() {
+        let j = Json::obj([("z", Json::Int(1)), ("a", Json::Int(2))]);
+        assert_eq!(j.to_string(), r#"{"z":1,"a":2}"#);
+    }
+}

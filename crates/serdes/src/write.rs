@@ -1,0 +1,141 @@
+//! Compact and pretty JSON writers.
+
+use crate::value::Json;
+
+/// Renders a value as compact JSON (no whitespace).
+pub fn write_compact(v: &Json) -> String {
+    let mut out = String::new();
+    write_value(v, None, 0, &mut out);
+    out
+}
+
+impl Json {
+    /// Renders the value with 2-space indentation, one key or element per
+    /// line — the shape `serde_json::to_string_pretty` produced, so bundle
+    /// and report files stay diffable.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(self, Some(2), 0, &mut out);
+        out
+    }
+}
+
+fn write_value(v: &Json, indent: Option<usize>, level: usize, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Int(i) => out.push_str(&i.to_string()),
+        Json::Float(f) => write_float(*f, out),
+        Json::Str(s) => write_string(s, out),
+        Json::Arr(items) => write_seq(b"[]", items.len(), indent, level, out, |i, out| {
+            write_value(&items[i], indent, level + 1, out);
+        }),
+        Json::Obj(pairs) => write_seq(b"{}", pairs.len(), indent, level, out, |i, out| {
+            let (k, val) = &pairs[i];
+            write_string(k, out);
+            out.push(':');
+            if indent.is_some() {
+                out.push(' ');
+            }
+            write_value(val, indent, level + 1, out);
+        }),
+    }
+}
+
+fn write_seq(
+    brackets: &[u8; 2],
+    len: usize,
+    indent: Option<usize>,
+    level: usize,
+    out: &mut String,
+    mut item: impl FnMut(usize, &mut String),
+) {
+    out.push(brackets[0] as char);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (level + 1)));
+        }
+        item(i, out);
+    }
+    if len > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * level));
+        }
+    }
+    out.push(brackets[1] as char);
+}
+
+/// Non-finite floats have no JSON representation; write `null` (the lossy
+/// but standard-compatible policy, pinned by the round-trip tests).
+fn write_float(f: f64, out: &mut String) {
+    if f.is_finite() {
+        // `{:?}` is Rust's shortest round-trip formatting and always keeps
+        // a `.0` on integral values, so floats re-parse as floats.
+        out.push_str(&format!("{f:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_shapes() {
+        let v = Json::parse(r#"{ "a" : [ 1 , 2.5 , "x" ] , "b" : null }"#).unwrap();
+        assert_eq!(v.to_string(), r#"{"a":[1,2.5,"x"],"b":null}"#);
+    }
+
+    #[test]
+    fn floats_keep_their_type() {
+        assert_eq!(Json::Float(5.0).to_string(), "5.0");
+        assert_eq!(Json::Float(0.1).to_string(), "0.1");
+        assert_eq!(Json::Int(5).to_string(), "5");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_string(), "null");
+        assert_eq!(Json::Float(f64::NEG_INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let v = Json::Str("a\u{0001}b\"c\\d\ne".into());
+        let text = v.to_string();
+        assert_eq!(text, "\"a\\u0001b\\\"c\\\\d\\ne\"");
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_layout() {
+        let v = Json::parse(r#"{"a":[1],"b":{}}"#).unwrap();
+        assert_eq!(v.pretty(), "{\n  \"a\": [\n    1\n  ],\n  \"b\": {}\n}");
+    }
+}

@@ -222,13 +222,15 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::prop::forall;
+    use crate::prop_ensure;
 
-    proptest! {
-        /// Popping always yields non-decreasing timestamps, FIFO within an
-        /// instant, and exactly the scheduled events — for any schedule.
-        #[test]
-        fn pops_sorted_and_complete(times in prop::collection::vec(0u64..10_000, 1..200)) {
+    /// Popping always yields non-decreasing timestamps, FIFO within an
+    /// instant, and exactly the scheduled events — for any schedule.
+    #[test]
+    fn pops_sorted_and_complete() {
+        forall("event queue pops sorted and complete", 256, |g| {
+            let times = g.vec(1..=199, |g| g.u64(0..=9_999));
             let mut q = EventQueue::new();
             for (i, &t) in times.iter().enumerate() {
                 q.schedule(SimTime::from_micros(t), i);
@@ -236,17 +238,18 @@ mod proptests {
             let mut popped = Vec::new();
             let mut last = SimTime::ZERO;
             while let Some((t, id)) = q.pop() {
-                prop_assert!(t >= last, "time went backwards");
+                prop_ensure!(t >= last, "time went backwards");
                 last = t;
                 popped.push((t, id));
             }
-            prop_assert_eq!(popped.len(), times.len());
+            prop_ensure!(popped.len() == times.len(), "lost events");
             // FIFO within equal timestamps: ids ascending.
             for w in popped.windows(2) {
                 if w[0].0 == w[1].0 {
-                    prop_assert!(w[0].1 < w[1].1, "FIFO violated at {:?}", w[0].0);
+                    prop_ensure!(w[0].1 < w[1].1, "FIFO violated at {:?}", w[0].0);
                 }
             }
-        }
+            Ok(())
+        });
     }
 }

@@ -17,6 +17,8 @@
 //! * [`TimeSeries`] / [`StepSeries`] — sampled and event-driven series.
 //! * [`Histogram`], [`Summary`], [`pearson`], [`percentile`], [`rmse`] —
 //!   statistics used by the analysis layer and the figure benches.
+//! * [`prop`] — the in-tree property-testing harness (seeded generation,
+//!   shrink-by-halving) the workspace's invariant tests run on.
 //!
 //! ## Example
 //!
@@ -45,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod prop;
 mod rng;
 mod series;
 mod stats;

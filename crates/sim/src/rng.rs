@@ -5,12 +5,15 @@
 //! essential both for the test suite and for regenerating the paper's
 //! figures reproducibly.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 /// A seeded random number generator with the samplers used across the
 /// simulator (exponential think times, log-normal service times, Zipf
 /// content popularity, …).
+///
+/// The generator is a self-contained xoshiro256++ (Blackman & Vigna),
+/// seeded through splitmix64 so that nearby seeds still produce unrelated
+/// streams. Nothing outside this file contributes to the stream, which is
+/// what makes the determinism contract auditable: the golden tests in
+/// `tests/rng_golden.rs` pin the exact output for fixed seeds.
 ///
 /// # Examples
 ///
@@ -23,14 +26,30 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// The splitmix64 step: a strong 64-bit mixer used to expand one seed word
+/// into the xoshiro state.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
@@ -40,18 +59,29 @@ impl SimRng {
     pub fn fork(&mut self, label: u64) -> SimRng {
         // Mix the label in so forks with different labels diverge even when
         // taken at the same point of the parent stream.
-        let s = self.inner.gen::<u64>() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::seed_from(s)
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
     }
 
-    /// Uniform float in `[0, 1)`.
+    /// Uniform float in `[0, 1)`: the top 53 bits of one draw.
     pub fn uniform01(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform float in `[lo, hi)`.
@@ -71,7 +101,19 @@ impl SimRng {
     /// Panics if `lo > hi`.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "uniform bounds inverted: {lo} > {hi}");
-        self.inner.gen_range(lo..=hi)
+        let Some(range) = hi.checked_sub(lo).and_then(|r| r.checked_add(1)) else {
+            // Full 64-bit range: every draw is already uniform.
+            return self.next_u64();
+        };
+        // Debiased multiply-shift (Lemire): reject the draws that would
+        // make some residues over-represented.
+        let threshold = range.wrapping_neg() % range;
+        loop {
+            let wide = u128::from(self.next_u64()) * u128::from(range);
+            if (wide as u64) >= threshold {
+                return lo + (wide >> 64) as u64;
+            }
+        }
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0,1]`).

@@ -7,7 +7,6 @@
 //!   length, built from +1/−1 deltas at request arrival/departure instants.
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A sampled time series: strictly non-decreasing timestamps with `f64`
 /// values.
@@ -23,11 +22,12 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.len(), 2);
 /// assert_eq!(s.mean(), Some(2.0));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TimeSeries {
     times: Vec<SimTime>,
     values: Vec<f64>,
 }
+mscope_serdes::json_struct!(TimeSeries { times, values });
 
 impl TimeSeries {
     /// Creates an empty series.
@@ -169,7 +169,7 @@ impl Extend<(SimTime, f64)> for TimeSeries {
 }
 
 /// Aggregation function used by [`TimeSeries::resample`] and window folds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Agg {
     /// Arithmetic mean of samples in the window.
     Mean,
@@ -184,6 +184,14 @@ pub enum Agg {
     /// Last sample in the window.
     Last,
 }
+mscope_serdes::json_enum!(Agg {
+    Mean,
+    Max,
+    Min,
+    Sum,
+    Count,
+    Last
+});
 
 #[derive(Debug)]
 struct AggAcc {
@@ -250,12 +258,13 @@ impl AggAcc {
 /// assert_eq!(q.value_at(SimTime::from_millis(40)), 0);
 /// assert_eq!(q.peak(), 1);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StepSeries {
     /// (time, delta) pairs; kept sorted lazily.
     deltas: Vec<(SimTime, i64)>,
     sorted: bool,
 }
+mscope_serdes::json_struct!(StepSeries { deltas, sorted });
 
 impl StepSeries {
     /// Creates an empty step series.
@@ -448,7 +457,10 @@ mod tests {
         assert_eq!(s.resample(ms(0), ms(10), w, Agg::Max, 0.0).values(), &[5.0]);
         assert_eq!(s.resample(ms(0), ms(10), w, Agg::Min, 0.0).values(), &[1.0]);
         assert_eq!(s.resample(ms(0), ms(10), w, Agg::Sum, 0.0).values(), &[9.0]);
-        assert_eq!(s.resample(ms(0), ms(10), w, Agg::Last, 0.0).values(), &[3.0]);
+        assert_eq!(
+            s.resample(ms(0), ms(10), w, Agg::Last, 0.0).values(),
+            &[3.0]
+        );
     }
 
     #[test]

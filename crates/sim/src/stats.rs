@@ -5,8 +5,6 @@
 //! analysis layer's correctness — e.g. the correlation behind the paper's
 //! Figure 7 — is part of what this reproduction must demonstrate.
 
-use serde::{Deserialize, Serialize};
-
 /// Descriptive statistics over a slice of `f64`.
 ///
 /// # Examples
@@ -18,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.min, 1.0);
 /// assert_eq!(s.max, 4.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of observations.
     pub count: usize,
@@ -31,6 +29,13 @@ pub struct Summary {
     /// Maximum.
     pub max: f64,
 }
+mscope_serdes::json_struct!(Summary {
+    count,
+    mean,
+    std_dev,
+    min,
+    max
+});
 
 impl Summary {
     /// Computes a summary, or `None` for an empty slice.
@@ -144,7 +149,7 @@ pub fn rmse(x: &[f64], y: &[f64]) -> Option<f64> {
 /// assert_eq!(h.count(), 2);
 /// assert!(h.mean() > 100.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     /// Upper bounds of each bucket (last bucket is unbounded).
     bounds: Vec<f64>,
@@ -154,6 +159,14 @@ pub struct Histogram {
     max: f64,
     count: u64,
 }
+mscope_serdes::json_struct!(Histogram {
+    bounds,
+    counts,
+    sum,
+    min,
+    max,
+    count
+});
 
 impl Histogram {
     /// Creates a histogram with the given ascending bucket upper bounds; an
@@ -193,11 +206,7 @@ impl Histogram {
 
     /// Records one observation.
     pub fn record(&mut self, v: f64) {
-        let idx = match self
-            .bounds
-            .iter()
-            .position(|&b| v <= b)
-        {
+        let idx = match self.bounds.iter().position(|&b| v <= b) {
             Some(i) => i,
             None => self.bounds.len(),
         };

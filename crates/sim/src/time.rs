@@ -5,7 +5,6 @@
 //! rounding to milliseconds for reporting loses nothing causally, coarse
 //! enough that a `u64` lasts ~584,000 years of simulated time.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
@@ -26,8 +25,9 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// assert_eq!(t.as_micros(), 5_000);
 /// assert_eq!(t.as_millis(), 5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
+mscope_serdes::json_newtype!(SimTime);
 
 /// A span of simulated time, measured in microseconds.
 ///
@@ -40,8 +40,9 @@ pub struct SimTime(u64);
 /// assert_eq!(d.as_micros(), 2_500);
 /// assert_eq!(d.as_millis_f64(), 2.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
+mscope_serdes::json_newtype!(SimDuration);
 
 impl SimTime {
     /// The start of simulated time.
@@ -399,10 +400,22 @@ mod tests {
     #[test]
     fn align_down_buckets() {
         let w = SimDuration::from_millis(50);
-        assert_eq!(SimTime::from_millis(0).align_down(w), SimTime::from_millis(0));
-        assert_eq!(SimTime::from_millis(49).align_down(w), SimTime::from_millis(0));
-        assert_eq!(SimTime::from_millis(50).align_down(w), SimTime::from_millis(50));
-        assert_eq!(SimTime::from_millis(149).align_down(w), SimTime::from_millis(100));
+        assert_eq!(
+            SimTime::from_millis(0).align_down(w),
+            SimTime::from_millis(0)
+        );
+        assert_eq!(
+            SimTime::from_millis(49).align_down(w),
+            SimTime::from_millis(0)
+        );
+        assert_eq!(
+            SimTime::from_millis(50).align_down(w),
+            SimTime::from_millis(50)
+        );
+        assert_eq!(
+            SimTime::from_millis(149).align_down(w),
+            SimTime::from_millis(100)
+        );
     }
 
     #[test]

@@ -65,7 +65,11 @@ pub fn xml_to_csv(docs: &[XmlNode]) -> Result<ConvertedTable, TransformError> {
         columns
             .iter()
             .map(|(n, t)| {
-                let t = if *t == ColumnType::Null { ColumnType::Text } else { *t };
+                let t = if *t == ColumnType::Null {
+                    ColumnType::Text
+                } else {
+                    *t
+                };
                 Column::new(n.clone(), t)
             })
             .collect(),
@@ -122,7 +126,12 @@ mod tests {
             entry(&[("a", "2"), ("c", "3.5")]),
         ]);
         let out = xml_to_csv(&[d]).unwrap();
-        let names: Vec<&str> = out.schema.columns().iter().map(|c| c.name.as_str()).collect();
+        let names: Vec<&str> = out
+            .schema
+            .columns()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
         assert_eq!(names, vec!["a", "b", "c"]);
         assert_eq!(out.rows, 2);
         // Missing cells render empty.
@@ -136,9 +145,7 @@ mod tests {
             entry(&[("n", "2.5"), ("t", "00:00:02.000000"), ("s", "five")]),
         ]);
         let out = xml_to_csv(&[d]).unwrap();
-        let ty = |name: &str| {
-            out.schema.columns()[out.schema.index_of(name).unwrap()].ty
-        };
+        let ty = |name: &str| out.schema.columns()[out.schema.index_of(name).unwrap()].ty;
         assert_eq!(ty("n"), ColumnType::Float, "int ∪ float = float");
         assert_eq!(ty("t"), ColumnType::Timestamp);
         assert_eq!(ty("s"), ColumnType::Text, "int ∪ text = text");

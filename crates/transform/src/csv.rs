@@ -101,7 +101,10 @@ pub fn parse_csv(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
         }
     }
     if in_quotes {
-        return Err(CsvError { line, msg: "unterminated quoted field".into() });
+        return Err(CsvError {
+            line,
+            msg: "unterminated quoted field".into(),
+        });
     }
     if any && (!field.is_empty() || !row.is_empty()) {
         row.push(field);
@@ -116,10 +119,7 @@ mod tests {
 
     #[test]
     fn plain_roundtrip() {
-        let rows = vec![
-            vec!["a", "b", "c"],
-            vec!["1", "2", "3"],
-        ];
+        let rows = vec![vec!["a", "b", "c"], vec!["1", "2", "3"]];
         let text = write_csv(&rows);
         assert_eq!(text, "a,b,c\n1,2,3\n");
         let back = parse_csv(&text).unwrap();

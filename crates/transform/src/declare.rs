@@ -15,10 +15,9 @@
 use crate::error::TransformError;
 use crate::pattern::Pattern;
 use crate::xml::{self, XmlNode};
-use serde::{Deserialize, Serialize};
 
 /// Cheap line classifiers used by filter stages.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LineMatcher {
     /// Matches empty / whitespace-only lines.
     Blank,
@@ -27,6 +26,7 @@ pub enum LineMatcher {
     /// Matches lines containing the substring.
     Contains(String),
 }
+mscope_serdes::json_enum!(LineMatcher { Blank, Prefix(a), Contains(a) });
 
 impl LineMatcher {
     /// Tests a line.
@@ -40,7 +40,7 @@ impl LineMatcher {
 }
 
 /// A staged, instruction-driven text parser.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParserSpec {
     /// Human-readable parser name (e.g. `"SAR mScopeParser"`).
     pub name: String,
@@ -56,20 +56,28 @@ pub struct ParserSpec {
     /// positional per-line patterns (`None` = skip that line).
     pub blocks: Option<BlockSpec>,
 }
+mscope_serdes::json_struct!(ParserSpec {
+    name,
+    filters,
+    context,
+    records,
+    blocks
+});
 
 /// Line-sequence instructions: a marker pattern starts a block; the next
 /// `lines.len()` lines are interpreted positionally.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockSpec {
     /// Pattern recognizing (and capturing from) the block-start line.
     pub marker: Pattern,
     /// Positional patterns for the lines following the marker.
     pub lines: Vec<Option<Pattern>>,
 }
+mscope_serdes::json_struct!(BlockSpec { marker, lines });
 
 /// Declarative mapping of an XML input to entries (the "direct XML" path a
 /// modern SAR enables — paper §III-B2).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct XmlMapping {
     /// Element name that delimits one entry (e.g. `"timestamp"`).
     pub entry_element: String,
@@ -79,18 +87,24 @@ pub struct XmlMapping {
     /// entry.
     pub leaf_attrs: Vec<(String, String, String)>,
 }
+mscope_serdes::json_struct!(XmlMapping {
+    entry_element,
+    entry_attrs,
+    leaf_attrs
+});
 
 /// How a file is parsed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ParserKind {
     /// Multi-stage text parsing.
     Staged(ParserSpec),
     /// Direct XML mapping.
     XmlDirect(XmlMapping),
 }
+mscope_serdes::json_enum!(ParserKind { Staged(a), XmlDirect(a) });
 
 /// One entry of the file → parser mapping.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParsingDeclaration {
     /// Path of the log file in the [`LogStore`](mscope_monitors::LogStore).
     pub path: String,
@@ -104,6 +118,13 @@ pub struct ParsingDeclaration {
     /// name, tier index, …) — semantics the log itself does not carry.
     pub constants: Vec<(String, String)>,
 }
+mscope_serdes::json_struct!(ParsingDeclaration {
+    path,
+    monitor_id,
+    parser,
+    table,
+    constants
+});
 
 impl ParsingDeclaration {
     /// Executes the declaration over file contents, producing the annotated
@@ -130,19 +151,19 @@ impl ParsingDeclaration {
     fn make_entry(&self, fields: &[(String, String)]) -> XmlNode {
         let mut entry = XmlNode::new("entry");
         for (k, v) in &self.constants {
-            entry.children.push(XmlNode::new(k.clone()).with_text(v.clone()));
+            entry
+                .children
+                .push(XmlNode::new(k.clone()).with_text(v.clone()));
         }
         for (k, v) in fields {
-            entry.children.push(XmlNode::new(k.clone()).with_text(v.clone()));
+            entry
+                .children
+                .push(XmlNode::new(k.clone()).with_text(v.clone()));
         }
         entry
     }
 
-    fn run_staged(
-        &self,
-        spec: &ParserSpec,
-        content: &str,
-    ) -> Result<Vec<XmlNode>, TransformError> {
+    fn run_staged(&self, spec: &ParserSpec, content: &str) -> Result<Vec<XmlNode>, TransformError> {
         let mut entries = Vec::new();
         let mut ctx: Vec<(String, String)> = Vec::new();
         // Block mode state: Some((captures, next line index)) while inside.
@@ -169,13 +190,13 @@ impl ParsingDeclaration {
                         });
                     };
                     if let Some(pat) = slot {
-                        let caps = pat.match_line(line).ok_or_else(|| {
-                            TransformError::UnparsedLine {
-                                file: self.path.clone(),
-                                line_no: ln + 1,
-                                line: line.to_string(),
-                            }
-                        })?;
+                        let caps =
+                            pat.match_line(line)
+                                .ok_or_else(|| TransformError::UnparsedLine {
+                                    file: self.path.clone(),
+                                    line_no: ln + 1,
+                                    line: line.to_string(),
+                                })?;
                         fields.extend(caps);
                     }
                     *idx += 1;
@@ -283,7 +304,9 @@ mod tests {
             records: vec![Pattern::new(vec![Tok::lit("ok")])],
             blocks: None,
         };
-        let err = decl(ParserKind::Staged(spec)).execute("ok\nBAD LINE\n").unwrap_err();
+        let err = decl(ParserKind::Staged(spec))
+            .execute("ok\nBAD LINE\n")
+            .unwrap_err();
         match err {
             TransformError::UnparsedLine { line_no, line, .. } => {
                 assert_eq!(line_no, 2);
@@ -306,8 +329,14 @@ mod tests {
             .execute("00:00:01.000000\nv=1\nv=2\n00:00:02.000000\nv=3\n")
             .unwrap();
         assert_eq!(doc.children.len(), 3);
-        assert_eq!(doc.children[1].find("time").unwrap().text, "00:00:01.000000");
-        assert_eq!(doc.children[2].find("time").unwrap().text, "00:00:02.000000");
+        assert_eq!(
+            doc.children[1].find("time").unwrap().text,
+            "00:00:01.000000"
+        );
+        assert_eq!(
+            doc.children[2].find("time").unwrap().text,
+            "00:00:02.000000"
+        );
     }
 
     #[test]
@@ -363,7 +392,10 @@ mod tests {
             </statistics></host></sysstat>";
         let doc = decl(ParserKind::XmlDirect(map)).execute(xml_in).unwrap();
         assert_eq!(doc.children.len(), 2);
-        assert_eq!(doc.children[0].find("time").unwrap().text, "00:00:01.000000");
+        assert_eq!(
+            doc.children[0].find("time").unwrap().text,
+            "00:00:01.000000"
+        );
         assert_eq!(doc.children[1].find("cpu_user").unwrap().text, "14.0");
     }
 

@@ -53,17 +53,33 @@ pub enum TransformError {
 impl fmt::Display for TransformError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TransformError::UnparsedLine { file, line_no, line } => {
+            TransformError::UnparsedLine {
+                file,
+                line_no,
+                line,
+            } => {
                 write!(f, "unparsed line {line_no} of `{file}`: {line:?}")
             }
             TransformError::MissingFile(p) => write!(f, "declared log file `{p}` not found"),
             TransformError::Xml(e) => write!(f, "{e}"),
             TransformError::Csv(e) => write!(f, "{e}"),
             TransformError::SchemaInference(m) => write!(f, "schema inference failed: {m}"),
-            TransformError::HeaderMismatch { table, expected, got } => {
-                write!(f, "csv header mismatch loading `{table}`: expected [{expected}], got [{got}]")
+            TransformError::HeaderMismatch {
+                table,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "csv header mismatch loading `{table}`: expected [{expected}], got [{got}]"
+                )
             }
-            TransformError::BadCell { table, column, value, expected } => write!(
+            TransformError::BadCell {
+                table,
+                column,
+                value,
+                expected,
+            } => write!(
                 f,
                 "cell {value:?} of `{table}`.`{column}` is not a valid {expected}"
             ),
@@ -113,7 +129,9 @@ mod tests {
             line: "junk".into(),
         };
         assert!(e.to_string().contains("line 7"));
-        assert!(TransformError::MissingFile("x".into()).to_string().contains("x"));
+        assert!(TransformError::MissingFile("x".into())
+            .to_string()
+            .contains("x"));
         let e = TransformError::BadCell {
             table: "t".into(),
             column: "c".into(),

@@ -15,7 +15,12 @@ use mscope_db::{ColumnType, Database, Schema, Value};
 /// the schema was inferred from this very data, so a failure here means the
 /// pipeline is internally inconsistent and must not load silently-wrong
 /// numbers.
-pub fn parse_cell(table: &str, column: &str, ty: ColumnType, raw: &str) -> Result<Value, TransformError> {
+pub fn parse_cell(
+    table: &str,
+    column: &str,
+    ty: ColumnType,
+    raw: &str,
+) -> Result<Value, TransformError> {
     let t = raw.trim();
     if t.is_empty() || t == "-" {
         return Ok(Value::Null);
@@ -57,7 +62,8 @@ pub fn import_csv(
     let rows = parse_csv(csv).map_err(TransformError::Csv)?;
     let Some((header, data)) = rows.split_first() else {
         // Nothing to load; still materialize the (possibly empty) table.
-        db.ensure_table(table, schema.clone()).map_err(TransformError::Db)?;
+        db.ensure_table(table, schema.clone())
+            .map_err(TransformError::Db)?;
         return Ok(0);
     };
     let expected: Vec<&str> = schema.columns().iter().map(|c| c.name.as_str()).collect();
@@ -69,7 +75,8 @@ pub fn import_csv(
             got: got.join(","),
         });
     }
-    db.ensure_table(table, schema.clone()).map_err(TransformError::Db)?;
+    db.ensure_table(table, schema.clone())
+        .map_err(TransformError::Db)?;
     let mut loaded = 0usize;
     for row in data {
         if row.len() != schema.len() {
@@ -164,8 +171,14 @@ mod tests {
 
     #[test]
     fn parse_cell_all_types() {
-        assert_eq!(parse_cell("t", "c", ColumnType::Int, "42").unwrap(), Value::Int(42));
-        assert_eq!(parse_cell("t", "c", ColumnType::Bool, "true").unwrap(), Value::Bool(true));
+        assert_eq!(
+            parse_cell("t", "c", ColumnType::Int, "42").unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            parse_cell("t", "c", ColumnType::Bool, "true").unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(
             parse_cell("t", "c", ColumnType::Float, "1e2").unwrap(),
             Value::Float(100.0)

@@ -58,15 +58,13 @@ mod xml;
 
 pub use convert::{xml_to_csv, ConvertedTable};
 pub use csv::{parse_csv, quote_field, write_csv, CsvError};
-pub use declare::{
-    BlockSpec, LineMatcher, ParserKind, ParserSpec, ParsingDeclaration, XmlMapping,
-};
+pub use declare::{BlockSpec, LineMatcher, ParserKind, ParserSpec, ParsingDeclaration, XmlMapping};
 pub use error::TransformError;
 pub use import::{import_csv, parse_cell};
 pub use parsers::{
-    apache_event_spec, cjdbc_event_spec, collectl_brief_spec, collectl_csv_spec,
-    declaration_for, generic_kv_spec, iostat_spec, mysql_event_spec, sar_mem_spec,
-    sar_net_spec, sar_text_spec, sar_xml_mapping, table_name, tomcat_event_spec,
+    apache_event_spec, cjdbc_event_spec, collectl_brief_spec, collectl_csv_spec, declaration_for,
+    generic_kv_spec, iostat_spec, mysql_event_spec, sar_mem_spec, sar_net_spec, sar_text_spec,
+    sar_xml_mapping, table_name, tomcat_event_spec,
 };
 pub use pattern::{looks_like_wallclock, timestamp_suffix_tokens, Pattern, Tok};
 pub use pipeline::{DataTransformer, TransformReport};

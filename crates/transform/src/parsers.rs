@@ -102,7 +102,11 @@ pub fn collectl_brief_spec() -> ParserSpec {
                 ])),
                 None, // "# MEMORY"
                 None, // column header
-                Some(pat(vec![Tok::cap("mem_dirty"), Tok::Ws, Tok::cap("mem_used_kb")])),
+                Some(pat(vec![
+                    Tok::cap("mem_dirty"),
+                    Tok::Ws,
+                    Tok::cap("mem_used_kb"),
+                ])),
             ],
         }),
     }
@@ -309,7 +313,13 @@ pub fn mysql_event_spec() -> ParserSpec {
 /// Sanitizes a name for use as an mScopeDB table name.
 pub fn table_name(raw: &str) -> String {
     raw.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -330,7 +340,10 @@ pub fn declaration_for(meta: &LogFileMeta) -> ParsingDeclaration {
             )
         }
         MonitorKind::Resource => match meta.tool.as_str() {
-            "collectl" => (ParserKind::Staged(collectl_csv_spec()), "collectl".to_string()),
+            "collectl" => (
+                ParserKind::Staged(collectl_csv_spec()),
+                "collectl".to_string(),
+            ),
             "collectl-brief" => (
                 ParserKind::Staged(collectl_brief_spec()),
                 "collectl_brief".to_string(),
@@ -338,7 +351,10 @@ pub fn declaration_for(meta: &LogFileMeta) -> ParsingDeclaration {
             "sar" => (ParserKind::Staged(sar_text_spec()), "sar".to_string()),
             "sar-mem" => (ParserKind::Staged(sar_mem_spec()), "sar_mem".to_string()),
             "sar-net" => (ParserKind::Staged(sar_net_spec()), "sar_net".to_string()),
-            "sar-xml" => (ParserKind::XmlDirect(sar_xml_mapping()), "sar_xml".to_string()),
+            "sar-xml" => (
+                ParserKind::XmlDirect(sar_xml_mapping()),
+                "sar_xml".to_string(),
+            ),
             "iostat" => (ParserKind::Staged(iostat_spec()), "iostat".to_string()),
             other => (
                 // Unknown tools fall back to a permissive key=value parser so
@@ -366,15 +382,13 @@ pub fn generic_kv_spec() -> ParserSpec {
         name: "generic mScopeParser".into(),
         filters: vec![LineMatcher::Blank, LineMatcher::Prefix("#".into())],
         context: vec![],
-        records: vec![
-            pat(vec![
-                Tok::wall("time"),
-                Tok::Ws,
-                Tok::cap("key"),
-                Tok::lit("="),
-                Tok::cap("value"),
-            ]),
-        ],
+        records: vec![pat(vec![
+            Tok::wall("time"),
+            Tok::Ws,
+            Tok::cap("key"),
+            Tok::lit("="),
+            Tok::cap("value"),
+        ])],
         blocks: None,
     }
 }
@@ -387,7 +401,10 @@ mod tests {
     fn meta(kind: MonitorKind, tool: &str, tier_kind: TierKind) -> LogFileMeta {
         LogFileMeta {
             path: "logs/x".into(),
-            node: NodeId { tier: TierId(0), replica: 0 },
+            node: NodeId {
+                tier: TierId(0),
+                replica: 0,
+            },
             tier_kind,
             monitor_id: format!("{tool}-x"),
             tool: tool.into(),
@@ -418,8 +435,15 @@ mod tests {
     #[test]
     fn mysql_pattern_extracts_id_from_sql_comment() {
         let line = "00:00:00.030000\t   42 Query\tSELECT * FROM stories /*ID=00000000000A*/ /*op=StoreComment*/ ua=00:00:00.025000 ud=00:00:00.030000 ds=- dr=-";
-        let caps = mysql_event_spec().records[0].match_line(line).expect("matches");
-        let get = |k: &str| caps.iter().find(|(n, _)| n == k).map(|(_, v)| v.as_str()).unwrap();
+        let caps = mysql_event_spec().records[0]
+            .match_line(line)
+            .expect("matches");
+        let get = |k: &str| {
+            caps.iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| v.as_str())
+                .unwrap()
+        };
         assert_eq!(get("request_id"), "00000000000A");
         assert_eq!(get("interaction"), "StoreComment");
         assert_eq!(get("ds"), "-");

@@ -8,11 +8,10 @@
 //! is expressive enough for every monitor format in the suite while staying
 //! fully inspectable (a pattern *is* the instruction, data not code).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One token of a line pattern.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Tok {
     /// Exact literal text.
     Lit(String),
@@ -25,6 +24,7 @@ pub enum Tok {
     /// (`HH:MM:SS[.ffffff]`).
     Wall(String),
 }
+mscope_serdes::json_enum!(Tok { Lit(a), Ws, Cap(a), Wall(a) });
 
 /// Convenience constructors.
 impl Tok {
@@ -57,10 +57,11 @@ impl Tok {
 /// assert_eq!(caps[1].1, "12.34");
 /// assert!(p.match_line("garbage").is_none());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pattern {
     toks: Vec<Tok>,
 }
+mscope_serdes::json_struct!(Pattern { toks });
 
 impl Pattern {
     /// Builds a pattern from tokens.
@@ -117,8 +118,8 @@ impl Pattern {
                 let mut end = 0usize;
                 loop {
                     let candidate = &rest[..end];
-                    let viable = !candidate.is_empty()
-                        && (!is_wall || looks_like_wallclock(candidate));
+                    let viable =
+                        !candidate.is_empty() && (!is_wall || looks_like_wallclock(candidate));
                     if viable {
                         caps.push((name.clone(), candidate.to_string()));
                         if Self::match_from(tail_toks, &rest[end..], caps) {
@@ -235,7 +236,13 @@ mod tests {
 
     #[test]
     fn capture_names_listed() {
-        let p = Pattern::new(vec![Tok::wall("t"), Tok::Ws, Tok::cap("a"), Tok::Ws, Tok::cap("b")]);
+        let p = Pattern::new(vec![
+            Tok::wall("t"),
+            Tok::Ws,
+            Tok::cap("a"),
+            Tok::Ws,
+            Tok::cap("b"),
+        ]);
         assert_eq!(p.capture_names(), vec!["t", "a", "b"]);
     }
 
@@ -254,7 +261,12 @@ mod tests {
 
     #[test]
     fn display_renders_template() {
-        let p = Pattern::new(vec![Tok::lit("ID="), Tok::cap("id"), Tok::Ws, Tok::wall("t")]);
+        let p = Pattern::new(vec![
+            Tok::lit("ID="),
+            Tok::cap("id"),
+            Tok::Ws,
+            Tok::wall("t"),
+        ]);
         assert_eq!(p.to_string(), "ID=<id> <t:wall>");
     }
 }

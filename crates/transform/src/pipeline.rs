@@ -3,17 +3,16 @@
 //! converter (schema inference) → Data Importer → mScopeDB.
 
 use crate::convert::xml_to_csv;
+use crate::declare::ParsingDeclaration;
 use crate::error::TransformError;
 use crate::import::import_csv;
 use crate::parsers::declaration_for;
-use crate::declare::ParsingDeclaration;
 use mscope_db::Database;
 use mscope_monitors::{LogFileMeta, LogStore, MonitorKind};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// What one pipeline run produced.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TransformReport {
     /// Files parsed.
     pub files: usize,
@@ -22,6 +21,11 @@ pub struct TransformReport {
     /// `(table, rows-loaded)` per destination table.
     pub tables: Vec<(String, usize)>,
 }
+mscope_serdes::json_struct!(TransformReport {
+    files,
+    entries,
+    tables
+});
 
 /// The transformer: a set of parsing declarations derived from the monitor
 /// manifest.
@@ -56,7 +60,11 @@ impl DataTransformer {
     ///
     /// The first error from any stage; nothing is half-loaded on error for
     /// the failing table, but previously completed tables remain.
-    pub fn run(&self, store: &LogStore, db: &mut Database) -> Result<TransformReport, TransformError> {
+    pub fn run(
+        &self,
+        store: &LogStore,
+        db: &mut Database,
+    ) -> Result<TransformReport, TransformError> {
         // Group declarations by destination table, preserving order.
         let mut groups: BTreeMap<&str, Vec<&ParsingDeclaration>> = BTreeMap::new();
         for d in &self.declarations {
@@ -83,11 +91,23 @@ impl DataTransformer {
                 MonitorKind::Event => "event",
                 MonitorKind::Resource => "resource",
             };
-            db.register_monitor(&m.monitor_id, &m.node.to_string(), &m.tool, kind, m.period_ms as i64)
-                .map_err(TransformError::Db)?;
+            db.register_monitor(
+                &m.monitor_id,
+                &m.node.to_string(),
+                &m.tool,
+                kind,
+                m.period_ms as i64,
+            )
+            .map_err(TransformError::Db)?;
             let bytes = store.size(&m.path).unwrap_or(0) as i64;
-            db.register_log_file(&m.path, &m.node.to_string(), &m.monitor_id, &m.format, bytes)
-                .map_err(TransformError::Db)?;
+            db.register_log_file(
+                &m.path,
+                &m.node.to_string(),
+                &m.monitor_id,
+                &m.format,
+                bytes,
+            )
+            .map_err(TransformError::Db)?;
         }
         Ok(report)
     }
@@ -100,7 +120,10 @@ mod tests {
     use mscope_ntier::{Simulator, SystemConfig};
     use mscope_sim::SimDuration;
 
-    fn artifacts() -> (mscope_ntier::RunOutput, mscope_monitors::MonitoringArtifacts) {
+    fn artifacts() -> (
+        mscope_ntier::RunOutput,
+        mscope_monitors::MonitoringArtifacts,
+    ) {
         let mut cfg = SystemConfig::rubbos_baseline(60);
         cfg.duration = SimDuration::from_secs(6);
         cfg.warmup = SimDuration::from_secs(2);
@@ -133,8 +156,14 @@ mod tests {
             assert!(names.contains(&expect), "missing table {expect}: {names:?}");
         }
         // Metadata registered.
-        assert_eq!(db.table("monitors").unwrap().row_count(), art.manifest.len());
-        assert_eq!(db.table("log_files").unwrap().row_count(), art.manifest.len());
+        assert_eq!(
+            db.table("monitors").unwrap().row_count(),
+            art.manifest.len()
+        );
+        assert_eq!(
+            db.table("log_files").unwrap().row_count(),
+            art.manifest.len()
+        );
     }
 
     #[test]
@@ -154,11 +183,15 @@ mod tests {
         assert_eq!(apache.row_count(), lines);
         // Request IDs are 12-hex fixed width text.
         let ids = apache.column("request_id").unwrap();
-        assert!(ids.iter().all(|v| v.as_str().is_some_and(|s| s.len() == 12)));
+        assert!(ids
+            .iter()
+            .all(|v| v.as_str().is_some_and(|s| s.len() == 12)));
         // ua column is timestamps (µs) and all within the run.
         let ua = apache.numeric_column("ua");
         assert_eq!(ua.len(), lines);
-        assert!(ua.iter().all(|&t| t >= 0.0 && t <= out.end_time.as_micros() as f64));
+        assert!(ua
+            .iter()
+            .all(|&t| t >= 0.0 && t <= out.end_time.as_micros() as f64));
     }
 
     #[test]
@@ -213,7 +246,8 @@ mod tests {
     #[test]
     fn corrupted_log_line_is_an_error() {
         let (_out, mut art) = artifacts();
-        art.store.append_line("logs/tier0-0/access_log", "THIS IS NOT AN ACCESS LOG LINE");
+        art.store
+            .append_line("logs/tier0-0/access_log", "THIS IS NOT AN ACCESS LOG LINE");
         let tr = DataTransformer::from_manifest(&art.manifest);
         let mut db = Database::new();
         assert!(matches!(
@@ -247,7 +281,9 @@ mod tests {
         tr.run(&art.store, &mut db).unwrap();
         let apache = db.require("event_apache").unwrap();
         let mysql = db.require("event_mysql").unwrap();
-        let joined = apache.inner_join(mysql, "request_id", "request_id").unwrap();
+        let joined = apache
+            .inner_join(mysql, "request_id", "request_id")
+            .unwrap();
         // Every MySQL-visiting request also went through Apache.
         assert_eq!(joined.row_count(), mysql.row_count());
         assert!(joined.row_count() > 10);

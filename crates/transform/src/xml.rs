@@ -191,7 +191,10 @@ impl std::error::Error for XmlError {}
 /// [`XmlError`] on malformed input (unclosed tags, bad entities, trailing
 /// content, mismatched close tags).
 pub fn parse(input: &str) -> Result<XmlNode, XmlError> {
-    let mut p = Parser { s: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        s: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws_and_prolog()?;
     let node = p.element()?;
     p.skip_ws();

@@ -8,7 +8,6 @@
 use crate::table::{Column, Schema, Table};
 use crate::value::{ColumnType, Value};
 use crate::DbError;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Names of the four static metadata tables.
@@ -31,10 +30,11 @@ pub const STATIC_TABLES: [&str; 4] = ["experiments", "nodes", "monitors", "log_f
 /// assert_eq!(db.table("collectl_disk_mysql0").unwrap().row_count(), 1);
 /// # Ok::<(), mscope_db::DbError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
 }
+mscope_serdes::json_struct!(Database { tables });
 
 impl Default for Database {
     fn default() -> Self {
@@ -79,7 +79,10 @@ impl Database {
             Column::new("bytes", ColumnType::Int),
         ])
         .expect("static schema is valid");
-        tables.insert("experiments".to_string(), Table::new("experiments", experiments));
+        tables.insert(
+            "experiments".to_string(),
+            Table::new("experiments", experiments),
+        );
         tables.insert("nodes".to_string(), Table::new("nodes", nodes));
         tables.insert("monitors".to_string(), Table::new("monitors", monitors));
         tables.insert("log_files".to_string(), Table::new("log_files", log_files));
@@ -96,7 +99,8 @@ impl Database {
         if self.tables.contains_key(name) {
             return Err(DbError::TableExists(name.to_string()));
         }
-        self.tables.insert(name.to_string(), Table::new(name, schema));
+        self.tables
+            .insert(name.to_string(), Table::new(name, schema));
         Ok(())
     }
 
@@ -110,7 +114,8 @@ impl Database {
     pub fn ensure_table(&mut self, name: &str, schema: Schema) -> Result<bool, DbError> {
         match self.tables.get(name) {
             None => {
-                self.tables.insert(name.to_string(), Table::new(name, schema));
+                self.tables
+                    .insert(name.to_string(), Table::new(name, schema));
                 Ok(true)
             }
             Some(t) if *t.schema() == schema => Ok(false),
@@ -166,7 +171,8 @@ impl Database {
     ///
     /// [`DbError::NoSuchTable`].
     pub fn require(&self, name: &str) -> Result<&Table, DbError> {
-        self.table(name).ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+        self.table(name)
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
     }
 
     /// All table names in sorted order.
@@ -203,7 +209,13 @@ impl Database {
     ) -> Result<(), DbError> {
         self.insert(
             "experiments",
-            vec![id.into(), name.into(), users.into(), duration_ms.into(), seed.into()],
+            vec![
+                id.into(),
+                name.into(),
+                users.into(),
+                duration_ms.into(),
+                seed.into(),
+            ],
         )
     }
 
@@ -222,7 +234,13 @@ impl Database {
     ) -> Result<(), DbError> {
         self.insert(
             "nodes",
-            vec![node.into(), tier.into(), kind.into(), cores.into(), workers.into()],
+            vec![
+                node.into(),
+                tier.into(),
+                kind.into(),
+                cores.into(),
+                workers.into(),
+            ],
         )
     }
 
@@ -241,7 +259,13 @@ impl Database {
     ) -> Result<(), DbError> {
         self.insert(
             "monitors",
-            vec![monitor_id.into(), node.into(), tool.into(), kind.into(), period_ms.into()],
+            vec![
+                monitor_id.into(),
+                node.into(),
+                tool.into(),
+                kind.into(),
+                period_ms.into(),
+            ],
         )
     }
 
@@ -260,7 +284,13 @@ impl Database {
     ) -> Result<(), DbError> {
         self.insert(
             "log_files",
-            vec![path.into(), node.into(), monitor_id.into(), format.into(), bytes.into()],
+            vec![
+                path.into(),
+                node.into(),
+                monitor_id.into(),
+                format.into(),
+                bytes.into(),
+            ],
         )
     }
 }
@@ -297,7 +327,10 @@ mod tests {
             Err(DbError::TableExists(_))
         ));
         let n = db
-            .insert_rows("m", (0..5).map(|i| vec![Value::Int(i), Value::Float(i as f64)]))
+            .insert_rows(
+                "m",
+                (0..5).map(|i| vec![Value::Int(i), Value::Float(i as f64)]),
+            )
             .unwrap();
         assert_eq!(n, 5);
         assert_eq!(db.require("m").unwrap().row_count(), 5);
@@ -321,11 +354,19 @@ mod tests {
     #[test]
     fn metadata_registration() {
         let mut db = Database::new();
-        db.register_experiment(1, "scenario_db_io", 8000, 420_000, 42).unwrap();
-        db.register_node("mysql0", 3, "mysql", 2, 50).unwrap();
-        db.register_monitor("collectl-mysql0", "mysql0", "collectl", "resource", 50).unwrap();
-        db.register_log_file("/var/log/collectl/mysql0.csv", "mysql0", "collectl-mysql0", "csv", 1024)
+        db.register_experiment(1, "scenario_db_io", 8000, 420_000, 42)
             .unwrap();
+        db.register_node("mysql0", 3, "mysql", 2, 50).unwrap();
+        db.register_monitor("collectl-mysql0", "mysql0", "collectl", "resource", 50)
+            .unwrap();
+        db.register_log_file(
+            "/var/log/collectl/mysql0.csv",
+            "mysql0",
+            "collectl-mysql0",
+            "csv",
+            1024,
+        )
+        .unwrap();
         assert_eq!(db.table("experiments").unwrap().row_count(), 1);
         assert_eq!(db.table("nodes").unwrap().row_count(), 1);
         assert_eq!(db.table("monitors").unwrap().row_count(), 1);
@@ -353,7 +394,7 @@ impl Database {
     ///
     /// Serialization failure (should not occur for valid warehouses).
     pub fn to_json(&self) -> Result<String, DbError> {
-        serde_json::to_string(self).map_err(|e| DbError::BadQuery(format!("serialize: {e}")))
+        Ok(mscope_serdes::to_string(self))
     }
 
     /// Restores a warehouse from [`Database::to_json`] output.
@@ -362,7 +403,7 @@ impl Database {
     ///
     /// [`DbError::BadQuery`] on malformed input.
     pub fn from_json(json: &str) -> Result<Database, DbError> {
-        serde_json::from_str(json).map_err(|e| DbError::BadQuery(format!("deserialize: {e}")))
+        mscope_serdes::from_str(json).map_err(|e| DbError::BadQuery(format!("deserialize: {e}")))
     }
 }
 
@@ -380,17 +421,25 @@ mod persistence_tests {
         ])
         .unwrap();
         db.create_table("m", schema).unwrap();
-        db.insert("m", vec![Value::Timestamp(50_000), Value::Float(97.5)]).unwrap();
-        db.insert("m", vec![Value::Null, Value::Float(1.25)]).unwrap();
+        db.insert("m", vec![Value::Timestamp(50_000), Value::Float(97.5)])
+            .unwrap();
+        db.insert("m", vec![Value::Null, Value::Float(1.25)])
+            .unwrap();
 
         let json = db.to_json().unwrap();
         let back = Database::from_json(&json).unwrap();
         assert_eq!(back, db);
-        assert_eq!(back.require("m").unwrap().cell(0, "v"), Some(&Value::Float(97.5)));
+        assert_eq!(
+            back.require("m").unwrap().cell(0, "v"),
+            Some(&Value::Float(97.5))
+        );
     }
 
     #[test]
     fn from_json_rejects_garbage() {
-        assert!(matches!(Database::from_json("not json"), Err(DbError::BadQuery(_))));
+        assert!(matches!(
+            Database::from_json("not json"),
+            Err(DbError::BadQuery(_))
+        ));
     }
 }

@@ -52,17 +52,33 @@ impl fmt::Display for DbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DbError::DuplicateColumn(c) => write!(f, "duplicate column name `{c}`"),
-            DbError::Arity { table, expected, got } => {
-                write!(f, "row width {got} does not match schema width {expected} of `{table}`")
+            DbError::Arity {
+                table,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "row width {got} does not match schema width {expected} of `{table}`"
+                )
             }
-            DbError::TypeMismatch { table, column, expected, got } => write!(
+            DbError::TypeMismatch {
+                table,
+                column,
+                expected,
+                got,
+            } => write!(
                 f,
                 "value of type {got} not admitted by column `{column}` ({expected}) of `{table}`"
             ),
             DbError::TableExists(t) => write!(f, "table `{t}` already exists"),
             DbError::NoSuchTable(t) => write!(f, "no such table `{t}`"),
             DbError::NoSuchColumn(c) => write!(f, "no such column `{c}`"),
-            DbError::SchemaMismatch { table, existing, incoming } => write!(
+            DbError::SchemaMismatch {
+                table,
+                existing,
+                incoming,
+            } => write!(
                 f,
                 "schema mismatch for `{table}`: existing {existing}, incoming {incoming}"
             ),
@@ -81,7 +97,11 @@ mod tests {
     fn display_messages_are_lowercase_and_informative() {
         let cases: Vec<DbError> = vec![
             DbError::DuplicateColumn("x".into()),
-            DbError::Arity { table: "t".into(), expected: 2, got: 3 },
+            DbError::Arity {
+                table: "t".into(),
+                expected: 2,
+                got: 3,
+            },
             DbError::TypeMismatch {
                 table: "t".into(),
                 column: "c".into(),

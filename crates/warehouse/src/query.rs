@@ -9,11 +9,10 @@
 use crate::table::{Column, Schema, Table};
 use crate::value::{ColumnType, Value, ValueKey};
 use crate::DbError;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A filter predicate over a row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Predicate {
     /// Always true.
     True,
@@ -38,6 +37,19 @@ pub enum Predicate {
     /// Sub-predicate does not hold.
     Not(Box<Predicate>),
 }
+mscope_serdes::json_enum!(Predicate {
+    True,
+    Eq(a, b),
+    Ne(a, b),
+    Lt(a, b),
+    Le(a, b),
+    Gt(a, b),
+    Ge(a, b),
+    Between(a, b, c),
+    And(a),
+    Or(a),
+    Not(a),
+});
 
 impl Predicate {
     /// Evaluates against row `i` of `table`. Unknown columns make the
@@ -76,7 +88,7 @@ impl Predicate {
 }
 
 /// Aggregations for [`Table::window_agg`] and [`Table::group_by`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AggFn {
     /// Arithmetic mean.
     Mean,
@@ -91,6 +103,14 @@ pub enum AggFn {
     /// Last value in encounter order.
     Last,
 }
+mscope_serdes::json_enum!(AggFn {
+    Mean,
+    Max,
+    Min,
+    Sum,
+    Count,
+    Last
+});
 
 fn fold(agg: AggFn, values: &[f64]) -> Option<f64> {
     if values.is_empty() {
@@ -147,7 +167,11 @@ impl Table {
                 filtered.column(name).expect("column exists").to_vec()
             })
             .collect();
-        Ok(Table::from_parts(self.name().to_string(), schema, cols_data))
+        Ok(Table::from_parts(
+            self.name().to_string(),
+            schema,
+            cols_data,
+        ))
     }
 
     /// Shorthand: rows whose `time_col` lies in `[from, to)` (µs values,
@@ -198,7 +222,10 @@ impl Table {
             ) else {
                 continue;
             };
-            buckets.entry(t.div_euclid(window_us) * window_us).or_default().push(v);
+            buckets
+                .entry(t.div_euclid(window_us) * window_us)
+                .or_default()
+                .push(v);
         }
         let mut out: Vec<(i64, f64)> = buckets
             .into_iter()
@@ -216,7 +243,12 @@ impl Table {
     /// # Errors
     ///
     /// [`DbError::NoSuchColumn`] if either key column is missing.
-    pub fn inner_join(&self, other: &Table, left_col: &str, right_col: &str) -> Result<Table, DbError> {
+    pub fn inner_join(
+        &self,
+        other: &Table,
+        left_col: &str,
+        right_col: &str,
+    ) -> Result<Table, DbError> {
         if self.schema().index_of(left_col).is_none() {
             return Err(DbError::NoSuchColumn(left_col.into()));
         }
@@ -286,7 +318,9 @@ impl Table {
             .schema()
             .index_of(col)
             .ok_or_else(|| DbError::NoSuchColumn(col.into()))?;
-        let keys = self.column(&self.schema().columns()[ci].name.clone()).expect("exists");
+        let keys = self
+            .column(&self.schema().columns()[ci].name.clone())
+            .expect("exists");
         let mut order: Vec<usize> = (0..self.row_count()).collect();
         order.sort_by(|&a, &b| {
             let o = keys[a].total_cmp(&keys[b]);
@@ -318,7 +352,9 @@ impl Table {
             if k.is_null() {
                 continue;
             }
-            let entry = groups.entry(k.key()).or_insert_with(|| (k.clone(), Vec::new()));
+            let entry = groups
+                .entry(k.key())
+                .or_insert_with(|| (k.clone(), Vec::new()));
             let cell = self.cell(i, value_col).expect("column checked above");
             if agg == AggFn::Count {
                 // COUNT counts non-null values of any type, not just
@@ -390,8 +426,12 @@ mod tests {
             (50, "web", 6.0),
             (100, "web", 4.0),
         ] {
-            t.push_row(vec![Value::Int(time), Value::Text(node.into()), Value::Float(util)])
-                .unwrap();
+            t.push_row(vec![
+                Value::Int(time),
+                Value::Text(node.into()),
+                Value::Float(util),
+            ])
+            .unwrap();
         }
         t
     }
@@ -404,7 +444,10 @@ mod tests {
         let high = t.filter(&Predicate::Gt("util".into(), Value::Float(50.0)));
         assert_eq!(high.row_count(), 2);
         let proj = t
-            .select(&["util", "t"], &Predicate::Eq("node".into(), Value::Text("web".into())))
+            .select(
+                &["util", "t"],
+                &Predicate::Eq("node".into(), Value::Text("web".into())),
+            )
             .unwrap();
         assert_eq!(proj.schema().columns()[0].name, "util");
         assert_eq!(proj.row_count(), 3);
@@ -430,7 +473,11 @@ mod tests {
         )));
         assert_eq!(t.filter(&n).row_count(), 3);
         // Missing column → false, not error.
-        assert_eq!(t.filter(&Predicate::Eq("zzz".into(), Value::Int(1))).row_count(), 0);
+        assert_eq!(
+            t.filter(&Predicate::Eq("zzz".into(), Value::Int(1)))
+                .row_count(),
+            0
+        );
     }
 
     #[test]
@@ -493,9 +540,11 @@ mod tests {
     fn join_skips_null_keys() {
         let schema = Schema::new(vec![Column::new("k", ColumnType::Int)]).unwrap();
         let mut a = Table::new("a", schema.clone());
-        a.push_rows(vec![vec![Value::Null], vec![Value::Int(1)]]).unwrap();
+        a.push_rows(vec![vec![Value::Null], vec![Value::Int(1)]])
+            .unwrap();
         let mut b = Table::new("b", schema);
-        b.push_rows(vec![vec![Value::Null], vec![Value::Int(1)]]).unwrap();
+        b.push_rows(vec![vec![Value::Null], vec![Value::Int(1)]])
+            .unwrap();
         let j = a.inner_join(&b, "k", "k").unwrap();
         assert_eq!(j.row_count(), 1);
     }

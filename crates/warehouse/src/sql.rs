@@ -129,7 +129,12 @@ fn lex(input: &str) -> Result<Vec<Tok>, DbError> {
                 s.push(c);
                 chars.next();
                 while let Some(&d) = chars.peek() {
-                    if d.is_ascii_digit() || d == '.' || d == 'e' || d == 'E' || d == '-' || d == '+'
+                    if d.is_ascii_digit()
+                        || d == '.'
+                        || d == 'e'
+                        || d == 'E'
+                        || d == '-'
+                        || d == '+'
                     {
                         // Allow exponent forms; the parser re-validates.
                         s.push(d);
@@ -219,7 +224,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String, DbError> {
         match self.next() {
             Some(Tok::Ident(s)) => Ok(s),
-            other => Err(DbError::BadQuery(format!("expected identifier, got {other:?}"))),
+            other => Err(DbError::BadQuery(format!(
+                "expected identifier, got {other:?}"
+            ))),
         }
     }
 
@@ -265,7 +272,11 @@ impl Parser {
                     n.parse::<usize>()
                         .map_err(|_| DbError::BadQuery(format!("bad LIMIT `{n}`")))?,
                 ),
-                other => return Err(DbError::BadQuery(format!("expected LIMIT count, got {other:?}"))),
+                other => {
+                    return Err(DbError::BadQuery(format!(
+                        "expected LIMIT count, got {other:?}"
+                    )))
+                }
             }
         } else {
             None
@@ -307,9 +318,8 @@ impl Parser {
         loop {
             let name = self.ident()?;
             if matches!(self.peek(), Some(Tok::LParen)) {
-                let agg = Self::agg_kw(&name).ok_or_else(|| {
-                    DbError::BadQuery(format!("unknown aggregate `{name}`"))
-                })?;
+                let agg = Self::agg_kw(&name)
+                    .ok_or_else(|| DbError::BadQuery(format!("unknown aggregate `{name}`")))?;
                 self.next(); // (
                 let col = match self.next() {
                     Some(Tok::Ident(c)) => c,
@@ -322,9 +332,7 @@ impl Parser {
                 };
                 match self.next() {
                     Some(Tok::RParen) => {}
-                    other => {
-                        return Err(DbError::BadQuery(format!("expected `)`, got {other:?}")))
-                    }
+                    other => return Err(DbError::BadQuery(format!("expected `)`, got {other:?}"))),
                 }
                 let key = match cols.len() {
                     0 => None,
@@ -394,7 +402,11 @@ impl Parser {
         let col = self.ident()?;
         let op = match self.next() {
             Some(Tok::Op(op)) => op,
-            other => return Err(DbError::BadQuery(format!("expected comparison, got {other:?}"))),
+            other => {
+                return Err(DbError::BadQuery(format!(
+                    "expected comparison, got {other:?}"
+                )))
+            }
         };
         let value = self.literal()?;
         Ok(match op.as_str() {
@@ -432,7 +444,9 @@ impl Parser {
                     "expected quoted time literal, got {other:?}"
                 ))),
             },
-            other => Err(DbError::BadQuery(format!("expected literal, got {other:?}"))),
+            other => Err(DbError::BadQuery(format!(
+                "expected literal, got {other:?}"
+            ))),
         }
     }
 }
@@ -484,7 +498,11 @@ impl Database {
                         )));
                     }
                 }
-                let value_col = if col == "*" { group_col.clone() } else { col.clone() };
+                let value_col = if col == "*" {
+                    group_col.clone()
+                } else {
+                    col.clone()
+                };
                 let grouped = filtered.group_by(group_col, &value_col, *agg)?;
                 if col == "*" {
                     // `COUNT(*)` collides with the key column inside
@@ -494,7 +512,14 @@ impl Database {
                     grouped
                 }
             }
-            (Projection::Aggregate { key: None, agg, col }, None) => {
+            (
+                Projection::Aggregate {
+                    key: None,
+                    agg,
+                    col,
+                },
+                None,
+            ) => {
                 // Whole-table aggregate → single row.
                 let vals: Vec<f64> = if col == "*" {
                     (0..filtered.row_count()).map(|_| 1.0).collect()
@@ -507,8 +532,9 @@ impl Database {
                 let out_val = match agg {
                     AggFn::Count => Some(vals.len() as f64),
                     AggFn::Sum => Some(vals.iter().sum()),
-                    AggFn::Mean => (!vals.is_empty())
-                        .then(|| vals.iter().sum::<f64>() / vals.len() as f64),
+                    AggFn::Mean => {
+                        (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
+                    }
                     AggFn::Min => vals.iter().cloned().reduce(f64::min),
                     AggFn::Max => vals.iter().cloned().reduce(f64::max),
                     AggFn::Last => vals.last().copied(),
@@ -667,7 +693,9 @@ mod tests {
             .unwrap();
         assert_eq!(t.row_count(), 2);
         // Escaped quote inside a string.
-        let esc = db.query("SELECT * FROM disk WHERE node = 'o''brien'").unwrap();
+        let esc = db
+            .query("SELECT * FROM disk WHERE node = 'o''brien'")
+            .unwrap();
         assert_eq!(esc.row_count(), 0);
     }
 
@@ -691,14 +719,18 @@ mod tests {
     #[test]
     fn whole_table_aggregates() {
         let db = db();
-        let t = db.query("SELECT AVG(util) FROM disk WHERE tier = 3").unwrap();
+        let t = db
+            .query("SELECT AVG(util) FROM disk WHERE tier = 3")
+            .unwrap();
         assert_eq!(t.row_count(), 1);
         let avg = t.cell(0, "avg_util").and_then(Value::as_f64).unwrap();
         assert!((avg - 65.666).abs() < 0.01);
         let c = db.query("SELECT COUNT(*) FROM disk").unwrap();
         assert_eq!(c.cell(0, "count_*").and_then(Value::as_f64), Some(5.0));
         // Aggregate over empty selection.
-        let none = db.query("SELECT MAX(util) FROM disk WHERE tier = 99").unwrap();
+        let none = db
+            .query("SELECT MAX(util) FROM disk WHERE tier = 99")
+            .unwrap();
         assert_eq!(none.cell(0, "max_util"), Some(&Value::Null));
     }
 
@@ -707,8 +739,13 @@ mod tests {
         let db = db();
         // Keywords are case-insensitive; identifiers are case-sensitive, so
         // `NODE` is an unknown column.
-        let err = db.query("select NODE from disk where util >= 97").unwrap_err();
-        assert!(matches!(err, DbError::NoSuchColumn(ref c) if c == "NODE"), "{err}");
+        let err = db
+            .query("select NODE from disk where util >= 97")
+            .unwrap_err();
+        assert!(
+            matches!(err, DbError::NoSuchColumn(ref c) if c == "NODE"),
+            "{err}"
+        );
         let t = db.query("select node from disk where util <> 99").unwrap();
         assert_eq!(t.row_count(), 4);
         let le = db.query("SELECT node FROM disk WHERE util <= 2").unwrap();

@@ -2,30 +2,34 @@
 
 use crate::value::{ColumnType, Value};
 use crate::DbError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One column definition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Column {
     /// Column name (unique within a schema).
     pub name: String,
     /// Column type per the inference lattice.
     pub ty: ColumnType,
 }
+mscope_serdes::json_struct!(Column { name, ty });
 
 impl Column {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, ty: ColumnType) -> Column {
-        Column { name: name.into(), ty }
+        Column {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
 /// An ordered set of columns.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Schema {
     columns: Vec<Column>,
 }
+mscope_serdes::json_struct!(Schema { columns });
 
 impl Schema {
     /// Builds a schema from columns.
@@ -108,13 +112,14 @@ impl fmt::Display for Schema {
 /// assert_eq!(table.row_count(), 2);
 /// # Ok::<(), mscope_db::DbError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     name: String,
     schema: Schema,
     /// Column-major storage; all columns have equal length.
     cols: Vec<Vec<Value>>,
 }
+mscope_serdes::json_struct!(Table { name, schema, cols });
 
 impl Table {
     /// Creates an empty table.
@@ -277,11 +282,17 @@ mod tests {
     #[test]
     fn push_and_read_rows() {
         let mut t = Table::new("t", schema2());
-        t.push_row(vec![Value::Int(1), Value::Text("x".into())]).unwrap();
-        t.push_row(vec![Value::Null, Value::Text("y".into())]).unwrap();
+        t.push_row(vec![Value::Int(1), Value::Text("x".into())])
+            .unwrap();
+        t.push_row(vec![Value::Null, Value::Text("y".into())])
+            .unwrap();
         assert_eq!(t.row_count(), 2);
         assert_eq!(t.cell(0, "a"), Some(&Value::Int(1)));
-        assert_eq!(t.cell(1, "a"), Some(&Value::Null), "null admitted everywhere");
+        assert_eq!(
+            t.cell(1, "a"),
+            Some(&Value::Null),
+            "null admitted everywhere"
+        );
         assert_eq!(t.column("b").unwrap().len(), 2);
         assert_eq!(t.row(1).unwrap()[1], Value::Text("y".into()));
         assert_eq!(t.row(5), None);
@@ -419,8 +430,7 @@ impl Table {
             let values = self.column(&col.name).expect("column listed in schema");
             let nulls = values.iter().filter(|v| v.is_null()).count();
             let distinct = {
-                let mut keys: Vec<crate::value::ValueKey> =
-                    values.iter().map(Value::key).collect();
+                let mut keys: Vec<crate::value::ValueKey> = values.iter().map(Value::key).collect();
                 keys.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
                 keys.dedup();
                 keys.len()
@@ -465,7 +475,11 @@ mod describe_tests {
         for i in 0..10 {
             t.push_row(vec![
                 Value::Int(i),
-                if i % 2 == 0 { Value::Text("a".into()) } else { Value::Null },
+                if i % 2 == 0 {
+                    Value::Text("a".into())
+                } else {
+                    Value::Null
+                },
             ])
             .unwrap();
         }

@@ -2,12 +2,11 @@
 //! inference (paper §III-B3: "the narrowest data type that can store all of
 //! the values for the same XML tag is the one selected").
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// A single cell value in an mScopeDB table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// Missing / empty.
     Null,
@@ -22,10 +21,11 @@ pub enum Value {
     /// Arbitrary text.
     Text(String),
 }
+mscope_serdes::json_enum!(Value { Null, Bool(a), Int(a), Float(a), Timestamp(a), Text(a) });
 
 /// Column data types, ordered by the inference lattice:
 /// `Null < Bool|Int|Timestamp`, `Int < Float`, everything `< Text`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ColumnType {
     /// Only nulls seen so far.
     Null,
@@ -40,6 +40,14 @@ pub enum ColumnType {
     /// Text (admits everything).
     Text,
 }
+mscope_serdes::json_enum!(ColumnType {
+    Null,
+    Bool,
+    Int,
+    Float,
+    Timestamp,
+    Text
+});
 
 impl ColumnType {
     /// The least upper bound of two types in the inference lattice — the

@@ -13,8 +13,14 @@ use milliscope::ntier::SystemConfig;
 use milliscope::sim::{pearson, rmse, SimDuration};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = shorten(SystemConfig::rubbos_baseline(800), SimDuration::from_secs(30));
-    println!("== Fig 9: event monitors vs SysViz, {} users ==", cfg.workload.users);
+    let cfg = shorten(
+        SystemConfig::rubbos_baseline(800),
+        SimDuration::from_secs(30),
+    );
+    println!(
+        "== Fig 9: event monitors vs SysViz, {} users ==",
+        cfg.workload.users
+    );
     let output = Experiment::new(cfg)?.run();
     let ms = MilliScope::ingest(&output)?;
     let w = SimDuration::from_millis(100);

@@ -18,13 +18,19 @@ use milliscope::ntier::{NodeId, SystemConfig, TierId, TierKind};
 use milliscope::sim::{wallclock, SimDuration, SimTime};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = shorten(SystemConfig::rubbos_baseline(200), SimDuration::from_secs(15));
+    let cfg = shorten(
+        SystemConfig::rubbos_baseline(200),
+        SimDuration::from_secs(15),
+    );
     let mut output = Experiment::new(cfg)?.run();
 
     // --- The user's own monitor -------------------------------------
     // Pretend a jvmstat agent ran on the Tomcat node and logged one GC
     // pause measurement per 500 ms in `time key=value` lines.
-    let tomcat = NodeId { tier: TierId(1), replica: 0 };
+    let tomcat = NodeId {
+        tier: TierId(1),
+        replica: 0,
+    };
     let path = format!("logs/{tomcat}/jvmstat.log");
     let mut t = SimTime::from_millis(500);
     let mut i = 0u64;
@@ -60,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let jvm = ms.db().require("jvmstat")?;
     // The generic parser produced (node, tier, time, key, value) tuples.
-    let pauses = jvm.filter(&Predicate::Eq("key".into(), Value::Text("gc_pause_ms".into())));
+    let pauses = jvm.filter(&Predicate::Eq(
+        "key".into(),
+        Value::Text("gc_pause_ms".into()),
+    ));
     let series = pauses.window_agg("time", 1_000_000, "value", AggFn::Max)?;
     println!("\njvmstat gc_pause_ms, 1 s windowed max (first 10 windows):");
     for (t, v) in series.iter().take(10) {
@@ -72,7 +81,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cpu = ms.cpu_busy(&tomcat.to_string(), SimDuration::from_secs(1))?;
     println!("\njoined view (t, gc_pause_max, tomcat_cpu_busy):");
     for ((t, gc), (_, cpu)) in series.iter().zip(cpu.points.iter()).take(5) {
-        println!("  t={:>6.1}s  gc={gc:>5.1} ms  cpu={cpu:>5.1} %", *t as f64 / 1e6);
+        println!(
+            "  t={:>6.1}s  gc={gc:>5.1} ms  cpu={cpu:>5.1} %",
+            *t as f64 / 1e6
+        );
     }
     println!("\nok — a foreign log format joined the pipeline with ~15 lines of setup");
     Ok(())

@@ -19,7 +19,10 @@ use milliscope::sim::SimDuration;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The DB flushes its commit log every ~3.5 s; each flush stalls it for
     // ~300 ms (the paper's "very short bottleneck").
-    let cfg = shorten(calibrated_db_io(500, 3.5, 300.0), SimDuration::from_secs(30));
+    let cfg = shorten(
+        calibrated_db_io(500, 3.5, 300.0),
+        SimDuration::from_secs(30),
+    );
     println!("== scenario A: database commit-log flush ==");
     let output = Experiment::new(cfg)?.run();
     let ms = MilliScope::ingest(&output)?;
@@ -52,14 +55,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("step 3 (Fig 4): peak disk utilization per tier during the episode:");
     for (tier, kind) in ms.tier_kinds().into_iter().enumerate() {
         let node = &ms.tier_nodes(tier)[0];
-        let d = ms.resource(node, "disk_util", w, AggFn::Max)?.slice(from, to);
+        let d = ms
+            .resource(node, "disk_util", w, AggFn::Max)?
+            .slice(from, to);
         let peak = d.values().iter().cloned().fold(0.0, f64::max);
         println!("  {kind:<8} peak disk util {peak:>6.1} %");
     }
 
     // Step 4 — correlation (Fig. 7): DB disk util moves with Apache queue.
     let db_node = &ms.tier_nodes(3)[0];
-    let disk = ms.resource(db_node, "disk_util", w, AggFn::Max)?.slice(from, to);
+    let disk = ms
+        .resource(db_node, "disk_util", w, AggFn::Max)?
+        .slice(from, to);
     let queue = ms.queue(0, w)?.slice(from, to);
     let r = milliscope::analysis::correlate(&disk, &queue).unwrap_or(0.0);
     println!("step 4 (Fig 7): pearson r(mysql disk util, apache queue) = {r:.3}");

@@ -54,7 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let node = &ms.tier_nodes(tier)[0];
             let cpu = ms.cpu_busy(node, w)?.slice(from, to);
             let peak_cpu = cpu.values().iter().cloned().fold(0.0, f64::max);
-            let dirty = ms.resource(node, "mem_dirty", w, AggFn::Last)?.slice(from, to);
+            let dirty = ms
+                .resource(node, "mem_dirty", w, AggFn::Last)?
+                .slice(from, to);
             let vals = dirty.values();
             let drop = vals.windows(2).map(|p| p[0] - p[1]).fold(0.0, f64::max);
             println!(

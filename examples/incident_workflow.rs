@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Production shows intermittent 300 ms spikes. Ops captures the
     // monitor logs as a bundle before restarting things.
     println!("== day 1: capturing the incident ==");
-    let broken_cfg = shorten(calibrated_db_io(400, 3.0, 280.0), SimDuration::from_secs(20));
+    let broken_cfg = shorten(
+        calibrated_db_io(400, 3.0, 280.0),
+        SimDuration::from_secs(20),
+    );
     let incident = Experiment::new(broken_cfg)?.run();
     dump_bundle(&incident, &bundle_dir)?;
     println!(
@@ -46,9 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Ad-hoc follow-up through mScopeDB's SQL interface.
-    let hot = offline.db().query(
-        "SELECT node, MAX(disk_util) FROM collectl GROUP BY node ORDER BY node",
-    )?;
+    let hot = offline
+        .db()
+        .query("SELECT node, MAX(disk_util) FROM collectl GROUP BY node ORDER BY node")?;
     println!("\nper-node peak disk utilization (SQL over the bundle):");
     print!("{}", hot.render_text(10));
 
@@ -56,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The commit-log configuration is fixed (bigger buffer, no stalls);
     // the same workload is replayed and compared.
     println!("\n== day 3: verifying the fix ==");
-    let fixed_cfg = shorten(SystemConfig::rubbos_baseline(400), SimDuration::from_secs(20));
+    let fixed_cfg = shorten(
+        SystemConfig::rubbos_baseline(400),
+        SimDuration::from_secs(20),
+    );
     let fixed = MilliScope::ingest(&Experiment::new(fixed_cfg)?.run())?;
     let cmp = RunComparison::between(&offline, &fixed, &DiagnoseOptions::default())?;
     println!(
@@ -65,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cmp.candidate_mean_rt_ms,
         cmp.mean_rt_change() * 100.0
     );
-    println!("episodes: {} → {}", cmp.baseline_episodes, cmp.candidate_episodes);
+    println!(
+        "episodes: {} → {}",
+        cmp.baseline_episodes, cmp.candidate_episodes
+    );
     println!("verdict: {}", cmp.verdict());
 
     std::fs::remove_dir_all(&bundle_dir)?;

@@ -17,7 +17,10 @@ fn run_with(
     users: u32,
     injector: InjectorSpec,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let mut cfg = shorten(SystemConfig::rubbos_baseline(users), SimDuration::from_secs(25));
+    let mut cfg = shorten(
+        SystemConfig::rubbos_baseline(users),
+        SimDuration::from_secs(25),
+    );
     cfg.injectors.push(injector);
     let output = Experiment::new(cfg)?.run();
     let ms = MilliScope::ingest(&output)?;

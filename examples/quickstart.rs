@@ -21,14 +21,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Run the system under the standard milliScope monitor suite:
     // event monitors on every tier, Collectl/SAR/IOstat resource monitors,
     // and the passive SysViz-style network tap.
-    println!("running experiment ({} users, {} s measured)…",
-             cfg.workload.users, cfg.duration.as_secs_f64());
+    println!(
+        "running experiment ({} users, {} s measured)…",
+        cfg.workload.users,
+        cfg.duration.as_secs_f64()
+    );
     let output = Experiment::new(cfg)?.run();
     println!(
         "  completed {} requests, {:.1} req/s, mean RT {:.2} ms",
-        output.run.stats.completed,
-        output.run.stats.throughput_rps,
-        output.run.stats.mean_rt_ms
+        output.run.stats.completed, output.run.stats.throughput_rps, output.run.stats.mean_rt_ms
     );
     println!(
         "  monitors wrote {} log files, {:.1} KiB total",

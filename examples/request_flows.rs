@@ -13,12 +13,18 @@ use milliscope::sim::SimDuration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Use scenario A so some requests are genuinely slow.
-    let cfg = shorten(calibrated_db_io(400, 3.0, 250.0), SimDuration::from_secs(20));
+    let cfg = shorten(
+        calibrated_db_io(400, 3.0, 250.0),
+        SimDuration::from_secs(20),
+    );
     let output = Experiment::new(cfg)?.run();
     let ms = MilliScope::ingest(&output)?;
 
     let mut flows = ms.flows()?;
-    println!("reconstructed {} request flows from the event logs", flows.len());
+    println!(
+        "reconstructed {} request flows from the event logs",
+        flows.len()
+    );
 
     // Happens-before holds on every path — the §IV-B guarantee.
     let violations = flows.iter().filter(|f| !f.is_causally_ordered()).count();
@@ -34,8 +40,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nslowest requests (per-tier local latency, ms):");
     println!(
         "{:>14} {:>18} {:>9} | {:>8} {:>8} {:>8} {:>8}",
-        "request", "interaction", "total", kinds[0].to_string(), kinds[1].to_string(),
-        kinds[2].to_string(), kinds[3].to_string()
+        "request",
+        "interaction",
+        "total",
+        kinds[0].to_string(),
+        kinds[1].to_string(),
+        kinds[2].to_string(),
+        kinds[3].to_string()
     );
     for f in flows.iter().take(5) {
         let mut per_tier = [f64::NAN; 4];

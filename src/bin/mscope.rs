@@ -79,20 +79,28 @@ fn parse_args() -> Args {
         describe: None,
     };
     let next = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
-        argv.next().unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        argv.next()
+            .unwrap_or_else(|| die(&format!("{flag} needs a value")))
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
             "--scenario" => args.scenario = next(&mut argv, "--scenario"),
             "--users" => {
-                args.users = next(&mut argv, "--users").parse().unwrap_or_else(|_| die("bad --users"))
+                args.users = next(&mut argv, "--users")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --users"))
             }
             "--secs" => {
-                args.secs = next(&mut argv, "--secs").parse().unwrap_or_else(|_| die("bad --secs"))
+                args.secs = next(&mut argv, "--secs")
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --secs"))
             }
             "--seed" => {
-                args.seed =
-                    Some(next(&mut argv, "--seed").parse().unwrap_or_else(|_| die("bad --seed")))
+                args.seed = Some(
+                    next(&mut argv, "--seed")
+                        .parse()
+                        .unwrap_or_else(|_| die("bad --seed")),
+                )
             }
             "--sql" => args.sql = Some(next(&mut argv, "--sql")),
             "--describe" => args.describe = Some(next(&mut argv, "--describe")),
@@ -139,7 +147,10 @@ fn build_config(args: &Args) -> SystemConfig {
 fn main() {
     let args = parse_args();
     if args.command == "ingest" {
-        let dir = args.bundle.as_deref().unwrap_or_else(|| die("ingest needs --bundle DIR"));
+        let dir = args
+            .bundle
+            .as_deref()
+            .unwrap_or_else(|| die("ingest needs --bundle DIR"));
         eprintln!("[mscope] ingesting bundle {}", dir.display());
         let ms = ingest_bundle(dir).unwrap_or_else(|e| die(&e.to_string()));
         eprintln!(
@@ -169,7 +180,10 @@ fn main() {
     let cfg = build_config(&args);
     eprintln!(
         "[mscope] scenario {} — {} users, {} s measured, seed {:#x}",
-        args.scenario, cfg.workload.users, cfg.duration.as_secs_f64(), cfg.seed
+        args.scenario,
+        cfg.workload.users,
+        cfg.duration.as_secs_f64(),
+        cfg.seed
     );
 
     let experiment = Experiment::new(cfg).unwrap_or_else(|e| die(&e.to_string()));
@@ -212,7 +226,11 @@ fn main() {
             } else {
                 println!("{:<20} {:>10}", "table", "rows");
                 for name in ms.db().table_names() {
-                    let rows = ms.db().require(name).expect("listed table exists").row_count();
+                    let rows = ms
+                        .db()
+                        .require(name)
+                        .expect("listed table exists")
+                        .row_count();
                     println!("{name:<20} {rows:>10}");
                 }
             }
@@ -227,10 +245,7 @@ fn main() {
                 eprintln!("[mscope] wrote Markdown report to {}", path.display());
             }
             if args.json {
-                println!(
-                    "{}",
-                    serde_json::to_string_pretty(&report).expect("report serializes")
-                );
+                println!("{}", mscope_serdes::to_string_pretty(&report));
             } else if report.episodes.is_empty() {
                 println!(
                     "no anomalies: mean RT {:.2} ms, no VLRT episodes detected",
@@ -256,7 +271,10 @@ fn main() {
             }
         }
         "query" => {
-            let sql = args.sql.as_deref().unwrap_or_else(|| die("query needs --sql"));
+            let sql = args
+                .sql
+                .as_deref()
+                .unwrap_or_else(|| die("query needs --sql"));
             match ms.db().query(sql) {
                 Ok(table) => print!("{}", table.render_text(100)),
                 Err(e) => die(&e.to_string()),
@@ -269,9 +287,15 @@ fn main() {
         let flows = ms.flows().unwrap_or_else(|e| die(&e.to_string()));
         let json = export_chrome_trace(
             &flows,
-            &TraceExportOptions { min_rt_ms: 0, max_flows: 200 },
+            &TraceExportOptions {
+                min_rt_ms: 0,
+                max_flows: 200,
+            },
         );
         std::fs::write(path, json).unwrap_or_else(|e| die(&format!("writing trace: {e}")));
-        eprintln!("[mscope] wrote Chrome trace of the 200 slowest flows to {}", path.display());
+        eprintln!(
+            "[mscope] wrote Chrome trace of the 200 slowest flows to {}",
+            path.display()
+        );
     }
 }

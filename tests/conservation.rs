@@ -2,9 +2,7 @@
 //! hold for *every* request and *every* sample regardless of scenario.
 
 use milliscope::core::scenarios::{calibrated_db_io, calibrated_dirty_page, shorten};
-use milliscope::ntier::{
-    BoundaryKind, MsgKind, Simulator, SystemConfig, TierId,
-};
+use milliscope::ntier::{BoundaryKind, MsgKind, Simulator, SystemConfig, TierId};
 use milliscope::sim::SimDuration;
 use std::collections::HashMap;
 
@@ -12,19 +10,31 @@ fn configs() -> Vec<(&'static str, SystemConfig)> {
     vec![
         (
             "baseline",
-            shorten(SystemConfig::rubbos_baseline(150), SimDuration::from_secs(10)),
+            shorten(
+                SystemConfig::rubbos_baseline(150),
+                SimDuration::from_secs(10),
+            ),
         ),
         (
             "db_io",
-            shorten(calibrated_db_io(200, 2.5, 250.0), SimDuration::from_secs(10)),
+            shorten(
+                calibrated_db_io(200, 2.5, 250.0),
+                SimDuration::from_secs(10),
+            ),
         ),
         (
             "dirty_page",
-            shorten(calibrated_dirty_page(200, 3.0, 4.5, 300.0), SimDuration::from_secs(10)),
+            shorten(
+                calibrated_dirty_page(200, 3.0, 4.5, 300.0),
+                SimDuration::from_secs(10),
+            ),
         ),
         (
             "replicated",
-            shorten(SystemConfig::rubbos_replicated(150), SimDuration::from_secs(10)),
+            shorten(
+                SystemConfig::rubbos_replicated(150),
+                SimDuration::from_secs(10),
+            ),
         ),
     ]
 }
@@ -45,7 +55,9 @@ fn lifecycle_events_balance_per_request() {
             }
         }
         for r in out.requests.iter().filter(|r| r.is_complete()) {
-            let c = counts.get(&r.id).unwrap_or_else(|| panic!("{name}: no events for {:?}", r.id));
+            let c = counts
+                .get(&r.id)
+                .unwrap_or_else(|| panic!("{name}: no events for {:?}", r.id));
             let depth = r.spans.len() as u32;
             assert_eq!(c[0], depth, "{name}: UA count for {:?}", r.id);
             assert_eq!(c[1], depth, "{name}: UD count for {:?}", r.id);
@@ -69,8 +81,18 @@ fn messages_balance_and_alternate() {
         }
         for r in out.requests.iter().filter(|r| r.is_complete()) {
             let depth = r.spans.len() as u32;
-            assert_eq!(down.get(&r.id), Some(&depth), "{name}: down msgs for {:?}", r.id);
-            assert_eq!(up.get(&r.id), Some(&depth), "{name}: up msgs for {:?}", r.id);
+            assert_eq!(
+                down.get(&r.id),
+                Some(&depth),
+                "{name}: down msgs for {:?}",
+                r.id
+            );
+            assert_eq!(
+                up.get(&r.id),
+                Some(&depth),
+                "{name}: up msgs for {:?}",
+                r.id
+            );
         }
     }
 }
@@ -89,7 +111,10 @@ fn sample_gauges_respect_configured_bounds() {
                 workers[tier],
                 s.time
             );
-            assert!(s.queue_len >= s.active_workers, "{name}: queue < active workers");
+            assert!(
+                s.queue_len >= s.active_workers,
+                "{name}: queue < active workers"
+            );
             let total = s.cpu_user + s.cpu_sys + s.cpu_iowait + s.cpu_idle;
             assert!(
                 (99.0..=101.0).contains(&total),
@@ -101,7 +126,10 @@ fn sample_gauges_respect_configured_bounds() {
 
 #[test]
 fn response_time_equals_span_residence_plus_network() {
-    let cfg = shorten(SystemConfig::rubbos_baseline(100), SimDuration::from_secs(8));
+    let cfg = shorten(
+        SystemConfig::rubbos_baseline(100),
+        SimDuration::from_secs(8),
+    );
     let hop = cfg.network.hop_latency;
     let out = Simulator::new(cfg).expect("valid").run();
     for r in out.requests.iter().filter(|r| r.is_complete()).take(300) {
@@ -116,7 +144,10 @@ fn response_time_equals_span_residence_plus_network() {
 fn tiny_worker_pool_still_conserves_requests() {
     // Deliberately starved: one worker per tier against an offered load
     // beyond its capacity forces deep, persistent queueing.
-    let mut cfg = shorten(SystemConfig::rubbos_baseline(3000), SimDuration::from_secs(10));
+    let mut cfg = shorten(
+        SystemConfig::rubbos_baseline(3000),
+        SimDuration::from_secs(10),
+    );
     for t in &mut cfg.tiers {
         t.workers = 1;
     }
@@ -140,7 +171,10 @@ fn tiny_worker_pool_still_conserves_requests() {
 #[test]
 fn accept_queue_overflow_rejects_with_503() {
     // Starve the front tier so the backlog overflows.
-    let mut cfg = shorten(SystemConfig::rubbos_baseline(2000), SimDuration::from_secs(10));
+    let mut cfg = shorten(
+        SystemConfig::rubbos_baseline(2000),
+        SimDuration::from_secs(10),
+    );
     cfg.tiers[0].workers = 2;
     cfg.tiers[0].accept_limit = Some(4);
     let out = Simulator::new(cfg).expect("valid").run();
@@ -168,7 +202,10 @@ fn accept_queue_overflow_rejects_with_503() {
 #[test]
 fn rejections_visible_in_event_logs_and_warehouse() {
     use milliscope::core::{Experiment, MilliScope};
-    let mut cfg = shorten(SystemConfig::rubbos_baseline(2000), SimDuration::from_secs(8));
+    let mut cfg = shorten(
+        SystemConfig::rubbos_baseline(2000),
+        SimDuration::from_secs(8),
+    );
     cfg.tiers[0].workers = 2;
     cfg.tiers[0].accept_limit = Some(4);
     let out = Experiment::new(cfg).expect("valid").run();
@@ -191,7 +228,10 @@ fn rejections_visible_in_event_logs_and_warehouse() {
 fn commit_flush_retriggers_when_buffer_refills_during_flush() {
     // Tiny threshold + slow flush: commits arriving mid-flush refill the
     // buffer past the threshold so the next flush starts back-to-back.
-    let mut cfg = shorten(SystemConfig::rubbos_baseline(800), SimDuration::from_secs(10));
+    let mut cfg = shorten(
+        SystemConfig::rubbos_baseline(800),
+        SimDuration::from_secs(10),
+    );
     let lf = cfg.tiers[3].log_flush.as_mut().expect("db flush config");
     lf.buffer_threshold = 16 << 10; // 2 commits
     lf.flush_rate = 0.05e6; // ~330 ms per flush
@@ -211,7 +251,10 @@ fn commit_flush_retriggers_when_buffer_refills_during_flush() {
         .iter()
         .filter(|s| s.node.tier == TierId(3) && s.disk_util > 90.0)
         .count();
-    assert!(busy_samples > 20, "chained flushes keep the disk busy: {busy_samples}");
+    assert!(
+        busy_samples > 20,
+        "chained flushes keep the disk busy: {busy_samples}"
+    );
 }
 
 #[test]
@@ -219,16 +262,24 @@ fn golden_determinism_across_features() {
     // One run exercising injectors + replicas + monitors must be exactly
     // reproducible: identical stats, logs, and samples for the same seed.
     let build = || {
-        let mut cfg = shorten(SystemConfig::rubbos_replicated(300), SimDuration::from_secs(8));
-        cfg.injectors.push(milliscope::ntier::InjectorSpec::GcPause {
-            tier: 1,
-            period: SimDuration::from_secs(3),
-            pause: SimDuration::from_millis(200),
-        });
+        let mut cfg = shorten(
+            SystemConfig::rubbos_replicated(300),
+            SimDuration::from_secs(8),
+        );
+        cfg.injectors
+            .push(milliscope::ntier::InjectorSpec::GcPause {
+                tier: 1,
+                period: SimDuration::from_secs(3),
+                pause: SimDuration::from_millis(200),
+            });
         cfg
     };
-    let a = milliscope::core::Experiment::new(build()).expect("valid").run();
-    let b = milliscope::core::Experiment::new(build()).expect("valid").run();
+    let a = milliscope::core::Experiment::new(build())
+        .expect("valid")
+        .run();
+    let b = milliscope::core::Experiment::new(build())
+        .expect("valid")
+        .run();
     assert_eq!(a.run.stats.completed, b.run.stats.completed);
     assert_eq!(a.run.stats.mean_rt_ms, b.run.stats.mean_rt_ms);
     assert_eq!(a.run.lifecycle.len(), b.run.lifecycle.len());

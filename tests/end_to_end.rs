@@ -8,7 +8,10 @@ use milliscope::ntier::SystemConfig;
 use milliscope::sim::SimDuration;
 
 fn ingested(users: u32, secs: u64) -> MilliScope {
-    let cfg = shorten(SystemConfig::rubbos_baseline(users), SimDuration::from_secs(secs));
+    let cfg = shorten(
+        SystemConfig::rubbos_baseline(users),
+        SimDuration::from_secs(secs),
+    );
     let out = Experiment::new(cfg).expect("valid config").run();
     MilliScope::ingest(&out).expect("pipeline ingests")
 }
@@ -17,8 +20,20 @@ fn ingested(users: u32, secs: u64) -> MilliScope {
 fn full_pipeline_baseline() {
     let ms = ingested(150, 12);
     // All expected tables exist and are populated.
-    for table in ["event_apache", "event_tomcat", "event_cjdbc", "event_mysql", "collectl", "sar", "sar_xml", "iostat"] {
-        let t = ms.db().require(table).unwrap_or_else(|_| panic!("missing {table}"));
+    for table in [
+        "event_apache",
+        "event_tomcat",
+        "event_cjdbc",
+        "event_mysql",
+        "collectl",
+        "sar",
+        "sar_xml",
+        "iostat",
+    ] {
+        let t = ms
+            .db()
+            .require(table)
+            .unwrap_or_else(|_| panic!("missing {table}"));
         assert!(t.row_count() > 0, "{table} is empty");
     }
     // Static metadata is registered.
@@ -54,18 +69,27 @@ fn warehouse_joins_event_tables_on_request_id() {
     assert_eq!(joined.row_count(), tomcat.row_count());
     // Join carries both sides' timestamps; Apache's UA precedes Tomcat's.
     for i in 0..joined.row_count().min(200) {
-        let a_ua = joined.cell(i, "ua").and_then(Value::as_i64).expect("apache ua");
+        let a_ua = joined
+            .cell(i, "ua")
+            .and_then(Value::as_i64)
+            .expect("apache ua");
         let t_ua = joined
             .cell(i, "event_tomcat_ua")
             .and_then(Value::as_i64)
             .expect("tomcat ua");
-        assert!(a_ua <= t_ua, "row {i}: apache ua {a_ua} after tomcat ua {t_ua}");
+        assert!(
+            a_ua <= t_ua,
+            "row {i}: apache ua {a_ua} after tomcat ua {t_ua}"
+        );
     }
 }
 
 #[test]
 fn flows_match_ground_truth_causality() {
-    let cfg = shorten(SystemConfig::rubbos_baseline(100), SimDuration::from_secs(10));
+    let cfg = shorten(
+        SystemConfig::rubbos_baseline(100),
+        SimDuration::from_secs(10),
+    );
     let out = Experiment::new(cfg).expect("valid").run();
     let ms = MilliScope::ingest(&out).expect("ingests");
     let flows = ms.flows().expect("event tables present");
@@ -88,16 +112,16 @@ fn flows_match_ground_truth_causality() {
 
 #[test]
 fn resource_tables_agree_with_raw_samples() {
-    let cfg = shorten(SystemConfig::rubbos_baseline(120), SimDuration::from_secs(10));
+    let cfg = shorten(
+        SystemConfig::rubbos_baseline(120),
+        SimDuration::from_secs(10),
+    );
     let out = Experiment::new(cfg).expect("valid").run();
     let ms = MilliScope::ingest(&out).expect("ingests");
     // Collectl's loaded cpu_user for mysql must match the raw samples the
     // simulator produced (same values, post format round-trip).
     let collectl = ms.db().require("collectl").expect("table");
-    let db_rows = collectl.filter(&Predicate::Eq(
-        "node".into(),
-        Value::Text("tier3-0".into()),
-    ));
+    let db_rows = collectl.filter(&Predicate::Eq("node".into(), Value::Text("tier3-0".into())));
     let loaded: Vec<f64> = db_rows.numeric_column("cpu_user");
     let raw: Vec<f64> = out
         .run
@@ -122,7 +146,12 @@ fn monitors_disabled_still_ingests_resources() {
     assert!(ms.db().table("event_apache").is_none());
     // Resource queries still work.
     let s = ms
-        .resource("tier0-0", "cpu_user", SimDuration::from_secs(1), AggFn::Mean)
+        .resource(
+            "tier0-0",
+            "cpu_user",
+            SimDuration::from_secs(1),
+            AggFn::Mean,
+        )
         .expect("resource series");
     assert!(!s.points.is_empty());
 }
@@ -132,7 +161,10 @@ fn log_store_dump_writes_real_files() {
     let cfg = shorten(SystemConfig::rubbos_baseline(50), SimDuration::from_secs(6));
     let out = Experiment::new(cfg).expect("valid").run();
     let dir = std::env::temp_dir().join(format!("mscope-e2e-{}", std::process::id()));
-    out.artifacts.store.dump_to_dir(&dir).expect("dump succeeds");
+    out.artifacts
+        .store
+        .dump_to_dir(&dir)
+        .expect("dump succeeds");
     let apache = std::fs::read_to_string(dir.join("logs/tier0-0/access_log")).expect("file exists");
     assert!(apache.contains("GET /rubbos/"));
     std::fs::remove_dir_all(&dir).expect("cleanup");

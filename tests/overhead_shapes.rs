@@ -52,9 +52,8 @@ fn overhead_sweep_matches_paper_claims() {
 
     // Overhead grows (or at least does not shrink dramatically) with load:
     // the heaviest workload's total instrumented CPU exceeds the lightest's.
-    let total_cpu = |r: &mscope_monitors::OverheadReport| {
-        r.nodes.iter().map(|n| n.cpu_on).sum::<f64>()
-    };
+    let total_cpu =
+        |r: &mscope_monitors::OverheadReport| r.nodes.iter().map(|n| n.cpu_on).sum::<f64>();
     assert!(total_cpu(&rows.last().expect("rows").report) > total_cpu(&rows[0].report));
 }
 

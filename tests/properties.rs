@@ -1,156 +1,181 @@
-//! Cross-crate property-based tests (proptest): invariants that must hold
-//! for *any* input, not just the fixtures the unit tests use.
+//! Cross-crate property-based tests (via the in-tree `mscope_sim::prop`
+//! harness): invariants that must hold for *any* input, not just the
+//! fixtures the unit tests use.
 
 use mscope_db::{ColumnType, Value};
-use mscope_sim::{parse_wallclock, pearson, wallclock, SimDuration, SimTime};
+use mscope_sim::prop::{forall, Gen};
+use mscope_sim::{parse_wallclock, pearson, prop_ensure, wallclock, SimDuration, SimTime};
 use mscope_transform::{parse_csv, parse_xml, write_csv, XmlNode};
-use proptest::prelude::*;
 
 // ------------------------------------------------------------------
 // CSV
 // ------------------------------------------------------------------
 
-proptest! {
-    /// Any grid of arbitrary strings survives a CSV write/parse round-trip.
-    #[test]
-    fn csv_roundtrip(rows in prop::collection::vec(
-        prop::collection::vec(".{0,12}", 1..6), 1..8)
-    ) {
-        // Normalize widths: CSV requires rectangular data only per row, and
-        // our writer emits whatever it is given, so keep rows as-is.
+/// Any grid of arbitrary strings survives a CSV write/parse round-trip.
+#[test]
+fn csv_roundtrip() {
+    forall("csv roundtrip", 256, |g| {
+        let rows = g.vec(1..=7, |g| g.vec(1..=5, |g| g.string(0..=12)));
         let text = write_csv(&rows);
-        let back = parse_csv(&text).expect("own output parses");
-        prop_assert_eq!(back, rows);
-    }
+        let back = parse_csv(&text).map_err(|e| format!("own output fails to parse: {e}"))?;
+        prop_ensure!(back == rows, "csv drift: {rows:?} -> {back:?}");
+        Ok(())
+    });
 }
 
 // ------------------------------------------------------------------
 // XML
 // ------------------------------------------------------------------
 
-fn xml_name() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,8}".prop_map(|s| s)
-}
-
-proptest! {
-    /// Arbitrary single-level documents round-trip through the writer and
-    /// parser, including attribute and text escaping.
-    #[test]
-    fn xml_roundtrip(
-        root in xml_name(),
-        attrs in prop::collection::vec((xml_name(), ".{0,16}"), 0..4),
-        children in prop::collection::vec((xml_name(), ".{0,16}"), 0..6),
-    ) {
-        let mut doc = XmlNode::new(root);
-        for (k, v) in attrs {
+/// Arbitrary single-level documents round-trip through the writer and
+/// parser, including attribute and text escaping.
+#[test]
+fn xml_roundtrip() {
+    forall("xml roundtrip", 256, |g| {
+        let mut doc = XmlNode::new(g.ident(8));
+        for _ in 0..g.usize(0..=3) {
+            let (k, v) = (g.ident(8), g.string(0..=16));
             // Attribute names must be unique to round-trip deterministically;
             // duplicates are legal for the writer but we skip them here.
             if doc.get_attr(&k).is_none() {
                 doc.attrs.push((k, v));
             }
         }
-        for (name, text) in children {
+        for _ in 0..g.usize(0..=5) {
+            let (name, text) = (g.ident(8), g.string(0..=16));
             // Control characters are not representable in our XML subset.
             let clean: String = text.chars().filter(|c| !c.is_control()).collect();
-            doc.children.push(XmlNode::new(name).with_text(clean.trim().to_string()));
+            doc.children
+                .push(XmlNode::new(name).with_text(clean.trim().to_string()));
         }
         let serialized = doc.to_xml();
-        let back = parse_xml(&serialized).expect("own output parses");
-        prop_assert_eq!(back, doc);
-    }
+        let back = parse_xml(&serialized).map_err(|e| format!("own output fails: {e}"))?;
+        prop_ensure!(back == doc, "xml drift:\n{serialized}");
+        Ok(())
+    });
 }
 
 // ------------------------------------------------------------------
 // Schema inference lattice
 // ------------------------------------------------------------------
 
-proptest! {
-    /// The folded column type admits every individual value's type, and
-    /// folding is order-insensitive.
-    #[test]
-    fn inference_admits_all_values(cells in prop::collection::vec(".{0,10}", 1..20)) {
-        let types: Vec<ColumnType> =
-            cells.iter().map(|c| Value::infer(c).column_type()).collect();
+/// The folded column type admits every individual value's type, and
+/// folding is order-insensitive.
+#[test]
+fn inference_admits_all_values() {
+    forall("inference admits all values", 256, |g| {
+        let cells = g.vec(1..=19, |g| g.string(0..=10));
+        let types: Vec<ColumnType> = cells
+            .iter()
+            .map(|c| Value::infer(c).column_type())
+            .collect();
         let folded = types.iter().fold(ColumnType::Null, |a, &b| a.unify(b));
         for t in &types {
-            prop_assert!(folded.admits(*t), "{folded:?} !admits {t:?}");
+            prop_ensure!(folded.admits(*t), "{folded:?} !admits {t:?}");
         }
-        let folded_rev = types.iter().rev().fold(ColumnType::Null, |a, &b| a.unify(b));
-        prop_assert_eq!(folded, folded_rev);
-    }
+        let folded_rev = types
+            .iter()
+            .rev()
+            .fold(ColumnType::Null, |a, &b| a.unify(b));
+        prop_ensure!(folded == folded_rev, "unify not order-insensitive");
+        Ok(())
+    });
+}
 
-    /// Rendering a value and re-inferring it never *widens* past Text and
-    /// yields an equal value for the canonical types.
-    #[test]
-    fn value_render_stable(i in any::<i64>(), f in -1e12f64..1e12f64) {
-        prop_assert_eq!(Value::infer(&Value::Int(i).render()), Value::Int(i));
-        let v = Value::Float(f);
-        if let Value::Float(back) = Value::infer(&v.render()) {
-            let rel = if f == 0.0 { (back).abs() } else { ((back - f) / f).abs() };
-            prop_assert!(rel < 1e-9, "float render drift: {f} -> {back}");
+/// Rendering a value and re-inferring it never *widens* past Text and
+/// yields an equal value for the canonical types.
+#[test]
+fn value_render_stable() {
+    forall("value render stable", 256, |g| {
+        let i = g.i64(i64::MIN..=i64::MAX);
+        prop_ensure!(
+            Value::infer(&Value::Int(i).render()) == Value::Int(i),
+            "int render drift: {i}"
+        );
+        let f = g.f64(-1e12..1e12);
+        if let Value::Float(back) = Value::infer(&Value::Float(f).render()) {
+            let rel = if f == 0.0 {
+                back.abs()
+            } else {
+                ((back - f) / f).abs()
+            };
+            prop_ensure!(rel < 1e-9, "float render drift: {f} -> {back}");
         } else if f.fract() == 0.0 {
             // Integral floats may render as "x.0" and still infer Float; the
             // writer guarantees that, so reaching here is a failure.
-            prop_assert!(false, "integral float lost its type");
+            return Err("integral float lost its type".into());
         }
-    }
+        Ok(())
+    });
 }
 
 // ------------------------------------------------------------------
 // Time
 // ------------------------------------------------------------------
 
-proptest! {
-    /// Wallclock formatting round-trips for any instant below 24 h.
-    #[test]
-    fn wallclock_roundtrip(us in 0u64..86_400_000_000) {
-        let t = SimTime::from_micros(us);
-        prop_assert_eq!(parse_wallclock(&wallclock(t)), Some(t));
-    }
+/// Wallclock formatting round-trips for any instant below 24 h.
+#[test]
+fn wallclock_roundtrip() {
+    forall("wallclock roundtrip", 512, |g| {
+        let t = SimTime::from_micros(g.u64(0..=86_399_999_999));
+        prop_ensure!(
+            parse_wallclock(&wallclock(t)) == Some(t),
+            "wallclock drift at {t:?}"
+        );
+        Ok(())
+    });
+}
 
-    /// Time arithmetic: (t + d) - d == t and ordering is preserved.
-    #[test]
-    fn time_arith(base in 0u64..1_000_000_000, d in 0u64..1_000_000_000) {
-        let t = SimTime::from_micros(base);
-        let dur = SimDuration::from_micros(d);
-        prop_assert_eq!((t + dur) - dur, t);
-        prop_assert!(t + dur >= t);
-    }
+/// Time arithmetic: (t + d) - d == t and ordering is preserved.
+#[test]
+fn time_arith() {
+    forall("time arithmetic", 512, |g| {
+        let t = SimTime::from_micros(g.u64(0..=999_999_999));
+        let dur = SimDuration::from_micros(g.u64(0..=999_999_999));
+        prop_ensure!((t + dur) - dur == t, "(t + d) - d != t for {t:?} + {dur:?}");
+        prop_ensure!(t + dur >= t, "ordering broken for {t:?} + {dur:?}");
+        Ok(())
+    });
 }
 
 // ------------------------------------------------------------------
 // Statistics
 // ------------------------------------------------------------------
 
-proptest! {
-    /// Pearson r is always in [-1, 1] (when defined).
-    #[test]
-    fn pearson_bounded(pairs in prop::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 2..50)) {
+/// Pearson r is always in [-1, 1] (when defined).
+#[test]
+fn pearson_bounded() {
+    forall("pearson bounded", 256, |g| {
+        let pairs = g.vec(2..=49, |g| (g.f64(-1e6..1e6), g.f64(-1e6..1e6)));
         let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
         let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
         if let Some(r) = pearson(&xs, &ys) {
-            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
+            prop_ensure!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
         }
-    }
+        Ok(())
+    });
 }
 
 // ------------------------------------------------------------------
 // Queue derivation
 // ------------------------------------------------------------------
 
-proptest! {
-    /// For any set of residence intervals, the queue series stays within
-    /// [0, n], and is all-zero after every request departs.
-    #[test]
-    fn queue_series_bounded(
-        intervals in prop::collection::vec((0u64..10_000_000, 1u64..5_000_000), 1..100)
-    ) {
+/// For any set of residence intervals, the queue series stays within
+/// [0, n], and is all-zero after every request departs.
+#[test]
+fn queue_series_bounded() {
+    forall("queue series bounded", 128, |g| {
+        let intervals = g.vec(1..=99, |g| (g.u64(0..=9_999_999), g.u64(1..=4_999_999)));
         let ints: Vec<(i64, Option<i64>)> = intervals
             .iter()
             .map(|&(a, d)| (a as i64, Some((a + d) as i64)))
             .collect();
         let n = ints.len() as f64;
-        let horizon = intervals.iter().map(|&(a, d)| a + d).max().expect("non-empty");
+        let horizon = intervals
+            .iter()
+            .map(|&(a, d)| a + d)
+            .max()
+            .expect("non-empty");
         let series = mscope_analysis::queue_series(
             &ints,
             SimTime::ZERO,
@@ -158,41 +183,54 @@ proptest! {
             SimDuration::from_millis(100),
         );
         for (_, v) in series.iter() {
-            prop_assert!((0.0..=n).contains(&v), "queue {v} out of [0, {n}]");
+            prop_ensure!((0.0..=n).contains(&v), "queue {v} out of [0, {n}]");
         }
         let last = series.values().last().copied().expect("non-empty series");
-        prop_assert_eq!(last, 0.0, "queue must drain after all departures");
-    }
+        prop_ensure!(
+            last == 0.0,
+            "queue must drain after all departures, got {last}"
+        );
+        Ok(())
+    });
+}
 
-    /// The PIT max never falls below the PIT mean in any window.
-    #[test]
-    fn pit_max_ge_mean(
-        completions in prop::collection::vec((0i64..60_000_000, 0.1f64..1000.0), 1..200)
-    ) {
+/// The PIT max never falls below the PIT mean in any window.
+#[test]
+fn pit_max_ge_mean() {
+    forall("pit max >= mean", 128, |g| {
+        let completions = g.vec(1..=199, |g| (g.i64(0..=59_999_999), g.f64(0.1..1000.0)));
         let pit = mscope_analysis::PitSeries::from_completions(&completions, 50_000);
         for p in &pit.points {
-            prop_assert!(p.max_ms >= p.mean_ms - 1e-9);
-            prop_assert!(p.count > 0);
+            prop_ensure!(
+                p.max_ms >= p.mean_ms - 1e-9,
+                "max {} < mean {}",
+                p.max_ms,
+                p.mean_ms
+            );
+            prop_ensure!(p.count > 0, "empty window emitted");
         }
         // Window starts are aligned and strictly increasing.
         for w in pit.points.windows(2) {
-            prop_assert!(w[0].start_us < w[1].start_us);
-            prop_assert_eq!(w[0].start_us.rem_euclid(50_000), 0);
+            prop_ensure!(w[0].start_us < w[1].start_us, "windows not increasing");
+            prop_ensure!(w[0].start_us.rem_euclid(50_000) == 0, "window misaligned");
         }
-    }
+        Ok(())
+    });
 }
 
 // ------------------------------------------------------------------
 // Event-log pattern matching
 // ------------------------------------------------------------------
 
-proptest! {
-    /// Any request ID and interaction render into an Apache log line that
-    /// the Apache mScopeParser pattern parses back exactly.
-    #[test]
-    fn apache_pattern_inverts_rendering(id in any::<u64>(), idx in 0usize..24) {
-        let interaction = mscope_ntier::Interaction { idx };
-        let rid = mscope_ntier::RequestId(id);
+/// Any request ID and interaction render into an Apache log line that
+/// the Apache mScopeParser pattern parses back exactly.
+#[test]
+fn apache_pattern_inverts_rendering() {
+    forall("apache pattern inverts rendering", 256, |g| {
+        let interaction = mscope_ntier::Interaction {
+            idx: g.usize(0..=23),
+        };
+        let rid = mscope_ntier::RequestId(g.u64(0..=u64::MAX));
         let line = format!(
             "127.0.0.1 - - [00:00:01.000000] \"GET /rubbos/{}?ID={} HTTP/1.1\" 200 1802 \
              ua=00:00:00.900000 ud=00:00:01.000000 ds=- dr=-",
@@ -200,11 +238,22 @@ proptest! {
             rid
         );
         let spec = mscope_transform::apache_event_spec();
-        let caps = spec.records[0].match_line(&line).expect("rendered line parses");
-        let get = |k: &str| caps.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone()).expect("capture");
-        prop_assert_eq!(get("request_id"), rid.to_string());
-        prop_assert_eq!(get("interaction"), interaction.name());
-    }
+        let caps = spec.records[0]
+            .match_line(&line)
+            .ok_or_else(|| format!("rendered line does not parse: {line}"))?;
+        let get = |k: &str| {
+            caps.iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| v.clone())
+                .expect("capture")
+        };
+        prop_ensure!(get("request_id") == rid.to_string(), "request id drift");
+        prop_ensure!(
+            get("interaction") == interaction.name(),
+            "interaction drift"
+        );
+        Ok(())
+    });
 }
 
 // ------------------------------------------------------------------
@@ -214,50 +263,55 @@ proptest! {
 use mscope_monitors::{LogStore, ResourceMonitor, Tool};
 use mscope_ntier::{NodeId, ResourceSample, TierId, TierKind};
 
-fn sample_strategy() -> impl Strategy<Value = ResourceSample> {
-    (
-        1u64..100_000,           // time ms
-        0.0f64..60.0,            // cpu_user
-        0.0f64..20.0,            // cpu_sys
-        0.0f64..10.0,            // cpu_iowait
-        0.0f64..100.0,           // disk util
-        0u64..10_000_000,        // disk bytes
-        0u64..100_000,           // dirty pages
-    )
-        .prop_map(|(ms, user, sys, iowait, util, bytes, dirty)| ResourceSample {
-            time: SimTime::from_millis(ms),
-            node: NodeId { tier: TierId(3), replica: 0 },
-            kind: TierKind::Mysql,
-            cpu_user: user,
-            cpu_sys: sys,
-            cpu_iowait: iowait,
-            cpu_idle: (100.0 - user - sys - iowait).max(0.0),
-            disk_util: util,
-            disk_write_bytes: bytes,
-            disk_ops: bytes / 4096,
-            dirty_pages: dirty,
-            mem_used_bytes: 1 << 30,
-            net_rx_bytes: 1024,
-            net_tx_bytes: 2048,
-            queue_len: 1,
-            active_workers: 1,
-            log_bytes: 100,
-        })
+fn gen_sample(g: &mut Gen) -> ResourceSample {
+    let user = g.f64(0.0..60.0);
+    let sys = g.f64(0.0..20.0);
+    let iowait = g.f64(0.0..10.0);
+    let bytes = g.u64(0..=9_999_999);
+    ResourceSample {
+        time: SimTime::from_millis(g.u64(1..=99_999)),
+        node: NodeId {
+            tier: TierId(3),
+            replica: 0,
+        },
+        kind: TierKind::Mysql,
+        cpu_user: user,
+        cpu_sys: sys,
+        cpu_iowait: iowait,
+        cpu_idle: (100.0 - user - sys - iowait).max(0.0),
+        disk_util: g.f64(0.0..100.0),
+        disk_write_bytes: bytes,
+        disk_ops: bytes / 4096,
+        dirty_pages: g.u64(0..=99_999),
+        mem_used_bytes: 1 << 30,
+        net_rx_bytes: 1024,
+        net_tx_bytes: 2048,
+        queue_len: 1,
+        active_workers: 1,
+        log_bytes: 100,
+    }
 }
 
-proptest! {
-    /// Any resource sample survives the full journey: Collectl CSV render →
-    /// staged parser → annotated XML → schema inference → CSV → warehouse —
-    /// with the numeric values intact to format precision.
-    #[test]
-    fn collectl_roundtrip_through_pipeline(samples in prop::collection::vec(sample_strategy(), 1..20)) {
-        // Strictly increasing timestamps (monitors sample in order).
-        let mut samples = samples;
-        samples.sort_by_key(|s| s.time);
-        samples.dedup_by_key(|s| s.time);
+fn gen_sample_stream(g: &mut Gen, max: usize) -> Vec<ResourceSample> {
+    // Strictly increasing timestamps (monitors sample in order).
+    let mut samples = g.vec(1..=max, gen_sample);
+    samples.sort_by_key(|s| s.time);
+    samples.dedup_by_key(|s| s.time);
+    samples
+}
 
+/// Any resource sample survives the full journey: Collectl CSV render →
+/// staged parser → annotated XML → schema inference → CSV → warehouse —
+/// with the numeric values intact to format precision.
+#[test]
+fn collectl_roundtrip_through_pipeline() {
+    forall("collectl roundtrip through pipeline", 48, |g| {
+        let samples = gen_sample_stream(g, 19);
         let monitor = ResourceMonitor {
-            node: NodeId { tier: TierId(3), replica: 0 },
+            node: NodeId {
+                tier: TierId(3),
+                replica: 0,
+            },
             kind: TierKind::Mysql,
             tool: Tool::CollectlCsv,
             period: mscope_sim::SimDuration::from_millis(1), // pass-through
@@ -278,29 +332,48 @@ proptest! {
         let mut db = mscope_db::Database::new();
         mscope_transform::DataTransformer::from_manifest(&[meta])
             .run(&store, &mut db)
-            .expect("pipeline handles any rendered sample");
+            .map_err(|e| format!("pipeline rejected rendered samples: {e}"))?;
         let t = db.require("collectl").expect("table created");
-        prop_assert_eq!(t.row_count(), samples.len());
+        prop_ensure!(t.row_count() == samples.len(), "row count drift");
         for (i, s) in samples.iter().enumerate() {
             let cell = |c: &str| t.cell(i, c).and_then(Value::as_f64).expect("numeric cell");
-            prop_assert!((cell("cpu_user") - s.cpu_user).abs() < 0.01);
-            prop_assert!((cell("disk_util") - s.disk_util).abs() < 0.1);
-            prop_assert_eq!(cell("mem_dirty") as u64, s.dirty_pages);
-            let time = t.cell(i, "time").and_then(Value::as_i64).expect("timestamp");
-            prop_assert_eq!(time as u64, s.time.as_micros());
+            prop_ensure!(
+                (cell("cpu_user") - s.cpu_user).abs() < 0.01,
+                "cpu_user drift"
+            );
+            prop_ensure!(
+                (cell("disk_util") - s.disk_util).abs() < 0.1,
+                "disk_util drift"
+            );
+            prop_ensure!(cell("mem_dirty") as u64 == s.dirty_pages, "mem_dirty drift");
+            let time = t
+                .cell(i, "time")
+                .and_then(Value::as_i64)
+                .expect("timestamp");
+            prop_ensure!(time as u64 == s.time.as_micros(), "timestamp drift");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Every tool's renderer produces output its declared parser accepts,
-    /// for any sample stream — no format can drift away from its parser.
-    #[test]
-    fn all_tools_parse_their_own_output(samples in prop::collection::vec(sample_strategy(), 1..12)) {
-        let mut samples = samples;
-        samples.sort_by_key(|s| s.time);
-        samples.dedup_by_key(|s| s.time);
-        for tool in [Tool::CollectlCsv, Tool::CollectlPlain, Tool::SarText, Tool::SarXml, Tool::Iostat] {
+/// Every tool's renderer produces output its declared parser accepts,
+/// for any sample stream — no format can drift away from its parser.
+#[test]
+fn all_tools_parse_their_own_output() {
+    forall("all tools parse their own output", 32, |g| {
+        let samples = gen_sample_stream(g, 11);
+        for tool in [
+            Tool::CollectlCsv,
+            Tool::CollectlPlain,
+            Tool::SarText,
+            Tool::SarXml,
+            Tool::Iostat,
+        ] {
             let monitor = ResourceMonitor {
-                node: NodeId { tier: TierId(3), replica: 0 },
+                node: NodeId {
+                    tier: TierId(3),
+                    replica: 0,
+                },
                 kind: TierKind::Mysql,
                 tool,
                 period: mscope_sim::SimDuration::from_millis(1),
@@ -318,12 +391,18 @@ proptest! {
                 period_ms: 1,
             };
             let mut db = mscope_db::Database::new();
-            let report = mscope_transform::DataTransformer::from_manifest(&[meta])
-                .run(&store, &mut db);
-            prop_assert!(report.is_ok(), "{:?} failed: {:?}", tool, report.err());
-            prop_assert_eq!(report.expect("checked").entries, samples.len());
+            let report =
+                mscope_transform::DataTransformer::from_manifest(&[meta]).run(&store, &mut db);
+            let report = report.map_err(|e| format!("{tool:?} failed: {e}"))?;
+            prop_ensure!(
+                report.entries == samples.len(),
+                "{tool:?} entry count drift: {} != {}",
+                report.entries,
+                samples.len()
+            );
         }
-    }
+        Ok(())
+    });
 }
 
 // ------------------------------------------------------------------
@@ -364,15 +443,12 @@ enum Cmp {
     TextEq(String),
 }
 
-fn cmp_strategy() -> impl Strategy<Value = Cmp> {
-    prop_oneof![
-        (prop_oneof![Just("="), Just("!="), Just("<"), Just(">"), Just("<="), Just(">=")],
-         0i64..8)
-            .prop_map(|(op, v)| Cmp::Int(op, v)),
-        (prop_oneof![Just("<"), Just(">")], 0.0f64..14.0)
-            .prop_map(|(op, v)| Cmp::Float(op, v)),
-        (0u64..6).prop_map(|k| Cmp::TextEq(format!("s{k}"))),
-    ]
+fn gen_cmp(g: &mut Gen) -> Cmp {
+    match g.u64(0..=2) {
+        0 => Cmp::Int(g.choose(&["=", "!=", "<", ">", "<=", ">="]), g.i64(0..=7)),
+        1 => Cmp::Float(g.choose(&["<", ">"]), g.f64(0.0..14.0)),
+        _ => Cmp::TextEq(format!("s{}", g.u64(0..=5))),
+    }
 }
 
 fn cmp_to_sql(c: &Cmp) -> String {
@@ -408,14 +484,13 @@ fn cmp_to_pred(c: &Cmp) -> Predicate {
     }
 }
 
-proptest! {
-    /// For any conjunction/disjunction of generated comparisons, executing
-    /// the SQL text equals filtering with the equivalent predicate AST.
-    #[test]
-    fn sql_matches_direct_predicates(
-        cmps in prop::collection::vec(cmp_strategy(), 1..5),
-        use_or in any::<bool>(),
-    ) {
+/// For any conjunction/disjunction of generated comparisons, executing
+/// the SQL text equals filtering with the equivalent predicate AST.
+#[test]
+fn sql_matches_direct_predicates() {
+    forall("sql matches direct predicates", 128, |g| {
+        let cmps = g.vec(1..=4, gen_cmp);
+        let use_or = g.bool();
         let db = sql_test_db();
         let joiner = if use_or { " OR " } else { " AND " };
         let sql = format!(
@@ -430,11 +505,20 @@ proptest! {
         } else {
             Predicate::And(preds)
         };
-        let via_sql = db.query(&sql).expect("generated SQL parses");
+        let via_sql = db
+            .query(&sql)
+            .map_err(|e| format!("generated SQL rejected: {e}\n{sql}"))?;
         let direct: Table = db.require("t").expect("table").filter(&pred);
-        prop_assert_eq!(via_sql.row_count(), direct.row_count(), "query: {}", sql);
+        prop_ensure!(
+            via_sql.row_count() == direct.row_count(),
+            "row count mismatch for query: {sql}"
+        );
         for i in 0..via_sql.row_count() {
-            prop_assert_eq!(via_sql.row(i), direct.row(i));
+            prop_ensure!(
+                via_sql.row(i) == direct.row(i),
+                "row {i} differs for query: {sql}"
+            );
         }
-    }
+        Ok(())
+    });
 }

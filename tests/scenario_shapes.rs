@@ -17,7 +17,9 @@ fn scenario_a_figures_hold_paper_shapes() {
     // Fig 2: PIT max exceeds 20x the window means' level during the episode.
     let f2 = fig2(&ms);
     let peak = f2.max_of("max_rt_ms").expect("series non-empty");
-    let pit = ms.pit(mscope_sim::SimDuration::from_millis(50)).expect("pit");
+    let pit = ms
+        .pit(mscope_sim::SimDuration::from_millis(50))
+        .expect("pit");
     let mean = pit.overall_mean_ms();
     assert!(
         peak > 20.0 * mean,
@@ -62,7 +64,9 @@ fn scenario_b_figure8_holds_paper_shapes() {
 
     // 8a: tall peaks over a low mean.
     let peak = d.pit.max_of("max_rt_ms").expect("pit series");
-    let pit = ms.pit(mscope_sim::SimDuration::from_millis(50)).expect("pit");
+    let pit = ms
+        .pit(mscope_sim::SimDuration::from_millis(50))
+        .expect("pit");
     assert!(
         peak > 8.0 * pit.overall_mean_ms(),
         "Fig 8a shape: peak {peak:.1} vs mean {:.2}",
@@ -80,7 +84,12 @@ fn scenario_b_figure8_holds_paper_shapes() {
 
     // 8d: dirty pages drop abruptly somewhere in the span.
     let has_drop = |label: &str| {
-        let idx = d.dirty.labels.iter().position(|l| l == label).expect("label");
+        let idx = d
+            .dirty
+            .labels
+            .iter()
+            .position(|l| l == label)
+            .expect("label");
         let vals: Vec<f64> = d
             .dirty
             .rows
