@@ -108,6 +108,20 @@ impl MilliScope {
         &self.db
     }
 
+    /// Statically checks a SQL query against this experiment's live
+    /// schemas without executing it — the interactive face of
+    /// `mscope-lint`'s SQL front. Catches unknown tables/columns,
+    /// syntax errors, and statically impossible comparisons before a
+    /// dashboard or notebook ships the query.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Db`] with the same error an execution would produce.
+    pub fn check_query(&self, sql: &str) -> Result<(), CoreError> {
+        mscope_db::sql::check_against(&self.db, sql)?;
+        Ok(())
+    }
+
     /// What the transformation pipeline loaded.
     pub fn transform_report(&self) -> &TransformReport {
         &self.report
@@ -368,6 +382,28 @@ mod tests {
                 f.request_id
             );
         }
+    }
+
+    #[test]
+    fn check_query_validates_against_live_schemas() {
+        let ms = ingested(60);
+        ms.check_query("SELECT node, MAX(disk_util) FROM collectl GROUP BY node")
+            .unwrap();
+        ms.check_query("SELECT * FROM experiments").unwrap();
+        // Unknown table, unknown column, impossible comparison: all
+        // rejected without executing anything.
+        assert!(matches!(
+            ms.check_query("SELECT * FROM ghost"),
+            Err(CoreError::Db(mscope_db::DbError::NoSuchTable(_)))
+        ));
+        assert!(matches!(
+            ms.check_query("SELECT ghost FROM collectl"),
+            Err(CoreError::Db(mscope_db::DbError::NoSuchColumn(_)))
+        ));
+        assert!(matches!(
+            ms.check_query("SELECT AVG(node) FROM collectl"),
+            Err(CoreError::Db(mscope_db::DbError::TypeMismatch { .. }))
+        ));
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! The `mscope-lint` binary.
+//!
+//! ```text
+//! mscope-lint <declarations|source|all> [--json] [--root <path>]
+//! ```
+//!
+//! Exit status: 0 when no deny-level finding survives the allowlists,
+//! 1 when at least one does, 2 on usage or I/O errors.
+
+use mscope_lint::Report;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: mscope-lint <declarations|source|all> [--json] [--root <path>]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command: Option<String> = None;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_error("--root needs a path"),
+            },
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            cmd if command.is_none() && !cmd.starts_with('-') => {
+                command = Some(cmd.to_string());
+            }
+            other => return usage_error(&format!("unrecognized argument `{other}`")),
+        }
+    }
+    let Some(command) = command else {
+        return usage_error("missing command");
+    };
+
+    let root = match root.map_or_else(discover_root, Ok) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mscope-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match command.as_str() {
+        "declarations" => mscope_lint::run_declarations(&root),
+        "source" => mscope_lint::run_source(&root),
+        "all" => mscope_lint::run_all(&root),
+        other => return usage_error(&format!("unknown command `{other}`")),
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mscope-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    render(&report, json);
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn render(report: &Report, json: bool) {
+    if json {
+        println!("{}", mscope_serdes::to_string_pretty(report));
+    } else {
+        print!("{}", report.render_text());
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("mscope-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` declaring
+/// a `[workspace]` section.
+fn discover_root() -> Result<PathBuf, String> {
+    let start = std::env::current_dir().map_err(|e| e.to_string())?;
+    let mut dir: Option<&Path> = Some(&start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).map_err(|e| e.to_string())?;
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Ok(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    Err(format!(
+        "no workspace root found above {} (pass --root)",
+        start.display()
+    ))
+}

@@ -1,0 +1,641 @@
+//! Front 2: the workspace source scanner.
+//!
+//! A line/token level Rust scanner — no rustc internals. Comments, string
+//! literals, and char literals are *scrubbed* (replaced by spaces,
+//! preserving byte offsets and newlines) so rule needles never match inside
+//! them; `#[cfg(test)]` modules and `#[test]` functions are then *masked*
+//! by brace tracking so test code is exempt. String literals are collected
+//! during scrubbing, which is also how the domain front finds `SELECT …`
+//! queries to type-check.
+//!
+//! Rules:
+//!
+//! * `no-unwrap` — no `.unwrap()` / `.expect(` / `panic!` in non-test
+//!   library code of the hot-path crates (`ntier`, `transform`,
+//!   `warehouse`, `analysis`);
+//! * `no-wallclock` — no `Instant::now` / `SystemTime::now` inside the
+//!   deterministic `sim` crate (simulated time only);
+//! * `hermetic-deps` — every dependency entry in every manifest must
+//!   resolve in-tree (`path = …` or `workspace = true`), and the
+//!   historically banned registry crates must never reappear.
+
+use crate::{Finding, Severity};
+use std::fs;
+use std::io;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+/// Crates whose library code must stay free of `unwrap`/`expect`/`panic!`.
+pub const HOT_PATH_CRATES: &[&str] = &["ntier", "transform", "warehouse", "analysis"];
+
+/// The deterministic-time crate where wall-clock reads are banned.
+pub const SIM_CRATE: &str = "sim";
+
+/// Registry crates that must never reappear in any manifest, even as path
+/// dependencies to vendored copies (the workspace replaces them).
+pub const BANNED_CRATES: &[&str] = &[
+    "serde",
+    "serde_json",
+    "serde_derive",
+    "rand",
+    "proptest",
+    "criterion",
+];
+
+/// Dependency-declaring TOML section headers.
+const DEP_SECTIONS: &[&str] = &[
+    "dependencies",
+    "dev-dependencies",
+    "build-dependencies",
+    "workspace.dependencies",
+];
+
+/// A string literal found in non-test source: `file:line` plus contents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlLiteral {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the literal's opening quote.
+    pub line: u64,
+    /// Literal contents (unescaped enough for SQL: `\'`→`'`, `\"`→`"`,
+    /// `\\`→`\`, `\n`→newline).
+    pub text: String,
+}
+
+// ---------------------------------------------------------------------
+// Scrubbing
+// ---------------------------------------------------------------------
+
+/// One collected string literal: byte offset of the opening quote plus the
+/// (lightly unescaped) contents.
+#[derive(Debug)]
+struct StrLit {
+    offset: usize,
+    content: String,
+}
+
+/// Replaces comments, string literals, and char literals with spaces
+/// (newlines kept, byte length preserved) and collects the string
+/// literals. Works on bytes; multi-byte UTF-8 only ever appears *inside*
+/// the regions being blanked, where it is replaced byte-for-byte.
+fn scrub(src: &str) -> (String, Vec<StrLit>) {
+    let b = src.as_bytes();
+    let mut out = vec![0u8; b.len()];
+    out.copy_from_slice(b);
+    let mut lits = Vec::new();
+    let blank = |out: &mut [u8], range: Range<usize>| {
+        for i in range {
+            if out[i] != b'\n' {
+                out[i] = b' ';
+            }
+        }
+    };
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let end = b[i..]
+                    .iter()
+                    .position(|&c| c == b'\n')
+                    .map_or(b.len(), |p| i + p);
+                blank(&mut out, i..end);
+                i = end;
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Nested block comments, per Rust.
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'/' && b.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && b.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut out, i..j);
+                i = j;
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                // r"…", r#"…"#, br"…", … — find hash count then closer.
+                let mut j = i + 1;
+                if b[j] == b'r' {
+                    j += 1; // the `br` case
+                }
+                let mut hashes = 0;
+                while b.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                let open = j; // at the opening quote
+                j += 1;
+                let closer: Vec<u8> = std::iter::once(b'"')
+                    .chain(std::iter::repeat_n(b'#', hashes))
+                    .collect();
+                let end = find_subslice(&b[j..], &closer).map_or(b.len(), |p| j + p);
+                lits.push(StrLit {
+                    offset: open,
+                    content: src[open + 1..end].to_string(),
+                });
+                let stop = (end + closer.len()).min(b.len());
+                blank(&mut out, i..stop);
+                i = stop;
+            }
+            b'"' => {
+                let (end, content) = take_quoted(src, b, i);
+                lits.push(StrLit { offset: i, content });
+                blank(&mut out, i..end);
+                i = end;
+            }
+            b'\'' => {
+                // Char literal vs lifetime. A literal is 'x' or '\…';
+                // a lifetime has no closing quote right after its one
+                // "payload" char.
+                if b.get(i + 1) == Some(&b'\\') {
+                    let mut j = i + 2;
+                    while j < b.len() && b[j] != b'\'' {
+                        j += 1;
+                    }
+                    let stop = (j + 1).min(b.len());
+                    blank(&mut out, i..stop);
+                    i = stop;
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+                    blank(&mut out, i..i + 3);
+                    i += 3;
+                } else {
+                    i += 1; // lifetime — leave it
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    (String::from_utf8_lossy(&out).into_owned(), lits)
+}
+
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    // r"  r#"  br"  br#"  b"   — only the raw forms are handled here;
+    // plain b"…" falls through to the `"` arm via this check failing.
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if b.get(j) != Some(&b'r') {
+            return false;
+        }
+    }
+    if b.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while b.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&b'"')
+        // `r` must not be part of a longer identifier (e.g. `for"…"` is
+        // impossible, but `var"` never happens either; the cheap guard is
+        // that the byte before is not identifier-ish).
+        && (i == 0 || !(b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_'))
+}
+
+/// Consumes a `"…"` literal starting at `i`; returns (end-exclusive,
+/// unescaped content).
+fn take_quoted(src: &str, b: &[u8], i: usize) -> (usize, String) {
+    let mut j = i + 1;
+    let mut content = String::new();
+    while j < b.len() {
+        match b[j] {
+            b'\\' => {
+                match b.get(j + 1) {
+                    Some(b'n') => content.push('\n'),
+                    Some(b't') => content.push('\t'),
+                    Some(&c @ (b'"' | b'\'' | b'\\')) => content.push(c as char),
+                    _ => {} // other escapes are irrelevant to SQL extraction
+                }
+                j += 2;
+            }
+            b'"' => return (j + 1, content),
+            _ => {
+                // Copy the full UTF-8 character.
+                let ch_len = src[j..].chars().next().map_or(1, char::len_utf8);
+                content.push_str(&src[j..j + ch_len]);
+                j += ch_len;
+            }
+        }
+    }
+    (b.len(), content)
+}
+
+fn find_subslice(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    hay.windows(needle.len()).position(|w| w == needle)
+}
+
+// ---------------------------------------------------------------------
+// Test masking
+// ---------------------------------------------------------------------
+
+/// Byte ranges of `#[cfg(test)]` / `#[test]` items in scrubbed source,
+/// found by scanning to the first `{` after the attribute and tracking
+/// brace depth to its match.
+fn test_ranges(scrubbed: &str) -> Vec<Range<usize>> {
+    let mut ranges = Vec::new();
+    for marker in ["#[cfg(test)]", "#[test]"] {
+        let mut from = 0;
+        while let Some(p) = scrubbed[from..].find(marker) {
+            let at = from + p;
+            let after = at + marker.len();
+            if let Some(open_rel) = scrubbed[after..].find('{') {
+                let open = after + open_rel;
+                let mut depth = 0usize;
+                let mut end = scrubbed.len();
+                for (k, c) in scrubbed[open..].char_indices() {
+                    match c {
+                        '{' => depth += 1,
+                        '}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                end = open + k + 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                ranges.push(at..end);
+                from = end;
+            } else {
+                from = after;
+            }
+        }
+    }
+    ranges
+}
+
+fn in_ranges(ranges: &[Range<usize>], offset: usize) -> bool {
+    ranges.iter().any(|r| r.contains(&offset))
+}
+
+/// Blanks the test ranges out of scrubbed source (newlines kept).
+fn mask_tests(scrubbed: &str) -> (String, Vec<Range<usize>>) {
+    let ranges = test_ranges(scrubbed);
+    let mut out = scrubbed.as_bytes().to_vec();
+    for r in &ranges {
+        for i in r.clone() {
+            if out[i] != b'\n' {
+                out[i] = b' ';
+            }
+        }
+    }
+    (String::from_utf8_lossy(&out).into_owned(), ranges)
+}
+
+fn line_of(src: &str, offset: usize) -> u64 {
+    src.as_bytes()[..offset.min(src.len())]
+        .iter()
+        .filter(|&&c| c == b'\n')
+        .count() as u64
+        + 1
+}
+
+// ---------------------------------------------------------------------
+// Rules over one file
+// ---------------------------------------------------------------------
+
+/// Lints one Rust source text as non-test library code of `crate_name`.
+/// `rel` is the workspace-relative path used in findings. Exposed for
+/// fixture tests; [`scan`] drives it over the real workspace.
+pub fn lint_rust_source(crate_name: &str, rel: &str, text: &str) -> Vec<Finding> {
+    let (scrubbed, _lits) = scrub(text);
+    let (masked, _ranges) = mask_tests(&scrubbed);
+    let mut findings = Vec::new();
+
+    let mut needle_findings = |needles: &[&str], rule: &str, what: &str| {
+        for needle in needles {
+            let mut from = 0;
+            while let Some(p) = masked[from..].find(needle) {
+                let at = from + p;
+                let line = line_of(text, at);
+                // Quote the offending source line so allowlist needles can
+                // pin to a specific call site (e.g. its expect message).
+                let line_text = text
+                    .lines()
+                    .nth(line as usize - 1)
+                    .unwrap_or_default()
+                    .trim();
+                findings.push(Finding {
+                    rule: rule.to_string(),
+                    severity: Severity::Deny,
+                    file: rel.to_string(),
+                    line,
+                    message: format!("`{needle}` {what}: `{line_text}`"),
+                });
+                from = at + needle.len();
+            }
+        }
+    };
+
+    if HOT_PATH_CRATES.contains(&crate_name) {
+        needle_findings(
+            &[".unwrap()", ".expect(", "panic!"],
+            "no-unwrap",
+            "in non-test library code of a hot-path crate",
+        );
+    }
+    if crate_name == SIM_CRATE {
+        needle_findings(
+            &["Instant::now", "SystemTime::now"],
+            "no-wallclock",
+            "in the deterministic sim crate (use simulated time)",
+        );
+    }
+    findings
+}
+
+/// Lints one manifest text for non-hermetic or banned dependencies.
+/// Exposed for fixture tests.
+pub fn lint_manifest(rel: &str, text: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut in_dep_section = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            let section = line.trim_matches(['[', ']']);
+            in_dep_section = DEP_SECTIONS
+                .iter()
+                .any(|s| section == *s || section.ends_with(&format!(".{s}")));
+            continue;
+        }
+        if !in_dep_section || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let hermetic = line.contains("path =")
+            || line.contains("path=")
+            || line.contains("workspace = true")
+            || line.contains("workspace=true");
+        let name = line
+            .split(['=', '.'])
+            .next()
+            .map(str::trim)
+            .unwrap_or_default()
+            .trim_matches('"');
+        if BANNED_CRATES.contains(&name) {
+            findings.push(Finding {
+                rule: "hermetic-deps".to_string(),
+                severity: Severity::Deny,
+                file: rel.to_string(),
+                line: idx as u64 + 1,
+                message: format!("banned crate `{name}` declared (the workspace replaces it)"),
+            });
+        } else if !hermetic {
+            findings.push(Finding {
+                rule: "hermetic-deps".to_string(),
+                severity: Severity::Deny,
+                file: rel.to_string(),
+                line: idx as u64 + 1,
+                message: format!(
+                    "`{line}` is not a path/workspace dependency and needs a registry"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Workspace walking
+// ---------------------------------------------------------------------
+
+fn rust_files_under(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    if !dir.is_dir() {
+        return Ok(out);
+    }
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if path.is_dir() {
+                if name != "target" && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn crate_dirs(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in fs::read_dir(&crates)? {
+            let path = entry?.path();
+            if path.join("Cargo.toml").is_file() {
+                let name = path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .unwrap_or_default()
+                    .to_string();
+                out.push((name, path));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Scans the workspace for source-front findings (`no-unwrap`,
+/// `no-wallclock`, `hermetic-deps`).
+///
+/// # Errors
+///
+/// I/O errors walking or reading files.
+pub fn scan(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for (name, dir) in crate_dirs(root)? {
+        for file in rust_files_under(&dir.join("src"))? {
+            let text = fs::read_to_string(&file)?;
+            findings.extend(lint_rust_source(&name, &rel_path(root, &file), &text));
+        }
+    }
+    // Manifests: the root plus every crate.
+    let mut manifests = vec![root.join("Cargo.toml")];
+    manifests.extend(
+        crate_dirs(root)?
+            .into_iter()
+            .map(|(_, d)| d.join("Cargo.toml")),
+    );
+    for m in manifests {
+        if m.is_file() {
+            let text = fs::read_to_string(&m)?;
+            findings.extend(lint_manifest(&rel_path(root, &m), &text));
+        }
+    }
+    Ok(findings)
+}
+
+/// Extracts `SELECT …` string literals from all *non-test* workspace
+/// source: every crate's `src/`, the root `src/`, and `examples/`. Test
+/// modules and `tests/` directories are exempt — they may query synthetic
+/// tables on purpose.
+///
+/// # Errors
+///
+/// I/O errors walking or reading files.
+pub fn sql_literals(root: &Path) -> io::Result<Vec<SqlLiteral>> {
+    let mut dirs: Vec<PathBuf> = vec![root.join("src"), root.join("examples")];
+    for (_, d) in crate_dirs(root)? {
+        dirs.push(d.join("src"));
+        dirs.push(d.join("examples"));
+    }
+    let mut out = Vec::new();
+    for dir in dirs {
+        for file in rust_files_under(&dir)? {
+            let text = fs::read_to_string(&file)?;
+            let (scrubbed, lits) = scrub(&text);
+            let ranges = test_ranges(&scrubbed);
+            let rel = rel_path(root, &file);
+            for lit in lits {
+                if in_ranges(&ranges, lit.offset) {
+                    continue;
+                }
+                let trimmed = lit.content.trim_start();
+                // A bare `"SELECT "` prefix with nothing after it is a
+                // needle or fragment, not a checkable query.
+                if trimmed.len() > 7
+                    && trimmed
+                        .get(..7)
+                        .is_some_and(|p| p.eq_ignore_ascii_case("select "))
+                {
+                    out.push(SqlLiteral {
+                        file: rel.clone(),
+                        line: line_of(&text, lit.offset),
+                        text: lit.content.clone(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrub_blanks_comments_and_strings() {
+        let src = "let a = \"x.unwrap()\"; // .unwrap()\n/* panic! */ let b = 'c';\n";
+        let (s, lits) = scrub(src);
+        assert_eq!(s.len(), src.len());
+        assert!(!s.contains("unwrap"));
+        assert!(!s.contains("panic"));
+        assert!(s.contains("let a"));
+        assert!(s.contains("let b"));
+        assert_eq!(lits.len(), 1);
+        assert_eq!(lits[0].content, "x.unwrap()");
+    }
+
+    #[test]
+    fn scrub_handles_raw_strings_escapes_and_lifetimes() {
+        let src =
+            "fn f<'a>(x: &'a str) { let r = r#\"SELECT \"q\" panic!\"#; let e = \"a\\\"b\"; }";
+        let (s, lits) = scrub(src);
+        assert!(!s.contains("panic"));
+        assert!(s.contains("fn f<'a>"), "lifetimes untouched: {s}");
+        assert_eq!(lits.len(), 2);
+        assert_eq!(lits[0].content, "SELECT \"q\" panic!");
+        assert_eq!(lits[1].content, "a\"b");
+    }
+
+    #[test]
+    fn test_blocks_are_masked() {
+        let src =
+            "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn b() { y.unwrap(); }\n}\n";
+        let (scrubbed, _) = scrub(src);
+        let (masked, ranges) = mask_tests(&scrubbed);
+        assert_eq!(masked.matches(".unwrap()").count(), 1, "{masked}");
+        assert_eq!(ranges.len(), 1);
+    }
+
+    #[test]
+    fn no_unwrap_fires_only_for_hot_crates_outside_tests() {
+        let src = "fn a() { x.unwrap(); }\n#[test]\nfn t() { y.unwrap(); }\n";
+        let f = lint_rust_source("warehouse", "crates/warehouse/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-unwrap");
+        assert_eq!(f[0].line, 1);
+        assert_eq!(f[0].severity, Severity::Deny);
+        // Same text in a non-hot crate: clean.
+        assert!(lint_rust_source("serdes", "crates/serdes/src/x.rs", src).is_empty());
+        // Clean text in a hot crate: clean.
+        assert!(lint_rust_source("ntier", "x.rs", "fn a() -> Option<u8> { None }").is_empty());
+    }
+
+    #[test]
+    fn expect_and_panic_also_fire() {
+        let src = "fn a() { b.expect(\"msg\"); panic!(\"boom\"); }";
+        let rules: Vec<String> = lint_rust_source("transform", "x.rs", src)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect();
+        assert_eq!(rules, vec!["no-unwrap", "no-unwrap"]);
+    }
+
+    #[test]
+    fn wallclock_fires_only_in_sim() {
+        let src = "fn t() -> Instant { Instant::now() }";
+        let f = lint_rust_source("sim", "crates/sim/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-wallclock");
+        assert!(lint_rust_source("bench", "crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn manifest_rules_catch_registry_and_banned_deps() {
+        let good = "[dependencies]\nmscope-sim.workspace = true\nfoo = { path = \"../foo\" }\n";
+        assert!(lint_manifest("Cargo.toml", good).is_empty());
+        let bad = "[dependencies]\nlibc = \"0.2\"\n";
+        let f = lint_manifest("Cargo.toml", bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "hermetic-deps");
+        assert_eq!(f[0].line, 2);
+        let banned = "[dev-dependencies]\nserde = { path = \"../vendored/serde\" }\n";
+        let f = lint_manifest("Cargo.toml", banned);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("banned"));
+        // Non-dependency sections are ignored.
+        let other = "[package]\nname = \"x\"\nversion = \"0.1.0\"\n";
+        assert!(lint_manifest("Cargo.toml", other).is_empty());
+    }
+
+    #[test]
+    fn sql_literal_extraction_skips_tests_and_non_queries() {
+        let dir = std::env::temp_dir().join("mscope-lint-sqlx");
+        let src_dir = dir.join("src");
+        fs::create_dir_all(&src_dir).unwrap();
+        fs::write(
+            src_dir.join("lib.rs"),
+            "fn q() { run(\"SELECT a FROM t\"); log(\"not sql\"); }\n\
+             #[cfg(test)]\nmod tests { fn t() { run(\"SELECT b FROM fake\"); } }\n",
+        )
+        .unwrap();
+        let lits = sql_literals(&dir).unwrap();
+        assert_eq!(lits.len(), 1, "{lits:?}");
+        assert_eq!(lits[0].text, "SELECT a FROM t");
+        assert_eq!(lits[0].line, 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,44 @@
+//! Integration: `mscope-lint all` over the real workspace is clean.
+//!
+//! This is the same gate CI runs — every deny-level rule (pattern/decl
+//! validity, schema conflicts, SQL-vs-schema, no-unwrap, no-wallclock,
+//! hermetic-deps) must hold at HEAD modulo the checked-in `lint.allow`
+//! files, and no allowlist entry may be stale.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+#[test]
+fn run_all_over_the_real_workspace_is_clean() {
+    let report = mscope_lint::run_all(&workspace_root()).expect("lint run succeeds");
+    assert!(
+        report.is_clean(),
+        "deny findings at HEAD:\n{}",
+        report.render_text()
+    );
+    // The allowlists must not rot: every entry still suppresses something.
+    let stale: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "stale-allow")
+        .collect();
+    assert!(stale.is_empty(), "stale allowlist entries: {stale:?}");
+}
+
+#[test]
+fn source_front_alone_is_clean() {
+    let report = mscope_lint::run_source(&workspace_root()).expect("lint run succeeds");
+    assert!(report.is_clean(), "{}", report.render_text());
+}
+
+#[test]
+fn declaration_front_alone_is_clean() {
+    let report = mscope_lint::run_declarations(&workspace_root()).expect("lint run succeeds");
+    assert!(report.is_clean(), "{}", report.render_text());
+}

@@ -146,20 +146,16 @@ impl MonitorSuite {
         }
     }
 
-    /// Renders every monitor's log from a finished run.
-    pub fn render(&self, out: &RunOutput) -> MonitoringArtifacts {
-        let mut store = LogStore::new();
+    /// The manifest this suite *will* produce for a topology, computed
+    /// statically — no run required. `render` emits exactly these entries
+    /// (event logs first, in topology order, then resource monitors in
+    /// deployment order), so tooling like `mscope-lint` can derive and
+    /// validate the parsing declarations without executing a simulation.
+    pub fn manifest(&self, cfg: &SystemConfig) -> Vec<LogFileMeta> {
         let mut manifest = Vec::new();
-
         if self.event_monitors {
-            let nodes: Vec<(NodeId, TierKind)> = topology_nodes(&out.config);
-            let monitors = render_event_logs(&nodes, &out.lifecycle, &mut store);
-            for m in &monitors {
-                let (node, kind) = nodes
-                    .iter()
-                    .copied()
-                    .find(|(n, _)| *n == m.node())
-                    .expect("monitor node is in topology");
+            for (node, kind) in topology_nodes(cfg) {
+                let m = crate::event::EventMonitor::new(node, kind);
                 manifest.push(LogFileMeta {
                     path: m.log_path(),
                     node,
@@ -172,9 +168,7 @@ impl MonitorSuite {
                 });
             }
         }
-
         for rm in &self.resource_monitors {
-            rm.render(&out.samples, &mut store);
             manifest.push(LogFileMeta {
                 path: rm.log_path(),
                 node: rm.node,
@@ -186,11 +180,25 @@ impl MonitorSuite {
                 period_ms: rm.period.as_millis(),
             });
         }
+        manifest
+    }
+
+    /// Renders every monitor's log from a finished run.
+    pub fn render(&self, out: &RunOutput) -> MonitoringArtifacts {
+        let mut store = LogStore::new();
+
+        if self.event_monitors {
+            let nodes: Vec<(NodeId, TierKind)> = topology_nodes(&out.config);
+            render_event_logs(&nodes, &out.lifecycle, &mut store);
+        }
+        for rm in &self.resource_monitors {
+            rm.render(&out.samples, &mut store);
+        }
 
         let sysviz = self.sysviz.then(|| SysVizTap::reconstruct(&out.messages));
         MonitoringArtifacts {
             store,
-            manifest,
+            manifest: self.manifest(&out.config),
             sysviz,
         }
     }

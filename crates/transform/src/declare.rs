@@ -13,8 +13,9 @@
 //! tags.
 
 use crate::error::TransformError;
-use crate::pattern::Pattern;
+use crate::pattern::{Pattern, Tok};
 use crate::xml::{self, XmlNode};
+use mscope_db::{ColumnType, Value};
 
 /// Cheap line classifiers used by filter stages.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -201,8 +202,9 @@ impl ParsingDeclaration {
                     }
                     *idx += 1;
                     if *idx == bs.lines.len() {
-                        let (fields, _) = block.take().expect("inside block");
-                        entries.push(self.make_entry(&fields));
+                        if let Some((fields, _)) = block.take() {
+                            entries.push(self.make_entry(&fields));
+                        }
                     }
                     continue;
                 }
@@ -253,6 +255,396 @@ impl ParsingDeclaration {
             entries.push(self.make_entry(&fields));
         }
         Ok(entries)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Static validation — the declaration front of `mscope-lint`.
+// ---------------------------------------------------------------------------
+
+/// Severity of a statically detected declaration issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Advisory: legal but suspicious.
+    Warn,
+    /// Broken: the pipeline refuses to run the declaration.
+    Deny,
+}
+
+/// One statically detected problem in a declaration set, found by [`check`].
+#[derive(Debug, Clone)]
+pub struct DeclIssue {
+    /// Rule identifier (e.g. `decl-missing-request-id`), stable for
+    /// allowlisting; see DESIGN.md §Static analysis.
+    pub rule: &'static str,
+    /// Whether the issue blocks execution.
+    pub severity: Severity,
+    /// The declaration (``path` → table`) at fault.
+    pub subject: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// The statically knowable column set of a declaration: constants first
+/// (the order [`make_entry`](ParsingDeclaration::execute) emits them), then
+/// pattern captures or XML fields. Constants and wall-clock captures carry
+/// a concrete type; plain captures and XML attributes are
+/// [`ColumnType::Null`] — "no value seen yet", the bottom of the inference
+/// lattice, meaning the type is unknown until runtime.
+pub fn declared_columns(decl: &ParsingDeclaration) -> Vec<(String, ColumnType)> {
+    let mut cols: Vec<(String, ColumnType)> = Vec::new();
+    let push = |cols: &mut Vec<(String, ColumnType)>, name: &str, ty: ColumnType| {
+        if !cols.iter().any(|(n, _)| n == name) {
+            cols.push((name.to_string(), ty));
+        }
+    };
+    for (k, v) in &decl.constants {
+        // Mirror the importer: a constant that only ever infers Null is
+        // widened to Text at CSV-write time.
+        let ty = match Value::infer(v).column_type() {
+            ColumnType::Null => ColumnType::Text,
+            t => t,
+        };
+        push(&mut cols, k, ty);
+    }
+    let add_pattern = |cols: &mut Vec<(String, ColumnType)>, p: &Pattern| {
+        for t in p.tokens() {
+            match t {
+                Tok::Wall(n) => push(cols, n, ColumnType::Timestamp),
+                Tok::Cap(n) => push(cols, n, ColumnType::Null),
+                _ => {}
+            }
+        }
+    };
+    match &decl.parser {
+        ParserKind::Staged(spec) => {
+            for p in spec.context.iter().chain(&spec.records) {
+                add_pattern(&mut cols, p);
+            }
+            if let Some(bs) = &spec.blocks {
+                add_pattern(&mut cols, &bs.marker);
+                for p in bs.lines.iter().flatten() {
+                    add_pattern(&mut cols, p);
+                }
+            }
+        }
+        ParserKind::XmlDirect(map) => {
+            for (_, field) in &map.entry_attrs {
+                push(&mut cols, field, ColumnType::Null);
+            }
+            for (_, _, field) in &map.leaf_attrs {
+                push(&mut cols, field, ColumnType::Null);
+            }
+        }
+    }
+    cols
+}
+
+/// Statically checks a declaration set. Per declaration: every pattern is
+/// run through [`Pattern::issues`]; field sets that would collide in one
+/// entry (`decl-duplicate-field`), rules that can never fire
+/// (`decl-unreachable-rule`), empty field/element names
+/// (`decl-empty-field`), and event tables that cannot carry the fixed-width
+/// request ID needed for cross-tier joins (`decl-missing-request-id`) are
+/// denied. Across declarations feeding one table, fields whose
+/// narrowest-type lattice join degenerates to text are flagged
+/// (`schema-conflict`).
+pub fn check(decls: &[ParsingDeclaration]) -> Vec<DeclIssue> {
+    let mut out = Vec::new();
+    for d in decls {
+        check_declaration(d, &mut out);
+    }
+    check_schema_conflicts(decls, &mut out);
+    out
+}
+
+/// [`check`] as a hard gate: `Err` with the first deny-level issue as a
+/// typed [`TransformError::BadDeclaration`]. Warn-level issues pass.
+///
+/// # Errors
+///
+/// [`TransformError::BadDeclaration`] naming the rule, declaration, and
+/// reason.
+pub fn validate(decls: &[ParsingDeclaration]) -> Result<(), TransformError> {
+    for i in check(decls) {
+        if i.severity == Severity::Deny {
+            return Err(TransformError::BadDeclaration {
+                rule: i.rule,
+                subject: i.subject,
+                reason: i.message,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn subject_of(d: &ParsingDeclaration) -> String {
+    format!("`{}` → {}", d.path, d.table)
+}
+
+fn deny(out: &mut Vec<DeclIssue>, rule: &'static str, subject: &str, message: String) {
+    out.push(DeclIssue {
+        rule,
+        severity: Severity::Deny,
+        subject: subject.to_string(),
+        message,
+    });
+}
+
+fn check_declaration(d: &ParsingDeclaration, out: &mut Vec<DeclIssue>) {
+    let subj = subject_of(d);
+    for (i, (k, _)) in d.constants.iter().enumerate() {
+        if k.is_empty() {
+            deny(
+                out,
+                "decl-empty-field",
+                &subj,
+                "constant with an empty field name".to_string(),
+            );
+        }
+        if d.constants[..i].iter().any(|(prev, _)| prev == k) {
+            deny(
+                out,
+                "decl-duplicate-field",
+                &subj,
+                format!("constant field `{k}` is declared twice"),
+            );
+        }
+    }
+    match &d.parser {
+        ParserKind::Staged(spec) => check_staged(spec, d, &subj, out),
+        ParserKind::XmlDirect(map) => check_xml(map, d, &subj, out),
+    }
+    if d.table.starts_with("event_") && !declared_columns(d).iter().any(|(n, _)| n == "request_id")
+    {
+        deny(
+            out,
+            "decl-missing-request-id",
+            &subj,
+            "event-log declaration captures no `request_id`; its rows cannot join across tiers"
+                .to_string(),
+        );
+    }
+}
+
+fn check_staged(spec: &ParserSpec, d: &ParsingDeclaration, subj: &str, out: &mut Vec<DeclIssue>) {
+    let mut patterns: Vec<(String, &Pattern)> = Vec::new();
+    for (i, p) in spec.context.iter().enumerate() {
+        patterns.push((format!("context[{i}]"), p));
+    }
+    for (i, p) in spec.records.iter().enumerate() {
+        patterns.push((format!("record[{i}]"), p));
+    }
+    if let Some(bs) = &spec.blocks {
+        patterns.push(("block marker".to_string(), &bs.marker));
+        for (i, p) in bs.lines.iter().enumerate() {
+            if let Some(p) = p {
+                patterns.push((format!("block line[{i}]"), p));
+            }
+        }
+        if bs.lines.is_empty() {
+            deny(
+                out,
+                "decl-unreachable-rule",
+                subj,
+                "block spec has no positional lines; every line after a marker is unparsable"
+                    .to_string(),
+            );
+        }
+    }
+
+    let consts: Vec<&str> = d.constants.iter().map(|(k, _)| k.as_str()).collect();
+    for (role, p) in &patterns {
+        for (rule, msg) in p.issues() {
+            deny(out, rule, subj, format!("{role} pattern `{p}`: {msg}"));
+        }
+        for n in p.capture_names() {
+            if consts.contains(&n) {
+                deny(
+                    out,
+                    "decl-duplicate-field",
+                    subj,
+                    format!("{role} pattern `{p}` re-captures constant field `{n}`"),
+                );
+            }
+        }
+        // A rule whose lines the filter stage always drops can never fire:
+        // a prefix filter covering the pattern's leading literal, or a
+        // contains filter matching any literal the pattern requires.
+        for f in &spec.filters {
+            let shadowed = match f {
+                LineMatcher::Prefix(pf) => matches!(
+                    p.tokens().first(),
+                    Some(Tok::Lit(l)) if l.starts_with(pf.as_str())
+                ),
+                LineMatcher::Contains(c) => p
+                    .tokens()
+                    .iter()
+                    .any(|t| matches!(t, Tok::Lit(l) if l.contains(c.as_str()))),
+                LineMatcher::Blank => false,
+            };
+            if shadowed {
+                deny(
+                    out,
+                    "decl-unreachable-rule",
+                    subj,
+                    format!("{role} pattern `{p}` only matches lines the filter {f:?} drops"),
+                );
+            }
+        }
+    }
+
+    // Record-entry field collisions: entry = constants + sticky context +
+    // record captures (constants are checked above).
+    let ctx_caps: Vec<&str> = spec
+        .context
+        .iter()
+        .flat_map(Pattern::capture_names)
+        .collect();
+    for (i, p) in spec.records.iter().enumerate() {
+        for n in p.capture_names() {
+            if ctx_caps.contains(&n) {
+                deny(
+                    out,
+                    "decl-duplicate-field",
+                    subj,
+                    format!("record[{i}] capture `{n}` collides with a context capture"),
+                );
+            }
+        }
+        if spec.records[..i].contains(p) {
+            deny(
+                out,
+                "decl-unreachable-rule",
+                subj,
+                format!("record[{i}] `{p}` duplicates an earlier record rule"),
+            );
+        }
+        if spec.context.contains(p) {
+            deny(
+                out,
+                "decl-unreachable-rule",
+                subj,
+                format!(
+                    "record[{i}] `{p}` is identical to a context pattern, which is tried first"
+                ),
+            );
+        }
+    }
+
+    // Block-entry field collisions: entry = constants + marker + line caps.
+    if let Some(bs) = &spec.blocks {
+        let mut seen: Vec<&str> = Vec::new();
+        let block_pats = std::iter::once(&bs.marker).chain(bs.lines.iter().flatten());
+        for p in block_pats {
+            for n in p.capture_names() {
+                if seen.contains(&n) {
+                    deny(
+                        out,
+                        "decl-duplicate-field",
+                        subj,
+                        format!("block captures field `{n}` on more than one line"),
+                    );
+                }
+                seen.push(n);
+            }
+        }
+    }
+}
+
+fn check_xml(map: &XmlMapping, d: &ParsingDeclaration, subj: &str, out: &mut Vec<DeclIssue>) {
+    if map.entry_element.is_empty() {
+        deny(
+            out,
+            "decl-unreachable-rule",
+            subj,
+            "empty entry element name selects no entries".to_string(),
+        );
+    }
+    let mut fields: Vec<&str> = d.constants.iter().map(|(k, _)| k.as_str()).collect();
+    let named = map
+        .entry_attrs
+        .iter()
+        .map(|(a, f)| (a.as_str(), f.as_str()))
+        .chain(map.leaf_attrs.iter().map(|(e, a, f)| {
+            if e.is_empty() {
+                deny(
+                    out,
+                    "decl-empty-field",
+                    subj,
+                    format!("leaf mapping for field `{f}` names an empty element"),
+                );
+            }
+            (a.as_str(), f.as_str())
+        }))
+        .collect::<Vec<_>>();
+    for (attr, field) in named {
+        if attr.is_empty() || field.is_empty() {
+            deny(
+                out,
+                "decl-empty-field",
+                subj,
+                format!("XML mapping with empty attribute or field name (attr `{attr}`, field `{field}`)"),
+            );
+        }
+        if fields.contains(&field) {
+            deny(
+                out,
+                "decl-duplicate-field",
+                subj,
+                format!("XML mapping writes field `{field}` more than once per entry"),
+            );
+        }
+        fields.push(field);
+    }
+}
+
+/// Cross-declaration pass: two declarations feeding the same table must
+/// agree on column types, or schema inference silently widens the column.
+/// A join that degenerates to [`ColumnType::Text`] from non-text
+/// contributors (e.g. one declaration's timestamp vs another's integer)
+/// loses the numeric semantics every downstream query assumes.
+/// Per-field fold state: name, join of known types, first contributor.
+type FieldJoins = Vec<(String, ColumnType, String)>;
+
+fn check_schema_conflicts(decls: &[ParsingDeclaration], out: &mut Vec<DeclIssue>) {
+    let mut tables: Vec<(&str, FieldJoins)> = Vec::new();
+    for d in decls {
+        let cols = declared_columns(d);
+        let idx = match tables.iter().position(|(t, _)| *t == d.table) {
+            Some(i) => i,
+            None => {
+                tables.push((d.table.as_str(), Vec::new()));
+                tables.len() - 1
+            }
+        };
+        let entry = &mut tables[idx].1;
+        for (name, ty) in cols {
+            if ty == ColumnType::Null {
+                continue; // unknown until runtime; nothing to conflict with
+            }
+            match entry.iter_mut().find(|(n, _, _)| *n == name) {
+                Some((_, prev, first_subj)) => {
+                    let joined = prev.unify(ty);
+                    if joined == ColumnType::Text
+                        && *prev != ColumnType::Text
+                        && ty != ColumnType::Text
+                    {
+                        out.push(DeclIssue {
+                            rule: "schema-conflict",
+                            severity: Severity::Deny,
+                            subject: subject_of(d),
+                            message: format!(
+                                "column `{}`.`{name}` is {ty} here but {prev} in {first_subj}; the lattice join degenerates to text",
+                                d.table
+                            ),
+                        });
+                    }
+                    *prev = joined;
+                }
+                None => entry.push((name, ty, subject_of(d))),
+            }
+        }
     }
 }
 
@@ -410,5 +802,182 @@ mod tests {
             decl(ParserKind::XmlDirect(map)).execute("<broken"),
             Err(TransformError::Xml(_))
         ));
+    }
+
+    // --- static validation -------------------------------------------------
+
+    fn record_decl(records: Vec<Pattern>) -> ParsingDeclaration {
+        decl(ParserKind::Staged(ParserSpec {
+            name: "t".into(),
+            filters: vec![],
+            context: vec![],
+            records,
+            blocks: None,
+        }))
+    }
+
+    fn rules_of(issues: &[DeclIssue]) -> Vec<&'static str> {
+        issues.iter().map(|i| i.rule).collect()
+    }
+
+    #[test]
+    fn clean_declaration_validates() {
+        let d = record_decl(vec![Pattern::new(vec![Tok::lit("v="), Tok::cap("v")])]);
+        assert!(check(std::slice::from_ref(&d)).is_empty());
+        validate(&[d]).unwrap();
+    }
+
+    #[test]
+    fn pattern_issues_surface_through_check() {
+        let d = record_decl(vec![Pattern::new(vec![Tok::cap("a"), Tok::cap("b")])]);
+        let issues = check(std::slice::from_ref(&d));
+        assert_eq!(rules_of(&issues), vec!["pattern-adjacent-wildcards"]);
+        assert!(matches!(
+            validate(&[d]),
+            Err(TransformError::BadDeclaration {
+                rule: "pattern-adjacent-wildcards",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn capture_colliding_with_constant_denied() {
+        // `node` is injected as a constant by `decl()`.
+        let d = record_decl(vec![Pattern::new(vec![Tok::lit("n="), Tok::cap("node")])]);
+        assert!(rules_of(&check(&[d])).contains(&"decl-duplicate-field"));
+    }
+
+    #[test]
+    fn record_colliding_with_context_capture_denied() {
+        let d = decl(ParserKind::Staged(ParserSpec {
+            name: "t".into(),
+            filters: vec![],
+            context: vec![Pattern::new(vec![Tok::wall("time")])],
+            records: vec![Pattern::new(vec![Tok::lit("t="), Tok::cap("time")])],
+            blocks: None,
+        }));
+        assert!(rules_of(&check(&[d])).contains(&"decl-duplicate-field"));
+    }
+
+    #[test]
+    fn duplicate_record_rule_unreachable() {
+        let p = Pattern::new(vec![Tok::lit("v="), Tok::cap("v")]);
+        let d = record_decl(vec![p.clone(), p]);
+        assert!(rules_of(&check(&[d])).contains(&"decl-unreachable-rule"));
+    }
+
+    #[test]
+    fn filter_shadowed_rule_unreachable() {
+        let d = decl(ParserKind::Staged(ParserSpec {
+            name: "t".into(),
+            filters: vec![LineMatcher::Prefix("#".into())],
+            context: vec![],
+            records: vec![Pattern::new(vec![Tok::lit("# v="), Tok::cap("v")])],
+            blocks: None,
+        }));
+        assert!(rules_of(&check(&[d])).contains(&"decl-unreachable-rule"));
+    }
+
+    #[test]
+    fn empty_block_unreachable() {
+        let d = decl(ParserKind::Staged(ParserSpec {
+            name: "t".into(),
+            filters: vec![],
+            context: vec![],
+            records: vec![],
+            blocks: Some(BlockSpec {
+                marker: Pattern::new(vec![Tok::lit("M")]),
+                lines: vec![],
+            }),
+        }));
+        assert!(rules_of(&check(&[d])).contains(&"decl-unreachable-rule"));
+    }
+
+    #[test]
+    fn block_capturing_field_twice_denied() {
+        let d = decl(ParserKind::Staged(ParserSpec {
+            name: "t".into(),
+            filters: vec![],
+            context: vec![],
+            records: vec![],
+            blocks: Some(BlockSpec {
+                marker: Pattern::new(vec![Tok::lit("M "), Tok::cap("x")]),
+                lines: vec![Some(Pattern::new(vec![Tok::lit("x="), Tok::cap("x")]))],
+            }),
+        }));
+        assert!(rules_of(&check(&[d])).contains(&"decl-duplicate-field"));
+    }
+
+    #[test]
+    fn event_table_without_request_id_denied() {
+        let mut d = record_decl(vec![Pattern::new(vec![Tok::lit("v="), Tok::cap("v")])]);
+        d.table = "event_apache".into();
+        assert_eq!(
+            rules_of(&check(&[d.clone()])),
+            vec!["decl-missing-request-id"]
+        );
+        d.parser = ParserKind::Staged(ParserSpec {
+            name: "t".into(),
+            filters: vec![],
+            context: vec![],
+            records: vec![Pattern::new(vec![Tok::lit("id="), Tok::cap("request_id")])],
+            blocks: None,
+        });
+        assert!(
+            check(&[d]).is_empty(),
+            "request_id capture satisfies the rule"
+        );
+    }
+
+    #[test]
+    fn xml_mapping_duplicate_and_empty_fields_denied() {
+        let d = decl(ParserKind::XmlDirect(XmlMapping {
+            entry_element: "ts".into(),
+            entry_attrs: vec![("time".into(), "t".into()), ("t2".into(), "t".into())],
+            leaf_attrs: vec![("cpu".into(), "".into(), "u".into())],
+        }));
+        let rules = rules_of(&check(&[d]));
+        assert!(rules.contains(&"decl-duplicate-field"));
+        assert!(rules.contains(&"decl-empty-field"));
+    }
+
+    #[test]
+    fn cross_declaration_type_conflict_flagged() {
+        // Same table, same field name: one declaration captures it as a
+        // wall-clock timestamp, the other injects an integer constant.
+        let a = record_decl(vec![Pattern::new(vec![Tok::wall("when")])]);
+        let mut b = record_decl(vec![Pattern::new(vec![Tok::lit("v="), Tok::cap("v")])]);
+        b.path = "other.log".into();
+        b.constants = vec![("when".into(), "7".into())];
+        let issues = check(&[a, b]);
+        assert_eq!(rules_of(&issues), vec!["schema-conflict"]);
+        assert!(issues[0].message.contains("degenerates to text"));
+    }
+
+    #[test]
+    fn declared_columns_types() {
+        let mut d = decl(ParserKind::Staged(ParserSpec {
+            name: "t".into(),
+            filters: vec![],
+            context: vec![],
+            records: vec![Pattern::new(vec![
+                Tok::wall("time"),
+                Tok::Ws,
+                Tok::cap("val"),
+            ])],
+            blocks: None,
+        }));
+        d.constants = vec![("tier".into(), "2".into()), ("node".into(), "a0".into())];
+        let cols = declared_columns(&d);
+        assert_eq!(
+            cols,
+            vec![
+                ("tier".to_string(), ColumnType::Int),
+                ("node".to_string(), ColumnType::Text),
+                ("time".to_string(), ColumnType::Timestamp),
+                ("val".to_string(), ColumnType::Null),
+            ]
+        );
     }
 }

@@ -9,6 +9,27 @@ use std::fmt;
 /// Errors from any stage of mScopeDataTransformer.
 #[derive(Debug)]
 pub enum TransformError {
+    /// A pattern is statically malformed (empty token, adjacent wildcards,
+    /// duplicate capture, …) — found by [`Pattern::validate`](crate::Pattern::validate).
+    BadPattern {
+        /// Rendered pattern template.
+        pattern: String,
+        /// Which static rule it violates.
+        rule: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A parsing declaration fails static validation
+    /// ([`declare::validate`](crate::declare::validate)) — the pipeline
+    /// refuses to run it rather than fail mid-load.
+    BadDeclaration {
+        /// Which static rule it violates.
+        rule: &'static str,
+        /// The declaration (or pattern within it) at fault.
+        subject: String,
+        /// Human-readable explanation.
+        reason: String,
+    },
     /// A log line survived the filters but matched no instruction.
     UnparsedLine {
         /// File being parsed.
@@ -53,6 +74,20 @@ pub enum TransformError {
 impl fmt::Display for TransformError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            TransformError::BadPattern {
+                pattern,
+                rule,
+                reason,
+            } => {
+                write!(f, "invalid pattern `{pattern}` [{rule}]: {reason}")
+            }
+            TransformError::BadDeclaration {
+                rule,
+                subject,
+                reason,
+            } => {
+                write!(f, "invalid declaration {subject} [{rule}]: {reason}")
+            }
             TransformError::UnparsedLine {
                 file,
                 line_no,

@@ -48,7 +48,7 @@
 
 mod convert;
 mod csv;
-mod declare;
+pub mod declare;
 mod error;
 mod import;
 mod parsers;

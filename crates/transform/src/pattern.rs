@@ -8,6 +8,7 @@
 //! is expressive enough for every monitor format in the suite while staying
 //! fully inspectable (a pattern *is* the instruction, data not code).
 
+use crate::error::TransformError;
 use std::fmt;
 
 /// One token of a line pattern.
@@ -83,6 +84,95 @@ impl Pattern {
                 _ => None,
             })
             .collect()
+    }
+
+    /// Statically checks the pattern for the defect classes that
+    /// historically slipped through to runtime: empty patterns, empty
+    /// tokens, ambiguous adjacent wildcards, unreachable whitespace tokens,
+    /// and duplicate capture names. Returns every violation as a
+    /// `(rule-id, message)` pair; an empty vector means the pattern is
+    /// well-formed.
+    ///
+    /// Rule IDs (documented in DESIGN.md §Static analysis):
+    ///
+    /// * `pattern-empty` — no tokens at all (matches only empty lines,
+    ///   which the filter stage already handles);
+    /// * `pattern-empty-token` — a literal or capture with an empty
+    ///   string (a no-op token, or an unnameable field);
+    /// * `pattern-adjacent-wildcards` — two captures with no delimiter
+    ///   between them, so the split point is ambiguous;
+    /// * `pattern-unreachable` — a whitespace token directly after
+    ///   another (the first consumes the whole run, the second can never
+    ///   match);
+    /// * `pattern-duplicate-capture` — the same capture name twice, which
+    ///   produces a duplicate field and fails schema inference at runtime.
+    pub fn issues(&self) -> Vec<(&'static str, String)> {
+        let mut out = Vec::new();
+        if self.toks.is_empty() {
+            out.push((
+                "pattern-empty",
+                "pattern has no tokens and can only match empty lines".to_string(),
+            ));
+        }
+        let mut seen: Vec<&str> = Vec::new();
+        for (i, tok) in self.toks.iter().enumerate() {
+            match tok {
+                Tok::Lit(l) if l.is_empty() => out.push((
+                    "pattern-empty-token",
+                    format!("token {i} is an empty literal (a no-op)"),
+                )),
+                Tok::Cap(n) | Tok::Wall(n) if n.is_empty() => out.push((
+                    "pattern-empty-token",
+                    format!("token {i} is a capture with an empty name"),
+                )),
+                Tok::Cap(n) | Tok::Wall(n) => {
+                    if seen.contains(&n.as_str()) {
+                        out.push((
+                            "pattern-duplicate-capture",
+                            format!("capture `{n}` appears more than once"),
+                        ));
+                    }
+                    seen.push(n);
+                }
+                _ => {}
+            }
+            if i > 0 {
+                let prev = &self.toks[i - 1];
+                let is_cap = |t: &Tok| matches!(t, Tok::Cap(_) | Tok::Wall(_));
+                if is_cap(prev) && is_cap(tok) {
+                    out.push((
+                        "pattern-adjacent-wildcards",
+                        format!("tokens {} and {i} are adjacent captures; the split between them is ambiguous", i - 1),
+                    ));
+                }
+                if matches!(prev, Tok::Ws) && matches!(tok, Tok::Ws) {
+                    out.push((
+                        "pattern-unreachable",
+                        format!(
+                            "token {i} is whitespace directly after whitespace and can never match"
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// [`Pattern::issues`] as a hard check: `Err` with the first violation
+    /// as a typed [`TransformError::BadPattern`].
+    ///
+    /// # Errors
+    ///
+    /// [`TransformError::BadPattern`] naming the rule and the reason.
+    pub fn validate(&self) -> Result<(), TransformError> {
+        match self.issues().into_iter().next() {
+            None => Ok(()),
+            Some((rule, reason)) => Err(TransformError::BadPattern {
+                pattern: self.to_string(),
+                rule,
+                reason,
+            }),
+        }
     }
 
     /// Attempts to match the whole line; returns `(name, value)` capture
@@ -257,6 +347,62 @@ mod tests {
             .unwrap();
         assert_eq!(caps.len(), 4);
         assert_eq!(caps[2], ("ds".to_string(), "-".to_string()));
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_patterns() {
+        for p in [
+            Pattern::new(vec![Tok::lit("ID="), Tok::cap("id")]),
+            Pattern::new(vec![Tok::wall("t"), Tok::Ws, Tok::cap("v")]),
+            Pattern::new(timestamp_suffix_tokens()),
+        ] {
+            assert!(p.issues().is_empty(), "{p} should be clean");
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_pattern_rejected() {
+        let p = Pattern::new(vec![]);
+        assert_eq!(p.issues()[0].0, "pattern-empty");
+        assert!(matches!(
+            p.validate(),
+            Err(TransformError::BadPattern {
+                rule: "pattern-empty",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_tokens_rejected() {
+        let p = Pattern::new(vec![Tok::lit(""), Tok::cap("x")]);
+        assert_eq!(p.issues()[0].0, "pattern-empty-token");
+        let p = Pattern::new(vec![Tok::cap("")]);
+        assert_eq!(p.issues()[0].0, "pattern-empty-token");
+    }
+
+    #[test]
+    fn adjacent_wildcards_rejected() {
+        let p = Pattern::new(vec![Tok::cap("a"), Tok::cap("b")]);
+        assert_eq!(p.issues()[0].0, "pattern-adjacent-wildcards");
+        let p = Pattern::new(vec![Tok::lit("x"), Tok::wall("t"), Tok::cap("rest")]);
+        assert_eq!(p.issues()[0].0, "pattern-adjacent-wildcards");
+        // A delimiter between captures clears the ambiguity.
+        let p = Pattern::new(vec![Tok::cap("a"), Tok::Ws, Tok::cap("b")]);
+        assert!(p.issues().is_empty());
+    }
+
+    #[test]
+    fn double_whitespace_rejected() {
+        let p = Pattern::new(vec![Tok::lit("x"), Tok::Ws, Tok::Ws, Tok::cap("v")]);
+        assert_eq!(p.issues()[0].0, "pattern-unreachable");
+    }
+
+    #[test]
+    fn duplicate_capture_rejected() {
+        let p = Pattern::new(vec![Tok::cap("id"), Tok::Ws, Tok::cap("id")]);
+        assert_eq!(p.issues()[0].0, "pattern-duplicate-capture");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! converter (schema inference) → Data Importer → mScopeDB.
 
 use crate::convert::xml_to_csv;
-use crate::declare::ParsingDeclaration;
+use crate::declare::{self, ParsingDeclaration};
 use crate::error::TransformError;
 use crate::import::import_csv;
 use crate::parsers::declaration_for;
@@ -50,6 +50,18 @@ impl DataTransformer {
         &self.declarations
     }
 
+    /// Statically validates the declaration set without running anything —
+    /// the check [`run`](DataTransformer::run) applies before touching the
+    /// log store.
+    ///
+    /// # Errors
+    ///
+    /// [`TransformError::BadDeclaration`] for the first deny-level issue
+    /// found by [`declare::check`].
+    pub fn validate(&self) -> Result<(), TransformError> {
+        declare::validate(&self.declarations)
+    }
+
     /// Runs the full pipeline: every declared file is parsed to annotated
     /// XML; documents destined for the same table are converted together
     /// (so schema inference unions across replicas); CSV is loaded into the
@@ -65,6 +77,9 @@ impl DataTransformer {
         store: &LogStore,
         db: &mut Database,
     ) -> Result<TransformReport, TransformError> {
+        // Pre-validate: a malformed declaration fails here, with a rule ID
+        // and reason, instead of deep inside a parse or import stage.
+        self.validate()?;
         // Group declarations by destination table, preserving order.
         let mut groups: BTreeMap<&str, Vec<&ParsingDeclaration>> = BTreeMap::new();
         for d in &self.declarations {

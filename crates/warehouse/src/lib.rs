@@ -47,7 +47,7 @@
 mod db;
 mod error;
 mod query;
-mod sql;
+pub mod sql;
 mod table;
 mod value;
 

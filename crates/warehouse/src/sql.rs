@@ -357,29 +357,29 @@ impl Parser {
 
     // predicate := and_expr (OR and_expr)*
     fn or_expr(&mut self) -> Result<Predicate, DbError> {
-        let mut terms = vec![self.and_expr()?];
+        let first = self.and_expr()?;
+        if !self.peek_kw("or") {
+            return Ok(first);
+        }
+        let mut terms = vec![first];
         while self.peek_kw("or") {
             self.next();
             terms.push(self.and_expr()?);
         }
-        Ok(if terms.len() == 1 {
-            terms.pop().expect("one term")
-        } else {
-            Predicate::Or(terms)
-        })
+        Ok(Predicate::Or(terms))
     }
 
     fn and_expr(&mut self) -> Result<Predicate, DbError> {
-        let mut terms = vec![self.unary_expr()?];
+        let first = self.unary_expr()?;
+        if !self.peek_kw("and") {
+            return Ok(first);
+        }
+        let mut terms = vec![first];
         while self.peek_kw("and") {
             self.next();
             terms.push(self.unary_expr()?);
         }
-        Ok(if terms.len() == 1 {
-            terms.pop().expect("one term")
-        } else {
-            Predicate::And(terms)
-        })
+        Ok(Predicate::And(terms))
     }
 
     fn unary_expr(&mut self) -> Result<Predicate, DbError> {
@@ -542,8 +542,7 @@ impl Database {
                 let schema = Schema::new(vec![Column::new(
                     format!("{}_{col}", agg_name(*agg)),
                     ColumnType::Float,
-                )])
-                .expect("single column");
+                )])?;
                 let mut t = Table::new("result", schema);
                 t.push_row(vec![out_val.map_or(Value::Null, Value::Float)])?;
                 t
@@ -573,6 +572,182 @@ impl Database {
             result = result.select_rows(&keep);
         }
         Ok(result)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Static checking — the SQL front of `mscope-lint`.
+// ---------------------------------------------------------------------
+
+/// Statically checks a query against a schema oracle, without executing
+/// anything: syntax, table existence, every referenced column, predicate
+/// literal types, aggregate input types, and the `ORDER BY` column's
+/// presence in the projection's *result* schema.
+///
+/// `schema_of` returns the (possibly merely predicted) schema for a table
+/// name, or `None` if the table is unknown. A column typed
+/// [`ColumnType::Null`] means "type unknown until runtime" and passes every
+/// type-sensitive check — only membership is enforced for it.
+///
+/// The type rule mirrors [`Value::total_cmp`]: values of incomparable
+/// types fall back to rank ordering, so a comparison whose column/literal
+/// lattice join degenerates to [`ColumnType::Text`] (without both sides
+/// *being* text) can never mean what the query author intended and is
+/// rejected as [`DbError::TypeMismatch`].
+///
+/// # Errors
+///
+/// The same error a real execution would produce — [`DbError::BadQuery`],
+/// [`DbError::NoSuchTable`], [`DbError::NoSuchColumn`] — plus
+/// [`DbError::TypeMismatch`] for statically impossible comparisons and
+/// non-numeric aggregations.
+pub fn check_with<F>(sql: &str, schema_of: F) -> Result<(), DbError>
+where
+    F: Fn(&str) -> Option<Schema>,
+{
+    let toks = lex(sql)?;
+    let q = Parser { toks, pos: 0 }.parse()?;
+    let schema = schema_of(&q.table).ok_or_else(|| DbError::NoSuchTable(q.table.clone()))?;
+    let col_ty = |name: &str| schema.index_of(name).map(|i| schema.columns()[i].ty);
+
+    check_predicate(&q.predicate, &q.table, &col_ty)?;
+
+    // Result columns of the projection, for the ORDER BY check below —
+    // mirrors the result-table construction in `Database::query`.
+    let mut result_cols: Vec<String> = Vec::new();
+    match (&q.projection, &q.group_by) {
+        (Projection::All, None) => {
+            result_cols.extend(schema.columns().iter().map(|c| c.name.clone()));
+        }
+        (Projection::Columns(cols), None) => {
+            for c in cols {
+                if col_ty(c).is_none() {
+                    return Err(DbError::NoSuchColumn(c.clone()));
+                }
+            }
+            result_cols.extend(cols.iter().cloned());
+        }
+        (Projection::Aggregate { key, agg, col }, Some(group_col)) => {
+            if let Some(k) = key {
+                if k != group_col {
+                    return Err(DbError::BadQuery(format!(
+                        "projection key `{k}` must match GROUP BY `{group_col}`"
+                    )));
+                }
+            }
+            if col_ty(group_col).is_none() {
+                return Err(DbError::NoSuchColumn(group_col.clone()));
+            }
+            if col == "*" {
+                result_cols.push(group_col.clone());
+                result_cols.push("count".to_string());
+            } else {
+                check_agg_input(&q.table, *agg, col, &col_ty)?;
+                let key_name = if group_col == col {
+                    format!("{group_col}_key")
+                } else {
+                    group_col.clone()
+                };
+                result_cols.push(key_name);
+                result_cols.push(col.clone());
+            }
+        }
+        (
+            Projection::Aggregate {
+                key: None,
+                agg,
+                col,
+            },
+            None,
+        ) => {
+            if col != "*" {
+                check_agg_input(&q.table, *agg, col, &col_ty)?;
+            }
+            result_cols.push(format!("{}_{col}", agg_name(*agg)));
+        }
+        (Projection::Aggregate { key: Some(_), .. }, None) => {
+            return Err(DbError::BadQuery(
+                "keyed aggregate requires GROUP BY".into(),
+            ))
+        }
+        (_, Some(_)) => {
+            return Err(DbError::BadQuery(
+                "GROUP BY requires an aggregate projection".into(),
+            ))
+        }
+    }
+
+    if let Some((col, _)) = &q.order_by {
+        if !result_cols.iter().any(|c| c == col) {
+            return Err(DbError::NoSuchColumn(col.clone()));
+        }
+    }
+    Ok(())
+}
+
+/// [`check_with`] against the live schemas of a [`Database`].
+///
+/// # Errors
+///
+/// See [`check_with`].
+pub fn check_against(db: &Database, sql: &str) -> Result<(), DbError> {
+    check_with(sql, |t| db.table(t).map(|tab| tab.schema().clone()))
+}
+
+fn check_agg_input<F>(table: &str, agg: AggFn, col: &str, col_ty: &F) -> Result<(), DbError>
+where
+    F: Fn(&str) -> Option<ColumnType>,
+{
+    let ty = col_ty(col).ok_or_else(|| DbError::NoSuchColumn(col.to_string()))?;
+    // COUNT accepts any type; the numeric folds silently skip values
+    // `as_f64` rejects, so a text column would aggregate to nothing.
+    if agg != AggFn::Count && ty == ColumnType::Text {
+        return Err(DbError::TypeMismatch {
+            table: table.to_string(),
+            column: col.to_string(),
+            expected: ColumnType::Float,
+            got: ty,
+        });
+    }
+    Ok(())
+}
+
+fn check_predicate<F>(p: &Predicate, table: &str, col_ty: &F) -> Result<(), DbError>
+where
+    F: Fn(&str) -> Option<ColumnType>,
+{
+    let cmp = |col: &str, v: &Value| -> Result<(), DbError> {
+        let ct = col_ty(col).ok_or_else(|| DbError::NoSuchColumn(col.to_string()))?;
+        let vt = v.column_type();
+        if ct == ColumnType::Null || vt == ColumnType::Null {
+            return Ok(()); // unknown column type / NULL literal: defer
+        }
+        if ct.unify(vt) == ColumnType::Text && !(ct == ColumnType::Text && vt == ColumnType::Text) {
+            return Err(DbError::TypeMismatch {
+                table: table.to_string(),
+                column: col.to_string(),
+                expected: ct,
+                got: vt,
+            });
+        }
+        Ok(())
+    };
+    match p {
+        Predicate::True => Ok(()),
+        Predicate::Eq(c, v)
+        | Predicate::Ne(c, v)
+        | Predicate::Lt(c, v)
+        | Predicate::Le(c, v)
+        | Predicate::Gt(c, v)
+        | Predicate::Ge(c, v) => cmp(c, v),
+        Predicate::Between(c, lo, hi) => {
+            cmp(c, lo)?;
+            cmp(c, hi)
+        }
+        Predicate::And(ps) | Predicate::Or(ps) => ps
+            .iter()
+            .try_for_each(|p| check_predicate(p, table, col_ty)),
+        Predicate::Not(inner) => check_predicate(inner, table, col_ty),
     }
 }
 
@@ -779,6 +954,99 @@ mod tests {
         ));
         assert!(matches!(
             db.query("SELECT ghost FROM disk"),
+            Err(DbError::NoSuchColumn(_))
+        ));
+    }
+
+    #[test]
+    fn static_check_accepts_valid_queries() {
+        let db = db();
+        for sql in [
+            "SELECT * FROM disk",
+            "SELECT node, util FROM disk WHERE util > 90 ORDER BY util DESC LIMIT 3",
+            "SELECT node, MAX(util) FROM disk GROUP BY node ORDER BY node",
+            "SELECT node, COUNT(*) FROM disk GROUP BY node ORDER BY count",
+            "SELECT AVG(util) FROM disk WHERE tier = 3",
+            "SELECT util FROM disk WHERE time >= time '00:00:00.100000'",
+        ] {
+            check_against(&db, sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        }
+    }
+
+    #[test]
+    fn static_check_rejects_missing_tables_and_columns() {
+        let db = db();
+        assert!(matches!(
+            check_against(&db, "SELECT * FROM ghost"),
+            Err(DbError::NoSuchTable(_))
+        ));
+        assert!(matches!(
+            check_against(&db, "SELECT ghost FROM disk"),
+            Err(DbError::NoSuchColumn(_))
+        ));
+        assert!(matches!(
+            check_against(&db, "SELECT node FROM disk WHERE ghost = 1"),
+            Err(DbError::NoSuchColumn(_))
+        ));
+        assert!(matches!(
+            check_against(&db, "SELECT node, MAX(ghost) FROM disk GROUP BY node"),
+            Err(DbError::NoSuchColumn(_))
+        ));
+        // ORDER BY must name a column of the *result*, not the base table.
+        assert!(matches!(
+            check_against(&db, "SELECT node FROM disk ORDER BY util"),
+            Err(DbError::NoSuchColumn(_))
+        ));
+        assert!(matches!(
+            check_against(
+                &db,
+                "SELECT node, MAX(util) FROM disk GROUP BY node ORDER BY time"
+            ),
+            Err(DbError::NoSuchColumn(_))
+        ));
+    }
+
+    #[test]
+    fn static_check_rejects_impossible_comparisons() {
+        let db = db();
+        // Timestamp column vs bare integer: total_cmp falls back to rank
+        // ordering, so this would silently match everything.
+        assert!(matches!(
+            check_against(&db, "SELECT * FROM disk WHERE time >= 100000"),
+            Err(DbError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            check_against(&db, "SELECT * FROM disk WHERE node = 3"),
+            Err(DbError::TypeMismatch { .. })
+        ));
+        // Numeric aggregate over a text column aggregates nothing.
+        assert!(matches!(
+            check_against(&db, "SELECT tier, SUM(node) FROM disk GROUP BY tier"),
+            Err(DbError::TypeMismatch { .. })
+        ));
+        // …but COUNT over text is fine, and NULL literals defer to runtime.
+        check_against(&db, "SELECT tier, COUNT(node) FROM disk GROUP BY tier").unwrap();
+        check_against(&db, "SELECT * FROM disk WHERE node != NULL").unwrap();
+    }
+
+    #[test]
+    fn static_check_with_unknown_typed_schema() {
+        // A predicted schema (from declarations) types unseen captures as
+        // Null = unknown; type-sensitive checks must then defer.
+        let schema = Schema::new(vec![
+            Column::new("node", ColumnType::Text),
+            Column::new("disk_util", ColumnType::Null),
+        ])
+        .unwrap();
+        let oracle = |t: &str| (t == "collectl").then(|| schema.clone());
+        check_with(
+            "SELECT node, MAX(disk_util) FROM collectl GROUP BY node",
+            oracle,
+        )
+        .unwrap();
+        check_with("SELECT * FROM collectl WHERE disk_util > 90", oracle).unwrap();
+        assert!(matches!(
+            check_with("SELECT ghost FROM collectl", oracle),
             Err(DbError::NoSuchColumn(_))
         ));
     }
