@@ -8,6 +8,78 @@
 
 use mscope_db::{Table, Value};
 use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Why [`reconstruct_flows`] cannot join a set of event tables.
+///
+/// These are the *structural* failure modes — a table that cannot
+/// participate in the cross-tier join at all — as opposed to per-request
+/// causality violations, which [`RequestFlow::causal_violation`] reports.
+/// `mscope-lint`'s trace front predicts exactly these variants statically,
+/// so its diagnostics can say "this would have failed at runtime with …".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowError {
+    /// A table lacks a column the join or hop extraction requires.
+    MissingColumn {
+        /// Event table at fault.
+        table: String,
+        /// The absent column (`request_id`, `ua`, `ud`, `ds`, `dr`).
+        column: String,
+    },
+    /// A row carries a null where a mandatory upstream timestamp
+    /// (`ua`/`ud`) must be.
+    NullTimestamp {
+        /// Event table at fault.
+        table: String,
+        /// 0-based row index.
+        row: usize,
+        /// The null column.
+        column: String,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::MissingColumn { table, column } => {
+                write!(f, "table `{table}` has no `{column}` column")
+            }
+            FlowError::NullTimestamp { table, row, column } => {
+                write!(f, "row {row} of `{table}` has null {column}")
+            }
+        }
+    }
+}
+
+impl Error for FlowError {}
+
+/// One happens-before violation in a reconstructed flow: which hop broke
+/// which constraint. Returned by [`RequestFlow::causal_violation`] so
+/// diagnostics (and `mscope-lint`'s trace front) can name the exact edge
+/// instead of a bare boolean.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CausalViolation {
+    /// Index into [`RequestFlow::hops`] of the offending hop (for
+    /// inter-tier constraints, the upstream hop of the adjacent pair).
+    pub hop: usize,
+    /// Stable constraint name: `intra-hop-order`, `half-open-window`,
+    /// `missing-downstream-window`, `inter-tier-window`, or
+    /// `inter-tier-ds-dr`.
+    pub constraint: &'static str,
+    /// Human-readable detail with the offending timestamps.
+    pub detail: String,
+}
+
+impl fmt::Display for CausalViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hop {} violates {}: {}",
+            self.hop, self.constraint, self.detail
+        )
+    }
+}
 
 /// One tier visit as read from an event table.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,31 +151,99 @@ impl RequestFlow {
     }
 
     /// Checks happens-before across the whole path: each hop internally
-    /// ordered (`ua ≤ ds ≤ dr ≤ ud`) and each inner hop inside its parent's
-    /// downstream window.
+    /// ordered (`ua ≤ ds ≤ dr ≤ ud`), each inner hop inside its parent's
+    /// downstream window, and — across adjacent tiers — every downstream
+    /// send/receive window nested inside its parent's (`DS` on tier *i*
+    /// never after `DR` obligations on tier *i+1*).
     pub fn is_causally_ordered(&self) -> bool {
-        for h in &self.hops {
-            let ok = match (h.ds, h.dr) {
-                (Some(s), Some(r)) => h.ua <= s && s <= r && r <= h.ud,
-                (None, None) => h.ua <= h.ud,
-                _ => false,
-            };
-            if !ok {
-                return false;
-            }
-        }
-        for w in self.hops.windows(2) {
-            let (outer, inner) = (&w[0], &w[1]);
-            match (outer.ds, outer.dr) {
-                (Some(s), Some(r)) => {
-                    if !(s <= inner.ua && inner.ud <= r) {
-                        return false;
+        self.causal_violation().is_none()
+    }
+
+    /// The first happens-before violation on the path, or `None` when the
+    /// flow is causally ordered. Checks, in order: intra-hop ordering
+    /// (`ua ≤ ds ≤ dr ≤ ud`), half-open downstream windows, and the
+    /// inter-tier constraints between adjacent hops — the parent window
+    /// containing the child's residency *and* the child's own downstream
+    /// window nested inside the parent's (`DS`/`DR` ordering across tiers).
+    pub fn causal_violation(&self) -> Option<CausalViolation> {
+        let at = |hop, constraint, detail| {
+            Some(CausalViolation {
+                hop,
+                constraint,
+                detail,
+            })
+        };
+        // Checks interleave: the inter-tier constraints between hops i−1
+        // and i run before hop i's own intra-hop check, so a child whose
+        // timestamps escape its parent's window is attributed to the
+        // adjacent-tier edge that broke, not to the child in isolation.
+        for (i, h) in self.hops.iter().enumerate() {
+            if i > 0 {
+                let outer = &self.hops[i - 1];
+                let (Some(s), Some(r)) = (outer.ds, outer.dr) else {
+                    return at(
+                        i - 1,
+                        "missing-downstream-window",
+                        format!(
+                            "tier {} records no ds/dr yet tier {} was visited",
+                            outer.tier, h.tier
+                        ),
+                    );
+                };
+                if !(s <= h.ua && h.ud <= r) {
+                    return at(
+                        i - 1,
+                        "inter-tier-window",
+                        format!(
+                            "child [ua={}, ud={}] escapes parent window [ds={s}, dr={r}]",
+                            h.ua, h.ud
+                        ),
+                    );
+                }
+                // Adjacent-tier DS/DR ordering: the child's own downstream
+                // window must nest inside the parent's — a parent DS after
+                // a child DS (or a child DR after the parent DR) means the
+                // two tiers disagree about when the downstream call ran.
+                if let (Some(cs), Some(cr)) = (h.ds, h.dr) {
+                    if !(s <= cs && cr <= r) {
+                        return at(
+                            i - 1,
+                            "inter-tier-ds-dr",
+                            format!(
+                                "child window [ds={cs}, dr={cr}] escapes parent window [ds={s}, dr={r}]"
+                            ),
+                        );
                     }
                 }
-                _ => return false,
+            }
+            match (h.ds, h.dr) {
+                (Some(s), Some(r)) => {
+                    if !(h.ua <= s && s <= r && r <= h.ud) {
+                        return at(
+                            i,
+                            "intra-hop-order",
+                            format!(
+                                "want ua ≤ ds ≤ dr ≤ ud, got ua={} ds={s} dr={r} ud={}",
+                                h.ua, h.ud
+                            ),
+                        );
+                    }
+                }
+                (None, None) => {
+                    if h.ua > h.ud {
+                        return at(i, "intra-hop-order", format!("ua={} > ud={}", h.ua, h.ud));
+                    }
+                }
+                (ds, dr) => {
+                    return at(
+                        i,
+                        "half-open-window",
+                        format!("downstream window has ds={ds:?} but dr={dr:?}"),
+                    );
+                }
             }
         }
-        true
+        None
     }
 
     /// Per-tier latency contributions `(tier, local_ms)`.
@@ -129,17 +269,20 @@ impl RequestFlow {
 ///
 /// # Errors
 ///
-/// Returns an error string if a table lacks the required columns.
-pub fn reconstruct_flows(tables: &[&Table]) -> Result<Vec<RequestFlow>, String> {
+/// Returns a [`FlowError`] if a table lacks the required columns or a
+/// mandatory timestamp is null.
+pub fn reconstruct_flows(tables: &[&Table]) -> Result<Vec<RequestFlow>, FlowError> {
     if tables.is_empty() {
         return Ok(Vec::new());
     }
+    let missing_id = |t: &Table| FlowError::MissingColumn {
+        table: t.name().to_string(),
+        column: "request_id".into(),
+    };
     // Index deeper tiers by request_id.
     let mut deep_maps: Vec<HashMap<&str, usize>> = Vec::new();
     for t in &tables[1..] {
-        let ids = t
-            .column("request_id")
-            .ok_or_else(|| format!("table `{}` has no `request_id` column", t.name()))?;
+        let ids = t.column("request_id").ok_or_else(|| missing_id(t))?;
         let mut m = HashMap::with_capacity(ids.len());
         for (i, v) in ids.iter().enumerate() {
             if let Some(s) = v.as_str() {
@@ -151,7 +294,7 @@ pub fn reconstruct_flows(tables: &[&Table]) -> Result<Vec<RequestFlow>, String> 
     let front = tables[0];
     let ids = front
         .column("request_id")
-        .ok_or_else(|| format!("table `{}` has no `request_id` column", front.name()))?;
+        .ok_or_else(|| missing_id(front))?;
     let mut flows = Vec::with_capacity(ids.len());
     for (row, id) in ids.iter().enumerate() {
         let Some(id) = id.as_str() else { continue };
@@ -175,15 +318,23 @@ pub fn reconstruct_flows(tables: &[&Table]) -> Result<Vec<RequestFlow>, String> 
     Ok(flows)
 }
 
-fn read_hop(table: &Table, row: usize, tier: usize) -> Result<FlowHop, String> {
-    let get = |col: &str| -> Result<Option<i64>, String> {
+fn read_hop(table: &Table, row: usize, tier: usize) -> Result<FlowHop, FlowError> {
+    let get = |col: &str| -> Result<Option<i64>, FlowError> {
         Ok(table
             .cell(row, col)
-            .ok_or_else(|| format!("table `{}` has no `{col}` column", table.name()))?
+            .ok_or_else(|| FlowError::MissingColumn {
+                table: table.name().to_string(),
+                column: col.to_string(),
+            })?
             .as_i64())
     };
-    let ua = get("ua")?.ok_or_else(|| format!("row {row} of `{}` has null ua", table.name()))?;
-    let ud = get("ud")?.ok_or_else(|| format!("row {row} of `{}` has null ud", table.name()))?;
+    let null_ts = |col: &str| FlowError::NullTimestamp {
+        table: table.name().to_string(),
+        row,
+        column: col.to_string(),
+    };
+    let ua = get("ua")?.ok_or_else(|| null_ts("ua"))?;
+    let ud = get("ud")?.ok_or_else(|| null_ts("ud"))?;
     let node = table
         .cell(row, "node")
         .and_then(Value::as_str)
@@ -326,6 +477,125 @@ mod tests {
             ],
         };
         assert!(!escape.is_causally_ordered());
+    }
+
+    #[test]
+    fn causal_violation_names_hop_and_constraint() {
+        let bad = RequestFlow {
+            request_id: "X".into(),
+            interaction: "i".into(),
+            hops: vec![
+                FlowHop {
+                    tier: 0,
+                    node: "a".into(),
+                    ua: 0,
+                    ud: 100,
+                    ds: Some(10),
+                    dr: Some(90),
+                },
+                FlowHop {
+                    tier: 1,
+                    node: "b".into(),
+                    ua: 12,
+                    ud: 88,
+                    ds: Some(60),
+                    dr: Some(40),
+                },
+            ],
+        };
+        let v = bad.causal_violation().expect("violation");
+        assert_eq!(v.hop, 1);
+        assert_eq!(v.constraint, "intra-hop-order");
+        assert!(v.to_string().contains("hop 1"));
+    }
+
+    #[test]
+    fn adjacent_tier_ds_dr_escape_is_rejected() {
+        // Child residency fits the parent window, but the child claims it
+        // received its downstream reply *after* the parent's dr — the two
+        // tiers disagree about when the downstream call finished.
+        let flow = RequestFlow {
+            request_id: "Z".into(),
+            interaction: "i".into(),
+            hops: vec![
+                FlowHop {
+                    tier: 0,
+                    node: "a".into(),
+                    ua: 0,
+                    ud: 100,
+                    ds: Some(10),
+                    dr: Some(60),
+                },
+                FlowHop {
+                    tier: 1,
+                    node: "b".into(),
+                    ua: 12,
+                    ud: 58,
+                    ds: Some(20),
+                    dr: Some(55),
+                },
+            ],
+        };
+        assert!(flow.is_causally_ordered());
+        let mut skewed = flow.clone();
+        skewed.hops[1].ds = Some(5); // child ds before parent ds
+        let v = skewed.causal_violation().expect("violation");
+        assert_eq!(v.hop, 0);
+        assert_eq!(v.constraint, "inter-tier-ds-dr");
+    }
+
+    #[test]
+    fn half_open_window_is_rejected() {
+        let flow = RequestFlow {
+            request_id: "H".into(),
+            interaction: "i".into(),
+            hops: vec![FlowHop {
+                tier: 0,
+                node: "a".into(),
+                ua: 0,
+                ud: 100,
+                ds: Some(10),
+                dr: None,
+            }],
+        };
+        let v = flow.causal_violation().expect("violation");
+        assert_eq!(v.constraint, "half-open-window");
+    }
+
+    #[test]
+    fn typed_errors_name_table_and_column() {
+        let schema = Schema::new(vec![Column::new("wall", ColumnType::Timestamp)]).unwrap();
+        let t = Table::new("event_apache", schema);
+        let err = reconstruct_flows(&[&t]).unwrap_err();
+        assert_eq!(
+            err,
+            FlowError::MissingColumn {
+                table: "event_apache".into(),
+                column: "request_id".into(),
+            }
+        );
+        assert_eq!(
+            err.to_string(),
+            "table `event_apache` has no `request_id` column"
+        );
+
+        let schema = Schema::new(vec![
+            Column::new("request_id", ColumnType::Text),
+            Column::new("ua", ColumnType::Timestamp),
+        ])
+        .unwrap();
+        let mut t = Table::new("event_tomcat", schema);
+        t.push_row(vec![Value::Text("AAA".into()), Value::Null])
+            .unwrap();
+        let err = reconstruct_flows(&[&t]).unwrap_err();
+        assert_eq!(
+            err,
+            FlowError::NullTimestamp {
+                table: "event_tomcat".into(),
+                row: 0,
+                column: "ua".into(),
+            }
+        );
     }
 
     #[test]

@@ -103,13 +103,20 @@ impl Allowlist {
 
     /// Warn findings for entries that never fired.
     pub fn unused_findings(&self) -> Vec<Finding> {
+        self.unused_findings_at(Severity::Warn)
+    }
+
+    /// Findings for entries that never fired, at a caller-chosen severity
+    /// (`--strict` escalates stale entries to deny so they cannot
+    /// accumulate in CI).
+    pub fn unused_findings_at(&self, severity: Severity) -> Vec<Finding> {
         self.entries
             .iter()
             .zip(&self.used)
             .filter(|(_, used)| !**used)
             .map(|(e, _)| Finding {
                 rule: "stale-allow".to_string(),
-                severity: Severity::Warn,
+                severity,
                 file: e.source.clone(),
                 line: e.source_line,
                 message: format!(

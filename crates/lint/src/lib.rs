@@ -1,6 +1,6 @@
 //! # mscope-lint — static analysis for the milliScope workspace
 //!
-//! Two analysis fronts, both zero-dependency and fully offline:
+//! Three analysis fronts, all zero-dependency and fully offline:
 //!
 //! 1. **Domain checker** ([`domain`]) — validates the *real* parsing
 //!    declarations the standard monitor suite produces (via
@@ -16,6 +16,15 @@
 //!    `unwrap()`/`expect()`/`panic!` in non-test library code of the
 //!    hot-path crates, no non-path dependencies in any manifest, and no
 //!    wall-clock reads inside the deterministic simulation crate.
+//! 3. **Trace front** ([`trace`], over the abstract domains of [`model`])
+//!    — whole-pipeline flow analysis: for every shipped scenario preset it
+//!    proves, before anything runs, that the request ID injected at the
+//!    first tier survives every tier-to-tier edge, that every tier logs
+//!    all four UA/UD/DS/DR boundaries with DS/DR paired across adjacent
+//!    tiers, that field types flow from declaration to analysis query with
+//!    no lossy narrowing, and that monitors share one clock domain and
+//!    sample finely enough for the scenario's phenomena (rules
+//!    `TR001`–`TR008`).
 //!
 //! Findings carry a stable rule ID, a severity, and a `file:line` anchor.
 //! Grandfathered sites are suppressed through per-crate `lint.allow` files
@@ -27,7 +36,9 @@
 
 pub mod allow;
 pub mod domain;
+pub mod model;
 pub mod source;
+pub mod trace;
 
 use std::fmt;
 use std::io;
@@ -158,22 +169,55 @@ pub fn run_source(root: &Path) -> io::Result<Report> {
     Ok(Report { findings })
 }
 
-/// Runs both fronts. This is the only mode that also reports stale
-/// allowlist entries (`stale-allow`, warn) — a single front cannot tell
-/// whether an entry for the other front still fires.
+/// Runs the trace front over the shipped scenario presets (or one preset
+/// when `scenario` is given), applying the workspace allowlists.
+///
+/// # Errors
+///
+/// I/O errors reading allowlists, or `InvalidInput` for an unknown
+/// scenario name.
+pub fn run_trace(root: &Path, scenario: Option<&str>) -> io::Result<Report> {
+    let (mut allow, mut bad_entries) = allow::load(root)?;
+    let raw = trace::trace_findings_for(scenario)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    let mut findings = allow.filter(raw);
+    findings.append(&mut bad_entries);
+    Ok(Report { findings })
+}
+
+/// Runs all three fronts. This is the only mode that also reports stale
+/// allowlist entries (`stale-allow`) — a single front cannot tell whether
+/// an entry for another front still fires.
 ///
 /// # Errors
 ///
 /// I/O errors reading source files or allowlists.
 pub fn run_all(root: &Path) -> io::Result<Report> {
+    run_all_with(root, false)
+}
+
+/// [`run_all`] with an explicit strictness: when `strict`, stale allowlist
+/// entries are deny findings instead of warnings, so grandfathered
+/// suppressions cannot rot in place once the finding they covered is gone.
+///
+/// # Errors
+///
+/// I/O errors reading source files or allowlists.
+pub fn run_all_with(root: &Path, strict: bool) -> io::Result<Report> {
     let (mut allow, mut bad_entries) = allow::load(root)?;
     let mut findings = domain::declaration_findings();
     let literals = source::sql_literals(root)?;
     findings.extend(domain::sql_findings(&literals));
     findings.extend(source::scan(root)?);
+    findings.extend(trace::trace_findings());
     let mut findings = allow.filter(findings);
     findings.append(&mut bad_entries);
-    findings.extend(allow.unused_findings());
+    let stale_severity = if strict {
+        Severity::Deny
+    } else {
+        Severity::Warn
+    };
+    findings.extend(allow.unused_findings_at(stale_severity));
     Ok(Report { findings })
 }
 

@@ -1,8 +1,13 @@
 //! The `mscope-lint` binary.
 //!
 //! ```text
-//! mscope-lint <declarations|source|all> [--json] [--root <path>]
+//! mscope-lint <declarations|source|trace|all> [--json] [--root <path>]
+//!             [--scenario <name>] [--strict]
 //! ```
+//!
+//! `trace` runs the whole-pipeline flow analysis over every shipped
+//! scenario preset (or one, with `--scenario`); `--strict` makes `all`
+//! treat stale allowlist entries as deny findings.
 //!
 //! Exit status: 0 when no deny-level finding survives the allowlists,
 //! 1 when at least one does, 2 on usage or I/O errors.
@@ -11,20 +16,27 @@ use mscope_lint::Report;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: mscope-lint <declarations|source|all> [--json] [--root <path>]";
+const USAGE: &str = "usage: mscope-lint <declarations|source|trace|all> [--json] [--root <path>] [--scenario <name>] [--strict]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command: Option<String> = None;
     let mut json = false;
+    let mut strict = false;
     let mut root: Option<PathBuf> = None;
+    let mut scenario: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--strict" => strict = true,
             "--root" => match it.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => return usage_error("--root needs a path"),
+            },
+            "--scenario" => match it.next() {
+                Some(s) => scenario = Some(s.to_string()),
+                None => return usage_error("--scenario needs a preset name"),
             },
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -48,10 +60,14 @@ fn main() -> ExitCode {
         }
     };
 
+    if scenario.is_some() && command != "trace" {
+        return usage_error("--scenario only applies to the `trace` command");
+    }
     let report = match command.as_str() {
         "declarations" => mscope_lint::run_declarations(&root),
         "source" => mscope_lint::run_source(&root),
-        "all" => mscope_lint::run_all(&root),
+        "trace" => mscope_lint::run_trace(&root, scenario.as_deref()),
+        "all" => mscope_lint::run_all_with(&root, strict),
         other => return usage_error(&format!("unknown command `{other}`")),
     };
     let report = match report {

@@ -513,11 +513,14 @@ pub fn sql_literals(root: &Path) -> io::Result<Vec<SqlLiteral>> {
                 }
                 let trimmed = lit.content.trim_start();
                 // A bare `"SELECT "` prefix with nothing after it is a
-                // needle or fragment, not a checkable query.
+                // needle or fragment, not a checkable query; so is a
+                // `format!` template — braces never occur in the SQL
+                // dialect, only in placeholders awaiting interpolation.
                 if trimmed.len() > 7
                     && trimmed
                         .get(..7)
                         .is_some_and(|p| p.eq_ignore_ascii_case("select "))
+                    && !trimmed.contains(['{', '}'])
                 {
                     out.push(SqlLiteral {
                         file: rel.clone(),

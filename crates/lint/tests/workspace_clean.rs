@@ -2,8 +2,9 @@
 //!
 //! This is the same gate CI runs — every deny-level rule (pattern/decl
 //! validity, schema conflicts, SQL-vs-schema, no-unwrap, no-wallclock,
-//! hermetic-deps) must hold at HEAD modulo the checked-in `lint.allow`
-//! files, and no allowlist entry may be stale.
+//! hermetic-deps, and the trace front's TR001–TR008 scenario proofs) must
+//! hold at HEAD modulo the checked-in `lint.allow` files, and no allowlist
+//! entry may be stale.
 
 use std::path::PathBuf;
 
@@ -41,4 +42,32 @@ fn source_front_alone_is_clean() {
 fn declaration_front_alone_is_clean() {
     let report = mscope_lint::run_declarations(&workspace_root()).expect("lint run succeeds");
     assert!(report.is_clean(), "{}", report.render_text());
+}
+
+#[test]
+fn trace_front_proves_every_preset_clean() {
+    let root = workspace_root();
+    let report = mscope_lint::run_trace(&root, None).expect("trace run succeeds");
+    assert_eq!(
+        report.findings.len(),
+        0,
+        "trace findings at HEAD:\n{}",
+        report.render_text()
+    );
+    for (name, _) in mscope_ntier::SystemConfig::presets() {
+        let per = mscope_lint::run_trace(&root, Some(name)).expect("per-scenario run succeeds");
+        assert!(per.is_clean(), "{name}:\n{}", per.render_text());
+    }
+    // Unknown scenarios are an invocation error, not an empty report.
+    assert!(mscope_lint::run_trace(&root, Some("ghost")).is_err());
+}
+
+#[test]
+fn strict_mode_stays_clean_at_head() {
+    let report = mscope_lint::run_all_with(&workspace_root(), true).expect("lint run succeeds");
+    assert!(
+        report.is_clean(),
+        "strict deny findings at HEAD:\n{}",
+        report.render_text()
+    );
 }

@@ -42,6 +42,7 @@ mod event;
 mod logstore;
 mod overhead;
 mod resource;
+mod shape;
 mod suite;
 mod sysviz;
 
@@ -49,5 +50,9 @@ pub use event::{render_event_logs, EventMonitor};
 pub use logstore::LogStore;
 pub use overhead::{NodeOverhead, OverheadReport};
 pub use resource::{ResourceMonitor, Tool};
+pub use shape::{
+    event_clock_domain, event_rendered_fields, propagates_request_id, resource_clock_domain,
+    resource_rendered_fields, ValueShape, CLOCK_DOMAIN,
+};
 pub use suite::{topology_nodes, LogFileMeta, MonitorKind, MonitorSuite, MonitoringArtifacts};
 pub use sysviz::{SysVizSpan, SysVizTap, SysVizTrace, SysVizTransaction};

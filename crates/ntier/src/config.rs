@@ -571,6 +571,19 @@ impl SystemConfig {
         cfg
     }
 
+    /// Every shipped scenario preset by name, at the paper's 8000-user
+    /// workload. This is the set `mscope-lint trace` proves clean and CI
+    /// walks scenario-by-scenario; new presets must be added here so they
+    /// enter the proof obligations.
+    pub fn presets() -> Vec<(&'static str, SystemConfig)> {
+        vec![
+            ("rubbos_baseline", Self::rubbos_baseline(8000)),
+            ("rubbos_replicated", Self::rubbos_replicated(8000)),
+            ("scenario_db_io", Self::scenario_db_io(8000)),
+            ("scenario_dirty_page", Self::scenario_dirty_page(8000)),
+        ]
+    }
+
     /// Total nodes across all tiers.
     pub fn node_count(&self) -> usize {
         self.tiers.iter().map(|t| t.replicas).sum()
@@ -668,6 +681,18 @@ mod tests {
         assert_eq!(cfg.tiers.len(), 4);
         assert_eq!(cfg.node_count(), 4);
         assert_eq!(cfg.end_time(), SimTime::ZERO + SimDuration::from_secs(435));
+    }
+
+    #[test]
+    fn presets_are_named_uniquely_and_validate() {
+        let presets = SystemConfig::presets();
+        assert_eq!(presets.len(), 4);
+        for (name, cfg) in &presets {
+            assert!(cfg.validate().is_ok(), "preset {name} validates");
+        }
+        let mut names: Vec<&str> = presets.iter().map(|(n, _)| *n).collect();
+        names.dedup();
+        assert_eq!(names.len(), presets.len(), "preset names are unique");
     }
 
     #[test]

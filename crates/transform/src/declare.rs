@@ -340,6 +340,50 @@ pub fn declared_columns(decl: &ParsingDeclaration) -> Vec<(String, ColumnType)> 
     cols
 }
 
+/// The wall-clock-anchored fields of a declaration: captures produced by
+/// [`Tok::Wall`] tokens (typed [`ColumnType::Timestamp`] statically) plus,
+/// for direct-XML declarations, fields the importer will infer as
+/// timestamps from `HH:MM:SS.ffffff` attribute values. Used by the lint
+/// trace front's clock-domain check: a declaration with no wall-anchored
+/// field produces rows that cannot be aligned with any other monitor.
+pub fn wall_fields(decl: &ParsingDeclaration) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let mut push = |n: &str| {
+        if !out.iter().any(|x| x == n) {
+            out.push(n.to_string());
+        }
+    };
+    match &decl.parser {
+        ParserKind::Staged(spec) => {
+            let pats = spec
+                .context
+                .iter()
+                .chain(&spec.records)
+                .chain(spec.blocks.iter().map(|b| &b.marker))
+                .chain(spec.blocks.iter().flat_map(|b| b.lines.iter().flatten()));
+            for p in pats {
+                for t in p.tokens() {
+                    if let Tok::Wall(n) = t {
+                        push(n);
+                    }
+                }
+            }
+        }
+        ParserKind::XmlDirect(map) => {
+            // The XML path carries no static types; by convention the
+            // entry element's captured attributes hold the wall clock
+            // (sar's `<timestamp time="…">`). Report those so the trace
+            // front can check the convention held.
+            for (attr, field) in &map.entry_attrs {
+                if attr == "time" || attr == "timestamp" {
+                    push(field);
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Statically checks a declaration set. Per declaration: every pattern is
 /// run through [`Pattern::issues`]; field sets that would collide in one
 /// entry (`decl-duplicate-field`), rules that can never fire
@@ -626,10 +670,7 @@ fn check_schema_conflicts(decls: &[ParsingDeclaration], out: &mut Vec<DeclIssue>
             match entry.iter_mut().find(|(n, _, _)| *n == name) {
                 Some((_, prev, first_subj)) => {
                     let joined = prev.unify(ty);
-                    if joined == ColumnType::Text
-                        && *prev != ColumnType::Text
-                        && ty != ColumnType::Text
-                    {
+                    if prev.lossy_join(ty) {
                         out.push(DeclIssue {
                             rule: "schema-conflict",
                             severity: Severity::Deny,

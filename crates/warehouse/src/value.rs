@@ -76,6 +76,25 @@ impl ColumnType {
     pub fn admits(self, v: ColumnType) -> bool {
         self.unify(v) == self
     }
+
+    /// `true` if unifying two column types loses information — the join
+    /// degenerates to [`ColumnType::Text`] even though neither side was
+    /// `Text` (e.g. `Int ∪ Timestamp`). Used by declaration checking and
+    /// the lint trace front to flag narrowing along the pipeline.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mscope_db::ColumnType;
+    /// assert!(ColumnType::Int.lossy_join(ColumnType::Timestamp));
+    /// assert!(!ColumnType::Int.lossy_join(ColumnType::Float));
+    /// assert!(!ColumnType::Text.lossy_join(ColumnType::Int));
+    /// ```
+    pub fn lossy_join(self, other: ColumnType) -> bool {
+        self.unify(other) == ColumnType::Text
+            && self != ColumnType::Text
+            && other != ColumnType::Text
+    }
 }
 
 impl fmt::Display for ColumnType {
