@@ -1,0 +1,182 @@
+//! Transformer pipeline shoot-out: serial vs parallel convert stage, CSV
+//! round-trip vs direct typed-row load — the four corners of
+//! [`RunOptions`].
+//!
+//! Beyond timing, every variant's warehouse is checked byte-identical
+//! (`db.to_json()`) against the seed-shaped serial+CSV baseline, so the
+//! speedup numbers are only ever reported for *equivalent* pipelines.
+//!
+//! ```text
+//! cargo bench -p mscope-bench --bench transform_pipeline -- [--smoke] [--out PATH]
+//! ```
+//!
+//! Writes a `BENCH_transform.json` summary (per-variant best-of-N seconds,
+//! speedups relative to the serial+CSV baseline) for CI artifact upload.
+
+use mscope_db::Database;
+use mscope_monitors::{MonitorSuite, MonitoringArtifacts};
+use mscope_ntier::{Simulator, SystemConfig};
+use mscope_serdes::Json;
+use mscope_sim::SimDuration;
+use mscope_transform::{DataTransformer, RunOptions};
+use std::time::Instant;
+
+struct Variant {
+    name: &'static str,
+    opts: RunOptions,
+}
+
+const VARIANTS: [Variant; 4] = [
+    Variant {
+        name: "serial_csv",
+        opts: RunOptions {
+            workers: 1,
+            csv_round_trip: true,
+        },
+    },
+    Variant {
+        name: "serial_direct",
+        opts: RunOptions {
+            workers: 1,
+            csv_round_trip: false,
+        },
+    },
+    Variant {
+        name: "parallel_csv",
+        opts: RunOptions {
+            workers: 0,
+            csv_round_trip: true,
+        },
+    },
+    Variant {
+        name: "parallel_direct",
+        opts: RunOptions {
+            workers: 0,
+            csv_round_trip: false,
+        },
+    },
+];
+
+fn artifacts(smoke: bool) -> MonitoringArtifacts {
+    let users = if smoke { 80 } else { 300 };
+    let secs = if smoke { 6 } else { 20 };
+    // Replicated tiers give each event table several log files, which is
+    // the shape the per-table worker fan-out exists for.
+    let mut cfg = if smoke {
+        SystemConfig::rubbos_baseline(users)
+    } else {
+        SystemConfig::rubbos_replicated(users)
+    };
+    cfg.duration = SimDuration::from_secs(secs);
+    cfg.warmup = SimDuration::from_secs(2);
+    cfg.workload.ramp_up = SimDuration::from_secs(1);
+    let out = Simulator::new(cfg).expect("valid config").run();
+    MonitorSuite::standard(&out.config).render(&out)
+}
+
+fn best_of<F: FnMut() -> usize>(samples: usize, mut f: F) -> (f64, usize) {
+    let mut best = f64::MAX;
+    let mut entries = 0;
+    for _ in 0..samples {
+        let start = Instant::now();
+        entries = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, entries)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    // cargo runs bench binaries with CWD = the package dir, so the default
+    // output path anchors to the workspace root instead.
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| {
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_transform.json").to_string()
+        });
+    // cargo bench passes --bench through to the binary; ignore it.
+    let samples = if smoke { 3 } else { 5 };
+
+    eprintln!(
+        "## transform_pipeline ({})",
+        if smoke { "smoke" } else { "full" }
+    );
+    let art = artifacts(smoke);
+    let tr = DataTransformer::from_manifest(&art.manifest);
+    let log_bytes = art.store.total_bytes();
+
+    // Correctness gate first: all four variants must produce byte-identical
+    // warehouse state and identical reports before any number is reported.
+    let mut reference: Option<(String, String)> = None;
+    for v in &VARIANTS {
+        let mut db = Database::new();
+        let report = tr
+            .run_with(&art.store, &mut db, v.opts)
+            .expect("pipeline runs");
+        let json = db.to_json().expect("serializable warehouse");
+        let report_json = mscope_serdes::to_string(&report);
+        match &reference {
+            None => reference = Some((json, report_json)),
+            Some((db0, rep0)) => {
+                assert_eq!(&json, db0, "{}: warehouse drift", v.name);
+                assert_eq!(&report_json, rep0, "{}: report drift", v.name);
+            }
+        }
+    }
+    eprintln!("  all {} variants byte-identical", VARIANTS.len());
+
+    let mut timings: Vec<(&str, f64, usize)> = Vec::new();
+    for v in &VARIANTS {
+        let (secs, entries) = best_of(samples, || {
+            let mut db = Database::new();
+            tr.run_with(&art.store, &mut db, v.opts)
+                .expect("pipeline runs")
+                .entries
+        });
+        eprintln!(
+            "  {}: best {:.3}s ({:.1} MiB/s)",
+            v.name,
+            secs,
+            log_bytes as f64 / secs / (1 << 20) as f64
+        );
+        timings.push((v.name, secs, entries));
+    }
+
+    let baseline = timings[0].1;
+    let results: Vec<Json> = timings
+        .iter()
+        .map(|(name, secs, entries)| {
+            Json::obj([
+                ("variant", Json::Str(name.to_string())),
+                ("best_seconds", Json::Float(*secs)),
+                ("entries", Json::Int(*entries as i128)),
+                ("speedup_vs_serial_csv", Json::Float(baseline / secs)),
+            ])
+        })
+        .collect();
+    let parallel_direct = timings[3].1;
+    let doc = Json::obj([
+        ("bench", Json::Str("transform_pipeline".into())),
+        (
+            "mode",
+            Json::Str(if smoke { "smoke" } else { "full" }.into()),
+        ),
+        ("samples", Json::Int(samples as i128)),
+        ("log_bytes", Json::Int(log_bytes as i128)),
+        ("byte_identical", Json::Bool(true)),
+        ("results", Json::Arr(results)),
+        (
+            "speedup_parallel_direct_vs_serial_csv",
+            Json::Float(baseline / parallel_direct),
+        ),
+    ]);
+    let text = mscope_serdes::to_string_pretty(&doc);
+    std::fs::write(&out_path, &text).expect("write bench output");
+    eprintln!(
+        "  speedup parallel_direct vs serial_csv: {:.2}x -> {out_path}",
+        baseline / parallel_direct
+    );
+}

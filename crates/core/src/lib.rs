@@ -55,4 +55,5 @@ pub use diagnose::{DiagnoseOptions, DiagnosisReport, EpisodeDiagnosis, RootCause
 pub use error::CoreError;
 pub use experiment::{Experiment, ExperimentOutput};
 pub use milliscope::MilliScope;
+pub use mscope_transform::RunOptions;
 pub use trace::{export_chrome_trace, TraceExportOptions};

@@ -9,7 +9,7 @@ use mscope_db::{AggFn, Database, Predicate, Table, Value};
 use mscope_monitors::SysVizTrace;
 use mscope_ntier::{SystemConfig, TierId, TierKind};
 use mscope_sim::{SimDuration, SimTime};
-use mscope_transform::{DataTransformer, TransformReport};
+use mscope_transform::{DataTransformer, RunOptions, TransformReport};
 
 /// A fully ingested experiment: native logs transformed, loaded into
 /// mScopeDB, and exposed through the analysis vocabulary of the paper.
@@ -47,11 +47,27 @@ impl MilliScope {
     ///
     /// Any transformation or load error.
     pub fn ingest(output: &ExperimentOutput) -> Result<MilliScope, CoreError> {
-        Self::from_parts(
+        Self::ingest_with(output, RunOptions::default())
+    }
+
+    /// [`ingest`](MilliScope::ingest) with explicit pipeline options —
+    /// worker fan-out and load path ([`RunOptions`]). The resulting
+    /// warehouse is identical for every option combination; only the
+    /// wall-clock cost differs.
+    ///
+    /// # Errors
+    ///
+    /// Any transformation or load error.
+    pub fn ingest_with(
+        output: &ExperimentOutput,
+        opts: RunOptions,
+    ) -> Result<MilliScope, CoreError> {
+        Self::from_parts_with(
             output.run.config.clone(),
             &output.artifacts.store,
             &output.artifacts.manifest,
             output.artifacts.sysviz.clone(),
+            opts,
         )
     }
 
@@ -67,6 +83,22 @@ impl MilliScope {
         store: &mscope_monitors::LogStore,
         manifest: &[mscope_monitors::LogFileMeta],
         sysviz: Option<SysVizTrace>,
+    ) -> Result<MilliScope, CoreError> {
+        Self::from_parts_with(cfg, store, manifest, sysviz, RunOptions::default())
+    }
+
+    /// [`from_parts`](MilliScope::from_parts) with explicit pipeline
+    /// options.
+    ///
+    /// # Errors
+    ///
+    /// Any transformation or load error.
+    pub fn from_parts_with(
+        cfg: SystemConfig,
+        store: &mscope_monitors::LogStore,
+        manifest: &[mscope_monitors::LogFileMeta],
+        sysviz: Option<SysVizTrace>,
+        opts: RunOptions,
     ) -> Result<MilliScope, CoreError> {
         let mut db = Database::new();
         db.register_experiment(
@@ -92,7 +124,7 @@ impl MilliScope {
             }
         }
         let transformer = DataTransformer::from_manifest(manifest);
-        let report = transformer.run(store, &mut db)?;
+        let report = transformer.run_with(store, &mut db, opts)?;
         let end_time = cfg.end_time();
         Ok(MilliScope {
             db,

@@ -14,7 +14,9 @@
 //!   library code of the hot-path crates (`ntier`, `transform`,
 //!   `warehouse`, `analysis`);
 //! * `no-wallclock` — no `Instant::now` / `SystemTime::now` inside the
-//!   deterministic `sim` crate (simulated time only);
+//!   wallclock-free crates (`sim` uses simulated time only; `transform`'s
+//!   parallel pipeline must stay reproducible, so timing lives in the
+//!   bench harness);
 //! * `hermetic-deps` — every dependency entry in every manifest must
 //!   resolve in-tree (`path = …` or `workspace = true`), and the
 //!   historically banned registry crates must never reappear.
@@ -28,8 +30,11 @@ use std::path::{Path, PathBuf};
 /// Crates whose library code must stay free of `unwrap`/`expect`/`panic!`.
 pub const HOT_PATH_CRATES: &[&str] = &["ntier", "transform", "warehouse", "analysis"];
 
-/// The deterministic-time crate where wall-clock reads are banned.
-pub const SIM_CRATE: &str = "sim";
+/// Crates where wall-clock reads are banned: the deterministic `sim` crate
+/// (simulated time only) and the `transform` crate, whose worker threads
+/// must stay reproducible — timing belongs to the bench harness, not the
+/// pipeline.
+pub const WALLCLOCK_FREE_CRATES: &[&str] = &["sim", "transform"];
 
 /// Registry crates that must never reappear in any manifest, even as path
 /// dependencies to vendored copies (the workspace replaces them).
@@ -342,11 +347,11 @@ pub fn lint_rust_source(crate_name: &str, rel: &str, text: &str) -> Vec<Finding>
             "in non-test library code of a hot-path crate",
         );
     }
-    if crate_name == SIM_CRATE {
+    if WALLCLOCK_FREE_CRATES.contains(&crate_name) {
         needle_findings(
             &["Instant::now", "SystemTime::now"],
             "no-wallclock",
-            "in the deterministic sim crate (use simulated time)",
+            "in a wallclock-free crate (sim uses simulated time; transform must stay reproducible — time it from the bench harness)",
         );
     }
     findings
@@ -598,11 +603,15 @@ mod tests {
     }
 
     #[test]
-    fn wallclock_fires_only_in_sim() {
+    fn wallclock_fires_only_in_wallclock_free_crates() {
         let src = "fn t() -> Instant { Instant::now() }";
-        let f = lint_rust_source("sim", "crates/sim/src/x.rs", src);
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].rule, "no-wallclock");
+        for krate in WALLCLOCK_FREE_CRATES {
+            let path = format!("crates/{krate}/src/x.rs");
+            let f = lint_rust_source(krate, &path, src);
+            assert_eq!(f.len(), 1, "{krate}");
+            assert_eq!(f[0].rule, "no-wallclock");
+        }
+        // The bench crate is where timing lives; it stays exempt.
         assert!(lint_rust_source("bench", "crates/bench/src/x.rs", src).is_empty());
     }
 

@@ -1,30 +1,65 @@
 //! mScope XMLtoCSV Converter (paper §III-B3): turns annotated XML into an
-//! inferred schema plus CSV, separating the parsers' data annotation from
-//! warehouse schema creation.
+//! inferred schema plus typed rows, separating the parsers' data annotation
+//! from warehouse schema creation.
 //!
 //! Schema inference is bottom-up exactly as described: the column set is
 //! the **union** of all tags appearing in any entry (first-appearance
 //! order), and each column's type is the **narrowest** type in the lattice
 //! that admits every observed value.
+//!
+//! Historically this stage emitted CSV text that the importer immediately
+//! re-parsed. The conversion now goes straight to typed [`Value`] rows —
+//! every cell is classified once, by [`normalize_cell`], for both
+//! inference and loading — and CSV is an on-demand *export* artifact
+//! ([`ConvertedTable::to_csv`]) that round-trips losslessly through
+//! [`import_csv`](crate::import_csv).
 
 use crate::csv::write_csv;
 use crate::error::TransformError;
+use crate::import::{normalize_cell, parse_cell};
 use crate::xml::XmlNode;
 use mscope_db::{Column, ColumnType, Schema, Value};
+use std::collections::BTreeSet;
 
-/// Result of converting one table's worth of annotated XML.
+/// Result of converting one table's worth of annotated XML: the inferred
+/// schema plus the typed rows ready for direct warehouse load.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ConvertedTable {
     /// Inferred schema.
     pub schema: Schema,
-    /// CSV text: header row + one row per entry.
-    pub csv: String,
+    /// Typed rows, one per `<entry>`, cells in schema column order.
+    /// Missing fields are [`Value::Null`].
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ConvertedTable {
     /// Number of data rows.
-    pub rows: usize,
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as CSV text (header row + one line per row) —
+    /// the on-demand export artifact. Loading this text back with
+    /// [`import_csv`](crate::import_csv) against the same schema
+    /// reproduces the typed rows exactly.
+    pub fn to_csv(&self) -> String {
+        let mut grid: Vec<Vec<String>> = Vec::with_capacity(self.rows.len() + 1);
+        grid.push(
+            self.schema
+                .columns()
+                .iter()
+                .map(|c| c.name.clone())
+                .collect(),
+        );
+        for row in &self.rows {
+            grid.push(row.iter().map(Value::render).collect());
+        }
+        write_csv(&grid)
+    }
 }
 
 /// Converts one or more annotated `<log>` documents (all destined for the
-/// same table) into an inferred schema and CSV.
+/// same table) into an inferred schema and typed rows.
 ///
 /// Converting the documents together is what makes the column-set union and
 /// type join span *all* inputs — two Apache replicas' logs cannot produce
@@ -33,25 +68,32 @@ pub struct ConvertedTable {
 /// # Errors
 ///
 /// [`TransformError::SchemaInference`] if an entry carries duplicate field
-/// names (ambiguous annotation).
-pub fn xml_to_csv(docs: &[XmlNode]) -> Result<ConvertedTable, TransformError> {
+/// names (ambiguous annotation); [`TransformError::BadCell`] if a cell
+/// fails to load as the type inferred for its column (internally
+/// inconsistent pipeline — cannot happen when inference and loading share
+/// [`normalize_cell`], but never loads silently-wrong data).
+pub fn convert_xml(docs: &[XmlNode]) -> Result<ConvertedTable, TransformError> {
     // Pass 1: union of columns (first-appearance order) and type join.
     let mut columns: Vec<(String, ColumnType)> = Vec::new();
     let mut entry_count = 0usize;
     for doc in docs {
         for entry in doc.children.iter().filter(|c| c.name == "entry") {
             entry_count += 1;
-            let mut seen_in_entry: Vec<&str> = Vec::new();
+            let mut seen_in_entry: BTreeSet<&str> = BTreeSet::new();
             for field in &entry.children {
-                if seen_in_entry.contains(&field.name.as_str()) {
+                if !seen_in_entry.insert(&field.name) {
                     return Err(TransformError::SchemaInference(format!(
                         "duplicate field `{}` within one entry of `{}`",
                         field.name,
                         doc.get_attr("source").unwrap_or("?")
                     )));
                 }
-                seen_in_entry.push(&field.name);
-                let vt = Value::infer(&field.text).column_type();
+                // The same trim/null rules the importer applies: a cell the
+                // importer would load as Null must not widen the column.
+                let vt = match normalize_cell(&field.text) {
+                    None => ColumnType::Null,
+                    Some(t) => Value::infer(t).column_type(),
+                };
                 match columns.iter_mut().find(|(n, _)| *n == field.name) {
                     Some((_, ty)) => *ty = ty.unify(vt),
                     None => columns.push((field.name.clone(), vt)),
@@ -76,29 +118,24 @@ pub fn xml_to_csv(docs: &[XmlNode]) -> Result<ConvertedTable, TransformError> {
     )
     .map_err(|e| TransformError::SchemaInference(e.to_string()))?;
 
-    // Pass 2: rows.
-    let mut rows: Vec<Vec<String>> = Vec::with_capacity(entry_count + 1);
-    rows.push(schema.columns().iter().map(|c| c.name.clone()).collect());
+    // Pass 2: typed rows, through the exact cell rules the CSV importer
+    // uses, so the direct and export paths are value-identical.
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(entry_count);
     for doc in docs {
+        let source = doc.get_attr("source").unwrap_or("?");
         for entry in doc.children.iter().filter(|c| c.name == "entry") {
             let row = schema
                 .columns()
                 .iter()
-                .map(|c| {
-                    entry
-                        .find(&c.name)
-                        .map(|f| f.text.clone())
-                        .unwrap_or_default()
+                .map(|c| match entry.find(&c.name) {
+                    Some(f) => parse_cell(source, &c.name, c.ty, &f.text),
+                    None => Ok(Value::Null),
                 })
-                .collect();
+                .collect::<Result<Vec<Value>, _>>()?;
             rows.push(row);
         }
     }
-    Ok(ConvertedTable {
-        schema,
-        csv: write_csv(&rows),
-        rows: entry_count,
-    })
+    Ok(ConvertedTable { schema, rows })
 }
 
 #[cfg(test)]
@@ -125,7 +162,7 @@ mod tests {
             entry(&[("a", "1"), ("b", "x")]),
             entry(&[("a", "2"), ("c", "3.5")]),
         ]);
-        let out = xml_to_csv(&[d]).unwrap();
+        let out = convert_xml(&[d]).unwrap();
         let names: Vec<&str> = out
             .schema
             .columns()
@@ -133,9 +170,10 @@ mod tests {
             .map(|c| c.name.as_str())
             .collect();
         assert_eq!(names, vec!["a", "b", "c"]);
-        assert_eq!(out.rows, 2);
-        // Missing cells render empty.
-        assert!(out.csv.contains("2,,3.5"));
+        assert_eq!(out.row_count(), 2);
+        // Missing cells are typed nulls, rendered empty in the CSV export.
+        assert_eq!(out.rows[1][1], Value::Null);
+        assert!(out.to_csv().contains("2,,3.5"));
     }
 
     #[test]
@@ -144,11 +182,15 @@ mod tests {
             entry(&[("n", "1"), ("t", "00:00:01.000000"), ("s", "5")]),
             entry(&[("n", "2.5"), ("t", "00:00:02.000000"), ("s", "five")]),
         ]);
-        let out = xml_to_csv(&[d]).unwrap();
+        let out = convert_xml(&[d]).unwrap();
         let ty = |name: &str| out.schema.columns()[out.schema.index_of(name).unwrap()].ty;
         assert_eq!(ty("n"), ColumnType::Float, "int ∪ float = float");
         assert_eq!(ty("t"), ColumnType::Timestamp);
         assert_eq!(ty("s"), ColumnType::Text, "int ∪ text = text");
+        // Cells are loaded as the inferred types.
+        assert_eq!(out.rows[0][0], Value::Float(1.0));
+        assert_eq!(out.rows[0][1], Value::Timestamp(1_000_000));
+        assert_eq!(out.rows[0][2], Value::Text("5".into()));
     }
 
     #[test]
@@ -157,46 +199,67 @@ mod tests {
             entry(&[("ds", "-")]),
             entry(&[("ds", "00:00:01.000000")]),
         ]);
-        let out = xml_to_csv(&[d]).unwrap();
+        let out = convert_xml(&[d]).unwrap();
         assert_eq!(out.schema.columns()[0].ty, ColumnType::Timestamp);
+        assert_eq!(out.rows[0][0], Value::Null);
     }
 
     #[test]
     fn all_null_column_becomes_text() {
         let d = doc(vec![entry(&[("x", "-")])]);
-        let out = xml_to_csv(&[d]).unwrap();
+        let out = convert_xml(&[d]).unwrap();
         assert_eq!(out.schema.columns()[0].ty, ColumnType::Text);
+        // …and the dash, now a text cell, survives verbatim instead of
+        // being mutated to Null by the loader.
+        assert_eq!(out.rows[0][0], Value::Text("-".into()));
+    }
+
+    #[test]
+    fn text_cells_survive_verbatim() {
+        let d = doc(vec![
+            entry(&[("s", " padded "), ("u", "plain")]),
+            entry(&[("s", "-"), ("u", "words words")]),
+        ]);
+        let out = convert_xml(&[d]).unwrap();
+        assert_eq!(out.rows[0][0], Value::Text(" padded ".into()));
+        assert_eq!(out.rows[1][0], Value::Text("-".into()));
+        // The CSV export round-trips them losslessly too.
+        let mut db = mscope_db::Database::new();
+        crate::import::import_csv(&mut db, "t", &out.schema, &out.to_csv()).unwrap();
+        let t = db.require("t").unwrap();
+        assert_eq!(t.cell(0, "s"), Some(&Value::Text(" padded ".into())));
+        assert_eq!(t.cell(1, "s"), Some(&Value::Text("-".into())));
     }
 
     #[test]
     fn union_spans_multiple_documents() {
         let d1 = doc(vec![entry(&[("a", "1")])]);
         let d2 = doc(vec![entry(&[("a", "x")])]);
-        let out = xml_to_csv(&[d1, d2]).unwrap();
+        let out = convert_xml(&[d1, d2]).unwrap();
         assert_eq!(out.schema.columns()[0].ty, ColumnType::Text);
-        assert_eq!(out.rows, 2);
+        assert_eq!(out.row_count(), 2);
     }
 
     #[test]
     fn duplicate_field_in_entry_rejected() {
         let d = doc(vec![entry(&[("a", "1"), ("a", "2")])]);
         assert!(matches!(
-            xml_to_csv(&[d]),
+            convert_xml(&[d]),
             Err(TransformError::SchemaInference(_))
         ));
     }
 
     #[test]
     fn empty_input_yields_empty_schema() {
-        let out = xml_to_csv(&[doc(vec![])]).unwrap();
-        assert_eq!(out.rows, 0);
+        let out = convert_xml(&[doc(vec![])]).unwrap();
+        assert_eq!(out.row_count(), 0);
         assert!(out.schema.is_empty());
     }
 
     #[test]
-    fn csv_quotes_commas_in_text() {
+    fn csv_export_quotes_commas_in_text() {
         let d = doc(vec![entry(&[("sql", "SELECT a,b FROM t ")])]);
-        let out = xml_to_csv(&[d]).unwrap();
-        assert!(out.csv.contains("\"SELECT a,b FROM t \""));
+        let out = convert_xml(&[d]).unwrap();
+        assert!(out.to_csv().contains("\"SELECT a,b FROM t \""));
     }
 }

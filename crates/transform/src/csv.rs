@@ -90,7 +90,14 @@ pub fn parse_csv(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
                 ',' => {
                     row.push(std::mem::take(&mut field));
                 }
-                '\r' => {}
+                // A carriage return is line-ending chrome only as part of
+                // CRLF; a bare `\r` inside an unquoted field is data (some
+                // foreign logs carry them) and must survive the round-trip.
+                '\r' => {
+                    if chars.peek() != Some(&'\n') {
+                        field.push('\r');
+                    }
+                }
                 '\n' => {
                     row.push(std::mem::take(&mut field));
                     rows.push(std::mem::take(&mut row));
@@ -152,6 +159,25 @@ mod tests {
     fn crlf_tolerated() {
         let back = parse_csv("a,b\r\nc,d\r\n").unwrap();
         assert_eq!(back, vec![vec!["a", "b"], vec!["c", "d"]]);
+    }
+
+    #[test]
+    fn bare_cr_is_field_data() {
+        // Only `\r\n` is a line ending; a lone `\r` stays in the field.
+        let back = parse_csv("a\rb,c\nd,e\r\n").unwrap();
+        assert_eq!(back, vec![vec!["a\rb", "c"], vec!["d", "e"]]);
+    }
+
+    #[test]
+    fn cr_roundtrips_through_quote_field() {
+        let rows = vec![vec!["bare\rcr", "crlf\r\ninside", "plain"]];
+        assert!(
+            quote_field("bare\rcr").starts_with('"'),
+            "cr forces quoting"
+        );
+        let text = write_csv(&rows);
+        let back = parse_csv(&text).unwrap();
+        assert_eq!(back, rows);
     }
 
     #[test]

@@ -1,13 +1,42 @@
 //! mScope Data Importer (paper §III-B3, final stage): creates warehouse
-//! tables from inferred schemas and loads the CSV tuples.
+//! tables from inferred schemas and loads the tuples.
+//!
+//! The primary path is **direct**: [`import_rows`] takes the typed rows
+//! the converter produced and batch-loads them ([`Database::insert_batch`])
+//! with no text round-trip. [`import_csv`] remains for loading exported CSV
+//! artifacts and foreign CSV files; it funnels through the same
+//! [`parse_cell`] rules, so both paths load identical values.
 
 use crate::csv::parse_csv;
 use crate::error::TransformError;
 use mscope_db::{ColumnType, Database, Schema, Value};
 
-/// Parses a raw CSV cell into a value of the column's inferred type.
+/// The one shared cell-normalization rule for *typed* (non-text) columns:
+/// trims ASCII whitespace and maps an empty or `-` cell to `None` (the
+/// SAR/IOstat "no sample" marker). Schema inference and cell loading both
+/// route through this function, so the types inferred from a cell are
+/// provably the types its loaded value carries.
 ///
-/// Empty cells and `"-"` load as [`Value::Null`] regardless of type.
+/// Text columns deliberately do **not** use this at load time — a
+/// legitimate `-` or padded string in a text column must load verbatim
+/// (see [`parse_cell`]).
+pub fn normalize_cell(raw: &str) -> Option<&str> {
+    let t = raw.trim();
+    if t.is_empty() || t == "-" {
+        None
+    } else {
+        Some(t)
+    }
+}
+
+/// Parses a raw cell into a value of the column's inferred type.
+///
+/// For numeric / timestamp / bool columns the cell is first routed through
+/// [`normalize_cell`]: whitespace is trimmed and empty / `-` loads as
+/// [`Value::Null`], matching the SAR and IOstat "no sample" conventions.
+/// **Text columns load verbatim** — only a fully empty cell (the CSV
+/// rendering of a missing field) becomes Null; `-`, padding, and interior
+/// whitespace are all real data and are preserved exactly.
 ///
 /// # Errors
 ///
@@ -21,10 +50,16 @@ pub fn parse_cell(
     ty: ColumnType,
     raw: &str,
 ) -> Result<Value, TransformError> {
-    let t = raw.trim();
-    if t.is_empty() || t == "-" {
-        return Ok(Value::Null);
+    if let ColumnType::Null | ColumnType::Text = ty {
+        return Ok(if raw.is_empty() {
+            Value::Null
+        } else {
+            Value::Text(raw.to_string())
+        });
     }
+    let Some(t) = normalize_cell(raw) else {
+        return Ok(Value::Null);
+    };
     let bad = || TransformError::BadCell {
         table: table.to_string(),
         column: column.to_string(),
@@ -32,7 +67,7 @@ pub fn parse_cell(
         expected: ty,
     };
     match ty {
-        ColumnType::Null | ColumnType::Text => Ok(Value::Text(t.to_string())),
+        ColumnType::Null | ColumnType::Text => Ok(Value::Text(raw.to_string())),
         ColumnType::Bool => match t {
             "true" | "TRUE" | "True" => Ok(Value::Bool(true)),
             "false" | "FALSE" | "False" => Ok(Value::Bool(false)),
@@ -46,8 +81,29 @@ pub fn parse_cell(
     }
 }
 
-/// Creates (or verifies) the destination table and loads the CSV rows.
-/// Returns the number of rows loaded.
+/// Creates (or verifies) the destination table and batch-loads typed rows —
+/// the direct, zero-round-trip importer path. Returns the number of rows
+/// loaded; on any error nothing is loaded into the table.
+///
+/// # Errors
+///
+/// Warehouse errors: schema conflicts with an existing table, row arity or
+/// type mismatches.
+pub fn import_rows(
+    db: &mut Database,
+    table: &str,
+    schema: &Schema,
+    rows: Vec<Vec<Value>>,
+) -> Result<usize, TransformError> {
+    db.ensure_table(table, schema.clone())
+        .map_err(TransformError::Db)?;
+    db.insert_batch(table, rows).map_err(TransformError::Db)
+}
+
+/// Creates (or verifies) the destination table and loads CSV rows — the
+/// export / foreign-file path. Cells are typed with the same [`parse_cell`]
+/// rules the direct path uses, then batch-loaded. Returns the number of
+/// rows loaded.
 ///
 /// # Errors
 ///
@@ -75,9 +131,7 @@ pub fn import_csv(
             got: got.join(","),
         });
     }
-    db.ensure_table(table, schema.clone())
-        .map_err(TransformError::Db)?;
-    let mut loaded = 0usize;
+    let mut typed = Vec::with_capacity(data.len());
     for row in data {
         if row.len() != schema.len() {
             return Err(TransformError::HeaderMismatch {
@@ -91,10 +145,9 @@ pub fn import_csv(
             .zip(schema.columns())
             .map(|(raw, col)| parse_cell(table, &col.name, col.ty, raw))
             .collect::<Result<_, _>>()?;
-        db.insert(table, values).map_err(TransformError::Db)?;
-        loaded += 1;
+        typed.push(values);
     }
-    Ok(loaded)
+    import_rows(db, table, schema, typed)
 }
 
 #[cfg(test)]
@@ -123,13 +176,57 @@ mod tests {
     }
 
     #[test]
-    fn nulls_load_as_null() {
+    fn numeric_nulls_load_as_null() {
         let mut db = Database::new();
-        let csv = "t,v,n\n00:00:01.000000,,-\n";
+        let csv = "t,v,n\n00:00:01.000000,,x\n-, - ,y\n";
         import_csv(&mut db, "m", &schema(), csv).unwrap();
         let t = db.require("m").unwrap();
         assert_eq!(t.cell(0, "v"), Some(&Value::Null));
-        assert_eq!(t.cell(0, "n"), Some(&Value::Null));
+        assert_eq!(t.cell(1, "t"), Some(&Value::Null));
+        assert_eq!(t.cell(1, "v"), Some(&Value::Null), "padded dash is null");
+    }
+
+    #[test]
+    fn text_cells_load_verbatim() {
+        let mut db = Database::new();
+        // `-` and padded strings are legitimate text values; only a fully
+        // empty cell (a missing field) is null.
+        let csv =
+            "t,v,n\n00:00:01.000000,1.0,-\n00:00:02.000000,2.0,\" x \"\n00:00:03.000000,3.0,\n";
+        import_csv(&mut db, "m", &schema(), csv).unwrap();
+        let t = db.require("m").unwrap();
+        assert_eq!(t.cell(0, "n"), Some(&Value::Text("-".into())));
+        assert_eq!(t.cell(1, "n"), Some(&Value::Text(" x ".into())));
+        assert_eq!(t.cell(2, "n"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn import_rows_direct_path() {
+        let mut db = Database::new();
+        let rows = vec![
+            vec![
+                Value::Timestamp(1_000_000),
+                Value::Float(12.5),
+                Value::Text("apache0".into()),
+            ],
+            vec![Value::Null, Value::Null, Value::Null],
+        ];
+        let n = import_rows(&mut db, "m", &schema(), rows).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(db.require("m").unwrap().row_count(), 2);
+        // A type-mismatched batch loads nothing.
+        let err = import_rows(
+            &mut db,
+            "m",
+            &schema(),
+            vec![vec![
+                Value::Text("boom".into()),
+                Value::Float(1.0),
+                Value::Null,
+            ]],
+        );
+        assert!(matches!(err, Err(TransformError::Db(_))));
+        assert_eq!(db.require("m").unwrap().row_count(), 2);
     }
 
     #[test]
@@ -170,6 +267,17 @@ mod tests {
     }
 
     #[test]
+    fn normalize_cell_rules() {
+        assert_eq!(normalize_cell("42"), Some("42"));
+        assert_eq!(normalize_cell("  42 "), Some("42"));
+        assert_eq!(normalize_cell(""), None);
+        assert_eq!(normalize_cell("   "), None);
+        assert_eq!(normalize_cell("-"), None);
+        assert_eq!(normalize_cell(" - "), None);
+        assert_eq!(normalize_cell("-1"), Some("-1"), "negative number kept");
+    }
+
+    #[test]
     fn parse_cell_all_types() {
         assert_eq!(
             parse_cell("t", "c", ColumnType::Int, "42").unwrap(),
@@ -186,6 +294,14 @@ mod tests {
         assert_eq!(
             parse_cell("t", "c", ColumnType::Text, "hi").unwrap(),
             Value::Text("hi".into())
+        );
+        assert_eq!(
+            parse_cell("t", "c", ColumnType::Text, "-").unwrap(),
+            Value::Text("-".into())
+        );
+        assert_eq!(
+            parse_cell("t", "c", ColumnType::Int, " - ").unwrap(),
+            Value::Null
         );
         assert!(parse_cell("t", "c", ColumnType::Int, "x").is_err());
         assert!(parse_cell("t", "c", ColumnType::Bool, "2").is_err());

@@ -11,15 +11,19 @@
 //!    each log line into `<entry>` elements with semantic field tags,
 //!    producing annotated XML ([`XmlNode`]); the upgraded SAR's XML output
 //!    takes the direct [`XmlMapping`] path instead.
-//! 3. **XMLtoCSV conversion** ([`xml_to_csv`]) — bottom-up schema
+//! 3. **XMLtoCSV conversion** ([`convert_xml`]) — bottom-up schema
 //!    inference: column set = union of all tags, column type = narrowest
-//!    lattice type admitting every value; emits CSV.
-//! 4. **Data import** ([`import_csv`]) — creates mScopeDB tables on the fly
-//!    and loads the tuples, registering monitor / log-file metadata in the
-//!    static tables.
+//!    lattice type admitting every value; produces typed rows directly
+//!    ([`ConvertedTable`]), with CSV as an on-demand export
+//!    ([`ConvertedTable::to_csv`]).
+//! 4. **Data import** ([`import_rows`], [`import_csv`]) — creates mScopeDB
+//!    tables on the fly and batch-loads the tuples, registering monitor /
+//!    log-file metadata in the static tables.
 //!
 //! [`DataTransformer`] orchestrates all four stages over a monitor
-//! manifest.
+//! manifest, fanning the CPU-bound parse/convert stages out across scoped
+//! worker threads ([`RunOptions`]) while keeping warehouse loads serial and
+//! deterministic.
 //!
 //! ## Example
 //!
@@ -54,18 +58,19 @@ mod import;
 mod parsers;
 mod pattern;
 mod pipeline;
+mod queue;
 mod xml;
 
-pub use convert::{xml_to_csv, ConvertedTable};
+pub use convert::{convert_xml, ConvertedTable};
 pub use csv::{parse_csv, quote_field, write_csv, CsvError};
 pub use declare::{BlockSpec, LineMatcher, ParserKind, ParserSpec, ParsingDeclaration, XmlMapping};
 pub use error::TransformError;
-pub use import::{import_csv, parse_cell};
+pub use import::{import_csv, import_rows, normalize_cell, parse_cell};
 pub use parsers::{
     apache_event_spec, cjdbc_event_spec, collectl_brief_spec, collectl_csv_spec, declaration_for,
     generic_kv_spec, iostat_spec, mysql_event_spec, sar_mem_spec, sar_net_spec, sar_text_spec,
     sar_xml_mapping, table_name, tomcat_event_spec,
 };
 pub use pattern::{looks_like_wallclock, timestamp_suffix_tokens, Pattern, Tok};
-pub use pipeline::{DataTransformer, TransformReport};
+pub use pipeline::{DataTransformer, RunOptions, TransformReport};
 pub use xml::{escape, parse as parse_xml, unescape, XmlError, XmlNode};

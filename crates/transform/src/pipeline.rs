@@ -1,15 +1,25 @@
 //! The end-to-end mScopeDataTransformer pipeline (paper Fig. 3):
 //! parsing declarations → mScopeParsers → annotated XML → XMLtoCSV
 //! converter (schema inference) → Data Importer → mScopeDB.
+//!
+//! The CPU-heavy front of the pipeline — log read → parse → XML → typed
+//! rows — is embarrassingly parallel across destination tables, so
+//! [`DataTransformer::run`] fans the table groups out over scoped worker
+//! threads fed by a small in-tree work queue, then loads the converted
+//! groups into the warehouse serially in deterministic table order. The
+//! report and the warehouse contents are byte-identical whether the run
+//! used one worker or many.
 
-use crate::convert::xml_to_csv;
+use crate::convert::{convert_xml, ConvertedTable};
 use crate::declare::{self, ParsingDeclaration};
 use crate::error::TransformError;
-use crate::import::import_csv;
+use crate::import::{import_csv, import_rows};
 use crate::parsers::declaration_for;
+use crate::queue::WorkQueue;
 use mscope_db::Database;
 use mscope_monitors::{LogFileMeta, LogStore, MonitorKind};
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 /// What one pipeline run produced.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -26,6 +36,71 @@ mscope_serdes::json_struct!(TransformReport {
     entries,
     tables
 });
+
+/// How a pipeline run executes: worker fan-out and load path. The default
+/// (`workers: 0`, direct load) fans out to the machine's parallelism and
+/// skips the CSV round-trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunOptions {
+    /// Worker threads for the convert stage; `0` picks the machine's
+    /// available parallelism (capped at the number of table groups).
+    pub workers: usize,
+    /// Load through a CSV serialize→reparse round-trip instead of the
+    /// direct typed-row path. The results are identical; this exists for
+    /// benchmarking the historical interchange format and validating the
+    /// CSV export.
+    pub csv_round_trip: bool,
+}
+
+impl RunOptions {
+    /// One worker, direct typed-row load.
+    pub fn serial() -> RunOptions {
+        RunOptions {
+            workers: 1,
+            csv_round_trip: false,
+        }
+    }
+
+    /// One worker, CSV round-trip load — the historical pipeline shape,
+    /// kept as the benchmark baseline.
+    pub fn serial_csv() -> RunOptions {
+        RunOptions {
+            workers: 1,
+            csv_round_trip: true,
+        }
+    }
+}
+
+/// One table group's converted output, waiting to be loaded.
+struct GroupOutput {
+    files: usize,
+    converted: ConvertedTable,
+}
+
+/// Runs the parse→convert front for one table group.
+fn convert_group(
+    decls: &[&ParsingDeclaration],
+    store: &LogStore,
+) -> Result<GroupOutput, TransformError> {
+    let mut docs = Vec::with_capacity(decls.len());
+    for d in decls {
+        let content = store
+            .read(&d.path)
+            .ok_or_else(|| TransformError::MissingFile(d.path.clone()))?;
+        docs.push(d.execute(content)?);
+    }
+    let converted = convert_xml(&docs)?;
+    Ok(GroupOutput {
+        files: decls.len(),
+        converted,
+    })
+}
+
+/// Locks a mutex, ignoring poisoning — a worker panic already propagates
+/// through the thread scope, so a poisoned guard's data is never observed.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// The transformer: a set of parsing declarations derived from the monitor
 /// manifest.
@@ -62,45 +137,115 @@ impl DataTransformer {
         declare::validate(&self.declarations)
     }
 
-    /// Runs the full pipeline: every declared file is parsed to annotated
-    /// XML; documents destined for the same table are converted together
-    /// (so schema inference unions across replicas); CSV is loaded into the
-    /// warehouse; and the static metadata tables (`monitors`, `log_files`)
-    /// are populated.
+    /// Runs the full pipeline with default options: parallel convert
+    /// stage, direct typed-row load. See [`DataTransformer::run_with`].
     ///
     /// # Errors
     ///
-    /// The first error from any stage; nothing is half-loaded on error for
-    /// the failing table, but previously completed tables remain.
+    /// The first error from any stage, in deterministic table order;
+    /// nothing is half-loaded on error for the failing table, but
+    /// previously completed tables remain.
     pub fn run(
         &self,
         store: &LogStore,
         db: &mut Database,
     ) -> Result<TransformReport, TransformError> {
+        self.run_with(store, db, RunOptions::default())
+    }
+
+    /// Runs the full pipeline: every declared file is parsed to annotated
+    /// XML; documents destined for the same table are converted together
+    /// (so schema inference unions across replicas) into typed rows; rows
+    /// are batch-loaded into the warehouse; and the static metadata tables
+    /// (`monitors`, `log_files`) are populated.
+    ///
+    /// The convert stage fans out across `opts.workers` scoped threads
+    /// (one table group per job); the load stage is serial and iterates
+    /// groups in table order, so the warehouse contents and the report are
+    /// identical for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// The first error from any stage, in deterministic table order;
+    /// nothing is half-loaded on error for the failing table, but
+    /// previously completed tables remain.
+    pub fn run_with(
+        &self,
+        store: &LogStore,
+        db: &mut Database,
+        opts: RunOptions,
+    ) -> Result<TransformReport, TransformError> {
         // Pre-validate: a malformed declaration fails here, with a rule ID
         // and reason, instead of deep inside a parse or import stage.
         self.validate()?;
-        // Group declarations by destination table, preserving order.
-        let mut groups: BTreeMap<&str, Vec<&ParsingDeclaration>> = BTreeMap::new();
+        // Group declarations by destination table, in deterministic order.
+        let mut by_table: BTreeMap<&str, Vec<&ParsingDeclaration>> = BTreeMap::new();
         for d in &self.declarations {
-            groups.entry(&d.table).or_default().push(d);
+            by_table.entry(&d.table).or_default().push(d);
         }
+        let groups: Vec<(&str, Vec<&ParsingDeclaration>)> = by_table.into_iter().collect();
+
+        // Convert stage: fan the groups out, or run inline for one worker.
+        let workers = self.worker_count(opts, groups.len());
+        let mut results: Vec<Option<Result<GroupOutput, TransformError>>> =
+            if workers <= 1 || groups.len() <= 1 {
+                groups
+                    .iter()
+                    .map(|(_, decls)| Some(convert_group(decls, store)))
+                    .collect()
+            } else {
+                let queue = WorkQueue::new(groups.len());
+                let slots = Mutex::new((0..groups.len()).map(|_| None).collect::<Vec<_>>());
+                std::thread::scope(|s| {
+                    for _ in 0..workers {
+                        s.spawn(|| {
+                            // A claimed job always runs to completion, so
+                            // dispensed indices always yield a result and
+                            // unconverted groups form a strict suffix
+                            // behind the first error.
+                            while let Some(i) = queue.take() {
+                                let out = convert_group(&groups[i].1, store);
+                                if out.is_err() {
+                                    queue.poison();
+                                }
+                                lock(&slots)[i] = Some(out);
+                            }
+                        });
+                    }
+                });
+                slots
+                    .into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+            };
+
+        // Load stage: serial, in table order — this is what makes reports
+        // and warehouse state deterministic despite the parallel front.
         let mut report = TransformReport::default();
-        for (table, decls) in groups {
-            let mut docs = Vec::with_capacity(decls.len());
-            for d in decls {
-                let content = store
-                    .read(&d.path)
-                    .ok_or_else(|| TransformError::MissingFile(d.path.clone()))?;
-                docs.push(d.execute(content)?);
-                report.files += 1;
-            }
-            let converted = xml_to_csv(&docs)?;
-            report.entries += converted.rows;
-            let loaded = import_csv(db, table, &converted.schema, &converted.csv)?;
+        for (i, (table, _)) in groups.iter().enumerate() {
+            let out = match results[i].take() {
+                Some(Ok(out)) => out,
+                Some(Err(e)) => return Err(e),
+                // Only reachable behind an error at a smaller index, which
+                // the arm above already returned.
+                None => {
+                    return Err(TransformError::SchemaInference(format!(
+                        "internal: group `{table}` left unconverted"
+                    )))
+                }
+            };
+            report.files += out.files;
+            report.entries += out.converted.row_count();
+            let loaded = if opts.csv_round_trip {
+                import_csv(db, table, &out.converted.schema, &out.converted.to_csv())?
+            } else {
+                let ConvertedTable { schema, rows } = out.converted;
+                import_rows(db, table, &schema, rows)?
+            };
             report.tables.push((table.to_string(), loaded));
         }
-        // Metadata registration.
+
+        // Metadata registration. A file that was declared but is absent
+        // from the store is an error, not a healthy zero-byte log.
         for m in &self.manifest {
             let kind = match m.kind {
                 MonitorKind::Event => "event",
@@ -114,7 +259,10 @@ impl DataTransformer {
                 m.period_ms as i64,
             )
             .map_err(TransformError::Db)?;
-            let bytes = store.size(&m.path).unwrap_or(0) as i64;
+            let bytes = store
+                .size(&m.path)
+                .ok_or_else(|| TransformError::MissingFile(m.path.clone()))?
+                as i64;
             db.register_log_file(
                 &m.path,
                 &m.node.to_string(),
@@ -125,6 +273,19 @@ impl DataTransformer {
             .map_err(TransformError::Db)?;
         }
         Ok(report)
+    }
+
+    /// Resolves the effective worker count: explicit, or the machine's
+    /// available parallelism, capped by the number of table groups.
+    fn worker_count(&self, opts: RunOptions, groups: usize) -> usize {
+        let requested = if opts.workers == 0 {
+            std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(4)
+        } else {
+            opts.workers
+        };
+        requested.min(groups).max(1)
     }
 }
 
@@ -179,6 +340,31 @@ mod tests {
             db.table("log_files").unwrap().row_count(),
             art.manifest.len()
         );
+    }
+
+    #[test]
+    fn parallel_serial_and_csv_paths_are_byte_identical() {
+        let (_out, art) = artifacts();
+        let tr = DataTransformer::from_manifest(&art.manifest);
+        let variants = [
+            RunOptions::default(),
+            RunOptions::serial(),
+            RunOptions::serial_csv(),
+            RunOptions {
+                workers: 3,
+                csv_round_trip: true,
+            },
+        ];
+        let mut outputs = Vec::new();
+        for opts in variants {
+            let mut db = Database::new();
+            let report = tr.run_with(&art.store, &mut db, opts).unwrap();
+            outputs.push((report, db.to_json().unwrap()));
+        }
+        for (report, json) in &outputs[1..] {
+            assert_eq!(report, &outputs[0].0, "report drift");
+            assert_eq!(json, &outputs[0].1, "warehouse drift");
+        }
     }
 
     #[test]
@@ -256,6 +442,23 @@ mod tests {
             tr.run(&empty, &mut db),
             Err(TransformError::MissingFile(_))
         ));
+    }
+
+    #[test]
+    fn missing_file_is_an_error_in_parallel_mode_too() {
+        let (_out, mut art) = artifacts();
+        // Remove one file: the parse stage of its group must fail, and the
+        // parallel run must surface that error, not a half-report.
+        art.store.remove("logs/tier3-0/iostat.log");
+        let tr = DataTransformer::from_manifest(&art.manifest);
+        let mut db = Database::new();
+        let err = tr
+            .run_with(&art.store, &mut db, RunOptions::default())
+            .unwrap_err();
+        assert!(
+            matches!(err, TransformError::MissingFile(ref p) if p.contains("iostat")),
+            "{err}"
+        );
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! A small in-tree work queue for the parallel transformer: an atomic
+//! index dispenser over a fixed job list, plus a poison flag for early
+//! stop on error.
+//!
+//! Indices are handed out in strictly increasing, contiguous order, which
+//! is the property the pipeline's error semantics rely on: if job `e` was
+//! dispensed, every job `< e` was dispensed too (and, because workers
+//! always finish a job they claimed, will produce a result). Undispensed
+//! jobs therefore always form a suffix of the job list.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// An atomic index dispenser over `total` jobs with a stop flag.
+#[derive(Debug)]
+pub(crate) struct WorkQueue {
+    next: AtomicUsize,
+    total: usize,
+    poisoned: AtomicBool,
+}
+
+impl WorkQueue {
+    /// A queue over jobs `0..total`.
+    pub(crate) fn new(total: usize) -> WorkQueue {
+        WorkQueue {
+            next: AtomicUsize::new(0),
+            total,
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Claims the next job index, or `None` when the queue is drained or
+    /// poisoned. A claimed job must be completed — later jobs may already
+    /// have been claimed by other workers.
+    pub(crate) fn take(&self) -> Option<usize> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return None;
+        }
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.total).then_some(i)
+    }
+
+    /// Marks the queue poisoned: no further jobs are dispensed. Jobs
+    /// already claimed still run to completion.
+    pub(crate) fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn dispenses_each_index_once_in_order() {
+        let q = WorkQueue::new(5);
+        let taken: Vec<usize> = std::iter::from_fn(|| q.take()).collect();
+        assert_eq!(taken, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.take(), None, "drained");
+    }
+
+    #[test]
+    fn poison_stops_dispensing() {
+        let q = WorkQueue::new(10);
+        assert_eq!(q.take(), Some(0));
+        q.poison();
+        assert_eq!(q.take(), None);
+    }
+
+    #[test]
+    fn concurrent_take_is_a_partition() {
+        let q = WorkQueue::new(1000);
+        let seen = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    while let Some(i) = q.take() {
+                        local.push(i);
+                    }
+                    match seen.lock() {
+                        Ok(mut g) => g.extend(local),
+                        Err(p) => p.into_inner().extend(local),
+                    }
+                });
+            }
+        });
+        let mut all = match seen.lock() {
+            Ok(g) => g.clone(),
+            Err(p) => p.into_inner().clone(),
+        };
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+}

@@ -160,6 +160,25 @@ impl Database {
         Ok(n)
     }
 
+    /// Bulk insert with one table lookup and one validation pass for the
+    /// whole batch ([`Table::push_batch`]): either every row lands or none
+    /// does. Returns the number of rows inserted.
+    ///
+    /// This is the importer's hot path — per-row [`Database::insert`] pays
+    /// a name lookup and a schema walk per tuple, which dominates load time
+    /// for wide monitor tables.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchTable`], or the first [`Table::push_batch`]
+    /// validation error (table unchanged).
+    pub fn insert_batch(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize, DbError> {
+        self.tables
+            .get_mut(table)
+            .ok_or_else(|| DbError::NoSuchTable(table.to_string()))?
+            .push_batch(rows)
+    }
+
     /// Looks up a table.
     pub fn table(&self, name: &str) -> Option<&Table> {
         self.tables.get(name)
@@ -336,6 +355,40 @@ mod tests {
         assert_eq!(db.require("m").unwrap().row_count(), 5);
         assert!(matches!(db.require("zzz"), Err(DbError::NoSuchTable(_))));
         assert_eq!(db.dynamic_table_names(), vec!["m"]);
+    }
+
+    #[test]
+    fn insert_batch_atomic_and_counted() {
+        let mut db = Database::new();
+        let schema = Schema::new(vec![
+            Column::new("t", ColumnType::Int),
+            Column::new("v", ColumnType::Float),
+        ])
+        .unwrap();
+        db.create_table("m", schema).unwrap();
+        let n = db
+            .insert_batch(
+                "m",
+                (0..100)
+                    .map(|i| vec![Value::Int(i), Value::Float(i as f64)])
+                    .collect(),
+            )
+            .unwrap();
+        assert_eq!(n, 100);
+        // One bad row rejects the whole batch.
+        let err = db.insert_batch(
+            "m",
+            vec![
+                vec![Value::Int(1), Value::Float(1.0)],
+                vec![Value::Text("x".into()), Value::Float(2.0)],
+            ],
+        );
+        assert!(matches!(err, Err(DbError::TypeMismatch { .. })));
+        assert_eq!(db.require("m").unwrap().row_count(), 100);
+        assert!(matches!(
+            db.insert_batch("ghost", vec![]),
+            Err(DbError::NoSuchTable(_))
+        ));
     }
 
     #[test]

@@ -406,6 +406,129 @@ fn all_tools_parse_their_own_output() {
 }
 
 // ------------------------------------------------------------------
+// Convert → import fidelity: typed rows, CSV export, and parallelism
+// ------------------------------------------------------------------
+
+/// A cell value from the interesting corners of the normalization rules:
+/// numbers, timestamps, the `-` no-sample marker, padding, and noise.
+fn gen_cell(g: &mut Gen) -> String {
+    match g.u64(0..=7) {
+        0 => g.i64(-1_000..=1_000).to_string(),
+        1 => format!("{:.3}", g.f64(-100.0..100.0)),
+        2 => wallclock(SimTime::from_micros(g.u64(0..=86_399_999_999))),
+        3 => "-".to_string(),
+        4 => String::new(),
+        5 => format!(" {} ", g.u64(0..=99)),
+        6 => g.choose(&["true", "false", "TRUE", "False"]).to_string(),
+        _ => g.string(0..=10),
+    }
+}
+
+/// For any generated entry set: every inferred column type admits every
+/// loaded cell, and the direct typed-row load is byte-identical in the
+/// warehouse to loading the CSV export of the same conversion.
+#[test]
+fn convert_import_roundtrip_lossless() {
+    forall("convert import roundtrip lossless", 192, |g| {
+        let names = ["fa", "fb", "fc", "fd", "fe"];
+        let mut doc = XmlNode::new("log").attr("source", "gen.log");
+        for _ in 0..g.usize(1..=12) {
+            let mut e = XmlNode::new("entry");
+            let k = g.usize(1..=names.len());
+            for name in names.iter().take(k) {
+                e.children.push(XmlNode::new(*name).with_text(gen_cell(g)));
+            }
+            doc.children.push(e);
+        }
+        let out = mscope_transform::convert_xml(&[doc])
+            .map_err(|e| format!("convert rejected generated entries: {e}"))?;
+        // Type soundness: the inferred column type admits every cell.
+        for row in &out.rows {
+            for (cell, col) in row.iter().zip(out.schema.columns()) {
+                prop_ensure!(
+                    col.ty.admits(cell.column_type()),
+                    "column {} : {:?} does not admit {cell:?}",
+                    col.name,
+                    col.ty
+                );
+            }
+        }
+        // Load fidelity: direct rows vs the CSV export round-trip.
+        let mut direct = Database::new();
+        mscope_transform::import_rows(&mut direct, "t", &out.schema, out.rows.clone())
+            .map_err(|e| format!("direct load failed: {e}"))?;
+        let mut via_csv = Database::new();
+        mscope_transform::import_csv(&mut via_csv, "t", &out.schema, &out.to_csv())
+            .map_err(|e| format!("csv reload failed: {e}"))?;
+        prop_ensure!(
+            direct.to_json() == via_csv.to_json(),
+            "direct and CSV-export loads diverge"
+        );
+        Ok(())
+    });
+}
+
+/// The parallel and serial pipelines (and both load paths) produce
+/// byte-identical warehouse state and equal reports for any sample
+/// stream across several monitor formats.
+#[test]
+fn parallel_pipeline_matches_serial() {
+    forall("parallel pipeline matches serial", 24, |g| {
+        let samples = gen_sample_stream(g, 13);
+        let mut store = LogStore::new();
+        let mut manifest = Vec::new();
+        for tool in [Tool::CollectlCsv, Tool::SarText, Tool::SarXml, Tool::Iostat] {
+            let monitor = ResourceMonitor {
+                node: NodeId {
+                    tier: TierId(3),
+                    replica: 0,
+                },
+                kind: TierKind::Mysql,
+                tool,
+                period: mscope_sim::SimDuration::from_millis(1),
+            };
+            monitor.render(&samples, &mut store);
+            manifest.push(mscope_monitors::LogFileMeta {
+                path: monitor.log_path(),
+                node: monitor.node,
+                tier_kind: TierKind::Mysql,
+                monitor_id: monitor.monitor_id(),
+                tool: tool.name().into(),
+                format: tool.format().into(),
+                kind: mscope_monitors::MonitorKind::Resource,
+                period_ms: 1,
+            });
+        }
+        let tr = mscope_transform::DataTransformer::from_manifest(&manifest);
+        let variants = [
+            mscope_transform::RunOptions::default(),
+            mscope_transform::RunOptions::serial(),
+            mscope_transform::RunOptions::serial_csv(),
+            mscope_transform::RunOptions {
+                workers: 2,
+                csv_round_trip: true,
+            },
+        ];
+        let mut first: Option<(mscope_transform::TransformReport, String)> = None;
+        for opts in variants {
+            let mut db = Database::new();
+            let report = tr
+                .run_with(&store, &mut db, opts)
+                .map_err(|e| format!("{opts:?} failed: {e}"))?;
+            let json = db.to_json().map_err(|e| format!("to_json: {e}"))?;
+            match &first {
+                None => first = Some((report, json)),
+                Some((rep0, db0)) => {
+                    prop_ensure!(&report == rep0, "{opts:?}: report drift");
+                    prop_ensure!(&json == db0, "{opts:?}: warehouse drift");
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+// ------------------------------------------------------------------
 // SQL round-trip: generated predicate ASTs rendered to SQL text must
 // execute identically to direct predicate evaluation.
 // ------------------------------------------------------------------
