@@ -31,24 +31,58 @@ impl WindowSeries {
         self.points.iter().map(|&(_, v)| v).collect()
     }
 
-    /// Restricts to `[from_us, to_us)`.
+    /// Restricts to `[from_us, to_us)`. Binary-searches the boundaries
+    /// when the points are in time order (as every constructor in the
+    /// workspace produces them), scanning only as a fallback.
     pub fn slice(&self, from_us: i64, to_us: i64) -> WindowSeries {
-        WindowSeries {
-            label: self.label.clone(),
-            points: self
-                .points
+        let points = if is_time_sorted(&self.points) {
+            let lo = self.points.partition_point(|&(t, _)| t < from_us);
+            let hi = self.points.partition_point(|&(t, _)| t < to_us);
+            self.points[lo..hi.max(lo)].to_vec()
+        } else {
+            self.points
                 .iter()
                 .filter(|&&(t, _)| t >= from_us && t < to_us)
                 .copied()
-                .collect(),
+                .collect()
+        };
+        WindowSeries {
+            label: self.label.clone(),
+            points,
         }
     }
+}
+
+fn is_time_sorted(points: &[(i64, f64)]) -> bool {
+    points.windows(2).all(|w| w[0].0 <= w[1].0)
 }
 
 /// Aligns two window series on their common timestamps and returns the
 /// paired values. Windows present in only one series are dropped — the two
 /// monitors need not share a period.
+///
+/// When both series are in time order (the normal case — warehouse
+/// `window_agg` output is sorted) this is a single allocation-free merge
+/// walk; otherwise it falls back to building a map of `b`. Duplicate
+/// timestamps in `b` resolve to the last occurrence either way.
 pub fn align(a: &WindowSeries, b: &WindowSeries) -> Vec<(f64, f64)> {
+    if is_time_sorted(&a.points) && is_time_sorted(&b.points) {
+        let mut out = Vec::new();
+        let mut j = 0usize;
+        for &(t, va) in &a.points {
+            while j < b.points.len() && b.points[j].0 < t {
+                j += 1;
+            }
+            if j < b.points.len() && b.points[j].0 == t {
+                let mut k = j;
+                while k + 1 < b.points.len() && b.points[k + 1].0 == t {
+                    k += 1;
+                }
+                out.push((va, b.points[k].1));
+            }
+        }
+        return out;
+    }
     let bmap: BTreeMap<i64, f64> = b.points.iter().copied().collect();
     a.points
         .iter()
@@ -59,7 +93,10 @@ pub fn align(a: &WindowSeries, b: &WindowSeries) -> Vec<(f64, f64)> {
 /// Pearson correlation of two aligned series; `None` when fewer than two
 /// common windows exist or either side has zero variance.
 pub fn correlate(a: &WindowSeries, b: &WindowSeries) -> Option<f64> {
-    let pairs = align(a, b);
+    correlate_pairs(&align(a, b))
+}
+
+fn correlate_pairs(pairs: &[(f64, f64)]) -> Option<f64> {
     let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
     let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
     pearson(&xs, &ys)
@@ -87,11 +124,13 @@ pub fn rank_correlations(
     let mut hits: Vec<CorrelationHit> = candidates
         .iter()
         .filter_map(|c| {
-            let n = align(target, c).len();
-            correlate(target, c).map(|r| CorrelationHit {
+            // One alignment per candidate, shared by the pair count and
+            // the correlation (this used to align twice).
+            let pairs = align(target, c);
+            correlate_pairs(&pairs).map(|r| CorrelationHit {
                 label: c.label.clone(),
                 r,
-                n,
+                n: pairs.len(),
             })
         })
         .collect();

@@ -6,8 +6,7 @@
 //! the execution path explicitly … without making any assumptions about the
 //! interactions among servers."
 
-use mscope_db::{Table, Value};
-use std::collections::HashMap;
+use mscope_db::{KeyIndex, Table, Value};
 use std::error::Error;
 use std::fmt;
 
@@ -279,33 +278,31 @@ pub fn reconstruct_flows(tables: &[&Table]) -> Result<Vec<RequestFlow>, FlowErro
         table: t.name().to_string(),
         column: "request_id".into(),
     };
-    // Index deeper tiers by request_id.
-    let mut deep_maps: Vec<HashMap<&str, usize>> = Vec::new();
+    // Index deeper tiers by request_id with the same borrowed hash index
+    // the warehouse join uses; `last_text` keeps the last occurrence of a
+    // duplicated ID, matching the old insert-overwrites map.
+    let mut deep: Vec<(KeyIndex<'_>, HopReader<'_>)> = Vec::with_capacity(tables.len() - 1);
     for t in &tables[1..] {
         let ids = t.column("request_id").ok_or_else(|| missing_id(t))?;
-        let mut m = HashMap::with_capacity(ids.len());
-        for (i, v) in ids.iter().enumerate() {
-            if let Some(s) = v.as_str() {
-                m.insert(s, i);
-            }
-        }
-        deep_maps.push(m);
+        deep.push((KeyIndex::build(ids), HopReader::new(t)));
     }
     let front = tables[0];
     let ids = front
         .column("request_id")
         .ok_or_else(|| missing_id(front))?;
+    let front_reader = HopReader::new(front);
+    let interactions = front.column("interaction");
     let mut flows = Vec::with_capacity(ids.len());
     for (row, id) in ids.iter().enumerate() {
         let Some(id) = id.as_str() else { continue };
         let mut hops = Vec::new();
-        hops.push(read_hop(front, row, 0)?);
-        for (depth, map) in deep_maps.iter().enumerate() {
-            let Some(&r) = map.get(id) else { break };
-            hops.push(read_hop(tables[depth + 1], r, depth + 1)?);
+        hops.push(front_reader.read(row, 0)?);
+        for (depth, (index, reader)) in deep.iter().enumerate() {
+            let Some(r) = index.last_text(id) else { break };
+            hops.push(reader.read(r, depth + 1)?);
         }
-        let interaction = front
-            .cell(row, "interaction")
+        let interaction = interactions
+            .and_then(|col| col.get(row))
             .and_then(Value::as_str)
             .unwrap_or("?")
             .to_string();
@@ -318,36 +315,68 @@ pub fn reconstruct_flows(tables: &[&Table]) -> Result<Vec<RequestFlow>, FlowErro
     Ok(flows)
 }
 
-fn read_hop(table: &Table, row: usize, tier: usize) -> Result<FlowHop, FlowError> {
-    let get = |col: &str| -> Result<Option<i64>, FlowError> {
-        Ok(table
-            .cell(row, col)
-            .ok_or_else(|| FlowError::MissingColumn {
-                table: table.name().to_string(),
-                column: col.to_string(),
-            })?
+/// Per-table hop extractor with the column lookups hoisted out of the row
+/// loop: each name resolves to a column slice once, and `read` only
+/// indexes. Column absence stays a *lazy, per-row* error in the original
+/// order (`ua` missing → `ua` null → `ud` → `ds` → `dr`) so a table is
+/// only faulted for a column a visited row actually needed.
+struct HopReader<'t> {
+    table: &'t str,
+    node: Option<&'t [Value]>,
+    ua: Option<&'t [Value]>,
+    ud: Option<&'t [Value]>,
+    ds: Option<&'t [Value]>,
+    dr: Option<&'t [Value]>,
+}
+
+impl<'t> HopReader<'t> {
+    fn new(table: &'t Table) -> HopReader<'t> {
+        HopReader {
+            table: table.name(),
+            node: table.column("node"),
+            ua: table.column("ua"),
+            ud: table.column("ud"),
+            ds: table.column("ds"),
+            dr: table.column("dr"),
+        }
+    }
+
+    fn get(
+        &self,
+        col: Option<&'t [Value]>,
+        name: &str,
+        row: usize,
+    ) -> Result<Option<i64>, FlowError> {
+        Ok(col.ok_or_else(|| FlowError::MissingColumn {
+            table: self.table.to_string(),
+            column: name.to_string(),
+        })?[row]
             .as_i64())
-    };
-    let null_ts = |col: &str| FlowError::NullTimestamp {
-        table: table.name().to_string(),
-        row,
-        column: col.to_string(),
-    };
-    let ua = get("ua")?.ok_or_else(|| null_ts("ua"))?;
-    let ud = get("ud")?.ok_or_else(|| null_ts("ud"))?;
-    let node = table
-        .cell(row, "node")
-        .and_then(Value::as_str)
-        .unwrap_or("?")
-        .to_string();
-    Ok(FlowHop {
-        tier,
-        node,
-        ua,
-        ud,
-        ds: get("ds")?,
-        dr: get("dr")?,
-    })
+    }
+
+    fn read(&self, row: usize, tier: usize) -> Result<FlowHop, FlowError> {
+        let null_ts = |col: &str| FlowError::NullTimestamp {
+            table: self.table.to_string(),
+            row,
+            column: col.to_string(),
+        };
+        let ua = self.get(self.ua, "ua", row)?.ok_or_else(|| null_ts("ua"))?;
+        let ud = self.get(self.ud, "ud", row)?.ok_or_else(|| null_ts("ud"))?;
+        let node = self
+            .node
+            .and_then(|col| col.get(row))
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_string();
+        Ok(FlowHop {
+            tier,
+            node,
+            ua,
+            ud,
+            ds: self.get(self.ds, "ds", row)?,
+            dr: self.get(self.dr, "dr", row)?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -132,16 +132,15 @@ impl PitSeries {
             .collect()
     }
 
-    /// Restricts the series to `[from_us, to_us)`.
+    /// Restricts the series to `[from_us, to_us)`. Points are in
+    /// ascending `start_us` order (the constructors guarantee it), so the
+    /// two boundaries are binary-searched instead of scanning the series.
     pub fn slice(&self, from_us: i64, to_us: i64) -> PitSeries {
+        let lo = self.points.partition_point(|p| p.start_us < from_us);
+        let hi = self.points.partition_point(|p| p.start_us < to_us);
         PitSeries {
             window_us: self.window_us,
-            points: self
-                .points
-                .iter()
-                .filter(|p| p.start_us >= from_us && p.start_us < to_us)
-                .copied()
-                .collect(),
+            points: self.points[lo..hi.max(lo)].to_vec(),
         }
     }
 

@@ -26,36 +26,53 @@ struct Variant {
     opts: RunOptions,
 }
 
-const VARIANTS: [Variant; 4] = [
-    Variant {
-        name: "serial_csv",
-        opts: RunOptions {
-            workers: 1,
-            csv_round_trip: true,
+/// The bench matrix. `workers: 0` now means *auto* (serial below the
+/// work-size threshold), so the parallel variants pin an explicit worker
+/// count and `auto_direct` exercises the heuristic itself — the bench
+/// asserts auto is never the slowest variant, which is exactly the
+/// regression the old always-parallel default had on small inputs.
+fn variants() -> Vec<Variant> {
+    let p = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(4);
+    vec![
+        Variant {
+            name: "serial_csv",
+            opts: RunOptions {
+                workers: 1,
+                csv_round_trip: true,
+            },
         },
-    },
-    Variant {
-        name: "serial_direct",
-        opts: RunOptions {
-            workers: 1,
-            csv_round_trip: false,
+        Variant {
+            name: "serial_direct",
+            opts: RunOptions {
+                workers: 1,
+                csv_round_trip: false,
+            },
         },
-    },
-    Variant {
-        name: "parallel_csv",
-        opts: RunOptions {
-            workers: 0,
-            csv_round_trip: true,
+        Variant {
+            name: "parallel_csv",
+            opts: RunOptions {
+                workers: p,
+                csv_round_trip: true,
+            },
         },
-    },
-    Variant {
-        name: "parallel_direct",
-        opts: RunOptions {
-            workers: 0,
-            csv_round_trip: false,
+        Variant {
+            name: "parallel_direct",
+            opts: RunOptions {
+                workers: p,
+                csv_round_trip: false,
+            },
         },
-    },
-];
+        Variant {
+            name: "auto_direct",
+            opts: RunOptions {
+                workers: 0,
+                csv_round_trip: false,
+            },
+        },
+    ]
+}
 
 fn artifacts(smoke: bool) -> MonitoringArtifacts {
     let users = if smoke { 80 } else { 300 };
@@ -108,10 +125,11 @@ fn main() {
     let tr = DataTransformer::from_manifest(&art.manifest);
     let log_bytes = art.store.total_bytes();
 
-    // Correctness gate first: all four variants must produce byte-identical
+    let variants = variants();
+    // Correctness gate first: every variant must produce byte-identical
     // warehouse state and identical reports before any number is reported.
     let mut reference: Option<(String, String)> = None;
-    for v in &VARIANTS {
+    for v in &variants {
         let mut db = Database::new();
         let report = tr
             .run_with(&art.store, &mut db, v.opts)
@@ -126,10 +144,10 @@ fn main() {
             }
         }
     }
-    eprintln!("  all {} variants byte-identical", VARIANTS.len());
+    eprintln!("  all {} variants byte-identical", variants.len());
 
     let mut timings: Vec<(&str, f64, usize)> = Vec::new();
-    for v in &VARIANTS {
+    for v in &variants {
         let (secs, entries) = best_of(samples, || {
             let mut db = Database::new();
             tr.run_with(&art.store, &mut db, v.opts)
@@ -146,6 +164,22 @@ fn main() {
     }
 
     let baseline = timings[0].1;
+    // The auto heuristic must never pick the worst plan: whatever it
+    // resolved to, some explicitly-configured variant is at least as bad.
+    let auto = timings
+        .iter()
+        .find(|(name, ..)| *name == "auto_direct")
+        .expect("auto variant present");
+    let slowest = timings
+        .iter()
+        .map(|&(_, secs, _)| secs)
+        .fold(f64::MIN, f64::max);
+    assert!(
+        auto.1 < slowest || timings.iter().all(|&(_, s, _)| s == auto.1),
+        "auto_direct ({:.3}s) is the slowest variant (slowest {:.3}s)",
+        auto.1,
+        slowest
+    );
     let results: Vec<Json> = timings
         .iter()
         .map(|(name, secs, entries)| {
@@ -157,7 +191,11 @@ fn main() {
             ])
         })
         .collect();
-    let parallel_direct = timings[3].1;
+    let parallel_direct = timings
+        .iter()
+        .find(|(name, ..)| *name == "parallel_direct")
+        .expect("parallel_direct variant present")
+        .1;
     let doc = Json::obj([
         ("bench", Json::Str("transform_pipeline".into())),
         (

@@ -318,13 +318,16 @@ impl MilliScope {
         agg: AggFn,
     ) -> Result<WindowSeries, CoreError> {
         let table = self.db.require("collectl")?;
-        let filtered = table.filter(&Predicate::Eq("node".into(), Value::Text(node.into())));
-        if filtered.is_empty() {
+        // Fused filter + aggregate: the compiled predicate prunes blocks
+        // and no intermediate per-node table is materialized.
+        let pred = Predicate::Eq("node".into(), Value::Text(node.into()));
+        let (matched, points) =
+            table.window_agg_where(&pred, "time", window.as_micros() as i64, metric, agg)?;
+        if matched == 0 {
             return Err(CoreError::Analysis(format!(
                 "no collectl rows for node `{node}`"
             )));
         }
-        let points = filtered.window_agg("time", window.as_micros() as i64, metric, agg)?;
         Ok(WindowSeries::new(format!("{node} {metric}"), points))
     }
 

@@ -31,10 +31,11 @@ use std::path::{Path, PathBuf};
 pub const HOT_PATH_CRATES: &[&str] = &["ntier", "transform", "warehouse", "analysis"];
 
 /// Crates where wall-clock reads are banned: the deterministic `sim` crate
-/// (simulated time only) and the `transform` crate, whose worker threads
-/// must stay reproducible — timing belongs to the bench harness, not the
-/// pipeline.
-pub const WALLCLOCK_FREE_CRATES: &[&str] = &["sim", "transform"];
+/// (simulated time only), the `transform` crate, whose worker threads
+/// must stay reproducible, and the `warehouse` crate, whose compiled
+/// query engine must never self-time — timing belongs to the bench
+/// harness, not the pipeline or the query path.
+pub const WALLCLOCK_FREE_CRATES: &[&str] = &["sim", "transform", "warehouse"];
 
 /// Registry crates that must never reappear in any manifest, even as path
 /// dependencies to vendored copies (the workspace replaces them).

@@ -17,6 +17,8 @@
 //! * [`TimeSeries`] / [`StepSeries`] — sampled and event-driven series.
 //! * [`Histogram`], [`Summary`], [`pearson`], [`percentile`], [`rmse`] —
 //!   statistics used by the analysis layer and the figure benches.
+//! * [`WorkQueue`] — atomic job dispenser shared by every parallel
+//!   fan-out stage in the workspace (transformer convert, warehouse scan).
 //! * [`prop`] — the in-tree property-testing harness (seeded generation,
 //!   shrink-by-halving) the workspace's invariant tests run on.
 //!
@@ -48,12 +50,14 @@
 
 mod event;
 pub mod prop;
+mod queue;
 mod rng;
 mod series;
 mod stats;
 mod time;
 
 pub use event::EventQueue;
+pub use queue::WorkQueue;
 pub use rng::SimRng;
 pub use series::{Agg, StepSeries, TimeSeries};
 pub use stats::{pearson, percentile, rmse, Histogram, Summary};

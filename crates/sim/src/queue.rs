@@ -1,9 +1,13 @@
-//! A small in-tree work queue for the parallel transformer: an atomic
-//! index dispenser over a fixed job list, plus a poison flag for early
-//! stop on error.
+//! A small shared work queue for parallel fan-out stages: an atomic index
+//! dispenser over a fixed job list, plus a poison flag for early stop on
+//! error.
+//!
+//! Both the transformer's parallel convert stage and the warehouse's
+//! parallel block scan fan jobs out over scoped worker threads fed from
+//! this queue — one implementation, one set of invariants.
 //!
 //! Indices are handed out in strictly increasing, contiguous order, which
-//! is the property the pipeline's error semantics rely on: if job `e` was
+//! is the property the consumers' error semantics rely on: if job `e` was
 //! dispensed, every job `< e` was dispensed too (and, because workers
 //! always finish a job they claimed, will produce a result). Undispensed
 //! jobs therefore always form a suffix of the job list.
@@ -11,8 +15,20 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// An atomic index dispenser over `total` jobs with a stop flag.
+///
+/// # Examples
+///
+/// ```
+/// use mscope_sim::WorkQueue;
+///
+/// let q = WorkQueue::new(3);
+/// assert_eq!(q.take(), Some(0));
+/// assert_eq!(q.take(), Some(1));
+/// q.poison();
+/// assert_eq!(q.take(), None);
+/// ```
 #[derive(Debug)]
-pub(crate) struct WorkQueue {
+pub struct WorkQueue {
     next: AtomicUsize,
     total: usize,
     poisoned: AtomicBool,
@@ -20,7 +36,7 @@ pub(crate) struct WorkQueue {
 
 impl WorkQueue {
     /// A queue over jobs `0..total`.
-    pub(crate) fn new(total: usize) -> WorkQueue {
+    pub fn new(total: usize) -> WorkQueue {
         WorkQueue {
             next: AtomicUsize::new(0),
             total,
@@ -31,7 +47,7 @@ impl WorkQueue {
     /// Claims the next job index, or `None` when the queue is drained or
     /// poisoned. A claimed job must be completed — later jobs may already
     /// have been claimed by other workers.
-    pub(crate) fn take(&self) -> Option<usize> {
+    pub fn take(&self) -> Option<usize> {
         if self.poisoned.load(Ordering::Acquire) {
             return None;
         }
@@ -41,7 +57,7 @@ impl WorkQueue {
 
     /// Marks the queue poisoned: no further jobs are dispensed. Jobs
     /// already claimed still run to completion.
-    pub(crate) fn poison(&self) {
+    pub fn poison(&self) {
         self.poisoned.store(true, Ordering::Release);
     }
 }

@@ -58,7 +58,6 @@ mod import;
 mod parsers;
 mod pattern;
 mod pipeline;
-mod queue;
 mod xml;
 
 pub use convert::{convert_xml, ConvertedTable};

@@ -15,9 +15,9 @@ use crate::declare::{self, ParsingDeclaration};
 use crate::error::TransformError;
 use crate::import::{import_csv, import_rows};
 use crate::parsers::declaration_for;
-use crate::queue::WorkQueue;
 use mscope_db::Database;
 use mscope_monitors::{LogFileMeta, LogStore, MonitorKind};
+use mscope_sim::WorkQueue;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
@@ -37,13 +37,22 @@ mscope_serdes::json_struct!(TransformReport {
     tables
 });
 
+/// Below this much declared log input, `workers: 0` (auto) runs the
+/// convert stage serially: thread spawn and lock traffic cost more than
+/// they save on small runs (the bench history shows parallel at ~1 MiB
+/// *slower* than serial; the crossover is comfortably above that).
+const AUTO_PARALLEL_MIN_BYTES: u64 = 4 << 20;
+
 /// How a pipeline run executes: worker fan-out and load path. The default
-/// (`workers: 0`, direct load) fans out to the machine's parallelism and
-/// skips the CSV round-trip.
+/// (`workers: 0`, direct load) sizes the fan-out to the work: the
+/// machine's parallelism for large runs, serial below
+/// [`AUTO_PARALLEL_MIN_BYTES`] of declared input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RunOptions {
-    /// Worker threads for the convert stage; `0` picks the machine's
-    /// available parallelism (capped at the number of table groups).
+    /// Worker threads for the convert stage; `0` picks automatically —
+    /// the machine's available parallelism (capped at the number of table
+    /// groups), falling back to serial when the declared input is too
+    /// small for the fan-out to pay for itself.
     pub workers: usize,
     /// Load through a CSV serialize→reparse round-trip instead of the
     /// direct typed-row path. The results are identical; this exists for
@@ -186,7 +195,13 @@ impl DataTransformer {
         let groups: Vec<(&str, Vec<&ParsingDeclaration>)> = by_table.into_iter().collect();
 
         // Convert stage: fan the groups out, or run inline for one worker.
-        let workers = self.worker_count(opts, groups.len());
+        let declared_bytes: u64 = self
+            .declarations
+            .iter()
+            .filter_map(|d| store.size(&d.path))
+            .map(|b| b as u64)
+            .sum();
+        let workers = self.worker_count(opts, groups.len(), declared_bytes);
         let mut results: Vec<Option<Result<GroupOutput, TransformError>>> =
             if workers <= 1 || groups.len() <= 1 {
                 groups
@@ -275,13 +290,19 @@ impl DataTransformer {
         Ok(report)
     }
 
-    /// Resolves the effective worker count: explicit, or the machine's
-    /// available parallelism, capped by the number of table groups.
-    fn worker_count(&self, opts: RunOptions, groups: usize) -> usize {
+    /// Resolves the effective worker count: explicit, or — in auto mode —
+    /// the machine's available parallelism for large inputs and serial
+    /// below [`AUTO_PARALLEL_MIN_BYTES`], capped by the number of table
+    /// groups either way.
+    fn worker_count(&self, opts: RunOptions, groups: usize, declared_bytes: u64) -> usize {
         let requested = if opts.workers == 0 {
-            std::thread::available_parallelism()
-                .map(usize::from)
-                .unwrap_or(4)
+            if declared_bytes < AUTO_PARALLEL_MIN_BYTES {
+                1
+            } else {
+                std::thread::available_parallelism()
+                    .map(usize::from)
+                    .unwrap_or(4)
+            }
         } else {
             opts.workers
         };

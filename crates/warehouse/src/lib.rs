@@ -14,6 +14,11 @@
 //! * query layer — [`Predicate`] filters, projections, fixed-window
 //!   aggregation ([`AggFn`]), hash joins, sorting, grouping — everything
 //!   the analysis layer needs to reproduce the paper's figures;
+//! * compiled engine — [`CompiledPredicate`] (names/values bound once per
+//!   query), per-block zone maps with a sorted-timestamp flag,
+//!   [`KeyIndex`] hash joins, and a deterministic parallel block scan;
+//!   the naive row-at-a-time evaluators remain as reference oracles
+//!   ([`Table::filter_naive`], [`Table::inner_join_naive`]);
 //! * [`Database`] — the warehouse with static + dynamic tables.
 //!
 //! ## Example
@@ -45,6 +50,7 @@
 #![warn(missing_docs)]
 
 mod db;
+mod engine;
 mod error;
 mod query;
 pub mod sql;
@@ -52,6 +58,7 @@ mod table;
 mod value;
 
 pub use db::{Database, STATIC_TABLES};
+pub use engine::{CompiledPredicate, KeyIndex, DEFAULT_BLOCK_ROWS, PARALLEL_MIN_ROWS};
 pub use error::DbError;
 pub use query::{AggFn, Predicate};
 pub use table::{Column, Schema, Table};

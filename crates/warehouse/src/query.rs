@@ -6,6 +6,7 @@
 //! researchers slice disk utilization per tier, join event records by
 //! request ID, and correlate series.
 
+use crate::engine::{self, CompiledPredicate, KeyIndex, KeyRef};
 use crate::table::{Column, Schema, Table};
 use crate::value::{ColumnType, Value, ValueKey};
 use crate::DbError;
@@ -113,25 +114,39 @@ mscope_serdes::json_enum!(AggFn {
 });
 
 fn fold(agg: AggFn, values: &[f64]) -> Option<f64> {
-    if values.is_empty() {
-        return match agg {
-            AggFn::Count => Some(0.0),
-            _ => None,
-        };
+    if agg == AggFn::Count {
+        return Some(values.len() as f64);
     }
+    let last = *values.last()?;
     Some(match agg {
         AggFn::Mean => values.iter().sum::<f64>() / values.len() as f64,
         AggFn::Max => values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
         AggFn::Min => values.iter().cloned().fold(f64::INFINITY, f64::min),
         AggFn::Sum => values.iter().sum(),
-        AggFn::Count => values.len() as f64,
-        AggFn::Last => *values.last().expect("non-empty"),
+        AggFn::Count | AggFn::Last => last,
     })
 }
 
 impl Table {
-    /// Rows matching `pred`, as a new table.
+    /// Rows matching `pred`, as a new table. Runs on the compiled engine
+    /// ([`CompiledPredicate`]): names bound once, zone-map block skipping,
+    /// sorted-column binary search, automatic parallel scan on large
+    /// tables. Result-identical to [`Table::filter_naive`].
     pub fn filter(&self, pred: &Predicate) -> Table {
+        self.filter_with(pred, 0)
+    }
+
+    /// [`Table::filter`] with an explicit scan worker count (`0` = auto:
+    /// serial below [`PARALLEL_MIN_ROWS`](crate::PARALLEL_MIN_ROWS)
+    /// candidate rows). Output is byte-identical for every worker count.
+    pub fn filter_with(&self, pred: &Predicate, workers: usize) -> Table {
+        let rows = CompiledPredicate::compile(self, pred).matching_rows_with(workers);
+        self.gather(self.name(), &rows)
+    }
+
+    /// Reference oracle: the original row-at-a-time scan through
+    /// [`Predicate::eval`], kept for property tests and benchmarks.
+    pub fn filter_naive(&self, pred: &Predicate) -> Table {
         let rows: Vec<usize> = (0..self.row_count())
             .filter(|&i| pred.eval(self, i))
             .collect();
@@ -139,11 +154,13 @@ impl Table {
     }
 
     /// Projects the named columns (in the given order) of rows matching
-    /// `pred`.
+    /// `pred`. The matching row set is computed once on the compiled
+    /// engine and only the projected columns are materialized.
     ///
     /// # Errors
     ///
-    /// [`DbError::NoSuchColumn`] if any projected column is missing.
+    /// [`DbError::NoSuchColumn`] if any projected column is missing;
+    /// [`DbError::DuplicateColumn`] if a column is projected twice.
     pub fn select(&self, cols: &[&str], pred: &Predicate) -> Result<Table, DbError> {
         let idxs: Vec<usize> = cols
             .iter()
@@ -153,19 +170,15 @@ impl Table {
                     .ok_or_else(|| DbError::NoSuchColumn(c.to_string()))
             })
             .collect::<Result<_, _>>()?;
-        let filtered = self.filter(pred);
         let schema = Schema::new(
             idxs.iter()
                 .map(|&i| self.schema().columns()[i].clone())
                 .collect(),
-        )
-        .expect("projection of a valid schema is valid");
+        )?;
+        let rows = CompiledPredicate::compile(self, pred).matching_rows_with(0);
         let cols_data: Vec<Vec<Value>> = idxs
             .iter()
-            .map(|&i| {
-                let name = &self.schema().columns()[i].name;
-                filtered.column(name).expect("column exists").to_vec()
-            })
+            .map(|&ci| rows.iter().map(|&r| self.col(ci)[r].clone()).collect())
             .collect();
         Ok(Table::from_parts(
             self.name().to_string(),
@@ -175,17 +188,41 @@ impl Table {
     }
 
     /// Shorthand: rows whose `time_col` lies in `[from, to)` (µs values,
-    /// works on Int or Timestamp columns).
+    /// works on Int or Timestamp columns). On a sorted Int/Timestamp
+    /// column this binary-searches the two boundaries instead of
+    /// scanning; otherwise it scans the typed column slice (still no
+    /// per-row name lookup).
     pub fn time_range(&self, time_col: &str, from: i64, to: i64) -> Table {
-        // Accept either representation by filtering manually.
-        let rows: Vec<usize> = (0..self.row_count())
-            .filter(|&i| {
-                self.cell(i, time_col)
-                    .and_then(Value::as_i64)
-                    .map(|t| t >= from && t < to)
-                    .unwrap_or(false)
-            })
-            .collect();
+        let Some(ci) = self.schema().index_of(time_col) else {
+            return self.gather(self.name(), &[]);
+        };
+        let col = self.col(ci);
+        let ty = self.schema().columns()[ci].ty;
+        let sorted = self.table_index().col(ci).is_some_and(|c| c.sorted());
+        // The typed probes must match the column's value type: `as_i64`
+        // reads Int and Timestamp only, and `total_cmp` ranks Int below
+        // Timestamp, so a cross-typed probe would be wrong. Float columns
+        // (which may mix Int cells past `as_i64` with Float cells that
+        // never match) always take the scan path.
+        let probe: Option<fn(i64) -> Value> = match ty {
+            ColumnType::Int => Some(Value::Int),
+            ColumnType::Timestamp => Some(Value::Timestamp),
+            _ => None,
+        };
+        let rows: Vec<usize> = match probe {
+            Some(mk) if sorted => {
+                let lo =
+                    col.partition_point(|c| c.total_cmp(&mk(from)) == std::cmp::Ordering::Less);
+                let hi = col.partition_point(|c| c.total_cmp(&mk(to)) == std::cmp::Ordering::Less);
+                (lo..hi).collect()
+            }
+            _ => col
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.as_i64().map(|t| t >= from && t < to).unwrap_or(false))
+                .map(|(i, _)| i)
+                .collect(),
+        };
         self.gather(self.name(), &rows)
     }
 
@@ -208,18 +245,83 @@ impl Table {
         if window_us <= 0 {
             return Err(DbError::BadQuery("window must be positive".into()));
         }
-        if self.schema().index_of(time_col).is_none() {
-            return Err(DbError::NoSuchColumn(time_col.into()));
-        }
-        if self.schema().index_of(value_col).is_none() {
-            return Err(DbError::NoSuchColumn(value_col.into()));
-        }
+        let tci = self
+            .schema()
+            .index_of(time_col)
+            .ok_or_else(|| DbError::NoSuchColumn(time_col.into()))?;
+        let vci = self
+            .schema()
+            .index_of(value_col)
+            .ok_or_else(|| DbError::NoSuchColumn(value_col.into()))?;
+        let (tcol, vcol) = (self.col(tci), self.col(vci));
+        let n = self.row_count();
+        let block_rows = self.table_index().block_rows();
+        let nblocks = n.div_ceil(block_rows);
+        // Per-block partial buckets merged in block order: each bucket's
+        // value vector ends up in exactly row order, so Mean/Sum addition
+        // order and Last semantics are identical for any worker count.
+        let partials = engine::scan_blocks(nblocks, engine::resolve_workers(0, n), |b| {
+            let (s, e) = (b * block_rows, ((b + 1) * block_rows).min(n));
+            let mut local: HashMap<i64, Vec<f64>> = HashMap::new();
+            for i in s..e {
+                let (Some(t), Some(v)) = (tcol[i].as_i64(), vcol[i].as_f64()) else {
+                    continue;
+                };
+                local
+                    .entry(t.div_euclid(window_us) * window_us)
+                    .or_default()
+                    .push(v);
+            }
+            local
+        });
         let mut buckets: HashMap<i64, Vec<f64>> = HashMap::new();
-        for i in 0..self.row_count() {
-            let (Some(t), Some(v)) = (
-                self.cell(i, time_col).and_then(Value::as_i64),
-                self.cell(i, value_col).and_then(Value::as_f64),
-            ) else {
+        for p in partials {
+            for (k, mut vs) in p {
+                buckets.entry(k).or_default().append(&mut vs);
+            }
+        }
+        let mut out: Vec<(i64, f64)> = buckets
+            .into_iter()
+            .filter_map(|(k, vs)| fold(agg, &vs).map(|v| (k, v)))
+            .collect();
+        out.sort_by_key(|&(k, _)| k);
+        Ok(out)
+    }
+
+    /// Fused filter + fixed-window aggregation: equivalent to
+    /// `self.filter(pred).window_agg(time_col, window_us, value_col, agg)`
+    /// but computes the matching row set once on the compiled engine and
+    /// never materializes the filtered table. Returns the number of
+    /// matching rows alongside the series (so callers can distinguish "no
+    /// rows matched" from "rows matched but none were numeric").
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Table::window_agg`].
+    pub fn window_agg_where(
+        &self,
+        pred: &Predicate,
+        time_col: &str,
+        window_us: i64,
+        value_col: &str,
+        agg: AggFn,
+    ) -> Result<(usize, Vec<(i64, f64)>), DbError> {
+        if window_us <= 0 {
+            return Err(DbError::BadQuery("window must be positive".into()));
+        }
+        let tci = self
+            .schema()
+            .index_of(time_col)
+            .ok_or_else(|| DbError::NoSuchColumn(time_col.into()))?;
+        let vci = self
+            .schema()
+            .index_of(value_col)
+            .ok_or_else(|| DbError::NoSuchColumn(value_col.into()))?;
+        let (tcol, vcol) = (self.col(tci), self.col(vci));
+        let rows = CompiledPredicate::compile(self, pred).matching_rows_with(0);
+        let mut buckets: HashMap<i64, Vec<f64>> = HashMap::new();
+        for &i in &rows {
+            let (Some(t), Some(v)) = (tcol[i].as_i64(), vcol[i].as_f64()) else {
                 continue;
             };
             buckets
@@ -232,7 +334,7 @@ impl Table {
             .filter_map(|(k, vs)| fold(agg, &vs).map(|v| (k, v)))
             .collect();
         out.sort_by_key(|&(k, _)| k);
-        Ok(out)
+        Ok((rows.len(), out))
     }
 
     /// Hash inner join on `self.left_col == other.right_col`. Output columns
@@ -249,21 +351,98 @@ impl Table {
         left_col: &str,
         right_col: &str,
     ) -> Result<Table, DbError> {
-        if self.schema().index_of(left_col).is_none() {
-            return Err(DbError::NoSuchColumn(left_col.into()));
+        let (lci, rci, schema) = self.join_parts(other, left_col, right_col)?;
+        // Compiled path: the hash index is built once from the typed
+        // column slice with borrowed keys ([`KeyIndex`]), and probing
+        // clones nothing — rows are copied column-wise straight from the
+        // source slices.
+        let rindex = KeyIndex::build(other.col(rci));
+        let left_width = self.schema().len();
+        let mut cols: Vec<Vec<Value>> = vec![Vec::new(); schema.len()];
+        for (li, lv) in self.col(lci).iter().enumerate() {
+            for &ri in rindex.rows(lv) {
+                for (ci, out) in cols.iter_mut().enumerate() {
+                    let cell = if ci < left_width {
+                        &self.col(ci)[li]
+                    } else {
+                        &other.col(ci - left_width)[ri]
+                    };
+                    out.push(cell.clone());
+                }
+            }
         }
-        if other.schema().index_of(right_col).is_none() {
-            return Err(DbError::NoSuchColumn(right_col.into()));
-        }
-        // Build hash index on the smaller side conceptually; keep it simple
-        // and index `other`.
+        Ok(Table::from_parts(
+            format!("{}_x_{}", self.name(), other.name()),
+            schema,
+            cols,
+        ))
+    }
+
+    /// Reference oracle: the original join that rebuilds a
+    /// [`ValueKey`]-keyed hash map and clones a key per probe. Kept for
+    /// property tests and benchmarks; result-identical to
+    /// [`Table::inner_join`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Table::inner_join`].
+    pub fn inner_join_naive(
+        &self,
+        other: &Table,
+        left_col: &str,
+        right_col: &str,
+    ) -> Result<Table, DbError> {
+        let (lci, rci, schema) = self.join_parts(other, left_col, right_col)?;
         let mut index: HashMap<ValueKey, Vec<usize>> = HashMap::new();
-        let rcol = other.column(right_col).expect("checked above");
-        for (i, v) in rcol.iter().enumerate() {
+        for (i, v) in other.col(rci).iter().enumerate() {
             if !v.is_null() {
                 index.entry(v.key()).or_default().push(i);
             }
         }
+        let left_width = self.schema().len();
+        let mut cols: Vec<Vec<Value>> = vec![Vec::new(); schema.len()];
+        for (li, lv) in self.col(lci).iter().enumerate() {
+            if lv.is_null() {
+                continue;
+            }
+            let Some(matches) = index.get(&lv.key()) else {
+                continue;
+            };
+            for &ri in matches {
+                for (ci, out) in cols.iter_mut().enumerate() {
+                    let cell = if ci < left_width {
+                        &self.col(ci)[li]
+                    } else {
+                        &other.col(ci - left_width)[ri]
+                    };
+                    out.push(cell.clone());
+                }
+            }
+        }
+        Ok(Table::from_parts(
+            format!("{}_x_{}", self.name(), other.name()),
+            schema,
+            cols,
+        ))
+    }
+
+    /// Shared join front: resolves both key columns and builds the output
+    /// schema (right-side name collisions prefixed with the right table's
+    /// name).
+    fn join_parts(
+        &self,
+        other: &Table,
+        left_col: &str,
+        right_col: &str,
+    ) -> Result<(usize, usize, Schema), DbError> {
+        let lci = self
+            .schema()
+            .index_of(left_col)
+            .ok_or_else(|| DbError::NoSuchColumn(left_col.into()))?;
+        let rci = other
+            .schema()
+            .index_of(right_col)
+            .ok_or_else(|| DbError::NoSuchColumn(right_col.into()))?;
         let mut columns = self.schema().columns().to_vec();
         for c in other.schema().columns() {
             let name = if self.schema().index_of(&c.name).is_some() {
@@ -280,32 +459,7 @@ impl Table {
                 other.name()
             ))
         })?;
-        let mut cols: Vec<Vec<Value>> = vec![Vec::new(); schema.len()];
-        let lcol = self.column(left_col).expect("checked above");
-        let left_width = self.schema().len();
-        for (li, lv) in lcol.iter().enumerate() {
-            if lv.is_null() {
-                continue;
-            }
-            let Some(matches) = index.get(&lv.key()) else {
-                continue;
-            };
-            for &ri in matches {
-                let lrow = self.row(li).expect("row in range");
-                for (ci, v) in lrow.into_iter().enumerate() {
-                    cols[ci].push(v);
-                }
-                let rrow = other.row(ri).expect("row in range");
-                for (ci, v) in rrow.into_iter().enumerate() {
-                    cols[left_width + ci].push(v);
-                }
-            }
-        }
-        Ok(Table::from_parts(
-            format!("{}_x_{}", self.name(), other.name()),
-            schema,
-            cols,
-        ))
+        Ok((lci, rci, schema))
     }
 
     /// Sorts rows by a column (stable).
@@ -318,9 +472,7 @@ impl Table {
             .schema()
             .index_of(col)
             .ok_or_else(|| DbError::NoSuchColumn(col.into()))?;
-        let keys = self
-            .column(&self.schema().columns()[ci].name.clone())
-            .expect("exists");
+        let keys = self.col(ci);
         let mut order: Vec<usize> = (0..self.row_count()).collect();
         order.sort_by(|&a, &b| {
             let o = keys[a].total_cmp(&keys[b]);
@@ -340,22 +492,25 @@ impl Table {
     ///
     /// [`DbError::NoSuchColumn`] for missing columns.
     pub fn group_by(&self, key_col: &str, value_col: &str, agg: AggFn) -> Result<Table, DbError> {
-        if self.schema().index_of(key_col).is_none() {
-            return Err(DbError::NoSuchColumn(key_col.into()));
-        }
-        if self.schema().index_of(value_col).is_none() {
-            return Err(DbError::NoSuchColumn(value_col.into()));
-        }
-        let mut groups: HashMap<ValueKey, (Value, Vec<f64>)> = HashMap::new();
+        let kci = self
+            .schema()
+            .index_of(key_col)
+            .ok_or_else(|| DbError::NoSuchColumn(key_col.into()))?;
+        let vci = self
+            .schema()
+            .index_of(value_col)
+            .ok_or_else(|| DbError::NoSuchColumn(value_col.into()))?;
+        let (kcol, vcol) = (self.col(kci), self.col(vci));
+        // Borrowed keys: no per-row clone of the key value — each group
+        // remembers the first row it was seen in and the owned key is
+        // cloned once per group at the end.
+        let mut groups: HashMap<KeyRef<'_>, (usize, Vec<f64>)> = HashMap::new();
         for i in 0..self.row_count() {
-            let k = self.cell(i, key_col).expect("checked").clone();
-            if k.is_null() {
+            let Some(key) = KeyRef::of(&kcol[i]) else {
                 continue;
-            }
-            let entry = groups
-                .entry(k.key())
-                .or_insert_with(|| (k.clone(), Vec::new()));
-            let cell = self.cell(i, value_col).expect("column checked above");
+            };
+            let entry = groups.entry(key).or_insert_with(|| (i, Vec::new()));
+            let cell = &vcol[i];
             if agg == AggFn::Count {
                 // COUNT counts non-null values of any type, not just
                 // numerics (SQL semantics).
@@ -376,11 +531,10 @@ impl Table {
         let schema = Schema::new(vec![
             Column::new(key_name, ColumnType::Text),
             Column::new(value_col, ColumnType::Float),
-        ])
-        .expect("names made distinct above");
+        ])?;
         let mut rows: Vec<(Value, f64)> = groups
             .into_values()
-            .filter_map(|(k, vs)| fold(agg, &vs).map(|v| (k, v)))
+            .filter_map(|(ki, vs)| fold(agg, &vs).map(|v| (kcol[ki].clone(), v)))
             .collect();
         rows.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut kcol = Vec::with_capacity(rows.len());

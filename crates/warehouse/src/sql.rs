@@ -486,9 +486,10 @@ impl Database {
         let toks = lex(sql)?;
         let q = Parser { toks, pos: 0 }.parse()?;
         let base = self.require(&q.table)?;
-        let filtered = base.filter(&q.predicate);
 
-        // GROUP BY / aggregates.
+        // GROUP BY / aggregates. Each arm filters for itself so that the
+        // column-projection arm can fuse WHERE and SELECT into a single
+        // compiled-predicate pass with no intermediate table.
         let mut result: Table = match (&q.projection, &q.group_by) {
             (Projection::Aggregate { key, agg, col }, Some(group_col)) => {
                 if let Some(k) = key {
@@ -503,7 +504,9 @@ impl Database {
                 } else {
                     col.clone()
                 };
-                let grouped = filtered.group_by(group_col, &value_col, *agg)?;
+                let grouped = base
+                    .filter(&q.predicate)
+                    .group_by(group_col, &value_col, *agg)?;
                 if col == "*" {
                     // `COUNT(*)` collides with the key column inside
                     // group_by; present it under standard SQL-ish names.
@@ -521,6 +524,7 @@ impl Database {
                 None,
             ) => {
                 // Whole-table aggregate → single row.
+                let filtered = base.filter(&q.predicate);
                 let vals: Vec<f64> = if col == "*" {
                     (0..filtered.row_count()).map(|_| 1.0).collect()
                 } else {
@@ -557,10 +561,10 @@ impl Database {
                     "GROUP BY requires an aggregate projection".into(),
                 ))
             }
-            (Projection::All, None) => filtered,
+            (Projection::All, None) => base.filter(&q.predicate),
             (Projection::Columns(cols), None) => {
                 let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-                filtered.select(&refs, &Predicate::True)?
+                base.select(&refs, &q.predicate)?
             }
         };
 

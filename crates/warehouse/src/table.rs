@@ -1,5 +1,6 @@
 //! Schemas and columnar tables.
 
+use crate::engine::{TableIndex, DEFAULT_BLOCK_ROWS};
 use crate::value::{ColumnType, Value};
 use crate::DbError;
 use std::fmt;
@@ -112,23 +113,70 @@ impl fmt::Display for Schema {
 /// assert_eq!(table.row_count(), 2);
 /// # Ok::<(), mscope_db::DbError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     schema: Schema,
     /// Column-major storage; all columns have equal length.
     cols: Vec<Vec<Value>>,
+    /// Zone maps + sorted flags, maintained incrementally on append.
+    /// Derived from `cols` — excluded from equality and serialization.
+    index: TableIndex,
 }
-mscope_serdes::json_struct!(Table { name, schema, cols });
+
+impl PartialEq for Table {
+    fn eq(&self, other: &Table) -> bool {
+        self.name == other.name && self.schema == other.schema && self.cols == other.cols
+    }
+}
+
+// Hand-written (not `json_struct!`) because `index` is derived state:
+// the wire format stays exactly `{name, schema, cols}` and the index is
+// rebuilt on load.
+impl mscope_serdes::ToJson for Table {
+    fn to_json(&self) -> mscope_serdes::Json {
+        mscope_serdes::Json::Obj(vec![
+            (
+                "name".to_string(),
+                mscope_serdes::ToJson::to_json(&self.name),
+            ),
+            (
+                "schema".to_string(),
+                mscope_serdes::ToJson::to_json(&self.schema),
+            ),
+            (
+                "cols".to_string(),
+                mscope_serdes::ToJson::to_json(&self.cols),
+            ),
+        ])
+    }
+}
+
+impl mscope_serdes::FromJson for Table {
+    fn from_json(v: &mscope_serdes::Json) -> Result<Self, mscope_serdes::JsonError> {
+        let name: String = mscope_serdes::field(v, "name")?;
+        let schema: Schema = mscope_serdes::field(v, "schema")?;
+        let cols: Vec<Vec<Value>> = mscope_serdes::field(v, "cols")?;
+        let index = TableIndex::build(&schema, &cols, DEFAULT_BLOCK_ROWS);
+        Ok(Table {
+            name,
+            schema,
+            cols,
+            index,
+        })
+    }
+}
 
 impl Table {
     /// Creates an empty table.
     pub fn new(name: impl Into<String>, schema: Schema) -> Table {
         let cols = vec![Vec::new(); schema.len()];
+        let index = TableIndex::new(&schema, DEFAULT_BLOCK_ROWS);
         Table {
             name: name.into(),
             schema,
             cols,
+            index,
         }
     }
 
@@ -177,7 +225,8 @@ impl Table {
                 });
             }
         }
-        for (col, v) in self.cols.iter_mut().zip(row) {
+        for (ci, (col, v)) in self.cols.iter_mut().zip(row).enumerate() {
+            self.index.note(ci, col.last(), &v);
             col.push(v);
         }
         Ok(())
@@ -236,7 +285,8 @@ impl Table {
             col.reserve(n);
         }
         for row in rows {
-            for (col, v) in self.cols.iter_mut().zip(row) {
+            for (ci, (col, v)) in self.cols.iter_mut().zip(row).enumerate() {
+                self.index.note(ci, col.last(), &v);
                 col.push(v);
             }
         }
@@ -270,15 +320,17 @@ impl Table {
     /// Builds a new table with the same schema containing the given row
     /// indices (used by the query layer).
     pub(crate) fn gather(&self, name: &str, rows: &[usize]) -> Table {
-        let cols = self
+        let cols: Vec<Vec<Value>> = self
             .cols
             .iter()
             .map(|c| rows.iter().map(|&i| c[i].clone()).collect())
             .collect();
+        let index = TableIndex::build(&self.schema, &cols, self.index.block_rows());
         Table {
             name: name.to_string(),
             schema: self.schema.clone(),
             cols,
+            index,
         }
     }
 
@@ -286,7 +338,31 @@ impl Table {
     pub(crate) fn from_parts(name: String, schema: Schema, cols: Vec<Vec<Value>>) -> Table {
         debug_assert_eq!(schema.len(), cols.len());
         debug_assert!(cols.windows(2).all(|w| w[0].len() == w[1].len()));
-        Table { name, schema, cols }
+        let index = TableIndex::build(&schema, &cols, DEFAULT_BLOCK_ROWS);
+        Table {
+            name,
+            schema,
+            cols,
+            index,
+        }
+    }
+
+    /// Column `ci` by index (query engine's typed-slice access).
+    pub(crate) fn col(&self, ci: usize) -> &[Value] {
+        &self.cols[ci]
+    }
+
+    /// The table's block metadata (zone maps + sorted flags).
+    pub(crate) fn table_index(&self) -> &TableIndex {
+        &self.index
+    }
+
+    /// Rebuilds the block metadata with `block_rows` rows per zone-map
+    /// block (clamped to ≥ 1). Queries are result-identical for any block
+    /// size; this is a tuning/testing knob — the default is
+    /// [`DEFAULT_BLOCK_ROWS`](crate::DEFAULT_BLOCK_ROWS).
+    pub fn reindex(&mut self, block_rows: usize) {
+        self.index = TableIndex::build(&self.schema, &self.cols, block_rows);
     }
 }
 
