@@ -3,7 +3,7 @@
 
 use crate::error::CoreError;
 use mscope_monitors::{MonitorSuite, MonitoringArtifacts};
-use mscope_ntier::{RunOutput, Simulator, SystemConfig};
+use mscope_ntier::{RunOutput, SimOptions, Simulator, SystemConfig};
 
 /// A configured experiment: the system/workload plus the deployed monitors.
 ///
@@ -74,9 +74,17 @@ impl Experiment {
     /// Runs the experiment: simulates the system, then renders every
     /// monitor's native logs from what it observed.
     pub fn run(self) -> ExperimentOutput {
+        self.run_with(&SimOptions::default())
+    }
+
+    /// Runs the experiment with explicit simulator execution options
+    /// (shard count, retention). The options change how the trial is
+    /// computed, never what it computes — a sharded trial renders the
+    /// same artifacts as a serial one.
+    pub fn run_with(self, opts: &SimOptions) -> ExperimentOutput {
         let run = Simulator::new(self.config)
             .expect("config validated at construction")
-            .run();
+            .run_with(opts);
         let artifacts = self.suite.render(&run);
         ExperimentOutput { run, artifacts }
     }
@@ -101,6 +109,26 @@ mod tests {
         assert!(out.run.stats.completed > 10);
         assert!(out.artifacts.store.total_bytes() > 1000);
         assert!(out.artifacts.sysviz.is_some());
+    }
+
+    #[test]
+    fn sharded_trial_renders_identical_artifacts() {
+        let mut cfg = short(60);
+        cfg.partitions = 2;
+        for t in &mut cfg.tiers {
+            t.cores = 4;
+            t.workers = t.workers.max(8);
+        }
+        let serial = Experiment::new(cfg.clone()).unwrap().run();
+        let sharded = Experiment::new(cfg).unwrap().run_with(&SimOptions {
+            shards: 2,
+            ..SimOptions::default()
+        });
+        assert_eq!(serial.run.digest, sharded.run.digest);
+        assert_eq!(
+            serial.artifacts.store.total_bytes(),
+            sharded.artifacts.store.total_bytes()
+        );
     }
 
     #[test]

@@ -228,6 +228,18 @@ impl ScenarioModel {
                 });
             }
         }
+        // A bursty (MMPP on/off) arrival process is a front-tier phenomenon
+        // in its own right: every burst episode floods tier 0 for the mean
+        // on-phase length.
+        if let mscope_ntier::ArrivalProcess::Bursty { mean_on, .. } = self.config.workload.arrival {
+            if !self.config.tiers.is_empty() {
+                out.push(Phenomenon {
+                    tier: 0,
+                    description: "arrival burst episode".to_string(),
+                    timescale: mean_on,
+                });
+            }
+        }
         for inj in &self.config.injectors {
             let (tier, description, timescale) = match inj {
                 InjectorSpec::GcPause { tier, pause, .. } => {
@@ -349,6 +361,16 @@ mod tests {
         let b = ScenarioModel::build("b", &SystemConfig::scenario_dirty_page(100));
         let tiers: Vec<usize> = b.phenomena().iter().map(|p| p.tier).collect();
         assert_eq!(tiers, vec![0, 1], "storms on Apache and Tomcat");
+
+        let c = ScenarioModel::build("c", &SystemConfig::scenario_open_burst(800.0));
+        let ph = c.phenomena();
+        let bursts: Vec<&Phenomenon> = ph
+            .iter()
+            .filter(|p| p.description.contains("burst episode"))
+            .collect();
+        assert_eq!(bursts.len(), 1, "bursty arrivals are a phenomenon");
+        assert_eq!(bursts[0].tier, 0, "bursts land on the front tier");
+        assert_eq!(bursts[0].timescale, SimDuration::from_secs(2));
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Guards the CI scenario matrix against drift.
+//!
+//! `.github/workflows/ci.yml` runs one `trace-scenarios` leg per shipped
+//! scenario preset so a trace regression names the exact scenario it
+//! breaks. That list is data in a YAML file, invisible to the compiler —
+//! this test re-parses it and fails the workspace whenever it no longer
+//! matches [`SystemConfig::presets`] exactly, in either direction.
+
+use mscope_ntier::SystemConfig;
+
+/// Extracts the `scenario:` matrix entries from the workflow file with a
+/// purpose-built scan (no YAML dependency): the list is the block of
+/// `- item` lines directly under the `scenario:` key.
+fn ci_matrix_scenarios(yml: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_block = false;
+    let mut block_indent = 0;
+    for line in yml.lines() {
+        let trimmed = line.trim();
+        if !in_block {
+            if trimmed == "scenario:" {
+                in_block = true;
+                block_indent = line.len() - line.trim_start().len();
+            }
+            continue;
+        }
+        let indent = line.len() - line.trim_start().len();
+        if let Some(item) = trimmed.strip_prefix("- ") {
+            if indent > block_indent {
+                out.push(item.trim().to_string());
+                continue;
+            }
+        }
+        if trimmed.is_empty() {
+            continue;
+        }
+        // First non-item line at or above the key's indent ends the block.
+        in_block = false;
+    }
+    out
+}
+
+#[test]
+fn trace_matrix_matches_shipped_presets() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../.github/workflows/ci.yml"
+    );
+    let yml = std::fs::read_to_string(path).expect("ci.yml exists at the workspace root");
+
+    let mut in_ci: Vec<String> = ci_matrix_scenarios(&yml);
+    let mut shipped: Vec<String> = SystemConfig::presets()
+        .into_iter()
+        .map(|(name, _)| name.to_string())
+        .collect();
+    assert!(
+        !in_ci.is_empty(),
+        "found no `scenario:` matrix in ci.yml — was the job renamed?"
+    );
+    in_ci.sort();
+    shipped.sort();
+    assert_eq!(
+        in_ci, shipped,
+        "the trace-scenarios matrix in .github/workflows/ci.yml drifted from \
+         SystemConfig::presets(); add/remove the matrix leg to match"
+    );
+}
+
+#[test]
+fn matrix_parser_reads_nested_lists() {
+    let yml = "
+jobs:
+  a:
+    strategy:
+      matrix:
+        scenario:
+          - one
+          - two
+        seed: [1, 2]
+";
+    assert_eq!(ci_matrix_scenarios(yml), vec!["one", "two"]);
+}

@@ -178,9 +178,16 @@ fn clock_and_sampling_drift_are_flagged_as_tr007_and_tr008() {
     forall("sampling drift", 32, |g: &mut Gen| {
         let (name, cfg) = g.choose(&phenom_presets);
         let mut cfg = cfg;
-        // Coarsen the base sample period past half the episode timescale
-        // (every phenomenon in the presets is under 400 ms).
-        cfg.sample_period = mscope_sim::SimDuration::from_millis(g.u64(400..=5000));
+        // Coarsen the base sample period past half the scenario's longest
+        // episode timescale, so at least one phenomenon aliases into noise.
+        let max_ms = ScenarioModel::build(name, &cfg)
+            .phenomena()
+            .iter()
+            .map(|p| p.timescale.as_micros() / 1000)
+            .max()
+            .unwrap_or(0);
+        let floor = (max_ms / 2 + 1).max(400);
+        cfg.sample_period = mscope_sim::SimDuration::from_millis(g.u64(floor..=floor + 4600));
         let got = rules(&mscope_lint::trace::check_scenario(name, &cfg));
         prop_ensure!(
             got.contains(&"TR008"),

@@ -83,6 +83,26 @@ mscope_serdes::json_struct!(LogFlushConfig {
     stall_reads,
 });
 
+/// How a tier's cores pick up queued CPU bursts.
+///
+/// The distinction (after the multi-core scheduling literature, e.g. the
+/// `carvalhof/sim` queueing simulator) is whether a queued burst may run on
+/// *any* core that frees up, or is pinned at arrival to one core's private
+/// queue — the RSS/partitioned design real NICs and some thread pools use,
+/// which is cheaper to build but has strictly worse queueing behaviour
+/// under skewed service times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueDiscipline {
+    /// Centralized FCFS: one queue feeds every core; a burst runs on the
+    /// first core to become idle. The historical (and default) behaviour.
+    #[default]
+    Cfcfs,
+    /// Distributed FCFS: bursts are round-robin-assigned to a core on
+    /// arrival and wait for *that* core even while others sit idle.
+    Dfcfs,
+}
+mscope_serdes::json_enum!(QueueDiscipline { Cfcfs, Dfcfs });
+
 /// Static configuration of one tier.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TierConfig {
@@ -95,6 +115,8 @@ pub struct TierConfig {
     pub workers: usize,
     /// CPU cores per node.
     pub cores: u32,
+    /// How queued CPU bursts are matched to cores.
+    pub discipline: QueueDiscipline,
     /// Mean phase-1 CPU demand per request (before the downstream call).
     pub base_demand: SimDuration,
     /// Mean phase-2 CPU demand (after the downstream reply returns).
@@ -124,6 +146,7 @@ mscope_serdes::json_struct!(TierConfig {
     replicas,
     workers,
     cores,
+    discipline,
     base_demand,
     phase2_demand,
     write_demand_extra,
@@ -147,6 +170,7 @@ impl TierConfig {
                 replicas: 1,
                 workers: 120,
                 cores: 2,
+                discipline: QueueDiscipline::Cfcfs,
                 base_demand: ms(250),
                 phase2_demand: ms(80),
                 write_demand_extra: ms(0),
@@ -163,6 +187,7 @@ impl TierConfig {
                 replicas: 1,
                 workers: 80,
                 cores: 2,
+                discipline: QueueDiscipline::Cfcfs,
                 base_demand: ms(700),
                 phase2_demand: ms(150),
                 write_demand_extra: ms(200),
@@ -179,6 +204,7 @@ impl TierConfig {
                 replicas: 1,
                 workers: 80,
                 cores: 2,
+                discipline: QueueDiscipline::Cfcfs,
                 base_demand: ms(180),
                 phase2_demand: ms(60),
                 write_demand_extra: ms(50),
@@ -195,6 +221,7 @@ impl TierConfig {
                 replicas: 1,
                 workers: 50,
                 cores: 2,
+                discipline: QueueDiscipline::Cfcfs,
                 base_demand: ms(900),
                 phase2_demand: ms(0),
                 write_demand_extra: ms(1100),
@@ -271,8 +298,27 @@ pub enum ArrivalProcess {
         /// Mean arrival rate, requests/second.
         rate_rps: f64,
     },
+    /// Bursty open loop: a two-state Markov-modulated Poisson process that
+    /// alternates between a quiet phase at `base_rps` and an on phase at
+    /// `burst_rps`, with exponentially distributed phase lengths. This is
+    /// the flash-crowd shape that stresses queue disciplines and the
+    /// monitors' episode-resolution requirements.
+    Bursty {
+        /// Mean arrival rate during the quiet (off) phase, requests/second.
+        base_rps: f64,
+        /// Mean arrival rate during the burst (on) phase, requests/second.
+        burst_rps: f64,
+        /// Mean length of a burst episode.
+        mean_on: SimDuration,
+        /// Mean length of a quiet interval between bursts.
+        mean_off: SimDuration,
+    },
 }
-mscope_serdes::json_enum!(ArrivalProcess { ClosedLoop, OpenLoop { rate_rps } });
+mscope_serdes::json_enum!(ArrivalProcess {
+    ClosedLoop,
+    OpenLoop { rate_rps },
+    Bursty { base_rps, burst_rps, mean_on, mean_off },
+});
 
 /// RUBBoS's two standard interaction mixes, plus a stress variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -321,6 +367,24 @@ impl WorkloadConfig {
     pub fn open_loop(rate_rps: f64) -> Self {
         WorkloadConfig {
             arrival: ArrivalProcess::OpenLoop { rate_rps },
+            ..Self::rubbos(1)
+        }
+    }
+
+    /// A bursty (MMPP on/off) open-loop workload with the default mix.
+    pub fn bursty(
+        base_rps: f64,
+        burst_rps: f64,
+        mean_on: SimDuration,
+        mean_off: SimDuration,
+    ) -> Self {
+        WorkloadConfig {
+            arrival: ArrivalProcess::Bursty {
+                base_rps,
+                burst_rps,
+                mean_on,
+                mean_off,
+            },
             ..Self::rubbos(1)
         }
     }
@@ -463,6 +527,13 @@ pub struct SystemConfig {
     pub sample_period: SimDuration,
     /// RNG seed; same seed → identical run.
     pub seed: u64,
+    /// Number of logical cells the trial is partitioned into for the sharded
+    /// engine. This is a **model** parameter — it slices users, cores,
+    /// workers and rates into `partitions` independent cells — so it changes
+    /// what is simulated; the *thread count* used to execute the cells is a
+    /// separate, purely-performance knob ([`SimOptions`](crate::SimOptions))
+    /// that never changes output.
+    pub partitions: u32,
 }
 mscope_serdes::json_struct!(SystemConfig {
     tiers,
@@ -474,6 +545,7 @@ mscope_serdes::json_struct!(SystemConfig {
     warmup,
     sample_period,
     seed,
+    partitions,
 });
 
 impl SystemConfig {
@@ -494,6 +566,7 @@ impl SystemConfig {
             warmup: SimDuration::from_secs(15),
             sample_period: SimDuration::from_millis(50),
             seed: 0x5CC0_9E02,
+            partitions: 1,
         }
     }
 
@@ -571,16 +644,36 @@ impl SystemConfig {
         cfg
     }
 
+    /// Open-loop burst scenario: no closed-loop self-throttling — a two-state
+    /// MMPP alternates a sustainable base rate with 3× flash-crowd bursts
+    /// (mean 2 s on, 8 s off) that transiently exceed the database tier's
+    /// capacity, so queues build during each burst and drain between them.
+    /// Runs partitioned (2 cells) to keep the sharded engine's slicing on
+    /// the proof path of every trace obligation.
+    pub fn scenario_open_burst(base_rps: f64) -> Self {
+        let mut cfg = Self::rubbos_baseline(1);
+        cfg.workload = WorkloadConfig::bursty(
+            base_rps,
+            base_rps * 3.0,
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(8),
+        );
+        cfg.partitions = 2;
+        cfg
+    }
+
     /// Every shipped scenario preset by name, at the paper's 8000-user
-    /// workload. This is the set `mscope-lint trace` proves clean and CI
-    /// walks scenario-by-scenario; new presets must be added here so they
-    /// enter the proof obligations.
+    /// workload (or, for the open-loop scenario, its standard rate). This is
+    /// the set `mscope-lint trace` proves clean and CI walks
+    /// scenario-by-scenario; new presets must be added here so they enter
+    /// the proof obligations.
     pub fn presets() -> Vec<(&'static str, SystemConfig)> {
         vec![
             ("rubbos_baseline", Self::rubbos_baseline(8000)),
             ("rubbos_replicated", Self::rubbos_replicated(8000)),
             ("scenario_db_io", Self::scenario_db_io(8000)),
             ("scenario_dirty_page", Self::scenario_dirty_page(8000)),
+            ("scenario_open_burst", Self::scenario_open_burst(800.0)),
         ]
     }
 
@@ -601,7 +694,9 @@ impl SystemConfig {
     ///
     /// Returns `Err` when the topology is empty, any tier has zero
     /// replicas/workers/cores, a demand CV is negative, an injector
-    /// references a missing tier, or the sample period is zero.
+    /// references a missing tier, the sample period is zero, or the
+    /// partition count is out of range (1–64, and no larger than any
+    /// tier's core or worker count).
     pub fn validate(&self) -> Result<(), String> {
         if self.tiers.is_empty() {
             return Err("topology has no tiers".into());
@@ -651,9 +746,50 @@ impl SystemConfig {
                     return Err("open-loop rate must be positive".into());
                 }
             }
+            ArrivalProcess::Bursty {
+                base_rps,
+                burst_rps,
+                mean_on,
+                mean_off,
+            } => {
+                let positive = |r: f64| r.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+                if !positive(base_rps) || !positive(burst_rps) {
+                    return Err("bursty arrival rates must be positive".into());
+                }
+                if mean_on.is_zero() || mean_off.is_zero() {
+                    return Err("bursty phase lengths must be non-zero".into());
+                }
+            }
         }
         if self.sample_period.is_zero() {
             return Err("sample period must be non-zero".into());
+        }
+        if self.partitions == 0 {
+            return Err("partitions must be at least 1".into());
+        }
+        if self.partitions > 64 {
+            return Err(format!(
+                "partitions {} exceed the supported maximum of 64",
+                self.partitions
+            ));
+        }
+        if self.partitions > 1 {
+            // Each cell must receive at least one core and one worker per
+            // tier, or the sliced sub-systems could not make progress.
+            for (i, t) in self.tiers.iter().enumerate() {
+                if u64::from(t.cores) < u64::from(self.partitions) {
+                    return Err(format!(
+                        "tier {i} ({}) has fewer cores ({}) than partitions ({})",
+                        t.kind, t.cores, self.partitions
+                    ));
+                }
+                if (t.workers as u64) < u64::from(self.partitions) {
+                    return Err(format!(
+                        "tier {i} ({}) has fewer workers ({}) than partitions ({})",
+                        t.kind, t.workers, self.partitions
+                    ));
+                }
+            }
         }
         for inj in &self.injectors {
             let tier = match inj {
@@ -686,7 +822,7 @@ mod tests {
     #[test]
     fn presets_are_named_uniquely_and_validate() {
         let presets = SystemConfig::presets();
-        assert_eq!(presets.len(), 4);
+        assert_eq!(presets.len(), 5);
         for (name, cfg) in &presets {
             assert!(cfg.validate().is_ok(), "preset {name} validates");
         }
@@ -737,6 +873,51 @@ mod tests {
         let mut cfg = SystemConfig::rubbos_baseline(100);
         cfg.tiers[2].memory.dirty_low_bytes = u64::MAX;
         assert!(cfg.validate().unwrap_err().contains("watermarks"));
+
+        let mut cfg = SystemConfig::rubbos_baseline(100);
+        cfg.partitions = 0;
+        assert!(cfg.validate().unwrap_err().contains("partitions"));
+
+        let mut cfg = SystemConfig::rubbos_baseline(100);
+        cfg.partitions = 65;
+        assert!(cfg.validate().unwrap_err().contains("maximum of 64"));
+
+        // Standard tiers have 2 cores: 4 partitions cannot be sliced.
+        let mut cfg = SystemConfig::rubbos_baseline(100);
+        cfg.partitions = 4;
+        assert!(cfg.validate().unwrap_err().contains("fewer cores"));
+
+        let mut cfg = SystemConfig::rubbos_baseline(100);
+        cfg.workload = WorkloadConfig::bursty(
+            100.0,
+            0.0,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(1),
+        );
+        assert!(cfg.validate().unwrap_err().contains("bursty arrival rates"));
+
+        let mut cfg = SystemConfig::rubbos_baseline(100);
+        cfg.workload =
+            WorkloadConfig::bursty(100.0, 300.0, SimDuration::ZERO, SimDuration::from_secs(1));
+        assert!(cfg.validate().unwrap_err().contains("phase lengths"));
+    }
+
+    #[test]
+    fn open_burst_preset_shape() {
+        let cfg = SystemConfig::scenario_open_burst(800.0);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.partitions, 2);
+        match cfg.workload.arrival {
+            ArrivalProcess::Bursty {
+                base_rps,
+                burst_rps,
+                ..
+            } => {
+                assert_eq!(base_rps, 800.0);
+                assert_eq!(burst_rps, 2400.0);
+            }
+            other => panic!("expected bursty arrivals, got {other:?}"),
+        }
     }
 
     #[test]

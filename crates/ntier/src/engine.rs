@@ -11,8 +11,19 @@
 //! as a flat [`LifecycleEvent`] stream that the event mScopeMonitors later
 //! render into native log files. Every wire message is also recorded for the
 //! SysViz-style passive tap.
+//!
+//! ## Sharded execution
+//!
+//! A [`SystemConfig`] with `partitions = P` models the system as `P`
+//! independent logical cells, each serving `1/P` of the users with `1/P`
+//! of every node's cores, workers, memory, and disk bandwidth. Cells never
+//! exchange events, so [`Simulator::run_with`] can execute them on worker
+//! threads ([`mscope_sim::parallel_map`]) and deterministically merge
+//! their event logs afterwards. The shard (worker) count in [`SimOptions`]
+//! is a pure execution knob: the same seed yields byte-identical output at
+//! any shard count, which the CI determinism gates verify via [`RunDigest`].
 
-use crate::config::{InjectorSpec, SystemConfig};
+use crate::config::{ArrivalProcess, InjectorSpec, QueueDiscipline, SystemConfig};
 use crate::record::{
     BoundaryKind, Endpoint, LifecycleEvent, MessageEvent, MsgKind, RequestRecord, ResourceSample,
     TierSpan,
@@ -20,13 +31,23 @@ use crate::record::{
 use crate::resources::{CpuModel, DiskModel, MemoryModel, PAGE_BYTES};
 use crate::types::{Interaction, NodeId, RequestId, RwKind, SessionId, TierId, TierKind};
 use crate::workload::Workload;
-use mscope_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use mscope_sim::{EventQueue, Fnv64, SimDuration, SimRng, SimTime};
 use std::collections::VecDeque;
 
 /// Bytes of a request message on the wire (headers + small body).
 const REQ_MSG_BYTES: u64 = 420;
 /// Bytes of a reply message on the wire (rendered fragment).
 const REPLY_MSG_BYTES: u64 = 1800;
+/// RNG stream reserved for the globally-synchronized burst phase clock.
+/// Every cell draws the same phase sequence, so MMPP on/off episodes hit
+/// all cells at the same instants regardless of the partition count.
+const PHASE_STREAM: u64 = 0x1B57;
+/// Bit position of the cell tag inside a partitioned [`RequestId`].
+const REQ_CELL_SHIFT: u32 = 40;
+/// Bit position of the cell tag inside a synthetic open-loop [`SessionId`].
+const SESSION_CELL_SHIFT: u32 = 24;
+/// Mask for the per-cell part of a synthetic open-loop session id.
+const SESSION_LOCAL_MASK: u32 = (1 << SESSION_CELL_SHIFT) - 1;
 
 /// Why a CPU burst was running.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,10 +85,17 @@ enum Ev {
     ClientSend(SessionId),
     /// The open-loop arrival process fires (and reschedules itself).
     OpenArrival,
+    /// The bursty (MMPP on/off) arrival process toggles phase.
+    PhaseSwitch,
     /// A request message reaches the node serving `tier` for request `req`.
     Ingress { req: usize, tier: usize },
-    /// A CPU burst completed on `node`.
-    BurstDone { node: usize, kind: TaskKind },
+    /// A CPU burst completed on `node`. `core` is the owning core under
+    /// per-core dFCFS dispatch, `None` under the shared-queue cFCFS path.
+    BurstDone {
+        node: usize,
+        kind: TaskKind,
+        core: Option<usize>,
+    },
     /// A downstream reply reaches the node at `tier` for request `req`.
     ReplyArrive { req: usize, tier: usize },
     /// The response reaches the client.
@@ -123,6 +151,14 @@ struct NodeState {
     accept_q: VecDeque<usize>,
     cpu_q: VecDeque<CpuTask>,
     cpu_q_front: VecDeque<CpuTask>,
+    discipline: QueueDiscipline,
+    /// Per-core dFCFS run queues (empty under cFCFS).
+    core_q: Vec<VecDeque<CpuTask>>,
+    core_q_front: Vec<VecDeque<CpuTask>>,
+    /// Which cores currently run a dFCFS burst.
+    core_busy: Vec<bool>,
+    /// Round-robin arrival-steering pointer for dFCFS.
+    rr_core: usize,
     /// Requests resident (UA recorded, UD not yet).
     in_node: u32,
     /// DB commit-log buffer fill, bytes.
@@ -162,6 +198,69 @@ struct SpanBuild {
     dr: Option<SimTime>,
 }
 
+/// What each cell retains while it runs.
+///
+/// [`Digest`] mode is built for scale runs (hundreds of thousands of
+/// users): every record is folded into the run's [`RunDigest`] the moment
+/// it is produced and then dropped, so memory stays bounded by the number
+/// of *concurrently in-flight* requests instead of the total issued.
+/// Resource samples and aggregate statistics are always kept. The digests
+/// are identical in both modes, which is how the benches cross-check them.
+///
+/// [`Digest`]: Retention::Digest
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Retention {
+    /// Keep every request record, lifecycle event, and wire message.
+    #[default]
+    Full,
+    /// Fold records into the digest as they complete and drop them.
+    Digest,
+}
+
+/// Execution knobs for [`Simulator::run_with`]. None of these change the
+/// simulated result — only how it is computed.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// Worker threads to spread the config's partitions over. `1` runs
+    /// every cell inline on the calling thread.
+    pub shards: usize,
+    /// What the run retains (see [`Retention`]).
+    pub retention: Retention,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            shards: 1,
+            retention: Retention::Full,
+        }
+    }
+}
+
+/// Order-sensitive FNV-1a digests of the four output streams.
+///
+/// Folded per cell as records are produced, then combined in cell order,
+/// so the value depends only on the configuration and seed — never on the
+/// shard count. Two runs with equal digests produced byte-identical
+/// streams; the CI determinism matrix compares exactly these four words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunDigest {
+    /// Digest of every request record (complete and pending).
+    pub requests: u64,
+    /// Digest of the execution-boundary event stream.
+    pub lifecycle: u64,
+    /// Digest of the wire-message stream.
+    pub messages: u64,
+    /// Digest of the raw per-node resource counters.
+    pub samples: u64,
+}
+mscope_serdes::json_struct!(RunDigest {
+    requests,
+    lifecycle,
+    messages,
+    samples,
+});
+
 /// Aggregate statistics of the measured window, computed at finalization.
 #[derive(Debug, Clone)]
 pub struct RunStats {
@@ -183,6 +282,9 @@ pub struct RunStats {
     pub node_disk_bytes: Vec<(NodeId, u64)>,
     /// Requests rejected with 503 by a full accept queue.
     pub rejected: u64,
+    /// Total simulation events handled across all cells (the work unit the
+    /// scale bench rates in events/second).
+    pub sim_events: u64,
 }
 mscope_serdes::json_struct!(RunStats {
     issued,
@@ -194,6 +296,7 @@ mscope_serdes::json_struct!(RunStats {
     node_log_bytes,
     node_disk_bytes,
     rejected,
+    sim_events,
 });
 
 /// Everything a run produces; the input to the monitoring framework.
@@ -213,11 +316,16 @@ pub struct RunOutput {
     pub end_time: SimTime,
     /// Aggregate statistics over the measured window.
     pub stats: RunStats,
+    /// Stream digests (see [`RunDigest`]); populated in every retention
+    /// mode, and the only stream evidence kept under [`Retention::Digest`].
+    pub digest: RunDigest,
 }
 
-/// The simulator. Construct with a validated [`SystemConfig`], then [`run`].
+/// The simulator. Construct with a validated [`SystemConfig`], then [`run`]
+/// (or [`run_with`] to pick shard count and retention).
 ///
 /// [`run`]: Simulator::run
+/// [`run_with`]: Simulator::run_with
 ///
 /// # Examples
 ///
@@ -234,18 +342,6 @@ pub struct RunOutput {
 #[derive(Debug)]
 pub struct Simulator {
     cfg: SystemConfig,
-    queue: EventQueue<Ev>,
-    workload: Workload,
-    nodes: Vec<NodeState>,
-    /// Flat-index of each tier's first node.
-    tier_offsets: Vec<usize>,
-    /// Round-robin dispatch pointer per tier.
-    rr_next: Vec<usize>,
-    inflight: Vec<InFlight>,
-    lifecycle: Vec<LifecycleEvent>,
-    messages: Vec<MessageEvent>,
-    samples: Vec<ResourceSample>,
-    end: SimTime,
 }
 
 impl Simulator {
@@ -257,13 +353,190 @@ impl Simulator {
     /// inconsistent (see [`SystemConfig::validate`]).
     pub fn new(cfg: SystemConfig) -> Result<Simulator, String> {
         cfg.validate()?;
-        let mut root_rng = SimRng::seed_from(cfg.seed);
+        Ok(Simulator { cfg })
+    }
+
+    /// Runs the experiment serially with full retention.
+    pub fn run(self) -> RunOutput {
+        self.run_with(&SimOptions::default())
+    }
+
+    /// Runs the experiment: one event loop per partition cell, spread over
+    /// `opts.shards` worker threads, then a deterministic merge. The result
+    /// is byte-identical at any shard count.
+    pub fn run_with(self, opts: &SimOptions) -> RunOutput {
+        let cfg = self.cfg;
+        let cells = cfg.partitions.max(1) as usize;
+        let retention = opts.retention;
+        let outs = mscope_sim::parallel_map(cells, opts.shards.max(1), |i| {
+            CellSim::new(&cfg, i as u32, retention).run_cell()
+        });
+        merge(cfg, outs)
+    }
+}
+
+/// Splits an integer quantity `x` across `p` cells: cell `i` gets the
+/// remainder-balanced share, and the shares always sum back to `x`.
+fn split_u64(x: u64, p: u64, i: u64) -> u64 {
+    x / p + u64::from(i < x % p)
+}
+
+/// First global session id owned by `cell` under a closed-loop split of
+/// `users` across `p` cells (cells own contiguous id ranges).
+fn session_base(users: u32, p: u32, cell: u32) -> u32 {
+    cell * (users / p) + cell.min(users % p)
+}
+
+/// Derives the configuration one cell simulates: `1/p` of the users and of
+/// every divisible per-node resource, with rates scaled to match. Fields
+/// that are global invariants (durations, seeds, demands, network latency,
+/// monitoring costs, commit sizes) pass through unchanged. With `p == 1`
+/// this is the identity (modulo `partitions` itself).
+fn cell_config(global: &SystemConfig, cell: u32) -> SystemConfig {
+    let mut cfg = global.clone();
+    let p = u64::from(global.partitions.max(1));
+    cfg.partitions = 1;
+    if p == 1 {
+        return cfg;
+    }
+    let i = u64::from(cell);
+    let pf = p as f64;
+    for t in &mut cfg.tiers {
+        t.workers = split_u64(t.workers as u64, p, i) as usize;
+        t.cores = split_u64(u64::from(t.cores), p, i) as u32;
+        t.disk_write_bw /= pf;
+        t.memory.total_bytes = split_u64(t.memory.total_bytes, p, i);
+        t.memory.dirty_high_bytes = split_u64(t.memory.dirty_high_bytes, p, i);
+        t.memory.dirty_low_bytes = split_u64(t.memory.dirty_low_bytes, p, i);
+        t.memory.writeback_max_bytes = split_u64(t.memory.writeback_max_bytes, p, i);
+        t.memory.recycle_rate /= pf;
+        if let Some(flush) = &mut t.log_flush {
+            flush.buffer_threshold = split_u64(flush.buffer_threshold, p, i).max(1);
+            flush.flush_rate /= pf;
+        }
+        if let Some(limit) = &mut t.accept_limit {
+            *limit = split_u64(*limit as u64, p, i) as usize;
+        }
+    }
+    cfg.workload.users = split_u64(u64::from(global.workload.users), p, i) as u32;
+    match &mut cfg.workload.arrival {
+        ArrivalProcess::ClosedLoop => {}
+        ArrivalProcess::OpenLoop { rate_rps } => *rate_rps /= pf,
+        ArrivalProcess::Bursty {
+            base_rps,
+            burst_rps,
+            ..
+        } => {
+            *base_rps /= pf;
+            *burst_rps /= pf;
+        }
+    }
+    for inj in &mut cfg.injectors {
+        match inj {
+            InjectorSpec::CpuHog { cores, .. } => {
+                *cores = split_u64(u64::from(*cores), p, i) as u32;
+            }
+            InjectorSpec::DiskHog { bytes, .. } => {
+                *bytes = split_u64(*bytes, p, i);
+            }
+            InjectorSpec::GcPause { .. } | InjectorSpec::DvfsThrottle { .. } => {}
+        }
+    }
+    cfg
+}
+
+/// Raw per-interval resource counters for one node at one sampling tick.
+/// Cells emit these instead of [`ResourceSample`]s so the merge can sum
+/// counters across cells *before* computing utilisation percentages.
+#[derive(Debug, Clone, Copy)]
+struct RawSample {
+    time: SimTime,
+    node: NodeId,
+    kind: TierKind,
+    busy_core_us: u64,
+    iowait_core_us: u64,
+    disk_busy_us: u64,
+    disk_write_bytes: u64,
+    disk_ops: u64,
+    net_rx: u64,
+    net_tx: u64,
+    log_bytes: u64,
+    dirty_bytes: u64,
+    mem_used_bytes: u64,
+    queue_len: u32,
+    active_workers: u32,
+}
+
+/// Everything one cell hands back to the merge.
+#[derive(Debug)]
+struct CellOutput {
+    requests: Vec<RequestRecord>,
+    lifecycle: Vec<LifecycleEvent>,
+    messages: Vec<MessageEvent>,
+    raw_samples: Vec<RawSample>,
+    rts_ms: Vec<f64>,
+    issued: u64,
+    completed: u64,
+    rejected: u64,
+    node_log_bytes: Vec<(NodeId, u64)>,
+    node_disk_bytes: Vec<(NodeId, u64)>,
+    events: u64,
+    digest: RunDigest,
+}
+
+/// One partition cell's event loop — the former whole-system simulator,
+/// now parameterised by the cell index it simulates.
+#[derive(Debug)]
+struct CellSim {
+    cfg: SystemConfig,
+    cell: u32,
+    retention: Retention,
+    queue: EventQueue<Ev>,
+    workload: Workload,
+    phase_rng: SimRng,
+    burst_on: bool,
+    nodes: Vec<NodeState>,
+    /// Flat-index of each tier's first node.
+    tier_offsets: Vec<usize>,
+    /// Round-robin dispatch pointer per tier.
+    rr_next: Vec<usize>,
+    inflight: Vec<InFlight>,
+    /// Reusable `inflight` slots (populated only under digest retention).
+    free_slots: Vec<usize>,
+    /// First global session id this cell owns (closed loop).
+    session_base: u32,
+    /// Requests issued by this cell (also the per-cell request id counter).
+    issued: u64,
+    completed: u64,
+    rejected: u64,
+    rts_ms: Vec<f64>,
+    warm_start: SimTime,
+    lifecycle: Vec<LifecycleEvent>,
+    messages: Vec<MessageEvent>,
+    raw_samples: Vec<RawSample>,
+    dig_requests: Fnv64,
+    dig_lifecycle: Fnv64,
+    dig_messages: Fnv64,
+    dig_samples: Fnv64,
+    events: u64,
+    end: SimTime,
+}
+
+impl CellSim {
+    /// Builds the event loop for one cell of an already-validated config.
+    fn new(global: &SystemConfig, cell: u32, retention: Retention) -> CellSim {
+        let cfg = cell_config(global, cell);
+        let mut root_rng = SimRng::split(cfg.seed, u64::from(cell));
         let workload = Workload::new(cfg.workload.clone(), root_rng.fork(1));
+        let phase_rng = SimRng::split(cfg.seed, PHASE_STREAM);
+        let session_base = session_base(global.workload.users, global.partitions.max(1), cell);
 
         let mut nodes = Vec::new();
         let mut tier_offsets = Vec::new();
         for (ti, t) in cfg.tiers.iter().enumerate() {
             tier_offsets.push(nodes.len());
+            let dfcfs = t.discipline == QueueDiscipline::Dfcfs;
+            let cores = t.cores as usize;
             for replica in 0..t.replicas {
                 nodes.push(NodeState {
                     id: NodeId {
@@ -284,6 +557,11 @@ impl Simulator {
                     accept_q: VecDeque::new(),
                     cpu_q: VecDeque::new(),
                     cpu_q_front: VecDeque::new(),
+                    discipline: t.discipline,
+                    core_q: vec![VecDeque::new(); if dfcfs { cores } else { 0 }],
+                    core_q_front: vec![VecDeque::new(); if dfcfs { cores } else { 0 }],
+                    core_busy: vec![false; if dfcfs { cores } else { 0 }],
+                    rr_core: 0,
                     in_node: 0,
                     log_buffer: 0,
                     flush_in_progress: false,
@@ -299,33 +577,60 @@ impl Simulator {
         }
         let rr_next = vec![0; cfg.tiers.len()];
         let end = cfg.end_time();
-        Ok(Simulator {
+        let warm_start = SimTime::ZERO + cfg.warmup;
+        CellSim {
             cfg,
+            cell,
+            retention,
             queue: EventQueue::new(),
             workload,
+            phase_rng,
+            burst_on: false,
             nodes,
             tier_offsets,
             rr_next,
             inflight: Vec::new(),
+            free_slots: Vec::new(),
+            session_base,
+            issued: 0,
+            completed: 0,
+            rejected: 0,
+            rts_ms: Vec::new(),
+            warm_start,
             lifecycle: Vec::new(),
             messages: Vec::new(),
-            samples: Vec::new(),
+            raw_samples: Vec::new(),
+            dig_requests: Fnv64::new(),
+            dig_lifecycle: Fnv64::new(),
+            dig_messages: Fnv64::new(),
+            dig_samples: Fnv64::new(),
+            events: 0,
             end,
-        })
+        }
     }
 
-    /// Runs the experiment to completion and returns everything observed.
-    pub fn run(mut self) -> RunOutput {
+    /// Runs the cell's event loop to completion.
+    fn run_cell(mut self) -> CellOutput {
         // Seed the event queue.
         match self.cfg.workload.arrival {
-            crate::config::ArrivalProcess::ClosedLoop => {
+            ArrivalProcess::ClosedLoop => {
+                let base = self.session_base;
                 for (at, session) in self.workload.initial_arrivals() {
-                    self.queue.schedule(at, Ev::ClientSend(session));
+                    // Workload numbers the cell's users 0..users_local;
+                    // offset into this cell's global session id range.
+                    self.queue
+                        .schedule(at, Ev::ClientSend(SessionId(base + session.0)));
                 }
             }
-            crate::config::ArrivalProcess::OpenLoop { rate_rps } => {
+            ArrivalProcess::OpenLoop { rate_rps } => {
                 let gap = self.workload.interarrival(rate_rps);
                 self.queue.schedule(SimTime::ZERO + gap, Ev::OpenArrival);
+            }
+            ArrivalProcess::Bursty { base_rps, .. } => {
+                let gap = self.workload.interarrival(base_rps);
+                self.queue.schedule(SimTime::ZERO + gap, Ev::OpenArrival);
+                let off = self.phase_len(false);
+                self.queue.schedule(SimTime::ZERO + off, Ev::PhaseSwitch);
             }
         }
         for ni in 0..self.nodes.len() {
@@ -372,6 +677,7 @@ impl Simulator {
                 break;
             }
             let (now, ev) = self.queue.pop().expect("peeked event exists");
+            self.events += 1;
             self.handle(now, ev);
         }
         self.finalize()
@@ -385,8 +691,9 @@ impl Simulator {
         match ev {
             Ev::ClientSend(session) => self.client_send(now, session),
             Ev::OpenArrival => self.open_arrival(now),
+            Ev::PhaseSwitch => self.phase_switch(now),
             Ev::Ingress { req, tier } => self.ingress(now, req, tier),
-            Ev::BurstDone { node, kind } => self.burst_done(now, node, kind),
+            Ev::BurstDone { node, kind, core } => self.burst_done(now, node, kind, core),
             Ev::ReplyArrive { req, tier } => self.reply_arrive(now, req, tier),
             Ev::ClientReply { req } => self.client_reply(now, req),
             Ev::FlushDone { node } => self.flush_done(now, node),
@@ -422,14 +729,50 @@ impl Simulator {
     // Client side
     // ------------------------------------------------------------------
 
-    fn open_arrival(&mut self, now: SimTime) {
-        let crate::config::ArrivalProcess::OpenLoop { rate_rps } = self.cfg.workload.arrival else {
-            return;
+    /// Mean length of the current MMPP phase, or a safe default if the
+    /// arrival process is not bursty (the event then simply re-arms).
+    fn phase_len(&mut self, on: bool) -> SimDuration {
+        let ArrivalProcess::Bursty {
+            mean_on, mean_off, ..
+        } = self.cfg.workload.arrival
+        else {
+            return SimDuration::from_secs(1);
         };
-        let gap = self.workload.interarrival(rate_rps);
+        let mean = if on { mean_on } else { mean_off };
+        SimDuration::from_secs_f64(self.phase_rng.exponential(mean.as_secs_f64()))
+    }
+
+    /// Toggles the bursty on/off phase. The phase clock runs on its own
+    /// RNG stream shared by every cell, so all cells switch together.
+    fn phase_switch(&mut self, now: SimTime) {
+        self.burst_on = !self.burst_on;
+        let len = self.phase_len(self.burst_on);
+        self.queue.schedule(now + len, Ev::PhaseSwitch);
+    }
+
+    fn open_arrival(&mut self, now: SimTime) {
+        let rate = match self.cfg.workload.arrival {
+            ArrivalProcess::ClosedLoop => return,
+            ArrivalProcess::OpenLoop { rate_rps } => rate_rps,
+            ArrivalProcess::Bursty {
+                base_rps,
+                burst_rps,
+                ..
+            } => {
+                if self.burst_on {
+                    burst_rps
+                } else {
+                    base_rps
+                }
+            }
+        };
+        let gap = self.workload.interarrival(rate);
         self.queue.schedule(now + gap, Ev::OpenArrival);
-        // Synthetic session id: open-loop arrivals are independent.
-        let session = SessionId(self.inflight.len() as u32);
+        // Synthetic session id: open-loop arrivals are independent. Tag
+        // with the cell so ids stay unique across the whole run.
+        let session = SessionId(
+            (self.cell << SESSION_CELL_SHIFT) | (self.issued as u32 & SESSION_LOCAL_MASK),
+        );
         self.client_send(now, session);
     }
 
@@ -439,10 +782,11 @@ impl Simulator {
         }
         let interaction = self.workload.next_interaction();
         let depth = interaction.spec().depth.min(self.cfg.tiers.len());
-        let req = self.inflight.len();
         let front = self.pick_node(0);
-        self.inflight.push(InFlight {
-            id: RequestId(req as u64),
+        let id = RequestId((u64::from(self.cell) << REQ_CELL_SHIFT) | self.issued);
+        self.issued += 1;
+        let record = InFlight {
+            id,
             session,
             interaction,
             client_send: now,
@@ -451,14 +795,21 @@ impl Simulator {
             depth,
             nodes: vec![front],
             spans: vec![SpanBuild::default()],
-        });
+        };
+        let req = if let Some(slot) = self.free_slots.pop() {
+            self.inflight[slot] = record;
+            slot
+        } else {
+            self.inflight.push(record);
+            self.inflight.len() - 1
+        };
         let hop = self.cfg.network.hop_latency;
-        self.messages.push(MessageEvent {
+        self.push_message(MessageEvent {
             send_time: now,
             recv_time: now + hop,
             src: Endpoint::Client,
             dst: Endpoint::Node(self.nodes[front].id),
-            request: RequestId(req as u64),
+            request: id,
             interaction,
             kind: MsgKind::RequestDown,
         });
@@ -469,12 +820,81 @@ impl Simulator {
         let r = &mut self.inflight[req];
         r.client_recv = Some(now);
         let session = r.session;
-        if matches!(
-            self.cfg.workload.arrival,
-            crate::config::ArrivalProcess::ClosedLoop
-        ) {
+        if matches!(self.cfg.workload.arrival, ArrivalProcess::ClosedLoop) {
             let think = self.workload.think_time();
             self.queue.schedule(now + think, Ev::ClientSend(session));
+        }
+        self.finish_request(req);
+    }
+
+    /// Final accounting for a request whose reply reached the client (the
+    /// terminal event of every request chain, 503 rejects included). Folds
+    /// the finished record into the digest; under digest retention the
+    /// slot is recycled immediately.
+    fn finish_request(&mut self, req: usize) {
+        {
+            let f = &self.inflight[req];
+            if f.status == 503 {
+                self.rejected += 1;
+            }
+            if f.client_send >= self.warm_start {
+                if let Some(recv) = f.client_recv {
+                    self.completed += 1;
+                    self.rts_ms.push((recv - f.client_send).as_millis_f64());
+                }
+            }
+        }
+        let record = self.build_record(req);
+        fold_request(&mut self.dig_requests, &record);
+        if self.retention == Retention::Digest {
+            self.free_slots.push(req);
+        }
+    }
+
+    /// Materialises the [`RequestRecord`] for an `inflight` slot.
+    /// Incomplete requests get empty spans, exactly as at finalization.
+    fn build_record(&self, req: usize) -> RequestRecord {
+        let f = &self.inflight[req];
+        let complete = f.client_recv.is_some();
+        let spans = if complete {
+            f.spans
+                .iter()
+                .enumerate()
+                .map(|(i, s)| TierSpan {
+                    node: self.nodes[f.nodes[i]].id,
+                    upstream_arrival: s.ua.expect("complete request has UA"),
+                    upstream_departure: s.ud.expect("complete request has UD"),
+                    downstream_sending: s.ds,
+                    downstream_receiving: s.dr,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        RequestRecord {
+            id: f.id,
+            session: f.session,
+            interaction: f.interaction,
+            client_send: f.client_send,
+            client_recv: f.client_recv,
+            status: f.status,
+            spans,
+        }
+    }
+
+    /// Records a lifecycle event: always folded, retained only in full mode.
+    fn push_lifecycle(&mut self, ev: LifecycleEvent) {
+        fold_lifecycle(&mut self.dig_lifecycle, &ev);
+        if self.retention == Retention::Full {
+            self.lifecycle.push(ev);
+        }
+    }
+
+    /// Records a wire message: always folded, retained only in full mode.
+    fn push_message(&mut self, ev: MessageEvent) {
+        fold_message(&mut self.dig_messages, &ev);
+        if self.retention == Retention::Full {
+            self.messages.push(ev);
         }
     }
 
@@ -483,7 +903,7 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn boundary(&mut self, now: SimTime, ni: usize, req: usize, kind: BoundaryKind) {
-        self.lifecycle.push(LifecycleEvent {
+        self.push_lifecycle(LifecycleEvent {
             time: now,
             node: self.nodes[ni].id,
             kind: self.nodes[ni].kind,
@@ -554,7 +974,7 @@ impl Simulator {
                 },
             )
         };
-        self.messages.push(MessageEvent {
+        self.push_message(MessageEvent {
             send_time: now,
             recv_time: now + hop,
             src: Endpoint::Node(self.nodes[ni].id),
@@ -602,36 +1022,107 @@ impl Simulator {
         front: bool,
     ) {
         let node = &mut self.nodes[ni];
-        if let Some(done) = node.cpu.try_start(now, demand) {
-            self.queue.schedule(done, Ev::BurstDone { node: ni, kind });
-        } else if front {
-            node.cpu_q_front.push_back(CpuTask { kind, demand });
-        } else {
-            node.cpu_q.push_back(CpuTask { kind, demand });
+        match node.discipline {
+            QueueDiscipline::Cfcfs => {
+                // Centralised FCFS: any free core takes the burst, one
+                // shared queue per node when all cores are busy.
+                if let Some(done) = node.cpu.try_start(now, demand) {
+                    self.queue.schedule(
+                        done,
+                        Ev::BurstDone {
+                            node: ni,
+                            kind,
+                            core: None,
+                        },
+                    );
+                } else if front {
+                    node.cpu_q_front.push_back(CpuTask { kind, demand });
+                } else {
+                    node.cpu_q.push_back(CpuTask { kind, demand });
+                }
+            }
+            QueueDiscipline::Dfcfs => {
+                // Decentralised FCFS: arrivals are steered round-robin to
+                // a specific core and wait in that core's queue even if a
+                // sibling core is idle (the no-work-stealing model).
+                let cores = node.core_busy.len().max(1);
+                let c = node.rr_core % cores;
+                node.rr_core = (node.rr_core + 1) % cores;
+                if !node.core_busy[c] {
+                    if let Some(done) = node.cpu.try_start(now, demand) {
+                        node.core_busy[c] = true;
+                        self.queue.schedule(
+                            done,
+                            Ev::BurstDone {
+                                node: ni,
+                                kind,
+                                core: Some(c),
+                            },
+                        );
+                        return;
+                    }
+                }
+                if front {
+                    node.core_q_front[c].push_back(CpuTask { kind, demand });
+                } else {
+                    node.core_q[c].push_back(CpuTask { kind, demand });
+                }
+            }
         }
     }
 
-    fn burst_done(&mut self, now: SimTime, ni: usize, kind: TaskKind) {
+    fn burst_done(&mut self, now: SimTime, ni: usize, kind: TaskKind, core: Option<usize>) {
         self.nodes[ni].cpu.finish(now);
-        // Hand the freed core to the next queued task (priority first).
-        let next = {
-            let node = &mut self.nodes[ni];
-            node.cpu_q_front
-                .pop_front()
-                .or_else(|| node.cpu_q.pop_front())
-        };
-        if let Some(task) = next {
-            let done = self.nodes[ni]
-                .cpu
-                .try_start(now, task.demand)
-                .expect("core was just freed");
-            self.queue.schedule(
-                done,
-                Ev::BurstDone {
-                    node: ni,
-                    kind: task.kind,
-                },
-            );
+        match core {
+            None => {
+                // cFCFS: hand the freed core to the next queued task
+                // (priority first) from the shared queues.
+                let next = {
+                    let node = &mut self.nodes[ni];
+                    node.cpu_q_front
+                        .pop_front()
+                        .or_else(|| node.cpu_q.pop_front())
+                };
+                if let Some(task) = next {
+                    let done = self.nodes[ni]
+                        .cpu
+                        .try_start(now, task.demand)
+                        .expect("core was just freed");
+                    self.queue.schedule(
+                        done,
+                        Ev::BurstDone {
+                            node: ni,
+                            kind: task.kind,
+                            core: None,
+                        },
+                    );
+                }
+            }
+            Some(c) => {
+                // dFCFS: only this core's own queue may refill it.
+                let node = &mut self.nodes[ni];
+                node.core_busy[c] = false;
+                let next = node.core_q_front[c]
+                    .pop_front()
+                    .or_else(|| node.core_q[c].pop_front());
+                if let Some(task) = next {
+                    if let Some(done) = node.cpu.try_start(now, task.demand) {
+                        node.core_busy[c] = true;
+                        self.queue.schedule(
+                            done,
+                            Ev::BurstDone {
+                                node: ni,
+                                kind: task.kind,
+                                core: Some(c),
+                            },
+                        );
+                    } else {
+                        // Model accounting refused the start; requeue at
+                        // the head so ordering is preserved.
+                        node.core_q_front[c].push_front(task);
+                    }
+                }
+            }
         }
         match kind {
             TaskKind::Phase1(req) => self.phase1_done(now, ni, req),
@@ -663,7 +1154,7 @@ impl Simulator {
             self.boundary(now, ni, req, BoundaryKind::DownstreamSending);
             let hop = self.cfg.network.hop_latency;
             self.nodes[ni].net_tx += REQ_MSG_BYTES;
-            self.messages.push(MessageEvent {
+            self.push_message(MessageEvent {
                 send_time: now,
                 recv_time: now + hop,
                 src: Endpoint::Node(self.nodes[ni].id),
@@ -691,7 +1182,7 @@ impl Simulator {
     /// tier. Returns `true` if the request can complete now, `false` if it
     /// joined the flush wait group (it will complete from [`flush_done`]).
     ///
-    /// [`flush_done`]: Simulator::flush_done
+    /// [`flush_done`]: CellSim::flush_done
     fn try_commit(&mut self, now: SimTime, ni: usize, req: usize) -> bool {
         let tier = self.nodes[ni].tier_cfg;
         let tcfg = &self.cfg.tiers[tier];
@@ -798,7 +1289,7 @@ impl Simulator {
                 },
             )
         };
-        self.messages.push(MessageEvent {
+        self.push_message(MessageEvent {
             send_time: now,
             recv_time: now + hop,
             src: Endpoint::Node(self.nodes[ni].id),
@@ -929,9 +1420,13 @@ impl Simulator {
     // Sampling & finalization
     // ------------------------------------------------------------------
 
+    /// Snapshots every node's monotonic counters and emits the interval
+    /// deltas as a [`RawSample`] per node. Utilisation percentages are NOT
+    /// computed here: the merge first sums the counters of the node's
+    /// cells, so the percentages are of the whole (un-partitioned) node.
     fn sample(&mut self, now: SimTime) {
-        let interval_us = self.cfg.sample_period.as_micros() as f64;
-        for node in &mut self.nodes {
+        for ni in 0..self.nodes.len() {
+            let node = &mut self.nodes[ni];
             node.cpu.accumulate(now);
             node.disk.accumulate(now);
             let snap = CounterSnapshot {
@@ -944,36 +1439,26 @@ impl Simulator {
                 net_tx: node.net_tx,
                 log_bytes: node.log_bytes,
             };
-            let d = |a: u64, b: u64| a.saturating_sub(b) as f64;
-            let capacity = node.cpu.cores() as f64 * interval_us;
-            let busy_pct = 100.0 * d(snap.busy_core_us, node.prev.busy_core_us) / capacity;
-            let iowait_pct = 100.0 * d(snap.iowait_core_us, node.prev.iowait_core_us) / capacity;
-            // An 82/18 user/sys split approximates web-serving workloads.
-            let cpu_user = busy_pct * 0.82;
-            let cpu_sys = busy_pct * 0.18;
-            let cpu_idle = (100.0 - busy_pct - iowait_pct).max(0.0);
-            let disk_util =
-                (100.0 * d(snap.disk_busy_us, node.prev.disk_busy_us) / interval_us).min(100.0);
-            self.samples.push(ResourceSample {
+            let raw = RawSample {
                 time: now,
                 node: node.id,
                 kind: node.kind,
-                cpu_user,
-                cpu_sys,
-                cpu_iowait: iowait_pct,
-                cpu_idle,
-                disk_util,
+                busy_core_us: snap.busy_core_us.saturating_sub(node.prev.busy_core_us),
+                iowait_core_us: snap.iowait_core_us.saturating_sub(node.prev.iowait_core_us),
+                disk_busy_us: snap.disk_busy_us.saturating_sub(node.prev.disk_busy_us),
                 disk_write_bytes: snap.disk_bytes - node.prev.disk_bytes,
                 disk_ops: snap.disk_ops - node.prev.disk_ops,
-                dirty_pages: node.mem.dirty_bytes() / PAGE_BYTES,
+                net_rx: snap.net_rx - node.prev.net_rx,
+                net_tx: snap.net_tx - node.prev.net_tx,
+                log_bytes: snap.log_bytes - node.prev.log_bytes,
+                dirty_bytes: node.mem.dirty_bytes(),
                 mem_used_bytes: node.mem.used_bytes(),
-                net_rx_bytes: snap.net_rx - node.prev.net_rx,
-                net_tx_bytes: snap.net_tx - node.prev.net_tx,
                 queue_len: node.in_node,
                 active_workers: node.workers_busy as u32,
-                log_bytes: snap.log_bytes - node.prev.log_bytes,
-            });
+            };
             node.prev = snap;
+            fold_raw_sample(&mut self.dig_samples, &raw);
+            self.raw_samples.push(raw);
         }
         let next = now + self.cfg.sample_period;
         if next <= self.end {
@@ -981,70 +1466,284 @@ impl Simulator {
         }
     }
 
-    fn finalize(self) -> RunOutput {
-        let warm_start = SimTime::ZERO + self.cfg.warmup;
-        let mut requests = Vec::with_capacity(self.inflight.len());
-        let mut rts_ms: Vec<f64> = Vec::new();
-        let mut completed = 0u64;
-        for f in &self.inflight {
-            let complete = f.client_recv.is_some();
-            let spans = if complete {
-                f.spans
-                    .iter()
-                    .enumerate()
-                    .map(|(i, s)| TierSpan {
-                        node: self.nodes[f.nodes[i]].id,
-                        upstream_arrival: s.ua.expect("complete request has UA"),
-                        upstream_departure: s.ud.expect("complete request has UD"),
-                        downstream_sending: s.ds,
-                        downstream_receiving: s.dr,
-                    })
-                    .collect()
-            } else {
-                Vec::new()
-            };
-            if complete && f.client_send >= warm_start {
-                completed += 1;
-                rts_ms.push(
-                    (f.client_recv.expect("checked complete") - f.client_send).as_millis_f64(),
-                );
+    fn finalize(mut self) -> CellOutput {
+        // Requests still pending at the end never reached finish_request;
+        // fold them now in id order (== slot order under full retention)
+        // so full and digest retention produce identical digests.
+        let mut pending: Vec<usize> = (0..self.inflight.len())
+            .filter(|&i| self.inflight[i].client_recv.is_none())
+            .collect();
+        pending.sort_by_key(|&i| self.inflight[i].id.0);
+        for slot in pending {
+            if self.inflight[slot].status == 503 {
+                self.rejected += 1;
             }
-            requests.push(RequestRecord {
-                id: f.id,
-                session: f.session,
-                interaction: f.interaction,
-                client_send: f.client_send,
-                client_recv: f.client_recv,
-                status: f.status,
-                spans,
-            });
+            let record = self.build_record(slot);
+            fold_request(&mut self.dig_requests, &record);
         }
-        let rejected = self.inflight.iter().filter(|f| f.status == 503).count() as u64;
-        let measured_secs = self.cfg.duration.as_secs_f64();
-        let stats = RunStats {
-            issued: self.inflight.len() as u64,
-            completed,
-            throughput_rps: completed as f64 / measured_secs,
-            mean_rt_ms: mscope_sim::Summary::of(&rts_ms).map_or(0.0, |s| s.mean),
-            p99_rt_ms: mscope_sim::percentile(&rts_ms, 99.0).unwrap_or(0.0),
-            max_rt_ms: mscope_sim::Summary::of(&rts_ms).map_or(0.0, |s| s.max),
+        let requests = if self.retention == Retention::Full {
+            (0..self.inflight.len())
+                .map(|i| self.build_record(i))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        CellOutput {
+            requests,
+            lifecycle: self.lifecycle,
+            messages: self.messages,
+            raw_samples: self.raw_samples,
+            rts_ms: self.rts_ms,
+            issued: self.issued,
+            completed: self.completed,
+            rejected: self.rejected,
             node_log_bytes: self.nodes.iter().map(|n| (n.id, n.log_bytes)).collect(),
             node_disk_bytes: self
                 .nodes
                 .iter()
                 .map(|n| (n.id, n.disk.bytes_written()))
                 .collect(),
-            rejected,
-        };
-        RunOutput {
-            config: self.cfg,
-            requests,
-            lifecycle: self.lifecycle,
-            messages: self.messages,
-            samples: self.samples,
-            end_time: self.end,
-            stats,
+            events: self.events,
+            digest: RunDigest {
+                requests: self.dig_requests.value(),
+                lifecycle: self.dig_lifecycle.value(),
+                messages: self.dig_messages.value(),
+                samples: self.dig_samples.value(),
+            },
         }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Stream digests
+// ----------------------------------------------------------------------
+
+fn fold_node(d: &mut Fnv64, n: NodeId) {
+    d.fold_u64(((n.tier.0 as u64) << 32) | n.replica as u64);
+}
+
+fn fold_endpoint(d: &mut Fnv64, e: Endpoint) {
+    match e {
+        Endpoint::Client => d.fold_u64(0),
+        Endpoint::Node(n) => {
+            d.fold_u64(1);
+            fold_node(d, n);
+        }
+    }
+}
+
+fn fold_request(d: &mut Fnv64, r: &RequestRecord) {
+    d.fold_u64(r.id.0);
+    d.fold_u64(u64::from(r.session.0));
+    d.fold_u64(r.interaction.idx as u64);
+    d.fold_u64(r.client_send.as_micros());
+    d.fold_opt(r.client_recv.map(|t| t.as_micros()));
+    d.fold_u64(u64::from(r.status));
+    d.fold_u64(r.spans.len() as u64);
+    for s in &r.spans {
+        fold_node(d, s.node);
+        d.fold_u64(s.upstream_arrival.as_micros());
+        d.fold_u64(s.upstream_departure.as_micros());
+        d.fold_opt(s.downstream_sending.map(|t| t.as_micros()));
+        d.fold_opt(s.downstream_receiving.map(|t| t.as_micros()));
+    }
+}
+
+fn fold_lifecycle(d: &mut Fnv64, e: &LifecycleEvent) {
+    d.fold_u64(e.time.as_micros());
+    fold_node(d, e.node);
+    d.fold_u64(e.kind as u64);
+    d.fold_u64(e.request.0);
+    d.fold_u64(e.interaction.idx as u64);
+    d.fold_u64(e.boundary as u64);
+    d.fold_u64(u64::from(e.status));
+}
+
+fn fold_message(d: &mut Fnv64, m: &MessageEvent) {
+    d.fold_u64(m.send_time.as_micros());
+    d.fold_u64(m.recv_time.as_micros());
+    fold_endpoint(d, m.src);
+    fold_endpoint(d, m.dst);
+    d.fold_u64(m.request.0);
+    d.fold_u64(m.interaction.idx as u64);
+    d.fold_u64(m.kind as u64);
+}
+
+fn fold_raw_sample(d: &mut Fnv64, s: &RawSample) {
+    d.fold_u64(s.time.as_micros());
+    fold_node(d, s.node);
+    d.fold_u64(s.busy_core_us);
+    d.fold_u64(s.iowait_core_us);
+    d.fold_u64(s.disk_busy_us);
+    d.fold_u64(s.disk_write_bytes);
+    d.fold_u64(s.disk_ops);
+    d.fold_u64(s.net_rx);
+    d.fold_u64(s.net_tx);
+    d.fold_u64(s.log_bytes);
+    d.fold_u64(s.dirty_bytes);
+    d.fold_u64(s.mem_used_bytes);
+    d.fold_u64(u64::from(s.queue_len));
+    d.fold_u64(u64::from(s.active_workers));
+}
+
+// ----------------------------------------------------------------------
+// Merge
+// ----------------------------------------------------------------------
+
+/// Deterministically combines per-cell outputs into one [`RunOutput`].
+/// Pure data-plumbing over already-finished cells: the result depends only
+/// on the cell outputs and their order, never on how they were scheduled.
+fn merge(cfg: SystemConfig, cells: Vec<CellOutput>) -> RunOutput {
+    let p = cells.len().max(1);
+    let num_nodes = cfg.node_count();
+    let interval_us = cfg.sample_period.as_micros() as f64;
+
+    // Resource samples: sum each (tick, node) cell's raw counters, then
+    // compute utilisation against the whole node's capacity. With one
+    // cell this reproduces the un-partitioned percentages bit-for-bit.
+    let min_ticks = cells
+        .iter()
+        .map(|c| c.raw_samples.len().checked_div(num_nodes).unwrap_or(0))
+        .min()
+        .unwrap_or(0);
+    let mut samples = Vec::with_capacity(min_ticks * num_nodes);
+    for tick in 0..min_ticks {
+        for n in 0..num_nodes {
+            let idx = tick * num_nodes + n;
+            let Some(first) = cells.first().and_then(|c| c.raw_samples.get(idx)) else {
+                continue;
+            };
+            let mut acc = *first;
+            for c in cells.iter().skip(1) {
+                if let Some(r) = c.raw_samples.get(idx) {
+                    acc.busy_core_us += r.busy_core_us;
+                    acc.iowait_core_us += r.iowait_core_us;
+                    acc.disk_busy_us += r.disk_busy_us;
+                    acc.disk_write_bytes += r.disk_write_bytes;
+                    acc.disk_ops += r.disk_ops;
+                    acc.net_rx += r.net_rx;
+                    acc.net_tx += r.net_tx;
+                    acc.log_bytes += r.log_bytes;
+                    acc.dirty_bytes += r.dirty_bytes;
+                    acc.mem_used_bytes += r.mem_used_bytes;
+                    acc.queue_len += r.queue_len;
+                    acc.active_workers += r.active_workers;
+                }
+            }
+            let cores = cfg.tiers.get(acc.node.tier.0).map_or(1, |t| t.cores);
+            let capacity = cores as f64 * interval_us;
+            let busy_pct = 100.0 * acc.busy_core_us as f64 / capacity;
+            let iowait_pct = 100.0 * acc.iowait_core_us as f64 / capacity;
+            // An 82/18 user/sys split approximates web-serving workloads.
+            let cpu_user = busy_pct * 0.82;
+            let cpu_sys = busy_pct * 0.18;
+            let cpu_idle = (100.0 - busy_pct - iowait_pct).max(0.0);
+            let disk_util = (100.0 * acc.disk_busy_us as f64 / (p as f64 * interval_us)).min(100.0);
+            samples.push(ResourceSample {
+                time: acc.time,
+                node: acc.node,
+                kind: acc.kind,
+                cpu_user,
+                cpu_sys,
+                cpu_iowait: iowait_pct,
+                cpu_idle,
+                disk_util,
+                disk_write_bytes: acc.disk_write_bytes,
+                disk_ops: acc.disk_ops,
+                dirty_pages: acc.dirty_bytes / PAGE_BYTES,
+                mem_used_bytes: acc.mem_used_bytes,
+                net_rx_bytes: acc.net_rx,
+                net_tx_bytes: acc.net_tx,
+                queue_len: acc.queue_len,
+                active_workers: acc.active_workers,
+                log_bytes: acc.log_bytes,
+            });
+        }
+    }
+
+    // Scalar statistics and the run digest: plain sums / cell-order folds.
+    let mut issued = 0u64;
+    let mut completed = 0u64;
+    let mut rejected = 0u64;
+    let mut sim_events = 0u64;
+    let mut rts_ms: Vec<f64> = Vec::new();
+    let mut dig = [Fnv64::new(); 4];
+    for c in &cells {
+        issued += c.issued;
+        completed += c.completed;
+        rejected += c.rejected;
+        sim_events += c.events;
+        rts_ms.extend_from_slice(&c.rts_ms);
+        dig[0].fold_u64(c.digest.requests);
+        dig[1].fold_u64(c.digest.lifecycle);
+        dig[2].fold_u64(c.digest.messages);
+        dig[3].fold_u64(c.digest.samples);
+    }
+    let mut node_log_bytes = cells
+        .first()
+        .map(|c| c.node_log_bytes.clone())
+        .unwrap_or_default();
+    let mut node_disk_bytes = cells
+        .first()
+        .map(|c| c.node_disk_bytes.clone())
+        .unwrap_or_default();
+    for c in cells.iter().skip(1) {
+        for (i, (_, b)) in c.node_log_bytes.iter().enumerate() {
+            if let Some(slot) = node_log_bytes.get_mut(i) {
+                slot.1 += b;
+            }
+        }
+        for (i, (_, b)) in c.node_disk_bytes.iter().enumerate() {
+            if let Some(slot) = node_disk_bytes.get_mut(i) {
+                slot.1 += b;
+            }
+        }
+    }
+    let measured_secs = cfg.duration.as_secs_f64();
+    let stats = RunStats {
+        issued,
+        completed,
+        throughput_rps: completed as f64 / measured_secs,
+        mean_rt_ms: mscope_sim::Summary::of(&rts_ms).map_or(0.0, |s| s.mean),
+        p99_rt_ms: mscope_sim::percentile(&rts_ms, 99.0).unwrap_or(0.0),
+        max_rt_ms: mscope_sim::Summary::of(&rts_ms).map_or(0.0, |s| s.max),
+        node_log_bytes,
+        node_disk_bytes,
+        rejected,
+        sim_events,
+    };
+    let digest = RunDigest {
+        requests: dig[0].value(),
+        lifecycle: dig[1].value(),
+        messages: dig[2].value(),
+        samples: dig[3].value(),
+    };
+
+    // Event streams: concatenate cell-major, then restore the global total
+    // order with stable sorts (each cell's stream is already nondecreasing
+    // in its key, so with one cell these sorts are the identity).
+    let mut requests = Vec::new();
+    let mut lifecycle = Vec::new();
+    let mut messages = Vec::new();
+    for c in cells {
+        requests.extend(c.requests);
+        lifecycle.extend(c.lifecycle);
+        messages.extend(c.messages);
+    }
+    requests.sort_by_key(|r| r.client_send);
+    lifecycle.sort_by_key(|e| e.time);
+    messages.sort_by_key(|m| m.send_time);
+
+    let end_time = cfg.end_time();
+    RunOutput {
+        config: cfg,
+        requests,
+        lifecycle,
+        messages,
+        samples,
+        end_time,
+        stats,
+        digest,
     }
 }
 
@@ -1506,5 +2205,256 @@ mod open_loop_tests {
         let mut cfg = open_cfg(10.0, 5);
         cfg.workload.users = 0;
         assert!(cfg.validate().is_ok());
+    }
+}
+
+#[cfg(test)]
+mod sharding_tests {
+    use super::*;
+    use crate::config::SystemConfig;
+
+    /// A partitioned config small enough for tests: 3 cells over tiers
+    /// with enough cores/workers to slice.
+    fn partitioned_cfg(users: u32, partitions: u32) -> SystemConfig {
+        let mut cfg = SystemConfig::rubbos_baseline(users);
+        cfg.partitions = partitions;
+        for t in &mut cfg.tiers {
+            t.cores = 4;
+            t.workers = t.workers.max(partitions as usize * 4);
+        }
+        cfg.duration = SimDuration::from_secs(6);
+        cfg.warmup = SimDuration::from_secs(2);
+        cfg.workload.ramp_up = SimDuration::from_secs(1);
+        cfg
+    }
+
+    fn run_sharded(cfg: SystemConfig, shards: usize) -> RunOutput {
+        Simulator::new(cfg).unwrap().run_with(&SimOptions {
+            shards,
+            retention: Retention::Full,
+        })
+    }
+
+    #[test]
+    fn shard_count_never_changes_output() {
+        let reference = run_sharded(partitioned_cfg(90, 3), 1);
+        for shards in [2, 4, 7] {
+            let out = run_sharded(partitioned_cfg(90, 3), shards);
+            assert_eq!(out.digest, reference.digest, "shards={shards}");
+            assert_eq!(out.requests, reference.requests, "shards={shards}");
+            assert_eq!(out.lifecycle, reference.lifecycle, "shards={shards}");
+            assert_eq!(out.messages, reference.messages, "shards={shards}");
+            assert_eq!(out.samples, reference.samples, "shards={shards}");
+            assert_eq!(out.stats.completed, reference.stats.completed);
+            assert_eq!(out.stats.sim_events, reference.stats.sim_events);
+        }
+    }
+
+    #[test]
+    fn partitioned_ids_are_tagged_by_cell() {
+        let out = run_sharded(partitioned_cfg(90, 3), 2);
+        let mut cells_seen = [false; 3];
+        for r in &out.requests {
+            let cell = (r.id.0 >> REQ_CELL_SHIFT) as usize;
+            assert!(cell < 3, "cell tag {cell} out of range");
+            cells_seen[cell] = true;
+        }
+        assert_eq!(cells_seen, [true; 3], "every cell issued requests");
+        // Streams are globally time-ordered after the merge.
+        assert!(out.lifecycle.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(out
+            .messages
+            .windows(2)
+            .all(|w| w[0].send_time <= w[1].send_time));
+        assert!(out
+            .requests
+            .windows(2)
+            .all(|w| w[0].client_send <= w[1].client_send));
+    }
+
+    #[test]
+    fn digest_retention_matches_full() {
+        let full = run_sharded(partitioned_cfg(60, 2), 2);
+        let digest = Simulator::new(partitioned_cfg(60, 2))
+            .unwrap()
+            .run_with(&SimOptions {
+                shards: 2,
+                retention: Retention::Digest,
+            });
+        assert_eq!(digest.digest, full.digest);
+        assert_eq!(digest.stats.completed, full.stats.completed);
+        assert_eq!(digest.stats.issued, full.stats.issued);
+        assert_eq!(digest.stats.sim_events, full.stats.sim_events);
+        assert_eq!(digest.stats.mean_rt_ms, full.stats.mean_rt_ms);
+        // Digest mode keeps no streams — that is its point.
+        assert!(digest.requests.is_empty());
+        assert!(digest.lifecycle.is_empty());
+        assert!(digest.messages.is_empty());
+        // But samples survive in both modes.
+        assert_eq!(digest.samples, full.samples);
+    }
+
+    #[test]
+    fn single_partition_is_the_legacy_engine() {
+        let mut cfg = SystemConfig::rubbos_baseline(60);
+        cfg.duration = SimDuration::from_secs(6);
+        cfg.warmup = SimDuration::from_secs(2);
+        let serial = Simulator::new(cfg.clone()).unwrap().run();
+        let threaded = Simulator::new(cfg).unwrap().run_with(&SimOptions {
+            shards: 8,
+            retention: Retention::Full,
+        });
+        assert_eq!(serial.digest, threaded.digest);
+        assert_eq!(serial.requests, threaded.requests);
+        assert_eq!(serial.samples, threaded.samples);
+    }
+
+    #[test]
+    fn cell_config_conserves_resources() {
+        let mut cfg = SystemConfig::rubbos_baseline(100);
+        cfg.partitions = 3;
+        for t in &mut cfg.tiers {
+            t.cores = 7;
+            t.workers = 50;
+        }
+        let cells: Vec<SystemConfig> = (0..3).map(|i| cell_config(&cfg, i)).collect();
+        for ti in 0..cfg.tiers.len() {
+            let cores: u32 = cells.iter().map(|c| c.tiers[ti].cores).sum();
+            let workers: usize = cells.iter().map(|c| c.tiers[ti].workers).sum();
+            assert_eq!(cores, 7, "tier {ti} cores conserved");
+            assert_eq!(workers, 50, "tier {ti} workers conserved");
+        }
+        let users: u32 = cells.iter().map(|c| c.workload.users).sum();
+        assert_eq!(users, 100);
+        // Session id ranges tile 0..users without overlap.
+        assert_eq!(session_base(100, 3, 0), 0);
+        assert_eq!(session_base(100, 3, 1), 34);
+        assert_eq!(session_base(100, 3, 2), 67);
+    }
+}
+
+#[cfg(test)]
+mod discipline_tests {
+    use super::*;
+    use crate::config::{QueueDiscipline, SystemConfig};
+
+    fn cfg_with(discipline: QueueDiscipline, users: u32) -> SystemConfig {
+        let mut cfg = SystemConfig::rubbos_baseline(users);
+        for t in &mut cfg.tiers {
+            t.discipline = discipline;
+        }
+        cfg.duration = SimDuration::from_secs(8);
+        cfg.warmup = SimDuration::from_secs(3);
+        cfg.workload.ramp_up = SimDuration::from_secs(2);
+        cfg
+    }
+
+    #[test]
+    fn single_core_dfcfs_equals_cfcfs() {
+        // With one core per node the two disciplines are the same machine.
+        let mut c = cfg_with(QueueDiscipline::Cfcfs, 40);
+        let mut d = cfg_with(QueueDiscipline::Dfcfs, 40);
+        for cfg in [&mut c, &mut d] {
+            for t in &mut cfg.tiers {
+                t.cores = 1;
+            }
+        }
+        let out_c = Simulator::new(c).unwrap().run();
+        let out_d = Simulator::new(d).unwrap().run();
+        assert_eq!(out_c.digest, out_d.digest);
+    }
+
+    #[test]
+    fn dfcfs_runs_and_differs_from_cfcfs_on_multicore() {
+        let out_c = Simulator::new(cfg_with(QueueDiscipline::Cfcfs, 150))
+            .unwrap()
+            .run();
+        let out_d = Simulator::new(cfg_with(QueueDiscipline::Dfcfs, 150))
+            .unwrap()
+            .run();
+        assert!(out_d.stats.completed > 30);
+        // Multicore nodes: steering arrivals to a fixed core while a
+        // sibling idles must change the schedule.
+        assert_ne!(out_c.digest, out_d.digest);
+        // dFCFS wastes capacity it cannot steal back, so at equal load its
+        // mean response time is no better than cFCFS.
+        assert!(
+            out_d.stats.mean_rt_ms >= out_c.stats.mean_rt_ms * 0.95,
+            "dFCFS {} vs cFCFS {}",
+            out_d.stats.mean_rt_ms,
+            out_c.stats.mean_rt_ms
+        );
+    }
+}
+
+#[cfg(test)]
+mod bursty_tests {
+    use super::*;
+    use crate::config::{SystemConfig, WorkloadConfig};
+
+    fn bursty_cfg(base: f64, burst: f64, secs: u64) -> SystemConfig {
+        let mut cfg = SystemConfig::rubbos_baseline(1);
+        cfg.workload = WorkloadConfig::bursty(
+            base,
+            burst,
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(4),
+        );
+        cfg.duration = SimDuration::from_secs(secs);
+        cfg.warmup = SimDuration::from_secs(2);
+        cfg
+    }
+
+    #[test]
+    fn bursty_rate_sits_between_base_and_burst() {
+        let out = Simulator::new(bursty_cfg(60.0, 240.0, 40)).unwrap().run();
+        let secs = out.end_time.as_secs_f64();
+        let arrival_rate = out.stats.issued as f64 / secs;
+        assert!(
+            arrival_rate > 60.0 * 1.02 && arrival_rate < 240.0 * 0.98,
+            "MMPP arrival rate {arrival_rate} should sit strictly between the phases"
+        );
+    }
+
+    #[test]
+    fn burst_windows_modulate_arrivals() {
+        let out = Simulator::new(bursty_cfg(40.0, 400.0, 40)).unwrap().run();
+        // Bucket arrivals per second; the on/off modulation must make the
+        // busiest second clearly hotter than the average second.
+        let mut per_sec = [0u32; 41];
+        for r in &out.requests {
+            let s = (r.client_send.as_micros() / 1_000_000) as usize;
+            if let Some(slot) = per_sec.get_mut(s) {
+                *slot += 1;
+            }
+        }
+        let max = *per_sec.iter().max().unwrap_or(&0) as f64;
+        let avg = per_sec.iter().map(|&c| c as f64).sum::<f64>() / per_sec.len() as f64;
+        assert!(
+            max > avg * 1.8,
+            "expected bursts: max/sec {max} vs avg/sec {avg}"
+        );
+    }
+
+    #[test]
+    fn bursty_is_partition_invariant_in_distribution() {
+        // The phase clock is shared across cells, so a partitioned run
+        // bursts at the same instants; shard count never changes output.
+        let mut cfg = bursty_cfg(80.0, 320.0, 20);
+        cfg.partitions = 2;
+        for t in &mut cfg.tiers {
+            t.cores = 4;
+            t.workers = t.workers.max(8);
+        }
+        let a = Simulator::new(cfg.clone()).unwrap().run_with(&SimOptions {
+            shards: 1,
+            retention: Retention::Full,
+        });
+        let b = Simulator::new(cfg).unwrap().run_with(&SimOptions {
+            shards: 2,
+            retention: Retention::Full,
+        });
+        assert_eq!(a.digest, b.digest);
+        assert!(a.stats.issued > 0);
     }
 }

@@ -53,9 +53,9 @@ mod workload;
 
 pub use config::{
     ArrivalProcess, InjectorSpec, LogFlushConfig, MemoryConfig, MonitoringConfig, NetworkConfig,
-    SystemConfig, TierConfig, WorkloadConfig, WorkloadMix,
+    QueueDiscipline, SystemConfig, TierConfig, WorkloadConfig, WorkloadMix,
 };
-pub use engine::{RunOutput, RunStats, Simulator};
+pub use engine::{Retention, RunDigest, RunOutput, RunStats, SimOptions, Simulator};
 pub use record::{
     BoundaryKind, Endpoint, LifecycleEvent, MessageEvent, MsgKind, RequestRecord, ResourceSample,
     TierSpan,

@@ -17,8 +17,12 @@
 //! * [`TimeSeries`] / [`StepSeries`] — sampled and event-driven series.
 //! * [`Histogram`], [`Summary`], [`pearson`], [`percentile`], [`rmse`] —
 //!   statistics used by the analysis layer and the figure benches.
-//! * [`WorkQueue`] — atomic job dispenser shared by every parallel
-//!   fan-out stage in the workspace (transformer convert, warehouse scan).
+//! * [`WorkQueue`] / [`parallel_map`] — atomic job dispenser and the
+//!   job-ordered parallel fan-out built on it, shared by every parallel
+//!   stage in the workspace (transformer convert, warehouse scan, and the
+//!   sharded n-tier simulator).
+//! * [`Fnv64`] — order-sensitive stream digest used to prove two event
+//!   streams identical without retaining them.
 //! * [`prop`] — the in-tree property-testing harness (seeded generation,
 //!   shrink-by-halving) the workspace's invariant tests run on.
 //!
@@ -48,7 +52,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod digest;
 mod event;
+mod par;
 pub mod prop;
 mod queue;
 mod rng;
@@ -56,7 +62,9 @@ mod series;
 mod stats;
 mod time;
 
+pub use digest::Fnv64;
 pub use event::EventQueue;
+pub use par::parallel_map;
 pub use queue::WorkQueue;
 pub use rng::SimRng;
 pub use series::{Agg, StepSeries, TimeSeries};

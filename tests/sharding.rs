@@ -1,0 +1,136 @@
+//! Cross-crate properties of the sharded simulator: for any topology,
+//! partition count, shard count, and seed, sharded execution is
+//! indistinguishable from serial execution; and the open-loop arrival
+//! processes deliver their configured rates.
+
+use mscope_ntier::{
+    ArrivalProcess, QueueDiscipline, Retention, RunOutput, SimOptions, Simulator, SystemConfig,
+    WorkloadConfig,
+};
+use mscope_sim::prop::{forall, Gen};
+use mscope_sim::{prop_ensure, SimDuration};
+
+fn run(cfg: &SystemConfig, shards: usize) -> RunOutput {
+    Simulator::new(cfg.clone())
+        .expect("generated config is valid")
+        .run_with(&SimOptions {
+            shards,
+            retention: Retention::Full,
+        })
+}
+
+/// For any partitioned trial, the shard count is invisible: every stream
+/// and every digest matches the serial run exactly.
+#[test]
+fn sharded_run_is_byte_identical_to_serial() {
+    forall("sharded == serial", 12, |g: &mut Gen| {
+        let mut cfg = SystemConfig::rubbos_baseline(g.u64(5..=60) as u32);
+        cfg.seed = g.u64(0..=u64::MAX);
+        cfg.partitions = g.u64(1..=4) as u32;
+        for t in &mut cfg.tiers {
+            // Every sliced resource must stay >= 1 per cell.
+            t.cores = 4;
+            t.workers = t.workers.max(8);
+            if g.bool() {
+                t.discipline = QueueDiscipline::Dfcfs;
+            }
+        }
+        match g.usize(0..=2) {
+            1 => cfg.workload = WorkloadConfig::open_loop(g.u64(40..=200) as f64),
+            2 => {
+                let base = g.u64(40..=120) as f64;
+                cfg.workload = WorkloadConfig::bursty(
+                    base,
+                    base * 3.0,
+                    SimDuration::from_secs(1),
+                    SimDuration::from_secs(3),
+                );
+            }
+            _ => {}
+        }
+        cfg.duration = SimDuration::from_secs(g.u64(2..=5));
+        cfg.warmup = SimDuration::from_secs(1);
+        cfg.workload.ramp_up = SimDuration::from_millis(500);
+
+        let serial = run(&cfg, 1);
+        let shards = g.usize(2..=4);
+        let sharded = run(&cfg, shards);
+        prop_ensure!(
+            sharded.digest == serial.digest,
+            "digest diverged at {shards} shards (partitions={})",
+            cfg.partitions
+        );
+        prop_ensure!(
+            sharded.requests == serial.requests,
+            "request stream diverged"
+        );
+        prop_ensure!(
+            sharded.lifecycle == serial.lifecycle,
+            "lifecycle stream diverged"
+        );
+        prop_ensure!(
+            sharded.messages == serial.messages,
+            "message stream diverged"
+        );
+        prop_ensure!(sharded.samples == serial.samples, "sample stream diverged");
+        Ok(())
+    });
+}
+
+/// An open-loop process issues requests at its configured rate: over a
+/// long enough horizon the issued count lands within ±10% of rate×time,
+/// regardless of how many cells the rate is split across.
+#[test]
+fn open_loop_arrivals_match_the_configured_rate() {
+    for partitions in [1u32, 4] {
+        let mut cfg = SystemConfig::rubbos_baseline(1);
+        cfg.partitions = partitions;
+        for t in &mut cfg.tiers {
+            t.cores = 4;
+            t.workers = t.workers.max(8);
+        }
+        cfg.workload = WorkloadConfig::open_loop(150.0);
+        cfg.duration = SimDuration::from_secs(40);
+        cfg.warmup = SimDuration::from_secs(0);
+        cfg.workload.ramp_up = SimDuration::from_millis(1);
+        let out = run(&cfg, partitions as usize);
+        let horizon = cfg.duration.as_secs_f64();
+        let expect = 150.0 * horizon;
+        let got = out.stats.issued as f64;
+        assert!(
+            (got - expect).abs() < expect * 0.10,
+            "open-loop at {partitions} cells issued {got} requests, expected ~{expect}"
+        );
+    }
+}
+
+/// A bursty (MMPP) process delivers an effective rate strictly between its
+/// base and burst rates, weighted by the on/off duty cycle.
+#[test]
+fn bursty_effective_rate_sits_between_base_and_burst() {
+    let mut cfg = SystemConfig::rubbos_baseline(1);
+    for t in &mut cfg.tiers {
+        t.cores = 4;
+        t.workers = t.workers.max(8);
+    }
+    cfg.workload = WorkloadConfig::bursty(
+        100.0,
+        300.0,
+        SimDuration::from_secs(2),
+        SimDuration::from_secs(6),
+    );
+    cfg.duration = SimDuration::from_secs(60);
+    cfg.warmup = SimDuration::from_secs(0);
+    cfg.workload.ramp_up = SimDuration::from_millis(1);
+    assert!(matches!(
+        cfg.workload.arrival,
+        ArrivalProcess::Bursty { .. }
+    ));
+    let out = run(&cfg, 1);
+    let rate = out.stats.issued as f64 / cfg.duration.as_secs_f64();
+    // Duty cycle 2s/(2s+6s) = 25% on: expected rate 0.25*300 + 0.75*100 = 150.
+    assert!(
+        rate > 100.0 && rate < 300.0,
+        "bursty effective rate {rate:.1} rps outside (base, burst)"
+    );
+}
