@@ -45,10 +45,13 @@ pub fn export_chrome_trace(flows: &[RequestFlow], opts: &TraceExportOptions) -> 
         .iter()
         .filter(|f| f.response_time_ms().unwrap_or(0.0) >= opts.min_rt_ms as f64)
         .collect();
+    // Slowest first; ties broken by request ID so the `max_flows` cut is
+    // deterministic when flows share a response time.
     selected.sort_by(|a, b| {
         b.response_time_ms()
             .unwrap_or(0.0)
             .total_cmp(&a.response_time_ms().unwrap_or(0.0))
+            .then_with(|| a.request_id.cmp(&b.request_id))
     });
     if opts.max_flows > 0 {
         selected.truncate(opts.max_flows);

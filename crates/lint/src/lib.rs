@@ -1,6 +1,6 @@
 //! # mscope-lint — static analysis for the milliScope workspace
 //!
-//! Three analysis fronts, all zero-dependency and fully offline:
+//! Four analysis fronts, all zero-dependency and fully offline:
 //!
 //! 1. **Domain checker** ([`domain`]) — validates the *real* parsing
 //!    declarations the standard monitor suite produces (via
@@ -25,6 +25,14 @@
 //!    no lossy narrowing, and that monitors share one clock domain and
 //!    sample finely enough for the scenario's phenomena (rules
 //!    `TR001`–`TR008`).
+//! 4. **Determinism front** ([`det`]) — statically proves the
+//!    byte-identity parallel discipline the runtime property suites gate
+//!    dynamically: no hash-ordered iteration reaching output paths, no
+//!    float reductions in worker closures without a documented merge
+//!    order, no threads or interior mutability outside the sanctioned
+//!    `WorkQueue` pools, per-cell RNG stream hygiene, tie-broken
+//!    timestamp sorts, no `unsafe`, and no worker-count reads outside
+//!    the plan selectors (rules `DT001`–`DT008`).
 //!
 //! Findings carry a stable rule ID, a severity, and a `file:line` anchor.
 //! Grandfathered sites are suppressed through per-crate `lint.allow` files
@@ -35,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod allow;
+pub mod det;
 pub mod domain;
 pub mod model;
 pub mod source;
@@ -43,6 +52,13 @@ pub mod trace;
 use std::fmt;
 use std::io;
 use std::path::Path;
+
+/// Every front the `mscope-lint` binary accepts, in documentation order;
+/// `all` runs the preceding fronts together. CI must invoke each front
+/// explicitly — `tests/ci_matrix.rs` fails when the workflow's lint
+/// invocations drift from this list, so a new front cannot be silently
+/// left out of enforcement.
+pub const FRONTS: &[&str] = &["declarations", "source", "trace", "det", "all"];
 
 /// How severe a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,7 +201,20 @@ pub fn run_trace(root: &Path, scenario: Option<&str>) -> io::Result<Report> {
     Ok(Report { findings })
 }
 
-/// Runs all three fronts. This is the only mode that also reports stale
+/// Runs the determinism front (`DT001`–`DT008`) over the workspace at
+/// `root`, applying its allowlists.
+///
+/// # Errors
+///
+/// I/O errors reading source files or allowlists.
+pub fn run_det(root: &Path) -> io::Result<Report> {
+    let (mut allow, mut bad_entries) = allow::load(root)?;
+    let mut findings = allow.filter(det::scan(root)?);
+    findings.append(&mut bad_entries);
+    Ok(Report { findings })
+}
+
+/// Runs all four fronts. This is the only mode that also reports stale
 /// allowlist entries (`stale-allow`) — a single front cannot tell whether
 /// an entry for another front still fires.
 ///
@@ -210,6 +239,7 @@ pub fn run_all_with(root: &Path, strict: bool) -> io::Result<Report> {
     findings.extend(domain::sql_findings(&literals));
     findings.extend(source::scan(root)?);
     findings.extend(trace::trace_findings());
+    findings.extend(det::scan(root)?);
     let mut findings = allow.filter(findings);
     findings.append(&mut bad_entries);
     let stale_severity = if strict {

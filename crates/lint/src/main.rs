@@ -1,13 +1,17 @@
 //! The `mscope-lint` binary.
 //!
 //! ```text
-//! mscope-lint <declarations|source|trace|all> [--json] [--root <path>]
-//!             [--scenario <name>] [--strict]
+//! mscope-lint <declarations|source|trace|det|all> [--format <text|json>]
+//!             [--root <path>] [--scenario <name>] [--strict]
 //! ```
 //!
 //! `trace` runs the whole-pipeline flow analysis over every shipped
-//! scenario preset (or one, with `--scenario`); `--strict` makes `all`
-//! treat stale allowlist entries as deny findings.
+//! scenario preset (or one, with `--scenario`); `det` checks the
+//! byte-identity parallel discipline (rules `DT001`–`DT008`); `--strict`
+//! makes `all` treat stale allowlist entries as deny findings.
+//! `--format json` (alias: `--json`) emits the machine-readable report —
+//! each finding carries rule id, file, line, and severity — for CI
+//! annotations and downstream tooling.
 //!
 //! Exit status: 0 when no deny-level finding survives the allowlists,
 //! 1 when at least one does, 2 on usage or I/O errors.
@@ -16,7 +20,7 @@ use mscope_lint::Report;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: mscope-lint <declarations|source|trace|all> [--json] [--root <path>] [--scenario <name>] [--strict]";
+const USAGE: &str = "usage: mscope-lint <declarations|source|trace|det|all> [--format <text|json>] [--root <path>] [--scenario <name>] [--strict]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +33,14 @@ fn main() -> ExitCode {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                Some(other) => {
+                    return usage_error(&format!("unknown format `{other}` (want text or json)"))
+                }
+                None => return usage_error("--format needs `text` or `json`"),
+            },
             "--strict" => strict = true,
             "--root" => match it.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
@@ -67,6 +79,7 @@ fn main() -> ExitCode {
         "declarations" => mscope_lint::run_declarations(&root),
         "source" => mscope_lint::run_source(&root),
         "trace" => mscope_lint::run_trace(&root, scenario.as_deref()),
+        "det" => mscope_lint::run_det(&root),
         "all" => mscope_lint::run_all_with(&root, strict),
         other => return usage_error(&format!("unknown command `{other}`")),
     };

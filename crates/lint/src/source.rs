@@ -75,16 +75,16 @@ pub struct SqlLiteral {
 /// One collected string literal: byte offset of the opening quote plus the
 /// (lightly unescaped) contents.
 #[derive(Debug)]
-struct StrLit {
-    offset: usize,
-    content: String,
+pub(crate) struct StrLit {
+    pub(crate) offset: usize,
+    pub(crate) content: String,
 }
 
 /// Replaces comments, string literals, and char literals with spaces
 /// (newlines kept, byte length preserved) and collects the string
 /// literals. Works on bytes; multi-byte UTF-8 only ever appears *inside*
 /// the regions being blanked, where it is replaced byte-for-byte.
-fn scrub(src: &str) -> (String, Vec<StrLit>) {
+pub(crate) fn scrub(src: &str) -> (String, Vec<StrLit>) {
     let b = src.as_bytes();
     let mut out = vec![0u8; b.len()];
     out.copy_from_slice(b);
@@ -283,7 +283,7 @@ fn in_ranges(ranges: &[Range<usize>], offset: usize) -> bool {
 }
 
 /// Blanks the test ranges out of scrubbed source (newlines kept).
-fn mask_tests(scrubbed: &str) -> (String, Vec<Range<usize>>) {
+pub(crate) fn mask_tests(scrubbed: &str) -> (String, Vec<Range<usize>>) {
     let ranges = test_ranges(scrubbed);
     let mut out = scrubbed.as_bytes().to_vec();
     for r in &ranges {
@@ -296,12 +296,104 @@ fn mask_tests(scrubbed: &str) -> (String, Vec<Range<usize>>) {
     (String::from_utf8_lossy(&out).into_owned(), ranges)
 }
 
-fn line_of(src: &str, offset: usize) -> u64 {
+pub(crate) fn line_of(src: &str, offset: usize) -> u64 {
     src.as_bytes()[..offset.min(src.len())]
         .iter()
         .filter(|&&c| c == b'\n')
         .count() as u64
         + 1
+}
+
+// ---------------------------------------------------------------------
+// Source model: item spans
+// ---------------------------------------------------------------------
+
+/// End-exclusive offset of the `}` matching the `{` at `open` in scrubbed
+/// text (falls back to the end of the text when unbalanced).
+pub(crate) fn brace_span_end(scrubbed: &str, open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, c) in scrubbed[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return open + k + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    scrubbed.len()
+}
+
+/// End-exclusive offset of the `)` matching the `(` at `open` in scrubbed
+/// text (falls back to the end of the text when unbalanced).
+pub(crate) fn paren_span_end(scrubbed: &str, open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, c) in scrubbed[open..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return open + k + 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    scrubbed.len()
+}
+
+/// Byte spans of `fn` items in scrubbed (and usually test-masked) source,
+/// from the `fn` keyword through the matching close brace of the body —
+/// signatures included, so parameter bindings fall inside their span.
+/// Trait-method declarations without a body (`fn f(…);`) are skipped.
+/// Spans of nested items overlap their parents; callers wanting the
+/// *enclosing* function of an offset should take the smallest span
+/// containing it.
+pub(crate) fn fn_spans(scrubbed: &str) -> Vec<Range<usize>> {
+    let bytes = scrubbed.as_bytes();
+    let mut spans = Vec::new();
+    let mut from = 0;
+    while let Some(p) = scrubbed[from..].find("fn ") {
+        let at = from + p;
+        from = at + 3;
+        // `fn` must be its own word (`pub fn`, not `type DynFn `).
+        if at > 0 && (bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_') {
+            continue;
+        }
+        // Walk to the body `{`, skipping `;` nested in brackets or parens
+        // (array return types, default const generics). Angle brackets are
+        // not tracked — `->` would unbalance them, and generics contain
+        // neither `;` nor `{`.
+        let mut depth = 0i64;
+        let mut k = at + 3;
+        while k < bytes.len() {
+            match bytes[k] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth <= 0 => {
+                    spans.push(at..brace_span_end(scrubbed, k));
+                    break;
+                }
+                b';' if depth <= 0 => break, // bodyless declaration
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    spans
+}
+
+/// The smallest (innermost) function span containing `offset`, if any.
+pub(crate) fn enclosing_fn(spans: &[Range<usize>], offset: usize) -> Option<Range<usize>> {
+    spans
+        .iter()
+        .filter(|s| s.contains(&offset))
+        .min_by_key(|s| s.end - s.start)
+        .cloned()
 }
 
 // ---------------------------------------------------------------------
@@ -412,7 +504,7 @@ pub fn lint_manifest(rel: &str, text: &str) -> Vec<Finding> {
 // Workspace walking
 // ---------------------------------------------------------------------
 
-fn rust_files_under(dir: &Path) -> io::Result<Vec<PathBuf>> {
+pub(crate) fn rust_files_under(dir: &Path) -> io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
     if !dir.is_dir() {
         return Ok(out);
@@ -435,7 +527,7 @@ fn rust_files_under(dir: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-fn crate_dirs(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+pub(crate) fn crate_dirs(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
     let mut out = Vec::new();
     let crates = root.join("crates");
     if crates.is_dir() {
@@ -455,7 +547,7 @@ fn crate_dirs(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
     Ok(out)
 }
 
-fn rel_path(root: &Path, path: &Path) -> String {
+pub(crate) fn rel_path(root: &Path, path: &Path) -> String {
     path.strip_prefix(root)
         .unwrap_or(path)
         .to_string_lossy()

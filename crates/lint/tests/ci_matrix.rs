@@ -1,12 +1,23 @@
-//! Guards the CI scenario matrix against drift.
+//! Guards the CI lint configuration against drift.
 //!
 //! `.github/workflows/ci.yml` runs one `trace-scenarios` leg per shipped
 //! scenario preset so a trace regression names the exact scenario it
-//! breaks. That list is data in a YAML file, invisible to the compiler —
-//! this test re-parses it and fails the workspace whenever it no longer
-//! matches [`SystemConfig::presets`] exactly, in either direction.
+//! breaks, and one `mscope-lint` step per analysis front so a new front
+//! can never be silently left out of enforcement. Both lists are data in
+//! a YAML file, invisible to the compiler — these tests re-parse the
+//! workflow and fail the workspace whenever it no longer matches
+//! [`SystemConfig::presets`] or [`mscope_lint::FRONTS`] exactly, in
+//! either direction.
 
 use mscope_ntier::SystemConfig;
+
+fn ci_yml() -> String {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../.github/workflows/ci.yml"
+    );
+    std::fs::read_to_string(path).expect("ci.yml exists at the workspace root")
+}
 
 /// Extracts the `scenario:` matrix entries from the workflow file with a
 /// purpose-built scan (no YAML dependency): the list is the block of
@@ -40,13 +51,23 @@ fn ci_matrix_scenarios(yml: &str) -> Vec<String> {
     out
 }
 
+/// The front named by each `mscope-lint -- <front> …` invocation in the
+/// workflow, deduplicated (`trace` appears once per matrix leg).
+fn ci_lint_fronts(yml: &str) -> Vec<String> {
+    let mut fronts: Vec<String> = yml
+        .lines()
+        .filter_map(|l| l.split("mscope-lint -- ").nth(1))
+        .filter_map(|rest| rest.split_whitespace().next())
+        .map(str::to_string)
+        .collect();
+    fronts.sort();
+    fronts.dedup();
+    fronts
+}
+
 #[test]
 fn trace_matrix_matches_shipped_presets() {
-    let path = concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/../../.github/workflows/ci.yml"
-    );
-    let yml = std::fs::read_to_string(path).expect("ci.yml exists at the workspace root");
+    let yml = ci_yml();
 
     let mut in_ci: Vec<String> = ci_matrix_scenarios(&yml);
     let mut shipped: Vec<String> = SystemConfig::presets()
@@ -64,6 +85,36 @@ fn trace_matrix_matches_shipped_presets() {
         "the trace-scenarios matrix in .github/workflows/ci.yml drifted from \
          SystemConfig::presets(); add/remove the matrix leg to match"
     );
+}
+
+#[test]
+fn lint_invocations_cover_every_front() {
+    let yml = ci_yml();
+    let in_ci = ci_lint_fronts(&yml);
+    let mut want: Vec<String> = mscope_lint::FRONTS.iter().map(|s| s.to_string()).collect();
+    want.sort();
+    assert_eq!(
+        in_ci, want,
+        "the lint invocations in .github/workflows/ci.yml drifted from \
+         mscope_lint::FRONTS; every front must run explicitly in CI"
+    );
+    // The union run must escalate stale allowlist entries to deny.
+    assert!(
+        yml.lines()
+            .any(|l| l.contains("mscope-lint -- all") && l.contains("--strict")),
+        "ci.yml must run `mscope-lint -- all --strict`"
+    );
+}
+
+#[test]
+fn front_extractor_reads_invocation_lines() {
+    let yml = "
+      - run: cargo run --release -p mscope-lint -- all --strict
+      - run: cargo run --release -p mscope-lint -- trace --scenario a
+      - run: cargo run --release -p mscope-lint -- trace --scenario b
+      - run: cargo run --release -p mscope-lint -- det
+";
+    assert_eq!(ci_lint_fronts(yml), vec!["all", "det", "trace"]);
 }
 
 #[test]

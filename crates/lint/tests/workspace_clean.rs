@@ -2,9 +2,10 @@
 //!
 //! This is the same gate CI runs — every deny-level rule (pattern/decl
 //! validity, schema conflicts, SQL-vs-schema, no-unwrap, no-wallclock,
-//! hermetic-deps, and the trace front's TR001–TR008 scenario proofs) must
-//! hold at HEAD modulo the checked-in `lint.allow` files, and no allowlist
-//! entry may be stale.
+//! hermetic-deps, the trace front's TR001–TR008 scenario proofs, and the
+//! determinism front's DT001–DT008 discipline checks) must hold at HEAD
+//! modulo the checked-in `lint.allow` files, and no allowlist entry may
+//! be stale.
 
 use std::path::PathBuf;
 
@@ -42,6 +43,16 @@ fn source_front_alone_is_clean() {
 fn declaration_front_alone_is_clean() {
     let report = mscope_lint::run_declarations(&workspace_root()).expect("lint run succeeds");
     assert!(report.is_clean(), "{}", report.render_text());
+}
+
+#[test]
+fn det_front_alone_is_clean() {
+    let report = mscope_lint::run_det(&workspace_root()).expect("lint run succeeds");
+    assert!(
+        report.is_clean(),
+        "determinism findings at HEAD:\n{}",
+        report.render_text()
+    );
 }
 
 #[test]

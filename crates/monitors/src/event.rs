@@ -15,7 +15,7 @@
 use crate::logstore::LogStore;
 use mscope_ntier::{BoundaryKind, LifecycleEvent, NodeId, RequestId, TierKind};
 use mscope_sim::{wallclock, SimTime};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// The four §IV-B timestamps gathered for one request at one node.
 #[derive(Debug, Clone, Copy, Default)]
@@ -70,6 +70,9 @@ fn ts_suffix(p: &PendingRecord) -> String {
 pub struct EventMonitor {
     node: NodeId,
     kind: TierKind,
+    /// Keyed lookups only (`entry`/`remove`) — emission order is driven by
+    /// the lifecycle event stream, never by this map's iteration order, so
+    /// hash ordering cannot reach the rendered logs (lint rule DT001).
     pending: HashMap<RequestId, PendingRecord>,
     lines_written: u64,
 }
@@ -191,7 +194,9 @@ pub fn render_event_logs(
         .iter()
         .map(|&(n, k)| EventMonitor::new(n, k))
         .collect();
-    let mut by_node: HashMap<NodeId, usize> = HashMap::new();
+    // BTreeMap: lookup-only today, but an ordered map keeps any future
+    // iteration over it deterministic by construction (lint rule DT001).
+    let mut by_node: BTreeMap<NodeId, usize> = BTreeMap::new();
     for (i, m) in monitors.iter().enumerate() {
         by_node.insert(m.node(), i);
     }

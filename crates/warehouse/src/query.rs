@@ -10,7 +10,7 @@ use crate::engine::{self, CompiledPredicate, KeyIndex, KeyRef};
 use crate::table::{Column, Schema, Table};
 use crate::value::{ColumnType, Value, ValueKey};
 use crate::DbError;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A filter predicate over a row.
 #[derive(Debug, Clone, PartialEq)]
@@ -260,9 +260,11 @@ impl Table {
         // Per-block partial buckets merged in block order: each bucket's
         // value vector ends up in exactly row order, so Mean/Sum addition
         // order and Last semantics are identical for any worker count.
+        // BTreeMap (not HashMap) so bucket iteration order is the key
+        // order by construction — hash order must never reach output.
         let partials = engine::scan_blocks(nblocks, engine::resolve_workers(0, n), |b| {
             let (s, e) = (b * block_rows, ((b + 1) * block_rows).min(n));
-            let mut local: HashMap<i64, Vec<f64>> = HashMap::new();
+            let mut local: BTreeMap<i64, Vec<f64>> = BTreeMap::new();
             for i in s..e {
                 let (Some(t), Some(v)) = (tcol[i].as_i64(), vcol[i].as_f64()) else {
                     continue;
@@ -274,18 +276,17 @@ impl Table {
             }
             local
         });
-        let mut buckets: HashMap<i64, Vec<f64>> = HashMap::new();
+        let mut buckets: BTreeMap<i64, Vec<f64>> = BTreeMap::new();
         for p in partials {
             for (k, mut vs) in p {
                 buckets.entry(k).or_default().append(&mut vs);
             }
         }
-        let mut out: Vec<(i64, f64)> = buckets
+        // BTreeMap iteration is already bucket-key order — no final sort.
+        Ok(buckets
             .into_iter()
             .filter_map(|(k, vs)| fold(agg, &vs).map(|v| (k, v)))
-            .collect();
-        out.sort_by_key(|&(k, _)| k);
-        Ok(out)
+            .collect())
     }
 
     /// Fused filter + fixed-window aggregation: equivalent to
@@ -319,7 +320,8 @@ impl Table {
             .ok_or_else(|| DbError::NoSuchColumn(value_col.into()))?;
         let (tcol, vcol) = (self.col(tci), self.col(vci));
         let rows = CompiledPredicate::compile(self, pred).matching_rows_with(0);
-        let mut buckets: HashMap<i64, Vec<f64>> = HashMap::new();
+        // BTreeMap so bucket emission is key-ordered by construction.
+        let mut buckets: BTreeMap<i64, Vec<f64>> = BTreeMap::new();
         for &i in &rows {
             let (Some(t), Some(v)) = (tcol[i].as_i64(), vcol[i].as_f64()) else {
                 continue;
@@ -329,11 +331,10 @@ impl Table {
                 .or_default()
                 .push(v);
         }
-        let mut out: Vec<(i64, f64)> = buckets
+        let out: Vec<(i64, f64)> = buckets
             .into_iter()
             .filter_map(|(k, vs)| fold(agg, &vs).map(|v| (k, v)))
             .collect();
-        out.sort_by_key(|&(k, _)| k);
         Ok((rows.len(), out))
     }
 
