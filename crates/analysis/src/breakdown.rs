@@ -3,7 +3,7 @@
 //! half of the paper's abstract.
 
 use crate::flow::RequestFlow;
-use mscope_db::{Table, Value};
+use mscope_db::Table;
 use mscope_sim::{percentile, Summary};
 use std::collections::BTreeMap;
 
@@ -37,24 +37,29 @@ mscope_serdes::json_struct!(InteractionStats {
 /// Returns an error string if the table lacks `interaction`/`ua`/`ud`
 /// columns.
 pub fn interaction_breakdown(table: &Table) -> Result<Vec<InteractionStats>, String> {
-    for col in ["interaction", "ua", "ud"] {
-        if table.schema().index_of(col).is_none() {
-            return Err(format!("table `{}` has no `{col}` column", table.name()));
-        }
-    }
+    // Column slices resolve once; the row loop below only indexes. Going
+    // through per-row `cell()` would re-resolve each column name per row.
+    let col = |name: &str| {
+        table
+            .column(name)
+            .ok_or_else(|| format!("table `{}` has no `{name}` column", table.name()))
+    };
+    let names = col("interaction")?;
+    let uas = col("ua")?;
+    let uds = col("ud")?;
     let mut groups: BTreeMap<String, Vec<f64>> = BTreeMap::new();
-    for i in 0..table.row_count() {
-        let (Some(name), Some(ua), Some(ud)) = (
-            table.cell(i, "interaction").and_then(Value::as_str),
-            table.cell(i, "ua").and_then(Value::as_i64),
-            table.cell(i, "ud").and_then(Value::as_i64),
-        ) else {
+    for ((name, ua), ud) in names.iter().zip(uas).zip(uds) {
+        let (Some(name), Some(ua), Some(ud)) = (name.as_str(), ua.as_i64(), ud.as_i64()) else {
             continue;
         };
-        groups
-            .entry(name.to_string())
-            .or_default()
-            .push((ud - ua) as f64 / 1000.0);
+        let rt = (ud - ua) as f64 / 1000.0;
+        match groups.get_mut(name) {
+            Some(rts) => rts.push(rt),
+            // perf: one owned key per *distinct* interaction, not per row.
+            None => {
+                groups.insert(name.to_string(), Vec::from([rt]));
+            }
+        }
     }
     let mut out: Vec<InteractionStats> = groups
         .into_iter()
@@ -96,7 +101,7 @@ pub fn tier_contribution(flows: &[RequestFlow], tiers: usize) -> Vec<f64> {
 mod tests {
     use super::*;
     use crate::flow::FlowHop;
-    use mscope_db::{Column, ColumnType, Schema};
+    use mscope_db::{Column, ColumnType, Schema, Value};
 
     fn table_with(rows: &[(&str, i64, i64)]) -> Table {
         let schema = Schema::new(vec![
@@ -227,7 +232,7 @@ pub fn error_rate(table: &Table) -> Option<f64> {
 #[cfg(test)]
 mod error_rate_tests {
     use super::*;
-    use mscope_db::{Column, ColumnType, Schema};
+    use mscope_db::{Column, ColumnType, Schema, Value};
 
     #[test]
     fn error_rate_counts_4xx_5xx() {

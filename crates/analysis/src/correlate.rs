@@ -67,7 +67,7 @@ fn is_time_sorted(points: &[(i64, f64)]) -> bool {
 /// timestamps in `b` resolve to the last occurrence either way.
 pub fn align(a: &WindowSeries, b: &WindowSeries) -> Vec<(f64, f64)> {
     if is_time_sorted(&a.points) && is_time_sorted(&b.points) {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(a.points.len().min(b.points.len()));
         let mut j = 0usize;
         for &(t, va) in &a.points {
             while j < b.points.len() && b.points[j].0 < t {

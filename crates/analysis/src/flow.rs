@@ -284,6 +284,8 @@ pub fn reconstruct_flows(tables: &[&Table]) -> Result<Vec<RequestFlow>, FlowErro
     let mut deep: Vec<(KeyIndex<'_>, HopReader<'_>)> = Vec::with_capacity(tables.len() - 1);
     for t in &tables[1..] {
         let ids = t.column("request_id").ok_or_else(|| missing_id(t))?;
+        // perf: one KeyIndex per deeper-tier *table*, built once per
+        // reconstruction and probed per request — already fully hoisted.
         deep.push((KeyIndex::build(ids), HopReader::new(t)));
     }
     let front = tables[0];
@@ -303,12 +305,11 @@ pub fn reconstruct_flows(tables: &[&Table]) -> Result<Vec<RequestFlow>, FlowErro
         }
         let interaction = interactions
             .and_then(|col| col.get(row))
-            .and_then(Value::as_str)
-            .unwrap_or("?")
-            .to_string();
+            .and_then(Value::as_str);
+        // perf: flows own their strings — two allocations per emitted flow.
         flows.push(RequestFlow {
             request_id: id.to_string(),
-            interaction,
+            interaction: interaction.unwrap_or("?").to_string(),
             hops,
         });
     }
@@ -681,14 +682,19 @@ impl RequestFlow {
                 .round()
                 .clamp(0.0, (width - 1) as f64) as usize
         };
-        let mut out = format!(
-            "request {} ({}, {:.1} ms)\n",
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity((width + 16) * (self.hops.len() + 2));
+        let _ = writeln!(
+            out,
+            "request {} ({}, {:.1} ms)",
             self.request_id,
             self.interaction,
             self.response_time_ms().unwrap_or(0.0)
         );
+        // The lane buffer is reused across hops; each iteration re-blanks it.
+        let mut lane = vec![' '; width];
         for hop in &self.hops {
-            let mut lane = vec![' '; width];
+            lane.fill(' ');
             let (a, d) = (col(hop.ua), col(hop.ud));
             // Local processing by default…
             for c in lane.iter_mut().take(d + 1).skip(a) {
@@ -705,16 +711,18 @@ impl RequestFlow {
             }
             lane[a] = 'A';
             lane[d.min(width - 1)] = 'D';
-            out.push_str(&format!(
-                "{:>10} |{}|\n",
+            let _ = writeln!(
+                out,
+                "{:>10} |{}|",
                 hop.node,
                 lane.iter().collect::<String>()
-            ));
+            );
         }
-        out.push_str(&format!(
-            "{:>10}  A=arrival D=departure >=downstream-send <=downstream-recv\n",
+        let _ = writeln!(
+            out,
+            "{:>10}  A=arrival D=departure >=downstream-send <=downstream-recv",
             ""
-        ));
+        );
         out
     }
 }

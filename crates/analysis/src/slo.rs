@@ -88,7 +88,7 @@ impl Slo {
         );
         let mut total = 0u64;
         let mut violating = 0u64;
-        let mut violation_windows = Vec::new();
+        let mut violation_windows = Vec::with_capacity(pit.points.len());
         for p in &pit.points {
             total += p.count;
             if p.max_ms <= self.threshold_ms {

@@ -45,8 +45,8 @@
 //!   anywhere a record is built.
 
 use crate::source::{
-    brace_span_end, crate_dirs, enclosing_fn, fn_spans, line_of, mask_tests, paren_span_end,
-    rel_path, rust_files_under, scrub,
+    brace_span_end, comment_evidence, crate_dirs, enclosing_fn, find_word, fn_spans, is_ident,
+    line_of, mask_tests, paren_span_end, rel_path, rust_files_under, scrub, word_start,
 };
 use crate::{Finding, Severity};
 use std::fs;
@@ -133,54 +133,8 @@ const KEYED_SORTS: &[&str] = &[
 const TIME_TOKENS: &[&str] = &["time", "client_send"];
 
 // ---------------------------------------------------------------------
-// Text helpers
+// Text helpers (shared with the perf front via `source`)
 // ---------------------------------------------------------------------
-
-fn is_ident(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-fn word_start(text: &str, at: usize) -> bool {
-    at == 0 || !is_ident(text.as_bytes()[at - 1])
-}
-
-fn word_end(text: &str, end: usize) -> bool {
-    end >= text.len() || !is_ident(text.as_bytes()[end])
-}
-
-/// Offsets of word-bounded occurrences of `needle` in `text`.
-fn find_word(text: &str, needle: &str) -> Vec<usize> {
-    let mut out = Vec::new();
-    let mut from = 0;
-    while let Some(p) = text[from..].find(needle) {
-        let at = from + p;
-        if word_start(text, at) && word_end(text, at + needle.len()) {
-            out.push(at);
-        }
-        from = at + needle.len();
-    }
-    out
-}
-
-/// `true` when a `//` comment containing any of `tokens` appears on the
-/// hit's line or within `window` raw source lines above it. This is how a
-/// rule accepts *documented* discipline: the comment is the evidence.
-/// Tokens are prefix-matched at word starts, so `determin` accepts both
-/// `deterministic` and `determinism` while `stable` rejects `unstable`.
-fn comment_evidence(text: &str, at: usize, window: usize, tokens: &[&str]) -> bool {
-    let line = line_of(text, at) as usize; // 1-based
-    let lo = line.saturating_sub(window + 1);
-    text.lines().skip(lo).take(line - lo).any(|l| {
-        l.find("//").is_some_and(|c| {
-            let comment = &l[c..];
-            tokens.iter().any(|t| {
-                comment
-                    .match_indices(t)
-                    .any(|(p, _)| word_start(comment, p))
-            })
-        })
-    })
-}
 
 struct FileCtx<'a> {
     rel: &'a str,

@@ -33,6 +33,14 @@
 //!    `WorkQueue` pools, per-cell RNG stream hygiene, tie-broken
 //!    timestamp sorts, no `unsafe`, and no worker-count reads outside
 //!    the plan selectors (rules `DT001`–`DT008`).
+//! 5. **Performance front** ([`perf`]) — statically proves the hot paths
+//!    stay hot before the BENCH gates ever run: no allocation or
+//!    re-sorting inside hot-path loops without a `// perf:`
+//!    justification, no collect-then-reiterate churn, pre-sized growth in
+//!    bounded loops, no row-wise `Table` access or nested-loop joins
+//!    bypassing the compiled zone-map engine, no `*_naive` oracle calls
+//!    on production paths, and no per-row predicate compilation (rules
+//!    `PF001`–`PF008`).
 //!
 //! Findings carry a stable rule ID, a severity, and a `file:line` anchor.
 //! Grandfathered sites are suppressed through per-crate `lint.allow` files
@@ -46,6 +54,7 @@ pub mod allow;
 pub mod det;
 pub mod domain;
 pub mod model;
+pub mod perf;
 pub mod source;
 pub mod trace;
 
@@ -58,7 +67,7 @@ use std::path::Path;
 /// explicitly — `tests/ci_matrix.rs` fails when the workflow's lint
 /// invocations drift from this list, so a new front cannot be silently
 /// left out of enforcement.
-pub const FRONTS: &[&str] = &["declarations", "source", "trace", "det", "all"];
+pub const FRONTS: &[&str] = &["declarations", "source", "trace", "det", "perf", "all"];
 
 /// How severe a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -214,7 +223,20 @@ pub fn run_det(root: &Path) -> io::Result<Report> {
     Ok(Report { findings })
 }
 
-/// Runs all four fronts. This is the only mode that also reports stale
+/// Runs the performance front (`PF001`–`PF008`) over the workspace at
+/// `root`, applying its allowlists.
+///
+/// # Errors
+///
+/// I/O errors reading source files or allowlists.
+pub fn run_perf(root: &Path) -> io::Result<Report> {
+    let (mut allow, mut bad_entries) = allow::load(root)?;
+    let mut findings = allow.filter(perf::scan(root)?);
+    findings.append(&mut bad_entries);
+    Ok(Report { findings })
+}
+
+/// Runs all five fronts. This is the only mode that also reports stale
 /// allowlist entries (`stale-allow`) — a single front cannot tell whether
 /// an entry for another front still fires.
 ///
@@ -240,6 +262,7 @@ pub fn run_all_with(root: &Path, strict: bool) -> io::Result<Report> {
     findings.extend(source::scan(root)?);
     findings.extend(trace::trace_findings());
     findings.extend(det::scan(root)?);
+    findings.extend(perf::scan(root)?);
     let mut findings = allow.filter(findings);
     findings.append(&mut bad_entries);
     let stale_severity = if strict {

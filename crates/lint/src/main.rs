@@ -1,14 +1,15 @@
 //! The `mscope-lint` binary.
 //!
 //! ```text
-//! mscope-lint <declarations|source|trace|det|all> [--format <text|json>]
+//! mscope-lint <declarations|source|trace|det|perf|all> [--format <text|json>]
 //!             [--root <path>] [--scenario <name>] [--strict]
 //! ```
 //!
 //! `trace` runs the whole-pipeline flow analysis over every shipped
 //! scenario preset (or one, with `--scenario`); `det` checks the
-//! byte-identity parallel discipline (rules `DT001`–`DT008`); `--strict`
-//! makes `all` treat stale allowlist entries as deny findings.
+//! byte-identity parallel discipline (rules `DT001`–`DT008`); `perf`
+//! checks the hot-path performance discipline (rules `PF001`–`PF008`);
+//! `--strict` makes `all` treat stale allowlist entries as deny findings.
 //! `--format json` (alias: `--json`) emits the machine-readable report —
 //! each finding carries rule id, file, line, and severity — for CI
 //! annotations and downstream tooling.
@@ -20,7 +21,7 @@ use mscope_lint::Report;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: mscope-lint <declarations|source|trace|det|all> [--format <text|json>] [--root <path>] [--scenario <name>] [--strict]";
+const USAGE: &str = "usage: mscope-lint <declarations|source|trace|det|perf|all> [--format <text|json>] [--root <path>] [--scenario <name>] [--strict]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -80,6 +81,7 @@ fn main() -> ExitCode {
         "source" => mscope_lint::run_source(&root),
         "trace" => mscope_lint::run_trace(&root, scenario.as_deref()),
         "det" => mscope_lint::run_det(&root),
+        "perf" => mscope_lint::run_perf(&root),
         "all" => mscope_lint::run_all_with(&root, strict),
         other => return usage_error(&format!("unknown command `{other}`")),
     };

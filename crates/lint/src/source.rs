@@ -397,6 +397,153 @@ pub(crate) fn enclosing_fn(spans: &[Range<usize>], offset: usize) -> Option<Rang
 }
 
 // ---------------------------------------------------------------------
+// Source model: shared token helpers
+// ---------------------------------------------------------------------
+
+pub(crate) fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+pub(crate) fn word_start(text: &str, at: usize) -> bool {
+    at == 0 || !is_ident(text.as_bytes()[at - 1])
+}
+
+pub(crate) fn word_end(text: &str, end: usize) -> bool {
+    end >= text.len() || !is_ident(text.as_bytes()[end])
+}
+
+/// Offsets of word-bounded occurrences of `needle` in `text`.
+pub(crate) fn find_word(text: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = text[from..].find(needle) {
+        let at = from + p;
+        if word_start(text, at) && word_end(text, at + needle.len()) {
+            out.push(at);
+        }
+        from = at + needle.len();
+    }
+    out
+}
+
+/// `true` when a `//` comment containing any of `tokens` appears on the
+/// hit's line or within `window` raw source lines above it. This is how a
+/// rule accepts *documented* discipline: the comment is the evidence.
+/// Tokens are prefix-matched at word starts, so `determin` accepts both
+/// `deterministic` and `determinism` while `stable` rejects `unstable`.
+pub(crate) fn comment_evidence(text: &str, at: usize, window: usize, tokens: &[&str]) -> bool {
+    let line = line_of(text, at) as usize; // 1-based
+    let lo = line.saturating_sub(window + 1);
+    text.lines().skip(lo).take(line - lo).any(|l| {
+        l.find("//").is_some_and(|c| {
+            let comment = &l[c..];
+            tokens.iter().any(|t| {
+                comment
+                    .match_indices(t)
+                    .any(|(p, _)| word_start(comment, p))
+            })
+        })
+    })
+}
+
+// ---------------------------------------------------------------------
+// Source model: loop spans
+// ---------------------------------------------------------------------
+
+/// One `for`/`while`/`loop` in scrubbed (and usually test-masked) source:
+/// the keyword offset, the header extent (keyword through the body's
+/// opening `{`, exclusive), the body extent (open brace through its match,
+/// exclusive), and the nesting depth (0 = not inside another loop body).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct LoopSpan {
+    /// Offset of the loop keyword.
+    pub(crate) kw: usize,
+    /// `for`/`while` header: everything between the keyword and the body.
+    pub(crate) header: Range<usize>,
+    /// Body extent, from the opening `{` to past its matching `}`.
+    pub(crate) body: Range<usize>,
+    /// How many other loop bodies contain this loop (0 = outermost).
+    pub(crate) depth: usize,
+}
+
+/// Walks scrubbed source for `for`/`while`/`loop` constructs so rules can
+/// reason about "inside a loop on a hot path". `impl Trait for Type`
+/// (preceded by an identifier or `>`) and HRTB `for<'a>` are not loops
+/// and are skipped; the body `{` is found at bracket/paren depth 0, so
+/// closure blocks inside a header don't end it early.
+pub(crate) fn loop_spans(masked: &str) -> Vec<LoopSpan> {
+    let bytes = masked.as_bytes();
+    let mut spans: Vec<LoopSpan> = Vec::new();
+    for kw in ["for", "while", "loop"] {
+        for at in find_word(masked, kw) {
+            let after = at + kw.len();
+            // `impl Display for Type` / `&dyn for<'a> Fn(…)`: the word
+            // before a real loop keyword is never an identifier or `>`.
+            let prev = masked[..at].trim_end().as_bytes().last();
+            if kw == "for" && prev.is_some_and(|&b| is_ident(b) || b == b'>') {
+                continue;
+            }
+            let next = masked[after..].trim_start().as_bytes().first();
+            if kw == "for" && next == Some(&b'<') {
+                continue; // higher-ranked trait bound, not a loop
+            }
+            if kw == "loop" && next != Some(&b'{') {
+                continue; // e.g. a method or field named `loop_…` is
+                          // already word-bounded out; this skips `loop`
+                          // used as a macro ident fragment
+            }
+            // Scan to the body `{` at bracket depth 0; `;` or `}` first
+            // means this isn't a loop after all.
+            let mut depth = 0i64;
+            let mut k = after;
+            let mut open = None;
+            while k < bytes.len() {
+                match bytes[k] {
+                    b'(' | b'[' => depth += 1,
+                    b')' | b']' => depth -= 1,
+                    b'{' if depth <= 0 => {
+                        open = Some(k);
+                        break;
+                    }
+                    b';' | b'}' if depth <= 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            let Some(open) = open else { continue };
+            spans.push(LoopSpan {
+                kw: at,
+                header: at..open,
+                body: open..brace_span_end(masked, open),
+                depth: 0,
+            });
+        }
+    }
+    spans.sort_by_key(|s| s.kw);
+    let depths: Vec<usize> = spans
+        .iter()
+        .map(|s| {
+            spans
+                .iter()
+                .filter(|o| o.kw != s.kw && o.body.contains(&s.kw))
+                .count()
+        })
+        .collect();
+    for (s, d) in spans.iter_mut().zip(depths) {
+        s.depth = d;
+    }
+    spans
+}
+
+/// The innermost loop whose *body* contains `offset`, if any.
+pub(crate) fn enclosing_loop(spans: &[LoopSpan], offset: usize) -> Option<&LoopSpan> {
+    spans
+        .iter()
+        .filter(|s| s.body.contains(&offset))
+        .min_by_key(|s| s.body.end - s.body.start)
+}
+
+// ---------------------------------------------------------------------
 // Rules over one file
 // ---------------------------------------------------------------------
 
@@ -669,6 +816,49 @@ mod tests {
         let (masked, ranges) = mask_tests(&scrubbed);
         assert_eq!(masked.matches(".unwrap()").count(), 1, "{masked}");
         assert_eq!(ranges.len(), 1);
+    }
+
+    #[test]
+    fn loop_spans_cover_for_while_loop_with_depth() {
+        let src = "fn f(rows: &[u64]) {\n\
+                   for r in rows {\n\
+                       let mut i = 0;\n\
+                       while i < *r {\n\
+                           loop { break; }\n\
+                           i += 1;\n\
+                       }\n\
+                   }\n}\n";
+        let spans = loop_spans(src);
+        assert_eq!(spans.len(), 3, "{spans:?}");
+        assert_eq!(spans[0].depth, 0);
+        assert!(src[spans[0].header.clone()].contains("for r in rows"));
+        assert_eq!(spans[1].depth, 1);
+        assert!(src[spans[1].header.clone()].contains("while i"));
+        assert_eq!(spans[2].depth, 2);
+        // The innermost loop of an offset inside all three bodies.
+        let brk = src.find("break").unwrap();
+        let inner = enclosing_loop(&spans, brk).unwrap();
+        assert_eq!(inner.depth, 2);
+    }
+
+    #[test]
+    fn loop_spans_skip_impl_for_and_hrtb() {
+        let src = "impl Display for Thing { fn fmt(&self) {} }\n\
+                   fn g(f: &dyn for<'a> Fn(&'a str)) { f(\"x\"); }\n\
+                   struct Loopy { loop_count: u64 }\n";
+        let (scrubbed, _) = scrub(src);
+        assert_eq!(loop_spans(&scrubbed), vec![]);
+    }
+
+    #[test]
+    fn loop_spans_find_body_past_closure_parens() {
+        let src = "fn f(v: Vec<u64>) {\n\
+                   for x in v.iter().filter(|y| **y > 1) {\n\
+                       use_it(x);\n\
+                   }\n}\n";
+        let spans = loop_spans(src);
+        assert_eq!(spans.len(), 1);
+        assert!(src[spans[0].body.clone()].contains("use_it"));
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! a YAML file, invisible to the compiler — these tests re-parse the
 //! workflow and fail the workspace whenever it no longer matches
 //! [`SystemConfig::presets`] or [`mscope_lint::FRONTS`] exactly, in
-//! either direction.
+//! either direction. The bench-smoke job's bench-delta guard is held to
+//! the same standard: every committed smoke baseline must be compared.
 
 use mscope_ntier::SystemConfig;
 
@@ -103,6 +104,35 @@ fn lint_invocations_cover_every_front() {
         yml.lines()
             .any(|l| l.contains("mscope-lint -- all") && l.contains("--strict")),
         "ci.yml must run `mscope-lint -- all --strict`"
+    );
+}
+
+#[test]
+fn bench_delta_guard_covers_every_smoke_baseline() {
+    // The bench-smoke job must compare every committed smoke baseline
+    // against the freshly written summary via the bench_delta guard, so a
+    // new baseline file cannot land without CI enforcing it.
+    let yml = ci_yml();
+    assert!(
+        yml.contains("--bin bench_delta"),
+        "ci.yml must run the bench_delta guard in the bench-smoke job"
+    );
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../crates/bench/baselines");
+    let mut baselines = 0usize;
+    for entry in std::fs::read_dir(dir).expect("committed baselines directory exists") {
+        let name = entry.unwrap().file_name().into_string().unwrap();
+        if !name.ends_with(".smoke.json") {
+            continue;
+        }
+        baselines += 1;
+        assert!(
+            yml.contains(&format!("crates/bench/baselines/{name}")),
+            "ci.yml bench-delta guard does not compare against baseline `{name}`"
+        );
+    }
+    assert!(
+        baselines >= 3,
+        "expected smoke baselines for the query, transform, and sim benches"
     );
 }
 

@@ -2,10 +2,10 @@
 //!
 //! This is the same gate CI runs — every deny-level rule (pattern/decl
 //! validity, schema conflicts, SQL-vs-schema, no-unwrap, no-wallclock,
-//! hermetic-deps, the trace front's TR001–TR008 scenario proofs, and the
-//! determinism front's DT001–DT008 discipline checks) must hold at HEAD
-//! modulo the checked-in `lint.allow` files, and no allowlist entry may
-//! be stale.
+//! hermetic-deps, the trace front's TR001–TR008 scenario proofs, the
+//! determinism front's DT001–DT008 discipline checks, and the performance
+//! front's PF001–PF008 hot-path checks) must hold at HEAD modulo the
+//! checked-in `lint.allow` files, and no allowlist entry may be stale.
 
 use std::path::PathBuf;
 
@@ -51,6 +51,18 @@ fn det_front_alone_is_clean() {
     assert!(
         report.is_clean(),
         "determinism findings at HEAD:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn perf_front_alone_is_clean() {
+    // The performance front's contract: every hot-path finding at HEAD
+    // has been fixed or carries a reviewed `// perf:` justification.
+    let report = mscope_lint::run_perf(&workspace_root()).expect("lint run succeeds");
+    assert!(
+        report.is_clean(),
+        "performance findings at HEAD:\n{}",
         report.render_text()
     );
 }

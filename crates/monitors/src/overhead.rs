@@ -101,7 +101,7 @@ impl OverheadReport {
         );
         let warm_on = SimTime::ZERO + enabled.config.warmup;
         let warm_off = SimTime::ZERO + disabled.config.warmup;
-        let mut nodes = Vec::new();
+        let mut nodes = Vec::with_capacity(enabled.stats.node_log_bytes.len());
         for (node, log_on) in &enabled.stats.node_log_bytes {
             let log_off = disabled
                 .stats

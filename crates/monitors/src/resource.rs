@@ -10,6 +10,7 @@
 use crate::logstore::LogStore;
 use mscope_ntier::{NodeId, ResourceSample, TierKind};
 use mscope_sim::{wallclock, SimDuration};
+use std::fmt::Write as _;
 
 /// Which external tool a resource monitor emulates, and in which of its
 /// output modes.
@@ -184,13 +185,15 @@ fn merge(bucket: &[&ResourceSample]) -> ResourceSample {
 }
 
 fn collectl_csv(samples: &[ResourceSample]) -> String {
-    let mut out = String::from(
+    let mut out = String::with_capacity(140 + samples.len() * 96);
+    out.push_str(
         "#Time [CPU]User% [CPU]Sys% [CPU]Wait% [CPU]Idle% [MEM]Dirty [MEM]Used \
          [DSK]WriteKBTot [DSK]WritesTot [DSK]Util% [NET]RxKBTot [NET]TxKBTot\n",
     );
     for s in samples {
-        out.push_str(&format!(
-            "{} {:.2} {:.2} {:.2} {:.2} {} {} {:.1} {} {:.1} {:.1} {:.1}\n",
+        let _ = writeln!(
+            out,
+            "{} {:.2} {:.2} {:.2} {:.2} {} {} {:.1} {} {:.1} {:.1} {:.1}",
             wallclock(s.time),
             s.cpu_user,
             s.cpu_sys,
@@ -203,36 +206,34 @@ fn collectl_csv(samples: &[ResourceSample]) -> String {
             s.disk_util,
             s.net_rx_bytes as f64 / 1024.0,
             s.net_tx_bytes as f64 / 1024.0,
-        ));
+        );
     }
     out
 }
 
 fn collectl_plain(samples: &[ResourceSample]) -> String {
-    let mut out = String::new();
+    let mut out = String::with_capacity(samples.len() * 128);
     for (i, s) in samples.iter().enumerate() {
-        out.push_str(&format!(
-            "### RECORD {} ({}) ###\n",
-            i + 1,
-            wallclock(s.time)
-        ));
+        let _ = writeln!(out, "### RECORD {} ({}) ###", i + 1, wallclock(s.time));
         out.push_str("# CPU SUMMARY\n");
         out.push_str("User% Sys% Wait% Idle%\n");
-        out.push_str(&format!(
-            "{:.2} {:.2} {:.2} {:.2}\n",
+        let _ = writeln!(
+            out,
+            "{:.2} {:.2} {:.2} {:.2}",
             s.cpu_user, s.cpu_sys, s.cpu_iowait, s.cpu_idle
-        ));
+        );
         out.push_str("# DISK SUMMARY\n");
         out.push_str("WriteKB Writes Util%\n");
-        out.push_str(&format!(
-            "{:.1} {} {:.1}\n",
+        let _ = writeln!(
+            out,
+            "{:.1} {} {:.1}",
             s.disk_write_bytes as f64 / 1024.0,
             s.disk_ops,
             s.disk_util
-        ));
+        );
         out.push_str("# MEMORY\n");
         out.push_str("Dirty UsedKB\n");
-        out.push_str(&format!("{} {}\n", s.dirty_pages, s.mem_used_bytes / 1024));
+        let _ = writeln!(out, "{} {}", s.dirty_pages, s.mem_used_bytes / 1024);
     }
     out
 }
@@ -241,64 +242,81 @@ fn collectl_plain(samples: &[ResourceSample]) -> String {
 const SAR_HEADER_EVERY: usize = 20;
 
 fn sar_text(node: &NodeId, samples: &[ResourceSample]) -> String {
-    let mut out = format!("Linux 3.10.0-mscope ({node}) \t07/05/26 \t_x86_64_\t(2 CPU)\n\n");
+    let mut out = String::with_capacity(80 + samples.len() * 72);
+    let _ = writeln!(
+        out,
+        "Linux 3.10.0-mscope ({node}) \t07/05/26 \t_x86_64_\t(2 CPU)\n"
+    );
     for (i, s) in samples.iter().enumerate() {
         if i % SAR_HEADER_EVERY == 0 {
             out.push_str("timestamp            CPU      %user      %sys   %iowait     %idle\n");
         }
-        out.push_str(&format!(
-            "{}     all {:10.2} {:9.2} {:9.2} {:9.2}\n",
+        let _ = writeln!(
+            out,
+            "{}     all {:10.2} {:9.2} {:9.2} {:9.2}",
             wallclock(s.time),
             s.cpu_user,
             s.cpu_sys,
             s.cpu_iowait,
             s.cpu_idle
-        ));
+        );
     }
     out
 }
 
 fn sar_mem(node: &NodeId, samples: &[ResourceSample]) -> String {
-    let mut out = format!("Linux 3.10.0-mscope ({node}) \t07/05/26 \t_x86_64_\t(2 CPU)\n\n");
+    let mut out = String::with_capacity(80 + samples.len() * 64);
+    let _ = writeln!(
+        out,
+        "Linux 3.10.0-mscope ({node}) \t07/05/26 \t_x86_64_\t(2 CPU)\n"
+    );
     for (i, s) in samples.iter().enumerate() {
         if i % SAR_HEADER_EVERY == 0 {
             out.push_str("timestamp             kbmemused    %memused     kbdirty\n");
         }
         let used_kb = s.mem_used_bytes / 1024;
-        out.push_str(&format!(
-            "{} {:12} {:11.2} {:11}\n",
+        let _ = writeln!(
+            out,
+            "{} {:12} {:11.2} {:11}",
             wallclock(s.time),
             used_kb,
             // %memused needs a total; the emulated node reports used/4GiB
             // when no better figure is available, like sar does with MemTotal.
             100.0 * s.mem_used_bytes as f64 / (4u64 << 30) as f64,
             s.dirty_pages * 4, // kbdirty
-        ));
+        );
     }
     out
 }
 
 fn sar_net(node: &NodeId, samples: &[ResourceSample]) -> String {
-    let mut out = format!("Linux 3.10.0-mscope ({node}) \t07/05/26 \t_x86_64_\t(2 CPU)\n\n");
+    let mut out = String::with_capacity(80 + samples.len() * 56);
+    let _ = writeln!(
+        out,
+        "Linux 3.10.0-mscope ({node}) \t07/05/26 \t_x86_64_\t(2 CPU)\n"
+    );
     for (i, s) in samples.iter().enumerate() {
         if i % SAR_HEADER_EVERY == 0 {
             out.push_str("timestamp            IFACE      rxkB/s      txkB/s\n");
         }
-        out.push_str(&format!(
-            "{}     eth0 {:11.2} {:11.2}\n",
+        let _ = writeln!(
+            out,
+            "{}     eth0 {:11.2} {:11.2}",
             wallclock(s.time),
             s.net_rx_bytes as f64 / 1024.0,
             s.net_tx_bytes as f64 / 1024.0,
-        ));
+        );
     }
     out
 }
 
 fn sar_xml(node: &NodeId, samples: &[ResourceSample]) -> String {
-    let mut out = String::from("<sysstat>\n");
-    out.push_str(&format!(" <host nodename=\"{node}\">\n  <statistics>\n"));
+    let mut out = String::with_capacity(96 + samples.len() * 160);
+    out.push_str("<sysstat>\n");
+    let _ = write!(out, " <host nodename=\"{node}\">\n  <statistics>\n");
     for s in samples {
-        out.push_str(&format!(
+        let _ = write!(
+            out,
             "   <timestamp time=\"{}\">\n    <cpu-load>\n     <cpu number=\"all\" \
              user=\"{:.2}\" system=\"{:.2}\" iowait=\"{:.2}\" idle=\"{:.2}\"/>\n    \
              </cpu-load>\n   </timestamp>\n",
@@ -307,23 +325,24 @@ fn sar_xml(node: &NodeId, samples: &[ResourceSample]) -> String {
             s.cpu_sys,
             s.cpu_iowait,
             s.cpu_idle
-        ));
+        );
     }
     out.push_str("  </statistics>\n </host>\n</sysstat>\n");
     out
 }
 
 fn iostat_text(samples: &[ResourceSample]) -> String {
-    let mut out = String::new();
+    let mut out = String::with_capacity(samples.len() * 104);
     for s in samples {
-        out.push_str(&format!("{}\n", wallclock(s.time)));
+        let _ = writeln!(out, "{}", wallclock(s.time));
         out.push_str("Device:            wkB/s      w/s     %util\n");
-        out.push_str(&format!(
+        let _ = write!(
+            out,
             "sda           {:10.2} {:8.2} {:9.2}\n\n",
             s.disk_write_bytes as f64 / 1024.0,
             s.disk_ops as f64,
             s.disk_util
-        ));
+        );
     }
     out
 }

@@ -92,7 +92,9 @@ impl MonitorSuite {
     /// network (all 1 s) on every node; IOstat (100 ms) on the database
     /// tier; plus event monitors and the tap as the config dictates.
     pub fn standard(cfg: &SystemConfig) -> MonitorSuite {
-        let mut resource_monitors = Vec::new();
+        let nodes: usize = cfg.tiers.iter().map(|t| t.replicas).sum();
+        // Five monitors per node plus IOstat on database replicas.
+        let mut resource_monitors = Vec::with_capacity(nodes * 6);
         for (ti, t) in cfg.tiers.iter().enumerate() {
             for replica in 0..t.replicas {
                 let node = NodeId {
@@ -152,7 +154,12 @@ impl MonitorSuite {
     /// deployment order), so tooling like `mscope-lint` can derive and
     /// validate the parsing declarations without executing a simulation.
     pub fn manifest(&self, cfg: &SystemConfig) -> Vec<LogFileMeta> {
-        let mut manifest = Vec::new();
+        let event_nodes = if self.event_monitors {
+            cfg.tiers.iter().map(|t| t.replicas).sum()
+        } else {
+            0
+        };
+        let mut manifest = Vec::with_capacity(event_nodes + self.resource_monitors.len());
         if self.event_monitors {
             for (node, kind) in topology_nodes(cfg) {
                 let m = crate::event::EventMonitor::new(node, kind);
@@ -160,6 +167,8 @@ impl MonitorSuite {
                     path: m.log_path(),
                     node,
                     tier_kind: kind,
+                    // perf: manifest entries own their id/tool/format names —
+                    // once per monitor at manifest time, never per sample.
                     monitor_id: format!("event-{node}"),
                     tool: kind.name().to_string(),
                     format: "text".to_string(),
@@ -173,6 +182,8 @@ impl MonitorSuite {
                 path: rm.log_path(),
                 node: rm.node,
                 tier_kind: rm.kind,
+                // perf: manifest entries own their id/tool/format names —
+                // once per monitor at manifest time, never per sample.
                 monitor_id: rm.monitor_id(),
                 tool: rm.tool.name().to_string(),
                 format: rm.tool.format().to_string(),
@@ -206,7 +217,7 @@ impl MonitorSuite {
 
 /// Flattens a topology into `(node, kind)` pairs.
 pub fn topology_nodes(cfg: &SystemConfig) -> Vec<(NodeId, TierKind)> {
-    let mut nodes = Vec::new();
+    let mut nodes = Vec::with_capacity(cfg.tiers.iter().map(|t| t.replicas).sum());
     for (ti, t) in cfg.tiers.iter().enumerate() {
         for replica in 0..t.replicas {
             nodes.push((

@@ -146,7 +146,7 @@ impl Gen {
 
     /// An identifier: `[a-z][a-z0-9_]{0,max_tail}`.
     pub fn ident(&mut self, max_tail: usize) -> String {
-        let mut s = String::new();
+        let mut s = String::with_capacity(1 + max_tail);
         s.push((self.rng.uniform_u64(b'a' as u64, b'z' as u64) as u8) as char);
         let tail = self.usize(0..=max_tail);
         const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";

@@ -96,6 +96,7 @@ pub fn convert_xml(docs: &[XmlNode]) -> Result<ConvertedTable, TransformError> {
                 };
                 match columns.iter_mut().find(|(n, _)| *n == field.name) {
                     Some((_, ty)) => *ty = ty.unify(vt),
+                    // perf: one owned name per *distinct* column, not per field.
                     None => columns.push((field.name.clone(), vt)),
                 }
             }

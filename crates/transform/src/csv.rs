@@ -3,22 +3,44 @@
 
 /// Quotes a field if it contains a comma, quote, or newline.
 pub fn quote_field(field: &str) -> String {
+    let mut out = String::with_capacity(field.len() + 2);
+    push_quoted(&mut out, field);
+    out
+}
+
+/// Appends `field` to `out`, quoted and escaped only when necessary —
+/// the zero-intermediate-allocation core shared by [`quote_field`] and
+/// [`write_csv`].
+fn push_quoted(out: &mut String, field: &str) {
     if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
-        format!("\"{}\"", field.replace('"', "\"\""))
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
     } else {
-        field.to_string()
+        out.push_str(field);
     }
 }
 
 /// Serializes rows (first row conventionally the header) to CSV text.
 pub fn write_csv<S: AsRef<str>>(rows: &[Vec<S>]) -> String {
-    let mut out = String::new();
+    // Exact for unquoted content: every field byte plus one separator or
+    // newline per field; quoted fields grow the buffer at most once more.
+    let bytes: usize = rows
+        .iter()
+        .map(|r| r.iter().map(|f| f.as_ref().len()).sum::<usize>() + r.len().max(1))
+        .sum();
+    let mut out = String::with_capacity(bytes);
     for row in rows {
         for (i, f) in row.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&quote_field(f.as_ref()));
+            push_quoted(&mut out, f.as_ref());
         }
         out.push('\n');
     }

@@ -149,23 +149,28 @@ impl ParsingDeclaration {
         Ok(root)
     }
 
-    fn make_entry(&self, fields: &[(String, String)]) -> XmlNode {
+    fn make_entry(&self, ctx: &[(String, String)], fields: Vec<(String, String)>) -> XmlNode {
         let mut entry = XmlNode::new("entry");
-        for (k, v) in &self.constants {
+        entry
+            .children
+            .reserve(self.constants.len() + ctx.len() + fields.len());
+        for (k, v) in self.constants.iter().chain(ctx) {
+            // perf: constants and context are shared across entries — each
+            // entry owns one clone pair per inherited field.
             entry
                 .children
                 .push(XmlNode::new(k.clone()).with_text(v.clone()));
         }
         for (k, v) in fields {
-            entry
-                .children
-                .push(XmlNode::new(k.clone()).with_text(v.clone()));
+            entry.children.push(XmlNode::new(k).with_text(v));
         }
         entry
     }
 
     fn run_staged(&self, spec: &ParserSpec, content: &str) -> Result<Vec<XmlNode>, TransformError> {
-        let mut entries = Vec::new();
+        // Upper bound: one entry per line. Record-style logs (the common
+        // case) sit near it; block logs over-reserve by the block length.
+        let mut entries = Vec::with_capacity(content.lines().count());
         let mut ctx: Vec<(String, String)> = Vec::new();
         // Block mode state: Some((captures, next line index)) while inside.
         let mut block: Option<(Vec<(String, String)>, usize)> = None;
@@ -203,7 +208,7 @@ impl ParsingDeclaration {
                     *idx += 1;
                     if *idx == bs.lines.len() {
                         if let Some((fields, _)) = block.take() {
-                            entries.push(self.make_entry(&fields));
+                            entries.push(self.make_entry(&[], fields));
                         }
                     }
                     continue;
@@ -220,9 +225,9 @@ impl ParsingDeclaration {
             }
             for pat in &spec.records {
                 if let Some(caps) = pat.match_line(line) {
-                    let mut fields = ctx.clone();
-                    fields.extend(caps);
-                    entries.push(self.make_entry(&fields));
+                    // The entry node borrows the shared context and takes the
+                    // captures by value — no intermediate merged Vec.
+                    entries.push(self.make_entry(&ctx, caps));
                     continue 'lines;
                 }
             }
@@ -237,22 +242,28 @@ impl ParsingDeclaration {
 
     fn run_xml(&self, map: &XmlMapping, content: &str) -> Result<Vec<XmlNode>, TransformError> {
         let doc = xml::parse(content).map_err(TransformError::Xml)?;
-        let mut entries = Vec::new();
-        for el in doc.find_all(&map.entry_element) {
-            let mut fields: Vec<(String, String)> = Vec::new();
+        let els = doc.find_all(&map.entry_element);
+        let mut entries = Vec::with_capacity(els.len());
+        for el in els {
+            let mut fields: Vec<(String, String)> =
+                Vec::with_capacity(map.entry_attrs.len() + map.leaf_attrs.len());
             for (attr, field) in &map.entry_attrs {
                 if let Some(v) = el.get_attr(attr) {
+                    // perf: extracted fields own their values — one pair per
+                    // matched attribute, consumed by make_entry below.
                     fields.push((field.clone(), v.to_string()));
                 }
             }
             for (elem, attr, field) in &map.leaf_attrs {
                 if let Some(leaf) = el.find_all(elem).first() {
                     if let Some(v) = leaf.get_attr(attr) {
+                        // perf: extracted fields own their values — one pair
+                        // per matched attribute, consumed by make_entry below.
                         fields.push((field.clone(), v.to_string()));
                     }
                 }
             }
-            entries.push(self.make_entry(&fields));
+            entries.push(self.make_entry(&[], fields));
         }
         Ok(entries)
     }
@@ -443,6 +454,7 @@ fn check_declaration(d: &ParsingDeclaration, out: &mut Vec<DeclIssue>) {
                 out,
                 "decl-empty-field",
                 &subj,
+                // perf: validation-time diagnostic — once per declaration.
                 "constant with an empty field name".to_string(),
             );
         }
@@ -451,6 +463,7 @@ fn check_declaration(d: &ParsingDeclaration, out: &mut Vec<DeclIssue>) {
                 out,
                 "decl-duplicate-field",
                 &subj,
+                // perf: validation-time diagnostic — once per declaration.
                 format!("constant field `{k}` is declared twice"),
             );
         }
@@ -472,17 +485,22 @@ fn check_declaration(d: &ParsingDeclaration, out: &mut Vec<DeclIssue>) {
 }
 
 fn check_staged(spec: &ParserSpec, d: &ParsingDeclaration, subj: &str, out: &mut Vec<DeclIssue>) {
-    let mut patterns: Vec<(String, &Pattern)> = Vec::new();
+    let n_block = spec.blocks.as_ref().map_or(0, |bs| 1 + bs.lines.len());
+    let mut patterns: Vec<(String, &Pattern)> =
+        Vec::with_capacity(spec.context.len() + spec.records.len() + n_block);
     for (i, p) in spec.context.iter().enumerate() {
+        // perf: role labels for diagnostics — a handful per declaration.
         patterns.push((format!("context[{i}]"), p));
     }
     for (i, p) in spec.records.iter().enumerate() {
+        // perf: role labels for diagnostics — a handful per declaration.
         patterns.push((format!("record[{i}]"), p));
     }
     if let Some(bs) = &spec.blocks {
         patterns.push(("block marker".to_string(), &bs.marker));
         for (i, p) in bs.lines.iter().enumerate() {
             if let Some(p) = p {
+                // perf: role labels for diagnostics — a handful per declaration.
                 patterns.push((format!("block line[{i}]"), p));
             }
         }
@@ -500,6 +518,7 @@ fn check_staged(spec: &ParserSpec, d: &ParsingDeclaration, subj: &str, out: &mut
     let consts: Vec<&str> = d.constants.iter().map(|(k, _)| k.as_str()).collect();
     for (role, p) in &patterns {
         for (rule, msg) in p.issues() {
+            // perf: validation-time diagnostic — once per declaration.
             deny(out, rule, subj, format!("{role} pattern `{p}`: {msg}"));
         }
         for n in p.capture_names() {
@@ -508,6 +527,7 @@ fn check_staged(spec: &ParserSpec, d: &ParsingDeclaration, subj: &str, out: &mut
                     out,
                     "decl-duplicate-field",
                     subj,
+                    // perf: validation-time diagnostic — once per declaration.
                     format!("{role} pattern `{p}` re-captures constant field `{n}`"),
                 );
             }
@@ -532,6 +552,7 @@ fn check_staged(spec: &ParserSpec, d: &ParsingDeclaration, subj: &str, out: &mut
                     out,
                     "decl-unreachable-rule",
                     subj,
+                    // perf: validation-time diagnostic — once per declaration.
                     format!("{role} pattern `{p}` only matches lines the filter {f:?} drops"),
                 );
             }
@@ -552,6 +573,7 @@ fn check_staged(spec: &ParserSpec, d: &ParsingDeclaration, subj: &str, out: &mut
                     out,
                     "decl-duplicate-field",
                     subj,
+                    // perf: validation-time diagnostic — once per declaration.
                     format!("record[{i}] capture `{n}` collides with a context capture"),
                 );
             }
@@ -561,6 +583,7 @@ fn check_staged(spec: &ParserSpec, d: &ParsingDeclaration, subj: &str, out: &mut
                 out,
                 "decl-unreachable-rule",
                 subj,
+                // perf: validation-time diagnostic — once per declaration.
                 format!("record[{i}] `{p}` duplicates an earlier record rule"),
             );
         }
@@ -569,6 +592,7 @@ fn check_staged(spec: &ParserSpec, d: &ParsingDeclaration, subj: &str, out: &mut
                 out,
                 "decl-unreachable-rule",
                 subj,
+                // perf: validation-time diagnostic — once per declaration.
                 format!(
                     "record[{i}] `{p}` is identical to a context pattern, which is tried first"
                 ),
@@ -587,6 +611,7 @@ fn check_staged(spec: &ParserSpec, d: &ParsingDeclaration, subj: &str, out: &mut
                         out,
                         "decl-duplicate-field",
                         subj,
+                        // perf: validation-time diagnostic — once per declaration.
                         format!("block captures field `{n}` on more than one line"),
                     );
                 }
@@ -628,6 +653,7 @@ fn check_xml(map: &XmlMapping, d: &ParsingDeclaration, subj: &str, out: &mut Vec
                 out,
                 "decl-empty-field",
                 subj,
+                // perf: validation-time diagnostic — once per declaration.
                 format!("XML mapping with empty attribute or field name (attr `{attr}`, field `{field}`)"),
             );
         }
@@ -636,6 +662,7 @@ fn check_xml(map: &XmlMapping, d: &ParsingDeclaration, subj: &str, out: &mut Vec
                 out,
                 "decl-duplicate-field",
                 subj,
+                // perf: validation-time diagnostic — once per declaration.
                 format!("XML mapping writes field `{field}` more than once per entry"),
             );
         }
@@ -675,6 +702,7 @@ fn check_schema_conflicts(decls: &[ParsingDeclaration], out: &mut Vec<DeclIssue>
                             rule: "schema-conflict",
                             severity: Severity::Deny,
                             subject: subject_of(d),
+                            // perf: validation-time diagnostic — once per set.
                             message: format!(
                                 "column `{}`.`{name}` is {ty} here but {prev} in {first_subj}; the lattice join degenerates to text",
                                 d.table

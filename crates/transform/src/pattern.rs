@@ -114,13 +114,15 @@ impl Pattern {
                 "pattern has no tokens and can only match empty lines".to_string(),
             ));
         }
-        let mut seen: Vec<&str> = Vec::new();
+        let mut seen: Vec<&str> = Vec::with_capacity(self.toks.len());
         for (i, tok) in self.toks.iter().enumerate() {
             match tok {
+                // perf: validation-time diagnostic — once per pattern, never per line.
                 Tok::Lit(l) if l.is_empty() => out.push((
                     "pattern-empty-token",
                     format!("token {i} is an empty literal (a no-op)"),
                 )),
+                // perf: validation-time diagnostic — once per pattern, never per line.
                 Tok::Cap(n) | Tok::Wall(n) if n.is_empty() => out.push((
                     "pattern-empty-token",
                     format!("token {i} is a capture with an empty name"),
@@ -129,6 +131,7 @@ impl Pattern {
                     if seen.contains(&n.as_str()) {
                         out.push((
                             "pattern-duplicate-capture",
+                            // perf: validation-time diagnostic — once per pattern.
                             format!("capture `{n}` appears more than once"),
                         ));
                     }
@@ -142,12 +145,14 @@ impl Pattern {
                 if is_cap(prev) && is_cap(tok) {
                     out.push((
                         "pattern-adjacent-wildcards",
+                        // perf: validation-time diagnostic — once per pattern.
                         format!("tokens {} and {i} are adjacent captures; the split between them is ambiguous", i - 1),
                     ));
                 }
                 if matches!(prev, Tok::Ws) && matches!(tok, Tok::Ws) {
                     out.push((
                         "pattern-unreachable",
+                        // perf: validation-time diagnostic — once per pattern.
                         format!(
                             "token {i} is whitespace directly after whitespace and can never match"
                         ),
@@ -178,28 +183,44 @@ impl Pattern {
     /// Attempts to match the whole line; returns `(name, value)` capture
     /// pairs on success.
     pub fn match_line(&self, line: &str) -> Option<Vec<(String, String)>> {
-        let mut caps = Vec::new();
-        if Self::match_from(&self.toks, line, &mut caps) {
-            Some(caps)
+        let mut caps: Vec<(&str, std::ops::Range<usize>)> = Vec::with_capacity(self.toks.len());
+        if Self::match_from(&self.toks, line, 0, &mut caps) {
+            // perf: captures materialize once, on the successful parse —
+            // the backtracking below moves only byte ranges.
+            Some(
+                caps.iter()
+                    .map(|(name, r)| ((*name).to_string(), line[r.clone()].to_string()))
+                    .collect(),
+            )
         } else {
             None
         }
     }
 
-    fn match_from(toks: &[Tok], rest: &str, caps: &mut Vec<(String, String)>) -> bool {
+    /// Allocation-free backtracking core: `pos` is the byte offset into
+    /// `line`; candidate captures are recorded as `(name, byte range)` and
+    /// popped on backtrack, so failed attempts cost nothing.
+    fn match_from<'p>(
+        toks: &'p [Tok],
+        line: &str,
+        pos: usize,
+        caps: &mut Vec<(&'p str, std::ops::Range<usize>)>,
+    ) -> bool {
+        let rest = &line[pos..];
         let Some((tok, tail_toks)) = toks.split_first() else {
             return rest.is_empty();
         };
         match tok {
-            Tok::Lit(l) => rest
-                .strip_prefix(l.as_str())
-                .is_some_and(|r| Self::match_from(tail_toks, r, caps)),
+            Tok::Lit(l) => {
+                rest.starts_with(l.as_str())
+                    && Self::match_from(tail_toks, line, pos + l.len(), caps)
+            }
             Tok::Ws => {
                 let trimmed = rest.trim_start();
                 if trimmed.len() == rest.len() {
                     return false; // needs at least one whitespace char
                 }
-                Self::match_from(tail_toks, trimmed, caps)
+                Self::match_from(tail_toks, line, pos + rest.len() - trimmed.len(), caps)
             }
             Tok::Cap(name) | Tok::Wall(name) => {
                 let is_wall = matches!(tok, Tok::Wall(_));
@@ -211,8 +232,8 @@ impl Pattern {
                     let viable =
                         !candidate.is_empty() && (!is_wall || looks_like_wallclock(candidate));
                     if viable {
-                        caps.push((name.clone(), candidate.to_string()));
-                        if Self::match_from(tail_toks, &rest[end..], caps) {
+                        caps.push((name.as_str(), pos..pos + end));
+                        if Self::match_from(tail_toks, line, pos + end, caps) {
                             return true;
                         }
                         caps.pop();
@@ -254,11 +275,13 @@ pub fn looks_like_wallclock(s: &str) -> bool {
 /// Builds the common `key=value` suffix tokens `ua= ud= ds= dr=` used by
 /// every event-log pattern.
 pub fn timestamp_suffix_tokens() -> Vec<Tok> {
-    let mut toks = Vec::new();
+    let mut toks = Vec::with_capacity(11);
     for (i, key) in ["ua", "ud", "ds", "dr"].iter().enumerate() {
         if i > 0 {
             toks.push(Tok::Ws);
         }
+        // perf: pattern construction — four owned literals, once per
+        // declared pattern, never per log line.
         toks.push(Tok::lit(&format!("{key}=")));
         toks.push(Tok::cap(key));
     }

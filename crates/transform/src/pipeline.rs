@@ -256,6 +256,8 @@ impl DataTransformer {
                 let ConvertedTable { schema, rows } = out.converted;
                 import_rows(db, table, &schema, rows)?
             };
+            // perf: one owned table name per loaded table — bounded by the
+            // manifest's table groups, never by row count.
             report.tables.push((table.to_string(), loaded));
         }
 
@@ -266,26 +268,17 @@ impl DataTransformer {
                 MonitorKind::Event => "event",
                 MonitorKind::Resource => "resource",
             };
-            db.register_monitor(
-                &m.monitor_id,
-                &m.node.to_string(),
-                &m.tool,
-                kind,
-                m.period_ms as i64,
-            )
-            .map_err(TransformError::Db)?;
+            // perf: one rendered node name per manifest entry, shared by
+            // both registrations below (this used to render it twice).
+            let node = m.node.to_string();
+            db.register_monitor(&m.monitor_id, &node, &m.tool, kind, m.period_ms as i64)
+                .map_err(TransformError::Db)?;
             let bytes = store
                 .size(&m.path)
                 .ok_or_else(|| TransformError::MissingFile(m.path.clone()))?
                 as i64;
-            db.register_log_file(
-                &m.path,
-                &m.node.to_string(),
-                &m.monitor_id,
-                &m.format,
-                bytes,
-            )
-            .map_err(TransformError::Db)?;
+            db.register_log_file(&m.path, &node, &m.monitor_id, &m.format, bytes)
+                .map_err(TransformError::Db)?;
         }
         Ok(report)
     }

@@ -319,7 +319,11 @@ impl<'a> Parser<'a> {
                     return Err(XmlError::new("expected `>` in close tag"));
                 }
                 self.pos += 1;
-                node.text = node.text.trim().to_string();
+                // Trim in place — drops surrounding whitespace without
+                // reallocating the node's accumulated text.
+                node.text.truncate(node.text.trim_end().len());
+                let lead = node.text.len() - node.text.trim_start().len();
+                node.text.drain(..lead);
                 return Ok(node);
             } else if self.starts_with("<!--") {
                 let end = self.find("-->")?;

@@ -368,6 +368,8 @@ impl Table {
                     } else {
                         &other.col(ci - left_width)[ri]
                     };
+                    // perf: the join output owns its cells — one clone per
+                    // emitted cell is the materialization contract.
                     out.push(cell.clone());
                 }
             }
@@ -416,6 +418,8 @@ impl Table {
                     } else {
                         &other.col(ci - left_width)[ri]
                     };
+                    // perf: reference oracle — kept byte-identical to the
+                    // compiled join, including its owned-output clones.
                     out.push(cell.clone());
                 }
             }
@@ -447,8 +451,11 @@ impl Table {
         let mut columns = self.schema().columns().to_vec();
         for c in other.schema().columns() {
             let name = if self.schema().index_of(&c.name).is_some() {
+                // perf: output-schema construction — once per join, bounded
+                // by column count, never by row count.
                 format!("{}_{}", other.name(), c.name)
             } else {
+                // perf: same — one owned name per output column.
                 c.name.clone()
             };
             columns.push(Column::new(name, c.ty));

@@ -323,6 +323,8 @@ impl Parser {
                 self.next(); // (
                 let col = match self.next() {
                     Some(Tok::Ident(c)) => c,
+                    // perf: parse-time — one owned name per aggregate in
+                    // the query text, never per row.
                     Some(Tok::Star) if agg == AggFn::Count => "*".to_string(),
                     other => {
                         return Err(DbError::BadQuery(format!(
@@ -755,7 +757,9 @@ where
     }
 }
 
-/// Rebuilds a table with new column names (arity must match).
+/// Rebuilds a table with new column names (arity must match). The cell
+/// data is moved, not copied: only the schema changes, so the column
+/// vectors transfer wholesale instead of being re-pushed row by row.
 fn rename_columns(t: Table, names: &[&str]) -> Result<Table, DbError> {
     if names.len() != t.schema().len() {
         return Err(DbError::BadQuery("rename arity mismatch".into()));
@@ -768,11 +772,8 @@ fn rename_columns(t: Table, names: &[&str]) -> Result<Table, DbError> {
         .map(|(c, n)| Column::new(*n, c.ty))
         .collect();
     let schema = Schema::new(columns)?;
-    let mut out = Table::new(t.name(), schema);
-    for row in t.iter_rows() {
-        out.push_row(row)?;
-    }
-    Ok(out)
+    let (name, _, cols) = t.into_parts();
+    Ok(Table::from_parts(name, schema, cols))
 }
 
 fn agg_name(agg: AggFn) -> &'static str {

@@ -352,6 +352,13 @@ impl Table {
         &self.cols[ci]
     }
 
+    /// Decomposes the table into its owned parts — the inverse of
+    /// [`Table::from_parts`], letting same-crate callers rebuild a
+    /// reshaped table without copying any cell data.
+    pub(crate) fn into_parts(self) -> (String, Schema, Vec<Vec<Value>>) {
+        (self.name, self.schema, self.cols)
+    }
+
     /// The table's block metadata (zone maps + sorted flags).
     pub(crate) fn table_index(&self) -> &TableIndex {
         &self.index
@@ -501,13 +508,15 @@ impl Table {
                 *w = (*w).max(cell.len());
             }
         }
-        let mut out = String::new();
+        use std::fmt::Write as _;
+        let line_width: usize = widths.iter().sum::<usize>() + 2 * widths.len() + 1;
+        let mut out = String::with_capacity(line_width * (shown + 3));
         let write_row = |out: &mut String, cells: &[String]| {
             for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
                 if i > 0 {
                     out.push_str("  ");
                 }
-                out.push_str(&format!("{cell:>w$}", w = *w));
+                let _ = write!(out, "{cell:>w$}", w = *w);
             }
             out.push('\n');
         };
@@ -518,7 +527,7 @@ impl Table {
             write_row(&mut out, row);
         }
         if shown < self.row_count() {
-            out.push_str(&format!("… {} more rows\n", self.row_count() - shown));
+            let _ = writeln!(out, "… {} more rows", self.row_count() - shown);
         }
         out
     }
@@ -577,7 +586,9 @@ impl Table {
             let nulls = values.iter().filter(|v| v.is_null()).count();
             let distinct = {
                 let mut keys: Vec<crate::value::ValueKey> = values.iter().map(Value::key).collect();
-                keys.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+                // perf: one sort per described column — distinct-counting
+                // needs any total order, and `ValueKey: Ord` is direct.
+                keys.sort_unstable();
                 keys.dedup();
                 keys.len()
             };
@@ -590,6 +601,8 @@ impl Table {
                 let mean = nums.iter().sum::<f64>() / nums.len() as f64;
                 (Value::Float(mn), Value::Float(mx), Value::Float(mean))
             };
+            // perf: describe emits one owned row per column — bounded by
+            // schema width, never by row count.
             out.push_row(vec![
                 Value::Text(col.name.clone()),
                 Value::Text(col.ty.to_string()),

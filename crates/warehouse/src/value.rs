@@ -298,8 +298,10 @@ impl From<String> for Value {
     }
 }
 
-/// Hashable key form of a [`Value`] (floats by bit pattern).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// Hashable key form of a [`Value`] (floats by bit pattern). Ordered —
+/// variant first, then payload — so distinct-counting can sort keys
+/// directly instead of comparing rendered debug strings.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ValueKey {
     /// Null key.
     Null,
