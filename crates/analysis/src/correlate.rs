@@ -53,7 +53,7 @@ impl WindowSeries {
     }
 }
 
-fn is_time_sorted(points: &[(i64, f64)]) -> bool {
+pub(crate) fn is_time_sorted(points: &[(i64, f64)]) -> bool {
     points.windows(2).all(|w| w[0].0 <= w[1].0)
 }
 

@@ -98,10 +98,34 @@ impl PushbackEpisode {
     }
 }
 
+/// Median of a value set: the middle element for odd lengths, the average
+/// of the two middle elements for even lengths (0 when empty). Taking only
+/// the upper-middle element skews even-length medians — and therefore the
+/// pushback elevation thresholds — high whenever the two middle values
+/// differ.
+pub(crate) fn median(mut vals: Vec<f64>) -> f64 {
+    if vals.is_empty() {
+        return 0.0;
+    }
+    vals.sort_by(f64::total_cmp);
+    let mid = vals.len() / 2;
+    if vals.len().is_multiple_of(2) {
+        (vals[mid - 1] + vals[mid]) / 2.0
+    } else {
+        vals[mid]
+    }
+}
+
 /// Detects pushback from per-tier queue series (pipeline order, tier 0
 /// first, identical windows). A tier is *elevated* in a window when its
 /// queue exceeds `multiplier ×` (its own median + 1). Episodes are maximal
 /// runs of windows where *any* tier is elevated.
+///
+/// Tier values are looked up with a merge-walk over the aligned window
+/// sequences (the same shape as [`align`](crate::align)) — one cursor per
+/// tier, advanced monotonically — instead of a per-window linear scan,
+/// which was O(windows × tiers × windows). Series that are not in time
+/// order (no workspace constructor produces those) fall back to the scan.
 ///
 /// # Panics
 ///
@@ -111,26 +135,34 @@ pub fn detect_pushback(queues: &[WindowSeries], multiplier: f64) -> Vec<Pushback
     // Per-tier elevation thresholds from each tier's own median.
     let thresholds: Vec<f64> = queues
         .iter()
-        .map(|q| {
-            let mut vals = q.values();
-            vals.sort_by(f64::total_cmp);
-            let median = if vals.is_empty() {
-                0.0
-            } else {
-                vals[vals.len() / 2]
-            };
-            multiplier * (median + 1.0)
-        })
+        .map(|q| multiplier * (median(q.values()) + 1.0))
         .collect();
+    let sorted = queues
+        .iter()
+        .all(|q| crate::correlate::is_time_sorted(&q.points));
+    // One merge cursor per tier; each rests on the first point with
+    // timestamp >= the front tier's current window.
+    let mut cursors = vec![0usize; queues.len()];
     // Walk the front tier's windows; look up other tiers by timestamp.
     let mut episodes: Vec<PushbackEpisode> = Vec::new();
     let mut current: Option<PushbackEpisode> = None;
     for &(t, _) in &queues[0].points {
+        let lookup = |q: &WindowSeries, j: &mut usize| -> Option<f64> {
+            if sorted {
+                while *j < q.points.len() && q.points[*j].0 < t {
+                    *j += 1;
+                }
+                (*j < q.points.len() && q.points[*j].0 == t).then(|| q.points[*j].1)
+            } else {
+                q.points.iter().find(|&&(qt, _)| qt == t).map(|&(_, v)| v)
+            }
+        };
         let elevated: Vec<usize> = queues
             .iter()
+            .zip(&mut cursors)
             .enumerate()
-            .filter_map(|(ti, q)| {
-                let v = q.points.iter().find(|&&(qt, _)| qt == t).map(|&(_, v)| v)?;
+            .filter_map(|(ti, (q, j))| {
+                let v = lookup(q, j)?;
                 (v > thresholds[ti]).then_some(ti)
             })
             .collect();
@@ -279,6 +311,145 @@ mod tests {
         assert!(!eps[0].is_cross_tier());
         assert!(eps[1].is_cross_tier());
         assert_eq!(eps[1].tiers_involved, vec![0, 1]);
+    }
+
+    #[test]
+    fn median_averages_even_length_windows() {
+        // Odd length: the middle element.
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        // Even length: the average of the two middle elements, not the
+        // upper-middle one (which would be 4.0 here).
+        assert_eq!(median(vec![4.0, 1.0, 2.0, 8.0]), 3.0);
+        assert_eq!(median(vec![1.0, 2.0]), 1.5);
+        assert_eq!(median(Vec::new()), 0.0);
+        assert_eq!(median(vec![7.0]), 7.0);
+    }
+
+    #[test]
+    fn even_length_median_no_longer_skews_thresholds() {
+        // Six windows, sorted values [1, 1, 2, 10, 20, 30]: correct median
+        // (2 + 10) / 2 = 6 → threshold 3×7 = 21, which flags the 30.0
+        // window; the old upper-middle median 10 gave threshold 33 and
+        // missed the episode entirely.
+        let q0 = queue("apache", &[2.0, 10.0, 1.0, 30.0, 20.0, 1.0]);
+        let eps = detect_pushback(&[q0], 3.0);
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].start_us, 150_000);
+        assert_eq!(eps[0].end_us, 200_000);
+    }
+
+    /// The pre-merge-walk reference: per-window linear lookup. Kept only to
+    /// prove the merge-walk is episode-identical.
+    fn detect_pushback_linear(queues: &[WindowSeries], multiplier: f64) -> Vec<PushbackEpisode> {
+        let thresholds: Vec<f64> = queues
+            .iter()
+            .map(|q| multiplier * (median(q.values()) + 1.0))
+            .collect();
+        let mut episodes: Vec<PushbackEpisode> = Vec::new();
+        let mut current: Option<PushbackEpisode> = None;
+        for &(t, _) in &queues[0].points {
+            let elevated: Vec<usize> = queues
+                .iter()
+                .enumerate()
+                .filter_map(|(ti, q)| {
+                    let v = q.points.iter().find(|&&(qt, _)| qt == t).map(|&(_, v)| v)?;
+                    (v > thresholds[ti]).then_some(ti)
+                })
+                .collect();
+            if elevated.is_empty() {
+                if let Some(ep) = current.take() {
+                    episodes.push(ep);
+                }
+                continue;
+            }
+            let window = window_width(&queues[0]);
+            match &mut current {
+                Some(ep) => {
+                    ep.end_us = t + window;
+                    for ti in elevated {
+                        if !ep.tiers_involved.contains(&ti) {
+                            ep.tiers_involved.push(ti);
+                        }
+                        ep.deepest_tier = ep.deepest_tier.max(ti);
+                    }
+                }
+                None => {
+                    let deepest = *elevated.iter().max().expect("non-empty");
+                    current = Some(PushbackEpisode {
+                        start_us: t,
+                        end_us: t + window,
+                        tiers_involved: elevated,
+                        deepest_tier: deepest,
+                    });
+                }
+            }
+        }
+        if let Some(ep) = current.take() {
+            episodes.push(ep);
+        }
+        episodes
+    }
+
+    #[test]
+    fn merge_walk_matches_linear_lookup_on_fixtures() {
+        // Every fixture in this module, plus tiers with missing and
+        // duplicated windows (first occurrence wins either way), plus an
+        // unsorted series exercising the fallback path.
+        let fixtures: Vec<Vec<WindowSeries>> = vec![
+            vec![
+                queue(
+                    "apache",
+                    &[2.0, 2.0, 2.0, 2.0, 50.0, 80.0, 40.0, 2.0, 2.0, 2.0, 2.0],
+                ),
+                queue(
+                    "tomcat",
+                    &[2.0, 2.0, 2.0, 2.0, 40.0, 70.0, 30.0, 2.0, 2.0, 2.0, 2.0],
+                ),
+                queue(
+                    "cjdbc",
+                    &[1.0, 1.0, 1.0, 1.0, 30.0, 60.0, 25.0, 1.0, 1.0, 1.0, 1.0],
+                ),
+                queue(
+                    "mysql",
+                    &[3.0, 3.0, 3.0, 3.0, 45.0, 50.0, 45.0, 3.0, 3.0, 3.0, 3.0],
+                ),
+            ],
+            vec![
+                queue("apache", &[2.0, 2.0, 60.0, 70.0, 2.0, 2.0]),
+                queue("tomcat", &[2.0, 2.0, 2.5, 2.0, 2.0, 2.0]),
+            ],
+            vec![
+                queue("apache", &[2.0, 60.0, 2.0, 2.0, 70.0, 2.0]),
+                queue("tomcat", &[2.0, 2.0, 2.0, 2.0, 50.0, 2.0]),
+            ],
+            vec![queue("apache", &[2.0; 20]), queue("tomcat", &[1.0; 20])],
+            // Sparse back tier: only every other window reported.
+            vec![
+                queue("apache", &[2.0, 50.0, 55.0, 2.0, 2.0, 2.0]),
+                WindowSeries::new("tomcat", vec![(0, 2.0), (100_000, 45.0), (200_000, 2.0)]),
+            ],
+            // Duplicate timestamps: the first occurrence must win.
+            vec![
+                queue("apache", &[2.0, 50.0, 2.0]),
+                WindowSeries::new(
+                    "tomcat",
+                    vec![(0, 2.0), (50_000, 40.0), (50_000, 2.0), (100_000, 2.0)],
+                ),
+            ],
+            // Unsorted series: the merge-walk precondition fails, the
+            // linear fallback must kick in.
+            vec![
+                WindowSeries::new("apache", vec![(100_000, 60.0), (0, 2.0), (50_000, 70.0)]),
+                queue("tomcat", &[2.0, 50.0, 2.0]),
+            ],
+        ];
+        for (i, qs) in fixtures.iter().enumerate() {
+            assert_eq!(
+                detect_pushback(qs, 3.0),
+                detect_pushback_linear(qs, 3.0),
+                "fixture {i} diverged"
+            );
+        }
     }
 
     #[test]

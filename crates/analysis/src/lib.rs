@@ -14,7 +14,10 @@
 //! * [`detect_vsb`] / [`detect_pushback`] — very-short-bottleneck episodes
 //!   and cross-tier queue pushback;
 //! * [`rank_correlations`] — which resource series moves with the symptom
-//!   (Fig. 7's disk-utilization ↔ queue-length correlation).
+//!   (Fig. 7's disk-utilization ↔ queue-length correlation);
+//! * [`OnlinePit`] / [`OnlineQueue`] / [`OnlineVsb`] / [`OnlinePushback`]
+//!   — streaming counterparts that fold observations as they arrive and
+//!   seal windows behind a configurable watermark lag.
 //!
 //! ## Example
 //!
@@ -37,6 +40,7 @@ mod breakdown;
 mod correlate;
 mod detect;
 mod flow;
+mod online;
 mod pit;
 mod queue;
 mod slo;
@@ -45,8 +49,10 @@ pub use breakdown::{error_rate, interaction_breakdown, tier_contribution, Intera
 pub use correlate::{align, correlate, rank_correlations, CorrelationHit, WindowSeries};
 pub use detect::{detect_pushback, detect_vsb, PushbackEpisode, VsbEpisode};
 pub use flow::{reconstruct_flows, CausalViolation, FlowError, FlowHop, RequestFlow};
+pub use online::{OnlinePit, OnlinePushback, OnlineQueue, OnlineVsb};
 pub use pit::{PitPoint, PitSeries};
 pub use queue::{
-    intervals_from_event_table, mean_queue, queue_from_event_table, queue_series, Intervals,
+    intervals_from_event_table, mean_queue, queue_from_event_table, queue_series,
+    queue_series_checked, Intervals,
 };
 pub use slo::{Slo, SloReport};

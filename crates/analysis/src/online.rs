@@ -1,0 +1,656 @@
+//! Online (streaming) counterparts of the batch analyses — the analysis
+//! half of the streaming ingestion spine.
+//!
+//! The batch layer answers questions over a finished warehouse:
+//! [`PitSeries::from_completions`], [`queue_series`](crate::queue_series),
+//! [`detect_vsb`], [`detect_pushback`]. During a live run the same
+//! questions need answering while data is still arriving. Each online
+//! analysis here folds observations incrementally and *seals* a window
+//! only once a configurable watermark lag has passed it — late
+//! observations inside the lag land in their proper window; observations
+//! later than the lag are counted, not silently misfiled.
+//!
+//! Exactness contract, in two tiers:
+//!
+//! * **Exact at seal** — [`OnlinePit`] and [`OnlineQueue`] emit sealed
+//!   windows bit-identical to what the batch fold produces over the same
+//!   observations (same bucket keys, same fold order, same integer
+//!   arithmetic), provided no observation is later than the lag.
+//! * **Exact at finish** — [`OnlineVsb`] and [`OnlinePushback`] emit
+//!   *provisional* episodes during the run (their thresholds depend on
+//!   run-wide statistics: the overall mean response time, the per-tier
+//!   median), and recompute through the batch detectors at
+//!   [`finish`](OnlineVsb::finish), making the final answer identical to
+//!   batch by construction.
+
+use crate::correlate::WindowSeries;
+use crate::detect::{detect_pushback, detect_vsb, PushbackEpisode, VsbEpisode};
+use crate::pit::{PitPoint, PitSeries};
+use mscope_sim::{SimDuration, SimTime, TimeSeries};
+use std::collections::BTreeMap;
+
+/// Incremental [`PitSeries`] fold: feed `(completion_time_us,
+/// response_time_ms)` observations as they arrive; windows older than the
+/// watermark (newest observation minus the configured lag) are sealed and
+/// emitted in time order. Sealed points are bit-identical to
+/// [`PitSeries::from_completions`] over the same observations, as long as
+/// no observation arrives more than `lag` after a newer one.
+#[derive(Debug, Clone)]
+pub struct OnlinePit {
+    window_us: i64,
+    lag_us: i64,
+    /// Open windows: bucket start → response times in observation order
+    /// (the batch fold's per-bucket order, which the mean depends on).
+    open: BTreeMap<i64, Vec<f64>>,
+    sealed: Vec<PitPoint>,
+    max_seen_us: Option<i64>,
+    late: usize,
+}
+
+impl OnlinePit {
+    /// Creates a fold with the given window width and watermark lag (both
+    /// µs). A window `[k, k + window)` seals once an observation at
+    /// `t > k + window + lag` has been seen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_us` is not positive or `lag_us` is negative.
+    pub fn new(window_us: i64, lag_us: i64) -> OnlinePit {
+        assert!(window_us > 0, "window must be positive");
+        assert!(lag_us >= 0, "lag must be non-negative");
+        OnlinePit {
+            window_us,
+            lag_us,
+            open: BTreeMap::new(),
+            sealed: Vec::new(),
+            max_seen_us: None,
+            late: 0,
+        }
+    }
+
+    /// Folds one completion in.
+    pub fn observe(&mut self, t_us: i64, rt_ms: f64) {
+        let key = t_us.div_euclid(self.window_us) * self.window_us;
+        if self.sealed.last().is_some_and(|p| key <= p.start_us) {
+            // Too late: its window is already emitted. Count it — a spike
+            // in this counter means the lag is smaller than the real
+            // delivery disorder.
+            self.late += 1;
+            return;
+        }
+        self.open.entry(key).or_default().push(rt_ms);
+        self.max_seen_us = Some(self.max_seen_us.map_or(t_us, |m| m.max(t_us)));
+        self.seal_ready();
+    }
+
+    /// Folds a chunk of completions in, in order.
+    pub fn observe_chunk(&mut self, completions: &[(i64, f64)]) {
+        for &(t, rt) in completions {
+            self.observe(t, rt);
+        }
+    }
+
+    fn seal_ready(&mut self) {
+        let Some(max) = self.max_seen_us else { return };
+        let watermark = max - self.lag_us;
+        while let Some(entry) = self.open.first_entry() {
+            if *entry.key() + self.window_us > watermark {
+                break;
+            }
+            let (key, rts) = entry.remove_entry();
+            self.sealed.push(seal_point(key, &rts));
+        }
+    }
+
+    /// Windows sealed so far, in time order.
+    pub fn sealed_points(&self) -> &[PitPoint] {
+        &self.sealed
+    }
+
+    /// Observations that arrived after their window was already sealed
+    /// (delivery disorder exceeded the lag) and were therefore not folded.
+    pub fn late(&self) -> usize {
+        self.late
+    }
+
+    /// The series over the sealed prefix — what a dashboard would plot
+    /// mid-run.
+    pub fn provisional(&self) -> PitSeries {
+        PitSeries {
+            window_us: self.window_us,
+            points: self.sealed.clone(),
+        }
+    }
+
+    /// Seals every remaining window and returns the complete series —
+    /// identical to [`PitSeries::from_completions`] over the same
+    /// observations when [`late`](OnlinePit::late) is zero.
+    pub fn finish(mut self) -> PitSeries {
+        while let Some((key, rts)) = self.open.pop_first() {
+            self.sealed.push(seal_point(key, &rts));
+        }
+        PitSeries {
+            window_us: self.window_us,
+            points: self.sealed,
+        }
+    }
+}
+
+/// The batch per-bucket fold, verbatim: max by `f64::max` from negative
+/// infinity, mean as sum ÷ count in observation order.
+fn seal_point(start_us: i64, rts: &[f64]) -> PitPoint {
+    let max = rts.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mean = rts.iter().sum::<f64>() / rts.len() as f64;
+    PitPoint {
+        start_us,
+        max_ms: max,
+        mean_ms: mean,
+        count: rts.len() as u64,
+    }
+}
+
+/// Rolling queue-length series from residence-interval deltas: the online
+/// counterpart of [`queue_series_checked`](crate::queue_series_checked).
+/// Intervals arrive incrementally; each window of `[start, end)` is sealed
+/// (sampled at its end, exactly like
+/// [`StepSeries::sample_windows`](mscope_sim::StepSeries::sample_windows))
+/// once the watermark passes it. Corrupt intervals are dropped and
+/// counted, exactly as the batch path does.
+#[derive(Debug, Clone)]
+pub struct OnlineQueue {
+    start_us: i64,
+    end_us: i64,
+    window_us: i64,
+    lag_us: i64,
+    /// Deltas not yet folded into `value`: time → net step.
+    pending: BTreeMap<i64, i64>,
+    /// Cumulative count over all deltas at or before the last sealed
+    /// window's end.
+    value: i64,
+    /// Start of the next unsealed window.
+    next_w_us: i64,
+    sealed: TimeSeries,
+    max_seen_us: i64,
+    dropped: usize,
+    late: usize,
+}
+
+impl OnlineQueue {
+    /// Creates a rolling fold over `[start, end)` with the given sampling
+    /// window and watermark lag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(start: SimTime, end: SimTime, window: SimDuration, lag: SimDuration) -> OnlineQueue {
+        assert!(!window.is_zero(), "window must be non-zero");
+        OnlineQueue {
+            start_us: start.as_micros() as i64,
+            end_us: end.as_micros() as i64,
+            window_us: window.as_micros() as i64,
+            lag_us: lag.as_micros() as i64,
+            pending: BTreeMap::new(),
+            value: 0,
+            next_w_us: start.as_micros() as i64,
+            sealed: TimeSeries::new(),
+            max_seen_us: 0,
+            dropped: 0,
+            late: 0,
+        }
+    }
+
+    /// Folds one residence interval in: `+1` at arrival, `-1` at departure
+    /// (none for a still-resident request). Corrupt intervals — negative
+    /// arrival, or departure before arrival — are dropped and counted,
+    /// mirroring the batch validity rule.
+    pub fn observe(&mut self, arrival_us: i64, departure_us: Option<i64>) {
+        if arrival_us < 0 || departure_us.is_some_and(|d| d < arrival_us) {
+            self.dropped += 1;
+            return;
+        }
+        self.push_delta(arrival_us, 1);
+        if let Some(d) = departure_us {
+            self.push_delta(d, -1);
+        }
+        self.seal_ready();
+    }
+
+    /// Folds a chunk of intervals in, in order.
+    pub fn observe_chunk(&mut self, intervals: &[(i64, Option<i64>)]) {
+        for &(a, d) in intervals {
+            self.observe(a, d);
+        }
+    }
+
+    fn push_delta(&mut self, t_us: i64, d: i64) {
+        // A delta at or before the last sealed window's end arrived too
+        // late for that window — count it; it still lands in `pending`, so
+        // every *future* window remains exact.
+        if self.next_w_us > self.start_us && t_us <= self.next_w_us {
+            self.late += 1;
+        }
+        *self.pending.entry(t_us).or_insert(0) += d;
+        self.max_seen_us = self.max_seen_us.max(t_us);
+    }
+
+    fn seal_ready(&mut self) {
+        let watermark = self.max_seen_us - self.lag_us;
+        while self.next_w_us < self.end_us && self.next_w_us + self.window_us < watermark {
+            self.seal_one();
+        }
+    }
+
+    fn seal_one(&mut self) {
+        let wend = self.next_w_us + self.window_us;
+        // Fold every pending delta at or before the window end — the batch
+        // sampler's `t <= wend` rule.
+        let rest = self.pending.split_off(&(wend + 1));
+        for (_, d) in std::mem::replace(&mut self.pending, rest) {
+            self.value += d;
+        }
+        self.sealed.push(
+            SimTime::from_micros(self.next_w_us as u64),
+            self.value as f64,
+        );
+        self.next_w_us = wend;
+    }
+
+    /// Windows sealed so far (labelled by window start, batch convention).
+    pub fn series(&self) -> &TimeSeries {
+        &self.sealed
+    }
+
+    /// Corrupt intervals dropped so far.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Deltas that arrived after their window was already sealed. Those
+    /// windows under-count; all later windows stay exact.
+    pub fn late(&self) -> usize {
+        self.late
+    }
+
+    /// Seals everything through `end` and returns the full series plus the
+    /// dropped-interval count — identical to
+    /// [`queue_series_checked`](crate::queue_series_checked) over the same
+    /// intervals when [`late`](OnlineQueue::late) is zero.
+    pub fn finish(mut self) -> (TimeSeries, usize) {
+        while self.next_w_us < self.end_us {
+            self.seal_one();
+        }
+        (self.sealed, self.dropped)
+    }
+}
+
+/// Online VSB / VLRT detection: an [`OnlinePit`] fold plus episode
+/// detection. Because the VSB threshold is `factor ×` the *run-wide* mean
+/// response time, mid-run episodes are provisional (computed against the
+/// sealed prefix's mean); [`finish`](OnlineVsb::finish) reruns the batch
+/// [`detect_vsb`] over the complete series, so the final episodes are
+/// identical to batch by construction.
+#[derive(Debug, Clone)]
+pub struct OnlineVsb {
+    pit: OnlinePit,
+    factor: f64,
+}
+
+impl OnlineVsb {
+    /// Creates a detector with the given PIT window, watermark lag, and
+    /// VSB factor.
+    ///
+    /// # Panics
+    ///
+    /// As [`OnlinePit::new`].
+    pub fn new(window_us: i64, lag_us: i64, factor: f64) -> OnlineVsb {
+        OnlineVsb {
+            pit: OnlinePit::new(window_us, lag_us),
+            factor,
+        }
+    }
+
+    /// Folds one completion in.
+    pub fn observe(&mut self, t_us: i64, rt_ms: f64) {
+        self.pit.observe(t_us, rt_ms);
+    }
+
+    /// Folds a chunk of completions in.
+    pub fn observe_chunk(&mut self, completions: &[(i64, f64)]) {
+        self.pit.observe_chunk(completions);
+    }
+
+    /// The underlying PIT fold.
+    pub fn pit(&self) -> &OnlinePit {
+        &self.pit
+    }
+
+    /// Episodes over the sealed prefix, judged against the prefix's own
+    /// mean — the answer a live dashboard shows, to be confirmed at
+    /// finish.
+    pub fn provisional(&self) -> Vec<VsbEpisode> {
+        detect_vsb(&self.pit.provisional(), self.factor)
+    }
+
+    /// Seals everything and reruns the batch detector: the returned
+    /// episodes equal `detect_vsb(&series, factor)` exactly.
+    pub fn finish(self) -> (PitSeries, Vec<VsbEpisode>) {
+        let factor = self.factor;
+        let series = self.pit.finish();
+        let episodes = detect_vsb(&series, factor);
+        (series, episodes)
+    }
+}
+
+/// Online cross-tier pushback detection: one [`OnlineQueue`] per tier
+/// (pipeline order, tier 0 first, identical window grids). Elevation
+/// thresholds depend on each tier's run-wide median, so mid-run episodes
+/// are provisional; [`finish`](OnlinePushback::finish) reruns the batch
+/// [`detect_pushback`] over the complete per-tier series.
+#[derive(Debug, Clone)]
+pub struct OnlinePushback {
+    labels: Vec<String>,
+    tiers: Vec<OnlineQueue>,
+    multiplier: f64,
+}
+
+impl OnlinePushback {
+    /// Creates a detector for `labels.len()` tiers sharing one window grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` is empty or `window` is zero.
+    pub fn new(
+        labels: &[&str],
+        start: SimTime,
+        end: SimTime,
+        window: SimDuration,
+        lag: SimDuration,
+        multiplier: f64,
+    ) -> OnlinePushback {
+        assert!(!labels.is_empty(), "need at least one tier");
+        OnlinePushback {
+            labels: labels.iter().map(|l| l.to_string()).collect(),
+            tiers: labels
+                .iter()
+                .map(|_| OnlineQueue::new(start, end, window, lag))
+                .collect(),
+            multiplier,
+        }
+    }
+
+    /// Folds one residence interval into tier `tier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tier` is out of range.
+    pub fn observe(&mut self, tier: usize, arrival_us: i64, departure_us: Option<i64>) {
+        self.tiers[tier].observe(arrival_us, departure_us);
+    }
+
+    /// Folds a chunk of intervals into tier `tier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tier` is out of range.
+    pub fn observe_chunk(&mut self, tier: usize, intervals: &[(i64, Option<i64>)]) {
+        self.tiers[tier].observe_chunk(intervals);
+    }
+
+    /// The per-tier window series sealed so far.
+    pub fn provisional_series(&self) -> Vec<WindowSeries> {
+        self.labels
+            .iter()
+            .zip(&self.tiers)
+            .map(|(l, q)| window_series(l, q.series()))
+            .collect()
+    }
+
+    /// Episodes over the sealed prefix, judged against the prefix's own
+    /// medians. Only windows every tier has sealed are compared (the
+    /// detector walks the front tier's windows and looks the rest up).
+    pub fn provisional(&self) -> Vec<PushbackEpisode> {
+        detect_pushback(&self.provisional_series(), self.multiplier)
+    }
+
+    /// Corrupt intervals dropped so far, summed over tiers.
+    pub fn dropped(&self) -> usize {
+        self.tiers.iter().map(|q| q.dropped()).sum()
+    }
+
+    /// Seals every tier through its end and reruns the batch detector:
+    /// the returned episodes equal `detect_pushback(&series, multiplier)`
+    /// exactly.
+    pub fn finish(self) -> (Vec<WindowSeries>, Vec<PushbackEpisode>) {
+        let multiplier = self.multiplier;
+        let series: Vec<WindowSeries> = self
+            .labels
+            .iter()
+            .zip(self.tiers)
+            .map(|(l, q)| {
+                let (ts, _) = q.finish();
+                window_series(l, &ts)
+            })
+            .collect();
+        let episodes = detect_pushback(&series, multiplier);
+        (series, episodes)
+    }
+}
+
+fn window_series(label: &str, ts: &TimeSeries) -> WindowSeries {
+    WindowSeries::new(
+        label,
+        ts.iter().map(|(t, v)| (t.as_micros() as i64, v)).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::{queue_series_checked, Intervals};
+
+    /// A bursty completion stream with a VLRT episode, mildly out of
+    /// order (disorder ≤ 20 ms).
+    fn completions() -> Vec<(i64, f64)> {
+        let mut out: Vec<(i64, f64)> = Vec::new();
+        for i in 0..400i64 {
+            let t = i * 10_000;
+            let rt = if (500_000..650_000).contains(&t) {
+                200.0 + (i % 7) as f64
+            } else {
+                5.0 + (i % 3) as f64
+            };
+            out.push((t, rt));
+        }
+        // Shuffle deterministically within a 2-element neighborhood.
+        for i in (0..out.len() - 1).step_by(2) {
+            out.swap(i, i + 1);
+        }
+        out
+    }
+
+    #[test]
+    fn online_pit_matches_batch_at_every_chunk_size() {
+        let comps = completions();
+        let batch = PitSeries::from_completions(&comps, 50_000);
+        for chunk in [1usize, 64, 4096] {
+            let mut online = OnlinePit::new(50_000, 20_000);
+            for c in comps.chunks(chunk) {
+                online.observe_chunk(c);
+            }
+            assert_eq!(online.late(), 0, "chunk={chunk}");
+            let series = online.finish();
+            assert_eq!(series, batch, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn pit_seals_with_bounded_lag_and_points_are_final() {
+        let comps = completions();
+        let batch = PitSeries::from_completions(&comps, 50_000);
+        let mut online = OnlinePit::new(50_000, 20_000);
+        let mut high_water = 0usize;
+        for c in comps.chunks(16) {
+            online.observe_chunk(c);
+            let sealed = online.sealed_points();
+            // Emission is monotone…
+            assert!(sealed.len() >= high_water);
+            high_water = sealed.len();
+            // …and every sealed point is already the batch-final point.
+            assert_eq!(sealed, &batch.points[..sealed.len()]);
+            // Sealing respects the watermark: nothing younger than
+            // max_seen − lag is sealed.
+            if let (Some(p), Some(max)) = (sealed.last(), online.max_seen_us) {
+                assert!(p.start_us + 50_000 <= max - 20_000);
+            }
+        }
+        // Mid-run, a prefix has actually been sealed (bounded lag, not
+        // everything-at-finish).
+        assert!(high_water > 0, "watermark never sealed anything");
+    }
+
+    #[test]
+    fn pit_counts_arrivals_later_than_the_lag() {
+        let mut online = OnlinePit::new(50_000, 0);
+        online.observe(10_000, 5.0);
+        online.observe(200_000, 5.0); // seals the first window
+        online.observe(20_000, 99.0); // window long sealed → late
+        assert_eq!(online.late(), 1);
+        let series = online.finish();
+        // The late observation is absent (its window kept count 1).
+        assert_eq!(series.points[0].count, 1);
+        assert_eq!(series.points[0].max_ms, 5.0);
+    }
+
+    fn ms(x: u64) -> SimTime {
+        SimTime::from_millis(x)
+    }
+
+    #[test]
+    fn online_queue_matches_batch_checked() {
+        // Mix of valid, open-ended, and corrupt intervals.
+        let intervals: Intervals = vec![
+            (0, Some(30_000)),
+            (10_000, Some(40_000)),
+            (-5, Some(10_000)), // corrupt: negative arrival
+            (20_000, Some(25_000)),
+            (70_000, Some(60_000)), // corrupt: inverted
+            (45_000, None),         // never departs
+        ];
+        let (batch, bdropped) =
+            queue_series_checked(&intervals, ms(0), ms(100), SimDuration::from_millis(10));
+        for chunk in [1usize, 2, 6] {
+            let mut online = OnlineQueue::new(
+                ms(0),
+                ms(100),
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(20),
+            );
+            for c in intervals.chunks(chunk) {
+                online.observe_chunk(c);
+            }
+            let (series, dropped) = online.finish();
+            assert_eq!(dropped, bdropped, "chunk={chunk}");
+            assert_eq!(series.values(), batch.values(), "chunk={chunk}");
+            assert_eq!(series.times(), batch.times(), "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn online_queue_seals_incrementally_and_prefix_is_final() {
+        let intervals: Intervals = (0..200)
+            .map(|i| (i * 5_000, Some(i * 5_000 + 42_000)))
+            .collect();
+        let (batch, _) =
+            queue_series_checked(&intervals, ms(0), ms(1_000), SimDuration::from_millis(10));
+        let mut online = OnlineQueue::new(
+            ms(0),
+            ms(1_000),
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(50),
+        );
+        let mut sealed_mid = 0usize;
+        for c in intervals.chunks(10) {
+            online.observe_chunk(c);
+            let s = online.series();
+            assert_eq!(s.values(), &batch.values()[..s.len()]);
+            sealed_mid = s.len();
+        }
+        assert!(sealed_mid > 0, "watermark never sealed anything");
+        assert_eq!(online.late(), 0);
+        let (series, _) = online.finish();
+        assert_eq!(series.values(), batch.values());
+    }
+
+    #[test]
+    fn online_vsb_finish_is_batch_exact() {
+        let comps = completions();
+        let batch_pit = PitSeries::from_completions(&comps, 50_000);
+        let batch_eps = detect_vsb(&batch_pit, 10.0);
+        assert!(!batch_eps.is_empty(), "fixture must contain an episode");
+        let mut online = OnlineVsb::new(50_000, 20_000, 10.0);
+        for c in comps.chunks(64) {
+            online.observe_chunk(c);
+            // Provisional episodes never panic and carry sane bounds.
+            for ep in online.provisional() {
+                assert!(ep.end_us > ep.start_us);
+            }
+        }
+        let (series, episodes) = online.finish();
+        assert_eq!(series, batch_pit);
+        assert_eq!(episodes, batch_eps);
+    }
+
+    #[test]
+    fn online_pushback_finish_is_batch_exact() {
+        // Two tiers over a 2 s run; both elevated around 400–600 ms
+        // (cross-tier), tier 0 alone around 800 ms; long quiet baseline so
+        // the medians stay at baseline level.
+        let mut t0: Intervals = Vec::new();
+        let mut t1: Intervals = Vec::new();
+        for i in 0..200i64 {
+            let t = i * 10_000;
+            t0.push((t, Some(t + 3_000)));
+            t1.push((t, Some(t + 2_000)));
+        }
+        for i in 0..50i64 {
+            let t = 400_000 + i * 4_000;
+            t0.push((t, Some(t + 150_000)));
+            t1.push((t, Some(t + 120_000)));
+        }
+        for i in 0..40i64 {
+            let t = 800_000 + i * 4_000;
+            t0.push((t, Some(t + 100_000)));
+        }
+        t0.sort_unstable();
+        t1.sort_unstable();
+        let window = SimDuration::from_millis(50);
+        let (q0, _) = queue_series_checked(&t0, ms(0), ms(2_000), window);
+        let (q1, _) = queue_series_checked(&t1, ms(0), ms(2_000), window);
+        let batch_series = vec![window_series("apache", &q0), window_series("tomcat", &q1)];
+        let batch_eps = detect_pushback(&batch_series, 3.0);
+        assert!(!batch_eps.is_empty(), "fixture must contain an episode");
+
+        let mut online = OnlinePushback::new(
+            &["apache", "tomcat"],
+            ms(0),
+            ms(2_000),
+            window,
+            // The lag must cover the delta-stream disorder: departures
+            // enter at arrival order, so disorder ≈ the longest interval
+            // (150 ms here).
+            SimDuration::from_millis(200),
+            3.0,
+        );
+        for c in t0.chunks(7) {
+            online.observe_chunk(0, c);
+        }
+        for c in t1.chunks(7) {
+            online.observe_chunk(1, c);
+            let _ = online.provisional();
+        }
+        assert_eq!(online.dropped(), 0);
+        let (series, episodes) = online.finish();
+        assert_eq!(series, batch_series);
+        assert_eq!(episodes, batch_eps);
+    }
+}

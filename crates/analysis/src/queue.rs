@@ -35,8 +35,36 @@ pub fn intervals_from_event_table(table: &Table) -> Result<Intervals, String> {
         .collect())
 }
 
+/// `true` when an interval is well-formed: a non-negative arrival and, if
+/// departed, a departure no earlier than the arrival. Corrupt intervals
+/// (negative timestamps from a clock bug, `departure < arrival` from a
+/// mangled log line) used to be silently clamped to zero, which both
+/// invented phantom arrivals at t=0 and let inverted intervals inflate the
+/// queue forever; they are dropped instead, and the callers that care get
+/// the dropped count from [`queue_series_checked`].
+fn interval_is_valid(a: i64, d: Option<i64>) -> bool {
+    a >= 0 && d.is_none_or(|d| d >= a)
+}
+
+fn steps_of(intervals: &Intervals) -> (StepSeries, usize) {
+    let mut steps = StepSeries::new();
+    let mut dropped = 0usize;
+    for &(a, d) in intervals {
+        if !interval_is_valid(a, d) {
+            dropped += 1;
+            continue;
+        }
+        steps.delta(SimTime::from_micros(a as u64), 1);
+        if let Some(d) = d {
+            steps.delta(SimTime::from_micros(d as u64), -1);
+        }
+    }
+    (steps, dropped)
+}
+
 /// Folds intervals into the queue-length series sampled at the end of each
-/// `window` over `[start, end)`.
+/// `window` over `[start, end)`. Corrupt intervals are dropped (see
+/// [`queue_series_checked`] for the dropped count).
 ///
 /// # Panics
 ///
@@ -47,14 +75,23 @@ pub fn queue_series(
     end: SimTime,
     window: SimDuration,
 ) -> TimeSeries {
-    let mut steps = StepSeries::new();
-    for &(a, d) in intervals {
-        steps.delta(SimTime::from_micros(a.max(0) as u64), 1);
-        if let Some(d) = d {
-            steps.delta(SimTime::from_micros(d.max(0) as u64), -1);
-        }
-    }
-    steps.sample_windows(start, end, window)
+    queue_series_checked(intervals, start, end, window).0
+}
+
+/// [`queue_series`] plus the number of corrupt intervals that were dropped
+/// (negative arrival/departure micros, or `departure < arrival`).
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+pub fn queue_series_checked(
+    intervals: &Intervals,
+    start: SimTime,
+    end: SimTime,
+    window: SimDuration,
+) -> (TimeSeries, usize) {
+    let (mut steps, dropped) = steps_of(intervals);
+    (steps.sample_windows(start, end, window), dropped)
 }
 
 /// Convenience: queue series straight from an event table.
@@ -76,15 +113,10 @@ pub fn queue_from_event_table(
     ))
 }
 
-/// Time-weighted mean queue length over `[start, end)`.
+/// Time-weighted mean queue length over `[start, end)`. Corrupt intervals
+/// are dropped, as in [`queue_series`].
 pub fn mean_queue(intervals: &Intervals, start: SimTime, end: SimTime) -> f64 {
-    let mut steps = StepSeries::new();
-    for &(a, d) in intervals {
-        steps.delta(SimTime::from_micros(a.max(0) as u64), 1);
-        if let Some(d) = d {
-            steps.delta(SimTime::from_micros(d.max(0) as u64), -1);
-        }
-    }
+    let (mut steps, _) = steps_of(intervals);
     if steps.is_empty() || end <= start {
         return 0.0;
     }
@@ -126,6 +158,45 @@ mod tests {
         let m = mean_queue(&intervals, ms(0), ms(100));
         assert!((m - 0.5).abs() < 1e-9);
         assert_eq!(mean_queue(&Vec::new(), ms(0), ms(100)), 0.0);
+    }
+
+    #[test]
+    fn negative_timestamps_are_dropped_not_clamped() {
+        // A negative arrival used to clamp to t=0, inventing a phantom
+        // resident request from the start of observation.
+        let intervals: Intervals = vec![(-5_000, Some(30_000)), (10_000, Some(40_000))];
+        let (s, dropped) =
+            queue_series_checked(&intervals, ms(0), ms(50), SimDuration::from_millis(10));
+        assert_eq!(dropped, 1);
+        assert_eq!(s.values(), &[1.0, 1.0, 1.0, 0.0, 0.0]);
+        // The undamaged interval alone gives the same series.
+        let clean: Intervals = vec![(10_000, Some(40_000))];
+        assert_eq!(
+            queue_series(&clean, ms(0), ms(50), SimDuration::from_millis(10)),
+            s
+        );
+        assert_eq!(
+            mean_queue(&intervals, ms(0), ms(100)),
+            mean_queue(&clean, ms(0), ms(100))
+        );
+    }
+
+    #[test]
+    fn inverted_intervals_are_dropped_not_permanent() {
+        // departure < arrival used to push -1 before +1, permanently
+        // deflating then inflating the queue; the interval is corrupt and
+        // must not contribute at all.
+        let intervals: Intervals = vec![(30_000, Some(10_000)), (0, Some(20_000))];
+        let (s, dropped) =
+            queue_series_checked(&intervals, ms(0), ms(50), SimDuration::from_millis(10));
+        assert_eq!(dropped, 1);
+        assert_eq!(s.values(), &[1.0, 0.0, 0.0, 0.0, 0.0]);
+        // A negative departure on an open-ended-looking row is also corrupt.
+        let neg_dep: Intervals = vec![(0, Some(-1))];
+        let (s2, dropped2) =
+            queue_series_checked(&neg_dep, ms(0), ms(20), SimDuration::from_millis(10));
+        assert_eq!(dropped2, 1);
+        assert!(s2.values().iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -34,6 +34,7 @@ const TRACKED: &[(&str, &[&str])] = &[
         &["speedup_parallel_direct_vs_serial_csv"],
     ),
     ("sim_scale", &["best_speedup"]),
+    ("stream_ingest", &["throughput_vs_batch"]),
 ];
 
 /// One tracked metric's comparison outcome.
@@ -267,7 +268,12 @@ mod tests {
         // The repo-root records must stay comparable: each names a bench
         // this guard tracks and carries every tracked headline field.
         let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-        for name in ["BENCH_query.json", "BENCH_transform.json", "BENCH_sim.json"] {
+        for name in [
+            "BENCH_query.json",
+            "BENCH_transform.json",
+            "BENCH_sim.json",
+            "BENCH_stream.json",
+        ] {
             let text = std::fs::read_to_string(format!("{root}/{name}")).unwrap();
             let doc = Json::parse(&text).unwrap();
             let bench = doc.get("bench").and_then(Json::as_str).unwrap();

@@ -6,9 +6,9 @@ use mscope_analysis::{
     queue_from_event_table, reconstruct_flows, PitSeries, RequestFlow, WindowSeries,
 };
 use mscope_db::{AggFn, Database, Predicate, Table, Value};
-use mscope_monitors::SysVizTrace;
-use mscope_ntier::{SystemConfig, TierId, TierKind};
-use mscope_sim::{SimDuration, SimTime};
+use mscope_monitors::{merge_records, MonitorSuite, SysVizTrace};
+use mscope_ntier::{RunOutput, SystemConfig, TierId, TierKind};
+use mscope_sim::{run_piped, SimDuration, SimTime};
 use mscope_transform::{DataTransformer, RunOptions, TransformReport};
 
 /// A fully ingested experiment: native logs transformed, loaded into
@@ -101,28 +101,7 @@ impl MilliScope {
         opts: RunOptions,
     ) -> Result<MilliScope, CoreError> {
         let mut db = Database::new();
-        db.register_experiment(
-            1,
-            "milliscope-run",
-            cfg.workload.users as i64,
-            cfg.duration.as_millis() as i64,
-            cfg.seed as i64,
-        )?;
-        for (ti, t) in cfg.tiers.iter().enumerate() {
-            for replica in 0..t.replicas {
-                let node = mscope_ntier::NodeId {
-                    tier: TierId(ti),
-                    replica,
-                };
-                db.register_node(
-                    &node.to_string(),
-                    ti as i64,
-                    t.kind.name(),
-                    t.cores as i64,
-                    t.workers as i64,
-                )?;
-            }
-        }
+        register_run(&mut db, &cfg)?;
         let transformer = DataTransformer::from_manifest(manifest);
         let report = transformer.run_with(store, &mut db, opts)?;
         let end_time = cfg.end_time();
@@ -375,6 +354,117 @@ impl MilliScope {
     }
 }
 
+/// Seeds a fresh warehouse with the static experiment/node rows every
+/// ingestion path (batch or streaming) registers before any log rows land.
+fn register_run(db: &mut Database, cfg: &SystemConfig) -> Result<(), CoreError> {
+    db.register_experiment(
+        1,
+        "milliscope-run",
+        cfg.workload.users as i64,
+        cfg.duration.as_millis() as i64,
+        cfg.seed as i64,
+    )?;
+    for (ti, t) in cfg.tiers.iter().enumerate() {
+        for replica in 0..t.replicas {
+            let node = mscope_ntier::NodeId {
+                tier: TierId(ti),
+                replica,
+            };
+            db.register_node(
+                &node.to_string(),
+                ti as i64,
+                t.kind.name(),
+                t.cores as i64,
+                t.workers as i64,
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Streaming ingestion — the live path of the spine. Instead of rendering
+/// every log to completion and then transforming the finished files
+/// ([`MilliScope::ingest`]), the monitors emit records continuously
+/// through a bounded channel and the transformer tails the growing log
+/// store, so the warehouse fills *while the run plays*.
+impl MilliScope {
+    /// Replays a run's records through the full streaming spine:
+    /// monitors → bounded [`RecordStream`](mscope_sim::RecordStream) →
+    /// incremental transformer → warehouse. Records flow in time order in
+    /// chunks of `chunk`; after each chunk the transformer's parse stage
+    /// fans out over `workers` threads. The resulting handle is equivalent
+    /// to [`ingest`](MilliScope::ingest)ing the same run: identical
+    /// transform report, schemas, and row multisets (tables fed by a
+    /// single log file are byte-identical; tables fed by several files
+    /// may interleave their appends differently).
+    ///
+    /// # Errors
+    ///
+    /// Any transformation or load error.
+    pub fn run_streaming(
+        run: &RunOutput,
+        chunk: usize,
+        workers: usize,
+    ) -> Result<MilliScope, CoreError> {
+        let suite = MonitorSuite::standard(&run.config);
+        Self::run_streaming_with(run, suite, chunk, workers)
+    }
+
+    /// [`run_streaming`](MilliScope::run_streaming) under a custom monitor
+    /// suite (e.g. event monitors disabled or the SysViz tap removed).
+    ///
+    /// # Errors
+    ///
+    /// Any transformation or load error.
+    pub fn run_streaming_with(
+        run: &RunOutput,
+        suite: MonitorSuite,
+        chunk: usize,
+        workers: usize,
+    ) -> Result<MilliScope, CoreError> {
+        let cfg = run.config.clone();
+        let mut db = Database::new();
+        register_run(&mut db, &cfg)?;
+        let manifest = suite.manifest(&cfg);
+        let mut ingester = DataTransformer::from_manifest(&manifest).stream()?;
+
+        let records = merge_records(run);
+        let chunk = chunk.max(1);
+        // The producer side stands in for the live monitor emitters; the
+        // bounded channel gives it backpressure against a slow consumer.
+        // The consumer renders each chunk into the log store and lets the
+        // transformer drain whatever became parseable.
+        let (artifacts, report) = run_piped(
+            8,
+            |tx| {
+                for c in records.chunks(chunk) {
+                    if tx.send(c.to_vec()).is_err() {
+                        break;
+                    }
+                }
+            },
+            |rx| -> Result<_, CoreError> {
+                let mut monitors = suite.stream(&cfg);
+                while let Some(c) = rx.recv() {
+                    monitors.observe_chunk(&c);
+                    ingester.poll_with(monitors.store(), &mut db, workers)?;
+                }
+                let artifacts = monitors.finish();
+                let report = ingester.finish(&artifacts.store, &mut db)?;
+                Ok((artifacts, report))
+            },
+        )?;
+        let end_time = cfg.end_time();
+        Ok(MilliScope {
+            db,
+            config: cfg,
+            sysviz: artifacts.sysviz,
+            report,
+            end_time,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -606,6 +696,127 @@ impl MilliScope {
         window: SimDuration,
     ) -> Result<mscope_analysis::SloReport, CoreError> {
         Ok(slo.evaluate(&self.pit(window)?))
+    }
+}
+
+#[cfg(test)]
+mod streaming_tests {
+    use super::*;
+    use crate::experiment::Experiment;
+    use mscope_db::ValueKey;
+    use std::collections::BTreeMap;
+
+    fn small_output() -> ExperimentOutput {
+        let mut cfg = SystemConfig::rubbos_baseline(30);
+        cfg.duration = SimDuration::from_secs(3);
+        cfg.warmup = SimDuration::from_secs(1);
+        cfg.workload.ramp_up = SimDuration::from_secs(1);
+        Experiment::new(cfg).unwrap().run()
+    }
+
+    /// Tables fed by several log files may interleave their appends
+    /// differently between the batch and streaming paths; canonicalize
+    /// those to a sorted multiset.
+    fn sorted_rows(t: &Table) -> Vec<Vec<ValueKey>> {
+        let mut rows: Vec<Vec<ValueKey>> = t
+            .iter_rows()
+            .map(|r| r.iter().map(Value::key).collect())
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    fn multi_file_tables(manifest: &[mscope_monitors::LogFileMeta]) -> Vec<String> {
+        let tr = DataTransformer::from_manifest(manifest);
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for d in tr.declarations() {
+            *counts.entry(d.table.clone()).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .filter(|&(_, n)| n > 1)
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    #[test]
+    fn streaming_matches_batch_across_chunk_sizes_and_workers() {
+        let out = small_output();
+        let batch = MilliScope::ingest(&out).unwrap();
+        let multi = multi_file_tables(&out.artifacts.manifest);
+        let w = SimDuration::from_millis(50);
+        // Same chunking must yield a byte-identical warehouse at any
+        // worker count; collect one serialization per chunk size and
+        // compare the rest against it.
+        let mut by_chunk: BTreeMap<usize, String> = BTreeMap::new();
+        for &(chunk, workers) in &[(1, 1), (1, 4), (64, 1), (64, 4), (4096, 1), (4096, 4)] {
+            let ms = MilliScope::run_streaming(&out.run, chunk, workers).unwrap();
+            let tag = format!("chunk={chunk} workers={workers}");
+            assert_eq!(ms.transform_report(), batch.transform_report(), "{tag}");
+            assert_eq!(ms.db().table_names(), batch.db().table_names(), "{tag}");
+            for name in batch.db().table_names() {
+                let b = batch.db().require(name).unwrap();
+                let s = ms.db().require(name).unwrap();
+                assert_eq!(s.schema(), b.schema(), "{tag}: schema of {name}");
+                if multi.iter().any(|m| m == name) {
+                    assert_eq!(sorted_rows(s), sorted_rows(b), "{tag}: rows of {name}");
+                } else {
+                    assert_eq!(s, b, "{tag}: table {name}");
+                }
+            }
+            // The analysis vocabulary agrees exactly, not just in shape.
+            assert_eq!(ms.pit(w).unwrap(), batch.pit(w).unwrap(), "{tag}");
+            assert_eq!(
+                ms.all_queues(w).unwrap(),
+                batch.all_queues(w).unwrap(),
+                "{tag}"
+            );
+            let json = ms.db().to_json().unwrap();
+            match by_chunk.get(&chunk) {
+                Some(first) => assert_eq!(&json, first, "{tag}: worker fan-out changed bytes"),
+                None => {
+                    by_chunk.insert(chunk, json);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_resource_queries_match_batch() {
+        // Per-node resource rows keep their source-file order under the
+        // predicate filter, so windowed aggregates agree to the bit even
+        // though the shared collectl table interleaves nodes differently.
+        let out = small_output();
+        let batch = MilliScope::ingest(&out).unwrap();
+        let ms = MilliScope::run_streaming(&out.run, 256, 2).unwrap();
+        let w = SimDuration::from_millis(100);
+        for node in ["tier0-0", "tier3-0"] {
+            for (metric, agg) in [("disk_util", AggFn::Max), ("cpu_user", AggFn::Mean)] {
+                assert_eq!(
+                    ms.resource(node, metric, w, agg).unwrap(),
+                    batch.resource(node, metric, w, agg).unwrap(),
+                    "{node}/{metric}"
+                );
+            }
+        }
+        assert_eq!(ms.sysviz(), batch.sysviz());
+    }
+
+    #[test]
+    fn streaming_respects_custom_suites() {
+        let mut cfg = SystemConfig::rubbos_baseline(20);
+        cfg.duration = SimDuration::from_secs(3);
+        cfg.warmup = SimDuration::from_secs(1);
+        let out = Experiment::new(cfg.clone()).unwrap().run();
+        let mut suite = MonitorSuite::standard(&cfg);
+        suite.sysviz = false;
+        let ms = MilliScope::run_streaming_with(&out.run, suite, 512, 1).unwrap();
+        assert!(ms.sysviz().is_none());
+        assert!(ms.pit(SimDuration::from_millis(50)).is_ok());
+        let mut suite = MonitorSuite::standard(&cfg);
+        suite.event_monitors = false;
+        let ms = MilliScope::run_streaming_with(&out.run, suite, 512, 1).unwrap();
+        assert!(ms.event_table(0).is_err());
     }
 }
 

@@ -70,12 +70,14 @@ pub const IDENTITY_GATED_CRATES: &[&str] = &[
 ];
 
 /// The sanctioned worker-pool implementations: the shared `WorkQueue`,
-/// the simulator's `parallel_map`, the transformer's convert stage, and
-/// the warehouse block scanner. Only these may spawn threads or hold the
-/// shared slots/atomics that make job-order merging work (DT003, DT005).
+/// the simulator's `parallel_map`, the bounded `RecordStream` channel,
+/// the transformer's convert stage, and the warehouse block scanner. Only
+/// these may spawn threads or hold the shared slots/atomics that make
+/// job-order merging work (DT003, DT005).
 pub const SANCTIONED_POOL_FILES: &[&str] = &[
     "crates/sim/src/par.rs",
     "crates/sim/src/queue.rs",
+    "crates/sim/src/stream.rs",
     "crates/transform/src/pipeline.rs",
     "crates/warehouse/src/engine.rs",
 ];

@@ -131,8 +131,8 @@ fn bench_delta_guard_covers_every_smoke_baseline() {
         );
     }
     assert!(
-        baselines >= 3,
-        "expected smoke baselines for the query, transform, and sim benches"
+        baselines >= 4,
+        "expected smoke baselines for the query, transform, sim, and stream benches"
     );
 }
 

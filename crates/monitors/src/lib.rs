@@ -16,6 +16,10 @@
 //! * [`MonitorSuite`] — the deployment plan; rendering a run through it
 //!   yields a [`LogStore`] of native logs plus the manifest that seeds the
 //!   transformer's parsing declarations.
+//! * [`MonitorStream`] — the streaming counterpart: feed it [`Record`]s
+//!   as they arrive (e.g. off a bounded
+//!   [`RecordStream`](mscope_sim::RecordStream)) and finish into
+//!   artifacts byte-identical to batch rendering.
 //! * [`OverheadReport`] — the enabled-vs-disabled overhead comparison
 //!   behind Figs. 10–11.
 //!
@@ -43,6 +47,7 @@ mod logstore;
 mod overhead;
 mod resource;
 mod shape;
+mod stream;
 mod suite;
 mod sysviz;
 
@@ -54,5 +59,6 @@ pub use shape::{
     event_clock_domain, event_rendered_fields, propagates_request_id, resource_clock_domain,
     resource_rendered_fields, ValueShape, CLOCK_DOMAIN,
 };
+pub use stream::{merge_records, MonitorStream, Record, ResourceMonitorState};
 pub use suite::{topology_nodes, LogFileMeta, MonitorKind, MonitorSuite, MonitoringArtifacts};
 pub use sysviz::{SysVizSpan, SysVizTap, SysVizTrace, SysVizTransaction};

@@ -114,21 +114,32 @@ impl ResourceMonitor {
 
     /// Renders this monitor's log from the full base-sample stream (samples
     /// for other nodes are skipped). Returns the number of records written.
+    ///
+    /// Batch rendering is *defined* as header + per-record pieces + footer —
+    /// the same pieces [`ResourceMonitorState`](crate::ResourceMonitorState)
+    /// appends incrementally — so the streaming spine is byte-identical to
+    /// this by construction.
     pub fn render(&self, samples: &[ResourceSample], store: &mut LogStore) -> usize {
         let mine: Vec<&ResourceSample> = samples.iter().filter(|s| s.node == self.node).collect();
         let merged = aggregate(&mine, self.period);
-        let text = match self.tool {
-            Tool::CollectlCsv => collectl_csv(&merged),
-            Tool::CollectlPlain => collectl_plain(&merged),
-            Tool::SarText => sar_text(&self.node, &merged),
-            Tool::SarMem => sar_mem(&self.node, &merged),
-            Tool::SarNet => sar_net(&self.node, &merged),
-            Tool::SarXml => sar_xml(&self.node, &merged),
-            Tool::Iostat => iostat_text(&merged),
-        };
+        // perf: one output buffer per monitor render, sized by record count.
+        let mut text = String::with_capacity(140 + merged.len() * 160);
+        self.tool.header_into(&mut text, &self.node);
+        for (i, s) in merged.iter().enumerate() {
+            self.tool.record_into(&mut text, i, s);
+        }
+        text.push_str(self.tool.footer());
         store.append(&self.log_path(), &text);
         merged.len()
     }
+}
+
+/// The period-grid bucket a sample belongs to. Buckets are aligned using
+/// each sample's *interval end* timestamp: a sample at exactly t belongs to
+/// the bucket ending at t. Shared by batch [`aggregate`] and the streaming
+/// per-monitor state so the two seal buckets on identical boundaries.
+pub(crate) fn bucket_of(s: &ResourceSample, period: SimDuration) -> u64 {
+    s.time.as_micros().div_ceil(period.as_micros().max(1))
 }
 
 /// Aggregates consecutive base samples into monitor-period records: percents
@@ -138,14 +149,10 @@ fn aggregate(samples: &[&ResourceSample], period: SimDuration) -> Vec<ResourceSa
     if samples.is_empty() {
         return out;
     }
-    let period_us = period.as_micros().max(1);
     let mut bucket: Vec<&ResourceSample> = Vec::new();
-    // Buckets are aligned on the period grid using each sample's *interval
-    // end* timestamp: a sample at exactly t belongs to the bucket ending at t.
-    let bucket_of = |s: &ResourceSample| s.time.as_micros().div_ceil(period_us);
-    let mut current = bucket_of(samples[0]);
+    let mut current = bucket_of(samples[0], period);
     for s in samples {
-        let b = bucket_of(s);
+        let b = bucket_of(s, period);
         if b != current && !bucket.is_empty() {
             out.push(merge(&bucket));
             bucket.clear();
@@ -159,7 +166,7 @@ fn aggregate(samples: &[&ResourceSample], period: SimDuration) -> Vec<ResourceSa
     out
 }
 
-fn merge(bucket: &[&ResourceSample]) -> ResourceSample {
+pub(crate) fn merge(bucket: &[&ResourceSample]) -> ResourceSample {
     let n = bucket.len() as f64;
     let last = bucket.last().expect("bucket non-empty");
     let mean = |f: fn(&ResourceSample) -> f64| bucket.iter().map(|s| f(s)).sum::<f64>() / n;
@@ -184,167 +191,160 @@ fn merge(bucket: &[&ResourceSample]) -> ResourceSample {
     }
 }
 
-fn collectl_csv(samples: &[ResourceSample]) -> String {
-    let mut out = String::with_capacity(140 + samples.len() * 96);
-    out.push_str(
-        "#Time [CPU]User% [CPU]Sys% [CPU]Wait% [CPU]Idle% [MEM]Dirty [MEM]Used \
-         [DSK]WriteKBTot [DSK]WritesTot [DSK]Util% [NET]RxKBTot [NET]TxKBTot\n",
-    );
-    for s in samples {
-        let _ = writeln!(
-            out,
-            "{} {:.2} {:.2} {:.2} {:.2} {} {} {:.1} {} {:.1} {:.1} {:.1}",
-            wallclock(s.time),
-            s.cpu_user,
-            s.cpu_sys,
-            s.cpu_iowait,
-            s.cpu_idle,
-            s.dirty_pages,
-            s.mem_used_bytes / 1024,
-            s.disk_write_bytes as f64 / 1024.0,
-            s.disk_ops,
-            s.disk_util,
-            s.net_rx_bytes as f64 / 1024.0,
-            s.net_tx_bytes as f64 / 1024.0,
-        );
-    }
-    out
-}
-
-fn collectl_plain(samples: &[ResourceSample]) -> String {
-    let mut out = String::with_capacity(samples.len() * 128);
-    for (i, s) in samples.iter().enumerate() {
-        let _ = writeln!(out, "### RECORD {} ({}) ###", i + 1, wallclock(s.time));
-        out.push_str("# CPU SUMMARY\n");
-        out.push_str("User% Sys% Wait% Idle%\n");
-        let _ = writeln!(
-            out,
-            "{:.2} {:.2} {:.2} {:.2}",
-            s.cpu_user, s.cpu_sys, s.cpu_iowait, s.cpu_idle
-        );
-        out.push_str("# DISK SUMMARY\n");
-        out.push_str("WriteKB Writes Util%\n");
-        let _ = writeln!(
-            out,
-            "{:.1} {} {:.1}",
-            s.disk_write_bytes as f64 / 1024.0,
-            s.disk_ops,
-            s.disk_util
-        );
-        out.push_str("# MEMORY\n");
-        out.push_str("Dirty UsedKB\n");
-        let _ = writeln!(out, "{} {}", s.dirty_pages, s.mem_used_bytes / 1024);
-    }
-    out
-}
-
 /// SAR repeats its column header; real deployments see this every screenful.
 const SAR_HEADER_EVERY: usize = 20;
 
-fn sar_text(node: &NodeId, samples: &[ResourceSample]) -> String {
-    let mut out = String::with_capacity(80 + samples.len() * 72);
+/// SAR's host banner line, shared by every textual SAR mode.
+fn sar_banner(out: &mut String, node: &NodeId) {
     let _ = writeln!(
         out,
         "Linux 3.10.0-mscope ({node}) \t07/05/26 \t_x86_64_\t(2 CPU)\n"
     );
-    for (i, s) in samples.iter().enumerate() {
-        if i % SAR_HEADER_EVERY == 0 {
-            out.push_str("timestamp            CPU      %user      %sys   %iowait     %idle\n");
+}
+
+impl Tool {
+    /// Appends the one-time file preamble (may be empty — collectl brief
+    /// and iostat have none).
+    pub(crate) fn header_into(self, out: &mut String, node: &NodeId) {
+        match self {
+            Tool::CollectlCsv => out.push_str(
+                "#Time [CPU]User% [CPU]Sys% [CPU]Wait% [CPU]Idle% [MEM]Dirty [MEM]Used \
+                 [DSK]WriteKBTot [DSK]WritesTot [DSK]Util% [NET]RxKBTot [NET]TxKBTot\n",
+            ),
+            Tool::CollectlPlain | Tool::Iostat => {}
+            Tool::SarText | Tool::SarMem | Tool::SarNet => sar_banner(out, node),
+            Tool::SarXml => {
+                out.push_str("<sysstat>\n");
+                let _ = write!(out, " <host nodename=\"{node}\">\n  <statistics>\n");
+            }
         }
-        let _ = writeln!(
-            out,
-            "{}     all {:10.2} {:9.2} {:9.2} {:9.2}",
-            wallclock(s.time),
-            s.cpu_user,
-            s.cpu_sys,
-            s.cpu_iowait,
-            s.cpu_idle
-        );
     }
-    out
-}
 
-fn sar_mem(node: &NodeId, samples: &[ResourceSample]) -> String {
-    let mut out = String::with_capacity(80 + samples.len() * 64);
-    let _ = writeln!(
-        out,
-        "Linux 3.10.0-mscope ({node}) \t07/05/26 \t_x86_64_\t(2 CPU)\n"
-    );
-    for (i, s) in samples.iter().enumerate() {
-        if i % SAR_HEADER_EVERY == 0 {
-            out.push_str("timestamp             kbmemused    %memused     kbdirty\n");
+    /// Appends the `idx`-th aggregated record. `idx` counts records since
+    /// the start of the file — it drives SAR's periodically repeated column
+    /// header and collectl's `### RECORD n` numbering, so a streaming
+    /// appender must thread a running count through.
+    pub(crate) fn record_into(self, out: &mut String, idx: usize, s: &ResourceSample) {
+        match self {
+            Tool::CollectlCsv => {
+                let _ = writeln!(
+                    out,
+                    "{} {:.2} {:.2} {:.2} {:.2} {} {} {:.1} {} {:.1} {:.1} {:.1}",
+                    wallclock(s.time),
+                    s.cpu_user,
+                    s.cpu_sys,
+                    s.cpu_iowait,
+                    s.cpu_idle,
+                    s.dirty_pages,
+                    s.mem_used_bytes / 1024,
+                    s.disk_write_bytes as f64 / 1024.0,
+                    s.disk_ops,
+                    s.disk_util,
+                    s.net_rx_bytes as f64 / 1024.0,
+                    s.net_tx_bytes as f64 / 1024.0,
+                );
+            }
+            Tool::CollectlPlain => {
+                let _ = writeln!(out, "### RECORD {} ({}) ###", idx + 1, wallclock(s.time));
+                out.push_str("# CPU SUMMARY\n");
+                out.push_str("User% Sys% Wait% Idle%\n");
+                let _ = writeln!(
+                    out,
+                    "{:.2} {:.2} {:.2} {:.2}",
+                    s.cpu_user, s.cpu_sys, s.cpu_iowait, s.cpu_idle
+                );
+                out.push_str("# DISK SUMMARY\n");
+                out.push_str("WriteKB Writes Util%\n");
+                let _ = writeln!(
+                    out,
+                    "{:.1} {} {:.1}",
+                    s.disk_write_bytes as f64 / 1024.0,
+                    s.disk_ops,
+                    s.disk_util
+                );
+                out.push_str("# MEMORY\n");
+                out.push_str("Dirty UsedKB\n");
+                let _ = writeln!(out, "{} {}", s.dirty_pages, s.mem_used_bytes / 1024);
+            }
+            Tool::SarText => {
+                if idx.is_multiple_of(SAR_HEADER_EVERY) {
+                    out.push_str(
+                        "timestamp            CPU      %user      %sys   %iowait     %idle\n",
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{}     all {:10.2} {:9.2} {:9.2} {:9.2}",
+                    wallclock(s.time),
+                    s.cpu_user,
+                    s.cpu_sys,
+                    s.cpu_iowait,
+                    s.cpu_idle
+                );
+            }
+            Tool::SarMem => {
+                if idx.is_multiple_of(SAR_HEADER_EVERY) {
+                    out.push_str("timestamp             kbmemused    %memused     kbdirty\n");
+                }
+                let used_kb = s.mem_used_bytes / 1024;
+                let _ = writeln!(
+                    out,
+                    "{} {:12} {:11.2} {:11}",
+                    wallclock(s.time),
+                    used_kb,
+                    // %memused needs a total; the emulated node reports
+                    // used/4GiB when no better figure is available, like sar
+                    // does with MemTotal.
+                    100.0 * s.mem_used_bytes as f64 / (4u64 << 30) as f64,
+                    s.dirty_pages * 4, // kbdirty
+                );
+            }
+            Tool::SarNet => {
+                if idx.is_multiple_of(SAR_HEADER_EVERY) {
+                    out.push_str("timestamp            IFACE      rxkB/s      txkB/s\n");
+                }
+                let _ = writeln!(
+                    out,
+                    "{}     eth0 {:11.2} {:11.2}",
+                    wallclock(s.time),
+                    s.net_rx_bytes as f64 / 1024.0,
+                    s.net_tx_bytes as f64 / 1024.0,
+                );
+            }
+            Tool::SarXml => {
+                let _ = write!(
+                    out,
+                    "   <timestamp time=\"{}\">\n    <cpu-load>\n     <cpu number=\"all\" \
+                     user=\"{:.2}\" system=\"{:.2}\" iowait=\"{:.2}\" idle=\"{:.2}\"/>\n    \
+                     </cpu-load>\n   </timestamp>\n",
+                    wallclock(s.time),
+                    s.cpu_user,
+                    s.cpu_sys,
+                    s.cpu_iowait,
+                    s.cpu_idle
+                );
+            }
+            Tool::Iostat => {
+                let _ = writeln!(out, "{}", wallclock(s.time));
+                out.push_str("Device:            wkB/s      w/s     %util\n");
+                let _ = write!(
+                    out,
+                    "sda           {:10.2} {:8.2} {:9.2}\n\n",
+                    s.disk_write_bytes as f64 / 1024.0,
+                    s.disk_ops as f64,
+                    s.disk_util
+                );
+            }
         }
-        let used_kb = s.mem_used_bytes / 1024;
-        let _ = writeln!(
-            out,
-            "{} {:12} {:11.2} {:11}",
-            wallclock(s.time),
-            used_kb,
-            // %memused needs a total; the emulated node reports used/4GiB
-            // when no better figure is available, like sar does with MemTotal.
-            100.0 * s.mem_used_bytes as f64 / (4u64 << 30) as f64,
-            s.dirty_pages * 4, // kbdirty
-        );
     }
-    out
-}
 
-fn sar_net(node: &NodeId, samples: &[ResourceSample]) -> String {
-    let mut out = String::with_capacity(80 + samples.len() * 56);
-    let _ = writeln!(
-        out,
-        "Linux 3.10.0-mscope ({node}) \t07/05/26 \t_x86_64_\t(2 CPU)\n"
-    );
-    for (i, s) in samples.iter().enumerate() {
-        if i % SAR_HEADER_EVERY == 0 {
-            out.push_str("timestamp            IFACE      rxkB/s      txkB/s\n");
+    /// The one-time file epilogue (only SAR XML has one).
+    pub(crate) fn footer(self) -> &'static str {
+        match self {
+            Tool::SarXml => "  </statistics>\n </host>\n</sysstat>\n",
+            _ => "",
         }
-        let _ = writeln!(
-            out,
-            "{}     eth0 {:11.2} {:11.2}",
-            wallclock(s.time),
-            s.net_rx_bytes as f64 / 1024.0,
-            s.net_tx_bytes as f64 / 1024.0,
-        );
     }
-    out
-}
-
-fn sar_xml(node: &NodeId, samples: &[ResourceSample]) -> String {
-    let mut out = String::with_capacity(96 + samples.len() * 160);
-    out.push_str("<sysstat>\n");
-    let _ = write!(out, " <host nodename=\"{node}\">\n  <statistics>\n");
-    for s in samples {
-        let _ = write!(
-            out,
-            "   <timestamp time=\"{}\">\n    <cpu-load>\n     <cpu number=\"all\" \
-             user=\"{:.2}\" system=\"{:.2}\" iowait=\"{:.2}\" idle=\"{:.2}\"/>\n    \
-             </cpu-load>\n   </timestamp>\n",
-            wallclock(s.time),
-            s.cpu_user,
-            s.cpu_sys,
-            s.cpu_iowait,
-            s.cpu_idle
-        );
-    }
-    out.push_str("  </statistics>\n </host>\n</sysstat>\n");
-    out
-}
-
-fn iostat_text(samples: &[ResourceSample]) -> String {
-    let mut out = String::with_capacity(samples.len() * 104);
-    for s in samples {
-        let _ = writeln!(out, "{}", wallclock(s.time));
-        out.push_str("Device:            wkB/s      w/s     %util\n");
-        let _ = write!(
-            out,
-            "sda           {:10.2} {:8.2} {:9.2}\n\n",
-            s.disk_write_bytes as f64 / 1024.0,
-            s.disk_ops as f64,
-            s.disk_util
-        );
-    }
-    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,371 @@
+//! Streaming monitor rendering — the monitors' half of the streaming
+//! ingestion spine.
+//!
+//! Batch rendering ([`MonitorSuite::render`]) replays a finished run's
+//! record vectors through the monitors in one pass. [`MonitorStream`] is
+//! the incremental counterpart: feed it [`Record`]s one at a time (or in
+//! chunks pulled off a [`RecordStream`](mscope_sim::RecordStream)) and it
+//! appends to the same [`LogStore`] the batch path would have produced —
+//! *byte-identical*, because both paths are built from the same
+//! header/record/footer pieces and the same bucket-sealing rule.
+//!
+//! The only buffering the stream keeps is inherently required by the
+//! formats themselves: event monitors hold per-request pending timestamps
+//! until the departure line can be written (exactly as batch does), each
+//! resource monitor holds the one period-bucket currently being filled,
+//! and the SysViz tap keeps the captured messages until the capture ends
+//! (its reconstruction is defined over the whole wire trace).
+
+use crate::event::EventMonitor;
+use crate::logstore::LogStore;
+use crate::resource::{bucket_of, merge, ResourceMonitor};
+use crate::suite::{topology_nodes, MonitorSuite, MonitoringArtifacts};
+use crate::sysviz::SysVizTap;
+use mscope_ntier::{LifecycleEvent, MessageEvent, NodeId, ResourceSample, RunOutput, SystemConfig};
+use mscope_sim::SimTime;
+use std::collections::BTreeMap;
+
+/// One monitoring observation, as it would arrive during a live run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// An execution-boundary event (feeds the event monitors).
+    Lifecycle(LifecycleEvent),
+    /// A wire message (feeds the SysViz tap).
+    Message(MessageEvent),
+    /// A base-period resource sample (feeds the resource monitors).
+    Sample(ResourceSample),
+}
+
+impl Record {
+    /// The timestamp the record is merged on — a message sorts at its
+    /// send time (when the tap would first see it on the wire).
+    pub fn time(&self) -> SimTime {
+        match self {
+            Record::Lifecycle(ev) => ev.time,
+            Record::Message(m) => m.send_time,
+            Record::Sample(s) => s.time,
+        }
+    }
+}
+
+/// Interleaves a finished run's three record vectors into the single
+/// time-ordered stream a live deployment would emit. Each source vector's
+/// internal order is preserved exactly (the merge only interleaves), which
+/// is the property streaming≡batch identity rests on: every consumer sees
+/// its own source subsequence unchanged. Ties sort lifecycle < message <
+/// sample.
+pub fn merge_records(out: &RunOutput) -> Vec<Record> {
+    // perf: one output vector for the whole replay, sized exactly.
+    let mut merged =
+        Vec::with_capacity(out.lifecycle.len() + out.messages.len() + out.samples.len());
+    let (mut li, mut mi, mut si) = (0usize, 0usize, 0usize);
+    loop {
+        let lt = out.lifecycle.get(li).map(|e| e.time);
+        let mt = out.messages.get(mi).map(|m| m.send_time);
+        let st = out.samples.get(si).map(|s| s.time);
+        let next = match (lt, mt, st) {
+            (None, None, None) => break,
+            _ => {
+                let inf = SimTime::from_micros(u64::MAX);
+                let (l, m, s) = (lt.unwrap_or(inf), mt.unwrap_or(inf), st.unwrap_or(inf));
+                if l <= m && l <= s {
+                    0
+                } else if m <= s {
+                    1
+                } else {
+                    2
+                }
+            }
+        };
+        match next {
+            0 => {
+                merged.push(Record::Lifecycle(out.lifecycle[li]));
+                li += 1;
+            }
+            1 => {
+                merged.push(Record::Message(out.messages[mi]));
+                mi += 1;
+            }
+            _ => {
+                merged.push(Record::Sample(out.samples[si]));
+                si += 1;
+            }
+        }
+    }
+    merged
+}
+
+/// Incremental state for one [`ResourceMonitor`]: the period bucket being
+/// filled plus the running record count that drives header repetition.
+#[derive(Debug)]
+pub struct ResourceMonitorState {
+    monitor: ResourceMonitor,
+    bucket: Vec<ResourceSample>,
+    current: Option<u64>,
+    emitted: usize,
+}
+
+impl ResourceMonitorState {
+    /// Wraps a monitor and writes its file preamble (batch writes the
+    /// preamble even for a monitor that records nothing — so does this).
+    pub fn new(monitor: ResourceMonitor, store: &mut LogStore) -> ResourceMonitorState {
+        let mut head = String::new();
+        monitor.tool.header_into(&mut head, &monitor.node);
+        store.append(&monitor.log_path(), &head);
+        ResourceMonitorState {
+            monitor,
+            bucket: Vec::new(),
+            current: None,
+            emitted: 0,
+        }
+    }
+
+    /// Consumes one base sample; samples for other nodes are ignored. A
+    /// sample landing in a new period bucket seals and renders the
+    /// previous one — the same boundary rule batch aggregation uses.
+    pub fn observe(&mut self, s: &ResourceSample, store: &mut LogStore) {
+        if s.node != self.monitor.node {
+            return;
+        }
+        let b = bucket_of(s, self.monitor.period);
+        if self.current.is_some_and(|cur| cur != b) && !self.bucket.is_empty() {
+            self.flush(store);
+        }
+        self.current = Some(b);
+        self.bucket.push(*s);
+    }
+
+    /// Seals the trailing bucket and writes the file epilogue.
+    pub fn finish(mut self, store: &mut LogStore) -> usize {
+        if !self.bucket.is_empty() {
+            self.flush(store);
+        }
+        store.append(&self.monitor.log_path(), self.monitor.tool.footer());
+        self.emitted
+    }
+
+    fn flush(&mut self, store: &mut LogStore) {
+        // perf: one refs vector + one text buffer per sealed period bucket
+        // (tens of ms of samples), not per sample.
+        let refs: Vec<&ResourceSample> = self.bucket.iter().collect();
+        let rec = merge(&refs);
+        let mut text = String::new();
+        self.monitor.tool.record_into(&mut text, self.emitted, &rec);
+        store.append(&self.monitor.log_path(), &text);
+        self.emitted += 1;
+        self.bucket.clear();
+    }
+}
+
+/// The streaming counterpart of [`MonitorSuite::render`]: observes
+/// [`Record`]s as they arrive and produces, at [`MonitorStream::finish`],
+/// the exact [`MonitoringArtifacts`] the batch path yields for the same
+/// records.
+#[derive(Debug)]
+pub struct MonitorStream {
+    suite: MonitorSuite,
+    config: SystemConfig,
+    store: LogStore,
+    event: Vec<EventMonitor>,
+    by_node: BTreeMap<NodeId, usize>,
+    resources: Vec<ResourceMonitorState>,
+    messages: Vec<MessageEvent>,
+    records_seen: u64,
+}
+
+impl MonitorStream {
+    /// Deploys the suite's monitors in streaming mode.
+    pub fn new(suite: &MonitorSuite, config: &SystemConfig) -> MonitorStream {
+        let mut store = LogStore::new();
+        let event: Vec<EventMonitor> = if suite.event_monitors {
+            topology_nodes(config)
+                .into_iter()
+                .map(|(n, k)| EventMonitor::new(n, k))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        // BTreeMap: lookup-only, ordered by construction (lint rule DT001).
+        let mut by_node = BTreeMap::new();
+        for (i, m) in event.iter().enumerate() {
+            by_node.insert(m.node(), i);
+        }
+        let resources = suite
+            .resource_monitors
+            .iter()
+            .map(|rm| ResourceMonitorState::new(rm.clone(), &mut store))
+            .collect();
+        MonitorStream {
+            suite: suite.clone(),
+            config: config.clone(),
+            store,
+            event,
+            by_node,
+            resources,
+            messages: Vec::new(),
+            records_seen: 0,
+        }
+    }
+
+    /// Consumes one record.
+    pub fn observe(&mut self, rec: &Record) {
+        self.records_seen += 1;
+        match rec {
+            Record::Lifecycle(ev) => {
+                if let Some(&i) = self.by_node.get(&ev.node) {
+                    self.event[i].observe(ev, &mut self.store);
+                }
+            }
+            Record::Message(m) => {
+                if self.suite.sysviz {
+                    self.messages.push(*m);
+                }
+            }
+            Record::Sample(s) => {
+                for state in &mut self.resources {
+                    state.observe(s, &mut self.store);
+                }
+            }
+        }
+    }
+
+    /// Consumes a chunk of records in order.
+    pub fn observe_chunk(&mut self, recs: &[Record]) {
+        for rec in recs {
+            self.observe(rec);
+        }
+    }
+
+    /// Records consumed so far.
+    pub fn records_seen(&self) -> u64 {
+        self.records_seen
+    }
+
+    /// The growing log store — the surface a streaming ingester tails
+    /// between [`observe`](MonitorStream::observe) calls.
+    pub fn store(&self) -> &LogStore {
+        &self.store
+    }
+
+    /// Seals every monitor (trailing resource buckets, format epilogues),
+    /// reconstructs the SysViz trace from the captured messages, and hands
+    /// back the finished artifacts — byte-identical to batch rendering of
+    /// the same record stream.
+    pub fn finish(self) -> MonitoringArtifacts {
+        let MonitorStream {
+            suite,
+            config,
+            mut store,
+            resources,
+            messages,
+            ..
+        } = self;
+        for state in resources {
+            state.finish(&mut store);
+        }
+        let sysviz = suite.sysviz.then(|| SysVizTap::reconstruct(&messages));
+        MonitoringArtifacts {
+            store,
+            manifest: suite.manifest(&config),
+            sysviz,
+        }
+    }
+}
+
+impl MonitorSuite {
+    /// Deploys this suite in streaming mode; the returned [`MonitorStream`]
+    /// accepts records incrementally and finishes into the same artifacts
+    /// [`MonitorSuite::render`] produces.
+    pub fn stream(&self, config: &SystemConfig) -> MonitorStream {
+        MonitorStream::new(self, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mscope_ntier::Simulator;
+    use mscope_sim::SimDuration;
+
+    fn small_run() -> RunOutput {
+        let mut cfg = SystemConfig::rubbos_baseline(60);
+        cfg.duration = SimDuration::from_secs(6);
+        cfg.warmup = SimDuration::from_secs(2);
+        cfg.workload.ramp_up = SimDuration::from_secs(1);
+        Simulator::new(cfg).unwrap().run()
+    }
+
+    #[test]
+    fn merge_preserves_per_source_order_and_time_order() {
+        let out = small_run();
+        let merged = merge_records(&out);
+        assert_eq!(
+            merged.len(),
+            out.lifecycle.len() + out.messages.len() + out.samples.len()
+        );
+        assert!(merged.windows(2).all(|w| w[0].time() <= w[1].time()));
+        let lifecycle: Vec<LifecycleEvent> = merged
+            .iter()
+            .filter_map(|r| match r {
+                Record::Lifecycle(ev) => Some(*ev),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lifecycle, out.lifecycle);
+    }
+
+    #[test]
+    fn streaming_store_is_byte_identical_to_batch() {
+        let out = small_run();
+        let suite = MonitorSuite::standard(&out.config);
+        let batch = suite.render(&out);
+
+        for chunk_size in [1usize, 64, 4096] {
+            let merged = merge_records(&out);
+            let mut stream = suite.stream(&out.config);
+            for chunk in merged.chunks(chunk_size) {
+                stream.observe_chunk(chunk);
+            }
+            let streamed = stream.finish();
+            assert_eq!(streamed.store, batch.store, "chunk_size={chunk_size}");
+            assert_eq!(streamed.manifest, batch.manifest);
+            assert_eq!(streamed.sysviz, batch.sysviz);
+        }
+    }
+
+    #[test]
+    fn streaming_through_record_stream_channel() {
+        let out = small_run();
+        let suite = MonitorSuite::standard(&out.config);
+        let batch = suite.render(&out);
+        let merged = merge_records(&out);
+        let streamed = mscope_sim::run_piped(
+            8,
+            move |tx| {
+                for chunk in merged.chunks(128) {
+                    if tx.send(chunk.to_vec()).is_err() {
+                        break;
+                    }
+                }
+            },
+            |rx| {
+                let mut stream = suite.stream(&out.config);
+                while let Some(chunk) = rx.recv() {
+                    stream.observe_chunk(&chunk);
+                }
+                stream.finish()
+            },
+        );
+        assert_eq!(streamed.store, batch.store);
+    }
+
+    #[test]
+    fn zero_record_stream_still_writes_preambles() {
+        let cfg = SystemConfig::rubbos_baseline(10);
+        let suite = MonitorSuite::standard(&cfg);
+        let art = suite.stream(&cfg).finish();
+        // Every resource log exists (possibly just its preamble), no event
+        // logs exist — the same shape batch gives an empty run.
+        assert_eq!(art.store.len(), suite.resource_monitors.len());
+    }
+}

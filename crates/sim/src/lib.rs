@@ -21,6 +21,8 @@
 //!   job-ordered parallel fan-out built on it, shared by every parallel
 //!   stage in the workspace (transformer convert, warehouse scan, and the
 //!   sharded n-tier simulator).
+//! * [`RecordStream`] / [`run_piped`] — bounded SPSC channel and the
+//!   producer/consumer scaffold behind the streaming ingestion spine.
 //! * [`Fnv64`] — order-sensitive stream digest used to prove two event
 //!   streams identical without retaining them.
 //! * [`prop`] — the in-tree property-testing harness (seeded generation,
@@ -60,6 +62,7 @@ mod queue;
 mod rng;
 mod series;
 mod stats;
+mod stream;
 mod time;
 
 pub use digest::Fnv64;
@@ -69,4 +72,5 @@ pub use queue::WorkQueue;
 pub use rng::SimRng;
 pub use series::{Agg, StepSeries, TimeSeries};
 pub use stats::{pearson, percentile, rmse, Histogram, Summary};
+pub use stream::{run_piped, RecordReceiver, RecordSender, RecordStream};
 pub use time::{parse_wallclock, wallclock, SimDuration, SimTime};

@@ -1,0 +1,300 @@
+//! Bounded single-producer single-consumer record channel — the transport
+//! of the streaming ingestion spine.
+//!
+//! [`RecordStream::bounded`] hands back a sender/receiver pair over a
+//! fixed-capacity ring; [`run_piped`] wires a producer closure to a
+//! consumer closure across a scoped thread so neither side ever owns a
+//! raw thread handle. The capacity bound is what turns the monitors →
+//! transformer hand-off into *backpressure*: a slow transformer stalls
+//! the monitor loop instead of letting record chunks pile up unboundedly,
+//! mirroring how milliScope's collectors write into a bounded ingest
+//! queue rather than an elastic buffer.
+//!
+//! Determinism note: the channel is strictly FIFO and single-producer, so
+//! the consumer observes records in exactly the order the producer sent
+//! them — chunk size and scheduling change *when* records arrive, never
+//! their order. That is the property the streaming≡batch convergence
+//! suite leans on.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+struct Inner<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+}
+
+struct Shared<T> {
+    cap: usize,
+    inner: Mutex<Inner<T>>,
+    /// Signalled when a slot frees up or the channel closes.
+    space: Condvar,
+    /// Signalled when a record lands or the channel closes.
+    items: Condvar,
+}
+
+fn lock<T>(m: &Mutex<Inner<T>>) -> MutexGuard<'_, Inner<T>> {
+    // A panicking peer poisons the mutex but the queue itself is intact;
+    // keep draining so the surviving side can finish and observe `closed`.
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, Inner<T>>) -> MutexGuard<'a, Inner<T>> {
+    match cv.wait(g) {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// Namespace for constructing bounded record channels.
+///
+/// # Examples
+///
+/// ```
+/// use mscope_sim::RecordStream;
+///
+/// let (tx, rx) = RecordStream::bounded(2);
+/// tx.send(1).unwrap();
+/// tx.send(2).unwrap();
+/// drop(tx);
+/// assert_eq!(rx.iter().collect::<Vec<i32>>(), vec![1, 2]);
+/// ```
+#[derive(Debug)]
+pub struct RecordStream;
+
+impl RecordStream {
+    /// A bounded FIFO channel with room for `cap` in-flight records.
+    /// `cap` is clamped to at least 1 so a send can always eventually
+    /// complete.
+    pub fn bounded<T>(cap: usize) -> (RecordSender<T>, RecordReceiver<T>) {
+        let shared = Arc::new(Shared {
+            cap: cap.max(1),
+            inner: Mutex::new(Inner {
+                // perf: one ring allocation per channel, sized to the
+                // backpressure bound — never grown on the send path.
+                buf: VecDeque::with_capacity(cap.max(1)),
+                closed: false,
+            }),
+            space: Condvar::new(),
+            items: Condvar::new(),
+        });
+        (
+            RecordSender {
+                shared: Arc::clone(&shared),
+            },
+            RecordReceiver { shared },
+        )
+    }
+}
+
+/// The producing half of a [`RecordStream`]; dropping it closes the
+/// channel, which the receiver observes as end-of-stream after draining.
+pub struct RecordSender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> RecordSender<T> {
+    /// Blocks until a slot is free, then enqueues `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(v)` (the record handed back) when the receiver is
+    /// gone — the producer should stop, there is no one left to consume.
+    pub fn send(&self, v: T) -> Result<(), T> {
+        let sh = &*self.shared;
+        let mut g = lock(&sh.inner);
+        loop {
+            if g.closed {
+                return Err(v);
+            }
+            if g.buf.len() < sh.cap {
+                break;
+            }
+            g = wait(&sh.space, g);
+        }
+        g.buf.push_back(v);
+        drop(g);
+        sh.items.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Drop for RecordSender<T> {
+    fn drop(&mut self) {
+        let mut g = lock(&self.shared.inner);
+        g.closed = true;
+        drop(g);
+        self.shared.items.notify_all();
+        self.shared.space.notify_all();
+    }
+}
+
+/// The consuming half of a [`RecordStream`]; dropping it closes the
+/// channel, which the sender observes as a send error.
+pub struct RecordReceiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> RecordReceiver<T> {
+    /// Blocks until a record is available and returns it, or `None` once
+    /// the sender is gone *and* the buffer is drained — every record sent
+    /// before the close is still delivered.
+    pub fn recv(&self) -> Option<T> {
+        let sh = &*self.shared;
+        let mut g = lock(&sh.inner);
+        loop {
+            if let Some(v) = g.buf.pop_front() {
+                drop(g);
+                sh.space.notify_one();
+                return Some(v);
+            }
+            if g.closed {
+                return None;
+            }
+            g = wait(&sh.items, g);
+        }
+    }
+
+    /// A blocking iterator over the remaining records; ends when the
+    /// sender closes.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(|| self.recv())
+    }
+}
+
+impl<T> Drop for RecordReceiver<T> {
+    fn drop(&mut self) {
+        let mut g = lock(&self.shared.inner);
+        g.closed = true;
+        drop(g);
+        self.shared.space.notify_all();
+        self.shared.items.notify_all();
+    }
+}
+
+/// Runs `producer` on a scoped thread feeding a bounded channel of
+/// capacity `cap`, runs `consumer` on the calling thread, and returns the
+/// consumer's result. The producer's sender and the consumer's receiver
+/// are dropped when the closures return, so each side sees a clean
+/// end-of-stream / closed signal; a panic on the producer thread closes
+/// the channel (unwinding drops the sender), letting the consumer finish
+/// before the panic propagates out of the scope.
+///
+/// # Examples
+///
+/// ```
+/// use mscope_sim::run_piped;
+///
+/// let sum: i64 = run_piped(
+///     4,
+///     |tx| {
+///         for i in 0..10 {
+///             if tx.send(i).is_err() {
+///                 break;
+///             }
+///         }
+///     },
+///     |rx| rx.iter().sum(),
+/// );
+/// assert_eq!(sum, 45);
+/// ```
+pub fn run_piped<T, P, C, R>(cap: usize, producer: P, consumer: C) -> R
+where
+    T: Send,
+    P: FnOnce(RecordSender<T>) + Send,
+    C: FnOnce(RecordReceiver<T>) -> R,
+{
+    let (tx, rx) = RecordStream::bounded(cap);
+    std::thread::scope(|s| {
+        s.spawn(move || producer(tx));
+        consumer(rx)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_survives_any_capacity() {
+        for cap in [0, 1, 3, 1024] {
+            let out: Vec<u32> = run_piped(
+                cap,
+                |tx| {
+                    for i in 0..100 {
+                        tx.send(i).unwrap();
+                    }
+                },
+                |rx| rx.iter().collect(),
+            );
+            assert_eq!(out, (0..100).collect::<Vec<_>>(), "cap={cap}");
+        }
+    }
+
+    #[test]
+    fn receiver_drains_buffer_after_sender_drops() {
+        let (tx, rx) = RecordStream::bounded(8);
+        tx.send("a").unwrap();
+        tx.send("b").unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some("a"));
+        assert_eq!(rx.recv(), Some("b"));
+        assert_eq!(rx.recv(), None);
+        assert_eq!(rx.recv(), None, "end-of-stream is sticky");
+    }
+
+    #[test]
+    fn send_fails_once_receiver_is_gone() {
+        let (tx, rx) = RecordStream::bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(7));
+    }
+
+    #[test]
+    fn backpressure_blocks_then_resumes() {
+        // Producer tries to push 50 records through a 1-slot channel; the
+        // consumer deliberately lags. Everything still arrives, in order.
+        let out: Vec<u64> = run_piped(
+            1,
+            |tx| {
+                for i in 0..50 {
+                    tx.send(i).unwrap();
+                }
+            },
+            |rx| {
+                let mut got = Vec::new();
+                while let Some(v) = rx.recv() {
+                    if v % 16 == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                    got.push(v);
+                }
+                got
+            },
+        );
+        assert_eq!(out, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn producer_stops_cleanly_when_consumer_quits_early() {
+        // An unbounded producer must terminate (not deadlock) once the
+        // consumer drops its receiver after three records.
+        run_piped(
+            2,
+            |tx| {
+                let mut n = 0u32;
+                while tx.send(n).is_ok() {
+                    n += 1;
+                }
+            },
+            |rx| {
+                assert_eq!(rx.recv(), Some(0));
+                assert_eq!(rx.recv(), Some(1));
+                assert_eq!(rx.recv(), Some(2));
+            },
+        );
+    }
+}

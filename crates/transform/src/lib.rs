@@ -58,6 +58,7 @@ mod import;
 mod parsers;
 mod pattern;
 mod pipeline;
+mod stream;
 mod xml;
 
 pub use convert::{convert_xml, ConvertedTable};
@@ -72,4 +73,5 @@ pub use parsers::{
 };
 pub use pattern::{looks_like_wallclock, timestamp_suffix_tokens, Pattern, Tok};
 pub use pipeline::{DataTransformer, RunOptions, TransformReport};
+pub use stream::StreamingTransformer;
 pub use xml::{escape, parse as parse_xml, unescape, XmlError, XmlNode};

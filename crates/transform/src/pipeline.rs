@@ -134,6 +134,12 @@ impl DataTransformer {
         &self.declarations
     }
 
+    /// The manifest this transformer was seeded from (drives the metadata
+    /// tables at the end of a run, batch or streaming).
+    pub fn manifest_entries(&self) -> &[LogFileMeta] {
+        &self.manifest
+    }
+
     /// Statically validates the declaration set without running anything —
     /// the check [`run`](DataTransformer::run) applies before touching the
     /// log store.

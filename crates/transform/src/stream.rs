@@ -1,0 +1,1295 @@
+//! Streaming ingestion — the transformer's half of the spine.
+//!
+//! The batch pipeline ([`DataTransformer::run`]) needs every log file
+//! complete before it starts: schema inference is defined over *all*
+//! entries, so the converter reads whole files. [`StreamingTransformer`]
+//! is the incremental counterpart: it *tails* the declared files of a
+//! growing [`LogStore`] (tracking a consumed-byte offset per declaration),
+//! parses exactly the complete new lines / XML entries each
+//! [`poll`](StreamingTransformer::poll), and appends typed rows to the
+//! warehouse via [`Database::insert_batch`] as they arrive — the per-block
+//! zone maps and the sorted-on-append flag are maintained on append, so
+//! the warehouse is queryable mid-run.
+//!
+//! ## Convergence with batch
+//!
+//! At [`finish`](StreamingTransformer::finish) the warehouse holds, table
+//! for table, **exactly** the schema and cell values the batch pipeline
+//! infers from the finished files. The subtlety is that batch inference
+//! sees all values before choosing column types, while streaming must
+//! commit rows under the *running* type join and may later learn the join
+//! was too narrow (a column of all-digit hex request IDs infers `Int`
+//! until the first ID with a letter arrives). Three mechanisms close the
+//! gap:
+//!
+//! * **Effective schema.** A column whose running join is still `Null`
+//!   (no non-null value seen) is committed as `Text` — the same widening
+//!   batch applies to all-null columns at schema build.
+//! * **Raw retention.** Every committed cell remembers how to recover its
+//!   raw text ([`RawCell`]): most cells render back to their raw form
+//!   exactly (`Canonical`, no storage); the rest keep the raw string
+//!   (`Kept`). A column that reaches `Text` — the top of the lattice, its
+//!   type can never change again — drops its raws.
+//! * **Migration by rebuild.** When a chunk widens a column's effective
+//!   type (or introduces a new column), the committed prefix is rebuilt
+//!   under the new schema — unchanged columns copied, changed columns
+//!   re-parsed from their recovered raws — and swapped in with
+//!   [`Database::replace_table`]. Batch parses each cell once with the
+//!   final type; streaming re-parses the same raw text with the same
+//!   final type, so the values are byte-identical.
+//!
+//! Row *order* is the one place streaming is allowed to differ: a table
+//! fed by several files (one resource monitor per node) receives rows in
+//! arrival-interleaved order rather than batch's file-concatenated order.
+//! Tables fed by a single file — every event table — come out
+//! byte-identical, rows included.
+//!
+//! XML-direct declarations are tailed by extracting each complete
+//! `<entry…>…</entry>` span from the unconsumed suffix and parsing it as
+//! a standalone fragment; [`finish`](StreamingTransformer::finish)
+//! re-parses the whole document once to surface the malformed-XML errors
+//! batch would have raised and to verify the span extraction saw every
+//! entry.
+
+use crate::declare::{ParserKind, ParserSpec, ParsingDeclaration, XmlMapping};
+use crate::error::TransformError;
+use crate::import::{normalize_cell, parse_cell};
+use crate::pipeline::{DataTransformer, TransformReport};
+use crate::xml::{self, XmlNode};
+use mscope_db::{Column, ColumnType, Database, DbError, Schema, Table, Value};
+use mscope_monitors::{LogFileMeta, LogStore, MonitorKind};
+use mscope_sim::parallel_map;
+
+/// One parsed entry: `(field, raw value)` pairs, constants first — the
+/// streaming equivalent of batch's `<entry>` element.
+type Fields = Vec<(String, String)>;
+
+// ---------------------------------------------------------------------------
+// Per-declaration incremental parser state
+// ---------------------------------------------------------------------------
+
+/// Incremental parse state for one declaration: how many bytes of the
+/// declared file have been consumed, plus the staged-parser carry-over
+/// (sticky context, open block, line counter).
+#[derive(Debug, Clone)]
+struct DeclState {
+    consumed: usize,
+    line_no: usize,
+    ctx: Vec<(String, String)>,
+    block: Option<(Fields, usize)>,
+    entries: usize,
+}
+
+impl DeclState {
+    fn new() -> DeclState {
+        DeclState {
+            consumed: 0,
+            line_no: 0,
+            ctx: Vec::new(),
+            block: None,
+            entries: 0,
+        }
+    }
+}
+
+fn unparsed(decl: &ParsingDeclaration, line_no: usize, line: &str) -> TransformError {
+    TransformError::UnparsedLine {
+        file: decl.path.clone(),
+        line_no,
+        line: line.to_string(),
+    }
+}
+
+/// Builds one entry's field list exactly as batch `make_entry` does:
+/// constants, then sticky context, then the captures.
+fn entry_fields(decl: &ParsingDeclaration, ctx: &[(String, String)], fields: Fields) -> Fields {
+    let mut e = Vec::with_capacity(decl.constants.len() + ctx.len() + fields.len());
+    // perf: constants and context are shared across entries — each entry
+    // owns one clone pair per inherited field, as in the batch parser.
+    e.extend(decl.constants.iter().cloned());
+    e.extend(ctx.iter().cloned());
+    e.extend(fields);
+    e
+}
+
+/// Consumes the unconsumed suffix of `content`, emitting entries for every
+/// complete unit (line or XML entry span). With `at_end` the trailing
+/// newline-less line is processed too (batch `str::lines` semantics).
+fn advance(
+    decl: &ParsingDeclaration,
+    st: &mut DeclState,
+    content: &str,
+    at_end: bool,
+) -> Result<Vec<Fields>, TransformError> {
+    match &decl.parser {
+        ParserKind::Staged(spec) => advance_staged(decl, spec, st, content, at_end),
+        ParserKind::XmlDirect(map) => advance_xml(decl, map, st, content),
+    }
+}
+
+fn advance_staged(
+    decl: &ParsingDeclaration,
+    spec: &ParserSpec,
+    st: &mut DeclState,
+    content: &str,
+    at_end: bool,
+) -> Result<Vec<Fields>, TransformError> {
+    let mut out = Vec::new();
+    let mut pos = st.consumed;
+    while let Some(nl) = content[pos..].find('\n') {
+        // A complete line: strip the newline and an optional \r, exactly
+        // as `str::lines` does for the batch parser.
+        let line = content[pos..pos + nl]
+            .strip_suffix('\r')
+            .unwrap_or(&content[pos..pos + nl]);
+        pos += nl + 1;
+        st.line_no += 1;
+        staged_line(decl, spec, st, line, &mut out)?;
+        st.consumed = pos;
+    }
+    if at_end && pos < content.len() {
+        // The final newline-less line. `str::lines` keeps a lone trailing
+        // \r here (it only strips \r before a \n), so no stripping.
+        let line = &content[pos..];
+        st.line_no += 1;
+        staged_line(decl, spec, st, line, &mut out)?;
+        st.consumed = content.len();
+    }
+    Ok(out)
+}
+
+/// One line through the staged engine — a faithful incremental transcription
+/// of the batch `run_staged` loop body (filters → block mode → context →
+/// records → unparsed).
+fn staged_line(
+    decl: &ParsingDeclaration,
+    spec: &ParserSpec,
+    st: &mut DeclState,
+    line: &str,
+    out: &mut Vec<Fields>,
+) -> Result<(), TransformError> {
+    if spec.filters.iter().any(|f| f.matches(line)) {
+        return Ok(());
+    }
+    if let Some(bs) = &spec.blocks {
+        if let Some(caps) = bs.marker.match_line(line) {
+            // New block begins; an incomplete previous one is dropped only
+            // at end-of-stream, mirroring a tool killed mid-record.
+            st.block = Some((caps, 0));
+            return Ok(());
+        }
+        if let Some((fields, idx)) = &mut st.block {
+            let Some(slot) = bs.lines.get(*idx) else {
+                return Err(unparsed(decl, st.line_no, line));
+            };
+            if let Some(pat) = slot {
+                let caps = pat
+                    .match_line(line)
+                    .ok_or_else(|| unparsed(decl, st.line_no, line))?;
+                fields.extend(caps);
+            }
+            *idx += 1;
+            if *idx == bs.lines.len() {
+                if let Some((fields, _)) = st.block.take() {
+                    out.push(entry_fields(decl, &[], fields));
+                }
+            }
+            return Ok(());
+        }
+    }
+    for pat in &spec.context {
+        if let Some(caps) = pat.match_line(line) {
+            for (k, v) in caps {
+                st.ctx.retain(|(ck, _)| *ck != k);
+                st.ctx.push((k, v));
+            }
+            return Ok(());
+        }
+    }
+    for pat in &spec.records {
+        if let Some(caps) = pat.match_line(line) {
+            out.push(entry_fields(decl, &st.ctx, caps));
+            return Ok(());
+        }
+    }
+    Err(unparsed(decl, st.line_no, line))
+}
+
+// ---------------------------------------------------------------------------
+// Incremental XML entry-span extraction
+// ---------------------------------------------------------------------------
+
+enum Span {
+    /// No entry element starts in the haystack.
+    None,
+    /// An entry element starts but is not yet complete — wait for more.
+    Incomplete,
+    /// A complete entry element occupies `[start, end)`.
+    Complete(usize, usize),
+}
+
+/// Scans one tag starting at `b[at] == b'<'` to its closing `>` (quote
+/// aware, so a `>` inside an attribute value does not end the tag).
+/// Returns the index after `>` and whether the tag was self-closing, or
+/// `None` when the buffer ends mid-tag.
+fn scan_tag(b: &[u8], at: usize) -> Option<(usize, bool)> {
+    let mut quote: Option<u8> = None;
+    let mut last = b'<';
+    let mut j = at;
+    while j < b.len() {
+        let c = b[j];
+        match quote {
+            Some(q) => {
+                if c == q {
+                    quote = None;
+                }
+            }
+            None => match c {
+                b'"' | b'\'' => quote = Some(c),
+                b'>' => return Some((j + 1, last == b'/')),
+                _ => {}
+            },
+        }
+        if quote.is_none() && !c.is_ascii_whitespace() {
+            last = c;
+        }
+        j += 1;
+    }
+    None
+}
+
+fn is_tag_delim(c: Option<&u8>) -> bool {
+    matches!(c, Some(b' ' | b'\t' | b'\n' | b'\r' | b'>' | b'/'))
+}
+
+/// Finds the next complete `<name …>…</name>` (or self-closing
+/// `<name …/>`) span in `hay`, tolerating prologue/epilogue text and
+/// nested same-name elements.
+fn find_entry_span(hay: &str, name: &str) -> Span {
+    let b = hay.as_bytes();
+    // perf: two small tag strings per scan call, not per byte.
+    let open = format!("<{name}");
+    let close = format!("</{name}>");
+    // Locate a candidate start: `<name` followed by a tag delimiter.
+    let mut i = 0;
+    let start = loop {
+        match hay[i..].find(&open) {
+            None => return Span::None,
+            Some(off) => {
+                let s = i + off;
+                let after = s + open.len();
+                if after >= b.len() {
+                    // Could still grow into `<name ` — wait for more bytes.
+                    return Span::Incomplete;
+                }
+                if is_tag_delim(b.get(after)) {
+                    break s;
+                }
+                i = s + 1;
+            }
+        }
+    };
+    // Walk tags until the candidate's subtree closes.
+    let mut depth = 0usize;
+    let mut j = start;
+    while j < b.len() {
+        if b[j] != b'<' {
+            j += 1;
+            continue;
+        }
+        if hay[j..].starts_with(&close) {
+            if depth <= 1 {
+                return Span::Complete(start, j + close.len());
+            }
+            depth -= 1;
+            j += close.len();
+            continue;
+        }
+        let opens_entry = hay[j..].starts_with(&open) && is_tag_delim(b.get(j + open.len()));
+        let Some((tag_end, self_closing)) = scan_tag(b, j) else {
+            return Span::Incomplete;
+        };
+        if opens_entry {
+            if self_closing {
+                if depth == 0 {
+                    return Span::Complete(j, tag_end);
+                }
+            } else {
+                depth += 1;
+            }
+        }
+        j = tag_end;
+    }
+    Span::Incomplete
+}
+
+fn advance_xml(
+    decl: &ParsingDeclaration,
+    map: &XmlMapping,
+    st: &mut DeclState,
+    content: &str,
+) -> Result<Vec<Fields>, TransformError> {
+    let mut out = Vec::new();
+    loop {
+        match find_entry_span(&content[st.consumed..], &map.entry_element) {
+            Span::None | Span::Incomplete => break,
+            Span::Complete(start, end) => {
+                let span = &content[st.consumed + start..st.consumed + end];
+                let el = xml::parse(span).map_err(TransformError::Xml)?;
+                out.push(xml_entry(decl, map, &el));
+                st.consumed += end;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Extracts one entry's fields from a parsed entry element — the batch
+/// `run_xml` per-entry body (entry attributes, then first-leaf attributes).
+fn xml_entry(decl: &ParsingDeclaration, map: &XmlMapping, el: &XmlNode) -> Fields {
+    let mut fields: Fields = Vec::with_capacity(map.entry_attrs.len() + map.leaf_attrs.len());
+    for (attr, field) in &map.entry_attrs {
+        if let Some(v) = el.get_attr(attr) {
+            // perf: extracted fields own their values — one pair per
+            // matched attribute, as in the batch XML path.
+            fields.push((field.clone(), v.to_string()));
+        }
+    }
+    for (elem, attr, field) in &map.leaf_attrs {
+        if let Some(leaf) = el.find_all(elem).first() {
+            if let Some(v) = leaf.get_attr(attr) {
+                // perf: extracted fields own their values — one pair per
+                // matched attribute, as in the batch XML path.
+                fields.push((field.clone(), v.to_string()));
+            }
+        }
+    }
+    entry_fields(decl, &[], fields)
+}
+
+// ---------------------------------------------------------------------------
+// Table sinks: running schema inference + migration by rebuild
+// ---------------------------------------------------------------------------
+
+/// How a committed cell's raw text is recoverable for a later re-parse.
+#[derive(Debug, Clone, PartialEq)]
+enum RawCell {
+    /// The field was absent from its entry — `Null` under any type.
+    Missing,
+    /// The raw text equals the committed value's [`Value::render`] output
+    /// exactly; nothing is stored, the render recovers it on demand.
+    Canonical,
+    /// The raw text diverges from the canonical rendering (padding,
+    /// trailing zeros, alternate bool casing) and is kept verbatim.
+    Kept(Box<str>),
+}
+
+/// Running inference for one column of a sink.
+#[derive(Debug)]
+struct SinkCol {
+    name: String,
+    /// Lattice join of every observed (normalized) value type; `Null`
+    /// while no non-null value has been seen.
+    join: ColumnType,
+    /// One [`RawCell`] per committed row; `None` once the join reached
+    /// `Text` (top of the lattice — the type can never change again).
+    raws: Option<Vec<RawCell>>,
+}
+
+/// A column's *effective* warehouse type: the running join, with the
+/// all-null → `Text` widening batch applies at schema build.
+fn effective(join: ColumnType) -> ColumnType {
+    if join == ColumnType::Null {
+        ColumnType::Text
+    } else {
+        join
+    }
+}
+
+/// Accumulates one destination table's entries, maintains the running
+/// schema, and keeps the warehouse table converged with it.
+#[derive(Debug)]
+struct TableSink {
+    table: String,
+    /// Declarations feeding this table (the report's `files` share).
+    files: usize,
+    created: bool,
+    committed: usize,
+    cols: Vec<SinkCol>,
+    buffered: Vec<Fields>,
+}
+
+impl TableSink {
+    fn new(table: &str) -> TableSink {
+        TableSink {
+            table: table.to_string(),
+            files: 0,
+            created: false,
+            committed: 0,
+            cols: Vec::new(),
+            buffered: Vec::new(),
+        }
+    }
+
+    /// Folds one entry into the running schema and buffers it for the next
+    /// flush. Mirrors batch pass 1: duplicate fields rejected, column set
+    /// unioned in first-appearance order, types joined through the same
+    /// `normalize_cell` / `Value::infer` rules.
+    fn add_entry(&mut self, entry: Fields) -> Result<(), TransformError> {
+        for (i, (k, _)) in entry.iter().enumerate() {
+            if entry[..i].iter().any(|(p, _)| p == k) {
+                return Err(TransformError::SchemaInference(format!(
+                    "duplicate field `{k}` within one entry for `{}`",
+                    self.table
+                )));
+            }
+        }
+        for (k, v) in &entry {
+            let vt = match normalize_cell(v) {
+                None => ColumnType::Null,
+                Some(t) => Value::infer(t).column_type(),
+            };
+            match self.cols.iter_mut().find(|c| c.name == *k) {
+                Some(c) => c.join = c.join.unify(vt),
+                // perf: one name clone + one Missing backfill per *newly
+                // discovered column* (a handful per table, ever), not per
+                // entry — the steady state takes the update arm above.
+                None => self.cols.push(SinkCol {
+                    name: k.clone(),
+                    join: vt,
+                    // perf: a column first seen now was Missing in every
+                    // already-committed row — one backfill per new column.
+                    raws: Some(vec![RawCell::Missing; self.committed]),
+                }),
+            }
+        }
+        self.buffered.push(entry);
+        Ok(())
+    }
+
+    fn effective_schema(&self) -> Result<Schema, TransformError> {
+        Schema::new(
+            self.cols
+                .iter()
+                .map(|c| Column::new(c.name.clone(), effective(c.join)))
+                .collect(),
+        )
+        .map_err(|e| TransformError::SchemaInference(e.to_string()))
+    }
+
+    /// Commits the buffered entries: migrates the warehouse table if the
+    /// effective schema moved, then materializes and batch-appends the new
+    /// rows.
+    fn flush(&mut self, db: &mut Database) -> Result<(), TransformError> {
+        if self.buffered.is_empty() {
+            return Ok(());
+        }
+        let schema = self.effective_schema()?;
+        if !self.created {
+            db.ensure_table(&self.table, schema.clone())
+                .map_err(TransformError::Db)?;
+            self.created = true;
+        } else if db
+            .require(&self.table)
+            .map_err(TransformError::Db)?
+            .schema()
+            != &schema
+        {
+            self.migrate(db, &schema)?;
+        }
+        // perf: one rows vector per flush, sized to the buffered chunk.
+        let mut rows: Vec<Vec<Value>> = Vec::with_capacity(self.buffered.len());
+        for entry in &self.buffered {
+            let mut row = Vec::with_capacity(self.cols.len());
+            let mut rawcells = Vec::with_capacity(self.cols.len());
+            for col in &self.cols {
+                match entry.iter().find(|(k, _)| *k == col.name) {
+                    None => {
+                        row.push(Value::Null);
+                        rawcells.push(RawCell::Missing);
+                    }
+                    Some((_, raw)) => {
+                        let v = parse_cell(&self.table, &col.name, effective(col.join), raw)?;
+                        let rc = if col.raws.is_some() {
+                            if *raw == v.render() {
+                                RawCell::Canonical
+                            } else {
+                                // perf: raw retained only when it diverges
+                                // from the canonical rendering — rare.
+                                RawCell::Kept(raw.as_str().into())
+                            }
+                        } else {
+                            RawCell::Missing // unused: raws already dropped
+                        };
+                        row.push(v);
+                        rawcells.push(rc);
+                    }
+                }
+            }
+            for (col, rc) in self.cols.iter_mut().zip(rawcells) {
+                if let Some(raws) = &mut col.raws {
+                    raws.push(rc);
+                }
+            }
+            rows.push(row);
+        }
+        let n = rows.len();
+        db.insert_batch(&self.table, rows)
+            .map_err(TransformError::Db)?;
+        self.committed += n;
+        self.buffered.clear();
+        // Text is the top of the lattice: those columns can never change
+        // type again, so their raws are dead weight.
+        for col in &mut self.cols {
+            if col.join == ColumnType::Text {
+                col.raws = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the committed prefix under a new effective schema and swaps
+    /// it in. Unchanged columns are copied; columns whose effective type
+    /// moved are re-parsed from their recovered raw text — producing the
+    /// cells batch would have produced parsing the same raws with the
+    /// final type in the first place.
+    fn migrate(&mut self, db: &mut Database, new_schema: &Schema) -> Result<(), TransformError> {
+        let old = db.require(&self.table).map_err(TransformError::Db)?;
+        if old.row_count() != self.committed {
+            // Rows we did not ingest (a pre-existing table) cannot be
+            // migrated — the same situation batch reports as a schema
+            // mismatch between the inferred and the existing schema.
+            return Err(TransformError::Db(DbError::SchemaMismatch {
+                table: self.table.clone(),
+                existing: old.schema().to_string(),
+                incoming: new_schema.to_string(),
+            }));
+        }
+        let mut cols_data: Vec<Vec<Value>> = Vec::with_capacity(self.cols.len());
+        for col in &mut self.cols {
+            let new_ty = effective(col.join);
+            let old_ci = old.schema().index_of(&col.name);
+            let unchanged = old_ci.is_some_and(|ci| old.schema().columns()[ci].ty == new_ty);
+            match old_ci {
+                Some(_) if unchanged => {
+                    let vals = old.column(&col.name).map(<[Value]>::to_vec);
+                    let Some(vals) = vals else {
+                        return Err(TransformError::SchemaInference(format!(
+                            "migration of `{}` lost column `{}`",
+                            self.table, col.name
+                        )));
+                    };
+                    cols_data.push(vals);
+                }
+                Some(_) => {
+                    // Re-parse every committed cell from its recovered raw.
+                    let (Some(old_vals), Some(raws)) = (old.column(&col.name), col.raws.as_ref())
+                    else {
+                        // A column below the lattice top always holds raws,
+                        // and the index came from this very schema.
+                        return Err(TransformError::SchemaInference(format!(
+                            "migration of `{}` lost raws for column `{}`",
+                            self.table, col.name
+                        )));
+                    };
+                    let mut vals = Vec::with_capacity(self.committed);
+                    let mut nraws = Vec::with_capacity(self.committed);
+                    for (r, rc) in raws.iter().enumerate() {
+                        match rc {
+                            RawCell::Missing => {
+                                vals.push(Value::Null);
+                                nraws.push(RawCell::Missing);
+                            }
+                            RawCell::Canonical | RawCell::Kept(_) => {
+                                let recovered;
+                                let raw: &str = match rc {
+                                    RawCell::Kept(s) => s,
+                                    _ => {
+                                        recovered = old_vals[r].render();
+                                        &recovered
+                                    }
+                                };
+                                let v = parse_cell(&self.table, &col.name, new_ty, raw)?;
+                                nraws.push(if raw == v.render() {
+                                    RawCell::Canonical
+                                } else {
+                                    RawCell::Kept(raw.into())
+                                });
+                                vals.push(v);
+                            }
+                        }
+                    }
+                    col.raws = Some(nraws);
+                    cols_data.push(vals);
+                }
+                None => {
+                    // perf: one Null backfill per brand-new column, during a
+                    // migration that runs at most a few times per table.
+                    // Brand-new column: every committed row lacked it.
+                    cols_data.push(vec![Value::Null; self.committed]);
+                }
+            }
+        }
+        let mut rebuilt = Table::new(self.table.clone(), new_schema.clone());
+        // perf: migrations happen at most a few times per table, on the
+        // committed prefix only — the steady state never pays this.
+        let rows: Vec<Vec<Value>> = (0..self.committed)
+            .map(|r| cols_data.iter().map(|c| c[r].clone()).collect())
+            .collect();
+        rebuilt.push_batch(rows).map_err(TransformError::Db)?;
+        db.replace_table(rebuilt).map_err(TransformError::Db)?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The streaming transformer
+// ---------------------------------------------------------------------------
+
+/// The incremental counterpart of [`DataTransformer::run`]: construct it
+/// once, call [`poll`](StreamingTransformer::poll) whenever the log store
+/// has grown, and [`finish`](StreamingTransformer::finish) when the run
+/// ends. See the module docs for the convergence guarantees.
+#[derive(Debug)]
+pub struct StreamingTransformer {
+    declarations: Vec<ParsingDeclaration>,
+    manifest: Vec<LogFileMeta>,
+    states: Vec<DeclState>,
+    sink_of: Vec<usize>,
+    sinks: Vec<TableSink>,
+}
+
+impl StreamingTransformer {
+    /// Builds a streaming ingester from a transformer's declaration set,
+    /// validating it up front exactly as [`DataTransformer::run`] does.
+    ///
+    /// # Errors
+    ///
+    /// [`TransformError::BadDeclaration`] for the first deny-level issue.
+    pub fn new(transformer: &DataTransformer) -> Result<StreamingTransformer, TransformError> {
+        transformer.validate()?;
+        Ok(Self::from_parts(
+            transformer.declarations().to_vec(),
+            transformer.manifest_entries().to_vec(),
+        ))
+    }
+
+    pub(crate) fn from_parts(
+        declarations: Vec<ParsingDeclaration>,
+        manifest: Vec<LogFileMeta>,
+    ) -> StreamingTransformer {
+        // Sinks in sorted table order — the order batch groups by table
+        // (BTreeMap) and therefore the order the report lists.
+        let mut tables: Vec<&str> = declarations.iter().map(|d| d.table.as_str()).collect();
+        tables.sort_unstable();
+        tables.dedup();
+        let mut sinks: Vec<TableSink> = tables.iter().map(|t| TableSink::new(t)).collect();
+        let sink_of: Vec<usize> = declarations
+            .iter()
+            .map(|d| {
+                // The set was just built from these same declarations, so
+                // the lookup cannot miss.
+                tables.binary_search(&d.table.as_str()).unwrap_or(0)
+            })
+            .collect();
+        for &si in &sink_of {
+            sinks[si].files += 1;
+        }
+        let states = declarations.iter().map(|_| DeclState::new()).collect();
+        StreamingTransformer {
+            declarations,
+            manifest,
+            states,
+            sink_of,
+            sinks,
+        }
+    }
+
+    /// Entries ingested so far across all tables.
+    pub fn entries_seen(&self) -> usize {
+        self.states.iter().map(|s| s.entries).sum()
+    }
+
+    /// Parses every declaration's unconsumed suffix. Results (and the
+    /// advanced states) come back in declaration order regardless of
+    /// worker count, which is what makes the parallel path byte-identical
+    /// to the serial one.
+    fn parse_new(
+        &mut self,
+        store: &LogStore,
+        workers: usize,
+        at_end: bool,
+    ) -> Result<Vec<Vec<Fields>>, TransformError> {
+        let decls = &self.declarations;
+        let states = &self.states;
+        let results: Vec<(DeclState, Result<Vec<Fields>, TransformError>)> =
+            parallel_map(decls.len(), workers.max(1), |di| {
+                let decl = &decls[di];
+                let mut st = states[di].clone();
+                let r = match store.read(&decl.path) {
+                    // A file that does not exist yet simply has no data;
+                    // it is only an error if still absent at the end.
+                    None if !at_end => Ok(Vec::new()),
+                    None => Err(TransformError::MissingFile(decl.path.clone())),
+                    Some(content) => advance(decl, &mut st, content, at_end),
+                };
+                if let Ok(entries) = &r {
+                    st.entries += entries.len();
+                }
+                (st, r)
+            });
+        let mut out = Vec::with_capacity(results.len());
+        let mut first_err = None;
+        for (di, (st, r)) in results.into_iter().enumerate() {
+            self.states[di] = st;
+            match r {
+                Ok(entries) => out.push(entries),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                    out.push(Vec::new());
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    fn apply(&mut self, parsed: Vec<Vec<Fields>>, db: &mut Database) -> Result<(), TransformError> {
+        for (di, entries) in parsed.into_iter().enumerate() {
+            let sink = &mut self.sinks[self.sink_of[di]];
+            for entry in entries {
+                sink.add_entry(entry)?;
+            }
+        }
+        for sink in &mut self.sinks {
+            sink.flush(db)?;
+        }
+        Ok(())
+    }
+
+    /// Ingests whatever new data the store holds, serially.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors ([`TransformError::UnparsedLine`], XML errors) and
+    /// warehouse errors; a declared file absent from the store is *not* an
+    /// error here (the monitor may not have written yet), only at
+    /// [`finish`](StreamingTransformer::finish).
+    pub fn poll(&mut self, store: &LogStore, db: &mut Database) -> Result<(), TransformError> {
+        self.poll_with(store, db, 1)
+    }
+
+    /// [`poll`](StreamingTransformer::poll) with the per-declaration parse
+    /// stage fanned out over `workers` threads. The warehouse contents are
+    /// byte-identical for any worker count: parsing is independent per
+    /// declaration and results are applied in declaration order.
+    ///
+    /// # Errors
+    ///
+    /// As [`poll`](StreamingTransformer::poll).
+    pub fn poll_with(
+        &mut self,
+        store: &LogStore,
+        db: &mut Database,
+        workers: usize,
+    ) -> Result<(), TransformError> {
+        let parsed = self.parse_new(store, workers, false)?;
+        self.apply(parsed, db)
+    }
+
+    /// Drains the final partial lines, validates the XML-direct documents,
+    /// creates tables for zero-entry declarations, registers the monitor /
+    /// log-file metadata (manifest order, as batch), and returns the same
+    /// [`TransformReport`] the batch pipeline computes. Incomplete trailing
+    /// blocks are dropped, mirroring batch end-of-file behaviour.
+    ///
+    /// # Errors
+    ///
+    /// [`TransformError::MissingFile`] for declared files absent from the
+    /// store; parse/XML errors from the final drain; warehouse errors.
+    pub fn finish(
+        mut self,
+        store: &LogStore,
+        db: &mut Database,
+    ) -> Result<TransformReport, TransformError> {
+        let parsed = self.parse_new(store, 1, true)?;
+        self.apply(parsed, db)?;
+
+        // The span extractor only ever sees complete entries; re-parse each
+        // XML document once to surface malformed-XML errors exactly as
+        // batch would, and to prove the extraction missed nothing.
+        for (di, decl) in self.declarations.iter().enumerate() {
+            if let ParserKind::XmlDirect(map) = &decl.parser {
+                let content = store
+                    .read(&decl.path)
+                    .ok_or_else(|| TransformError::MissingFile(decl.path.clone()))?;
+                let doc = xml::parse(content).map_err(TransformError::Xml)?;
+                let in_doc = doc.find_all(&map.entry_element).len();
+                if in_doc != self.states[di].entries {
+                    return Err(TransformError::SchemaInference(format!(
+                        "streaming extraction of `{}` saw {} entries but the document holds {}",
+                        decl.path, self.states[di].entries, in_doc
+                    )));
+                }
+            }
+        }
+
+        // Zero-entry tables still materialize (batch converts an empty
+        // document set into an empty schema and ensures the table).
+        for sink in &mut self.sinks {
+            if !sink.created {
+                let schema = sink.effective_schema()?;
+                db.ensure_table(&sink.table, schema)
+                    .map_err(TransformError::Db)?;
+                sink.created = true;
+            }
+        }
+
+        // Metadata registration, manifest order — identical to batch.
+        for m in &self.manifest {
+            let kind = match m.kind {
+                MonitorKind::Event => "event",
+                MonitorKind::Resource => "resource",
+            };
+            // perf: one rendered node name per manifest entry, shared by
+            // both registrations below — same shape as the batch loop.
+            let node = m.node.to_string();
+            db.register_monitor(&m.monitor_id, &node, &m.tool, kind, m.period_ms as i64)
+                .map_err(TransformError::Db)?;
+            let bytes = store
+                .size(&m.path)
+                .ok_or_else(|| TransformError::MissingFile(m.path.clone()))?
+                as i64;
+            db.register_log_file(&m.path, &node, &m.monitor_id, &m.format, bytes)
+                .map_err(TransformError::Db)?;
+        }
+
+        let mut report = TransformReport::default();
+        for sink in &self.sinks {
+            report.files += sink.files;
+            report.entries += sink.committed;
+            // perf: one owned table name per loaded table, once at finish.
+            report.tables.push((sink.table.clone(), sink.committed));
+        }
+        Ok(report)
+    }
+}
+
+impl DataTransformer {
+    /// Deploys this transformer in streaming mode; the returned
+    /// [`StreamingTransformer`] tails the log store incrementally and
+    /// finishes into the same warehouse contents
+    /// [`DataTransformer::run`] produces (see the `stream` module docs
+    /// for the row-order caveat on multi-file tables).
+    ///
+    /// # Errors
+    ///
+    /// [`TransformError::BadDeclaration`] for the first deny-level issue.
+    pub fn stream(&self) -> Result<StreamingTransformer, TransformError> {
+        StreamingTransformer::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::declare::ParserSpec;
+    use crate::pattern::{Pattern, Tok};
+    use mscope_db::ValueKey;
+    use mscope_monitors::MonitorSuite;
+    use mscope_ntier::{Simulator, SystemConfig};
+    use mscope_sim::SimDuration;
+    use std::collections::BTreeMap;
+
+    fn artifacts(users: u32, secs: u64) -> mscope_monitors::MonitoringArtifacts {
+        let mut cfg = SystemConfig::rubbos_baseline(users);
+        cfg.duration = SimDuration::from_secs(secs);
+        cfg.warmup = SimDuration::from_secs(1);
+        cfg.workload.ramp_up = SimDuration::from_secs(1);
+        let out = Simulator::new(cfg).unwrap().run();
+        MonitorSuite::standard(&out.config).render(&out)
+    }
+
+    /// Feeds `full` into a fresh store `chunk` bytes per file per round,
+    /// polling after every round, then finishes.
+    fn run_streaming(
+        art: &mscope_monitors::MonitoringArtifacts,
+        chunk: usize,
+        workers: usize,
+    ) -> (Database, TransformReport) {
+        let tr = DataTransformer::from_manifest(&art.manifest);
+        let mut st = tr.stream().unwrap();
+        let mut db = Database::new();
+        let paths: Vec<String> = art.store.paths().iter().map(|p| p.to_string()).collect();
+        let mut partial = LogStore::new();
+        let mut offsets: BTreeMap<&str, usize> = BTreeMap::new();
+        loop {
+            let mut grew = false;
+            for p in &paths {
+                let full = art.store.read(p).unwrap();
+                let off = offsets.entry(p.as_str()).or_insert(0);
+                if *off >= full.len() {
+                    continue;
+                }
+                let mut end = (*off + chunk).min(full.len());
+                while !full.is_char_boundary(end) {
+                    end += 1;
+                }
+                partial.append(p, &full[*off..end]);
+                *off = end;
+                grew = true;
+            }
+            if !grew {
+                break;
+            }
+            st.poll_with(&partial, &mut db, workers).unwrap();
+        }
+        assert_eq!(&partial, &art.store);
+        let report = st.finish(&partial, &mut db).unwrap();
+        (db, report)
+    }
+
+    /// Tables fed by more than one declaration may legitimately interleave
+    /// rows; canonicalize those to a sorted multiset for comparison.
+    fn sorted_rows(t: &Table) -> Vec<Vec<ValueKey>> {
+        let mut rows: Vec<Vec<ValueKey>> = t
+            .iter_rows()
+            .map(|r| r.iter().map(Value::key).collect())
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    fn assert_converged(streamed: &Database, batch: &Database, multi: &[&str], tag: &str) {
+        assert_eq!(streamed.table_names(), batch.table_names(), "{tag}");
+        for name in batch.table_names() {
+            let b = batch.require(name).unwrap();
+            let s = streamed.require(name).unwrap();
+            assert_eq!(s.schema(), b.schema(), "{tag}: schema of {name}");
+            if multi.contains(&name) {
+                assert_eq!(sorted_rows(s), sorted_rows(b), "{tag}: rows of {name}");
+            } else {
+                assert_eq!(s, b, "{tag}: table {name}");
+            }
+        }
+    }
+
+    fn multi_file_tables(tr: &DataTransformer) -> Vec<String> {
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for d in tr.declarations() {
+            *counts.entry(d.table.as_str()).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .filter(|&(_, n)| n > 1)
+            .map(|(t, _)| t.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn streaming_converges_with_batch_across_chunk_sizes() {
+        let art = artifacts(40, 4);
+        let tr = DataTransformer::from_manifest(&art.manifest);
+        let mut batch_db = Database::new();
+        let batch_report = tr.run(&art.store, &mut batch_db).unwrap();
+        let multi: Vec<String> = multi_file_tables(&tr);
+        let multi_refs: Vec<&str> = multi.iter().map(String::as_str).collect();
+        for chunk in [64usize, 4096] {
+            let (db, report) = run_streaming(&art, chunk, 1);
+            assert_eq!(report, batch_report, "chunk={chunk}");
+            assert_converged(&db, &batch_db, &multi_refs, &format!("chunk={chunk}"));
+        }
+    }
+
+    #[test]
+    fn streaming_converges_one_byte_at_a_time() {
+        // Byte-granular chunks on a small run: every line and XML span is
+        // split mid-token at some point.
+        let art = artifacts(10, 2);
+        let tr = DataTransformer::from_manifest(&art.manifest);
+        let mut batch_db = Database::new();
+        let batch_report = tr.run(&art.store, &mut batch_db).unwrap();
+        let multi: Vec<String> = multi_file_tables(&tr);
+        let multi_refs: Vec<&str> = multi.iter().map(String::as_str).collect();
+        let (db, report) = run_streaming(&art, 1, 1);
+        assert_eq!(report, batch_report);
+        assert_converged(&db, &batch_db, &multi_refs, "chunk=1");
+    }
+
+    #[test]
+    fn worker_fanout_is_byte_identical() {
+        let art = artifacts(40, 4);
+        let (db1, r1) = run_streaming(&art, 1024, 1);
+        let (db4, r4) = run_streaming(&art, 1024, 4);
+        assert_eq!(r1, r4);
+        assert_eq!(db1.to_json().unwrap(), db4.to_json().unwrap());
+    }
+
+    // --- focused unit tests around schema migration -----------------------
+
+    fn kv_decl(path: &str, table: &str) -> ParsingDeclaration {
+        ParsingDeclaration {
+            path: path.into(),
+            monitor_id: "m1".into(),
+            parser: ParserKind::Staged(ParserSpec {
+                name: "kv".into(),
+                filters: vec![crate::declare::LineMatcher::Blank],
+                context: vec![],
+                records: vec![Pattern::new(vec![
+                    Tok::cap("k"),
+                    Tok::lit("="),
+                    Tok::cap("v"),
+                ])],
+                blocks: None,
+            }),
+            table: table.into(),
+            constants: vec![("node".into(), "n0".into())],
+        }
+    }
+
+    /// Batch oracle for a single declaration: execute + convert + load.
+    fn batch_oracle(decl: &ParsingDeclaration, content: &str) -> Database {
+        let doc = decl.execute(content).unwrap();
+        let conv = crate::convert::convert_xml(std::slice::from_ref(&doc)).unwrap();
+        let mut db = Database::new();
+        crate::import::import_rows(&mut db, &decl.table, &conv.schema, conv.rows).unwrap();
+        db
+    }
+
+    /// Streams `content` into the declaration byte by byte and returns the
+    /// resulting warehouse (metadata registration skipped on both sides).
+    fn stream_oracle(decl: &ParsingDeclaration, content: &str) -> Database {
+        let mut st = StreamingTransformer::from_parts(vec![decl.clone()], Vec::new());
+        let mut db = Database::new();
+        let mut partial = LogStore::new();
+        for i in 0..content.len() {
+            if content.is_char_boundary(i) && content.is_char_boundary(i + 1) {
+                partial.append(&decl.path, &content[i..i + 1]);
+                st.poll(&partial, &mut db).unwrap();
+            } else if content.is_char_boundary(i) {
+                let mut end = i + 1;
+                while !content.is_char_boundary(end) {
+                    end += 1;
+                }
+                partial.append(&decl.path, &content[i..end]);
+                st.poll(&partial, &mut db).unwrap();
+            }
+        }
+        st.finish(&partial, &mut db).unwrap();
+        db
+    }
+
+    #[test]
+    fn mid_stream_widenings_converge() {
+        // Every lattice transition the running join can take, in one file:
+        //  * `a`: Int → Float (late decimal)
+        //  * `b`: Int → Text (hex id that starts all-digits)
+        //  * `c`: all-null until a late timestamp arrives
+        //  * `d`: null forever → Text at finish, dashes kept verbatim
+        let decl = ParsingDeclaration {
+            path: "wid.log".into(),
+            monitor_id: "m1".into(),
+            parser: ParserKind::Staged(ParserSpec {
+                name: "row".into(),
+                filters: vec![crate::declare::LineMatcher::Blank],
+                context: vec![],
+                records: vec![Pattern::new(vec![
+                    Tok::lit("r "),
+                    Tok::cap("a"),
+                    Tok::Ws,
+                    Tok::cap("b"),
+                    Tok::Ws,
+                    Tok::cap("c"),
+                    Tok::Ws,
+                    Tok::cap("d"),
+                ])],
+                blocks: None,
+            }),
+            table: "wid".into(),
+            constants: vec![],
+        };
+        let content = "\
+r 5 123456 - -\n\
+r 6 999999 - -\n\
+r 2.5 12ab34 00:00:02.500000 -\n\
+r 3 777 00:00:03.000000 -\n";
+        let batch = batch_oracle(&decl, content);
+        let streamed = stream_oracle(&decl, content);
+        let b = batch.require("wid").unwrap();
+        let s = streamed.require("wid").unwrap();
+        assert_eq!(s, b);
+        // And the final types are what batch infers.
+        assert_eq!(b.schema().columns()[0].ty, ColumnType::Float, "a");
+        assert_eq!(b.schema().columns()[1].ty, ColumnType::Text, "b");
+        assert_eq!(b.schema().columns()[2].ty, ColumnType::Timestamp, "c");
+        assert_eq!(b.schema().columns()[3].ty, ColumnType::Text, "d");
+        // Int → Text kept the original digits verbatim…
+        assert_eq!(s.cell(0, "b"), Some(&Value::Text("123456".into())));
+        // …and the all-null column widened to Text with dashes verbatim.
+        assert_eq!(s.cell(0, "d"), Some(&Value::Text("-".into())));
+    }
+
+    #[test]
+    fn late_new_column_null_backfills() {
+        // Two record patterns: `p x y` carries a `y` field, `p x` does
+        // not — so `y` first appears mid-stream, after rows without it
+        // were already committed.
+        let decl = ParsingDeclaration {
+            path: "late.log".into(),
+            monitor_id: "m1".into(),
+            parser: ParserKind::Staged(ParserSpec {
+                name: "late".into(),
+                filters: vec![],
+                context: vec![],
+                records: vec![
+                    Pattern::new(vec![Tok::lit("p "), Tok::cap("x"), Tok::Ws, Tok::cap("y")]),
+                    Pattern::new(vec![Tok::lit("p "), Tok::cap("x")]),
+                ],
+                blocks: None,
+            }),
+            table: "late".into(),
+            constants: vec![],
+        };
+        let content = "p 1\np 2\np 3 9\np 4 10\n";
+        let batch = batch_oracle(&decl, content);
+        let streamed = stream_oracle(&decl, content);
+        assert_eq!(
+            streamed.require("late").unwrap(),
+            batch.require("late").unwrap()
+        );
+        let t = streamed.require("late").unwrap();
+        assert_eq!(t.cell(0, "y"), Some(&Value::Null));
+        assert_eq!(t.cell(2, "y"), Some(&Value::Int(9)));
+    }
+
+    #[test]
+    fn unparsed_line_number_matches_batch() {
+        let decl = kv_decl("bad.log", "kv");
+        let content = "k=1\n\nk=2\nNOT A KV LINE\n";
+        // Batch error:
+        let be = decl.execute(content).unwrap_err();
+        // Streaming error (fed in awkward 3-byte chunks):
+        let mut st = StreamingTransformer::from_parts(vec![decl.clone()], Vec::new());
+        let mut db = Database::new();
+        let mut partial = LogStore::new();
+        let mut se = None;
+        let mut i = 0;
+        while i < content.len() {
+            let end = (i + 3).min(content.len());
+            partial.append(&decl.path, &content[i..end]);
+            i = end;
+            if let Err(e) = st.poll(&partial, &mut db) {
+                se = Some(e);
+                break;
+            }
+        }
+        match (be, se.expect("streaming surfaced the bad line")) {
+            (
+                TransformError::UnparsedLine {
+                    file: bf,
+                    line_no: bn,
+                    line: bl,
+                },
+                TransformError::UnparsedLine {
+                    file: sf,
+                    line_no: sn,
+                    line: sl,
+                },
+            ) => {
+                assert_eq!((bf, bn, bl), (sf, sn, sl));
+            }
+            other => panic!("unexpected error pair {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incomplete_trailing_block_dropped_at_finish_only() {
+        let decl = ParsingDeclaration {
+            path: "blk.log".into(),
+            monitor_id: "m1".into(),
+            parser: ParserKind::Staged(ParserSpec {
+                name: "blocks".into(),
+                filters: vec![],
+                context: vec![],
+                records: vec![],
+                blocks: Some(crate::declare::BlockSpec {
+                    marker: Pattern::new(vec![Tok::lit("M")]),
+                    lines: vec![Some(Pattern::new(vec![Tok::lit("x="), Tok::cap("x")]))],
+                }),
+            }),
+            table: "blk".into(),
+            constants: vec![],
+        };
+        let mut st = StreamingTransformer::from_parts(vec![decl.clone()], Vec::new());
+        let mut db = Database::new();
+        let mut partial = LogStore::new();
+        // First poll ends mid-block; the block must survive to the next
+        // poll (batch on the full file would complete it).
+        partial.append("blk.log", "M\n");
+        st.poll(&partial, &mut db).unwrap();
+        partial.append("blk.log", "x=1\nM\n");
+        st.poll(&partial, &mut db).unwrap();
+        let report = st.finish(&partial, &mut db).unwrap();
+        assert_eq!(report.entries, 1, "the trailing markered block is dropped");
+        assert_eq!(
+            db.require("blk").unwrap().cell(0, "x"),
+            Some(&Value::Int(1))
+        );
+    }
+
+    #[test]
+    fn malformed_xml_surfaces_at_finish() {
+        let decl = ParsingDeclaration {
+            path: "x.xml".into(),
+            monitor_id: "m1".into(),
+            parser: ParserKind::XmlDirect(XmlMapping {
+                entry_element: "ts".into(),
+                entry_attrs: vec![("t".into(), "t".into())],
+                leaf_attrs: vec![],
+            }),
+            table: "x".into(),
+            constants: vec![],
+        };
+        let mut st = StreamingTransformer::from_parts(vec![decl], Vec::new());
+        let mut db = Database::new();
+        let mut partial = LogStore::new();
+        partial.append("x.xml", "<root><ts t=\"1\"/><broken");
+        st.poll(&partial, &mut db).unwrap();
+        assert!(matches!(
+            st.finish(&partial, &mut db),
+            Err(TransformError::Xml(_))
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_fine_until_finish() {
+        let decl = kv_decl("late.log", "kv");
+        let mut st = StreamingTransformer::from_parts(vec![decl.clone()], Vec::new());
+        let mut db = Database::new();
+        let empty = LogStore::new();
+        st.poll(&empty, &mut db).unwrap();
+        let st2 = StreamingTransformer::from_parts(vec![decl], Vec::new());
+        assert!(matches!(
+            st2.finish(&empty, &mut db),
+            Err(TransformError::MissingFile(_))
+        ));
+        let _ = st;
+    }
+
+    #[test]
+    fn zero_entry_declaration_still_creates_table() {
+        let decl = kv_decl("empty.log", "kv");
+        let mut store = LogStore::new();
+        store.append("empty.log", "");
+        let st = StreamingTransformer::from_parts(vec![decl], Vec::new());
+        let mut db = Database::new();
+        let report = st.finish(&store, &mut db).unwrap();
+        assert_eq!(report.tables, vec![("kv".to_string(), 0)]);
+        assert!(db.table("kv").is_some());
+        assert_eq!(db.require("kv").unwrap().row_count(), 0);
+    }
+}

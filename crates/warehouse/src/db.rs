@@ -179,6 +179,29 @@ impl Database {
             .push_batch(rows)
     }
 
+    /// Replaces a dynamic table wholesale, keeping the warehouse name ↔
+    /// table invariant. This is the schema-migration primitive of the
+    /// streaming ingester: when a later chunk widens an inferred column
+    /// type (the batch pipeline would simply have inferred the wider type
+    /// up front), the ingester rebuilds the table under the new schema and
+    /// swaps it in here.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::BadQuery`] when the table is one of the static metadata
+    /// tables ([`STATIC_TABLES`]) — their schemas are fixed by the paper's
+    /// warehouse design and never migrate.
+    pub fn replace_table(&mut self, table: Table) -> Result<(), DbError> {
+        let name = table.name();
+        if STATIC_TABLES.contains(&name) {
+            return Err(DbError::BadQuery(format!(
+                "static metadata table `{name}` cannot be replaced"
+            )));
+        }
+        self.tables.insert(name.to_string(), table);
+        Ok(())
+    }
+
     /// Looks up a table.
     pub fn table(&self, name: &str) -> Option<&Table> {
         self.tables.get(name)
@@ -389,6 +412,97 @@ mod tests {
             db.insert_batch("ghost", vec![]),
             Err(DbError::NoSuchTable(_))
         ));
+    }
+
+    #[test]
+    fn replace_table_swaps_dynamic_rejects_static() {
+        let mut db = Database::new();
+        let schema = Schema::new(vec![Column::new("a", ColumnType::Int)]).unwrap();
+        db.create_table("m", schema).unwrap();
+        db.insert("m", vec![Value::Int(1)]).unwrap();
+        // Swap in a rebuilt table under a wider schema (Int → Float).
+        let wide = Schema::new(vec![Column::new("a", ColumnType::Float)]).unwrap();
+        let mut t = Table::new("m", wide);
+        t.push_row(vec![Value::Float(1.0)]).unwrap();
+        t.push_row(vec![Value::Float(2.5)]).unwrap();
+        db.replace_table(t).unwrap();
+        let got = db.require("m").unwrap();
+        assert_eq!(got.row_count(), 2);
+        assert_eq!(got.cell(1, "a"), Some(&Value::Float(2.5)));
+        // Replacing also creates when absent (the ingester's first swap
+        // after an early migration may precede any ensure_table call).
+        let fresh = Table::new("m2", Schema::default());
+        db.replace_table(fresh).unwrap();
+        assert!(db.table("m2").is_some());
+        // Static metadata tables are immutable in shape.
+        let bad = Table::new("monitors", Schema::default());
+        assert!(matches!(db.replace_table(bad), Err(DbError::BadQuery(_))));
+        assert_eq!(db.table("monitors").unwrap().schema().len(), 5);
+    }
+
+    #[test]
+    fn chunked_appends_match_one_shot_load() {
+        // The streaming ingester appends in chunks; the per-block zone maps
+        // and the sorted-on-append flag must come out exactly as a one-shot
+        // batch load leaves them (ISSUE: "sorted-on-append flag must
+        // survive chunked appends").
+        let schema = || {
+            Schema::new(vec![
+                Column::new("t", ColumnType::Timestamp),
+                Column::new("v", ColumnType::Float),
+            ])
+            .unwrap()
+        };
+        let rows: Vec<Vec<Value>> = (0..5000)
+            .map(|i| {
+                vec![
+                    Value::Timestamp(i * 10),
+                    Value::Float(((i % 97) as f64) / 3.0),
+                ]
+            })
+            .collect();
+        for chunk in [1usize, 64, 4096] {
+            let mut db_chunked = Database::new();
+            db_chunked.create_table("m", schema()).unwrap();
+            for c in rows.chunks(chunk) {
+                db_chunked.insert_batch("m", c.to_vec()).unwrap();
+            }
+            let mut db_batch = Database::new();
+            db_batch.create_table("m", schema()).unwrap();
+            db_batch.insert_batch("m", rows.clone()).unwrap();
+            let chunked = db_chunked.require("m").unwrap();
+            let batch = db_batch.require("m").unwrap();
+            assert_eq!(chunked, batch, "chunk={chunk}");
+            // Table equality excludes the index; compare it explicitly —
+            // zone maps and the sorted flag must match the one-shot load.
+            assert_eq!(chunked.table_index(), batch.table_index(), "chunk={chunk}");
+            let t_idx = chunked.table_index().col(0).unwrap();
+            assert!(t_idx.sorted(), "time column sorted through chunk={chunk}");
+        }
+        // An out-of-order row arriving mid-stream clears the flag across a
+        // chunk boundary the same way the one-shot load does.
+        let mut a = Database::new();
+        a.create_table("m", schema()).unwrap();
+        let mut shuffled = rows.clone();
+        shuffled.swap(100, 4900);
+        for c in shuffled.chunks(64) {
+            a.insert_batch("m", c.to_vec()).unwrap();
+        }
+        let mut b = Database::new();
+        b.create_table("m", schema()).unwrap();
+        b.insert_batch("m", shuffled).unwrap();
+        assert_eq!(a.require("m").unwrap(), b.require("m").unwrap());
+        assert_eq!(
+            a.require("m").unwrap().table_index(),
+            b.require("m").unwrap().table_index()
+        );
+        assert!(!a
+            .require("m")
+            .unwrap()
+            .table_index()
+            .col(0)
+            .unwrap()
+            .sorted());
     }
 
     #[test]
