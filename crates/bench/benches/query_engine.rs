@@ -1,23 +1,31 @@
 //! mScopeDB query-engine shoot-out: the compiled, indexed paths against
 //! the naive row-at-a-time oracles on paper-shaped workloads — a windowed
 //! select over a time-sorted event table (the PiT/VLRT slice query), a
-//! request-ID join (the §IV-B flow-reconstruction access pattern), and
-//! PiT-series construction — at ≥100k rows.
+//! request-ID join (the §IV-B flow-reconstruction access pattern),
+//! PiT-series construction, and the stats-driven SQL planner against its
+//! planner-off ablation — at ≥100k rows.
 //!
 //! Before any number is reported, every compiled result is checked
-//! identical to its naive oracle, and the parallel block scan is checked
-//! byte-identical across worker counts. The speedup figures therefore
-//! only ever compare *equivalent* query plans.
+//! identical to its naive oracle, every planner result is checked
+//! identical to the planner-off clause-by-clause run and to the legacy
+//! verbs, and the parallel legs are checked byte-identical across worker
+//! counts. The speedup figures therefore only ever compare *equivalent*
+//! query plans.
 //!
 //! ```text
 //! cargo bench -p mscope-bench --bench query_engine -- [--smoke] [--out PATH]
 //! ```
 //!
 //! Writes a `BENCH_query.json` summary for CI artifact upload and asserts
-//! the windowed select and request-ID join are ≥3x over the naive scan.
+//! the windowed select and request-ID join are ≥3x over the naive scan,
+//! the materializing hash join is ≥2x over its naive oracle, and the
+//! planner's projection-pushdown and join-reorder wins are ≥1.5x over
+//! the planner-off run.
 
 use mscope_analysis::PitSeries;
-use mscope_db::{Column, ColumnType, KeyIndex, Predicate, Schema, Table, Value};
+use mscope_db::{
+    Column, ColumnType, Database, KeyIndex, Predicate, QueryOptions, Schema, Table, Value,
+};
 use mscope_serdes::Json;
 use mscope_sim::SimRng;
 use std::time::Instant;
@@ -200,6 +208,150 @@ fn main() {
             .expect("join runs")
             .row_count()
     });
+    let speedup_hash_join = hash_join_naive / hash_join;
+    eprintln!(
+        "  hash join (materialized): naive {:.4}s, typed gather {:.4}s ({speedup_hash_join:.1}x)",
+        hash_join_naive, hash_join
+    );
+
+    // ---- SQL planner vs planner-off ablation: the same parsed query run
+    // through `query_opts` with the optimizer on and off. Every pair is
+    // gated identical (and byte-identical across worker counts) before
+    // timing, so each ratio isolates one planner decision.
+    let mut db = Database::new();
+    let front_schema = Schema::new(vec![
+        Column::new("request_id", ColumnType::Text),
+        Column::new("slot", ColumnType::Int),
+    ])
+    .expect("static schema is valid");
+    let mut front_tbl = Table::new("front", front_schema);
+    for (slot, row) in sample_rows.iter().enumerate() {
+        front_tbl
+            .push_row(vec![
+                Value::Text(format!("{row:012x}")),
+                Value::Int(slot as i64),
+            ])
+            .expect("row fits schema");
+    }
+    db.replace_table(front_tbl.clone()).expect("front installs");
+    db.replace_table(table.clone()).expect("events install");
+
+    // The identity gate shared by every SQL benchmark below: optimizer on
+    // ≡ optimizer off, and the optimized run is byte-identical across
+    // serial and parallel worker counts.
+    let gate = |sql: &str| -> Table {
+        let on = db
+            .query_opts(sql, QueryOptions::default())
+            .expect("query runs");
+        let off = db
+            .query_opts(
+                sql,
+                QueryOptions {
+                    workers: 0,
+                    optimize: false,
+                },
+            )
+            .expect("query runs");
+        assert_eq!(on, off, "planner drift for `{sql}`");
+        let on_json = mscope_serdes::to_string(&on);
+        for workers in [1usize, 2, 8] {
+            let leg = db
+                .query_opts(
+                    sql,
+                    QueryOptions {
+                        workers,
+                        optimize: true,
+                    },
+                )
+                .expect("query runs");
+            assert_eq!(
+                mscope_serdes::to_string(&leg),
+                on_json,
+                "worker drift for `{sql}` at workers={workers}"
+            );
+        }
+        on
+    };
+    let sql_pair = |sql: &str, samples: usize| -> (f64, f64) {
+        let (off_secs, n_off) = best_of(samples, || {
+            db.query_opts(
+                sql,
+                QueryOptions {
+                    workers: 0,
+                    optimize: false,
+                },
+            )
+            .expect("query runs")
+            .row_count()
+        });
+        let (on_secs, n_on) = best_of(samples, || {
+            db.query_opts(sql, QueryOptions::default())
+                .expect("query runs")
+                .row_count()
+        });
+        assert_eq!(n_off, n_on);
+        (off_secs, on_secs)
+    };
+
+    // Projection pushdown + late materialization: the planner sorts and
+    // truncates the selection vector, then gathers two columns for 100
+    // rows; the planner-off run materializes every matching row first.
+    let sql_proj = "SELECT request_id, ud FROM event_apache \
+                    WHERE interaction = 'ViewStory' ORDER BY ud DESC LIMIT 100";
+    {
+        let got = gate(sql_proj);
+        let pred = Predicate::Eq("interaction".into(), Value::Text("ViewStory".into()));
+        let legacy = table
+            .select(&["request_id", "ud"], &pred)
+            .expect("select runs")
+            .order_by("ud", false)
+            .expect("ud exists");
+        let keep: Vec<usize> = (0..legacy.row_count().min(100)).collect();
+        assert_eq!(
+            got,
+            legacy.select_rows(&keep),
+            "legacy-verb drift for `{sql_proj}`"
+        );
+    }
+    let (proj_off, proj_on) = sql_pair(sql_proj, samples);
+    let speedup_proj = proj_off / proj_on;
+    eprintln!(
+        "  projection pushdown: planner-off {:.4}s, planner {:.4}s ({speedup_proj:.1}x)",
+        proj_off, proj_on
+    );
+
+    // Join reorder: the planner hashes the small `front` table and probes
+    // with the event stream; planner-off always hashes the right (large)
+    // input, paying a {rows}-entry index build for a {probes}-row result.
+    let sql_join = "SELECT slot, ua FROM front JOIN event_apache ON request_id = request_id";
+    {
+        let got = gate(sql_join);
+        let legacy = front_tbl
+            .inner_join_naive(&table, "request_id", "request_id")
+            .expect("join runs")
+            .select(&["slot", "ua"], &Predicate::True)
+            .expect("select runs");
+        assert_eq!(got, legacy, "legacy-verb drift for `{sql_join}`");
+    }
+    let (join_off, join_on) = sql_pair(sql_join, samples);
+    let speedup_reorder = join_off / join_on;
+    eprintln!(
+        "  join reorder: planner-off {:.4}s, planner {:.4}s ({speedup_reorder:.1}x)",
+        join_off, join_on
+    );
+
+    // Multi-key GROUP BY + HAVING: the planner aggregates over the
+    // selection vector in place; planner-off copies the table first.
+    let sql_group = "SELECT interaction, node, AVG(ud) FROM event_apache \
+                     GROUP BY interaction, node HAVING ud > 0 ORDER BY interaction";
+    let n_groups = gate(sql_group).row_count();
+    let (group_off, group_on) = sql_pair(sql_group, samples);
+    let speedup_group = group_off / group_on;
+    eprintln!(
+        "  grouped HAVING ({n_groups} groups): planner-off {:.4}s, planner {:.4}s \
+         ({speedup_group:.1}x)",
+        group_off, group_on
+    );
 
     // ---- PiT construction: columnar `ud − ua` extraction + bucketing.
     let (pit_secs, pit_points) = best_of(samples, || {
@@ -220,6 +372,18 @@ fn main() {
     assert!(
         speedup_join >= 3.0,
         "request-ID join speedup {speedup_join:.2}x < 3x"
+    );
+    assert!(
+        speedup_hash_join >= 2.0,
+        "materialized hash join speedup {speedup_hash_join:.2}x < 2x"
+    );
+    assert!(
+        speedup_proj >= 1.5,
+        "projection pushdown speedup {speedup_proj:.2}x < 1.5x"
+    );
+    assert!(
+        speedup_reorder >= 1.5,
+        "join reorder speedup {speedup_reorder:.2}x < 1.5x"
     );
 
     let result = |metric: &str, naive: f64, compiled: f64, n: usize| {
@@ -253,11 +417,21 @@ fn main() {
                     hash_join,
                     joined.row_count(),
                 ),
+                result("sql_projection_pushdown", proj_off, proj_on, 100),
+                result("sql_join_reorder", join_off, join_on, probes),
+                result("sql_group_having", group_off, group_on, n_groups),
                 result("pit_construction", pit_secs, pit_secs, pit_points),
             ]),
         ),
         ("speedup_window_select", Json::Float(speedup_select)),
         ("speedup_request_id_join", Json::Float(speedup_join)),
+        (
+            "speedup_hash_join_materialized",
+            Json::Float(speedup_hash_join),
+        ),
+        ("speedup_projection_pushdown", Json::Float(speedup_proj)),
+        ("speedup_join_reorder", Json::Float(speedup_reorder)),
+        ("speedup_group_having", Json::Float(speedup_group)),
     ]);
     let text = mscope_serdes::to_string_pretty(&doc);
     std::fs::write(&out_path, &text).expect("write bench output");

@@ -27,7 +27,14 @@ use mscope_serdes::Json;
 const TRACKED: &[(&str, &[&str])] = &[
     (
         "query_engine",
-        &["speedup_window_select", "speedup_request_id_join"],
+        &[
+            "speedup_window_select",
+            "speedup_request_id_join",
+            "speedup_hash_join_materialized",
+            "speedup_projection_pushdown",
+            "speedup_join_reorder",
+            "speedup_group_having",
+        ],
     ),
     (
         "transform_pipeline",
@@ -197,50 +204,39 @@ mod tests {
         Json::parse(&text).unwrap()
     }
 
+    /// A full query_engine summary: every tracked ratio at `v`, except
+    /// `speedup_window_select` at `select`.
+    fn query_summary(mode: &str, select: f64, v: f64) -> Json {
+        summary(
+            "query_engine",
+            mode,
+            &[
+                ("speedup_window_select", select),
+                ("speedup_request_id_join", v),
+                ("speedup_hash_join_materialized", v),
+                ("speedup_projection_pushdown", v),
+                ("speedup_join_reorder", v),
+                ("speedup_group_having", v),
+            ],
+        )
+    }
+
     #[test]
     fn within_tolerance_passes() {
-        let base = summary(
-            "query_engine",
-            "full",
-            &[
-                ("speedup_window_select", 8.0),
-                ("speedup_request_id_join", 7.0),
-            ],
-        );
-        let fresh = summary(
-            "query_engine",
-            "full",
-            &[
-                ("speedup_window_select", 7.2),
-                ("speedup_request_id_join", 8.5),
-            ],
-        );
+        let base = query_summary("full", 8.0, 7.0);
+        let fresh = query_summary("full", 7.2, 8.5);
         let deltas = compare(&base, &fresh, 0.15).unwrap();
-        assert_eq!(deltas.len(), 2);
+        assert_eq!(deltas.len(), 6);
         assert!(deltas.iter().all(|d| !d.regressed), "{deltas:?}");
     }
 
     #[test]
     fn regression_past_tolerance_fails() {
-        let base = summary(
-            "query_engine",
-            "full",
-            &[
-                ("speedup_window_select", 8.0),
-                ("speedup_request_id_join", 7.0),
-            ],
-        );
-        let fresh = summary(
-            "query_engine",
-            "full",
-            &[
-                ("speedup_window_select", 6.0),
-                ("speedup_request_id_join", 7.0),
-            ],
-        );
+        let base = query_summary("full", 8.0, 7.0);
+        let fresh = query_summary("full", 6.0, 7.0);
         let deltas = compare(&base, &fresh, 0.15).unwrap();
         assert!(deltas[0].regressed, "6.0 < 8.0 * 0.85");
-        assert!(!deltas[1].regressed);
+        assert!(deltas[1..].iter().all(|d| !d.regressed));
     }
 
     #[test]

@@ -593,6 +593,38 @@ mod tests {
     }
 
     #[test]
+    fn planner_grammar_runs_through_the_core_api() {
+        let ms = ingested(60);
+        // The extended grammar — JOIN … ON, multi-key GROUP BY, HAVING —
+        // validates against the live ingested schemas…
+        let join_sql = "SELECT interaction, ua FROM event_apache JOIN event_tomcat \
+                        ON event_apache.request_id = event_tomcat.request_id \
+                        ORDER BY ua LIMIT 5";
+        ms.check_query(join_sql).unwrap();
+        let group_sql = "SELECT interaction, node, AVG(ud) FROM event_apache \
+                         GROUP BY interaction, node HAVING ud > 0";
+        ms.check_query(group_sql).unwrap();
+        // …and executes: every returned hop pairs a front-tier request
+        // with its tomcat descendant.
+        let joined = ms.db().query(join_sql).unwrap();
+        assert_eq!(joined.row_count(), 5);
+        let grouped = ms.db().query(group_sql).unwrap();
+        assert!(grouped.row_count() >= 1);
+        // EXPLAIN prints the physical plan instead of running the query.
+        let plan = ms.db().query(&format!("EXPLAIN {join_sql}")).unwrap();
+        assert_eq!(plan.name(), "explain");
+        let ops: Vec<String> = plan
+            .column("plan")
+            .unwrap()
+            .iter()
+            .map(Value::render)
+            .collect();
+        assert!(ops[0].starts_with("Scan event_apache"), "{ops:?}");
+        assert!(ops.iter().any(|l| l.starts_with("HashJoin")), "{ops:?}");
+        assert!(ops.iter().any(|l| l.starts_with("Limit 5")), "{ops:?}");
+    }
+
+    #[test]
     fn event_table_errors_when_monitors_disabled() {
         let mut cfg = SystemConfig::rubbos_baseline(30);
         cfg.duration = SimDuration::from_secs(3);

@@ -30,7 +30,7 @@
 //!   the growth reallocations are avoidable by pre-sizing.
 //! * `PF004` — zone-map bypass: row-wise `Table` access (`iter_rows()`,
 //!   per-row `.cell(…)` in a loop) in warehouse/analysis non-test code
-//!   outside `engine.rs` — scans must route through
+//!   outside the engine files — scans must route through
 //!   `CompiledPredicate`/`scan_blocks`/`window_agg_where` so block
 //!   skipping and typed column slices apply.
 //! * `PF005` — a `*_naive` oracle call reachable from non-test,
@@ -42,7 +42,7 @@
 //!   hoisted out of row/iteration loops.
 //! * `PF007` — a nested-loop join: two nested loops whose headers both
 //!   iterate row-indexed data (`iter_rows`/`row_count`/`matching_rows`)
-//!   outside `engine.rs` — O(n·m) over table-sized collections; use
+//!   outside the engine files — O(n·m) over table-sized collections; use
 //!   `KeyIndex`.
 //! * `PF008` — `sort`/`sort_by` inside a loop body: re-sorting per
 //!   iteration is O(n·m log m) where one sort after the loop (or a
@@ -71,9 +71,13 @@ use std::path::Path;
 /// the product path.
 pub const PERF_HOT_CRATES: &[&str] = &["analysis", "monitors", "sim", "transform", "warehouse"];
 
-/// The compiled-engine home: row-wise access and nested row loops *are*
-/// the implementation here (PF004, PF007 exempt it).
-pub const ENGINE_FILE: &str = "crates/warehouse/src/engine.rs";
+/// The compiled-engine homes: row-wise access and nested row loops *are*
+/// the implementation in the scan engine and its vectorized executor
+/// (PF004, PF007 exempt them).
+pub const ENGINE_FILES: &[&str] = &[
+    "crates/warehouse/src/engine.rs",
+    "crates/warehouse/src/vector.rs",
+];
 
 /// Crates whose `Table` access must route through the compiled engine
 /// (PF004, PF007).
@@ -428,7 +432,7 @@ fn pf003(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
 // ---------------------------------------------------------------------
 
 fn pf004(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
-    if !TABLE_CRATES.contains(&ctx.krate) || ctx.rel == ENGINE_FILE {
+    if !TABLE_CRATES.contains(&ctx.krate) || ENGINE_FILES.contains(&ctx.rel) {
         return;
     }
     const WHAT: &str = "row-wise `Table` access bypasses the zone-map engine — route the scan through `CompiledPredicate`/`scan_blocks`/`window_agg_where` or justify with `// perf:`";
@@ -514,7 +518,7 @@ fn pf006(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
 // ---------------------------------------------------------------------
 
 fn pf007(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
-    if !TABLE_CRATES.contains(&ctx.krate) || ctx.rel == ENGINE_FILE {
+    if !TABLE_CRATES.contains(&ctx.krate) || ENGINE_FILES.contains(&ctx.rel) {
         return;
     }
     let row_header = |lp: &LoopSpan| {
@@ -575,7 +579,7 @@ fn pf008(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
 /// Lints one Rust source text as non-test code of `crate_name` against
 /// PF001–PF008. Crates outside [`PERF_HOT_CRATES`] are exempt. `rel` is
 /// the workspace-relative path used both in findings and to recognize
-/// [`ENGINE_FILE`]. Exposed for fixture tests; [`scan`] drives it over
+/// [`ENGINE_FILES`]. Exposed for fixture tests; [`scan`] drives it over
 /// the real workspace.
 pub fn lint_perf_source(crate_name: &str, rel: &str, text: &str) -> Vec<Finding> {
     if !PERF_HOT_CRATES.contains(&crate_name) {
@@ -725,6 +729,7 @@ mod tests {
                      n\n}\n";
         assert_eq!(rules("crates/analysis/src/x.rs", dirty), ["PF004"]);
         assert_eq!(rules("crates/warehouse/src/engine.rs", dirty), [""; 0]);
+        assert_eq!(rules("crates/warehouse/src/vector.rs", dirty), [""; 0]);
         // Other hot crates don't hold Tables; out of scope.
         assert_eq!(rules("crates/sim/src/x.rs", dirty), [""; 0]);
         let probe = "fn probe(t: &Table) -> Option<&Value> { t.cell(0, \"x\") }\n";
@@ -765,6 +770,7 @@ mod tests {
                      }\n    n\n}\n";
         assert_eq!(rules("crates/warehouse/src/x.rs", dirty), ["PF007"]);
         assert_eq!(rules("crates/warehouse/src/engine.rs", dirty), [""; 0]);
+        assert_eq!(rules("crates/warehouse/src/vector.rs", dirty), [""; 0]);
         let one_side = "fn scan(a: &Table, keys: &[u64]) -> usize {\n\
                         let mut n = 0;\n\
                         for i in 0..a.row_count() {\n\

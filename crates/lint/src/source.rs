@@ -757,16 +757,17 @@ pub fn sql_literals(root: &Path) -> io::Result<Vec<SqlLiteral>> {
                     continue;
                 }
                 let trimmed = lit.content.trim_start();
-                // A bare `"SELECT "` prefix with nothing after it is a
-                // needle or fragment, not a checkable query; so is a
-                // `format!` template — braces never occur in the SQL
-                // dialect, only in placeholders awaiting interpolation.
-                if trimmed.len() > 7
-                    && trimmed
-                        .get(..7)
-                        .is_some_and(|p| p.eq_ignore_ascii_case("select "))
-                    && !trimmed.contains(['{', '}'])
-                {
+                // A bare `"SELECT "` / `"EXPLAIN "` prefix with nothing
+                // after it is a needle or fragment, not a checkable query;
+                // so is a `format!` template — braces never occur in the
+                // SQL dialect, only in placeholders awaiting interpolation.
+                let prefixed = |kw: &str| {
+                    trimmed.len() > kw.len()
+                        && trimmed
+                            .get(..kw.len())
+                            .is_some_and(|p| p.eq_ignore_ascii_case(kw))
+                };
+                if (prefixed("select ") || prefixed("explain ")) && !trimmed.contains(['{', '}']) {
                     out.push(SqlLiteral {
                         file: rel.clone(),
                         line: line_of(&text, lit.offset),
@@ -931,6 +932,22 @@ mod tests {
         assert_eq!(lits.len(), 1, "{lits:?}");
         assert_eq!(lits[0].text, "SELECT a FROM t");
         assert_eq!(lits[0].line, 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sql_literal_extraction_covers_explain() {
+        let dir = std::env::temp_dir().join("mscope-lint-sqlexp");
+        let src_dir = dir.join("src");
+        fs::create_dir_all(&src_dir).unwrap();
+        fs::write(
+            src_dir.join("lib.rs"),
+            "fn q() { run(\"EXPLAIN SELECT a FROM t\"); probe(\"explain \"); }\n",
+        )
+        .unwrap();
+        let lits = sql_literals(&dir).unwrap();
+        assert_eq!(lits.len(), 1, "{lits:?}");
+        assert_eq!(lits[0].text, "EXPLAIN SELECT a FROM t");
         fs::remove_dir_all(&dir).ok();
     }
 }

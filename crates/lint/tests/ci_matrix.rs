@@ -137,6 +137,36 @@ fn bench_delta_guard_covers_every_smoke_baseline() {
 }
 
 #[test]
+fn bench_delta_tracks_the_planner_ratios() {
+    // The query-engine bench reports the SQL planner's headline ratios;
+    // they must stay under the bench-delta guard (and therefore in the
+    // committed smoke baseline), or a planner regression could land with
+    // CI green. Both files are data, so re-parse them like ci.yml above.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let tracked = std::fs::read_to_string(format!("{root}/crates/bench/src/bin/bench_delta.rs"))
+        .expect("bench_delta guard exists");
+    let baseline = std::fs::read_to_string(format!(
+        "{root}/crates/bench/baselines/query_engine.smoke.json"
+    ))
+    .expect("query_engine smoke baseline exists");
+    for metric in [
+        "speedup_hash_join_materialized",
+        "speedup_projection_pushdown",
+        "speedup_join_reorder",
+        "speedup_group_having",
+    ] {
+        assert!(
+            tracked.contains(&format!("\"{metric}\"")),
+            "bench_delta TRACKED no longer lists `{metric}`"
+        );
+        assert!(
+            baseline.contains(&format!("\"{metric}\"")),
+            "query_engine smoke baseline lacks `{metric}` — regenerate with --smoke"
+        );
+    }
+}
+
+#[test]
 fn front_extractor_reads_invocation_lines() {
     let yml = "
       - run: cargo run --release -p mscope-lint -- all --strict

@@ -408,11 +408,10 @@ mod tests {
             .iter()
             .all(|v| v.as_str().is_some_and(|s| s.len() == 12)));
         // ua column is timestamps (µs) and all within the run.
-        let ua = apache.numeric_column("ua");
-        assert_eq!(ua.len(), lines);
-        assert!(ua
-            .iter()
-            .all(|&t| t >= 0.0 && t <= out.end_time.as_micros() as f64));
+        assert_eq!(apache.numeric_values("ua").count(), lines);
+        assert!(apache
+            .numeric_values("ua")
+            .all(|t| t >= 0.0 && t <= out.end_time.as_micros() as f64));
     }
 
     #[test]
@@ -430,8 +429,9 @@ mod tests {
             .collect();
         assert_eq!(nodes.len(), 4, "all four nodes present: {nodes:?}");
         // Disk util numeric and bounded.
-        let util = collectl.numeric_column("disk_util");
-        assert!(util.iter().all(|&u| (0.0..=100.0).contains(&u)));
+        assert!(collectl
+            .numeric_values("disk_util")
+            .all(|u| (0.0..=100.0).contains(&u)));
     }
 
     #[test]
@@ -444,10 +444,10 @@ mod tests {
         let xml = db.require("sar_xml").unwrap();
         assert_eq!(text.row_count(), xml.row_count());
         // Same cpu_user series modulo float formatting.
-        let a = text.numeric_column("cpu_user");
-        let b = xml.numeric_column("cpu_user");
-        assert_eq!(a.len(), b.len());
-        for (x, y) in a.iter().zip(&b) {
+        let a = text.numeric_values("cpu_user");
+        let b: Vec<f64> = xml.numeric_values("cpu_user").collect();
+        assert_eq!(text.numeric_values("cpu_user").count(), b.len());
+        for (x, y) in a.zip(&b) {
             assert!((x - y).abs() < 0.01, "{x} vs {y}");
         }
     }
@@ -551,11 +551,12 @@ mod sar_subsystem_tests {
         assert!(mem.row_count() > 10);
         // Dirty kB is 4x the page count in the collectl table at the same
         // node & time (sar-mem reports kbdirty, collectl reports pages).
-        let dirty_kb = mem.numeric_column("mem_dirty_kb");
-        assert!(dirty_kb.iter().all(|&v| v >= 0.0));
+        assert!(mem.numeric_values("mem_dirty_kb").all(|v| v >= 0.0));
         let net = db.require("sar_net").unwrap();
         assert_eq!(net.row_count(), mem.row_count());
-        let rx = net.numeric_column("net_rx_kb");
-        assert!(rx.iter().any(|&v| v > 0.0), "traffic flowed");
+        assert!(
+            net.numeric_values("net_rx_kb").any(|v| v > 0.0),
+            "traffic flowed"
+        );
     }
 }

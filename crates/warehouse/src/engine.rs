@@ -289,7 +289,7 @@ impl TableIndex {
 
 /// Typed comparison operators for compiled leaves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum CmpOp {
+pub(crate) enum CmpOp {
     Eq,
     Ne,
     Lt,
@@ -299,7 +299,7 @@ enum CmpOp {
 }
 
 impl CmpOp {
-    fn ok(self, o: Ordering) -> bool {
+    pub(crate) fn ok(self, o: Ordering) -> bool {
         match self {
             CmpOp::Eq => o == Ordering::Equal,
             CmpOp::Ne => o != Ordering::Equal,
@@ -557,6 +557,58 @@ impl<'t> CompiledPredicate<'t> {
         }
         out
     }
+
+    /// Estimates the scan's output from statistics alone — sorted-column
+    /// bounds plus per-block zone-map verdicts — without touching a row.
+    /// Proven blocks (`AllTrue`/`AllFalse`) contribute exact counts;
+    /// `Mixed` blocks are charged half their candidate rows. The planner
+    /// uses this to pick hash-join build sides and to annotate `EXPLAIN`.
+    pub(crate) fn estimate(&self) -> ScanEstimate {
+        let total_blocks = self.nrows.div_ceil(self.block_rows);
+        let (lo, hi) = self.bounds();
+        let mut est = ScanEstimate {
+            rows: 0,
+            skipped: total_blocks,
+            taken: 0,
+            evaluated: 0,
+        };
+        if lo >= hi {
+            return est;
+        }
+        let b0 = lo / self.block_rows;
+        let b1 = (hi - 1) / self.block_rows + 1;
+        est.skipped = total_blocks - (b1 - b0);
+        for b in b0..b1 {
+            let s = (b * self.block_rows).max(lo);
+            let e = ((b + 1) * self.block_rows).min(hi);
+            match self.node.verdict(b) {
+                Verdict::AllFalse => est.skipped += 1,
+                Verdict::AllTrue => {
+                    est.taken += 1;
+                    est.rows += e - s;
+                }
+                Verdict::Mixed => {
+                    est.evaluated += 1;
+                    est.rows += (e - s).div_ceil(2);
+                }
+            }
+        }
+        est
+    }
+}
+
+/// Statistics-only cardinality estimate for one compiled scan (see
+/// [`CompiledPredicate::estimate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ScanEstimate {
+    /// Estimated matching rows.
+    pub rows: usize,
+    /// Blocks proven `AllFalse` (or excluded by sorted bounds) — skipped.
+    pub skipped: usize,
+    /// Blocks proven `AllTrue` — taken whole without evaluation.
+    pub taken: usize,
+    /// Blocks the scan must evaluate row by row.
+    pub evaluated: usize,
 }
 
 /// Resolves a requested scan worker count: `0` = auto (serial under

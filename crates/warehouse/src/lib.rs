@@ -52,14 +52,17 @@
 mod db;
 mod engine;
 mod error;
+mod plan;
 mod query;
 pub mod sql;
 mod table;
 mod value;
+mod vector;
 
 pub use db::{Database, STATIC_TABLES};
 pub use engine::{CompiledPredicate, KeyIndex, DEFAULT_BLOCK_ROWS, PARALLEL_MIN_ROWS};
 pub use error::DbError;
 pub use query::{AggFn, Predicate};
+pub use sql::QueryOptions;
 pub use table::{Column, Schema, Table};
 pub use value::{ColumnType, Value, ValueKey};

@@ -6,7 +6,8 @@
 //! researchers slice disk utilization per tier, join event records by
 //! request ID, and correlate series.
 
-use crate::engine::{self, CompiledPredicate, KeyIndex, KeyRef};
+use crate::engine::{self, CompiledPredicate};
+use crate::plan::Side;
 use crate::table::{Column, Schema, Table};
 use crate::value::{ColumnType, Value, ValueKey};
 use crate::DbError;
@@ -353,27 +354,23 @@ impl Table {
         right_col: &str,
     ) -> Result<Table, DbError> {
         let (lci, rci, schema) = self.join_parts(other, left_col, right_col)?;
-        // Compiled path: the hash index is built once from the typed
-        // column slice with borrowed keys ([`KeyIndex`]), and probing
-        // clones nothing — rows are copied column-wise straight from the
-        // source slices.
-        let rindex = KeyIndex::build(other.col(rci));
-        let left_width = self.schema().len();
-        let mut cols: Vec<Vec<Value>> = vec![Vec::new(); schema.len()];
-        for (li, lv) in self.col(lci).iter().enumerate() {
-            for &ri in rindex.rows(lv) {
-                for (ci, out) in cols.iter_mut().enumerate() {
-                    let cell = if ci < left_width {
-                        &self.col(ci)[li]
-                    } else {
-                        &other.col(ci - left_width)[ri]
-                    };
-                    // perf: the join output owns its cells — one clone per
-                    // emitted cell is the materialization contract.
-                    out.push(cell.clone());
-                }
-            }
+        // Stats-driven build side: hash the smaller input, probe the
+        // larger ([`crate::vector::join_pairs`] restores left-major
+        // output order either way), then materialize the output with one
+        // typed per-column gather instead of a row-at-a-time cell walk.
+        let build_left = self.row_count() < other.row_count();
+        let lsel: Vec<usize> = (0..self.row_count()).collect();
+        let rsel: Vec<usize> = (0..other.row_count()).collect();
+        let pairs =
+            crate::vector::join_pairs(self.col(lci), &lsel, other.col(rci), &rsel, build_left);
+        let mut srcs: Vec<(Side, &[Value])> = Vec::with_capacity(schema.len());
+        for ci in 0..self.schema().len() {
+            srcs.push((Side::Left, self.col(ci)));
         }
+        for ci in 0..other.schema().len() {
+            srcs.push((Side::Right, other.col(ci)));
+        }
+        let cols = crate::vector::gather_pair_cols(&srcs, &pairs, 0);
         Ok(Table::from_parts(
             format!("{}_x_{}", self.name(), other.name()),
             schema,
@@ -508,27 +505,6 @@ impl Table {
             .schema()
             .index_of(value_col)
             .ok_or_else(|| DbError::NoSuchColumn(value_col.into()))?;
-        let (kcol, vcol) = (self.col(kci), self.col(vci));
-        // Borrowed keys: no per-row clone of the key value — each group
-        // remembers the first row it was seen in and the owned key is
-        // cloned once per group at the end.
-        let mut groups: HashMap<KeyRef<'_>, (usize, Vec<f64>)> = HashMap::new();
-        for i in 0..self.row_count() {
-            let Some(key) = KeyRef::of(&kcol[i]) else {
-                continue;
-            };
-            let entry = groups.entry(key).or_insert_with(|| (i, Vec::new()));
-            let cell = &vcol[i];
-            if agg == AggFn::Count {
-                // COUNT counts non-null values of any type, not just
-                // numerics (SQL semantics).
-                if !cell.is_null() {
-                    entry.1.push(1.0);
-                }
-            } else if let Some(v) = cell.as_f64() {
-                entry.1.push(v);
-            }
-        }
         // Tolerate key_col == value_col (e.g. COUNT over the key itself) by
         // renaming the key column.
         let key_name = if key_col == value_col {
@@ -540,31 +516,35 @@ impl Table {
             Column::new(key_name, ColumnType::Text),
             Column::new(value_col, ColumnType::Float),
         ])?;
-        let mut rows: Vec<(Value, f64)> = groups
-            .into_values()
-            .filter_map(|(ki, vs)| fold(agg, &vs).map(|v| (kcol[ki].clone(), v)))
-            .collect();
-        rows.sort_by(|a, b| a.0.total_cmp(&b.0));
-        let mut kcol = Vec::with_capacity(rows.len());
-        let mut vcol = Vec::with_capacity(rows.len());
-        for (k, v) in rows {
-            // Keys are stored as their rendered text form so mixed-type key
-            // columns stay queryable.
-            kcol.push(Value::Text(k.render()));
-            vcol.push(Value::Float(v));
-        }
-        Ok(Table::from_parts(
-            format!("{}_by_{}", self.name(), key_col),
-            schema,
-            vec![kcol, vcol],
+        // One pass through the vectorized batch aggregator: borrowed
+        // keys, streaming accumulators, deterministic key-sorted output.
+        let rows: Vec<usize> = (0..self.row_count()).collect();
+        Ok(crate::vector::aggregate(
+            &[self.col(kci)],
+            &[(agg, Some(self.col(vci)))],
+            &rows,
+            false,
+            &format!("{}_by_{key_col}", self.name()),
+            &schema,
         ))
     }
 
-    /// Extracts a numeric column as `f64`s, skipping nulls/non-numerics.
-    pub fn numeric_column(&self, col: &str) -> Vec<f64> {
+    /// Borrowed numeric view of a column: lazily yields each value
+    /// [`Value::as_f64`] accepts, skipping nulls/non-numerics, without
+    /// materializing an intermediate `Vec`. A missing column yields
+    /// nothing.
+    pub fn numeric_values<'a>(&'a self, col: &str) -> impl Iterator<Item = f64> + 'a {
         self.column(col)
-            .map(|vals| vals.iter().filter_map(Value::as_f64).collect())
-            .unwrap_or_default()
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(Value::as_f64)
+    }
+
+    /// Extracts a numeric column as `f64`s, skipping nulls/non-numerics.
+    /// Prefer [`Table::numeric_values`] when a single streaming pass
+    /// suffices — this materializes.
+    pub fn numeric_column(&self, col: &str) -> Vec<f64> {
+        self.numeric_values(col).collect()
     }
 }
 

@@ -4,14 +4,16 @@
 //! Supported grammar:
 //!
 //! ```text
-//! SELECT <projection> FROM <table>
+//! [EXPLAIN] SELECT <projection> FROM <table>
+//!        [JOIN <table> ON [<table>.]col = [<table>.]col]
 //!        [WHERE <predicate>]
-//!        [GROUP BY <column>]
+//!        [GROUP BY <column> [, <column> …]]
+//!        [HAVING <predicate>]
 //!        [ORDER BY <column> [ASC|DESC]]
 //!        [LIMIT <n>]
 //!
-//! projection := * | col [, col …] | col, AGG(col) (with GROUP BY)
-//!             | AGG(col)           (whole-table aggregate)
+//! projection := * | item [, item …]
+//! item       := col | AGG(col) | COUNT(*)
 //! AGG        := COUNT | SUM | AVG | MIN | MAX
 //! predicate  := disjunction of conjunctions with parentheses and NOT:
 //!               a = 1 AND (b > 2.5 OR NOT c = 'text')
@@ -21,10 +23,24 @@
 //! ```
 //!
 //! Identifiers and keywords are case-insensitive except quoted strings.
+//! After a JOIN, columns are referred to by their *source-relation* names:
+//! all of the left table's columns, then the right table's, with a
+//! right-side name collision spelled `<right-table>_<col>`. `WHERE`,
+//! `GROUP BY`, and the projection use those names; `HAVING` and
+//! `ORDER BY` see the *result* schema (group keys render as text,
+//! aggregates as floats).
+//!
+//! Parsing produces a [`ParsedQuery`](crate::plan) which the
+//! stats-driven planner ([`crate::plan`]) lowers to a physical plan and
+//! the vectorized executor ([`crate::vector`]) runs; `EXPLAIN` returns
+//! the plan itself as a one-column table. The same resolution pass backs
+//! [`check_with`], so the static checker and the executor agree by
+//! construction.
 
 use crate::db::Database;
+use crate::plan::{JoinClause, ParsedQuery, SelectItem};
 use crate::query::{AggFn, Predicate};
-use crate::table::{Column, Schema, Table};
+use crate::table::{Schema, Table};
 use crate::value::{ColumnType, Value};
 use crate::DbError;
 
@@ -39,6 +55,7 @@ enum Tok {
     Num(String),
     Comma,
     Star,
+    Dot,
     LParen,
     RParen,
     Op(String),
@@ -124,6 +141,12 @@ fn lex(input: &str) -> Result<Vec<Tok>, DbError> {
                     toks.push(Tok::Op(">".into()));
                 }
             }
+            // A `.` straight after an identifier is a table qualifier
+            // (`t.col`), not the start of a number.
+            '.' if matches!(toks.last(), Some(Tok::Ident(_))) => {
+                chars.next();
+                toks.push(Tok::Dot);
+            }
             c if c.is_ascii_digit() || c == '-' || c == '.' => {
                 let mut s = String::new();
                 s.push(c);
@@ -169,29 +192,6 @@ fn lex(input: &str) -> Result<Vec<Tok>, DbError> {
 // Parser
 // ---------------------------------------------------------------------
 
-#[derive(Debug, Clone, PartialEq)]
-enum Projection {
-    All,
-    Columns(Vec<String>),
-    /// `GROUP BY` form: key column (optional for whole-table aggregates),
-    /// aggregate, aggregated column.
-    Aggregate {
-        key: Option<String>,
-        agg: AggFn,
-        col: String,
-    },
-}
-
-#[derive(Debug, Clone, PartialEq)]
-struct Query {
-    projection: Projection,
-    table: String,
-    predicate: Predicate,
-    group_by: Option<String>,
-    order_by: Option<(String, bool)>,
-    limit: Option<usize>,
-}
-
 struct Parser {
     toks: Vec<Tok>,
     pos: usize,
@@ -230,11 +230,41 @@ impl Parser {
         }
     }
 
-    fn parse(&mut self) -> Result<Query, DbError> {
+    fn parse(&mut self) -> Result<ParsedQuery, DbError> {
+        let explain = if self.peek_kw("explain") {
+            self.next();
+            true
+        } else {
+            false
+        };
         self.expect_kw("select")?;
-        let projection = self.projection()?;
+        let items = self.items()?;
         self.expect_kw("from")?;
         let table = self.ident()?;
+        let join = if self.peek_kw("join") {
+            self.next();
+            let jtable = self.ident()?;
+            self.expect_kw("on")?;
+            let (left_qual, left_col) = self.qualified()?;
+            match self.next() {
+                Some(Tok::Op(op)) if op == "=" => {}
+                other => {
+                    return Err(DbError::BadQuery(format!(
+                        "expected `=` in ON clause, got {other:?}"
+                    )))
+                }
+            }
+            let (right_qual, right_col) = self.qualified()?;
+            Some(JoinClause {
+                table: jtable,
+                left_qual,
+                left_col,
+                right_qual,
+                right_col,
+            })
+        } else {
+            None
+        };
         let predicate = if self.peek_kw("where") {
             self.next();
             self.or_expr()?
@@ -244,7 +274,18 @@ impl Parser {
         let group_by = if self.peek_kw("group") {
             self.next();
             self.expect_kw("by")?;
-            Some(self.ident()?)
+            let mut keys = vec![self.ident()?];
+            while matches!(self.peek(), Some(Tok::Comma)) {
+                self.next();
+                keys.push(self.ident()?);
+            }
+            keys
+        } else {
+            Vec::new()
+        };
+        let having = if self.peek_kw("having") {
+            self.next();
+            Some(self.or_expr()?)
         } else {
             None
         };
@@ -287,14 +328,28 @@ impl Parser {
                 self.peek()
             )));
         }
-        Ok(Query {
-            projection,
+        Ok(ParsedQuery {
+            explain,
+            items,
             table,
+            join,
             predicate,
             group_by,
+            having,
             order_by,
             limit,
         })
+    }
+
+    /// `[table.]col` — an ON-clause key with an optional qualifier.
+    fn qualified(&mut self) -> Result<(Option<String>, String), DbError> {
+        let first = self.ident()?;
+        if matches!(self.peek(), Some(Tok::Dot)) {
+            self.next();
+            Ok((Some(first), self.ident()?))
+        } else {
+            Ok((None, first))
+        }
     }
 
     fn agg_kw(name: &str) -> Option<AggFn> {
@@ -308,13 +363,14 @@ impl Parser {
         }
     }
 
-    fn projection(&mut self) -> Result<Projection, DbError> {
+    /// The projection list: `*`, or a comma-separated mix of bare columns
+    /// and `AGG(col)` / `COUNT(*)` items in any order.
+    fn items(&mut self) -> Result<Vec<SelectItem>, DbError> {
         if matches!(self.peek(), Some(Tok::Star)) {
             self.next();
-            return Ok(Projection::All);
+            return Ok(vec![SelectItem::Star]);
         }
-        // Either plain column list, or [key,] AGG(col).
-        let mut cols: Vec<String> = Vec::new();
+        let mut items: Vec<SelectItem> = Vec::new();
         loop {
             let name = self.ident()?;
             if matches!(self.peek(), Some(Tok::LParen)) {
@@ -336,25 +392,17 @@ impl Parser {
                     Some(Tok::RParen) => {}
                     other => return Err(DbError::BadQuery(format!("expected `)`, got {other:?}"))),
                 }
-                let key = match cols.len() {
-                    0 => None,
-                    1 => Some(cols.remove(0)),
-                    _ => {
-                        return Err(DbError::BadQuery(
-                            "at most one key column before an aggregate".into(),
-                        ))
-                    }
-                };
-                return Ok(Projection::Aggregate { key, agg, col });
+                items.push(SelectItem::Agg { agg, col });
+            } else {
+                items.push(SelectItem::Col(name));
             }
-            cols.push(name);
             if matches!(self.peek(), Some(Tok::Comma)) {
                 self.next();
             } else {
                 break;
             }
         }
-        Ok(Projection::Columns(cols))
+        Ok(items)
     }
 
     // predicate := and_expr (OR and_expr)*
@@ -457,9 +505,38 @@ impl Parser {
 // Execution
 // ---------------------------------------------------------------------
 
+/// Options for [`Database::query_opts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryOptions {
+    /// Scan/gather worker count (`0` = auto: serial below
+    /// [`PARALLEL_MIN_ROWS`](crate::PARALLEL_MIN_ROWS) rows). Results are
+    /// byte-identical at every worker count.
+    pub workers: usize,
+    /// Run the statistics-driven planner (predicate/projection pushdown,
+    /// join build-side selection, sort elision). `false` executes the
+    /// same query clause-by-clause in the pre-planner shape — results
+    /// are byte-identical either way; only the work differs.
+    pub optimize: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> QueryOptions {
+        QueryOptions {
+            workers: 0,
+            optimize: true,
+        }
+    }
+}
+
 impl Database {
     /// Parses and executes a SQL-subset query, returning the result as a
     /// fresh [`Table`].
+    ///
+    /// The query is lowered through the stats-driven planner
+    /// ([`crate::plan`]) and run on the vectorized columnar executor
+    /// ([`crate::vector`]). Prefixing the query with `EXPLAIN` returns
+    /// the chosen physical plan as a one-column `plan` table instead of
+    /// executing it.
     ///
     /// # Errors
     ///
@@ -485,99 +562,24 @@ impl Database {
     /// # Ok::<(), mscope_db::DbError>(())
     /// ```
     pub fn query(&self, sql: &str) -> Result<Table, DbError> {
+        self.query_opts(sql, QueryOptions::default())
+    }
+
+    /// [`Database::query`] with explicit [`QueryOptions`] — worker count
+    /// and planner on/off. Results are byte-identical across every
+    /// combination; the options change only how the work is done.
+    ///
+    /// # Errors
+    ///
+    /// See [`Database::query`].
+    pub fn query_opts(&self, sql: &str, opts: QueryOptions) -> Result<Table, DbError> {
         let toks = lex(sql)?;
         let q = Parser { toks, pos: 0 }.parse()?;
-        let base = self.require(&q.table)?;
-
-        // GROUP BY / aggregates. Each arm filters for itself so that the
-        // column-projection arm can fuse WHERE and SELECT into a single
-        // compiled-predicate pass with no intermediate table.
-        let mut result: Table = match (&q.projection, &q.group_by) {
-            (Projection::Aggregate { key, agg, col }, Some(group_col)) => {
-                if let Some(k) = key {
-                    if k != group_col {
-                        return Err(DbError::BadQuery(format!(
-                            "projection key `{k}` must match GROUP BY `{group_col}`"
-                        )));
-                    }
-                }
-                let value_col = if col == "*" {
-                    group_col.clone()
-                } else {
-                    col.clone()
-                };
-                let grouped = base
-                    .filter(&q.predicate)
-                    .group_by(group_col, &value_col, *agg)?;
-                if col == "*" {
-                    // `COUNT(*)` collides with the key column inside
-                    // group_by; present it under standard SQL-ish names.
-                    rename_columns(grouped, &[group_col, "count"])?
-                } else {
-                    grouped
-                }
-            }
-            (
-                Projection::Aggregate {
-                    key: None,
-                    agg,
-                    col,
-                },
-                None,
-            ) => {
-                // Whole-table aggregate → single row.
-                let filtered = base.filter(&q.predicate);
-                let vals: Vec<f64> = if col == "*" {
-                    (0..filtered.row_count()).map(|_| 1.0).collect()
-                } else {
-                    if filtered.schema().index_of(col).is_none() {
-                        return Err(DbError::NoSuchColumn(col.clone()));
-                    }
-                    filtered.numeric_column(col)
-                };
-                let out_val = match agg {
-                    AggFn::Count => Some(vals.len() as f64),
-                    AggFn::Sum => Some(vals.iter().sum()),
-                    AggFn::Mean => {
-                        (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
-                    }
-                    AggFn::Min => vals.iter().cloned().reduce(f64::min),
-                    AggFn::Max => vals.iter().cloned().reduce(f64::max),
-                    AggFn::Last => vals.last().copied(),
-                };
-                let schema = Schema::new(vec![Column::new(
-                    format!("{}_{col}", agg_name(*agg)),
-                    ColumnType::Float,
-                )])?;
-                let mut t = Table::new("result", schema);
-                t.push_row(vec![out_val.map_or(Value::Null, Value::Float)])?;
-                t
-            }
-            (Projection::Aggregate { key: Some(_), .. }, None) => {
-                return Err(DbError::BadQuery(
-                    "keyed aggregate requires GROUP BY".into(),
-                ))
-            }
-            (_, Some(_)) => {
-                return Err(DbError::BadQuery(
-                    "GROUP BY requires an aggregate projection".into(),
-                ))
-            }
-            (Projection::All, None) => base.filter(&q.predicate),
-            (Projection::Columns(cols), None) => {
-                let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-                base.select(&refs, &q.predicate)?
-            }
-        };
-
-        if let Some((col, asc)) = &q.order_by {
-            result = result.order_by(col, *asc)?;
+        let plan = crate::plan::plan(self, &q, opts.optimize)?;
+        if q.explain {
+            return plan.explain_table();
         }
-        if let Some(n) = q.limit {
-            let keep: Vec<usize> = (0..result.row_count().min(n)).collect();
-            result = result.select_rows(&keep);
-        }
-        Ok(result)
+        crate::vector::run(&plan, opts.workers)
     }
 }
 
@@ -613,80 +615,48 @@ where
 {
     let toks = lex(sql)?;
     let q = Parser { toks, pos: 0 }.parse()?;
-    let schema = schema_of(&q.table).ok_or_else(|| DbError::NoSuchTable(q.table.clone()))?;
-    let col_ty = |name: &str| schema.index_of(name).map(|i| schema.columns()[i].ty);
+    let left = schema_of(&q.table).ok_or_else(|| DbError::NoSuchTable(q.table.clone()))?;
+    let right = match &q.join {
+        Some(j) => {
+            let s = schema_of(&j.table).ok_or_else(|| DbError::NoSuchTable(j.table.clone()))?;
+            Some((j.table.clone(), s))
+        }
+        None => None,
+    };
+    // `resolve` performs the same structural validation the executor does:
+    // projection/key/ORDER BY membership, JOIN key and qualifier checks,
+    // GROUP BY / HAVING shape, result-name collisions.
+    let res = crate::plan::resolve(
+        &q,
+        &q.table,
+        &left,
+        right.as_ref().map(|(n, s)| (n.as_str(), s)),
+    )?;
 
-    check_predicate(&q.predicate, &q.table, &col_ty)?;
+    // WHERE sees the source relation's output names (joined columns under
+    // their collision-prefixed names).
+    let src_ty = |name: &str| res.source.iter().find(|s| s.name == name).map(|s| s.ty);
+    check_predicate(&q.predicate, &q.table, &src_ty)?;
 
-    // Result columns of the projection, for the ORDER BY check below —
-    // mirrors the result-table construction in `Database::query`.
-    let mut result_cols: Vec<String> = Vec::new();
-    match (&q.projection, &q.group_by) {
-        (Projection::All, None) => {
-            result_cols.extend(schema.columns().iter().map(|c| c.name.clone()));
-        }
-        (Projection::Columns(cols), None) => {
-            for c in cols {
-                if col_ty(c).is_none() {
-                    return Err(DbError::NoSuchColumn(c.clone()));
-                }
+    // Aggregate inputs must be numerically foldable (COUNT takes anything).
+    if let Some(aggnode) = &res.aggregate {
+        for a in &aggnode.aggs {
+            if let Some(si) = a.src {
+                let sc = &res.source[si];
+                check_agg_input(&q.table, a.agg, &sc.name, sc.ty)?;
             }
-            result_cols.extend(cols.iter().cloned());
-        }
-        (Projection::Aggregate { key, agg, col }, Some(group_col)) => {
-            if let Some(k) = key {
-                if k != group_col {
-                    return Err(DbError::BadQuery(format!(
-                        "projection key `{k}` must match GROUP BY `{group_col}`"
-                    )));
-                }
-            }
-            if col_ty(group_col).is_none() {
-                return Err(DbError::NoSuchColumn(group_col.clone()));
-            }
-            if col == "*" {
-                result_cols.push(group_col.clone());
-                result_cols.push("count".to_string());
-            } else {
-                check_agg_input(&q.table, *agg, col, &col_ty)?;
-                let key_name = if group_col == col {
-                    format!("{group_col}_key")
-                } else {
-                    group_col.clone()
-                };
-                result_cols.push(key_name);
-                result_cols.push(col.clone());
-            }
-        }
-        (
-            Projection::Aggregate {
-                key: None,
-                agg,
-                col,
-            },
-            None,
-        ) => {
-            if col != "*" {
-                check_agg_input(&q.table, *agg, col, &col_ty)?;
-            }
-            result_cols.push(format!("{}_{col}", agg_name(*agg)));
-        }
-        (Projection::Aggregate { key: Some(_), .. }, None) => {
-            return Err(DbError::BadQuery(
-                "keyed aggregate requires GROUP BY".into(),
-            ))
-        }
-        (_, Some(_)) => {
-            return Err(DbError::BadQuery(
-                "GROUP BY requires an aggregate projection".into(),
-            ))
         }
     }
 
-    if let Some((col, _)) = &q.order_by {
-        if !result_cols.iter().any(|c| c == col) {
-            return Err(DbError::NoSuchColumn(col.clone()));
-        }
+    // HAVING sees the *result* schema: keys rendered as Text, aggregate
+    // outputs as Float.
+    if let Some(h) = &q.having {
+        let result_ty = |name: &str| {
+            res.result
+                .index_of(name)
+                .map(|i| res.result.columns()[i].ty)
+        };
+        check_predicate(h, &res.result_name, &result_ty)?;
     }
     Ok(())
 }
@@ -700,11 +670,7 @@ pub fn check_against(db: &Database, sql: &str) -> Result<(), DbError> {
     check_with(sql, |t| db.table(t).map(|tab| tab.schema().clone()))
 }
 
-fn check_agg_input<F>(table: &str, agg: AggFn, col: &str, col_ty: &F) -> Result<(), DbError>
-where
-    F: Fn(&str) -> Option<ColumnType>,
-{
-    let ty = col_ty(col).ok_or_else(|| DbError::NoSuchColumn(col.to_string()))?;
+fn check_agg_input(table: &str, agg: AggFn, col: &str, ty: ColumnType) -> Result<(), DbError> {
     // COUNT accepts any type; the numeric folds silently skip values
     // `as_f64` rejects, so a text column would aggregate to nothing.
     if agg != AggFn::Count && ty == ColumnType::Text {
@@ -757,36 +723,6 @@ where
     }
 }
 
-/// Rebuilds a table with new column names (arity must match). The cell
-/// data is moved, not copied: only the schema changes, so the column
-/// vectors transfer wholesale instead of being re-pushed row by row.
-fn rename_columns(t: Table, names: &[&str]) -> Result<Table, DbError> {
-    if names.len() != t.schema().len() {
-        return Err(DbError::BadQuery("rename arity mismatch".into()));
-    }
-    let columns: Vec<Column> = t
-        .schema()
-        .columns()
-        .iter()
-        .zip(names)
-        .map(|(c, n)| Column::new(*n, c.ty))
-        .collect();
-    let schema = Schema::new(columns)?;
-    let (name, _, cols) = t.into_parts();
-    Ok(Table::from_parts(name, schema, cols))
-}
-
-fn agg_name(agg: AggFn) -> &'static str {
-    match agg {
-        AggFn::Count => "count",
-        AggFn::Sum => "sum",
-        AggFn::Mean => "avg",
-        AggFn::Min => "min",
-        AggFn::Max => "max",
-        AggFn::Last => "last",
-    }
-}
-
 impl Table {
     /// Keeps only the given row indices (public sibling of the internal
     /// gather, used by LIMIT).
@@ -798,6 +734,7 @@ impl Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::table::Column;
 
     fn db() -> Database {
         let mut db = Database::new();
@@ -1063,5 +1000,209 @@ mod tests {
         assert_eq!(t.row_count(), 0);
         let t = db.query("SELECT * FROM disk LIMIT 100").unwrap();
         assert_eq!(t.row_count(), 5);
+    }
+
+    /// The disk fixture plus an `owner` dimension table keyed by node.
+    fn db_with_owner() -> Database {
+        let mut db = db();
+        let schema = Schema::new(vec![
+            Column::new("node", ColumnType::Text),
+            Column::new("team", ColumnType::Text),
+        ])
+        .unwrap();
+        db.create_table("owner", schema).unwrap();
+        for (node, team) in [("apache0", "web"), ("mysql0", "data"), ("ghost0", "ops")] {
+            db.insert(
+                "owner",
+                vec![Value::Text(node.into()), Value::Text(team.into())],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn join_on_plain_and_qualified() {
+        let db = db_with_owner();
+        // Unqualified ON: the first column resolves on the left table, the
+        // second on the right. `owner.node` collides with `disk.node` and
+        // surfaces prefixed.
+        let t = db
+            .query("SELECT * FROM disk JOIN owner ON node = node")
+            .unwrap();
+        assert_eq!(t.name(), "disk_x_owner");
+        let names: Vec<&str> = t
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            ["node", "tier", "util", "time", "owner_node", "team"]
+        );
+        // apache0 matches once, mysql0's three readings each match once.
+        assert_eq!(t.row_count(), 4);
+        // Qualified ON names the same join and may swap sides.
+        for sql in [
+            "SELECT * FROM disk JOIN owner ON disk.node = owner.node",
+            "SELECT * FROM disk JOIN owner ON owner.node = disk.node",
+        ] {
+            assert_eq!(&db.query(sql).unwrap(), &t, "{sql}");
+        }
+        // Projections reach across both sides, and join rows follow
+        // left-table order.
+        let teams = db
+            .query("SELECT node, team FROM disk JOIN owner ON node = node WHERE util > 90")
+            .unwrap();
+        assert_eq!(teams.row_count(), 2);
+        assert_eq!(teams.cell(0, "team"), Some(&Value::Text("data".into())));
+    }
+
+    #[test]
+    fn multi_key_group_by_and_multiple_aggregates() {
+        let db = db();
+        let t = db
+            .query(
+                "SELECT node, tier, COUNT(*), AVG(util), MAX(util) FROM disk \
+                 GROUP BY node, tier ORDER BY node",
+            )
+            .unwrap();
+        let names: Vec<&str> = t
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        // First agg on `util` keeps the bare name; the second falls back
+        // to its labeled form.
+        assert_eq!(names, ["node", "tier", "count", "util", "max_util"]);
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.cell(1, "node"), Some(&Value::Text("mysql0".into())));
+        assert_eq!(t.cell(1, "tier"), Some(&Value::Text("3".into())));
+        assert_eq!(t.cell(1, "count").and_then(Value::as_f64), Some(3.0));
+        let avg = t.cell(1, "util").and_then(Value::as_f64).unwrap();
+        assert!((avg - 65.666).abs() < 0.01);
+        assert_eq!(t.cell(1, "max_util"), Some(&Value::Float(99.0)));
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let db = db();
+        let t = db
+            .query("SELECT node, MAX(util) FROM disk GROUP BY node HAVING util > 90")
+            .unwrap();
+        assert_eq!(t.row_count(), 1);
+        assert_eq!(t.cell(0, "node"), Some(&Value::Text("mysql0".into())));
+        // HAVING sees result columns (keys included), not source columns.
+        let k = db
+            .query("SELECT node, COUNT(*) FROM disk GROUP BY node HAVING node = 'apache0'")
+            .unwrap();
+        assert_eq!(k.row_count(), 1);
+        assert!(matches!(
+            check_against(
+                &db,
+                "SELECT node, COUNT(*) FROM disk GROUP BY node HAVING util > 90"
+            ),
+            Err(DbError::NoSuchColumn(_))
+        ));
+    }
+
+    #[test]
+    fn explain_prints_the_physical_plan() {
+        let db = db();
+        let plan = db
+            .query("EXPLAIN SELECT node, util FROM disk WHERE util > 90 ORDER BY util DESC LIMIT 2")
+            .unwrap();
+        assert_eq!(plan.name(), "explain");
+        let lines: Vec<String> = plan
+            .column("plan")
+            .unwrap()
+            .iter()
+            .map(Value::render)
+            .collect();
+        assert_eq!(
+            lines,
+            [
+                "Scan disk rows=5 pred=util > 90 est=3 blocks[skip=0 take=0 eval=1] \
+                 cols=[node, util]",
+                "Sort util desc",
+                "Limit 2",
+            ]
+        );
+        // The join plan names its build side, chosen from row estimates.
+        let db = db_with_owner();
+        let join = db
+            .query("EXPLAIN SELECT team FROM disk JOIN owner ON node = node")
+            .unwrap();
+        let text = join
+            .column("plan")
+            .unwrap()
+            .iter()
+            .map(Value::render)
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(
+            text.contains("HashJoin disk.node = owner.node build=right"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn optimizer_off_and_worker_legs_are_identical() {
+        let db = db_with_owner();
+        for sql in [
+            "SELECT * FROM disk WHERE util > 2 ORDER BY util LIMIT 3",
+            "SELECT node, team FROM disk JOIN owner ON node = node WHERE tier = 3",
+            "SELECT node, tier, AVG(util) FROM disk GROUP BY node, tier HAVING util > 1",
+        ] {
+            let reference = db.query(sql).unwrap();
+            for optimize in [true, false] {
+                for workers in [0, 1, 2, 8] {
+                    let got = db
+                        .query_opts(sql, QueryOptions { workers, optimize })
+                        .unwrap();
+                    assert_eq!(
+                        mscope_serdes::to_string(&got),
+                        mscope_serdes::to_string(&reference),
+                        "{sql} (optimize={optimize}, workers={workers})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sort_elision_matches_the_materialized_sort() {
+        let db = db();
+        // `time` is stored ascending, so the planner elides the sort; the
+        // planner-off leg sorts for real. Both must agree exactly.
+        let sql = "SELECT time, util FROM disk ORDER BY time LIMIT 4";
+        let on = db.query(sql).unwrap();
+        let off = db
+            .query_opts(
+                sql,
+                QueryOptions {
+                    workers: 0,
+                    optimize: false,
+                },
+            )
+            .unwrap();
+        assert_eq!(on, off);
+        let plan = db.query(&format!("EXPLAIN {sql}")).unwrap();
+        let text = mscope_serdes::to_string(&plan);
+        assert!(text.contains("elided: input already sorted"), "{text}");
+        // Descending order over the same column is NOT elided.
+        let desc = db
+            .query("EXPLAIN SELECT time FROM disk ORDER BY time DESC")
+            .unwrap();
+        assert!(!mscope_serdes::to_string(&desc).contains("elided"));
+        // Grouped results come out sorted by their first key, so ORDER BY
+        // that key ascending is also free.
+        let grouped = db
+            .query("EXPLAIN SELECT node, COUNT(*) FROM disk GROUP BY node ORDER BY node")
+            .unwrap();
+        let text = mscope_serdes::to_string(&grouped);
+        assert!(text.contains("elided"), "{text}");
     }
 }

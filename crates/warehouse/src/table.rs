@@ -592,14 +592,25 @@ impl Table {
                 keys.dedup();
                 keys.len()
             };
-            let nums: Vec<f64> = values.iter().filter_map(Value::as_f64).collect();
-            let (min, max, mean) = if nums.is_empty() {
+            // Single streaming pass over the numeric view — no
+            // intermediate `Vec<f64>`; fold order matches the old
+            // collect-then-fold shape bit for bit (row order).
+            let (mut n, mut sum) = (0usize, 0.0f64);
+            let (mut mn, mut mx) = (f64::INFINITY, f64::NEG_INFINITY);
+            for v in values.iter().filter_map(Value::as_f64) {
+                n += 1;
+                sum += v;
+                mn = mn.min(v);
+                mx = mx.max(v);
+            }
+            let (min, max, mean) = if n == 0 {
                 (Value::Null, Value::Null, Value::Null)
             } else {
-                let mn = nums.iter().cloned().fold(f64::INFINITY, f64::min);
-                let mx = nums.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                let mean = nums.iter().sum::<f64>() / nums.len() as f64;
-                (Value::Float(mn), Value::Float(mx), Value::Float(mean))
+                (
+                    Value::Float(mn),
+                    Value::Float(mx),
+                    Value::Float(sum / n as f64),
+                )
             };
             // perf: describe emits one owned row per column — bounded by
             // schema width, never by row count.
